@@ -1,0 +1,211 @@
+// Package clam is a Go reproduction of CLAM, the server structuring
+// system of "Distributed Upcalls: A Mechanism for Layering Asynchronous
+// Abstractions" (Cohrs, Miller & Call, ICDCS 1988).
+//
+// CLAM pairs two mechanisms. Remote procedure calls give clients
+// synchronous, downward access through layers of abstraction that may
+// live in another address space; distributed upcalls let a lower layer —
+// typically inside a server — call upward through those same layers,
+// crossing back into client address spaces, so servers can initiate
+// asynchronous, independent action. Around this core the system provides
+// dynamic loading of class modules into a running server, object handles
+// (capabilities) for pointers that cross address spaces, automatic and
+// programmer-defined parameter bundlers, batched asynchronous calls, and
+// non-preemptive tasks.
+//
+// A minimal server:
+//
+//	lib := clam.NewLibrary()
+//	lib.MustRegister(clam.Class{
+//		Name: "counter", Version: 1, Type: reflect.TypeOf(&Counter{}),
+//		New:  func(env any) (any, error) { return &Counter{}, nil },
+//	})
+//	srv := clam.NewServer(lib)
+//	ln, _ := srv.Listen("unix", "/tmp/clam.sock")
+//	defer srv.Close()
+//
+// And a client that loads the class, calls it, and receives upcalls:
+//
+//	c, _ := clam.Dial("unix", "/tmp/clam.sock")
+//	obj, _ := c.New("counter", 0)
+//	obj.Call("Add", int64(2))                       // synchronous RPC
+//	obj.Async("Add", int64(3))                      // batched, no reply
+//	var total int64
+//	obj.CallInto("Total", []any{&total})            // results
+//	obj.Call("OnChange", func(n int64) {            // distributed upcall
+//		fmt.Println("counter is now", n)            // runs in this client
+//	})
+//
+// A func passed as an RPC argument becomes a remote procedure pointer:
+// the server receives an ordinary func value whose invocation performs a
+// distributed upcall back into the registering client. A pointer to a
+// loaded class instance returned by the server becomes a *Remote handle
+// on the client, whose method calls are RPCs back into the server.
+//
+// The subsystems live in internal packages (see DESIGN.md for the map);
+// this package re-exports the public surface.
+package clam
+
+import (
+	"clam/internal/bundle"
+	"clam/internal/core"
+	"clam/internal/dynload"
+	"clam/internal/handle"
+	"clam/internal/task"
+	"clam/internal/upcall"
+	"clam/internal/wire"
+)
+
+// Core client/server types.
+type (
+	// Server hosts dynamically loaded classes and serves CLAM clients.
+	Server = core.Server
+	// ServerOption configures NewServer.
+	ServerOption = core.ServerOption
+	// Client is a CLAM client process with its two channels.
+	Client = core.Client
+	// DialOption configures Dial.
+	DialOption = core.DialOption
+	// Remote is a client-held handle to a server object.
+	Remote = core.Remote
+	// Env is what loaded class constructors receive.
+	Env = core.Env
+	// FaultReport is the error-report upcall payload.
+	FaultReport = core.FaultReport
+)
+
+// Dynamic loading types.
+type (
+	// Library is the set of classes available for loading.
+	Library = dynload.Library
+	// Class describes one loadable, versioned module.
+	Class = dynload.Class
+	// Loaded is a class loaded into a server.
+	Loaded = dynload.Loaded
+	// Fault is the error produced when loaded code panics.
+	Fault = dynload.Fault
+)
+
+// Bundling types.
+type (
+	// MethodSpec refines parameter bundling for one method.
+	MethodSpec = bundle.MethodSpec
+	// ParamSpec configures one parameter's mode and bundler.
+	ParamSpec = bundle.ParamSpec
+	// Mode is a parameter transfer direction.
+	Mode = bundle.Mode
+	// Registry holds custom bundlers.
+	Registry = bundle.Registry
+)
+
+// Parameter modes, as in the paper's const / out / inout specifiers.
+const (
+	In    = bundle.In
+	Out   = bundle.Out
+	InOut = bundle.InOut
+)
+
+// Handle is the capability type for objects that cross address spaces.
+type Handle = handle.Handle
+
+// Task types, for servers and modules that start asynchronous activities.
+type (
+	// Sched is the non-preemptive task scheduler.
+	Sched = task.Sched
+	// Task is one lightweight process.
+	Task = task.Task
+	// TaskEvent is a condition tasks block on.
+	TaskEvent = task.Event
+)
+
+// UpcallRegistry is the local registration/dispatch state a lower-level
+// object keeps (queue/discard policies included).
+type UpcallRegistry = upcall.Registry
+
+// Upcall policies for events with no registered handler.
+const (
+	// UpcallDiscard throws unclaimed events away.
+	UpcallDiscard = upcall.Discard
+	// UpcallQueue keeps unclaimed events for later replay.
+	UpcallQueue = upcall.Queue
+)
+
+// NewUpcallRegistry returns an empty upcall registry.
+func NewUpcallRegistry(opts ...upcall.Option) *UpcallRegistry {
+	return upcall.NewRegistry(opts...)
+}
+
+// WithUpcallPolicy sets a registry's no-handler policy.
+var WithUpcallPolicy = upcall.WithPolicy
+
+// SimLink wraps a net.Conn with propagation latency and a bandwidth
+// ceiling, for emulating wide-area links.
+type SimLink = wire.SimLink
+
+// NewServer returns a server drawing loadable classes from lib.
+func NewServer(lib *Library, opts ...ServerOption) *Server {
+	return core.NewServer(lib, opts...)
+}
+
+// Dial connects to a CLAM server, establishing the RPC and upcall
+// channels.
+func Dial(network, addr string, opts ...DialOption) (*Client, error) {
+	return core.Dial(network, addr, opts...)
+}
+
+// SelfDial connects a client to srv inside the same process over an
+// in-memory pipe — the degenerate layer placement, useful for tests and
+// for separating protocol cost from IPC cost.
+func SelfDial(srv *Server, opts ...DialOption) (*Client, error) {
+	return core.SelfDial(srv, opts...)
+}
+
+// NewLibrary returns an empty class library.
+func NewLibrary() *Library { return dynload.NewLibrary() }
+
+// NewSched returns a non-preemptive task scheduler with reuse enabled.
+func NewSched(opts ...task.Option) *Sched { return task.New(opts...) }
+
+// Guard runs fn, converting a panic in loaded code into a *Fault error.
+func Guard(fn func() error) error { return dynload.Guard(fn) }
+
+// RegisterStatsClass adds the built-in "stats" class (remote access to
+// Server.Metrics) to a library.
+func RegisterStatsClass(lib *Library) error { return core.RegisterStatsClass(lib) }
+
+// MetricsSnapshot is a point-in-time copy of a server's counters.
+type MetricsSnapshot = core.MetricsSnapshot
+
+// Server options.
+var (
+	// WithUpcallTimeout bounds distributed-upcall waits.
+	WithUpcallTimeout = core.WithUpcallTimeout
+	// WithServerLog directs server diagnostics.
+	WithServerLog = core.WithServerLog
+	// WithScheduler substitutes the server's task scheduler.
+	WithScheduler = core.WithScheduler
+	// WithMaxClientUpcalls relaxes the one-active-upcall-per-client
+	// limit, the future-work extension §4.4 anticipates.
+	WithMaxClientUpcalls = core.WithMaxClientUpcalls
+)
+
+// Dial options.
+var (
+	// WithDialFunc substitutes the connection dialer.
+	WithDialFunc = core.WithDialFunc
+	// WithoutClientBatching disables asynchronous call batching.
+	WithoutClientBatching = core.WithoutClientBatching
+	// WithMaxBatch sets the batch auto-flush threshold.
+	WithMaxBatch = core.WithMaxBatch
+	// WithCallTimeout bounds synchronous call round trips.
+	WithCallTimeout = core.WithCallTimeout
+	// WithClientLog directs client diagnostics.
+	WithClientLog = core.WithClientLog
+	// WithUpcallHandlers runs concurrent upcall-handler workers,
+	// pairing with WithMaxClientUpcalls.
+	WithUpcallHandlers = core.WithUpcallHandlers
+)
+
+// WithoutTaskReuse disables the scheduler's task pool (the reuse
+// ablation's baseline).
+var WithoutTaskReuse = task.WithoutReuse

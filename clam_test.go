@@ -1,0 +1,239 @@
+// Tests of the public facade: everything a downstream user touches goes
+// through package clam, exercised here exactly as the README shows.
+package clam_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"clam"
+)
+
+// Counter is the README's example class.
+type Counter struct {
+	mu        sync.Mutex
+	total     int64
+	observers []func(int64)
+}
+
+// Add increases the counter and notifies observers.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.total += n
+	total := c.total
+	obs := append(([]func(int64))(nil), c.observers...)
+	c.mu.Unlock()
+	for _, fn := range obs {
+		fn(total)
+	}
+}
+
+// Total reports the current value.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// OnChange registers an observer.
+func (c *Counter) OnChange(fn func(int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observers = append(c.observers, fn)
+}
+
+func newFacadeServer(t *testing.T) (*clam.Server, string) {
+	t.Helper()
+	lib := clam.NewLibrary()
+	lib.MustRegister(clam.Class{
+		Name:    "counter",
+		Version: 1,
+		Type:    reflect.TypeOf(&Counter{}),
+		New:     func(env any) (any, error) { return &Counter{}, nil },
+	})
+	srv := clam.NewServer(lib, clam.WithServerLog(func(string, ...any) {}))
+	sock := filepath.Join(t.TempDir(), "clam.sock")
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sock
+}
+
+func TestFacadeReadmeFlow(t *testing.T) {
+	_, sock := newFacadeServer(t)
+	c, err := clam.Dial("unix", sock, clam.WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changes := make(chan int64, 8)
+	if err := obj.Call("OnChange", func(n int64) { changes <- n }); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Async("Add", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Errorf("total = %d", total)
+	}
+	if got := <-changes; got != 2 {
+		t.Errorf("first upcall %d", got)
+	}
+	if got := <-changes; got != 5 {
+		t.Errorf("second upcall %d", got)
+	}
+}
+
+func TestFacadeSelfDial(t *testing.T) {
+	srv, _ := newFacadeServer(t)
+	c, err := clam.SelfDial(srv, clam.WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTypedStubs(t *testing.T) {
+	_, sock := newFacadeServer(t)
+	c, err := clam.Dial("unix", sock, clam.WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rem, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var api struct {
+		Add   func(int64) error
+		Total func() (int64, error)
+	}
+	if err := rem.Bind(&api); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.Add(6); err != nil {
+		t.Fatal(err)
+	}
+	total, err := api.Total()
+	if err != nil || total != 6 {
+		t.Errorf("total=%d err=%v", total, err)
+	}
+}
+
+func TestFacadeGuard(t *testing.T) {
+	err := clam.Guard(func() error {
+		var p *Counter
+		_ = p.total // fault
+		return nil
+	})
+	var fault *clam.Fault
+	if !asFault(err, &fault) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func asFault(err error, target **clam.Fault) bool {
+	for err != nil {
+		if f, ok := err.(*clam.Fault); ok {
+			*target = f
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestFacadeSchedAndEvents(t *testing.T) {
+	s := clam.NewSched()
+	defer s.Close()
+	var ev clam.TaskEvent
+	done := make(chan struct{})
+	if err := s.Spawn(func(t *clam.Task) {
+		t.Block(&ev)
+		close(done)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ev.Signal()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("event never delivered")
+	}
+}
+
+func TestFacadeUpcallRegistry(t *testing.T) {
+	r := clam.NewUpcallRegistry(clam.WithUpcallPolicy(clam.UpcallQueue))
+	// No handler yet: the event queues.
+	if _, err := r.Post("mouse", int32(1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Queued("mouse") != 1 {
+		t.Fatalf("queued = %d", r.Queued("mouse"))
+	}
+	var got int32
+	if _, err := r.Register("mouse", func(x int32) { got = x }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Replay("mouse"); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("replayed event payload = %d", got)
+	}
+}
+
+func ExampleDial() {
+	lib := clam.NewLibrary()
+	lib.MustRegister(clam.Class{
+		Name: "counter", Version: 1, Type: reflect.TypeOf(&Counter{}),
+		New: func(env any) (any, error) { return &Counter{}, nil },
+	})
+	srv := clam.NewServer(lib, clam.WithServerLog(func(string, ...any) {}))
+	defer srv.Close()
+
+	c, err := clam.SelfDial(srv, clam.WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer c.Close()
+	obj, _ := c.New("counter", 0)
+	obj.Call("Add", int64(40))
+	obj.Call("Add", int64(2))
+	var total int64
+	obj.CallInto("Total", []any{&total})
+	fmt.Println("total:", total)
+	// Output: total: 42
+}

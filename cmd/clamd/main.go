@@ -1,0 +1,117 @@
+// Command clamd runs a CLAM server: the dynamic-loading, RPC and
+// distributed-upcall engine with the window-management and protocol-stack
+// class libraries available for loading. The server binary itself
+// contains no application behavior until a client loads a class (§2).
+//
+// Usage:
+//
+//	clamd -listen unix:/tmp/clam.sock
+//	clamd -listen tcp:127.0.0.1:7047 -width 640 -height 480
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"clam"
+	"clam/internal/benchlib"
+	"clam/internal/proto"
+	"clam/internal/wm"
+)
+
+func main() {
+	listen := flag.String("listen", "unix:/tmp/clam.sock", "address to serve, as network:address (unix:PATH or tcp:HOST:PORT)")
+	width := flag.Int("width", 640, "simulated display width")
+	height := flag.Int("height", 480, "simulated display height")
+	quiet := flag.Bool("quiet", false, "suppress per-session diagnostics")
+	flag.Parse()
+
+	network, addr, ok := strings.Cut(*listen, ":")
+	if !ok || (network != "unix" && network != "tcp") {
+		log.Fatalf("clamd: bad -listen %q; want unix:PATH or tcp:HOST:PORT", *listen)
+	}
+
+	lib := clam.NewLibrary()
+	wm.MustRegister(lib, wm.Config{Width: int16(*width), Height: int16(*height)})
+	proto.MustRegister(lib)
+	if err := benchlib.Register(lib); err != nil {
+		log.Fatal(err)
+	}
+	if err := clam.RegisterStatsClass(lib); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := []clam.ServerOption{}
+	if *quiet {
+		opts = append(opts, clam.WithServerLog(func(string, ...any) {}))
+	}
+	srv := clam.NewServer(lib, opts...)
+
+	// Bootstrap the base abstractions clients expect, per §4.2.
+	sobj, _, err := srv.CreateInstance("screen", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("screen", sobj)
+	wobj, _, err := srv.CreateInstance("window", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("basewindow", wobj)
+	fobj, _, err := srv.CreateInstance("framer", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("framer", fobj)
+	tobj, _, err := srv.CreateInstance("transport", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("transport", tobj)
+	aobj, _, err := srv.CreateInstance("assembler", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("assembler", aobj)
+	eobj, _, err := srv.CreateInstance("echo", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("echo", eobj)
+	pobj, _, err := srv.CreateInstance("pinger", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.SetNamed("pinger", pobj)
+
+	if network == "unix" {
+		os.Remove(addr) // stale socket from a previous run
+	}
+	ln, err := srv.Listen(network, addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clamd: serving on %s:%s (display %dx%d); classes: %s\n",
+		network, ln.Addr(), *width, *height, strings.Join(lib.Names(), ", "))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	m := srv.Metrics()
+	fmt.Printf("clamd: shutting down — %d sync + %d async calls in %d batches, %d upcalls (%d failed), %d loads, %d faults\n",
+		m.SyncCalls, m.AsyncCalls, m.Batches, m.Upcalls, m.UpcallFailures, m.Loads, m.Faults)
+	if top := m.TopCalls(5); len(top) > 0 {
+		fmt.Printf("clamd: busiest methods: %v\n", top)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if network == "unix" {
+		os.Remove(addr)
+	}
+}

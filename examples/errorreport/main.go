@@ -1,0 +1,98 @@
+// Errorreport: the paper's §4.3 fault-handling pattern. A buggy class is
+// dynamically loaded into the server; the server catches its faults
+// (memory errors, divide by zero) instead of crashing, keeps serving, and
+// notifies the client with an error-report upcall carried by a fresh
+// task. Run with: go run ./examples/errorreport
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"clam"
+)
+
+// Flaky is a user-supplied module with bugs the server must survive.
+type Flaky struct {
+	divisor int64
+	items   []string
+}
+
+// SetDivisor configures the class; zero plants a divide-by-zero bomb.
+func (f *Flaky) SetDivisor(n int64) { f.divisor = n }
+
+// Ratio divides — and faults when the divisor was left at zero.
+func (f *Flaky) Ratio(x int64) int64 {
+	return x / f.divisor // divide by zero when misconfigured
+}
+
+// Item indexes without a bounds check — the paper's memory fault.
+func (f *Flaky) Item(i int64) string {
+	return f.items[i]
+}
+
+// Fine is a healthy method proving the instance still works after faults.
+func (f *Flaky) Fine() int64 { return 42 }
+
+func main() {
+	lib := clam.NewLibrary()
+	lib.MustRegister(clam.Class{
+		Name:    "flaky",
+		Version: 1,
+		Type:    reflect.TypeOf(&Flaky{}),
+		New:     func(env any) (any, error) { return &Flaky{}, nil },
+	})
+	srv := clam.NewServer(lib, clam.WithServerLog(func(string, ...any) {}))
+	defer srv.Close()
+
+	dir, err := os.MkdirTemp("", "clam-errorreport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "clam.sock")
+	if _, err := srv.Listen("unix", sock); err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := clam.Dial("unix", sock, clam.WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Register for error-report upcalls before poking the faulty class.
+	reports := make(chan clam.FaultReport, 4)
+	c.OnFault(func(r clam.FaultReport) { reports <- r })
+
+	flaky, err := c.New("flaky", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Synchronous call: the fault comes back as the call's status.
+	var out int64
+	err = flaky.CallInto("Ratio", []any{&out}, int64(10))
+	fmt.Printf("sync fault reported to caller: %v\n", err != nil)
+
+	// Asynchronous call: no reply exists, so the server starts a task
+	// that reports the fault on the upcall channel.
+	if err := flaky.Async("Item", int64(99)); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	r := <-reports
+	fmt.Printf("async fault upcall: class=%s method=%s\n", r.Class, r.Method)
+
+	// The server survived both faults; the class still answers.
+	var fine int64
+	if err := flaky.CallInto("Fine", []any{&fine}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server alive, healthy method returns %d\n", fine)
+}

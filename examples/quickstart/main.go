@@ -1,0 +1,121 @@
+// Quickstart: a CLAM server with one loadable class, and a client that
+// loads it, calls it synchronously and asynchronously, and receives a
+// distributed upcall. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+
+	"clam"
+)
+
+// Counter is the class we will load into the server. It is ordinary Go
+// code: the only distribution-aware part is that OnChange stores func
+// values, which arrive as distributed-upcall proxies when registered from
+// another address space.
+type Counter struct {
+	mu        sync.Mutex
+	total     int64
+	observers []func(int64)
+}
+
+// Add increases the counter and upcalls every observer with the new
+// total.
+func (c *Counter) Add(n int64) {
+	c.mu.Lock()
+	c.total += n
+	total := c.total
+	obs := append(([]func(int64))(nil), c.observers...)
+	c.mu.Unlock()
+	for _, fn := range obs {
+		fn(total)
+	}
+}
+
+// Total returns the current value.
+func (c *Counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// OnChange registers an observer procedure.
+func (c *Counter) OnChange(fn func(int64)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observers = append(c.observers, fn)
+}
+
+func main() {
+	// --- server side -----------------------------------------------------
+	lib := clam.NewLibrary()
+	lib.MustRegister(clam.Class{
+		Name:    "counter",
+		Version: 1,
+		Type:    reflect.TypeOf(&Counter{}),
+		New:     func(env any) (any, error) { return &Counter{}, nil },
+	})
+	srv := clam.NewServer(lib)
+	defer srv.Close()
+
+	dir, err := os.MkdirTemp("", "clam-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	sock := filepath.Join(dir, "clam.sock")
+	if _, err := srv.Listen("unix", sock); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- client side -------------------------------------------------------
+	c, err := clam.Dial("unix", sock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Dynamically load the class and create an instance in the server.
+	counter, err := c.New("counter", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Register for upcalls: this func runs here, in the client, whenever
+	// the server-side counter changes.
+	changes := make(chan int64, 16)
+	if err := counter.Call("OnChange", func(total int64) {
+		changes <- total
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// A synchronous call: the upcall fires during it.
+	if err := counter.Call("Add", int64(40)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("upcall saw total:", <-changes)
+
+	// Asynchronous calls batch into one message; Sync flushes and waits.
+	for i := 0; i < 2; i++ {
+		if err := counter.Async("Add", int64(1)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("upcall saw total:", <-changes)
+	fmt.Println("upcall saw total:", <-changes)
+
+	var total int64
+	if err := counter.CallInto("Total", []any{&total}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final total:", total)
+}

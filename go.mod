@@ -1,0 +1,3 @@
+module clam
+
+go 1.22

@@ -1,0 +1,188 @@
+// Package benchlib holds the minimal classes and fixtures behind the
+// Figure 5.1 reproduction (procedure-call costs) and the ablation
+// benchmarks. They are deliberately tiny: each row of the paper's table
+// measures pure call mechanism, so the procedures must do no work.
+package benchlib
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"clam/internal/core"
+	"clam/internal/dynload"
+	"clam/internal/wire"
+)
+
+// Pinger is the leaf class: its procedures do nothing, so a call's cost
+// is all mechanism.
+type Pinger struct {
+	calls int64
+}
+
+// Ping is the empty synchronous procedure (rows d, f, h of Figure 5.1
+// call it remotely).
+func (p *Pinger) Ping() int64 {
+	p.calls++
+	return p.calls
+}
+
+// Calls reports how many pings have landed.
+func (p *Pinger) Calls() int64 { return p.calls }
+
+//go:noinline
+func staticLeaf(n int64) int64 { return n + 1 }
+
+// StaticCall is the row-a baseline: a statically linked procedure call.
+// It is marked noinline so the call actually happens.
+func StaticCall(n int64) int64 { return staticLeaf(n) }
+
+// Relay is a loaded class that calls another loaded class with a normal
+// procedure call — row b: "dynamically loaded procedure calling another
+// dynamically loaded procedure".
+type Relay struct {
+	target *Pinger
+}
+
+// SetTarget wires the relay to its peer module (done server-side after
+// both are loaded).
+func (r *Relay) SetTarget(p *Pinger) { r.target = p }
+
+// Relay calls the peer module's procedure.
+//
+//go:noinline
+func (r *Relay) Relay() int64 { return r.target.Ping() }
+
+// Echo is the upcall class: a client registers a procedure and the server
+// invokes it — rows e, g, i measure that invocation.
+type Echo struct {
+	mu sync.Mutex
+	fn func(int64) int64
+}
+
+// Register stores the procedure pointer (a RUC proxy when the registrant
+// is remote).
+func (e *Echo) Register(fn func(int64) int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fn = fn
+}
+
+// Proc returns the stored procedure for server-side invocation.
+func (e *Echo) Proc() func(int64) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fn
+}
+
+// Call invokes the registered procedure once with x — lets a client
+// drive one upcall through a normal call when the bench cannot reach the
+// server object directly.
+func (e *Echo) Call(x int64) (int64, error) {
+	fn := e.Proc()
+	if fn == nil {
+		return 0, fmt.Errorf("benchlib: no registered procedure")
+	}
+	return fn(x), nil
+}
+
+// Register adds the benchmark classes to lib.
+func Register(lib *dynload.Library) error {
+	classes := []dynload.Class{
+		{
+			Name: "pinger", Version: 1, Type: reflect.TypeOf(&Pinger{}),
+			New: func(any) (any, error) { return &Pinger{}, nil },
+		},
+		{
+			Name: "relay", Version: 1, Type: reflect.TypeOf(&Relay{}),
+			New: func(any) (any, error) { return &Relay{}, nil },
+		},
+		{
+			Name: "echo", Version: 1, Type: reflect.TypeOf(&Echo{}),
+			New: func(any) (any, error) { return &Echo{}, nil },
+		},
+	}
+	for _, c := range classes {
+		if err := lib.Register(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fixture is a booted benchmark server plus addressing information.
+type Fixture struct {
+	Server  *core.Server
+	Network string
+	Addr    string
+	// Echo is the server-side echo instance, for driving upcalls from
+	// the measurement loop.
+	Echo *Echo
+	// Pinger is the server-side leaf instance.
+	Pinger *Pinger
+}
+
+// Boot starts a benchmark server on the given network ("unix" listens on
+// dir/clam.sock; "tcp" on loopback) with the benchmark classes loaded and
+// echo/pinger instances published.
+func Boot(network, dir string, opts ...core.ServerOption) (*Fixture, error) {
+	lib := dynload.NewLibrary()
+	if err := Register(lib); err != nil {
+		return nil, err
+	}
+	opts = append([]core.ServerOption{
+		core.WithServerLog(func(string, ...any) {}),
+	}, opts...)
+	srv := core.NewServer(lib, opts...)
+
+	eObj, _, err := srv.CreateInstance("echo", 0, nil)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.SetNamed("echo", eObj)
+	pObj, _, err := srv.CreateInstance("pinger", 0, nil)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	srv.SetNamed("pinger", pObj)
+
+	var addr string
+	switch network {
+	case "unix":
+		addr = dir + "/clam.sock"
+	case "tcp":
+		addr = "127.0.0.1:0"
+	default:
+		srv.Close()
+		return nil, fmt.Errorf("benchlib: unsupported network %q", network)
+	}
+	ln, err := srv.Listen(network, addr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	return &Fixture{
+		Server:  srv,
+		Network: network,
+		Addr:    ln.Addr().String(),
+		Echo:    eObj.(*Echo),
+		Pinger:  pObj.(*Pinger),
+	}, nil
+}
+
+// WANDialer returns a dial function that inserts a simulated wide-area
+// link (one-way latency, bandwidth ceiling) into every connection — the
+// substitution for the paper's second machine (rows h, i).
+func WANDialer(latency time.Duration, bytesPerSec int64) func(network, addr string) (net.Conn, error) {
+	return func(network, addr string) (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewSimLink(conn, latency, bytesPerSec), nil
+	}
+}

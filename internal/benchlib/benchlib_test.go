@@ -1,0 +1,118 @@
+package benchlib
+
+import (
+	"testing"
+	"time"
+
+	"clam/internal/core"
+	"clam/internal/dynload"
+)
+
+func TestStaticCall(t *testing.T) {
+	if StaticCall(41) != 42 {
+		t.Error("StaticCall broken")
+	}
+}
+
+func TestRelayCallsTarget(t *testing.T) {
+	p := &Pinger{}
+	r := &Relay{}
+	r.SetTarget(p)
+	if r.Relay() != 1 || r.Relay() != 2 {
+		t.Error("relay sequence wrong")
+	}
+	if p.Calls() != 2 {
+		t.Errorf("calls = %d", p.Calls())
+	}
+}
+
+func TestEchoRegisterAndCall(t *testing.T) {
+	e := &Echo{}
+	if _, err := e.Call(1); err == nil {
+		t.Error("call before registration succeeded")
+	}
+	e.Register(func(x int64) int64 { return x * 3 })
+	got, err := e.Call(7)
+	if err != nil || got != 21 {
+		t.Errorf("Call = %d, %v", got, err)
+	}
+	if e.Proc() == nil {
+		t.Error("Proc lost registration")
+	}
+}
+
+func TestRegisterClasses(t *testing.T) {
+	lib := dynload.NewLibrary()
+	if err := Register(lib); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"pinger", "relay", "echo"} {
+		if _, err := lib.Lookup(name, 0); err != nil {
+			t.Errorf("%s missing: %v", name, err)
+		}
+	}
+	if err := Register(lib); err == nil {
+		t.Error("double registration succeeded")
+	}
+}
+
+func TestBootUnixAndTCP(t *testing.T) {
+	for _, network := range []string{"unix", "tcp"} {
+		fx, err := Boot(network, t.TempDir())
+		if err != nil {
+			t.Fatalf("%s: %v", network, err)
+		}
+		c, err := core.Dial(fx.Network, fx.Addr, core.WithClientLog(func(string, ...any) {}))
+		if err != nil {
+			fx.Server.Close()
+			t.Fatalf("%s dial: %v", network, err)
+		}
+		rem, err := c.NamedObject("pinger")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		if err := rem.CallInto("Ping", []any{&n}); err != nil || n != 1 {
+			t.Errorf("%s ping: n=%d err=%v", network, n, err)
+		}
+		if fx.Pinger.Calls() != 1 {
+			t.Errorf("server-side pinger saw %d calls", fx.Pinger.Calls())
+		}
+		c.Close()
+		fx.Server.Close()
+	}
+}
+
+func TestBootRejectsUnknownNetwork(t *testing.T) {
+	if _, err := Boot("udp", t.TempDir()); err == nil {
+		t.Error("udp boot succeeded")
+	}
+}
+
+func TestWANDialerAddsLatency(t *testing.T) {
+	fx, err := Boot("tcp", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Server.Close()
+	const lat = 5 * time.Millisecond
+	c, err := core.Dial(fx.Network, fx.Addr,
+		core.WithClientLog(func(string, ...any) {}),
+		core.WithDialFunc(WANDialer(lat, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rem, err := c.NamedObject("pinger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	start := time.Now()
+	if err := rem.CallInto("Ping", []any{&n}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < lat {
+		t.Errorf("call took %v, want >= link latency %v", elapsed, lat)
+	}
+}

@@ -1,0 +1,558 @@
+// Package bundle implements CLAM's parameter-bundling framework (ICDCS
+// 1988, §3). Bundling converts a data object between its internal
+// representation and a machine-independent form; unbundling is the reverse.
+//
+// The paper integrates stub generation with the C++ compiler so that "the
+// compiler uses the available syntactic and typing information to
+// automatically generate bundlers for most remote parameters". Go has no
+// compiler plugin, but reflection exposes the same type information at
+// registration time, so this package takes the paper's middle ground in Go
+// terms:
+//
+//   - Automatic bundlers are compiled (once, cached) for primitive types,
+//     strings, pointer-free structs, arrays, slices and maps.
+//   - The default bundler for a pointer does NOT take the transitive
+//     closure; it bundles only the object referred to, with any nested
+//     pointers sent as nil (§3.5: "it bundles only the object referred to
+//     by the pointer").
+//   - Programmer-defined bundlers can be associated with a type — the Go
+//     analogue of the paper's "typedef Point* PointPtr @ pt_bundler()" — or
+//     attached to an individual struct field with a `clam:"bundler=name"`
+//     tag or to an individual RPC parameter, the analogue of the in-place
+//     "@" specification of Figure 3.1. In-place bundlers win over
+//     typedef-style ones, as in the paper.
+//   - Two special pointer kinds are bundled automatically through hooks
+//     supplied by the session (§3.5): pointers to objects (class instances,
+//     which travel as handles) and pointers to procedures (which travel as
+//     remote-upcall descriptors). The hooks live on the Ctx so this package
+//     stays independent of the handle and RUC machinery.
+//
+// Every bundler is bidirectional: the same function encodes or decodes
+// depending on the xdr.Stream operation, per the three bundler rules of
+// §3.3 (first parameter and result share the bundled type; bidirectional;
+// no global state — per-call state lives on the Ctx).
+package bundle
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"clam/internal/xdr"
+)
+
+// Mode declares the direction a parameter travels, mirroring the paper's
+// const / out / inout parameter specifiers that let the compiler elide
+// bundling in one direction (§3.2).
+type Mode int
+
+const (
+	// In parameters travel caller→callee only (the paper's const).
+	In Mode = iota + 1
+	// Out parameters travel callee→caller only (result parameters).
+	Out
+	// InOut parameters travel in both directions.
+	InOut
+)
+
+// String returns the paper's specifier name for the mode.
+func (m Mode) String() string {
+	switch m {
+	case In:
+		return "const"
+	case Out:
+		return "out"
+	case InOut:
+		return "inout"
+	default:
+		return fmt.Sprintf("bundle.Mode(%d)", int(m))
+	}
+}
+
+// ObjectHook bundles pointers to class instances across address spaces,
+// converting between object pointers and handles (§3.5.1). Implemented by
+// the session layer.
+type ObjectHook interface {
+	// IsClass reports whether t (a non-pointer struct type) is a loaded
+	// class whose instances must travel as handles.
+	IsClass(t reflect.Type) bool
+	// BundleObject bidirectionally converts v (of kind Ptr to a class
+	// struct; settable when decoding) to or from a handle on s.
+	BundleObject(s *xdr.Stream, v reflect.Value) error
+}
+
+// ProcHook bundles pointers to procedures, converting between func values
+// and remote-upcall descriptors (§3.5.2). Implemented by the session layer.
+type ProcHook interface {
+	// BundleProc bidirectionally converts v (of kind Func; settable when
+	// decoding) to or from an upcall descriptor on s.
+	BundleProc(s *xdr.Stream, v reflect.Value) error
+}
+
+// Ctx carries the per-call state a bundler may need. It replaces the global
+// variables the paper forbids bundlers to touch: "since the server may have
+// multiple threads of execution, global state might change unpredictably"
+// (§3.3). A fresh Ctx is created for every call.
+type Ctx struct {
+	// Objects handles class-instance pointers; nil outside a session.
+	Objects ObjectHook
+	// Procs handles procedure pointers; nil outside a session.
+	Procs ProcHook
+
+	// closure state for transitive-closure bundlers (the rpcgen-style
+	// baseline of §3.1), lazily allocated.
+	encSeen map[uintptr]uint32
+	decSeen map[uint32]reflect.Value
+	nextID  uint32
+}
+
+// Func is a compiled bidirectional bundler. v must be settable when s is
+// decoding.
+type Func func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error
+
+// Bundling errors.
+var (
+	ErrNoBundler    = errors.New("bundle: no bundler for type")
+	ErrNoObjectHook = errors.New("bundle: object pointer crossed without a session object hook")
+	ErrNoProcHook   = errors.New("bundle: procedure pointer crossed without a session proc hook")
+)
+
+// Registry compiles and caches bundlers. It plays the role of the paper's
+// stub compiler: given a type, it either finds a programmer-registered
+// bundler or generates one from type information.
+type Registry struct {
+	mu           sync.RWMutex
+	custom       map[reflect.Type]Func // typedef-style associations
+	named        map[string]Func       // in-place-style, referenced by tags/specs
+	cache        map[reflect.Type]Func
+	closureCache map[reflect.Type]Func
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		custom: make(map[reflect.Type]Func),
+		named:  make(map[string]Func),
+		cache:  make(map[reflect.Type]Func),
+	}
+}
+
+// RegisterType associates f with t, so every parameter of type t bundles
+// through f — the analogue of binding a bundler in a typedef (Figure 3.1's
+// "typedef Point* PointPtr @ pt_bundler()").
+func (r *Registry) RegisterType(t reflect.Type, f Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.custom[t] = f
+	delete(r.cache, t) // recompile anything that cached the automatic path
+}
+
+// RegisterNamed registers f under name for in-place use via struct tags
+// (`clam:"bundler=name"`) or per-parameter specs — the analogue of the
+// paper's in-place "@ pt_bundler()" syntax.
+func (r *Registry) RegisterNamed(name string, f Func) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.named[name] = f
+}
+
+// Named returns the bundler registered under name.
+func (r *Registry) Named(name string) (Func, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.named[name]
+	if !ok {
+		return nil, fmt.Errorf("bundle: no named bundler %q", name)
+	}
+	return f, nil
+}
+
+// Compile returns a bundler for t, generating one automatically if the
+// programmer has not registered a custom bundler. Compilation is memoized.
+func (r *Registry) Compile(t reflect.Type) (Func, error) {
+	r.mu.RLock()
+	if f, ok := r.custom[t]; ok {
+		r.mu.RUnlock()
+		return f, nil
+	}
+	if f, ok := r.cache[t]; ok {
+		r.mu.RUnlock()
+		return f, nil
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.compileLocked(t, false)
+}
+
+// compileLocked generates a bundler for t. insidePtr marks compilation of a
+// pointee reached through a default pointer bundler: nested pointers there
+// are bundled as nil, implementing the paper's non-transitive default.
+func (r *Registry) compileLocked(t reflect.Type, insidePtr bool) (Func, error) {
+	if f, ok := r.custom[t]; ok {
+		return f, nil
+	}
+	if !insidePtr {
+		if f, ok := r.cache[t]; ok {
+			return f, nil
+		}
+	}
+
+	// Break recursion on self-referential structs: install a forwarding
+	// thunk before compiling the body. Only top-level compilations are
+	// cached; insidePtr variants differ per context.
+	var fwd Func
+	if !insidePtr {
+		var real Func
+		fwd = func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			return real(ctx, s, v)
+		}
+		r.cache[t] = fwd
+		f, err := r.generate(t, insidePtr)
+		if err != nil {
+			delete(r.cache, t)
+			return nil, err
+		}
+		real = f
+		return fwd, nil
+	}
+	return r.generate(t, insidePtr)
+}
+
+func (r *Registry) generate(t reflect.Type, insidePtr bool) (Func, error) {
+	switch t.Kind() {
+	case reflect.Bool:
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			b := v.Bool()
+			if err := s.Bool(&b); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.SetBool(b)
+			}
+			return nil
+		}, nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			x := v.Int()
+			if err := s.Int64(&x); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				if v.OverflowInt(x) {
+					return fmt.Errorf("bundle: value %d overflows %s", x, v.Type())
+				}
+				v.SetInt(x)
+			}
+			return nil
+		}, nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			x := v.Uint()
+			if err := s.Uint64(&x); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				if v.OverflowUint(x) {
+					return fmt.Errorf("bundle: value %d overflows %s", x, v.Type())
+				}
+				v.SetUint(x)
+			}
+			return nil
+		}, nil
+	case reflect.Float32, reflect.Float64:
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			x := v.Float()
+			if err := s.Float64(&x); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.SetFloat(x)
+			}
+			return nil
+		}, nil
+	case reflect.String:
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			x := v.String()
+			if err := s.String(&x); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.SetString(x)
+			}
+			return nil
+		}, nil
+	case reflect.Struct:
+		return r.generateStruct(t, insidePtr)
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			// Fast path: []byte as XDR variable-length opaque.
+			return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+				b := v.Bytes()
+				if err := s.Bytes(&b); err != nil {
+					return err
+				}
+				if s.Op() == xdr.Decode {
+					v.SetBytes(b)
+				}
+				return nil
+			}, nil
+		}
+		elem, err := r.compileLocked(t.Elem(), insidePtr)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			n := v.Len()
+			if err := s.Len(&n); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.Set(reflect.MakeSlice(t, n, n))
+			}
+			for i := 0; i < n; i++ {
+				if err := elem(ctx, s, v.Index(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case reflect.Array:
+		elem, err := r.compileLocked(t.Elem(), insidePtr)
+		if err != nil {
+			return nil, err
+		}
+		n := t.Len()
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			for i := 0; i < n; i++ {
+				if err := elem(ctx, s, v.Index(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case reflect.Map:
+		return r.generateMap(t, insidePtr)
+	case reflect.Ptr:
+		return r.generatePtr(t, insidePtr)
+	case reflect.Func:
+		// §3.5.2: procedure pointers bundle through the session's RUC
+		// machinery. The hook is consulted at call time.
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			if ctx == nil || ctx.Procs == nil {
+				return fmt.Errorf("%w (%s)", ErrNoProcHook, t)
+			}
+			return ctx.Procs.BundleProc(s, v)
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %s (kind %s)", ErrNoBundler, t, t.Kind())
+	}
+}
+
+func (r *Registry) generateStruct(t reflect.Type, insidePtr bool) (Func, error) {
+	type fieldBundler struct {
+		idx int
+		f   Func
+	}
+	var fields []fieldBundler
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		if !sf.IsExported() {
+			continue // unexported state stays home, like private C++ members
+		}
+		tag := sf.Tag.Get("clam")
+		if tag == "-" {
+			continue
+		}
+		var f Func
+		var err error
+		if name, ok := tagBundler(tag); ok {
+			// In-place bundler: wins over any typedef-style registration,
+			// as in the paper ("the in place bundler will be used").
+			f, err = r.namedLocked(name)
+		} else {
+			f, err = r.compileLocked(sf.Type, insidePtr)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bundle: field %s.%s: %w", t, sf.Name, err)
+		}
+		fields = append(fields, fieldBundler{idx: i, f: f})
+	}
+	return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+		for _, fb := range fields {
+			if err := fb.f(ctx, s, v.Field(fb.idx)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (r *Registry) namedLocked(name string) (Func, error) {
+	f, ok := r.named[name]
+	if !ok {
+		return nil, fmt.Errorf("bundle: no named bundler %q", name)
+	}
+	return f, nil
+}
+
+func tagBundler(tag string) (string, bool) {
+	for _, part := range strings.Split(tag, ",") {
+		if name, ok := strings.CutPrefix(part, "bundler="); ok && name != "" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func (r *Registry) generateMap(t reflect.Type, insidePtr bool) (Func, error) {
+	key, err := r.compileLocked(t.Key(), insidePtr)
+	if err != nil {
+		return nil, err
+	}
+	elem, err := r.compileLocked(t.Elem(), insidePtr)
+	if err != nil {
+		return nil, err
+	}
+	canSort := isOrderedKind(t.Key().Kind())
+	return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+		switch s.Op() {
+		case xdr.Encode:
+			n := v.Len()
+			if err := s.Len(&n); err != nil {
+				return err
+			}
+			keys := v.MapKeys()
+			if canSort {
+				sortKeys(keys)
+			}
+			for _, k := range keys {
+				if err := key(ctx, s, k); err != nil {
+					return err
+				}
+				if err := elem(ctx, s, v.MapIndex(k)); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			var n int
+			if err := s.Len(&n); err != nil {
+				return err
+			}
+			m := reflect.MakeMapWithSize(t, n)
+			for i := 0; i < n; i++ {
+				k := reflect.New(t.Key()).Elem()
+				e := reflect.New(t.Elem()).Elem()
+				if err := key(ctx, s, k); err != nil {
+					return err
+				}
+				if err := elem(ctx, s, e); err != nil {
+					return err
+				}
+				m.SetMapIndex(k, e)
+			}
+			v.Set(m)
+			return nil
+		}
+	}, nil
+}
+
+func isOrderedKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Bool, reflect.String,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	default:
+		return false
+	}
+}
+
+func sortKeys(keys []reflect.Value) {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		switch a.Kind() {
+		case reflect.Bool:
+			return !a.Bool() && b.Bool()
+		case reflect.String:
+			return a.String() < b.String()
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			return a.Int() < b.Int()
+		case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+			return a.Uint() < b.Uint()
+		case reflect.Float32, reflect.Float64:
+			return a.Float() < b.Float()
+		default:
+			return false
+		}
+	})
+}
+
+func (r *Registry) generatePtr(t reflect.Type, insidePtr bool) (Func, error) {
+	elemT := t.Elem()
+
+	// Object pointers travel as handles when a session hook recognizes the
+	// class (§3.5.1). The check happens at bundle time because class sets
+	// are per-session and change as modules load.
+	var pointee Func
+	var pointeeErr error
+	if insidePtr {
+		// The paper's default bundler is non-transitive: a pointer nested
+		// inside a bundled pointee travels as nil.
+		pointee = nil
+	} else {
+		pointee, pointeeErr = r.compileLocked(elemT, true)
+	}
+
+	return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+		if ctx != nil && ctx.Objects != nil && elemT.Kind() == reflect.Struct && ctx.Objects.IsClass(elemT) {
+			return ctx.Objects.BundleObject(s, v)
+		}
+		if insidePtr {
+			// Nested pointer under the default bundler: always nil.
+			var isNil = true
+			if err := s.Bool(&isNil); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.Set(reflect.Zero(t))
+			}
+			return nil
+		}
+		if pointeeErr != nil {
+			return pointeeErr
+		}
+		notNil := !v.IsNil()
+		if err := s.Bool(&notNil); err != nil {
+			return err
+		}
+		if !notNil {
+			if s.Op() == xdr.Decode {
+				v.Set(reflect.Zero(t))
+			}
+			return nil
+		}
+		if s.Op() == xdr.Decode && v.IsNil() {
+			// Allocate space when unbundling into a nil pointer, exactly
+			// as the Figure 3.2 bundler does.
+			v.Set(reflect.New(elemT))
+		}
+		return pointee(ctx, s, v.Elem())
+	}, nil
+}
+
+// MustCompile is Compile but panics on error; for package initialization of
+// well-known types.
+func (r *Registry) MustCompile(t reflect.Type) Func {
+	f, err := r.Compile(t)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

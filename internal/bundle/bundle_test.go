@@ -1,0 +1,604 @@
+package bundle
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clam/internal/xdr"
+)
+
+// roundTrip bundles v through a registry-compiled bundler and returns the
+// decoded copy and the number of encoded bytes.
+func roundTrip(t *testing.T, r *Registry, v any) (any, int) {
+	t.Helper()
+	typ := reflect.TypeOf(v)
+	f, err := r.Compile(typ)
+	if err != nil {
+		t.Fatalf("compile %s: %v", typ, err)
+	}
+	var buf bytes.Buffer
+	enc := xdr.NewEncoder(&buf)
+	if err := f(&Ctx{}, enc, reflect.ValueOf(v)); err != nil {
+		t.Fatalf("encode %s: %v", typ, err)
+	}
+	n := buf.Len()
+	dec := xdr.NewDecoder(&buf)
+	out := reflect.New(typ).Elem()
+	if err := f(&Ctx{}, dec, out); err != nil {
+		t.Fatalf("decode %s: %v", typ, err)
+	}
+	return out.Interface(), n
+}
+
+func TestModeString(t *testing.T) {
+	if In.String() != "const" || Out.String() != "out" || InOut.String() != "inout" {
+		t.Errorf("mode names: %v %v %v", In, Out, InOut)
+	}
+	if !strings.Contains(Mode(9).String(), "9") {
+		t.Errorf("unknown mode: %v", Mode(9))
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	r := NewRegistry()
+	cases := []any{
+		int(-5), int8(-8), int16(300), int32(-70000), int64(1 << 40),
+		uint(5), uint8(200), uint16(60000), uint32(1 << 30), uint64(1 << 50),
+		float32(1.5), float64(math.Pi), true, false, "hello", "",
+	}
+	for _, want := range cases {
+		got, _ := roundTrip(t, r, want)
+		if got != want {
+			t.Errorf("%T round trip: got %v want %v", want, got, want)
+		}
+	}
+}
+
+func TestOverflowDetected(t *testing.T) {
+	r := NewRegistry()
+	// Encode an int64 too big for int8, decode through the int8 bundler.
+	f64 := r.MustCompile(reflect.TypeOf(int64(0)))
+	f8, err := r.Compile(reflect.TypeOf(int8(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	big := int64(1000)
+	if err := f64(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(big)); err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf(int8(0))).Elem()
+	if err := f8(&Ctx{}, xdr.NewDecoder(&buf), out); err == nil {
+		t.Error("decoding 1000 into int8 succeeded, want overflow error")
+	}
+}
+
+type flatStruct struct {
+	A int32
+	B string
+	C bool
+	d int // unexported: must not travel
+	E float64
+}
+
+func TestFlatStruct(t *testing.T) {
+	r := NewRegistry()
+	want := flatStruct{A: 7, B: "x", C: true, d: 99, E: 2.5}
+	got, _ := roundTrip(t, r, want)
+	g := got.(flatStruct)
+	if g.A != 7 || g.B != "x" || !g.C || g.E != 2.5 {
+		t.Errorf("got %+v", g)
+	}
+	if g.d != 0 {
+		t.Errorf("unexported field crossed the wire: %d", g.d)
+	}
+}
+
+type skipStruct struct {
+	Keep int32
+	Drop string `clam:"-"`
+}
+
+func TestSkipTag(t *testing.T) {
+	r := NewRegistry()
+	got, _ := roundTrip(t, r, skipStruct{Keep: 3, Drop: "secret"})
+	g := got.(skipStruct)
+	if g.Keep != 3 {
+		t.Errorf("Keep = %d", g.Keep)
+	}
+	if g.Drop != "" {
+		t.Errorf("tagged-out field crossed the wire: %q", g.Drop)
+	}
+}
+
+func TestSlicesArraysMaps(t *testing.T) {
+	r := NewRegistry()
+
+	s := []int32{1, 2, 3}
+	got, _ := roundTrip(t, r, s)
+	if !reflect.DeepEqual(got, s) {
+		t.Errorf("slice: got %v", got)
+	}
+
+	b := []byte{1, 2, 3, 4, 5}
+	got, _ = roundTrip(t, r, b)
+	if !bytes.Equal(got.([]byte), b) {
+		t.Errorf("bytes: got %v", got)
+	}
+
+	a := [4]int16{9, 8, 7, 6}
+	got, _ = roundTrip(t, r, a)
+	if got != a {
+		t.Errorf("array: got %v", got)
+	}
+
+	m := map[string]int32{"x": 1, "y": 2}
+	got, _ = roundTrip(t, r, m)
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("map: got %v", got)
+	}
+
+	var empty []int32
+	got, _ = roundTrip(t, r, empty)
+	if len(got.([]int32)) != 0 {
+		t.Errorf("empty slice: got %v", got)
+	}
+}
+
+func TestMapEncodingDeterministic(t *testing.T) {
+	r := NewRegistry()
+	m := map[int32]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	f := r.MustCompile(reflect.TypeOf(m))
+	var first []byte
+	for i := 0; i < 10; i++ {
+		var buf bytes.Buffer
+		if err := f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(m)); err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = buf.Bytes()
+		} else if !bytes.Equal(first, buf.Bytes()) {
+			t.Fatal("map encoding is nondeterministic across runs")
+		}
+	}
+}
+
+type pointStruct struct{ X, Y, Z int16 }
+
+func TestPointerDefaultShallow(t *testing.T) {
+	r := NewRegistry()
+	p := &pointStruct{X: 1, Y: 2, Z: 3}
+	got, _ := roundTrip(t, r, p)
+	g := got.(*pointStruct)
+	if g == nil || *g != *p {
+		t.Errorf("got %+v want %+v", g, p)
+	}
+
+	var nilP *pointStruct
+	got, _ = roundTrip(t, r, nilP)
+	if got.(*pointStruct) != nil {
+		t.Errorf("nil pointer round trip: got %v", got)
+	}
+}
+
+// The paper's default pointer bundler "does not make a transitive closure
+// of pointers; it bundles only the object referred to by the pointer". A
+// tree node's children must therefore arrive nil.
+func TestDefaultPointerIsNotTransitive(t *testing.T) {
+	r := NewRegistry()
+	root := NewTree(3) // 7 nodes
+	got, n := roundTrip(t, r, root)
+	g := got.(*TreeNode)
+	if g == nil {
+		t.Fatal("root lost")
+	}
+	if g.Key != root.Key || g.Val != root.Val {
+		t.Errorf("node payload: got %+v", g)
+	}
+	if g.Left != nil || g.Right != nil || g.Thread != nil {
+		t.Errorf("default bundler followed pointers: %+v", g)
+	}
+	// The encoding must be node-sized, not tree-sized.
+	if n > 64 {
+		t.Errorf("node-only encoding took %d bytes", n)
+	}
+}
+
+func TestClosureBundlerShipsWholeTreeWithIdentity(t *testing.T) {
+	r := NewRegistry()
+	root := NewTree(4) // 15 nodes
+	f, err := r.CompileClosure(reflect.TypeOf(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(root)); err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf(root)).Elem()
+	if err := f(&Ctx{}, xdr.NewDecoder(&buf), out); err != nil {
+		t.Fatal(err)
+	}
+	g := out.Interface().(*TreeNode)
+	if CountNodes(g) != 15 {
+		t.Fatalf("closure decoded %d nodes, want 15", CountNodes(g))
+	}
+	// Identity and cycles: the root's thread points at itself; children's
+	// threads point at their parent.
+	if g.Thread != g {
+		t.Error("root thread lost self-cycle")
+	}
+	if g.Left.Thread != g || g.Right.Thread != g {
+		t.Error("child threads lost parent identity")
+	}
+	if g.Left.Left.Thread != g.Left {
+		t.Error("grandchild thread lost identity")
+	}
+}
+
+func TestClosureSharedSubstructure(t *testing.T) {
+	r := NewRegistry()
+	shared := &TreeNode{Key: 42}
+	root := &TreeNode{Key: 1, Left: shared, Right: shared}
+	f, err := r.CompileClosure(reflect.TypeOf(root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(root)); err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf(root)).Elem()
+	if err := f(&Ctx{}, xdr.NewDecoder(&buf), out); err != nil {
+		t.Fatal(err)
+	}
+	g := out.Interface().(*TreeNode)
+	if g.Left != g.Right {
+		t.Error("shared node duplicated by closure bundler")
+	}
+	if g.Left.Key != 42 {
+		t.Errorf("shared node payload: %d", g.Left.Key)
+	}
+}
+
+// Closure encodings must grow with the tree while node-only stays flat —
+// the §3.1 performance argument.
+func TestClosureVsDefaultSize(t *testing.T) {
+	r := NewRegistry()
+	root := NewTree(6) // 63 nodes
+	typ := reflect.TypeOf(root)
+
+	fDefault := r.MustCompile(typ)
+	fClosure, err := r.CompileClosure(typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := func(f Func) int {
+		var buf bytes.Buffer
+		if err := f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(root)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Len()
+	}
+	d, c := size(fDefault), size(fClosure)
+	if c < 10*d {
+		t.Errorf("closure (%dB) should dwarf node-only (%dB) on a 63-node tree", c, d)
+	}
+}
+
+func TestUserBundlerNodeAndChildren(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterType(reflect.TypeOf((*TreeNode)(nil)), NodeAndChildrenBundler)
+	root := NewTree(5)
+	got, _ := roundTrip(t, r, root)
+	g := got.(*TreeNode)
+	if g.Key != root.Key {
+		t.Errorf("root key %d", g.Key)
+	}
+	if g.Left == nil || g.Right == nil {
+		t.Fatal("user bundler dropped the children it promised")
+	}
+	if g.Left.Key != root.Left.Key || g.Right.Key != root.Right.Key {
+		t.Error("children payload wrong")
+	}
+	if g.Left.Left != nil || g.Thread != nil {
+		t.Error("user bundler shipped more than one level")
+	}
+}
+
+// Typedef-style custom bundler: registering for the type makes every use of
+// the type bundle through it.
+func TestRegisterTypeOverridesAutomatic(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.RegisterType(reflect.TypeOf(int32(0)), func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+		calls++
+		x := int32(v.Int())
+		if err := s.Int32(&x); err != nil {
+			return err
+		}
+		if s.Op() == xdr.Decode {
+			v.SetInt(int64(x))
+		}
+		return nil
+	})
+	got, _ := roundTrip(t, r, int32(11))
+	if got != int32(11) || calls != 2 {
+		t.Errorf("got %v, custom bundler calls = %d (want 2)", got, calls)
+	}
+}
+
+type taggedStruct struct {
+	P *pointStruct `clam:"bundler=pt_bundler"`
+}
+
+// In-place bundler via struct tag wins over the typedef-style registration,
+// matching "the in place bundler will be used".
+func TestInPlaceBundlerWinsOverTypedef(t *testing.T) {
+	r := NewRegistry()
+	typedefCalls, inplaceCalls := 0, 0
+	ptType := reflect.TypeOf((*pointStruct)(nil))
+	ptBundler := func(counter *int) Func {
+		return func(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+			*counter++
+			if s.Op() == xdr.Decode && v.IsNil() {
+				v.Set(reflect.New(ptType.Elem()))
+			}
+			p := v.Interface().(*pointStruct)
+			s.Short(&p.X)
+			s.Short(&p.Y)
+			s.Short(&p.Z)
+			return s.Err()
+		}
+	}
+	r.RegisterType(ptType, ptBundler(&typedefCalls))
+	r.RegisterNamed("pt_bundler", ptBundler(&inplaceCalls))
+
+	got, _ := roundTrip(t, r, taggedStruct{P: &pointStruct{X: 1}})
+	if got.(taggedStruct).P.X != 1 {
+		t.Errorf("payload lost: %+v", got)
+	}
+	if inplaceCalls != 2 {
+		t.Errorf("in-place bundler calls = %d, want 2", inplaceCalls)
+	}
+	if typedefCalls != 0 {
+		t.Errorf("typedef bundler ran %d times despite in-place override", typedefCalls)
+	}
+}
+
+func TestUnknownNamedBundler(t *testing.T) {
+	r := NewRegistry()
+	type bad struct {
+		X int32 `clam:"bundler=missing"`
+	}
+	if _, err := r.Compile(reflect.TypeOf(bad{})); err == nil {
+		t.Error("compiling with unknown named bundler succeeded")
+	}
+	if _, err := r.Named("nope"); err == nil {
+		t.Error("Named(nope) succeeded")
+	}
+}
+
+func TestUnbundlableKinds(t *testing.T) {
+	r := NewRegistry()
+	for _, v := range []any{make(chan int), complex(1, 2), uintptr(1)} {
+		if _, err := r.Compile(reflect.TypeOf(v)); !errors.Is(err, ErrNoBundler) {
+			t.Errorf("%T: err = %v, want ErrNoBundler", v, err)
+		}
+	}
+}
+
+func TestFuncWithoutProcHook(t *testing.T) {
+	r := NewRegistry()
+	f, err := r.Compile(reflect.TypeOf(func(int) {}))
+	if err != nil {
+		t.Fatalf("compiling func type should succeed (hook checked at call time): %v", err)
+	}
+	var buf bytes.Buffer
+	err = f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(func(int) {}))
+	if !errors.Is(err, ErrNoProcHook) {
+		t.Errorf("err = %v, want ErrNoProcHook", err)
+	}
+}
+
+// A stub ProcHook proving the hook is consulted for func-typed values.
+type recordingProcHook struct{ bundled int }
+
+func (h *recordingProcHook) BundleProc(s *xdr.Stream, v reflect.Value) error {
+	h.bundled++
+	id := uint32(7)
+	return s.Uint32(&id)
+}
+
+func TestFuncUsesProcHook(t *testing.T) {
+	r := NewRegistry()
+	type carrier struct {
+		Name string
+		Fn   func(int32)
+	}
+	f, err := r.Compile(reflect.TypeOf(carrier{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := &recordingProcHook{}
+	var buf bytes.Buffer
+	v := carrier{Name: "reg", Fn: func(int32) {}}
+	if err := f(&Ctx{Procs: hook}, xdr.NewEncoder(&buf), reflect.ValueOf(v)); err != nil {
+		t.Fatal(err)
+	}
+	if hook.bundled != 1 {
+		t.Errorf("proc hook bundled %d times, want 1", hook.bundled)
+	}
+}
+
+// A stub ObjectHook proving class-instance pointers are diverted to the
+// handle path while ordinary pointers are not.
+type classMarker struct{ ID int32 }
+
+type recordingObjectHook struct{ bundled int }
+
+func (h *recordingObjectHook) IsClass(t reflect.Type) bool {
+	return t == reflect.TypeOf(classMarker{})
+}
+
+func (h *recordingObjectHook) BundleObject(s *xdr.Stream, v reflect.Value) error {
+	h.bundled++
+	id := uint32(99)
+	if err := s.Uint32(&id); err != nil {
+		return err
+	}
+	if s.Op() == xdr.Decode {
+		v.Set(reflect.ValueOf(&classMarker{ID: int32(id)}))
+	}
+	return nil
+}
+
+func TestObjectPointerUsesHook(t *testing.T) {
+	r := NewRegistry()
+	hook := &recordingObjectHook{}
+	ctx := &Ctx{Objects: hook}
+
+	f := r.MustCompile(reflect.TypeOf((*classMarker)(nil)))
+	var buf bytes.Buffer
+	if err := f(ctx, xdr.NewEncoder(&buf), reflect.ValueOf(&classMarker{ID: 1})); err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf((*classMarker)(nil))).Elem()
+	if err := f(ctx, xdr.NewDecoder(&buf), out); err != nil {
+		t.Fatal(err)
+	}
+	if hook.bundled != 2 {
+		t.Errorf("object hook consulted %d times, want 2", hook.bundled)
+	}
+	if out.Interface().(*classMarker).ID != 99 {
+		t.Errorf("hook-decoded object: %+v", out.Interface())
+	}
+
+	// A non-class pointer must take the ordinary path.
+	g := r.MustCompile(reflect.TypeOf((*pointStruct)(nil)))
+	var buf2 bytes.Buffer
+	if err := g(ctx, xdr.NewEncoder(&buf2), reflect.ValueOf(&pointStruct{X: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if hook.bundled != 2 {
+		t.Error("object hook consulted for a non-class pointer")
+	}
+}
+
+// Nested structs with pointers inside a bundled pointee arrive nil
+// (non-transitive default), but nested values arrive intact.
+type outer struct {
+	Name  string
+	Inner inner
+}
+
+type inner struct {
+	N    int32
+	Next *outer
+}
+
+func TestNestedValueStructsTravel(t *testing.T) {
+	r := NewRegistry()
+	o := &outer{Name: "a", Inner: inner{N: 5, Next: &outer{Name: "b"}}}
+	got, _ := roundTrip(t, r, o)
+	g := got.(*outer)
+	if g.Name != "a" || g.Inner.N != 5 {
+		t.Errorf("value parts lost: %+v", g)
+	}
+	if g.Inner.Next != nil {
+		t.Error("pointer nested under a bundled pointee travelled")
+	}
+}
+
+func TestCompileIsMemoized(t *testing.T) {
+	r := NewRegistry()
+	t1 := reflect.TypeOf(flatStruct{})
+	f1, err := r.Compile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := r.Compile(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(f1).Pointer() != reflect.ValueOf(f2).Pointer() {
+		t.Error("Compile not memoized")
+	}
+}
+
+// Property: automatic bundling is the identity on pointer-free values.
+func TestQuickStructRoundTrip(t *testing.T) {
+	type wire struct {
+		A int64
+		B uint32
+		C string
+		D []byte
+		E bool
+		F float64
+		G [3]int16
+	}
+	r := NewRegistry()
+	f := r.MustCompile(reflect.TypeOf(wire{}))
+	prop := func(w wire) bool {
+		var buf bytes.Buffer
+		if f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(w)) != nil {
+			return false
+		}
+		out := reflect.New(reflect.TypeOf(wire{})).Elem()
+		if f(&Ctx{}, xdr.NewDecoder(&buf), out) != nil {
+			return false
+		}
+		g := out.Interface().(wire)
+		if len(w.D) == 0 && len(g.D) == 0 {
+			g.D, w.D = nil, nil
+		}
+		return reflect.DeepEqual(g, w) ||
+			(w.F != w.F && g.F != g.F && equalExceptF(g, w)) // NaN
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func equalExceptF(a, b any) bool {
+	av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+	for i := 0; i < av.NumField(); i++ {
+		if av.Type().Field(i).Name == "F" {
+			continue
+		}
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: closure bundling preserves the node count of random trees.
+func TestQuickClosurePreservesShape(t *testing.T) {
+	r := NewRegistry()
+	f, err := r.CompileClosure(reflect.TypeOf((*TreeNode)(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(depth uint8) bool {
+		d := int(depth%5) + 1
+		root := NewTree(d)
+		var buf bytes.Buffer
+		if f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(root)) != nil {
+			return false
+		}
+		out := reflect.New(reflect.TypeOf(root)).Elem()
+		if f(&Ctx{}, xdr.NewDecoder(&buf), out) != nil {
+			return false
+		}
+		return CountNodes(out.Interface().(*TreeNode)) == CountNodes(root)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

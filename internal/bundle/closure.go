@@ -1,0 +1,157 @@
+package bundle
+
+import (
+	"fmt"
+	"reflect"
+
+	"clam/internal/xdr"
+)
+
+// This file implements the transitive-closure bundling strategy the paper
+// attributes to rpcgen (§3.1): "take the transitive closure starting at the
+// node by following its pointers recursively. ... This method produces
+// correct results but can have a significant performance penalty." It is
+// the baseline against which the default (node-only) and user-defined
+// bundlers are compared in the A-4 ablation.
+//
+// The closure encoder assigns each distinct pointee an id in traversal
+// order and sends the payload only on first sight, so shared structure and
+// cycles round-trip with identity preserved.
+
+// CompileClosure returns a bundler for t that bundles pointers by taking
+// the transitive closure of the object graph. Per-call traversal state
+// lives on the Ctx, keeping the bundler itself stateless per §3.3.
+func (r *Registry) CompileClosure(t reflect.Type) (Func, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closureCache == nil {
+		r.closureCache = make(map[reflect.Type]Func)
+	}
+	return r.compileClosureLocked(t)
+}
+
+func (r *Registry) compileClosureLocked(t reflect.Type) (Func, error) {
+	if f, ok := r.closureCache[t]; ok {
+		return f, nil
+	}
+	var real Func
+	fwd := func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+		return real(ctx, s, v)
+	}
+	r.closureCache[t] = fwd
+	f, err := r.generateClosure(t)
+	if err != nil {
+		delete(r.closureCache, t)
+		return nil, err
+	}
+	real = f
+	return fwd, nil
+}
+
+func (r *Registry) generateClosure(t reflect.Type) (Func, error) {
+	switch t.Kind() {
+	case reflect.Ptr:
+		pointee, err := r.compileClosureLocked(t.Elem())
+		if err != nil {
+			return nil, err
+		}
+		elemT := t.Elem()
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			if ctx == nil {
+				return fmt.Errorf("bundle: closure bundler requires a Ctx")
+			}
+			switch s.Op() {
+			case xdr.Encode:
+				if v.IsNil() {
+					zero := uint32(0)
+					return s.Uint32(&zero)
+				}
+				if ctx.encSeen == nil {
+					ctx.encSeen = make(map[uintptr]uint32)
+				}
+				addr := v.Pointer()
+				if id, ok := ctx.encSeen[addr]; ok {
+					return s.Uint32(&id) // back-reference, payload already sent
+				}
+				ctx.nextID++
+				id := ctx.nextID
+				ctx.encSeen[addr] = id
+				if err := s.Uint32(&id); err != nil {
+					return err
+				}
+				return pointee(ctx, s, v.Elem())
+			default:
+				var id uint32
+				if err := s.Uint32(&id); err != nil {
+					return err
+				}
+				if id == 0 {
+					v.Set(reflect.Zero(t))
+					return nil
+				}
+				if ctx.decSeen == nil {
+					ctx.decSeen = make(map[uint32]reflect.Value)
+				}
+				if p, ok := ctx.decSeen[id]; ok {
+					v.Set(p)
+					return nil
+				}
+				p := reflect.New(elemT)
+				ctx.decSeen[id] = p
+				v.Set(p)
+				return pointee(ctx, s, p.Elem())
+			}
+		}, nil
+	case reflect.Struct:
+		type fieldBundler struct {
+			idx int
+			f   Func
+		}
+		var fields []fieldBundler
+		for i := 0; i < t.NumField(); i++ {
+			sf := t.Field(i)
+			if !sf.IsExported() || sf.Tag.Get("clam") == "-" {
+				continue
+			}
+			f, err := r.compileClosureLocked(sf.Type)
+			if err != nil {
+				return nil, fmt.Errorf("bundle: closure field %s.%s: %w", t, sf.Name, err)
+			}
+			fields = append(fields, fieldBundler{idx: i, f: f})
+		}
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			for _, fb := range fields {
+				if err := fb.f(ctx, s, v.Field(fb.idx)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return r.compileLocked(t, false)
+		}
+		elem, err := r.compileClosureLocked(t.Elem())
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *Ctx, s *xdr.Stream, v reflect.Value) error {
+			n := v.Len()
+			if err := s.Len(&n); err != nil {
+				return err
+			}
+			if s.Op() == xdr.Decode {
+				v.Set(reflect.MakeSlice(t, n, n))
+			}
+			for i := 0; i < n; i++ {
+				if err := elem(ctx, s, v.Index(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	default:
+		// Non-pointer leaves bundle exactly as the automatic path does.
+		return r.compileLocked(t, false)
+	}
+}

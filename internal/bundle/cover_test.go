@@ -1,0 +1,148 @@
+package bundle
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"clam/internal/xdr"
+)
+
+func TestMustCompilePanicsOnBadType(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile(chan) did not panic")
+		}
+	}()
+	r.MustCompile(reflect.TypeOf(make(chan int)))
+}
+
+func TestMapKeyKinds(t *testing.T) {
+	r := NewRegistry()
+	cases := []any{
+		map[bool]int32{true: 1, false: 2},
+		map[uint16]int32{3: 1, 1: 2, 2: 3},
+		map[float64]int32{1.5: 1, 0.5: 2},
+		map[int8]string{-1: "a", 5: "b"},
+	}
+	for _, m := range cases {
+		got, _ := roundTrip(t, r, m)
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T: got %v want %v", m, got, m)
+		}
+	}
+}
+
+func TestMapWithStructKeys(t *testing.T) {
+	// Struct keys are unordered (not sortable): round trip must still
+	// succeed, just without deterministic encoding.
+	type key struct{ A int32 }
+	r := NewRegistry()
+	m := map[key]int32{{A: 1}: 10, {A: 2}: 20}
+	got, _ := roundTrip(t, r, m)
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMapWithUnbundlableElem(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Compile(reflect.TypeOf(map[string]chan int{})); err == nil {
+		t.Error("map with chan elem compiled")
+	}
+	if _, err := r.Compile(reflect.TypeOf(map[complex128]int{})); err == nil {
+		t.Error("map with complex key compiled")
+	}
+}
+
+func TestSliceOfUnbundlable(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Compile(reflect.TypeOf([]chan int{})); err == nil {
+		t.Error("slice of chan compiled")
+	}
+	if _, err := r.Compile(reflect.TypeOf([2]chan int{})); err == nil {
+		t.Error("array of chan compiled")
+	}
+}
+
+func TestStructWithUnbundlableField(t *testing.T) {
+	type bad struct{ C chan int }
+	r := NewRegistry()
+	if _, err := r.Compile(reflect.TypeOf(bad{})); err == nil {
+		t.Error("struct with chan field compiled")
+	}
+}
+
+func TestClosureOfSliceOfPointers(t *testing.T) {
+	r := NewRegistry()
+	type node struct {
+		V    int32
+		Next *node
+	}
+	type box struct{ Items []*node }
+	shared := &node{V: 1}
+	b := box{Items: []*node{shared, shared, {V: 2}}}
+	f, err := r.CompileClosure(reflect.TypeOf(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f(&Ctx{}, xdr.NewEncoder(&buf), reflect.ValueOf(b)); err != nil {
+		t.Fatal(err)
+	}
+	out := reflect.New(reflect.TypeOf(b)).Elem()
+	if err := f(&Ctx{}, xdr.NewDecoder(&buf), out); err != nil {
+		t.Fatal(err)
+	}
+	g := out.Interface().(box)
+	if len(g.Items) != 3 || g.Items[0] != g.Items[1] {
+		t.Error("shared pointers in slice lost identity")
+	}
+	if g.Items[0].V != 1 || g.Items[2].V != 2 {
+		t.Error("payload wrong")
+	}
+}
+
+func TestClosureRequiresCtx(t *testing.T) {
+	r := NewRegistry()
+	f, err := r.CompileClosure(reflect.TypeOf((*TreeNode)(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f(nil, xdr.NewEncoder(&buf), reflect.ValueOf(NewTree(2))); err == nil {
+		t.Error("closure bundler ran without a Ctx")
+	}
+}
+
+func TestClosureUnbundlableType(t *testing.T) {
+	r := NewRegistry()
+	type bad struct{ C chan int }
+	if _, err := r.CompileClosure(reflect.TypeOf(&bad{})); err == nil {
+		t.Error("closure of chan field compiled")
+	}
+}
+
+func TestSpecParamHelpers(t *testing.T) {
+	var nilSpec *MethodSpec
+	if nilSpec.Param(0) != nil {
+		t.Error("nil spec param")
+	}
+	s := &MethodSpec{Params: []*ParamSpec{{Mode: Out}}}
+	if s.Param(0) == nil || s.Param(0).Mode != Out {
+		t.Error("param 0")
+	}
+	if s.Param(1) != nil || s.Param(-1) != nil {
+		t.Error("out-of-range params")
+	}
+}
+
+func TestCountNodesNil(t *testing.T) {
+	if CountNodes(nil) != 0 {
+		t.Error("nil tree count")
+	}
+	if NewTree(0) != nil {
+		t.Error("depth-0 tree not nil")
+	}
+}

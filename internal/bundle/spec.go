@@ -1,0 +1,35 @@
+package bundle
+
+// MethodSpec refines how one remote method's parameters are bundled — the
+// Go analogue of the paper's const / out / inout specifiers and in-place
+// "@ bundler()" annotations on a C++ member declaration (§3.2, Figure 3.1).
+//
+// A method with no spec gets the defaults: value parameters are In (they
+// cannot change during the call, like const), pointer parameters are InOut
+// (full reference-parameter semantics being impossible without shared
+// memory, the paper's systems copy the pointee both ways), and results are
+// always Out.
+type MethodSpec struct {
+	// Params configures positional parameters (excluding the receiver).
+	// A nil entry keeps the defaults for that position; a short slice
+	// leaves trailing parameters at the defaults.
+	Params []*ParamSpec
+}
+
+// ParamSpec configures one parameter.
+type ParamSpec struct {
+	// Mode declares the transfer direction; zero keeps the default.
+	Mode Mode
+	// Bundler names a bundler registered with RegisterNamed, applied in
+	// place of the automatic one — the in-place "@" form. Empty keeps the
+	// automatic (or typedef-registered) bundler.
+	Bundler string
+}
+
+// Param returns the spec for parameter i, or nil.
+func (m *MethodSpec) Param(i int) *ParamSpec {
+	if m == nil || i < 0 || i >= len(m.Params) {
+		return nil
+	}
+	return m.Params[i]
+}

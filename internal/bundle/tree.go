@@ -1,0 +1,135 @@
+package bundle
+
+import (
+	"reflect"
+
+	"clam/internal/xdr"
+)
+
+// This file carries the paper's running example for the bundling-strategy
+// discussion (§3.1): "Consider, for example, the ways in which a node of a
+// threaded, binary tree can be passed to a remote procedure." Three
+// strategies are contrasted:
+//
+//  1. pass the node itself and nothing else (the CLAM default) — fails if
+//     the remote procedure needs the children;
+//  2. take the transitive closure (rpcgen) — always correct, possibly
+//     shipping the whole tree when one node would do;
+//  3. a programmer-written bundler that knows how much the remote side
+//     needs (here: the node plus its immediate children, no threads).
+//
+// The TreeNode type and NodeAndChildrenBundler below are used by the
+// package tests and by the A-4 ablation benchmark.
+
+// TreeNode is a node of a threaded binary tree. Left and Right are child
+// links; Thread points back up the tree (the "threaded" part), which makes
+// the transitive closure of almost any node reach almost every node.
+type TreeNode struct {
+	Key    int32
+	Val    string
+	Left   *TreeNode
+	Right  *TreeNode
+	Thread *TreeNode
+}
+
+// NewTree builds a complete threaded binary tree of the given depth with
+// 2^depth - 1 nodes. Thread pointers link each node to its parent, and the
+// root's thread points at itself so the closure is fully cyclic.
+func NewTree(depth int) *TreeNode {
+	var build func(d int, parent *TreeNode, next *int32) *TreeNode
+	build = func(d int, parent *TreeNode, next *int32) *TreeNode {
+		if d == 0 {
+			return nil
+		}
+		n := &TreeNode{Key: *next, Val: "node"}
+		*next++
+		if parent != nil {
+			n.Thread = parent
+		} else {
+			n.Thread = n
+		}
+		n.Left = build(d-1, n, next)
+		n.Right = build(d-1, n, next)
+		return n
+	}
+	var next int32
+	return build(depth, nil, &next)
+}
+
+// CountNodes returns the number of distinct nodes reachable through child
+// links.
+func CountNodes(n *TreeNode) int {
+	if n == nil {
+		return 0
+	}
+	return 1 + CountNodes(n.Left) + CountNodes(n.Right)
+}
+
+// NodeAndChildrenBundler is a programmer-written bundler in the style of
+// §3.1's middle ground: it ships a node and its two immediate children
+// (one level of structure), dropping the thread pointers the remote side
+// does not need. It follows the three bundler rules of §3.3: its value has
+// the bundled type in both directions, it is bidirectional, and it keeps no
+// state outside the stream and Ctx.
+func NodeAndChildrenBundler(_ *Ctx, s *xdr.Stream, v reflect.Value) error {
+	bundleOne := func(n *TreeNode) error {
+		if err := s.Int32(&n.Key); err != nil {
+			return err
+		}
+		return s.String(&n.Val)
+	}
+	switch s.Op() {
+	case xdr.Encode:
+		node := v.Interface().(*TreeNode)
+		notNil := node != nil
+		if err := s.Bool(&notNil); err != nil {
+			return err
+		}
+		if !notNil {
+			return nil
+		}
+		if err := bundleOne(node); err != nil {
+			return err
+		}
+		for _, child := range []*TreeNode{node.Left, node.Right} {
+			present := child != nil
+			if err := s.Bool(&present); err != nil {
+				return err
+			}
+			if present {
+				if err := bundleOne(child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		var notNil bool
+		if err := s.Bool(&notNil); err != nil {
+			return err
+		}
+		if !notNil {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		node := new(TreeNode) // allocate when unbundling, per Figure 3.2
+		if err := bundleOne(node); err != nil {
+			return err
+		}
+		for _, slot := range []**TreeNode{&node.Left, &node.Right} {
+			var present bool
+			if err := s.Bool(&present); err != nil {
+				return err
+			}
+			if present {
+				c := new(TreeNode)
+				if err := bundleOne(c); err != nil {
+					return err
+				}
+				*slot = c
+			}
+		}
+		v.Set(reflect.ValueOf(node))
+		return nil
+	}
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+// Typed client stubs. The paper's client stubs are compiler-generated
+// typed procedures; the generic Call/CallInto API is the dynamic
+// equivalent. Bind recovers the typed form: given a pointer to a struct
+// of func fields, it fills each field with a closure performing the RPC
+// named by the field, so application code calls remote procedures through
+// ordinary typed functions:
+//
+//	var w struct {
+//		Create  func(r wm.Rect, bg int64) (*Remote, error)
+//		MoveTo  func(x, y int64) error
+//		Bounds  func() (wm.Rect, error)
+//	}
+//	if err := baseRem.Bind(&w); err != nil { ... }
+//	win, err := w.Create(wm.R(0, 0, 10, 10), 3)
+//
+// Rules per field: it must be a func; a trailing error result receives
+// call failures; other results are decoded from the reply in order.
+// A `clam:"Name"` tag overrides the method name; `clam:"-"` skips the
+// field. Fields may also be declared asynchronous with the tag option
+// `clam:",async"`, making the closure batch the call (§3.4) — such fields
+// may have at most an error result.
+
+// ErrBadBinding reports an unusable stub struct.
+var ErrBadBinding = errors.New("clam: bad stub binding")
+
+// Bind fills stubs (a pointer to a struct of func fields) with typed
+// proxies for the remote object's methods.
+func (r *Remote) Bind(stubs any) error {
+	v := reflect.ValueOf(stubs)
+	if !v.IsValid() || v.Kind() != reflect.Ptr || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("%w: want pointer to struct, got %T", ErrBadBinding, stubs)
+	}
+	sv := v.Elem()
+	st := sv.Type()
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, async, skip := parseBindTag(f)
+		if skip {
+			continue
+		}
+		if f.Type.Kind() != reflect.Func {
+			return fmt.Errorf("%w: field %s is %s, want func", ErrBadBinding, f.Name, f.Type)
+		}
+		fn, err := r.makeStub(name, f.Type, async)
+		if err != nil {
+			return fmt.Errorf("%w: field %s: %v", ErrBadBinding, f.Name, err)
+		}
+		sv.Field(i).Set(fn)
+	}
+	return nil
+}
+
+func parseBindTag(f reflect.StructField) (name string, async, skip bool) {
+	name = f.Name
+	tag, ok := f.Tag.Lookup("clam")
+	if !ok {
+		return name, false, false
+	}
+	if tag == "-" {
+		return "", false, true
+	}
+	base := tag
+	for {
+		idx := -1
+		for j := 0; j < len(base); j++ {
+			if base[j] == ',' {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			if base != "" {
+				name = base
+			}
+			return name, async, false
+		}
+		head, rest := base[:idx], base[idx+1:]
+		if head != "" {
+			name = head
+		}
+		if rest == "async" {
+			async = true
+			rest = ""
+		}
+		base = rest
+		if base == "" {
+			return name, async, false
+		}
+	}
+}
+
+var bindErrType = reflect.TypeOf((*error)(nil)).Elem()
+
+func (r *Remote) makeStub(method string, ft reflect.Type, async bool) (reflect.Value, error) {
+	if ft.IsVariadic() {
+		return reflect.Value{}, errors.New("variadic stubs not supported")
+	}
+	nOut := ft.NumOut()
+	hasErr := nOut > 0 && ft.Out(nOut-1) == bindErrType
+	dataOut := nOut
+	if hasErr {
+		dataOut--
+	}
+	if async && dataOut > 0 {
+		return reflect.Value{}, errors.New("async stub cannot have data results")
+	}
+	for i := 0; i < dataOut; i++ {
+		if ft.Out(i) == bindErrType {
+			return reflect.Value{}, errors.New("error must be the last result")
+		}
+	}
+
+	return reflect.MakeFunc(ft, func(in []reflect.Value) []reflect.Value {
+		args := make([]any, len(in))
+		for i, a := range in {
+			args[i] = a.Interface()
+		}
+		out := make([]reflect.Value, nOut)
+		var err error
+		if async {
+			err = r.c.async(r.h, method, args)
+		} else {
+			targets := make([]reflect.Value, dataOut)
+			rets := make([]any, dataOut)
+			for i := 0; i < dataOut; i++ {
+				targets[i] = reflect.New(ft.Out(i))
+				rets[i] = targets[i].Interface()
+			}
+			err = r.c.call(r.h, method, rets, args)
+			for i := 0; i < dataOut; i++ {
+				if err == nil {
+					out[i] = targets[i].Elem()
+				} else {
+					out[i] = reflect.Zero(ft.Out(i))
+				}
+			}
+		}
+		if hasErr {
+			if err != nil {
+				out[nOut-1] = reflect.ValueOf(&err).Elem()
+			} else {
+				out[nOut-1] = reflect.Zero(bindErrType)
+			}
+		} else if err != nil {
+			// No error slot: fail loudly rather than silently — a typed
+			// stub without an error result is a programming statement
+			// that failures are impossible here.
+			panic(fmt.Sprintf("clam: stub %s failed with no error result: %v", method, err))
+		}
+		return out
+	}), nil
+}

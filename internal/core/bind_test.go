@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func reflectField(name, tag string) reflect.StructField {
+	return reflect.StructField{
+		Name: name,
+		Type: reflect.TypeOf(func() {}),
+		Tag:  reflect.StructTag(`clam:"` + tag + `"`),
+	}
+}
+
+func TestBindTypedStubs(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	rem, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stubs struct {
+		Add   func(n int64) error
+		Total func() (int64, error)
+		Div   func(a, b int64) (int64, error)
+	}
+	if err := rem.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	if err := stubs.Add(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := stubs.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	total, err := stubs.Total()
+	if err != nil || total != 42 {
+		t.Errorf("Total = %d, %v", total, err)
+	}
+	q, err := stubs.Div(10, 2)
+	if err != nil || q != 5 {
+		t.Errorf("Div = %d, %v", q, err)
+	}
+	if _, err := stubs.Div(1, 0); err == nil {
+		t.Error("remote error lost through typed stub")
+	}
+}
+
+func TestBindTagRenameAndSkip(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	rem, _ := c.New("counter", 0)
+	var stubs struct {
+		Increment func(n int64) error `clam:"Add"`
+		Ignored   func()              `clam:"-"`
+		hidden    func()              // unexported: skipped
+	}
+	if err := rem.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	if err := stubs.Increment(7); err != nil {
+		t.Fatal(err)
+	}
+	if stubs.Ignored != nil {
+		t.Error("skipped field was bound")
+	}
+	_ = stubs.hidden
+	var total int64
+	if err := rem.CallInto("Total", []any{&total}); err != nil || total != 7 {
+		t.Errorf("total=%d err=%v", total, err)
+	}
+}
+
+func TestBindAsyncStub(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	rem, _ := c.New("counter", 0)
+	var stubs struct {
+		Add   func(n int64) error `clam:",async"`
+		Total func() (int64, error)
+	}
+	if err := rem.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := stubs.Add(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The synchronous Total flushes the batch ahead of itself.
+	total, err := stubs.Total()
+	if err != nil || total != 5 {
+		t.Errorf("total=%d err=%v", total, err)
+	}
+}
+
+func TestBindObjectReturns(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	p, err := c.New("parent", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stubs struct {
+		Child func(i int64) (*Remote, error)
+	}
+	if err := p.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	kid, err := stubs.Child(0)
+	if err != nil || kid == nil {
+		t.Fatalf("Child: %v, %v", kid, err)
+	}
+	var name string
+	if err := kid.CallInto("Name", []any{&name}); err != nil || name != "alice" {
+		t.Errorf("name=%q err=%v", name, err)
+	}
+}
+
+func TestBindUpcallRegistration(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	n, _ := c.New("notifier", 0)
+	var stubs struct {
+		Register func(fn func(int32, string) int32) error
+		Trigger  func(x int32, s string) (int32, error)
+	}
+	if err := n.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	if err := stubs.Register(func(x int32, s string) int32 { return x + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := stubs.Trigger(9, "typed")
+	if err != nil || sum != 10 {
+		t.Errorf("sum=%d err=%v", sum, err)
+	}
+}
+
+func TestBindRejectsBadShapes(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	rem, _ := c.New("counter", 0)
+
+	if err := rem.Bind(nil); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("nil: %v", err)
+	}
+	if err := rem.Bind(struct{}{}); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("non-pointer: %v", err)
+	}
+	var notFunc struct{ Add int }
+	if err := rem.Bind(&notFunc); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("non-func field: %v", err)
+	}
+	var variadic struct{ Add func(...int64) error }
+	if err := rem.Bind(&variadic); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("variadic: %v", err)
+	}
+	var asyncWithData struct {
+		Total func() (int64, error) `clam:",async"`
+	}
+	if err := rem.Bind(&asyncWithData); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("async with data: %v", err)
+	}
+	var errNotLast struct {
+		Div func(a, b int64) (error, int64)
+	}
+	if err := rem.Bind(&errNotLast); !errors.Is(err, ErrBadBinding) {
+		t.Errorf("error not last: %v", err)
+	}
+}
+
+func TestBindStubWithoutErrorPanicsOnFailure(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	rem, _ := c.New("counter", 0)
+	var stubs struct {
+		Bogus func() // no error result, method does not exist
+	}
+	if err := rem.Bind(&stubs); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Error("failure with no error slot did not panic")
+		} else if !strings.Contains(r.(string), "Bogus") {
+			t.Errorf("panic %v lacks method name", r)
+		}
+	}()
+	stubs.Bogus()
+}
+
+func TestParseBindTag(t *testing.T) {
+	cases := []struct {
+		tag   string
+		name  string
+		async bool
+		skip  bool
+	}{
+		{"", "F", false, false},
+		{"-", "", false, true},
+		{"Renamed", "Renamed", false, false},
+		{",async", "F", true, false},
+		{"Renamed,async", "Renamed", true, false},
+	}
+	for _, tc := range cases {
+		f := reflectField("F", tc.tag)
+		name, async, skip := parseBindTag(f)
+		if skip != tc.skip || (!skip && (name != tc.name || async != tc.async)) {
+			t.Errorf("tag %q: got (%q,%v,%v) want (%q,%v,%v)",
+				tc.tag, name, async, skip, tc.name, tc.async, tc.skip)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// Failure-injection tests: the server must survive abrupt disconnects,
+// half-open handshakes, garbage frames and client churn without wedging
+// or leaking sessions.
+
+func TestServerSurvivesGarbageConnection(t *testing.T) {
+	_, path := startServer(t)
+	// Raw garbage straight at the listener.
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	conn.Close()
+
+	// Valid frame with a nonsense message type.
+	conn2, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn2)
+	wc.Send(&wire.Msg{Type: wire.MsgType(200), Seq: 1})
+	wc.Close()
+
+	// The server still serves real clients.
+	c := dialClient(t, path)
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Errorf("server wedged by garbage: %v", err)
+	}
+}
+
+func TestServerSurvivesHalfOpenHandshake(t *testing.T) {
+	srv, path := startServer(t)
+	// Connect and say nothing, then vanish.
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// Hello for the upcall role against a session that does not exist.
+	conn2, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn2)
+	var body bytesBuf
+	h := helloBody{Role: roleUpcall, Session: 424242}
+	if err := h.bundle(xdr.NewEncoder(&body)); err != nil {
+		t.Fatal(err)
+	}
+	wc.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: body.b})
+	// The server closes it; reading reports closure rather than hanging.
+	done := make(chan struct{})
+	go func() {
+		wc.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("orphan upcall hello not rejected")
+	}
+	wc.Close()
+	if srv.SessionCount() != 0 {
+		t.Errorf("phantom sessions: %d", srv.SessionCount())
+	}
+}
+
+func TestAbruptDisconnectMidBatch(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue async calls, then kill the connection without flushing
+	// cleanly; the server may get a torn frame.
+	for i := 0; i < 100; i++ {
+		obj.Async("Add", int64(1))
+	}
+	c.rpcConn.Close()
+	c.upConn.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.SessionCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.SessionCount() != 0 {
+		t.Errorf("sessions leaked: %d", srv.SessionCount())
+	}
+	// New client works.
+	c2 := dialClient(t, path)
+	o2, err := c2.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Call("Add", int64(1)); err != nil {
+		t.Errorf("server broken after abrupt disconnect: %v", err)
+	}
+}
+
+func TestDisconnectDuringUpcallWait(t *testing.T) {
+	srv := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}),
+		WithUpcallTimeout(5*time.Second))
+	sock := t.TempDir() + "/chaos.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c, err := Dial("unix", sock, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.New("notifier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Handler that kills the client's connections mid-upcall: the server
+	// task blocked on the reply must be released by the disconnect, well
+	// before the 5s timeout.
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		c.rpcConn.Close()
+		c.upConn.Close()
+		return x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	nObj, _ := srv.Named("unused") // no-op; keep API exercised
+	_ = nObj
+
+	// Trigger from a second client so its call observes the failure.
+	c2, err := Dial("unix", sock, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	// Publish the notifier for the second client.
+	// (Server-side object lookup through the handle table of client 1 is
+	// not visible to client 2, so re-register via a shared name.)
+	obj, _, err := srv.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("c", obj)
+
+	done := make(chan error, 1)
+	go func() {
+		var sum int32
+		done <- n.CallInto("Trigger", []any{&sum}, int32(1), "x")
+	}()
+	select {
+	case <-done:
+		// Error or success both acceptable; what matters is no hang.
+	case <-time.After(10 * time.Second):
+		t.Fatal("server task hung on upcall to dead client")
+	}
+}
+
+func TestManyClientsChurn(t *testing.T) {
+	srv, path := startServer(t)
+	obj, _, err := srv.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("shared", obj)
+
+	var wg sync.WaitGroup
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial("unix", path, WithClientLog(func(string, ...any) {}))
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			shared, err := c.NamedObject("shared")
+			if err == nil {
+				shared.Call("Add", int64(1))
+			}
+			if i%3 == 0 {
+				// A third of the clients vanish without goodbye.
+				c.rpcConn.Close()
+				c.upConn.Close()
+			} else {
+				c.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for srv.SessionCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.SessionCount() != 0 {
+		t.Errorf("sessions leaked after churn: %d", srv.SessionCount())
+	}
+	if got := obj.(*counter).Total(); got != rounds {
+		t.Errorf("total = %d, want %d", got, rounds)
+	}
+}
+
+func TestTruncatedFrameDropsSession(t *testing.T) {
+	srv, path := startServer(t)
+	conn, err := net.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := wire.NewConn(conn)
+	var body bytesBuf
+	h := helloBody{Role: roleRPC}
+	h.bundle(xdr.NewEncoder(&body))
+	if err := wc.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: body.b}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// A frame header promising a huge body, then silence and close.
+	var hdr [16]byte
+	binary.BigEndian.PutUint16(hdr[0:2], 0xC1A0)
+	hdr[2] = byte(wire.MsgCall)
+	binary.BigEndian.PutUint32(hdr[12:16], 1<<20)
+	conn.Write(hdr[:])
+	conn.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.SessionCount() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.SessionCount() != 0 {
+		t.Errorf("truncated frame left %d sessions", srv.SessionCount())
+	}
+}

@@ -1,0 +1,856 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clam/internal/bundle"
+	"clam/internal/handle"
+	"clam/internal/rpc"
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// Client is a CLAM client process. It holds the two per-client channels of
+// §4.4 and runs the paper's two client tasks: the application flow (the
+// caller's goroutines, which block during RPC requests) and the upcall
+// task (a dedicated receive loop that is "initially blocked, and is
+// unblocked on receipt of an upcall. After handling the event, any return
+// value is sent back to the server, and then the task is blocked again").
+type Client struct {
+	rpcConn *wire.Conn
+	upConn  *wire.Conn
+	reg     *bundle.Registry
+
+	sessionID uint64
+	seq       atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *wire.Msg
+
+	// batch accumulates asynchronous calls (§3.4). Guarded by bmu.
+	bmu        sync.Mutex
+	batch      bytesBuf
+	batchCount int
+
+	batching    bool
+	maxBatch    int
+	callTimeout time.Duration
+
+	procMu   sync.Mutex
+	procs    map[uint64]reflect.Value
+	nextProc uint64
+
+	// upWork, when non-nil, fans upcalls out to concurrent handler
+	// workers (the relaxation of the one-upcall-task model).
+	upWork chan *wire.Msg
+
+	faultMu sync.Mutex
+	onFault func(FaultReport)
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	wg        sync.WaitGroup
+	logf      func(string, ...any)
+}
+
+// DialOption configures a client.
+type DialOption func(*dialCfg)
+
+type dialCfg struct {
+	dial          func(network, addr string) (net.Conn, error)
+	batching      bool
+	maxBatch      int
+	callTimeout   time.Duration
+	upcallWorkers int
+	logf          func(string, ...any)
+}
+
+// WithDialFunc substitutes the connection dialer — how the benchmarks
+// insert wire.SimLink to emulate a wide-area hop.
+func WithDialFunc(f func(network, addr string) (net.Conn, error)) DialOption {
+	return func(c *dialCfg) { c.dial = f }
+}
+
+// WithoutClientBatching disables asynchronous call batching: every Async
+// call is flushed immediately, one message per call. This is the baseline
+// for the batching ablation (A-1).
+func WithoutClientBatching() DialOption {
+	return func(c *dialCfg) { c.batching = false }
+}
+
+// WithMaxBatch sets the auto-flush threshold for batched calls.
+func WithMaxBatch(n int) DialOption {
+	return func(c *dialCfg) {
+		if n > 0 {
+			c.maxBatch = n
+		}
+	}
+}
+
+// WithCallTimeout bounds each synchronous call round trip.
+func WithCallTimeout(d time.Duration) DialOption {
+	return func(c *dialCfg) { c.callTimeout = d }
+}
+
+// WithClientLog directs client diagnostics.
+func WithClientLog(f func(string, ...any)) DialOption {
+	return func(c *dialCfg) { c.logf = f }
+}
+
+// WithUpcallHandlers runs n concurrent upcall-handler workers instead of
+// the paper's single upcall task, pairing with the server-side
+// WithMaxClientUpcalls relaxation. With n <= 1 the client keeps the
+// paper's model: one task that handles an upcall, replies, and blocks
+// again (§4.4).
+func WithUpcallHandlers(n int) DialOption {
+	return func(c *dialCfg) {
+		if n > 1 {
+			c.upcallWorkers = n
+		}
+	}
+}
+
+// Dial connects to a CLAM server, establishing the RPC channel and the
+// upcall channel.
+func Dial(network, addr string, opts ...DialOption) (*Client, error) {
+	cfg := dialCfg{
+		dial:        func(n, a string) (net.Conn, error) { return net.Dial(n, a) },
+		batching:    true,
+		maxBatch:    64,
+		callTimeout: 30 * time.Second,
+		logf:        log.Printf,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	rpcRaw, err := cfg.dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("clam: dialing rpc channel: %w", err)
+	}
+	rpcConn := wire.NewConn(rpcRaw)
+	sessionID, err := helloExchange(rpcConn, roleRPC, 0)
+	if err != nil {
+		rpcConn.Close()
+		return nil, err
+	}
+
+	upRaw, err := cfg.dial(network, addr)
+	if err != nil {
+		rpcConn.Close()
+		return nil, fmt.Errorf("clam: dialing upcall channel: %w", err)
+	}
+	upConn := wire.NewConn(upRaw)
+	if _, err := helloExchange(upConn, roleUpcall, sessionID); err != nil {
+		rpcConn.Close()
+		upConn.Close()
+		return nil, err
+	}
+
+	c := &Client{
+		rpcConn:     rpcConn,
+		upConn:      upConn,
+		reg:         bundle.NewRegistry(),
+		sessionID:   sessionID,
+		pending:     make(map[uint64]chan *wire.Msg),
+		batching:    cfg.batching,
+		maxBatch:    cfg.maxBatch,
+		callTimeout: cfg.callTimeout,
+		procs:       make(map[uint64]reflect.Value),
+		closedCh:    make(chan struct{}),
+		logf:        cfg.logf,
+	}
+	if cfg.upcallWorkers > 1 {
+		c.upWork = make(chan *wire.Msg)
+		for i := 0; i < cfg.upcallWorkers; i++ {
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				for msg := range c.upWork {
+					c.handleUpcall(msg)
+				}
+			}()
+		}
+	}
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.rpcReadLoop()
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.upcallReadLoop()
+	}()
+	return c, nil
+}
+
+func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
+	var body bytesBuf
+	hello := helloBody{Role: role, Session: session}
+	if err := hello.bundle(xdr.NewEncoder(&body)); err != nil {
+		return 0, err
+	}
+	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: body.b}); err != nil {
+		return 0, fmt.Errorf("clam: hello: %w", err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("clam: hello reply: %w", err)
+	}
+	if msg.Type != wire.MsgHelloReply {
+		return 0, fmt.Errorf("clam: hello answered with %v", msg.Type)
+	}
+	var reply helloReplyBody
+	if err := reply.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+		return 0, err
+	}
+	return reply.Session, nil
+}
+
+// SessionID identifies this client on the server.
+func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// SessionStats reports the total frames sent and received across both of
+// the client's channels — a direct measure of how much traffic crossed
+// the address-space boundary.
+func (c *Client) SessionStats() (sent, received uint64) {
+	s1, r1 := c.rpcConn.Stats()
+	s2, r2 := c.upConn.Stats()
+	return s1 + s2, r1 + r2
+}
+
+// Registry exposes the client's bundler registry for custom bundlers.
+func (c *Client) Registry() *bundle.Registry { return c.reg }
+
+// OnFault installs the handler for server fault reports (§4.3). The
+// handler runs on the upcall flow; keep it brief.
+func (c *Client) OnFault(fn func(FaultReport)) {
+	c.faultMu.Lock()
+	c.onFault = fn
+	c.faultMu.Unlock()
+}
+
+// ctx returns a per-call bundling context with the client-side hooks.
+func (c *Client) ctx() *bundle.Ctx {
+	return &bundle.Ctx{
+		Objects: (*clientObjectHook)(c),
+		Procs:   (*clientProcHook)(c),
+	}
+}
+
+// Close tears both channels down.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closedCh)
+		// Best-effort goodbyes; the server treats a dropped connection
+		// the same way.
+		c.rpcConn.Send(&wire.Msg{Type: wire.MsgBye})
+		c.upConn.Send(&wire.Msg{Type: wire.MsgBye})
+		c.rpcConn.Close()
+		c.upConn.Close()
+		c.failAllPending()
+	})
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Client) failAllPending() {
+	c.pmu.Lock()
+	for seq, ch := range c.pending {
+		close(ch)
+		delete(c.pending, seq)
+	}
+	c.pmu.Unlock()
+}
+
+// --- read loops -------------------------------------------------------------
+
+func (c *Client) rpcReadLoop() {
+	for {
+		msg, err := c.rpcConn.Recv()
+		if err != nil {
+			c.failAllPending()
+			return
+		}
+		switch msg.Type {
+		case wire.MsgReply, wire.MsgLoadReply, wire.MsgSyncReply:
+			c.pmu.Lock()
+			ch, ok := c.pending[msg.Seq]
+			if ok {
+				delete(c.pending, msg.Seq)
+			}
+			c.pmu.Unlock()
+			if ok {
+				ch <- msg
+			}
+		case wire.MsgBye:
+			c.failAllPending()
+			return
+		default:
+			c.logf("clam: client: unexpected %v on rpc channel", msg.Type)
+		}
+	}
+}
+
+// upcallReadLoop is the paper's second client task: it handles upcalls one
+// at a time, sends the return value back, and blocks again — unless
+// concurrent handler workers were configured, in which case it only
+// demultiplexes.
+func (c *Client) upcallReadLoop() {
+	if c.upWork != nil {
+		defer close(c.upWork)
+	}
+	for {
+		msg, err := c.upConn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case wire.MsgUpcall:
+			if c.upWork != nil {
+				c.upWork <- msg
+			} else {
+				c.handleUpcall(msg)
+			}
+		case wire.MsgError:
+			var report FaultReport
+			if err := report.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+				c.logf("clam: client: bad fault report: %v", err)
+				continue
+			}
+			c.faultMu.Lock()
+			fn := c.onFault
+			c.faultMu.Unlock()
+			if fn != nil {
+				fn(report)
+			} else {
+				c.logf("clam: client: server fault report: %v", report)
+			}
+		case wire.MsgBye:
+			return
+		default:
+			c.logf("clam: client: unexpected %v on upcall channel", msg.Type)
+		}
+	}
+}
+
+func (c *Client) handleUpcall(msg *wire.Msg) {
+	dec := xdr.NewDecoder(byteReader(msg.Body))
+	var hdr rpc.UpcallHeader
+	replyErr := func(err error) {
+		var body bytesBuf
+		rh := rpc.ReplyHeader{Status: rpc.StatusDispatch, ErrMsg: err.Error()}
+		if berr := rh.Bundle(xdr.NewEncoder(&body)); berr != nil {
+			return
+		}
+		c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: body.b})
+	}
+	if err := hdr.Bundle(dec); err != nil {
+		replyErr(err)
+		return
+	}
+	c.procMu.Lock()
+	fn, ok := c.procs[hdr.ProcID]
+	c.procMu.Unlock()
+	if !ok {
+		replyErr(fmt.Errorf("clam: upcall to unknown procedure %d", hdr.ProcID))
+		return
+	}
+	ctx := c.ctx()
+	args, err := rpc.DecodeFuncArgs(c.reg, ctx, dec, fn.Type())
+	if err != nil {
+		replyErr(err)
+		return
+	}
+
+	rets, appErr := c.invokeHandler(fn, args)
+
+	var body bytesBuf
+	if err := rpc.EncodeFuncResults(c.reg, ctx, xdr.NewEncoder(&body), fn.Type(), rets, appErr); err != nil {
+		replyErr(err)
+		return
+	}
+	if err := c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: body.b}); err != nil {
+		c.logf("clam: client: upcall reply: %v", err)
+	}
+}
+
+// invokeHandler runs a registered upcall procedure, converting a panic
+// into an application error so a buggy handler does not kill the upcall
+// task.
+func (c *Client) invokeHandler(fn reflect.Value, args []reflect.Value) (rets []reflect.Value, appErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			appErr = fmt.Errorf("clam: upcall handler panicked: %v", r)
+			rets = nil
+		}
+	}()
+	out := fn.Call(args)
+	if n := len(out); n > 0 && fn.Type().Out(n-1) == reflect.TypeOf((*error)(nil)).Elem() {
+		if !out[n-1].IsNil() {
+			appErr = out[n-1].Interface().(error)
+		}
+	}
+	return out, appErr
+}
+
+// registerProc assigns an identifier to a local procedure so it can travel
+// to the server as a procedure pointer (§3.5.2). Identifiers are never
+// reused; each bundling mints a fresh one, matching the per-translation
+// RUC instances on the server side.
+func (c *Client) registerProc(fn reflect.Value) uint64 {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	c.nextProc++
+	c.procs[c.nextProc] = fn
+	return c.nextProc
+}
+
+// ProcCount reports how many local procedures are registered for upcalls.
+func (c *Client) ProcCount() int {
+	c.procMu.Lock()
+	defer c.procMu.Unlock()
+	return len(c.procs)
+}
+
+// --- calls -------------------------------------------------------------------
+
+// ErrClientClosed reports use of a closed client.
+var ErrClientClosed = errors.New("clam: client closed")
+
+// encodeEntry bundles one call entry (header + tagged arguments) into a
+// scratch buffer so a mid-encode failure cannot corrupt the batch.
+func (c *Client) encodeEntry(seq uint64, h handle.Handle, method string, args []any) ([]byte, error) {
+	var buf bytesBuf
+	enc := xdr.NewEncoder(&buf)
+	hdr := rpc.CallHeader{Seq: seq, Obj: h, Method: method}
+	if err := hdr.Bundle(enc); err != nil {
+		return nil, err
+	}
+	n := len(args)
+	if err := enc.Len(&n); err != nil {
+		return nil, err
+	}
+	ctx := c.ctx()
+	for i, a := range args {
+		v := reflect.ValueOf(a)
+		if !v.IsValid() {
+			return nil, fmt.Errorf("clam: argument %d of %s is untyped nil; pass a typed nil pointer", i, method)
+		}
+		if err := rpc.EncodeValue(c.reg, ctx, enc, v); err != nil {
+			return nil, fmt.Errorf("clam: argument %d of %s: %w", i, method, err)
+		}
+	}
+	return buf.b, nil
+}
+
+// appendEntryLocked adds an encoded entry to the batch; bmu must be held.
+func (c *Client) appendEntryLocked(entry []byte) {
+	c.batch.b = append(c.batch.b, entry...)
+	c.batchCount++
+}
+
+// flushLocked ships the accumulated batch as one MsgCall; bmu must be held.
+func (c *Client) flushLocked() error {
+	if c.batchCount == 0 {
+		return nil
+	}
+	var body bytesBuf
+	enc := xdr.NewEncoder(&body)
+	n := c.batchCount
+	if err := enc.Len(&n); err != nil {
+		return err
+	}
+	body.b = append(body.b, c.batch.b...)
+	c.batch.b = c.batch.b[:0]
+	c.batchCount = 0
+	return c.rpcConn.Send(&wire.Msg{Type: wire.MsgCall, Body: body.b})
+}
+
+// Flush ships any batched asynchronous calls to the server.
+func (c *Client) Flush() error {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	return c.flushLocked()
+}
+
+// Sync flushes the batch and performs an empty round trip, the "special
+// synchronization procedure" of §3.4: when it returns, every previously
+// issued asynchronous call has been executed by the server.
+func (c *Client) Sync() error {
+	seq := c.seq.Add(1)
+	ch := c.arm(seq)
+	c.bmu.Lock()
+	if err := c.flushLocked(); err != nil {
+		c.bmu.Unlock()
+		c.disarm(seq)
+		return err
+	}
+	err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
+	c.bmu.Unlock()
+	if err != nil {
+		c.disarm(seq)
+		return err
+	}
+	_, err = c.wait(seq, ch)
+	return err
+}
+
+func (c *Client) arm(seq uint64) chan *wire.Msg {
+	ch := make(chan *wire.Msg, 1)
+	c.pmu.Lock()
+	c.pending[seq] = ch
+	c.pmu.Unlock()
+	return ch
+}
+
+func (c *Client) disarm(seq uint64) {
+	c.pmu.Lock()
+	delete(c.pending, seq)
+	c.pmu.Unlock()
+}
+
+func (c *Client) wait(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
+	var timeout <-chan time.Time
+	if c.callTimeout > 0 {
+		t := time.NewTimer(c.callTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok || msg == nil {
+			return nil, ErrClientClosed
+		}
+		return msg, nil
+	case <-timeout:
+		c.disarm(seq)
+		return nil, fmt.Errorf("clam: call %d timed out after %v", seq, c.callTimeout)
+	case <-c.closedCh:
+		c.disarm(seq)
+		return nil, ErrClientClosed
+	}
+}
+
+// call performs a synchronous call on h: any batched asynchronous calls
+// travel in the same message, preserving order, and the reply's
+// out-parameters are applied to pointer arguments.
+func (c *Client) call(h handle.Handle, method string, rets []any, args []any) error {
+	seq := c.seq.Add(1)
+	entry, err := c.encodeEntry(seq, h, method, args)
+	if err != nil {
+		return err
+	}
+	ch := c.arm(seq)
+	c.bmu.Lock()
+	c.appendEntryLocked(entry)
+	err = c.flushLocked()
+	c.bmu.Unlock()
+	if err != nil {
+		c.disarm(seq)
+		return err
+	}
+	msg, err := c.wait(seq, ch)
+	if err != nil {
+		return err
+	}
+	return c.decodeReply(msg, method, rets, args)
+}
+
+// async queues an asynchronous call (no reply). Depending on batching
+// configuration it is shipped immediately or when the batch flushes.
+func (c *Client) async(h handle.Handle, method string, args []any) error {
+	entry, err := c.encodeEntry(0, h, method, args)
+	if err != nil {
+		return err
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	c.appendEntryLocked(entry)
+	if !c.batching || c.batchCount >= c.maxBatch {
+		return c.flushLocked()
+	}
+	return nil
+}
+
+func (c *Client) decodeReply(msg *wire.Msg, method string, rets []any, args []any) error {
+	dec := xdr.NewDecoder(byteReader(msg.Body))
+	var rh rpc.ReplyHeader
+	if err := rh.Bundle(dec); err != nil {
+		return err
+	}
+	if err := rh.Err(); err != nil {
+		return err
+	}
+	ctx := c.ctx()
+
+	// Out-parameters: (index, present, value) triples applied to the
+	// pointer arguments.
+	var outc int
+	if err := dec.Len(&outc); err != nil {
+		return err
+	}
+	for i := 0; i < outc; i++ {
+		var idx uint32
+		if err := dec.Uint32(&idx); err != nil {
+			return err
+		}
+		var present bool
+		if err := dec.Bool(&present); err != nil {
+			return err
+		}
+		if !present {
+			continue
+		}
+		if int(idx) >= len(args) {
+			return fmt.Errorf("clam: reply to %s updates parameter %d of %d", method, idx, len(args))
+		}
+		av := reflect.ValueOf(args[idx])
+		if av.Kind() != reflect.Ptr {
+			return fmt.Errorf("clam: reply to %s updates non-pointer parameter %d (%T)", method, idx, args[idx])
+		}
+		if av.IsNil() {
+			// The server allocated an out value the caller did not ask
+			// for; decode into a throwaway of the right type.
+			av = reflect.New(av.Type().Elem())
+		}
+		if err := rpc.DecodeValue(c.reg, ctx, dec, av.Elem()); err != nil {
+			return fmt.Errorf("clam: reply to %s, parameter %d: %w", method, idx, err)
+		}
+	}
+
+	// Results.
+	var retc int
+	if err := dec.Len(&retc); err != nil {
+		return err
+	}
+	if retc != len(rets) {
+		return fmt.Errorf("clam: %s returned %d results, caller expects %d", method, retc, len(rets))
+	}
+	for i := 0; i < retc; i++ {
+		rv := reflect.ValueOf(rets[i])
+		if rv.Kind() != reflect.Ptr || rv.IsNil() {
+			return fmt.Errorf("clam: result target %d for %s must be a non-nil pointer, got %T", i, method, rets[i])
+		}
+		if err := rpc.DecodeValue(c.reg, ctx, dec, rv.Elem()); err != nil {
+			return fmt.Errorf("clam: result %d of %s: %w", i, method, err)
+		}
+	}
+	return nil
+}
+
+// --- dynamic loading -----------------------------------------------------------
+
+func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody, error) {
+	seq := c.seq.Add(1)
+	ch := c.arm(seq)
+
+	var body bytesBuf
+	req := loadBody{Op: op, Name: name, MinVersion: version}
+	if err := req.bundle(xdr.NewEncoder(&body)); err != nil {
+		c.disarm(seq)
+		return nil, err
+	}
+	// Flush first so the load is ordered after queued asynchronous calls.
+	c.bmu.Lock()
+	if err := c.flushLocked(); err != nil {
+		c.bmu.Unlock()
+		c.disarm(seq)
+		return nil, err
+	}
+	err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgLoad, Seq: seq, Body: body.b})
+	c.bmu.Unlock()
+	if err != nil {
+		c.disarm(seq)
+		return nil, err
+	}
+	msg, err := c.wait(seq, ch)
+	if err != nil {
+		return nil, err
+	}
+	var reply loadReplyBody
+	if err := reply.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+		return nil, err
+	}
+	if !reply.OK {
+		return nil, fmt.Errorf("clam: %s", reply.ErrMsg)
+	}
+	return &reply, nil
+}
+
+// LoadClass dynamically loads a class into the server (§2), returning its
+// class identifier and the version actually loaded.
+func (c *Client) LoadClass(name string, minVersion uint32) (classID, version uint32, err error) {
+	reply, err := c.loadOp(loadOpLoad, name, minVersion)
+	if err != nil {
+		return 0, 0, err
+	}
+	return reply.ClassID, reply.Version, nil
+}
+
+// New loads (if necessary) and instantiates a class in the server,
+// returning a remote reference to the instance.
+func (c *Client) New(name string, minVersion uint32) (*Remote, error) {
+	reply, err := c.loadOp(loadOpNew, name, minVersion)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{c: c, h: reply.Obj, classID: reply.ClassID, version: reply.Version}, nil
+}
+
+// LoadClassExact loads a specific version of a class, so different
+// clients can run different versions side by side (§2.1).
+func (c *Client) LoadClassExact(name string, version uint32) (classID uint32, err error) {
+	reply, err := c.loadOp(loadOpLoadExact, name, version)
+	if err != nil {
+		return 0, err
+	}
+	return reply.ClassID, nil
+}
+
+// NewExact instantiates a pinned class version in the server.
+func (c *Client) NewExact(name string, version uint32) (*Remote, error) {
+	reply, err := c.loadOp(loadOpNewExact, name, version)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{c: c, h: reply.Obj, classID: reply.ClassID, version: reply.Version}, nil
+}
+
+// Unload removes a loaded class version from the server.
+func (c *Client) Unload(name string, version uint32) error {
+	_, err := c.loadOp(loadOpUnload, name, version)
+	return err
+}
+
+// NamedObject returns a remote reference to a server instance published
+// with Server.SetNamed — how clients find base abstractions like the
+// screen.
+func (c *Client) NamedObject(name string) (*Remote, error) {
+	reply, err := c.loadOp(loadOpNamed, name, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{c: c, h: reply.Obj, classID: reply.ClassID, version: reply.Version}, nil
+}
+
+// --- Remote ---------------------------------------------------------------------
+
+// Remote is the client's reference to a server object: the stored handle
+// of §3.5.1. "The client bundler assumes that an incoming object pointer
+// is a handle, stores the handle, and returns a pointer to the stored
+// handle" — a Remote is that stored handle, and performing an operation on
+// it "becomes an RPC back into the server".
+type Remote struct {
+	c       *Client
+	h       handle.Handle
+	classID uint32
+	version uint32
+}
+
+// Handle exposes the capability.
+func (r *Remote) Handle() handle.Handle { return r.h }
+
+// ClassID reports the object's class identifier, when known.
+func (r *Remote) ClassID() uint32 { return r.classID }
+
+// Version reports the object's class version, when known.
+func (r *Remote) Version() uint32 { return r.version }
+
+// Client returns the owning client.
+func (r *Remote) Client() *Client { return r.c }
+
+// Call synchronously invokes method on the remote object. Pointer
+// arguments receive the server's out/inout updates; results, if any, are
+// discarded — use CallInto to receive them.
+func (r *Remote) Call(method string, args ...any) error {
+	return r.c.call(r.h, method, nil, args)
+}
+
+// CallInto synchronously invokes method, decoding each result into the
+// corresponding non-nil pointer in rets.
+func (r *Remote) CallInto(method string, rets []any, args ...any) error {
+	return r.c.call(r.h, method, rets, args)
+}
+
+// Async queues an asynchronous invocation: no reply, batched with other
+// asynchronous calls until a synchronous call, Flush or Sync ships them
+// (§3.4). Only methods without results and without out-parameters should
+// be called this way; the server silently discards anything a batched
+// call would have returned.
+func (r *Remote) Async(method string, args ...any) error {
+	return r.c.async(r.h, method, args)
+}
+
+// String renders the reference.
+func (r *Remote) String() string {
+	return fmt.Sprintf("remote(%v class=%d v=%d)", r.h, r.classID, r.version)
+}
+
+// --- client-side bundle hooks ------------------------------------------------------
+
+// clientObjectHook treats *Remote as the client's object-pointer type: it
+// bundles the stored handle out and wraps incoming handles in new Remotes.
+type clientObjectHook Client
+
+var remoteStructType = reflect.TypeOf(Remote{})
+
+// IsClass reports whether t is the Remote struct type.
+func (h *clientObjectHook) IsClass(t reflect.Type) bool { return t == remoteStructType }
+
+// BundleObject converts between *Remote and wire handles.
+func (h *clientObjectHook) BundleObject(s *xdr.Stream, v reflect.Value) error {
+	c := (*Client)(h)
+	switch s.Op() {
+	case xdr.Encode:
+		if v.IsNil() {
+			nh := handle.Nil
+			return nh.Bundle(s)
+		}
+		r := v.Interface().(*Remote)
+		if r.c != nil && r.c != c {
+			return fmt.Errorf("clam: remote %v belongs to another client", r)
+		}
+		hd := r.h
+		return hd.Bundle(s)
+	default:
+		var hd handle.Handle
+		if err := hd.Bundle(s); err != nil {
+			return err
+		}
+		if hd.IsNil() {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		v.Set(reflect.ValueOf(&Remote{c: c, h: hd}))
+		return nil
+	}
+}
+
+// clientProcHook bundles local procedures into procedure identifiers. The
+// reverse direction (a server passing a procedure pointer to a client) is
+// unimplemented, as in the paper.
+type clientProcHook Client
+
+// BundleProc registers the func and transmits its identifier.
+func (h *clientProcHook) BundleProc(s *xdr.Stream, v reflect.Value) error {
+	c := (*Client)(h)
+	switch s.Op() {
+	case xdr.Encode:
+		if v.IsNil() {
+			var zero uint64
+			return s.Uint64(&zero)
+		}
+		id := c.registerProc(v)
+		return s.Uint64(&id)
+	default:
+		return fmt.Errorf("clam: receiving a procedure pointer from the server is not supported (as in the paper)")
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These tests cover the §4.4 relaxation: "In CLAM, we allow only one
+// upcall to be active per client process. This limitation simplifies our
+// first implementation and may be relaxed in future designs." The default
+// configuration reproduces the limitation; WithMaxClientUpcalls +
+// WithUpcallHandlers implement the anticipated relaxation.
+
+// triggerConcurrently fires n upcalls from n independent server
+// goroutines through the notifier's stored proxies and reports the
+// maximum overlap the client handler observed and the elapsed time.
+func runUpcallConcurrencyProbe(t *testing.T, srvOpts []ServerOption, dialOpts []DialOption) (maxOverlap int32, elapsed time.Duration) {
+	t.Helper()
+	srvOpts = append([]ServerOption{WithServerLog(func(string, ...any) {})}, srvOpts...)
+	srv := NewServer(testLibrary(t), srvOpts...)
+	obj, _, err := srv.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("notifier", obj)
+	sock := t.TempDir() + "/cu.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	dialOpts = append([]DialOption{WithClientLog(func(string, ...any) {})}, dialOpts...)
+	c, err := Dial("unix", sock, dialOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	n, err := c.NamedObject("notifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inFlight, peak atomic.Int32
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+		inFlight.Add(-1)
+		return x
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reach the server-side proxy directly and fire from independent
+	// goroutines, as concurrent server activities would.
+	notif := obj.(*notifier)
+	notif.mu.Lock()
+	fn := notif.fns[0]
+	notif.mu.Unlock()
+
+	const workers = 4
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(1, "probe")
+		}()
+	}
+	wg.Wait()
+	return peak.Load(), time.Since(start)
+}
+
+// Default configuration: the paper's one-upcall-per-client limit holds
+// even under concurrent server-side triggers.
+func TestUpcallLimitDefaultIsOne(t *testing.T) {
+	peak, elapsed := runUpcallConcurrencyProbe(t, nil, nil)
+	if peak != 1 {
+		t.Errorf("peak concurrent upcalls = %d, want 1 (the paper's limit)", peak)
+	}
+	// Four serialized 25 ms handlers take >= ~100 ms.
+	if elapsed < 90*time.Millisecond {
+		t.Errorf("four upcalls finished in %v; they cannot have been serialized", elapsed)
+	}
+}
+
+// Relaxed configuration: concurrent upcalls overlap and finish faster.
+func TestUpcallLimitRelaxed(t *testing.T) {
+	peak, elapsed := runUpcallConcurrencyProbe(t,
+		[]ServerOption{WithMaxClientUpcalls(4)},
+		[]DialOption{WithUpcallHandlers(4)})
+	if peak < 2 {
+		t.Errorf("peak concurrent upcalls = %d, want >= 2 under the relaxation", peak)
+	}
+	if elapsed > 90*time.Millisecond {
+		t.Errorf("four overlapping 25ms upcalls took %v", elapsed)
+	}
+}
+
+// The relaxation must not break reply matching: results still pair with
+// the right invocation.
+func TestConcurrentUpcallRepliesMatch(t *testing.T) {
+	srv := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}),
+		WithMaxClientUpcalls(8))
+	obj, _, err := srv.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("notifier", obj)
+	sock := t.TempDir() + "/cu.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial("unix", sock,
+		WithClientLog(func(string, ...any) {}),
+		WithUpcallHandlers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n, err := c.NamedObject("notifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		time.Sleep(time.Duration(x%5) * time.Millisecond)
+		return x * 2
+	}); err != nil {
+		t.Fatal(err)
+	}
+	notif := obj.(*notifier)
+	notif.mu.Lock()
+	fn := notif.fns[0]
+	notif.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for i := int32(1); i <= 32; i++ {
+		wg.Add(1)
+		go func(i int32) {
+			defer wg.Done()
+			if got := fn(i, "x"); got != i*2 {
+				errs <- "mismatch"
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	if len(errs) != 0 {
+		t.Errorf("%d reply mismatches under concurrent upcalls", len(errs))
+	}
+}
+
+// WithMaxClientUpcalls clamps nonsense values.
+func TestUpcallLimitClamped(t *testing.T) {
+	srv := NewServer(testLibrary(t), WithMaxClientUpcalls(0),
+		WithServerLog(func(string, ...any) {}))
+	defer srv.Close()
+	if srv.maxClientUpcalls != 1 {
+		t.Errorf("maxClientUpcalls = %d, want clamp to 1", srv.maxClientUpcalls)
+	}
+}

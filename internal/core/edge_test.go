@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clam/internal/dynload"
+	"clam/internal/rpc"
+	"clam/internal/wire"
+)
+
+// failer is a class whose upcalls let the client report errors back.
+type failer struct {
+	mu sync.Mutex
+	fn func(int32) (int32, error)
+}
+
+func (f *failer) Register(fn func(int32) (int32, error)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fn = fn
+}
+
+func (f *failer) Trigger(x int32) (int32, error) {
+	f.mu.Lock()
+	fn := f.fn
+	f.mu.Unlock()
+	if fn == nil {
+		return 0, errors.New("no registration")
+	}
+	return fn(x)
+}
+
+// slowpoke blocks its upcall handler long enough to trip the timeout.
+// Its procedure type carries an error result so the proxy can surface the
+// timeout.
+type slowpoke struct {
+	mu sync.Mutex
+	fn func(int32) (int32, error)
+}
+
+func (s *slowpoke) Register(fn func(int32) (int32, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fn = fn
+}
+
+func (s *slowpoke) Trigger(x int32) (int32, error) {
+	s.mu.Lock()
+	fn := s.fn
+	s.mu.Unlock()
+	if fn == nil {
+		return 0, errors.New("no registration")
+	}
+	return fn(x)
+}
+
+func registerEdgeClasses(t *testing.T, srv *Server) {
+	t.Helper()
+	if err := srv.lib.Register(dynload.Class{
+		Name: "failer", Version: 1, Type: reflect.TypeOf(&failer{}),
+		New: func(any) (any, error) { return &failer{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.lib.Register(dynload.Class{
+		Name: "slowpoke", Version: 1, Type: reflect.TypeOf(&slowpoke{}),
+		New: func(any) (any, error) { return &slowpoke{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpcallHandlerErrorPropagates: a client handler returning an error
+// surfaces in the server-side proxy's error result and travels back to
+// the caller.
+func TestUpcallHandlerErrorPropagates(t *testing.T) {
+	srv2 := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	registerEdgeClasses(t, srv2)
+	sock := t.TempDir() + "/edge.sock"
+	if _, err := srv2.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	c := dialClient(t, sock)
+	f, err := c.New("failer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("handler rejects")
+	if err := f.Call("Register", func(x int32) (int32, error) {
+		if x < 0 {
+			return 0, boom
+		}
+		return x * 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out int32
+	if err := f.CallInto("Trigger", []any{&out}, int32(4)); err != nil || out != 8 {
+		t.Fatalf("happy path: out=%d err=%v", out, err)
+	}
+	err = f.CallInto("Trigger", []any{&out}, int32(-1))
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(re.Msg, "handler rejects") {
+		t.Errorf("handler error text lost: %q", re.Msg)
+	}
+}
+
+// TestUpcallTimeout: a handler that never returns trips the server's
+// upcall timeout instead of wedging the server task forever.
+func TestUpcallTimeout(t *testing.T) {
+	srv := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}),
+		WithUpcallTimeout(300*time.Millisecond))
+	registerEdgeClasses(t, srv)
+	sock := t.TempDir() + "/edge.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Client logs are discarded: the stalled handler's late reply hits a
+	// closing connection by design.
+	c, err := Dial("unix", sock, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.New("slowpoke", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := make(chan struct{})
+	t.Cleanup(func() {
+		close(stall)
+		time.Sleep(20 * time.Millisecond) // let the late reply drain
+		c.Close()
+	})
+	if err := s.Call("Register", func(x int32) (int32, error) {
+		<-stall // never in time
+		return x, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var out int32
+	start := time.Now()
+	err = s.CallInto("Trigger", []any{&out}, int32(1))
+	if err == nil {
+		t.Fatal("timed-out upcall reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	// The server survived; an ordinary call still works.
+	cnt, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cnt.Call("Add", int64(1)); err != nil {
+		t.Errorf("server wedged after upcall timeout: %v", err)
+	}
+}
+
+// TestConcurrentUpcallsSerialized: §4.4 allows one active upcall per
+// client; concurrent triggers must serialize, not deadlock.
+func TestConcurrentUpcallsSerialized(t *testing.T) {
+	srv, path := startServer(t)
+	obj, _, err := srv.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("notifier", obj)
+	c := dialClient(t, path)
+	n, err := c.NamedObject("notifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inHandler atomic.Int32
+	var overlap atomic.Int32
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		if inHandler.Add(1) > 1 {
+			overlap.Add(1)
+		}
+		time.Sleep(2 * time.Millisecond)
+		inHandler.Add(-1)
+		return x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sum int32
+			if err := n.CallInto("Trigger", []any{&sum}, int32(1), "x"); err != nil {
+				t.Errorf("trigger: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if overlap.Load() != 0 {
+		t.Errorf("%d overlapping upcalls; want serialization", overlap.Load())
+	}
+}
+
+// TestSimLinkClient: the full protocol works through the simulated WAN
+// link used for Figure 5.1 rows h and i.
+func TestSimLinkClient(t *testing.T) {
+	_, addr := tcpServer(t)
+	c, err := Dial("tcp", addr, WithDialFunc(func(network, a string) (net.Conn, error) {
+		conn, err := net.Dial(network, a)
+		if err != nil {
+			return nil, err
+		}
+		return wire.NewSimLink(conn, 2*time.Millisecond, 0), nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("call completed in %v, faster than the link latency", elapsed)
+	}
+	// Upcalls also traverse the delayed link.
+	n, err := c.New("notifier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call("Register", func(x int32, s string) int32 { return x }); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	if err := n.CallInto("Trigger", []any{&sum}, int32(3), "wan"); err != nil || sum != 3 {
+		t.Errorf("sum=%d err=%v", sum, err)
+	}
+}
+
+// TestSessionStatsCounts: the batching experiment's measurement hook
+// reflects actual message counts.
+func TestSessionStatsCounts(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	obj, _ := c.New("counter", 0)
+	s0, r0 := c.SessionStats()
+	for i := 0; i < 10; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s1, r1 := c.SessionStats()
+	// 10 batched asyncs + sync = 2 frames out (1 call batch + 1 sync),
+	// 1 frame back.
+	if s1-s0 != 2 || r1-r0 != 1 {
+		t.Errorf("batched: sent %d recv %d, want 2/1", s1-s0, r1-r0)
+	}
+}
+
+// TestFlushEmptyBatch: Flush and Sync on an empty batch are cheap no-ops
+// that still synchronize.
+func TestFlushEmptyBatch(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxBatchAutoFlush: exceeding the batch threshold ships
+// automatically.
+func TestMaxBatchAutoFlush(t *testing.T) {
+	_, path := startServer(t)
+	c := dialClient(t, path, WithMaxBatch(4))
+	obj, _ := c.New("counter", 0)
+	for i := 0; i < 9; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two full batches of 4 have already shipped; sync the ninth.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil || total != 9 {
+		t.Errorf("total=%d err=%v", total, err)
+	}
+}
+
+// TestDialUnreachable: connection failures surface as errors, not hangs.
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("unix", t.TempDir()+"/nope.sock"); err == nil {
+		t.Error("dial to nowhere succeeded")
+	}
+}
+
+// TestServerCloseUnblocksClients: closing the server fails outstanding
+// client calls promptly.
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	registerEdgeClasses(t, srv)
+	sock := t.TempDir() + "/edge.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial("unix", sock, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s, err := c.New("slowpoke", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := make(chan struct{})
+	defer close(stall)
+	if err := s.Call("Register", func(x int32) (int32, error) { <-stall; return x, nil }); err != nil {
+		t.Fatal(err)
+	}
+	callErr := make(chan error, 1)
+	go func() {
+		var out int32
+		callErr <- s.CallInto("Trigger", []any{&out}, int32(1))
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	select {
+	case err := <-callErr:
+		if err == nil {
+			t.Error("call succeeded past server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client call not unblocked by server close")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"clam/internal/handle"
+	"clam/internal/xdr"
+)
+
+// Server-side implementations of the two special automatic bundlers of
+// §3.5: "The compiler automatically provides special bundlers for two
+// types of pointers, pointers to objects (i.e. class instances) and
+// pointers to procedures."
+
+// serverObjectHook bundles class-instance pointers as handles (§3.5.1).
+type serverObjectHook session
+
+// IsClass reports whether t is the instance struct of a loaded class.
+func (h *serverObjectHook) IsClass(t reflect.Type) bool {
+	return (*session)(h).srv.loader.IsClassType(t)
+}
+
+// BundleObject converts between object pointers and handles. Leaving the
+// server, the pointer becomes a handle minted from the handle table;
+// entering the server, the handle is validated and resolved back to the
+// object, whose type must suit the declared parameter.
+func (h *serverObjectHook) BundleObject(s *xdr.Stream, v reflect.Value) error {
+	sess := (*session)(h)
+	switch s.Op() {
+	case xdr.Encode:
+		if v.IsNil() {
+			nh := handle.Nil
+			return nh.Bundle(s)
+		}
+		loaded, err := sess.srv.loader.ByType(v.Type())
+		if err != nil {
+			return fmt.Errorf("clam: object of unloaded class %s cannot leave the server: %w", v.Type(), err)
+		}
+		hd, err := sess.srv.handles.Put(v.Interface(), loaded.ID, loaded.Version)
+		if err != nil {
+			return err
+		}
+		return hd.Bundle(s)
+	default:
+		var hd handle.Handle
+		if err := hd.Bundle(s); err != nil {
+			return err
+		}
+		if hd.IsNil() {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		obj, err := sess.srv.handles.Get(hd)
+		if err != nil {
+			return err
+		}
+		ov := reflect.ValueOf(obj)
+		if !ov.Type().AssignableTo(v.Type()) {
+			return fmt.Errorf("clam: handle %v names a %s, parameter wants %s", hd, ov.Type(), v.Type())
+		}
+		v.Set(ov)
+		return nil
+	}
+}
+
+// serverProcHook bundles procedure pointers (§3.5.2). Incoming procedure
+// pointers become RUC proxies; the paper did not implement passing
+// procedure pointers from the server to the client ("While the server
+// might pass a procedure pointer to the client, we have not implemented
+// any automatic means of handling these pointers"), and neither does this
+// reproduction — an attempt reports a clear error.
+type serverProcHook session
+
+// BundleProc converts an incoming procedure identifier into a proxy func
+// whose invocation performs the distributed upcall.
+func (h *serverProcHook) BundleProc(s *xdr.Stream, v reflect.Value) error {
+	sess := (*session)(h)
+	switch s.Op() {
+	case xdr.Encode:
+		if v.IsNil() {
+			var zero uint64
+			return s.Uint64(&zero)
+		}
+		return fmt.Errorf("clam: passing a procedure pointer from server to client is not supported (as in the paper)")
+	default:
+		var procID uint64
+		if err := s.Uint64(&procID); err != nil {
+			return err
+		}
+		if procID == 0 {
+			v.Set(reflect.Zero(v.Type()))
+			return nil
+		}
+		_, proxy, err := sess.srv.rucs.Bind(procID, v.Type(), sess)
+		if err != nil {
+			return err
+		}
+		v.Set(proxy)
+		return nil
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"errors"
+	"net"
+
+	"clam/internal/wire"
+)
+
+// In-process transport: the paper's motivation is letting the programmer
+// place layers wherever the numbers favor — including the degenerate
+// placement where "client" and server share a process. SelfDial connects
+// a Client to a Server over an in-memory pipe, exercising the full
+// protocol (hello, batching, handles, upcalls) with no kernel sockets.
+// Benchmarks use it to separate protocol overhead from IPC cost.
+
+// ErrServerClosed reports a pipe request against a closed server.
+var ErrServerClosed = errors.New("clam: server closed")
+
+// PipeConn returns the client end of a fresh in-memory connection whose
+// server end is already being served.
+func (s *Server) PipeConn() (net.Conn, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	clientEnd, serverEnd := net.Pipe()
+	go func() {
+		defer s.wg.Done()
+		s.handleConn(wire.NewConn(serverEnd))
+	}()
+	return clientEnd, nil
+}
+
+// SelfDial connects a client to srv inside the same process.
+func SelfDial(srv *Server, opts ...DialOption) (*Client, error) {
+	opts = append(opts, WithDialFunc(func(string, string) (net.Conn, error) {
+		return srv.PipeConn()
+	}))
+	return Dial("pipe", "in-process", opts...)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSelfDialFullProtocol(t *testing.T) {
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	defer srv.Close()
+	c, err := SelfDial(srv, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(4)); err != nil {
+		t.Fatal(err)
+	}
+	obj.Async("Add", int64(5))
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil || total != 9 {
+		t.Fatalf("total=%d err=%v", total, err)
+	}
+
+	// Distributed upcalls work over the pipe too.
+	n, err := c.New("notifier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Call("Register", func(x int32, s string) int32 { return x + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	if err := n.CallInto("Trigger", []any{&sum}, int32(41), "pipe"); err != nil || sum != 42 {
+		t.Fatalf("sum=%d err=%v", sum, err)
+	}
+}
+
+func TestPipeConnAfterClose(t *testing.T) {
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	srv.Close()
+	if _, err := srv.PipeConn(); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("err = %v, want ErrServerClosed", err)
+	}
+	if _, err := SelfDial(srv); err == nil {
+		t.Error("SelfDial to closed server succeeded")
+	}
+}
+
+func TestSelfDialMultipleClients(t *testing.T) {
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	defer srv.Close()
+	obj, _, err := srv.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetNamed("shared", obj)
+	for i := 0; i < 3; i++ {
+		c, err := SelfDial(srv, WithClientLog(func(string, ...any) {}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := c.NamedObject("shared")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := shared.Call("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if got := obj.(*counter).Total(); got != 3 {
+		t.Errorf("total = %d", got)
+	}
+}

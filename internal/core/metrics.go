@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sort"
+	"sync"
+)
+
+// Server instrumentation. The paper's group built IPS, an "interactive
+// and automatic performance measurement tool for parallel and distributed
+// programs" (reference [8]), and §5's call-cost table presupposes exactly
+// this kind of counting inside the server. Metrics are cheap counters
+// updated on the dispatch paths and snapshotted on demand — clamd exposes
+// them and tests assert against them.
+
+// metrics is the live counter set; all fields guarded by mu.
+type metrics struct {
+	mu           sync.Mutex
+	calls        map[string]uint64 // "class.Method" → count
+	syncCalls    uint64
+	asyncCalls   uint64
+	batches      uint64
+	upcalls      uint64
+	upcallFails  uint64
+	faults       uint64
+	loads        uint64
+	faultReports uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{calls: make(map[string]uint64)}
+}
+
+func (m *metrics) countCall(class, method string, sync bool) {
+	m.mu.Lock()
+	m.calls[class+"."+method]++
+	if sync {
+		m.syncCalls++
+	} else {
+		m.asyncCalls++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) countBatch() {
+	m.mu.Lock()
+	m.batches++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countUpcall(failed bool) {
+	m.mu.Lock()
+	m.upcalls++
+	if failed {
+		m.upcallFails++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) countFault() {
+	m.mu.Lock()
+	m.faults++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countLoad() {
+	m.mu.Lock()
+	m.loads++
+	m.mu.Unlock()
+}
+
+func (m *metrics) countFaultReport() {
+	m.mu.Lock()
+	m.faultReports++
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time copy of the server's counters.
+type MetricsSnapshot struct {
+	// Calls maps "class.Method" to its dispatch count (all outcomes).
+	Calls map[string]uint64
+	// SyncCalls and AsyncCalls split dispatches by reply expectation.
+	SyncCalls, AsyncCalls uint64
+	// Batches counts MsgCall messages (each carrying >=1 calls).
+	Batches uint64
+	// Upcalls counts distributed upcalls initiated; UpcallFailures those
+	// that ended in timeout, disconnect or a handler error.
+	Upcalls, UpcallFailures uint64
+	// Faults counts panics caught in loaded code; FaultReports the error
+	// upcalls sent for them.
+	Faults, FaultReports uint64
+	// Loads counts load-protocol operations that succeeded.
+	Loads uint64
+}
+
+// TopCalls returns the busiest methods, most-called first, at most n.
+func (s MetricsSnapshot) TopCalls(n int) []string {
+	type kv struct {
+		k string
+		v uint64
+	}
+	all := make([]kv, 0, len(s.Calls))
+	for k, v := range s.Calls {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].k < all[j].k
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].k
+	}
+	return out
+}
+
+// Metrics snapshots the server's counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	m := s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	calls := make(map[string]uint64, len(m.calls))
+	for k, v := range m.calls {
+		calls[k] = v
+	}
+	return MetricsSnapshot{
+		Calls:          calls,
+		SyncCalls:      m.syncCalls,
+		AsyncCalls:     m.asyncCalls,
+		Batches:        m.batches,
+		Upcalls:        m.upcalls,
+		UpcallFailures: m.upcallFails,
+		Faults:         m.faults,
+		FaultReports:   m.faultReports,
+		Loads:          m.loads,
+	}
+}

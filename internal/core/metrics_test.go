@@ -1,0 +1,140 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestMetricsCountCallsAndLoads(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("counter", 0) // one successful load op
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Call("Add", int64(1))
+	obj.Call("Add", int64(2))
+	obj.Async("Record", "x")
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	obj.CallInto("Total", []any{&total})
+
+	m := srv.Metrics()
+	if m.Calls["counter.Add"] != 2 {
+		t.Errorf("Add count = %d", m.Calls["counter.Add"])
+	}
+	if m.Calls["counter.Record"] != 1 || m.Calls["counter.Total"] != 1 {
+		t.Errorf("calls = %v", m.Calls)
+	}
+	if m.SyncCalls != 3 || m.AsyncCalls != 1 {
+		t.Errorf("sync=%d async=%d", m.SyncCalls, m.AsyncCalls)
+	}
+	if m.Loads == 0 {
+		t.Error("loads not counted")
+	}
+	if m.Batches < 3 {
+		t.Errorf("batches = %d", m.Batches)
+	}
+}
+
+func TestMetricsCountUpcalls(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	n, _ := c.New("notifier", 0)
+	if err := n.Call("Register", func(x int32, s string) int32 { return x }); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	for i := 0; i < 3; i++ {
+		if err := n.CallInto("Trigger", []any{&sum}, int32(1), "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if m.Upcalls != 3 {
+		t.Errorf("upcalls = %d", m.Upcalls)
+	}
+	if m.UpcallFailures != 0 {
+		t.Errorf("failures = %d", m.UpcallFailures)
+	}
+}
+
+func TestMetricsCountUpcallFailures(t *testing.T) {
+	srv := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}),
+		WithUpcallTimeout(200*time.Millisecond))
+	registerEdgeClasses(t, srv)
+	sock := t.TempDir() + "/m.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial("unix", sock, WithClientLog(func(string, ...any) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := c.New("slowpoke", 0)
+	stall := make(chan struct{})
+	t.Cleanup(func() {
+		close(stall)
+		time.Sleep(20 * time.Millisecond)
+		c.Close()
+	})
+	s.Call("Register", func(x int32) (int32, error) { <-stall; return x, nil })
+	var out int32
+	s.CallInto("Trigger", []any{&out}, int32(1)) // times out
+	m := srv.Metrics()
+	if m.Upcalls != 1 || m.UpcallFailures != 1 {
+		t.Errorf("upcalls=%d failures=%d", m.Upcalls, m.UpcallFailures)
+	}
+}
+
+func TestMetricsCountFaults(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	f, _ := c.New("faulty", 0)
+	f.Call("Crash")  // sync fault, no report upcall
+	f.Async("Crash") // async fault → report upcall
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := srv.Metrics(); m.Faults == 2 && m.FaultReports == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m := srv.Metrics()
+	t.Errorf("faults=%d reports=%d, want 2/1", m.Faults, m.FaultReports)
+}
+
+func TestMetricsSnapshotIsolation(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, _ := c.New("counter", 0)
+	obj.Call("Add", int64(1))
+	m1 := srv.Metrics()
+	m1.Calls["counter.Add"] = 999 // mutating the snapshot
+	m2 := srv.Metrics()
+	if m2.Calls["counter.Add"] != 1 {
+		t.Error("snapshot mutation leaked into live counters")
+	}
+}
+
+func TestTopCalls(t *testing.T) {
+	s := MetricsSnapshot{Calls: map[string]uint64{
+		"a.X": 5, "b.Y": 9, "c.Z": 9, "d.W": 1,
+	}}
+	got := s.TopCalls(3)
+	want := []string{"b.Y", "c.Z", "a.X"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TopCalls = %v, want %v", got, want)
+	}
+	if n := len(s.TopCalls(99)); n != 4 {
+		t.Errorf("TopCalls(99) len = %d", n)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+// Property: §3.4's ordering guarantee — "our underlying communication
+// medium guarantees reliable, in-order delivery of messages, so batched
+// calls will arrive in the correct order" — holds for arbitrary
+// interleavings of asynchronous, synchronous and explicitly flushed calls
+// from one client.
+func TestBatchedCallOrderProperty(t *testing.T) {
+	_, path := startServer(t)
+
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial)+1, 99))
+		c := dialClient(t, path)
+		obj, err := c.New("counter", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []string
+		n := 30 + rng.IntN(40)
+		for i := 0; i < n; i++ {
+			tag := fmt.Sprintf("t%d-e%d", trial, i)
+			want = append(want, tag)
+			switch rng.IntN(4) {
+			case 0, 1: // batched async
+				if err := obj.Async("Record", tag); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // synchronous call carrying the batch with it
+				if err := obj.Call("Record", tag); err != nil {
+					t.Fatal(err)
+				}
+			default: // async then explicit flush
+				if err := obj.Async("Record", tag); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.Flush(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		if err := obj.CallInto("Log", []any{&got}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d records, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: order broken at %d: got %q want %q",
+					trial, i, got[i], want[i])
+			}
+		}
+		c.Close()
+	}
+}

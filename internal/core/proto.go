@@ -1,0 +1,113 @@
+// Package core assembles CLAM from its substrates: the server that accepts
+// clients, loads modules and dispatches calls; the per-client sessions with
+// their two communication channels (§4.4); and the client runtime with its
+// application and upcall flows. See DESIGN.md for the system inventory.
+package core
+
+import (
+	"fmt"
+
+	"clam/internal/handle"
+	"clam/internal/xdr"
+)
+
+// Connection roles for the hello handshake. "There are actually at most
+// two channels of communication between each client and the server. One
+// channel is used for RPC requests from the client and the other is used
+// for upcalls from the server" (§4.4). Each channel is its own stream,
+// identified at connect time.
+const (
+	roleRPC    uint32 = 0
+	roleUpcall uint32 = 1
+)
+
+// helloBody opens a connection: the client declares the channel's role
+// and, for the upcall channel, the session it belongs to.
+type helloBody struct {
+	Role    uint32
+	Session uint64
+}
+
+func (h *helloBody) bundle(s *xdr.Stream) error {
+	s.Uint32(&h.Role)
+	return s.Uint64(&h.Session)
+}
+
+// helloReplyBody acknowledges the handshake with the session identifier.
+type helloReplyBody struct {
+	Session uint64
+}
+
+func (h *helloReplyBody) bundle(s *xdr.Stream) error {
+	return s.Uint64(&h.Session)
+}
+
+// Load-protocol operations (§2's dynamic loading plus instance management).
+const (
+	loadOpLoad uint32 = iota + 1
+	loadOpNew
+	loadOpUnload
+	loadOpNamed
+	// Exact-version variants: "different clients could have different
+	// versions, depending on their application" (§2.1), so a client must
+	// be able to pin the version rather than take the newest.
+	loadOpLoadExact
+	loadOpNewExact
+)
+
+// loadBody requests a dynamic-loading operation.
+type loadBody struct {
+	Op         uint32
+	Name       string
+	MinVersion uint32
+}
+
+func (l *loadBody) bundle(s *xdr.Stream) error {
+	s.Uint32(&l.Op)
+	s.String(&l.Name)
+	return s.Uint32(&l.MinVersion)
+}
+
+// loadReplyBody answers a load request.
+type loadReplyBody struct {
+	OK      bool
+	ErrMsg  string
+	ClassID uint32
+	Version uint32
+	Obj     handle.Handle
+}
+
+func (l *loadReplyBody) bundle(s *xdr.Stream) error {
+	s.Bool(&l.OK)
+	if !l.OK {
+		return s.String(&l.ErrMsg)
+	}
+	s.Uint32(&l.ClassID)
+	s.Uint32(&l.Version)
+	return l.Obj.Bundle(s)
+}
+
+// FaultReport is the error-report upcall of §4.3: "Once the server has
+// determined that an error exists in a dynamically loaded class ... The
+// server can choose to notify a client that it tried to use a faulty
+// class. A new task is created in the server that handles the error
+// reporting."
+type FaultReport struct {
+	// Class names the faulty loaded class, when known.
+	Class string
+	// Method is the procedure that faulted.
+	Method string
+	// Msg describes the fault.
+	Msg string
+}
+
+// String renders the report.
+func (f FaultReport) String() string {
+	return fmt.Sprintf("fault in %s.%s: %s", f.Class, f.Method, f.Msg)
+}
+
+func (f *FaultReport) bundle(s *xdr.Stream) error {
+	s.String(&f.Class)
+	s.String(&f.Method)
+	return s.String(&f.Msg)
+}

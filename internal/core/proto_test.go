@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"clam/internal/handle"
+	"clam/internal/xdr"
+)
+
+func TestHelloBodyRoundTrip(t *testing.T) {
+	want := helloBody{Role: roleUpcall, Session: 77}
+	var buf bytesBuf
+	h := want
+	if err := h.bundle(xdr.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var got helloBody
+	if err := got.bundle(xdr.NewDecoder(byteReader(buf.b))); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func TestHelloReplyBodyRoundTrip(t *testing.T) {
+	want := helloReplyBody{Session: 123456}
+	var buf bytesBuf
+	h := want
+	if err := h.bundle(xdr.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var got helloReplyBody
+	if err := got.bundle(xdr.NewDecoder(byteReader(buf.b))); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestLoadBodyRoundTrip(t *testing.T) {
+	f := func(op uint32, name string, v uint32) bool {
+		want := loadBody{Op: op, Name: name, MinVersion: v}
+		var buf bytesBuf
+		b := want
+		if b.bundle(xdr.NewEncoder(&buf)) != nil {
+			return false
+		}
+		var got loadBody
+		return got.bundle(xdr.NewDecoder(byteReader(buf.b))) == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadReplyBodyRoundTrip(t *testing.T) {
+	cases := []loadReplyBody{
+		{OK: true, ClassID: 3, Version: 2, Obj: handle.Handle{ID: 9, Tag: 0xfeed}},
+		{OK: false, ErrMsg: "no such class"},
+	}
+	for _, want := range cases {
+		var buf bytesBuf
+		b := want
+		if err := b.bundle(xdr.NewEncoder(&buf)); err != nil {
+			t.Fatal(err)
+		}
+		var got loadReplyBody
+		if err := got.bundle(xdr.NewDecoder(byteReader(buf.b))); err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestFaultReportRoundTripAndString(t *testing.T) {
+	want := FaultReport{Class: "sweep", Method: "Mouse", Msg: "nil deref"}
+	var buf bytesBuf
+	r := want
+	if err := r.bundle(xdr.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var got FaultReport
+	if err := got.bundle(xdr.NewDecoder(byteReader(buf.b))); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v", got)
+	}
+	if !strings.Contains(want.String(), "sweep.Mouse") {
+		t.Errorf("String() = %q", want.String())
+	}
+}
+
+func TestByteReaderExhaustion(t *testing.T) {
+	r := byteReader([]byte{1, 2})
+	p := make([]byte, 4)
+	n, err := r.Read(p)
+	if n != 2 || err != nil {
+		t.Fatalf("first read: %d, %v", n, err)
+	}
+	if _, err := r.Read(p); err == nil {
+		t.Error("read past end succeeded")
+	}
+}
+
+func TestBytesBufAppends(t *testing.T) {
+	var b bytesBuf
+	b.Write([]byte("ab"))
+	b.Write([]byte("cd"))
+	if string(b.b) != "abcd" {
+		t.Errorf("buf = %q", b.b)
+	}
+}

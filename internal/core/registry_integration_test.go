@@ -1,0 +1,170 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clam/internal/dynload"
+	"clam/internal/upcall"
+)
+
+// hub is a class built on the generic upcall.Registry instead of typed
+// func slices — proving the registry's reflect-based dispatch treats RUC
+// proxies exactly like local procedures ("the lower level object cannot
+// distinguish between registration requests from local objects and those
+// from remote objects", §4.1).
+type hub struct {
+	reg *upcall.Registry
+}
+
+func newHub() *hub {
+	return &hub{reg: upcall.NewRegistry(upcall.WithPolicy(upcall.Queue))}
+}
+
+// Subscribe registers a procedure for the named event.
+func (h *hub) Subscribe(event string, fn func(int64) int64) error {
+	_, err := h.reg.Register(event, fn)
+	return err
+}
+
+// Publish posts the event and returns how many receivers took it.
+func (h *hub) Publish(event string, x int64) (int64, error) {
+	n, err := h.reg.Post(event, x)
+	return int64(n), err
+}
+
+// Queued reports queued (unclaimed) events.
+func (h *hub) Queued(event string) int64 {
+	return int64(h.reg.Queued(event))
+}
+
+// Replay re-posts queued events to the now-registered receivers.
+func (h *hub) Replay(event string) (int64, error) {
+	n, err := h.reg.Replay(event)
+	return int64(n), err
+}
+
+func hubServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	if err := srv.lib.Register(dynload.Class{
+		Name: "hub", Version: 1, Type: reflect.TypeOf(&hub{}),
+		New: func(any) (any, error) { return newHub(), nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sock := t.TempDir() + "/hub.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sock
+}
+
+func TestUpcallRegistryWithRemoteProcedures(t *testing.T) {
+	_, sock := hubServer(t)
+	c := dialClient(t, sock)
+	h, err := c.New("hub", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int64, 8)
+	if err := h.Call("Subscribe", "tick", func(x int64) int64 {
+		got <- x
+		return x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int64
+	if err := h.CallInto("Publish", []any{&delivered}, "tick", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Errorf("delivered = %d", delivered)
+	}
+	if x := <-got; x != 5 {
+		t.Errorf("handler saw %d", x)
+	}
+}
+
+func TestUpcallRegistryQueuesForLateSubscribers(t *testing.T) {
+	_, sock := hubServer(t)
+	c := dialClient(t, sock)
+	h, err := c.New("hub", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish before anyone subscribes: queued per the registry policy.
+	var delivered int64
+	if err := h.CallInto("Publish", []any{&delivered}, "boot", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 0 {
+		t.Errorf("delivered = %d before any subscriber", delivered)
+	}
+	var queued int64
+	if err := h.CallInto("Queued", []any{&queued}, "boot"); err != nil {
+		t.Fatal(err)
+	}
+	if queued != 1 {
+		t.Fatalf("queued = %d", queued)
+	}
+	// Subscribe from the client, replay the queue: the queued event
+	// crosses as a distributed upcall.
+	got := make(chan int64, 1)
+	if err := h.Call("Subscribe", "boot", func(x int64) int64 {
+		got <- x
+		return x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var replayed int64
+	if err := h.CallInto("Replay", []any{&replayed}, "boot"); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 1 {
+		t.Errorf("replayed = %d", replayed)
+	}
+	if x := <-got; x != 1 {
+		t.Errorf("late subscriber saw %d", x)
+	}
+}
+
+func TestLoadClassExactClientAPI(t *testing.T) {
+	lib := testLibrary(t)
+	// Two versions of a class with distinct instance types.
+	type v2counter struct{ counter }
+	if err := lib.Register(dynload.Class{
+		Name: "counter", Version: 2, Type: reflect.TypeOf(&v2counter{}),
+		New: func(any) (any, error) { return &v2counter{}, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lib, WithServerLog(func(string, ...any) {}))
+	sock := t.TempDir() + "/exact.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := dialClient(t, sock)
+
+	id1, err := c.LoadClassExact("counter", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := c.LoadClassExact("counter", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 == id2 {
+		t.Error("exact loads of different versions share a class id")
+	}
+	if _, err := c.LoadClassExact("counter", 9); err == nil {
+		t.Error("loading a nonexistent exact version succeeded")
+	}
+	// Plain LoadClass picks the newest.
+	_, v, err := c.LoadClass("counter", 0)
+	if err != nil || v != 2 {
+		t.Errorf("LoadClass picked v%d, err=%v", v, err)
+	}
+}

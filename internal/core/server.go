@@ -1,0 +1,451 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"reflect"
+	"sync"
+	"time"
+
+	"clam/internal/bundle"
+	"clam/internal/dynload"
+	"clam/internal/handle"
+	"clam/internal/rpc"
+	"clam/internal/ruc"
+	"clam/internal/task"
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// Server is a CLAM server: it accepts client connections, dynamically
+// loads modules on request, dispatches remote procedure calls into loaded
+// classes, and carries distributed upcalls back to clients. The server
+// itself "contains no code specific to window management" or any other
+// application — all application code arrives by loading classes (§2).
+type Server struct {
+	lib     *dynload.Library
+	loader  *dynload.Loader
+	handles *handle.Table
+	reg     *bundle.Registry
+	sched   *task.Sched
+	rucs    *ruc.Table
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	nextSess  uint64
+	listeners []net.Listener
+	named     map[string]any
+	stubs     map[uint32]*rpc.ClassStubs // class id → compiled stubs
+	closed    bool
+
+	wg sync.WaitGroup // accept loops and connection readers
+
+	upcallTimeout    time.Duration
+	maxClientUpcalls int
+	logf             func(format string, args ...any)
+
+	metrics *metrics
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithUpcallTimeout bounds how long a distributed upcall waits for the
+// client task to complete (default 30s).
+func WithUpcallTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.upcallTimeout = d }
+}
+
+// WithMaxClientUpcalls raises the bound on concurrently active upcalls to
+// one client. The default of 1 is the paper's design ("we allow only one
+// upcall to be active per client process", §4.4); raising it implements
+// the relaxation the paper anticipates for "future designs". Values < 1
+// are treated as 1. Note that a client's upcall task handles upcalls
+// sequentially regardless, so concurrency beyond 1 pays off when upcall
+// handlers themselves block (e.g. on reentrant calls) or when clients
+// enable concurrent handling.
+func WithMaxClientUpcalls(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.maxClientUpcalls = n
+	}
+}
+
+// WithServerLog directs server diagnostics; default log.Printf.
+func WithServerLog(f func(string, ...any)) ServerOption {
+	return func(s *Server) { s.logf = f }
+}
+
+// WithScheduler substitutes the task scheduler, e.g. one built with
+// task.WithoutReuse for the reuse ablation.
+func WithScheduler(sched *task.Sched) ServerOption {
+	return func(s *Server) { s.sched = sched }
+}
+
+// NewServer returns a server drawing loadable classes from lib.
+func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
+	s := &Server{
+		lib:              lib,
+		handles:          handle.NewTable(),
+		reg:              bundle.NewRegistry(),
+		sessions:         make(map[uint64]*session),
+		named:            make(map[string]any),
+		stubs:            make(map[uint32]*rpc.ClassStubs),
+		upcallTimeout:    30 * time.Second,
+		maxClientUpcalls: 1,
+		logf:             log.Printf,
+		metrics:          newMetrics(),
+	}
+	s.loader = dynload.NewLoader(lib)
+	s.rucs = ruc.NewTable(func(e *ruc.Entry, err error) {
+		s.logf("clam: upcall through RUC %d failed: %v", e.ID, err)
+	})
+	for _, o := range opts {
+		o(s)
+	}
+	if s.sched == nil {
+		s.sched = task.New()
+	}
+	return s
+}
+
+// Registry exposes the server's bundler registry so applications can
+// register custom (typedef-style and named) bundlers, as in Figure 3.1.
+func (s *Server) Registry() *bundle.Registry { return s.reg }
+
+// Loader exposes dynamic loading for server-side bootstrap (built-in
+// classes loaded before any client connects).
+func (s *Server) Loader() *dynload.Loader { return s.loader }
+
+// Handles exposes the server's handle table (primarily for tests and
+// diagnostics).
+func (s *Server) Handles() *handle.Table { return s.handles }
+
+// Sched exposes the task scheduler, for modules that start their own
+// asynchronous activities (§4.3's input tasks).
+func (s *Server) Sched() *task.Sched { return s.sched }
+
+// Rucs exposes the remote-upcall table for diagnostics.
+func (s *Server) Rucs() *ruc.Table { return s.rucs }
+
+// Load loads a class server-side (bootstrap use; clients load via the
+// wire protocol) and compiles its method stubs.
+func (s *Server) Load(name string, minVersion uint32) (*dynload.Loaded, error) {
+	loaded, err := s.loader.Load(name, minVersion)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ensureStubs(loaded); err != nil {
+		return nil, err
+	}
+	return loaded, nil
+}
+
+func (s *Server) ensureStubs(loaded *dynload.Loaded) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stubs[loaded.ID]; ok {
+		return nil
+	}
+	cs, err := rpc.CompileClass(s.reg, loaded.Type, loaded.Specs)
+	if err != nil {
+		return fmt.Errorf("clam: compiling stubs for %s v%d: %w", loaded.Name, loaded.Version, err)
+	}
+	s.stubs[loaded.ID] = cs
+	return nil
+}
+
+// LoadExact loads a specific class version server-side and compiles its
+// stubs.
+func (s *Server) LoadExact(name string, version uint32) (*dynload.Loaded, error) {
+	loaded, err := s.loader.LoadExact(name, version)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.ensureStubs(loaded); err != nil {
+		return nil, err
+	}
+	return loaded, nil
+}
+
+func (s *Server) stubsFor(classID uint32) (*rpc.ClassStubs, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs, ok := s.stubs[classID]
+	return cs, ok
+}
+
+// CreateInstance loads (if needed) and instantiates a class server-side,
+// registering the instance in the handle table. Used at bootstrap, e.g.
+// to create the screen and base window instances before clients arrive
+// (§4.2: "When the server begins execution, it creates an instance, S, of
+// the screen class and an instance, BaseW, of the window class").
+func (s *Server) CreateInstance(name string, minVersion uint32, env any) (any, handle.Handle, error) {
+	loaded, err := s.Load(name, minVersion)
+	if err != nil {
+		return nil, handle.Nil, err
+	}
+	return s.instantiate(loaded, env)
+}
+
+// CreateInstanceExact is CreateInstance pinned to one class version.
+func (s *Server) CreateInstanceExact(name string, version uint32, env any) (any, handle.Handle, error) {
+	loaded, err := s.LoadExact(name, version)
+	if err != nil {
+		return nil, handle.Nil, err
+	}
+	return s.instantiate(loaded, env)
+}
+
+func (s *Server) instantiate(loaded *dynload.Loaded, env any) (any, handle.Handle, error) {
+	if env == nil {
+		env = &Env{Server: s}
+	}
+	var obj any
+	gerr := dynload.Guard(func() error {
+		var nerr error
+		obj, nerr = loaded.New(env)
+		return nerr
+	})
+	if gerr != nil {
+		return nil, handle.Nil, fmt.Errorf("clam: constructing %s: %w", loaded.Name, gerr)
+	}
+	if reflect.TypeOf(obj) != loaded.Type {
+		return nil, handle.Nil, fmt.Errorf("clam: %s constructor returned %T, want %s", loaded.Name, obj, loaded.Type)
+	}
+	h, err := s.handles.Put(obj, loaded.ID, loaded.Version)
+	if err != nil {
+		return nil, handle.Nil, err
+	}
+	return obj, h, nil
+}
+
+// SetNamed publishes obj under a well-known name so clients (and other
+// modules) can find base instances such as the screen.
+func (s *Server) SetNamed(name string, obj any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.named[name] = obj
+}
+
+// Named retrieves a published instance.
+func (s *Server) Named(name string) (any, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj, ok := s.named[name]
+	return obj, ok
+}
+
+// Env is what a dynamically loaded class constructor receives: access to
+// the server's facilities and to other loaded modules' instances, the
+// analogue of the loaded module's links into the server image.
+type Env struct {
+	// Server is the hosting server.
+	Server *Server
+	// SessionID identifies the loading client's session; zero for
+	// server-side bootstrap loads.
+	SessionID uint64
+}
+
+// Named finds a published instance by name.
+func (e *Env) Named(name string) (any, bool) {
+	return e.Server.Named(name)
+}
+
+// Sched exposes the server's task scheduler to loaded modules, so classes
+// that turn device input into tasks (§4.3) can reach it without importing
+// server internals.
+func (e *Env) Sched() *task.Sched {
+	return e.Server.Sched()
+}
+
+// Serve accepts CLAM connections on ln until the server closes. It
+// returns after the listener fails or Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("clam: server closed")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("clam: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(wire.NewConn(conn))
+		}()
+	}
+}
+
+// Listen starts serving on the given network and address in a background
+// goroutine and returns the bound listener.
+func (s *Server) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("clam: listen %s %s: %w", network, addr, err)
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		if err := s.Serve(ln); err != nil {
+			s.logf("clam: serve: %v", err)
+		}
+	}()
+	return ln, nil
+}
+
+// handleConn performs the hello handshake and runs the connection's read
+// loop according to its declared role.
+func (s *Server) handleConn(c *wire.Conn) {
+	msg, err := c.Recv()
+	if err != nil || msg.Type != wire.MsgHello {
+		c.Close()
+		return
+	}
+	var hello helloBody
+	if err := hello.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+		c.Close()
+		return
+	}
+
+	switch hello.Role {
+	case roleRPC:
+		sess := s.newSession(c)
+		if sess == nil {
+			c.Close()
+			return
+		}
+		if err := s.sendHelloReply(c, msg.Seq, sess.id); err != nil {
+			s.dropSession(sess)
+			return
+		}
+		sess.rpcReadLoop()
+		s.dropSession(sess)
+	case roleUpcall:
+		s.mu.Lock()
+		sess := s.sessions[hello.Session]
+		s.mu.Unlock()
+		if sess == nil {
+			c.Close()
+			return
+		}
+		if !sess.attachUpcallConn(c) {
+			c.Close()
+			return
+		}
+		if err := s.sendHelloReply(c, msg.Seq, sess.id); err != nil {
+			return
+		}
+		sess.upcallReadLoop()
+	default:
+		c.Close()
+	}
+}
+
+func (s *Server) sendHelloReply(c *wire.Conn, seq, sessID uint64) error {
+	var body bytesBuf
+	reply := helloReplyBody{Session: sessID}
+	if err := reply.bundle(xdr.NewEncoder(&body)); err != nil {
+		return err
+	}
+	return c.Send(&wire.Msg{Type: wire.MsgHelloReply, Seq: seq, Body: body.b})
+}
+
+func (s *Server) newSession(c *wire.Conn) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.nextSess++
+	sess := newSession(s, s.nextSess, c)
+	s.sessions[sess.id] = sess
+	return sess
+}
+
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	sess.close()
+	s.rucs.DropCaller(sess)
+}
+
+// SessionCount reports the number of connected clients.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close shuts the server down: listeners stop, sessions close, the
+// scheduler drains.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lns := s.listeners
+	s.listeners = nil
+	var sessions []*session
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.sessions = make(map[uint64]*session)
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.close()
+	}
+	s.wg.Wait()
+	return s.sched.Close()
+}
+
+// bytesBuf is a minimal write buffer avoiding the bytes import dance in
+// hot paths.
+type bytesBuf struct{ b []byte }
+
+func (w *bytesBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// byteReader adapts a byte slice for the xdr decoder.
+func byteReader(b []byte) *sliceReader { return &sliceReader{b: b} }
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, errEOB
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+var errEOB = errors.New("clam: message body exhausted")

@@ -1,0 +1,688 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"clam/internal/bundle"
+	"clam/internal/dynload"
+	"clam/internal/handle"
+	"clam/internal/rpc"
+	"clam/internal/task"
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// session is the server side of one client connection pair: the RPC
+// channel it was created with and the upcall channel that attaches later
+// (§4.4). Incoming call batches are executed in order by a dispatcher
+// task; when a handler blocks in a distributed upcall, dispatching is
+// handed to a fresh task so the server keeps serving — in particular the
+// reentrant case where the client's upcall handler calls back into the
+// server.
+type session struct {
+	id  uint64
+	srv *Server
+
+	rpcConn *wire.Conn
+
+	// The upcall gate bounds concurrent distributed upcalls per client:
+	// "we allow only one upcall to be active per client process. This
+	// limitation simplifies our first implementation and may be relaxed
+	// in future designs" (§4.4). The bound defaults to 1 (the paper's
+	// design) and is raised by core.WithMaxClientUpcalls — the paper's
+	// anticipated relaxation. It is NOT a plain mutex: a task that
+	// blocked waiting for the gate while holding the scheduler's run
+	// token would freeze every task, including the one that will release
+	// the gate. Task waiters therefore Block on upFree (releasing the
+	// token); plain goroutines wait on upFreeCh.
+	upMu     sync.Mutex // guards upBusy, upSeq, upConn
+	upBusy   int
+	upMax    int
+	upFree   task.Event
+	upFreeCh chan struct{}
+	upSeq    uint64
+	upConn   *wire.Conn
+	upOnce   sync.Once
+
+	// In-flight upcall reply slots, keyed by upcall sequence number.
+	waitMu sync.Mutex
+	waits  map[uint64]*upcallWait
+
+	// call-batch queue drained by dispatcher tasks. owner is the task
+	// currently holding dispatch duty; both fields are guarded by qMu.
+	qMu         sync.Mutex
+	queue       []*wire.Msg
+	dispatching bool
+	owner       *task.Task
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+// upcallWait is one armed reply slot: exactly one of ev/ch is set,
+// depending on whether the waiter is a task or a plain goroutine.
+type upcallWait struct {
+	ev   *task.Event
+	ch   chan *wire.Msg
+	msg  *wire.Msg
+	done bool
+}
+
+func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
+	return &session{
+		id:       id,
+		srv:      srv,
+		rpcConn:  rpcConn,
+		upMax:    srv.maxClientUpcalls,
+		upFreeCh: make(chan struct{}, 1),
+		waits:    make(map[uint64]*upcallWait),
+		closedCh: make(chan struct{}),
+	}
+}
+
+// acquireUpcallGate claims an active-upcall slot, waiting in a token-safe
+// way. It returns false if the session closed first.
+func (sess *session) acquireUpcallGate(cur *task.Task) bool {
+	for {
+		sess.upMu.Lock()
+		if sess.upBusy < sess.upMax {
+			sess.upBusy++
+			sess.upMu.Unlock()
+			return true
+		}
+		sess.upMu.Unlock()
+		select {
+		case <-sess.closedCh:
+			return false
+		default:
+		}
+		if cur != nil {
+			// Hand off dispatch duty first: the gate holder may need a
+			// fresh dispatcher (reentrant client call) to finish.
+			sess.releaseDispatch()
+			cur.Block(&sess.upFree)
+		} else {
+			select {
+			case <-sess.upFreeCh:
+			case <-sess.closedCh:
+				return false
+			case <-time.After(50 * time.Millisecond):
+				// Re-check: the release signal may have gone to a task.
+			}
+		}
+	}
+}
+
+// releaseUpcallGate frees the slot and wakes one waiter of each kind.
+func (sess *session) releaseUpcallGate() {
+	sess.upMu.Lock()
+	sess.upBusy--
+	sess.upMu.Unlock()
+	// Signal is counting, so a release that precedes the next waiter's
+	// Block is not lost.
+	sess.upFree.Signal()
+	select {
+	case sess.upFreeCh <- struct{}{}:
+	default:
+	}
+}
+
+// attachUpcallConn binds the client's second channel. It may be attached
+// once.
+func (sess *session) attachUpcallConn(c *wire.Conn) bool {
+	ok := false
+	sess.upOnce.Do(func() {
+		sess.upMu.Lock()
+		sess.upConn = c
+		sess.upMu.Unlock()
+		ok = true
+	})
+	return ok
+}
+
+func (sess *session) close() {
+	sess.closeOnce.Do(func() {
+		close(sess.closedCh)
+		sess.rpcConn.Close()
+		sess.upMu.Lock()
+		if sess.upConn != nil {
+			sess.upConn.Close()
+		}
+		sess.upMu.Unlock()
+		// Fail any in-flight upcall wait.
+		sess.deliverUpcallReply(0, nil, true)
+	})
+}
+
+// ctx returns a fresh per-call bundling context wired to this session's
+// hooks, per the no-global-state bundler rule (§3.3).
+func (sess *session) ctx() *bundle.Ctx {
+	return &bundle.Ctx{
+		Objects: (*serverObjectHook)(sess),
+		Procs:   (*serverProcHook)(sess),
+	}
+}
+
+// --- read loops -----------------------------------------------------------
+
+// rpcReadLoop receives messages on the RPC channel and queues work for the
+// dispatcher. It returns when the connection drops.
+func (sess *session) rpcReadLoop() {
+	for {
+		msg, err := sess.rpcConn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
+			sess.enqueue(msg)
+		case wire.MsgBye:
+			return
+		default:
+			sess.srv.logf("clam: session %d: unexpected %v on rpc channel", sess.id, msg.Type)
+		}
+	}
+}
+
+// upcallReadLoop receives upcall replies on the upcall channel.
+func (sess *session) upcallReadLoop() {
+	c := sess.upConn
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case wire.MsgUpcallReply:
+			sess.deliverUpcallReply(msg.Seq, msg, false)
+		case wire.MsgBye:
+			return
+		default:
+			sess.srv.logf("clam: session %d: unexpected %v on upcall channel", sess.id, msg.Type)
+		}
+	}
+}
+
+// --- dispatcher -----------------------------------------------------------
+
+func (sess *session) enqueue(msg *wire.Msg) {
+	sess.qMu.Lock()
+	sess.queue = append(sess.queue, msg)
+	spawn := !sess.dispatching
+	if spawn {
+		sess.dispatching = true
+	}
+	sess.qMu.Unlock()
+	if spawn {
+		if err := sess.srv.sched.Spawn(func(t *task.Task) { sess.dispatch(t) }); err != nil {
+			sess.qMu.Lock()
+			sess.dispatching = false
+			sess.qMu.Unlock()
+		}
+	}
+}
+
+// dispatch drains the session queue in order. Only one dispatcher runs at
+// a time, except across a distributed upcall: the blocking handler
+// releases dispatch duty first (see releaseDispatch), so a new dispatcher
+// may start while the old task waits for the client. Calls queued after a
+// blocked call therefore keep flowing, which is what makes the client's
+// reentrant call-during-upcall pattern (§4.2's sweep finale) work.
+func (sess *session) dispatch(t *task.Task) {
+	sess.qMu.Lock()
+	sess.owner = t
+	sess.qMu.Unlock()
+	for {
+		sess.qMu.Lock()
+		if sess.owner != t {
+			// Dispatch duty was released mid-batch (distributed upcall)
+			// and another task now drains the queue.
+			sess.qMu.Unlock()
+			return
+		}
+		if len(sess.queue) == 0 {
+			sess.dispatching = false
+			sess.owner = nil
+			sess.qMu.Unlock()
+			return
+		}
+		msg := sess.queue[0]
+		sess.queue = sess.queue[1:]
+		sess.qMu.Unlock()
+
+		// If the handler blocks for any reason — a distributed upcall, an
+		// event wait inside a loaded class — dispatch duty moves to a
+		// fresh task so this session's queue keeps draining. That is what
+		// makes reentrant client calls during a blocked handler work.
+		t.SetBlockHook(func() { sess.releaseDispatch() })
+		switch msg.Type {
+		case wire.MsgCall:
+			sess.execBatch(msg)
+		case wire.MsgLoad:
+			sess.execLoad(msg)
+		case wire.MsgSync:
+			sess.reply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
+		}
+		t.SetBlockHook(nil)
+	}
+}
+
+// releaseDispatch is called by the RUC caller just before blocking for a
+// client task: it gives up dispatch duty so queued (and future) calls are
+// executed by a fresh task while this one waits.
+func (sess *session) releaseDispatch() {
+	cur := task.Current()
+	if cur == nil {
+		return
+	}
+	sess.qMu.Lock()
+	if sess.owner != cur {
+		sess.qMu.Unlock()
+		return
+	}
+	sess.owner = nil
+	sess.dispatching = false
+	respawn := len(sess.queue) > 0
+	if respawn {
+		sess.dispatching = true
+	}
+	sess.qMu.Unlock()
+	if respawn {
+		if err := sess.srv.sched.Spawn(func(t *task.Task) { sess.dispatch(t) }); err != nil {
+			sess.qMu.Lock()
+			sess.dispatching = false
+			sess.qMu.Unlock()
+		}
+	}
+}
+
+// --- call execution -------------------------------------------------------
+
+func (sess *session) execBatch(msg *wire.Msg) {
+	sess.srv.metrics.countBatch()
+	dec := xdr.NewDecoder(byteReader(msg.Body))
+	var count int
+	if err := dec.Len(&count); err != nil {
+		sess.srv.logf("clam: session %d: bad call batch: %v", sess.id, err)
+		return
+	}
+	if count > rpc.MaxBatch {
+		sess.srv.logf("clam: session %d: oversized batch %d", sess.id, count)
+		return
+	}
+	for i := 0; i < count; i++ {
+		var hdr rpc.CallHeader
+		if err := hdr.Bundle(dec); err != nil {
+			sess.srv.logf("clam: session %d: bad call header: %v", sess.id, err)
+			return
+		}
+		sess.execCall(dec, &hdr)
+	}
+}
+
+// execCall decodes, runs and answers a single call.
+func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
+	ctx := sess.ctx()
+	status, errMsg, className := rpc.StatusOK, "", ""
+
+	var stub *rpc.MethodStub
+	var recv reflect.Value
+	var args []reflect.Value
+
+	entry, err := sess.srv.handles.Entry(hdr.Obj)
+	if err != nil {
+		status, errMsg = rpc.StatusDispatch, err.Error()
+	} else {
+		loaded, lerr := sess.srv.loader.Get(entry.ClassID)
+		if lerr != nil {
+			status, errMsg = rpc.StatusDispatch, lerr.Error()
+		} else {
+			className = loaded.Name
+			cs, ok := sess.srv.stubsFor(entry.ClassID)
+			if !ok {
+				status, errMsg = rpc.StatusDispatch, fmt.Sprintf("clam: class %d has no stubs", entry.ClassID)
+			} else if stub, err = cs.Method(hdr.Method); err != nil {
+				stub = nil
+				status, errMsg = rpc.StatusDispatch, err.Error()
+			} else {
+				recv = reflect.ValueOf(entry.Obj)
+			}
+		}
+	}
+
+	if stub != nil {
+		args, err = stub.DecodeArgs(ctx, dec)
+		if err != nil {
+			// The stream is now desynchronized; the rest of the batch
+			// cannot be trusted, but the caller deserves an answer.
+			status, errMsg = rpc.StatusDispatch, err.Error()
+			stub = nil
+		}
+	} else {
+		// Cannot decode the arguments without a stub; the remainder of
+		// the batch is lost. Report and bail via sticky stream error.
+		dec.SetErr(fmt.Errorf("clam: undecodable call %s", hdr.Method))
+	}
+
+	if className != "" {
+		sess.srv.metrics.countCall(className, hdr.Method, hdr.Seq != 0)
+	}
+	var rets []reflect.Value
+	if stub != nil {
+		gerr := dynload.Guard(func() error {
+			var appErr error
+			rets, appErr = stub.Invoke(recv, args)
+			return appErr
+		})
+		var fault *dynload.Fault
+		switch {
+		case gerr == nil:
+		case errors.As(gerr, &fault):
+			status, errMsg = rpc.StatusFault, fault.Error()
+			sess.srv.metrics.countFault()
+		default:
+			status, errMsg = rpc.StatusAppError, gerr.Error()
+		}
+	}
+
+	if hdr.Seq == 0 {
+		// Asynchronous call: no reply exists, so faults and dispatch
+		// failures are reported with an error upcall (§4.3) rather than
+		// silently swallowed. Synchronous callers learn of faults from
+		// the reply status instead.
+		if status == rpc.StatusFault || status == rpc.StatusDispatch {
+			sess.reportFault(className, hdr.Method, errMsg)
+		}
+		return
+	}
+
+	var body bytesBuf
+	enc := xdr.NewEncoder(&body)
+	rh := rpc.ReplyHeader{Status: status, ErrMsg: errMsg}
+	if err := rh.Bundle(enc); err != nil {
+		sess.srv.logf("clam: session %d: encoding reply header: %v", sess.id, err)
+		return
+	}
+	if status == rpc.StatusOK {
+		if err := stub.EncodeReplyPayload(ctx, enc, args, rets); err != nil {
+			// Fall back to a dispatch error so the client is not left
+			// waiting on a half-encoded reply.
+			body = bytesBuf{}
+			rh = rpc.ReplyHeader{Status: rpc.StatusDispatch, ErrMsg: err.Error()}
+			if err := rh.Bundle(xdr.NewEncoder(&body)); err != nil {
+				return
+			}
+		}
+	}
+	sess.reply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: body.b})
+}
+
+func (sess *session) reply(msg *wire.Msg) {
+	if err := sess.rpcConn.Send(msg); err != nil {
+		sess.srv.logf("clam: session %d: reply: %v", sess.id, err)
+	}
+}
+
+// --- load protocol --------------------------------------------------------
+
+func (sess *session) execLoad(msg *wire.Msg) {
+	var req loadBody
+	reply := loadReplyBody{}
+	if err := req.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+		reply.ErrMsg = err.Error()
+		sess.sendLoadReply(msg.Seq, &reply)
+		return
+	}
+
+	switch req.Op {
+	case loadOpLoad, loadOpLoadExact:
+		var loaded *dynload.Loaded
+		var err error
+		if req.Op == loadOpLoadExact {
+			loaded, err = sess.srv.LoadExact(req.Name, req.MinVersion)
+		} else {
+			loaded, err = sess.srv.Load(req.Name, req.MinVersion)
+		}
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		reply.OK = true
+		reply.ClassID = loaded.ID
+		reply.Version = loaded.Version
+	case loadOpNew, loadOpNewExact:
+		env := &Env{Server: sess.srv, SessionID: sess.id}
+		var obj any
+		var h handle.Handle
+		var err error
+		if req.Op == loadOpNewExact {
+			obj, h, err = sess.srv.CreateInstanceExact(req.Name, req.MinVersion, env)
+		} else {
+			obj, h, err = sess.srv.CreateInstance(req.Name, req.MinVersion, env)
+		}
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		loaded, err := sess.srv.loader.ByType(reflect.TypeOf(obj))
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		reply.OK = true
+		reply.ClassID = loaded.ID
+		reply.Version = loaded.Version
+		reply.Obj = h
+	case loadOpUnload:
+		if err := sess.srv.loader.Unload(req.Name, req.MinVersion); err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		reply.OK = true
+	case loadOpNamed:
+		obj, ok := sess.srv.Named(req.Name)
+		if !ok {
+			reply.ErrMsg = fmt.Sprintf("clam: no named instance %q", req.Name)
+			break
+		}
+		loaded, err := sess.srv.loader.ByType(reflect.TypeOf(obj))
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		h, err := sess.srv.handles.Put(obj, loaded.ID, loaded.Version)
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			break
+		}
+		reply.OK = true
+		reply.ClassID = loaded.ID
+		reply.Version = loaded.Version
+		reply.Obj = h
+	default:
+		reply.ErrMsg = fmt.Sprintf("clam: unknown load op %d", req.Op)
+	}
+	if reply.OK {
+		sess.srv.metrics.countLoad()
+	}
+	sess.sendLoadReply(msg.Seq, &reply)
+}
+
+func (sess *session) sendLoadReply(seq uint64, reply *loadReplyBody) {
+	var body bytesBuf
+	if err := reply.bundle(xdr.NewEncoder(&body)); err != nil {
+		sess.srv.logf("clam: session %d: encoding load reply: %v", sess.id, err)
+		return
+	}
+	sess.reply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: body.b})
+}
+
+// --- distributed upcalls (ruc.Caller) --------------------------------------
+
+// errNoUpcallChannel reports an upcall attempted before the client
+// attached its second channel.
+var errNoUpcallChannel = errors.New("clam: client has no upcall channel")
+
+// Upcall implements ruc.Caller: it is the remote call back to the higher
+// level object in the client (§4.1). The server task blocks while the
+// client task carries the flow of control (§4.3); at most one upcall is
+// active per client (§4.4).
+func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+	cur := task.Current()
+	if !sess.acquireUpcallGate(cur) {
+		return nil, fmt.Errorf("clam: session %d closed before upcall", sess.id)
+	}
+	defer sess.releaseUpcallGate()
+	failed := true
+	defer func() { sess.srv.metrics.countUpcall(failed) }()
+
+	sess.upMu.Lock()
+	c := sess.upConn
+	sess.upSeq++
+	seq := sess.upSeq
+	sess.upMu.Unlock()
+	if c == nil {
+		return nil, errNoUpcallChannel
+	}
+
+	var body bytesBuf
+	enc := xdr.NewEncoder(&body)
+	uh := rpc.UpcallHeader{ProcID: procID}
+	if err := uh.Bundle(enc); err != nil {
+		return nil, err
+	}
+	ctx := sess.ctx()
+	if err := rpc.EncodeFuncArgs(sess.srv.reg, ctx, enc, ft, args); err != nil {
+		return nil, err
+	}
+
+	// Arm the reply slot before sending so a fast client cannot race the
+	// wait. The wait strategy depends on who is calling: a task blocks on
+	// an event (releasing the run token so other tasks — including a new
+	// dispatcher for this session — keep running), while a plain
+	// goroutine waits on a channel.
+	w := &upcallWait{}
+	if cur != nil {
+		w.ev = &task.Event{}
+	} else {
+		w.ch = make(chan *wire.Msg, 1)
+	}
+	sess.waitMu.Lock()
+	sess.waits[seq] = w
+	sess.waitMu.Unlock()
+	defer func() {
+		sess.waitMu.Lock()
+		delete(sess.waits, seq)
+		sess.waitMu.Unlock()
+	}()
+
+	if err := c.Send(&wire.Msg{Type: wire.MsgUpcall, Seq: seq, Body: body.b}); err != nil {
+		return nil, fmt.Errorf("clam: sending upcall: %w", err)
+	}
+
+	var reply *wire.Msg
+	if cur != nil {
+		// Hand off dispatch duty so this session's queue keeps draining
+		// while we wait for the client task.
+		sess.releaseDispatch()
+		timer := time.AfterFunc(sess.srv.upcallTimeout, func() {
+			sess.deliverUpcallReply(seq, nil, true)
+		})
+		cur.Block(w.ev)
+		timer.Stop()
+		sess.waitMu.Lock()
+		reply = w.msg
+		sess.waitMu.Unlock()
+	} else {
+		select {
+		case reply = <-w.ch:
+		case <-time.After(sess.srv.upcallTimeout):
+			sess.deliverUpcallReply(seq, nil, true) // disarm the slot
+		case <-sess.closedCh:
+		}
+	}
+	if reply == nil {
+		return nil, fmt.Errorf("clam: upcall %d to session %d failed (timeout or disconnect)", seq, sess.id)
+	}
+
+	dec := xdr.NewDecoder(byteReader(reply.Body))
+	rets, appErr, err := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dec, ft)
+	if err != nil {
+		return nil, err
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	failed = false
+	return rets, nil
+}
+
+// deliverUpcallReply completes an armed wait slot. cancel delivers a nil
+// message (timeout, shutdown); seq 0 cancels every in-flight slot.
+func (sess *session) deliverUpcallReply(seq uint64, msg *wire.Msg, cancel bool) {
+	sess.waitMu.Lock()
+	defer sess.waitMu.Unlock()
+	if seq == 0 {
+		for _, w := range sess.waits {
+			completeWaitLocked(w, nil)
+		}
+		return
+	}
+	w, ok := sess.waits[seq]
+	if !ok || w.done {
+		return
+	}
+	if cancel {
+		msg = nil
+	}
+	completeWaitLocked(w, msg)
+}
+
+// completeWaitLocked finishes one slot; sess.waitMu must be held.
+func completeWaitLocked(w *upcallWait, msg *wire.Msg) {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.msg = msg
+	if w.ev != nil {
+		w.ev.Signal()
+	} else if w.ch != nil {
+		if msg != nil {
+			w.ch <- msg
+		} else {
+			close(w.ch)
+		}
+	}
+}
+
+// reportFault notifies the client that it tried to use a faulty class
+// (§4.3). A new task carries the report so the failing path is not
+// delayed; the report travels on the upcall channel as a MsgError.
+func (sess *session) reportFault(class, method, msg string) {
+	sess.srv.metrics.countFaultReport()
+	report := FaultReport{Class: class, Method: method, Msg: msg}
+	err := sess.srv.sched.Spawn(func(*task.Task) {
+		sess.upMu.Lock()
+		c := sess.upConn
+		sess.upMu.Unlock()
+		if c == nil {
+			sess.srv.logf("clam: session %d: dropping fault report (%v): no upcall channel", sess.id, report)
+			return
+		}
+		var body bytesBuf
+		if err := report.bundle(xdr.NewEncoder(&body)); err != nil {
+			return
+		}
+		if err := c.Send(&wire.Msg{Type: wire.MsgError, Body: body.b}); err != nil {
+			sess.srv.logf("clam: session %d: fault report failed: %v", sess.id, err)
+		}
+	})
+	if err != nil {
+		sess.srv.logf("clam: session %d: fault report task: %v", sess.id, err)
+	}
+}

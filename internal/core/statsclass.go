@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"clam/internal/dynload"
+)
+
+// StatsClass is a loadable class exposing the server's instrumentation to
+// remote clients — measurement as just another dynamically loaded module,
+// in the spirit of the authors' IPS tool (paper reference [8]). Register
+// it with RegisterStatsClass; clients then:
+//
+//	stats, _ := client.New("stats", 0)
+//	var n int64
+//	stats.CallInto("CallCount", []any{&n}, "counter.Add")
+type StatsClass struct {
+	srv *Server
+}
+
+// CallCount reports dispatches of "class.Method" (0 if never called).
+func (s *StatsClass) CallCount(method string) int64 {
+	return int64(s.srv.Metrics().Calls[method])
+}
+
+// Totals returns (syncCalls, asyncCalls, upcalls, faults).
+func (s *StatsClass) Totals() (int64, int64, int64, int64) {
+	m := s.srv.Metrics()
+	return int64(m.SyncCalls), int64(m.AsyncCalls), int64(m.Upcalls), int64(m.Faults)
+}
+
+// Sessions reports connected clients.
+func (s *StatsClass) Sessions() int64 {
+	return int64(s.srv.SessionCount())
+}
+
+// Loaded lists the loaded classes as "name vN" strings.
+func (s *StatsClass) Loaded() []string {
+	var out []string
+	for _, l := range s.srv.Loader().LoadedList() {
+		out = append(out, fmt.Sprintf("%s v%d", l.Name, l.Version))
+	}
+	return out
+}
+
+// Top returns the busiest methods, most-called first.
+func (s *StatsClass) Top(n int64) []string {
+	return s.srv.Metrics().TopCalls(int(n))
+}
+
+// Summary renders a one-line report.
+func (s *StatsClass) Summary() string {
+	m := s.srv.Metrics()
+	return fmt.Sprintf("calls=%d/%d batches=%d upcalls=%d(%d failed) faults=%d loads=%d top=[%s]",
+		m.SyncCalls, m.AsyncCalls, m.Batches, m.Upcalls, m.UpcallFailures,
+		m.Faults, m.Loads, strings.Join(m.TopCalls(3), " "))
+}
+
+// RegisterStatsClass adds the "stats" class to lib; instances bind to
+// whichever server loads them via the construction environment.
+func RegisterStatsClass(lib *dynload.Library) error {
+	return lib.Register(dynload.Class{
+		Name:    "stats",
+		Version: 1,
+		Type:    reflect.TypeOf(&StatsClass{}),
+		New: func(env any) (any, error) {
+			e, ok := env.(*Env)
+			if !ok || e.Server == nil {
+				return nil, fmt.Errorf("clam: stats class requires a server environment, got %T", env)
+			}
+			return &StatsClass{srv: e.Server}, nil
+		},
+	})
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func statsServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	if err := RegisterStatsClass(srv.lib); err != nil {
+		t.Fatal(err)
+	}
+	sock := t.TempDir() + "/stats.sock"
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sock
+}
+
+func TestStatsClassRemoteQueries(t *testing.T) {
+	_, sock := statsServer(t)
+	c := dialClient(t, sock)
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Call("Add", int64(1))
+	obj.Call("Add", int64(2))
+
+	stats, err := c.New("stats", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := stats.CallInto("CallCount", []any{&n}, "counter.Add"); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("CallCount = %d", n)
+	}
+	var sessions int64
+	if err := stats.CallInto("Sessions", []any{&sessions}); err != nil || sessions != 1 {
+		t.Errorf("sessions=%d err=%v", sessions, err)
+	}
+	var loaded []string
+	if err := stats.CallInto("Loaded", []any{&loaded}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, l := range loaded {
+		if l == "counter v1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Loaded = %v", loaded)
+	}
+	var sum string
+	if err := stats.CallInto("Summary", []any{&sum}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum, "counter.Add") {
+		t.Errorf("summary %q lacks the busiest method", sum)
+	}
+	var s64, a64, u64, f64 int64
+	if err := stats.CallInto("Totals", []any{&s64, &a64, &u64, &f64}); err != nil {
+		t.Fatal(err)
+	}
+	if s64 < 2 {
+		t.Errorf("sync total = %d", s64)
+	}
+	var top []string
+	if err := stats.CallInto("Top", []any{&top}, int64(1)); err != nil || len(top) != 1 {
+		t.Errorf("top=%v err=%v", top, err)
+	}
+}
+
+func TestStatsClassRequiresServerEnv(t *testing.T) {
+	srv, _ := statsServer(t)
+	loaded, err := srv.Loader().Load("stats", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.New(42); err == nil {
+		t.Error("stats constructed without a server environment")
+	}
+}

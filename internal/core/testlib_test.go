@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"clam/internal/dynload"
+)
+
+// Test class library: small classes exercising every remote mechanism.
+
+// counter is a plain synchronous class.
+type counter struct {
+	mu    sync.Mutex
+	total int64
+	log   []string
+}
+
+func (c *counter) Add(n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total += n
+}
+
+func (c *counter) Total() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+func (c *counter) Div(a, b int64) (int64, error) {
+	if b == 0 {
+		return 0, errors.New("divide by zero")
+	}
+	return a / b, nil
+}
+
+func (c *counter) Record(s string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log = append(c.log, s)
+}
+
+func (c *counter) Log() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.log...)
+}
+
+func (c *counter) Scale(factor int64, v *vec2) {
+	v.X *= factor
+	v.Y *= factor
+}
+
+type vec2 struct{ X, Y int64 }
+
+// notifier exercises distributed upcalls: clients register procedures and
+// Trigger makes upcalls through them.
+type notifier struct {
+	mu  sync.Mutex
+	fns []func(int32, string) int32
+}
+
+func (n *notifier) Register(fn func(int32, string) int32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fns = append(n.fns, fn)
+}
+
+// Trigger upcalls every registered procedure and returns the sum of their
+// results.
+func (n *notifier) Trigger(x int32, s string) (int32, error) {
+	n.mu.Lock()
+	fns := append([]func(int32, string) int32(nil), n.fns...)
+	n.mu.Unlock()
+	var sum int32
+	for _, fn := range fns {
+		sum += fn(x, s)
+	}
+	return sum, nil
+}
+
+// Count reports the number of registrations.
+func (n *notifier) Count() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return int64(len(n.fns))
+}
+
+// parent/child exercise object pointers crossing address spaces.
+type parent struct {
+	kids []*child
+}
+
+func (p *parent) Child(i int64) *child {
+	if i < 0 || int(i) >= len(p.kids) {
+		return nil
+	}
+	return p.kids[i]
+}
+
+// Adopt takes an object pointer back from the client.
+func (p *parent) Adopt(c *child) (int64, error) {
+	if c == nil {
+		return 0, errors.New("nil child")
+	}
+	for i, k := range p.kids {
+		if k == c {
+			return int64(i), nil
+		}
+	}
+	p.kids = append(p.kids, c)
+	return int64(len(p.kids) - 1), nil
+}
+
+type child struct {
+	name string
+}
+
+func (c *child) Name() string { return c.name }
+
+// faulty exercises §4.3 fault isolation.
+type faulty struct{}
+
+func (f *faulty) Crash() {
+	var p *child
+	_ = p.name // nil dereference: the paper's memory fault
+}
+
+func (f *faulty) Fine() int64 { return 1 }
+
+func testLibrary(t testing.TB) *dynload.Library {
+	t.Helper()
+	lib := dynload.NewLibrary()
+	lib.MustRegister(dynload.Class{
+		Name: "counter", Version: 1, Type: reflect.TypeOf(&counter{}),
+		New: func(any) (any, error) { return &counter{}, nil },
+	})
+	lib.MustRegister(dynload.Class{
+		Name: "notifier", Version: 1, Type: reflect.TypeOf(&notifier{}),
+		New: func(any) (any, error) { return &notifier{}, nil },
+	})
+	lib.MustRegister(dynload.Class{
+		Name: "parent", Version: 1, Type: reflect.TypeOf(&parent{}),
+		New: func(any) (any, error) {
+			return &parent{kids: []*child{{name: "alice"}, {name: "bob"}}}, nil
+		},
+	})
+	lib.MustRegister(dynload.Class{
+		Name: "child", Version: 1, Type: reflect.TypeOf(&child{}),
+		New: func(any) (any, error) { return &child{name: "fresh"}, nil },
+	})
+	lib.MustRegister(dynload.Class{
+		Name: "faulty", Version: 1, Type: reflect.TypeOf(&faulty{}),
+		New: func(any) (any, error) { return &faulty{}, nil },
+	})
+	return lib
+}
+
+// startServer brings a server up on a unix socket and tears it down with
+// the test.
+func startServer(t testing.TB, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	opts = append([]ServerOption{
+		WithServerLog(func(format string, args ...any) { t.Logf(format, args...) }),
+	}, opts...)
+	srv := NewServer(testLibrary(t), opts...)
+	// The parent class must be loaded so *child return values can be
+	// minted; child too.
+	if _, err := srv.Load("child", 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "clam.sock")
+	if _, err := srv.Listen("unix", path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, path
+}
+
+func dialClient(t testing.TB, path string, opts ...DialOption) *Client {
+	t.Helper()
+	opts = append([]DialOption{
+		WithClientLog(func(format string, args ...any) { t.Logf(format, args...) }),
+	}, opts...)
+	c, err := Dial("unix", path, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// tcpServer starts the same fixture on loopback TCP.
+func tcpServer(t testing.TB, opts ...ServerOption) (*Server, string) {
+	t.Helper()
+	srv := NewServer(testLibrary(t), append([]ServerOption{
+		WithServerLog(func(format string, args ...any) { t.Logf(format, args...) }),
+	}, opts...)...)
+	if _, err := srv.Load("child", 0); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+var _ net.Conn // keep net imported for helpers below
+
+func fmtArgs(args ...any) string { return fmt.Sprint(args...) }

@@ -1,0 +1,328 @@
+// Package dynload implements CLAM's dynamic loading facility (ICDCS 1988,
+// §2): "CLAM allows client processes to request new object modules to be
+// dynamically loaded into the server. These modules are then accessed by
+// clients using remote procedure calls. Dynamically loaded procedures
+// access other dynamically loaded procedures using normal procedure calls."
+//
+// Substitution (documented in DESIGN.md): the paper loads VAX object files
+// into a running 4.3BSD process. Go cannot load machine code at run time
+// with the standard library, so the loadable universe is a Library of
+// registered classes — the analogue of object files available on the
+// server's disk — and loading means instantiating a class from the Library
+// into a server's Loader, assigning it a class identifier, and making it
+// callable. The property the paper's experiments rely on is preserved
+// exactly: a loaded module runs in the server's address space and reaches
+// other loaded modules with plain (Go) procedure calls, while an unloaded
+// module is unreachable.
+//
+// Version control (§2: "The server contains classes to support the dynamic
+// loading, version control, ...") is by explicit version numbers: a Library
+// may hold several versions of a class, clients request a minimum version,
+// and different clients may have different versions loaded simultaneously
+// ("Different clients could have different versions, depending on their
+// application", §2.1).
+//
+// Fault isolation (§4.3): the server "can protect itself from user bugs by
+// catching error signals". Guard converts a panic in dynamically loaded
+// code into a *Fault error carrying the stack, so the server survives and
+// can report the error to a client with an upcall.
+package dynload
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime/debug"
+	"sort"
+	"sync"
+
+	"clam/internal/bundle"
+)
+
+// Class describes one loadable module: a named, versioned analogue of a
+// C++ class compiled to an object file.
+type Class struct {
+	// Name identifies the class, e.g. "window" or "sweep".
+	Name string
+	// Version distinguishes coexisting implementations.
+	Version uint32
+	// Type is the reflect type of instances (a pointer-to-struct type).
+	// The RPC stub compiler derives method stubs from it, playing the role
+	// of the paper's compiler pass over the class declaration.
+	Type reflect.Type
+	// New creates an instance. env is supplied by the server and gives the
+	// module access to server facilities and to other loaded modules.
+	New func(env any) (any, error)
+	// Specs optionally refines parameter bundling per method — the
+	// analogue of the paper's const/out/inout and "@ bundler" annotations.
+	Specs map[string]bundle.MethodSpec
+}
+
+// Validate reports whether the class description is usable.
+func (c *Class) Validate() error {
+	if c.Name == "" {
+		return errors.New("dynload: class with empty name")
+	}
+	if c.New == nil {
+		return fmt.Errorf("dynload: class %q has no constructor", c.Name)
+	}
+	if c.Type == nil {
+		return fmt.Errorf("dynload: class %q has no instance type", c.Name)
+	}
+	if c.Type.Kind() != reflect.Ptr || c.Type.Elem().Kind() != reflect.Struct {
+		return fmt.Errorf("dynload: class %q instance type %s is not a pointer to struct", c.Name, c.Type)
+	}
+	return nil
+}
+
+// Registration and loading errors.
+var (
+	ErrNotFound  = errors.New("dynload: class not found")
+	ErrNoVersion = errors.New("dynload: no version satisfies the request")
+	ErrDuplicate = errors.New("dynload: class version already registered")
+	ErrNotLoaded = errors.New("dynload: class not loaded")
+)
+
+// Library is the set of classes available for loading — the object files a
+// CLAM server could pick up from disk. A Library is safe for concurrent
+// use.
+type Library struct {
+	mu      sync.RWMutex
+	classes map[string][]Class // sorted by ascending version
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{classes: make(map[string][]Class)}
+}
+
+// Register adds c to the library. Registering the same (name, version)
+// twice is an error.
+func (l *Library) Register(c Class) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	versions := l.classes[c.Name]
+	for _, v := range versions {
+		if v.Version == c.Version {
+			return fmt.Errorf("%w: %s v%d", ErrDuplicate, c.Name, c.Version)
+		}
+	}
+	versions = append(versions, c)
+	sort.Slice(versions, func(i, j int) bool { return versions[i].Version < versions[j].Version })
+	l.classes[c.Name] = versions
+	return nil
+}
+
+// MustRegister is Register but panics on error, for static module tables.
+func (l *Library) MustRegister(c Class) {
+	if err := l.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the highest-versioned class named name with version >=
+// minVersion.
+func (l *Library) Lookup(name string, minVersion uint32) (Class, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	versions := l.classes[name]
+	if len(versions) == 0 {
+		return Class{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	best := versions[len(versions)-1]
+	if best.Version < minVersion {
+		return Class{}, fmt.Errorf("%w: %q needs >= v%d, newest is v%d",
+			ErrNoVersion, name, minVersion, best.Version)
+	}
+	return best, nil
+}
+
+// LookupExact returns the class with exactly the given version.
+func (l *Library) LookupExact(name string, version uint32) (Class, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, c := range l.classes[name] {
+		if c.Version == version {
+			return c, nil
+		}
+	}
+	return Class{}, fmt.Errorf("%w: %q v%d", ErrNotFound, name, version)
+}
+
+// Names lists the registered class names in sorted order.
+func (l *Library) Names() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.classes))
+	for n := range l.classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Loaded is a class that has been loaded into a server and assigned a
+// class identifier — the identifier the handle table records per object
+// (Figure 3.3).
+type Loaded struct {
+	Class
+	ID uint32
+}
+
+// Loader is the per-server set of loaded classes. Multiple versions of a
+// class may be loaded at once; each (name, version) pair gets its own
+// class identifier.
+type Loader struct {
+	lib    *Library
+	mu     sync.RWMutex
+	byKey  map[loadKey]*Loaded
+	byID   map[uint32]*Loaded
+	byType map[reflect.Type]*Loaded
+	nextID uint32
+}
+
+type loadKey struct {
+	name    string
+	version uint32
+}
+
+// NewLoader returns a loader drawing classes from lib.
+func NewLoader(lib *Library) *Loader {
+	return &Loader{
+		lib:    lib,
+		byKey:  make(map[loadKey]*Loaded),
+		byID:   make(map[uint32]*Loaded),
+		byType: make(map[reflect.Type]*Loaded),
+	}
+}
+
+// Load makes the best version >= minVersion of the named class callable in
+// this server, returning its descriptor. Loading an already-loaded version
+// is idempotent and returns the existing descriptor, matching the paper's
+// sharing of modules among clients.
+func (ld *Loader) Load(name string, minVersion uint32) (*Loaded, error) {
+	c, err := ld.lib.Lookup(name, minVersion)
+	if err != nil {
+		return nil, err
+	}
+	return ld.install(c)
+}
+
+// LoadExact loads a specific version.
+func (ld *Loader) LoadExact(name string, version uint32) (*Loaded, error) {
+	c, err := ld.lib.LookupExact(name, version)
+	if err != nil {
+		return nil, err
+	}
+	return ld.install(c)
+}
+
+func (ld *Loader) install(c Class) (*Loaded, error) {
+	key := loadKey{name: c.Name, version: c.Version}
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	if got, ok := ld.byKey[key]; ok {
+		return got, nil
+	}
+	if prev, ok := ld.byType[c.Type]; ok && (prev.Name != c.Name || prev.Version != c.Version) {
+		return nil, fmt.Errorf("dynload: instance type %s already used by %s v%d",
+			c.Type, prev.Name, prev.Version)
+	}
+	ld.nextID++
+	got := &Loaded{Class: c, ID: ld.nextID}
+	ld.byKey[key] = got
+	ld.byID[got.ID] = got
+	ld.byType[c.Type] = got
+	return got, nil
+}
+
+// Get returns the loaded class with the given identifier.
+func (ld *Loader) Get(id uint32) (*Loaded, error) {
+	ld.mu.RLock()
+	defer ld.mu.RUnlock()
+	got, ok := ld.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: class id %d", ErrNotLoaded, id)
+	}
+	return got, nil
+}
+
+// ByType returns the loaded class whose instance type is t. The RPC layer
+// uses this to map an object back to its class when minting handles.
+func (ld *Loader) ByType(t reflect.Type) (*Loaded, error) {
+	ld.mu.RLock()
+	defer ld.mu.RUnlock()
+	got, ok := ld.byType[t]
+	if !ok {
+		return nil, fmt.Errorf("%w: type %s", ErrNotLoaded, t)
+	}
+	return got, nil
+}
+
+// IsClassType reports whether t (a struct type, not a pointer) is the
+// instance struct of some loaded class — the predicate behind the
+// automatic object-pointer bundler (§3.5.1).
+func (ld *Loader) IsClassType(t reflect.Type) bool {
+	ld.mu.RLock()
+	defer ld.mu.RUnlock()
+	_, ok := ld.byType[reflect.PtrTo(t)]
+	return ok
+}
+
+// Unload removes a loaded version. Existing instances keep working (their
+// memory is live) but new loads and class-id lookups fail, and handle
+// minting for the class stops.
+func (ld *Loader) Unload(name string, version uint32) error {
+	key := loadKey{name: name, version: version}
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	got, ok := ld.byKey[key]
+	if !ok {
+		return fmt.Errorf("%w: %s v%d", ErrNotLoaded, name, version)
+	}
+	delete(ld.byKey, key)
+	delete(ld.byID, got.ID)
+	delete(ld.byType, got.Type)
+	return nil
+}
+
+// Loadedlist returns the descriptors of all loaded classes sorted by id.
+func (ld *Loader) LoadedList() []*Loaded {
+	ld.mu.RLock()
+	defer ld.mu.RUnlock()
+	out := make([]*Loaded, 0, len(ld.byID))
+	for _, l := range ld.byID {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Fault is the error produced when dynamically loaded code panics — the
+// analogue of the memory faults and divide-by-zero signals the CLAM server
+// catches (§4.3).
+type Fault struct {
+	// Value is the panic value.
+	Value any
+	// Stack is the goroutine stack at the point of the panic.
+	Stack string
+}
+
+// Error renders the fault.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("dynload: fault in loaded code: %v", f.Value)
+}
+
+// Guard runs fn, converting a panic into a *Fault error so the server can
+// survive a buggy loaded class and report the failure with an upcall.
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &Fault{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}

@@ -1,0 +1,320 @@
+package dynload
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type alpha struct{ n int }
+
+func (a *alpha) Poke() int { return a.n }
+
+type beta struct{}
+
+type gamma struct{}
+
+func mkClass(name string, version uint32, typ reflect.Type) Class {
+	return Class{
+		Name:    name,
+		Version: version,
+		Type:    typ,
+		New:     func(any) (any, error) { return reflect.New(typ.Elem()).Interface(), nil },
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	lib := NewLibrary()
+	if err := lib.Register(mkClass("alpha", 1, reflect.TypeOf(&alpha{}))); err != nil {
+		t.Fatal(err)
+	}
+	c, err := lib.Lookup("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "alpha" || c.Version != 1 {
+		t.Errorf("lookup: %+v", c)
+	}
+}
+
+func TestLookupPicksHighestVersion(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("alpha", 3, reflect.TypeOf(&beta{})))
+	lib.MustRegister(mkClass("alpha", 2, reflect.TypeOf(&gamma{})))
+	c, err := lib.Lookup("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Version != 3 {
+		t.Errorf("got v%d, want v3", c.Version)
+	}
+}
+
+func TestLookupMinVersion(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 2, reflect.TypeOf(&alpha{})))
+	if _, err := lib.Lookup("alpha", 3); !errors.Is(err, ErrNoVersion) {
+		t.Errorf("err = %v, want ErrNoVersion", err)
+	}
+	if _, err := lib.Lookup("missing", 0); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestLookupExact(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("alpha", 2, reflect.TypeOf(&beta{})))
+	c, err := lib.LookupExact("alpha", 1)
+	if err != nil || c.Version != 1 {
+		t.Errorf("LookupExact: %+v, %v", c, err)
+	}
+	if _, err := lib.LookupExact("alpha", 9); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	err := lib.Register(mkClass("alpha", 1, reflect.TypeOf(&beta{})))
+	if !errors.Is(err, ErrDuplicate) {
+		t.Errorf("err = %v, want ErrDuplicate", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Class{
+		{},
+		{Name: "x"},
+		{Name: "x", New: func(any) (any, error) { return nil, nil }},
+		{Name: "x", New: func(any) (any, error) { return nil, nil }, Type: reflect.TypeOf(alpha{})},
+		{Name: "x", New: func(any) (any, error) { return nil, nil }, Type: reflect.TypeOf(1)},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d validated: %+v", i, c)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("zeta", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&beta{})))
+	got := lib.Names()
+	if !reflect.DeepEqual(got, []string{"alpha", "zeta"}) {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestLoadAssignsIDs(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("beta", 1, reflect.TypeOf(&beta{})))
+	ld := NewLoader(lib)
+	a, err := ld.Load("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ld.Load("beta", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == b.ID || a.ID == 0 || b.ID == 0 {
+		t.Errorf("ids: alpha=%d beta=%d", a.ID, b.ID)
+	}
+	got, err := ld.Get(a.ID)
+	if err != nil || got.Name != "alpha" {
+		t.Errorf("Get: %+v, %v", got, err)
+	}
+}
+
+func TestLoadIdempotent(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	ld := NewLoader(lib)
+	a1, _ := ld.Load("alpha", 0)
+	a2, _ := ld.Load("alpha", 0)
+	if a1 != a2 {
+		t.Error("re-loading the same version produced a new descriptor")
+	}
+}
+
+func TestCoexistingVersions(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("sweep", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("sweep", 2, reflect.TypeOf(&beta{})))
+	ld := NewLoader(lib)
+	v1, err := ld.LoadExact("sweep", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ld.LoadExact("sweep", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID == v2.ID {
+		t.Error("two versions share a class id")
+	}
+	if len(ld.LoadedList()) != 2 {
+		t.Errorf("loaded = %d, want 2", len(ld.LoadedList()))
+	}
+}
+
+func TestInstanceTypeCollisionRejected(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("one", 1, reflect.TypeOf(&alpha{})))
+	lib.MustRegister(mkClass("two", 1, reflect.TypeOf(&alpha{})))
+	ld := NewLoader(lib)
+	if _, err := ld.Load("one", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Load("two", 0); err == nil {
+		t.Error("loading a second class with the same instance type succeeded")
+	}
+}
+
+func TestByTypeAndIsClassType(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	ld := NewLoader(lib)
+	if ld.IsClassType(reflect.TypeOf(alpha{})) {
+		t.Error("IsClassType true before load")
+	}
+	ld.Load("alpha", 0)
+	if !ld.IsClassType(reflect.TypeOf(alpha{})) {
+		t.Error("IsClassType false after load")
+	}
+	got, err := ld.ByType(reflect.TypeOf(&alpha{}))
+	if err != nil || got.Name != "alpha" {
+		t.Errorf("ByType: %+v, %v", got, err)
+	}
+	if _, err := ld.ByType(reflect.TypeOf(&beta{})); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestUnload(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	ld := NewLoader(lib)
+	a, _ := ld.Load("alpha", 0)
+	if err := ld.Unload("alpha", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Get(a.ID); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("Get after unload: %v", err)
+	}
+	if ld.IsClassType(reflect.TypeOf(alpha{})) {
+		t.Error("IsClassType true after unload")
+	}
+	if err := ld.Unload("alpha", 1); !errors.Is(err, ErrNotLoaded) {
+		t.Errorf("double unload: %v", err)
+	}
+	// Reload mints a fresh id.
+	a2, err := ld.Load("alpha", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.ID == a.ID {
+		t.Error("reload reused the unloaded class id")
+	}
+}
+
+func TestConcurrentLoads(t *testing.T) {
+	lib := NewLibrary()
+	lib.MustRegister(mkClass("alpha", 1, reflect.TypeOf(&alpha{})))
+	ld := NewLoader(lib)
+	const n = 32
+	ids := make([]uint32, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := ld.Load("alpha", 0)
+			if err != nil {
+				t.Errorf("load: %v", err)
+				return
+			}
+			ids[i] = l.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids[1:] {
+		if id != ids[0] {
+			t.Fatalf("concurrent loads produced different ids: %v", ids)
+		}
+	}
+}
+
+func TestGuardPassesThroughResults(t *testing.T) {
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Errorf("nil result: %v", err)
+	}
+	sentinel := errors.New("boom")
+	if err := Guard(func() error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("error result: %v", err)
+	}
+}
+
+func TestGuardCatchesPanic(t *testing.T) {
+	err := Guard(func() error {
+		var p *alpha
+		return errors.New(p.pokeUnsafe()) // nil deref: the paper's memory fault
+	})
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if fault.Stack == "" {
+		t.Error("fault carries no stack")
+	}
+	if !strings.Contains(fault.Error(), "fault in loaded code") {
+		t.Errorf("fault message: %v", fault)
+	}
+}
+
+func (a *alpha) pokeUnsafe() string { return strings.Repeat("x", a.n) }
+
+func TestGuardCatchesDivideByZero(t *testing.T) {
+	zero := 0
+	err := Guard(func() error {
+		_ = 1 / zero // the paper's other example signal
+		return nil
+	})
+	var fault *Fault
+	if !errors.As(err, &fault) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+}
+
+func TestConstructorRuns(t *testing.T) {
+	lib := NewLibrary()
+	made := 0
+	lib.MustRegister(Class{
+		Name:    "counted",
+		Version: 1,
+		Type:    reflect.TypeOf(&alpha{}),
+		New: func(env any) (any, error) {
+			made++
+			return &alpha{n: env.(int)}, nil
+		},
+	})
+	ld := NewLoader(lib)
+	l, err := ld.Load("counted", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := l.New(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.(*alpha).Poke() != 7 || made != 1 {
+		t.Errorf("constructor: obj=%+v made=%d", obj, made)
+	}
+}

@@ -1,0 +1,234 @@
+package handle
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"clam/internal/xdr"
+)
+
+type widget struct{ n int }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	tbl := NewTable()
+	w := &widget{n: 1}
+	h, err := tbl.Put(w, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.IsNil() {
+		t.Fatal("Put returned nil handle")
+	}
+	got, err := tbl.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != w {
+		t.Error("Get returned a different object")
+	}
+}
+
+func TestPutIsStablePerObject(t *testing.T) {
+	tbl := NewTable()
+	w := &widget{}
+	h1, _ := tbl.Put(w, 1, 1)
+	h2, _ := tbl.Put(w, 1, 1)
+	if h1 != h2 {
+		t.Errorf("same object minted two handles: %v vs %v", h1, h2)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("table has %d entries, want 1", tbl.Len())
+	}
+}
+
+func TestDistinctObjectsDistinctHandles(t *testing.T) {
+	tbl := NewTable()
+	h1, _ := tbl.Put(&widget{}, 1, 1)
+	h2, _ := tbl.Put(&widget{}, 1, 1)
+	if h1.ID == h2.ID {
+		t.Error("distinct objects share an id")
+	}
+}
+
+func TestNilObject(t *testing.T) {
+	tbl := NewTable()
+	h, err := tbl.Put(nil, 1, 1)
+	if err != nil || !h.IsNil() {
+		t.Errorf("Put(nil) = %v, %v; want Nil handle", h, err)
+	}
+	if _, err := tbl.Get(Nil); !errors.Is(err, ErrUnknown) {
+		t.Errorf("Get(Nil): err = %v", err)
+	}
+}
+
+func TestForgedTagRejected(t *testing.T) {
+	tbl := NewTable()
+	h, _ := tbl.Put(&widget{}, 1, 1)
+	forged := Handle{ID: h.ID, Tag: h.Tag ^ 1}
+	if _, err := tbl.Get(forged); !errors.Is(err, ErrStale) {
+		t.Errorf("forged tag: err = %v, want ErrStale", err)
+	}
+}
+
+func TestUnknownIDRejected(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.Get(Handle{ID: 42, Tag: 1}); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown id: err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestEntryMetadata(t *testing.T) {
+	tbl := NewTable()
+	h, _ := tbl.Put(&widget{}, 7, 3)
+	e, err := tbl.Entry(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ClassID != 7 || e.Version != 3 {
+		t.Errorf("entry = %+v, want class 7 version 3", e)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	tbl := NewTable()
+	w := &widget{}
+	h, _ := tbl.Put(w, 1, 1)
+	if err := tbl.Revoke(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(h); !errors.Is(err, ErrUnknown) {
+		t.Errorf("revoked handle resolves: err = %v", err)
+	}
+	if err := tbl.Revoke(h); !errors.Is(err, ErrUnknown) {
+		t.Errorf("double revoke: err = %v", err)
+	}
+	// After revocation the object may be re-registered with a new handle.
+	h2, _ := tbl.Put(w, 1, 1)
+	if h2 == h {
+		t.Error("re-registration reused the revoked handle")
+	}
+}
+
+func TestRevokeWithForgedTag(t *testing.T) {
+	tbl := NewTable()
+	h, _ := tbl.Put(&widget{}, 1, 1)
+	if err := tbl.Revoke(Handle{ID: h.ID, Tag: h.Tag ^ 1}); !errors.Is(err, ErrStale) {
+		t.Errorf("revoke with forged tag: err = %v, want ErrStale", err)
+	}
+	if _, err := tbl.Get(h); err != nil {
+		t.Error("entry lost after failed revoke")
+	}
+}
+
+func TestRevokeObj(t *testing.T) {
+	tbl := NewTable()
+	w := &widget{}
+	tbl.Put(w, 1, 1)
+	if !tbl.RevokeObj(w) {
+		t.Error("RevokeObj found nothing")
+	}
+	if tbl.RevokeObj(w) {
+		t.Error("second RevokeObj reported success")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("table length %d after revoke", tbl.Len())
+	}
+}
+
+func TestHandleBundleRoundTrip(t *testing.T) {
+	want := Handle{ID: 5, Tag: 0xdeadbeefcafe}
+	var buf bytes.Buffer
+	h := want
+	if err := h.Bundle(xdr.NewEncoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	var got Handle
+	if err := got.Bundle(xdr.NewDecoder(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %v want %v", got, want)
+	}
+}
+
+func TestHandleString(t *testing.T) {
+	if Nil.String() != "handle(nil)" {
+		t.Errorf("Nil.String() = %q", Nil.String())
+	}
+	h := Handle{ID: 3, Tag: 0xff}
+	if !strings.Contains(h.String(), "3") || !strings.Contains(h.String(), "0xff") {
+		t.Errorf("String() = %q", h.String())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	tbl := NewTable()
+	const n = 64
+	var wg sync.WaitGroup
+	handles := make([]Handle, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, err := tbl.Put(&widget{n: i}, 1, 1)
+			if err != nil {
+				t.Errorf("put: %v", err)
+				return
+			}
+			handles[i] = h
+			if _, err := tbl.Get(h); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if tbl.Len() != n {
+		t.Errorf("table length %d, want %d", tbl.Len(), n)
+	}
+	seen := make(map[ID]bool)
+	for _, h := range handles {
+		if seen[h.ID] {
+			t.Fatalf("duplicate id %d", h.ID)
+		}
+		seen[h.ID] = true
+	}
+}
+
+// Property: a random tag other than the minted one never resolves — the
+// capability is unforgeable up to guessing the 64-bit tag.
+func TestQuickTagSoundness(t *testing.T) {
+	tbl := NewTable()
+	h, _ := tbl.Put(&widget{}, 1, 1)
+	prop := func(guess uint64) bool {
+		g := Handle{ID: h.ID, Tag: Tag(guess)}
+		_, err := tbl.Get(g)
+		if Tag(guess) == h.Tag {
+			return err == nil
+		}
+		return errors.Is(err, ErrStale)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: handles bundle losslessly.
+func TestQuickBundleRoundTrip(t *testing.T) {
+	prop := func(id, tag uint64) bool {
+		want := Handle{ID: ID(id), Tag: Tag(tag)}
+		var buf bytes.Buffer
+		h := want
+		if h.Bundle(xdr.NewEncoder(&buf)) != nil {
+			return false
+		}
+		var got Handle
+		return got.Bundle(xdr.NewDecoder(&buf)) == nil && got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,161 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Reliable delivery over a lossy device: an ARQ extension of the stack.
+// The base Transport already restores order and drops duplicates; this
+// file adds the missing halves — cumulative acknowledgments flowing back
+// and a sending peer that retransmits unacknowledged packets — so the
+// stack delivers every message across a link that loses or corrupts
+// frames. The receiver's dedup makes retransmission idempotent.
+//
+// Acks ride in ordinary packets with the ack flag set: the frame layer
+// neither knows nor cares, which keeps the layering clean.
+
+// EncodeAck produces the frame payload of a cumulative acknowledgment:
+// "everything below next has been delivered upward".
+func EncodeAck(next uint32) []byte {
+	out := make([]byte, 0, packetHeader)
+	out = binary.BigEndian.AppendUint32(out, next)
+	out = append(out, 2) // flags bit 1: ack
+	return out
+}
+
+// IsAck reports whether a decoded packet is an acknowledgment and, if so,
+// its cumulative value.
+func IsAck(b []byte) (uint32, bool) {
+	if len(b) < packetHeader || b[4]&2 == 0 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b[0:4]), true
+}
+
+// EmitAcks registers an acknowledgment sink: after every in-order
+// delivery the transport reports its new next-expected sequence. The sink
+// typically frames an ack and writes it to the reverse channel.
+func (t *Transport) EmitAcks(sink func(next uint32)) {
+	t.mu.Lock()
+	t.ackSink = sink
+	t.mu.Unlock()
+}
+
+// ReliableSender fragments messages into framed packets, tracks
+// unacknowledged packets, and retransmits them on Tick. It is the peer
+// half of a stack whose Transport emits acks.
+type ReliableSender struct {
+	mu      sync.Mutex
+	mtu     int
+	seq     uint32
+	unacked map[uint32][]byte // seq → framed bytes, ready to resend
+	out     func([]byte)      // device write
+
+	sent        uint64
+	retransmits uint64
+	ackedCount  uint64
+}
+
+// NewReliableSender returns a sender fragmenting at mtu payload bytes and
+// writing device bytes through out.
+func NewReliableSender(mtu int, out func([]byte)) *ReliableSender {
+	if mtu <= 0 {
+		mtu = 512
+	}
+	return &ReliableSender{
+		mtu:     mtu,
+		unacked: make(map[uint32][]byte),
+		out:     out,
+	}
+}
+
+// Send fragments and transmits data, retaining every packet until it is
+// acknowledged. Transmission happens outside the sender's lock: on a
+// synchronous test link the bytes can loop straight back as an
+// acknowledgment into HandleAck.
+func (s *ReliableSender) Send(data []byte) error {
+	s.mu.Lock()
+	var frames [][]byte
+	for off := 0; ; off += s.mtu {
+		end := off + s.mtu
+		last := false
+		if end >= len(data) {
+			end = len(data)
+			last = true
+		}
+		fb, err := EncodeFrame(EncodePacket(Packet{Seq: s.seq, Last: last, Data: data[off:end]}))
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("proto: reliable send: %w", err)
+		}
+		s.unacked[s.seq] = fb
+		s.seq++
+		s.sent++
+		frames = append(frames, fb)
+		if last {
+			break
+		}
+	}
+	out := s.out
+	s.mu.Unlock()
+	for _, fb := range frames {
+		out(fb)
+	}
+	return nil
+}
+
+// HandleAck processes a cumulative acknowledgment arriving on the reverse
+// channel (typically wired as a Framer OnFrame handler via AttachReverse).
+func (s *ReliableSender) HandleAck(next uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for seq := range s.unacked {
+		if seq < next {
+			delete(s.unacked, seq)
+			s.ackedCount++
+		}
+	}
+}
+
+// AttachReverse registers the sender with the framer carrying the reverse
+// channel, so acknowledgments flow in automatically.
+func (s *ReliableSender) AttachReverse(f *Framer) {
+	f.OnFrame(func(fr Frame) {
+		if next, ok := IsAck(fr.Payload); ok {
+			s.HandleAck(next)
+		}
+	})
+}
+
+// Tick retransmits every unacknowledged packet — a coarse retransmission
+// timer driven by the caller. It returns how many packets were resent.
+func (s *ReliableSender) Tick() int {
+	s.mu.Lock()
+	frames := make([][]byte, 0, len(s.unacked))
+	for _, fb := range s.unacked {
+		frames = append(frames, fb)
+	}
+	s.retransmits += uint64(len(frames))
+	out := s.out
+	s.mu.Unlock()
+	for _, fb := range frames {
+		out(fb)
+	}
+	return len(frames)
+}
+
+// Outstanding reports the number of unacknowledged packets.
+func (s *ReliableSender) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.unacked)
+}
+
+// Stats reports packets sent, retransmitted and acknowledged.
+func (s *ReliableSender) Stats() (sent, retransmits, acked int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.sent), int64(s.retransmits), int64(s.ackedCount)
+}

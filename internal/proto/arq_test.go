@@ -1,0 +1,206 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// lossyLink forwards byte chunks, dropping some fraction deterministically.
+type lossyLink struct {
+	rng  *rand.Rand
+	rate float64
+	fwd  func([]byte)
+	lost int
+}
+
+func (l *lossyLink) write(b []byte) {
+	if l.rng.Float64() < l.rate {
+		l.lost++
+		return
+	}
+	l.fwd(b)
+}
+
+// reliablePair wires a full bidirectional reliable stack: sender →
+// (lossy) forward link → receiver stack; receiver acks → (lossy) reverse
+// link → sender.
+func reliablePair(lossRate float64, seed uint64, mtu int) (*ReliableSender, *Assembler, *lossyLink, *lossyLink) {
+	rxFramer := NewFramer()
+	rxTransport := NewTransport()
+	rxTransport.Attach(rxFramer)
+	rxAssembler := NewAssembler()
+	rxAssembler.Attach(rxTransport)
+
+	ackFramer := NewFramer() // the sender's reverse-channel framer
+
+	fwd := &lossyLink{rng: rand.New(rand.NewPCG(seed, 1)), rate: lossRate, fwd: rxFramer.Feed}
+	rev := &lossyLink{rng: rand.New(rand.NewPCG(seed, 2)), rate: lossRate, fwd: ackFramer.Feed}
+
+	sender := NewReliableSender(mtu, fwd.write)
+	sender.AttachReverse(ackFramer)
+	rxTransport.EmitAcks(func(next uint32) {
+		fb, err := EncodeFrame(EncodeAck(next))
+		if err != nil {
+			return
+		}
+		rev.write(fb)
+	})
+	return sender, rxAssembler, fwd, rev
+}
+
+func TestReliableDeliveryNoLoss(t *testing.T) {
+	sender, asm, _, _ := reliablePair(0, 1, 4)
+	var got []string
+	asm.OnMessage(func(m Message) { got = append(got, string(m.Data)) })
+	if err := sender.Send([]byte("hello reliable world")); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "hello reliable world" {
+		t.Fatalf("got %q", got)
+	}
+	if sender.Outstanding() != 0 {
+		t.Errorf("%d packets unacked on a lossless link", sender.Outstanding())
+	}
+	sent, retrans, acked := sender.Stats()
+	if retrans != 0 || acked != sent {
+		t.Errorf("stats: sent=%d retrans=%d acked=%d", sent, retrans, acked)
+	}
+}
+
+func TestReliableDeliverySurvivesLoss(t *testing.T) {
+	sender, asm, fwd, _ := reliablePair(0.3, 42, 4)
+	var got []byte
+	done := false
+	asm.OnMessage(func(m Message) { got, done = m.Data, true })
+	payload := []byte("this message crosses a 30% lossy link and still arrives intact")
+	if err := sender.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; !done && round < 200; round++ {
+		sender.Tick()
+	}
+	if !done {
+		t.Fatal("message never completed despite retransmission")
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload corrupted: %q", got)
+	}
+	if fwd.lost == 0 {
+		t.Error("the lossy link dropped nothing; test proves little")
+	}
+	_, retrans, _ := sender.Stats()
+	if retrans == 0 {
+		t.Error("no retransmissions despite loss")
+	}
+}
+
+func TestAckCodec(t *testing.T) {
+	b := EncodeAck(77)
+	next, ok := IsAck(b)
+	if !ok || next != 77 {
+		t.Errorf("IsAck = %d, %v", next, ok)
+	}
+	// A data packet is not an ack.
+	if _, ok := IsAck(EncodePacket(Packet{Seq: 1, Data: []byte("x")})); ok {
+		t.Error("data packet classified as ack")
+	}
+	if _, ok := IsAck([]byte{1}); ok {
+		t.Error("short payload classified as ack")
+	}
+}
+
+func TestTransportIgnoresForwardAcks(t *testing.T) {
+	f := NewFramer()
+	tr := NewTransport()
+	tr.Attach(f)
+	delivered := 0
+	tr.OnPacket(func(Packet) { delivered++ })
+	fb, _ := EncodeFrame(EncodeAck(5))
+	f.Feed(fb)
+	if delivered != 0 {
+		t.Error("ack delivered as data")
+	}
+	_, _, next := tr.Stats()
+	if next != 0 {
+		t.Error("ack advanced the receive window")
+	}
+}
+
+func TestAcksAreCumulative(t *testing.T) {
+	sender, _, _, _ := reliablePair(0, 7, 4)
+	if err := sender.Send([]byte("0123456789abcdef")); err != nil { // 4 packets
+		t.Fatal(err)
+	}
+	// On a lossless link the final cumulative ack clears everything.
+	if sender.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", sender.Outstanding())
+	}
+}
+
+func TestTickResendsOnlyUnacked(t *testing.T) {
+	var wire [][]byte
+	sender := NewReliableSender(4, func(b []byte) { wire = append(wire, append([]byte(nil), b...)) })
+	if err := sender.Send([]byte("abcdefgh")); err != nil { // 2 packets
+		t.Fatal(err)
+	}
+	sender.HandleAck(1) // first packet acknowledged
+	if n := sender.Tick(); n != 1 {
+		t.Errorf("Tick resent %d packets, want 1", n)
+	}
+}
+
+// Property: for any payload, loss rate up to 40%, and MTU, the message
+// either arrives intact within a bounded number of retransmission rounds.
+func TestQuickReliableDelivery(t *testing.T) {
+	prop := func(data []byte, seed uint64, loss uint8, mtu uint8) bool {
+		rate := float64(loss%40) / 100
+		sender, asm, _, _ := reliablePair(rate, seed|1, int(mtu%16)+1)
+		var got []byte
+		done := false
+		asm.OnMessage(func(m Message) { got, done = m.Data, true })
+		if err := sender.Send(data); err != nil {
+			return false
+		}
+		for round := 0; !done && round < 500; round++ {
+			sender.Tick()
+		}
+		return done && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: multiple messages in sequence all arrive, in order, under
+// loss.
+func TestQuickReliableSequence(t *testing.T) {
+	prop := func(seed uint64, loss uint8) bool {
+		rate := float64(loss%35) / 100
+		sender, asm, _, _ := reliablePair(rate, seed|1, 3)
+		var got []string
+		asm.OnMessage(func(m Message) { got = append(got, string(m.Data)) })
+		msgs := []string{"first", "second message", "third-and-final"}
+		for _, m := range msgs {
+			if err := sender.Send([]byte(m)); err != nil {
+				return false
+			}
+		}
+		for round := 0; len(got) < len(msgs) && round < 500; round++ {
+			sender.Tick()
+		}
+		if len(got) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if got[i] != msgs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

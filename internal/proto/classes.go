@@ -1,0 +1,64 @@
+package proto
+
+import (
+	"reflect"
+
+	"clam/internal/dynload"
+)
+
+// Register adds the protocol-stack classes to lib so a CLAM server can
+// load them. A freshly constructed stack is wired at creation when the
+// environment publishes lower layers under well-known names; otherwise
+// layers attach explicitly via their Attach methods.
+func Register(lib *dynload.Library) error {
+	type namedEnv interface{ Named(string) (any, bool) }
+	lookup := func(env any, name string) (any, bool) {
+		if ne, ok := env.(namedEnv); ok {
+			return ne.Named(name)
+		}
+		return nil, false
+	}
+	classes := []dynload.Class{
+		{
+			Name: "framer", Version: 1, Type: reflect.TypeOf(&Framer{}),
+			New: func(any) (any, error) { return NewFramer(), nil },
+		},
+		{
+			Name: "transport", Version: 1, Type: reflect.TypeOf(&Transport{}),
+			New: func(env any) (any, error) {
+				t := NewTransport()
+				if obj, ok := lookup(env, "framer"); ok {
+					if f, ok := obj.(*Framer); ok {
+						t.Attach(f)
+					}
+				}
+				return t, nil
+			},
+		},
+		{
+			Name: "assembler", Version: 1, Type: reflect.TypeOf(&Assembler{}),
+			New: func(env any) (any, error) {
+				a := NewAssembler()
+				if obj, ok := lookup(env, "transport"); ok {
+					if t, ok := obj.(*Transport); ok {
+						a.Attach(t)
+					}
+				}
+				return a, nil
+			},
+		},
+	}
+	for _, c := range classes {
+		if err := lib.Register(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func MustRegister(lib *dynload.Library) {
+	if err := Register(lib); err != nil {
+		panic(err)
+	}
+}

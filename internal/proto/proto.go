@@ -1,0 +1,391 @@
+// Package proto is a small layered network-protocol stack built on
+// upcalls — the paper's other motivating workload (§1): "There are
+// natural applications for this upwards calling structure in servers
+// supporting layered network protocols", e.g. "when a network server
+// needs to signal to an upper layer in a protocol."
+//
+// The stack has three layers, each registered with the one below and each
+// exercising one of the §1 options for an asynchronous event — map it,
+// queue it, discard it, or pass it up:
+//
+//	device bytes → Framer    (discards corrupt frames, maps bytes→frames)
+//	             → Transport (queues out-of-order packets, drops duplicates)
+//	             → Assembler (maps packet runs→messages, passes them up)
+//
+// Each layer's classes are registered for dynamic loading, so the stack
+// can live inside a CLAM server with the top-layer upcall crossing to a
+// client as a distributed upcall.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Frame is what the framing layer delivers upward: one validated payload.
+type Frame struct {
+	Payload []byte
+}
+
+// Packet is what the transport layer delivers upward: an in-order,
+// deduplicated datagram.
+type Packet struct {
+	Seq  uint32
+	Last bool
+	Data []byte
+}
+
+// Message is what the assembly layer delivers upward: a complete message
+// reassembled from one or more packets.
+type Message struct {
+	Data    []byte
+	Packets int32
+}
+
+// Frame wire format: magic byte, big-endian length, payload, additive
+// 16-bit checksum.
+const (
+	frameMagic  = 0xC3
+	frameMinLen = 1 + 2 + 2 // magic + length + checksum
+	// MaxFramePayload bounds one frame's payload.
+	MaxFramePayload = 1 << 14
+)
+
+func checksum(p []byte) uint16 {
+	var sum uint16
+	for _, b := range p {
+		sum += uint16(b)
+	}
+	return sum
+}
+
+// EncodeFrame produces the device-byte representation of one frame.
+func EncodeFrame(payload []byte) ([]byte, error) {
+	if len(payload) > MaxFramePayload {
+		return nil, fmt.Errorf("proto: payload %d exceeds frame limit", len(payload))
+	}
+	out := make([]byte, 0, len(payload)+frameMinLen)
+	out = append(out, frameMagic)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(payload)))
+	out = append(out, payload...)
+	out = binary.BigEndian.AppendUint16(out, checksum(payload))
+	return out, nil
+}
+
+// Framer is the lowest layer: it turns an arbitrarily chunked device byte
+// stream into validated frames. Corrupt frames are discarded — "if there
+// are no higher layers interested in the event, then the lower level
+// object decides what to do with the event."
+type Framer struct {
+	mu   sync.Mutex
+	buf  []byte
+	fns  []func(Frame)
+	good uint64
+	bad  uint64
+}
+
+// NewFramer returns an empty framer.
+func NewFramer() *Framer { return &Framer{} }
+
+// OnFrame registers a procedure for validated frames.
+func (f *Framer) OnFrame(fn func(Frame)) {
+	if fn == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fns = append(f.fns, fn)
+}
+
+// Feed pushes device bytes into the framer; complete frames are upcalled
+// in arrival order before Feed returns.
+func (f *Framer) Feed(data []byte) {
+	f.mu.Lock()
+	f.buf = append(f.buf, data...)
+	var deliver []Frame
+	for {
+		frame, ok := f.nextFrameLocked()
+		if !ok {
+			break
+		}
+		deliver = append(deliver, frame)
+	}
+	fns := append(([]func(Frame))(nil), f.fns...)
+	f.mu.Unlock()
+	for _, fr := range deliver {
+		for _, fn := range fns {
+			fn(fr)
+		}
+	}
+}
+
+// nextFrameLocked extracts one frame, resynchronizing past garbage.
+func (f *Framer) nextFrameLocked() (Frame, bool) {
+	for {
+		// Resync: skip to the next magic byte.
+		start := 0
+		for start < len(f.buf) && f.buf[start] != frameMagic {
+			start++
+		}
+		if start > 0 {
+			f.buf = f.buf[start:]
+			f.bad++ // garbage discarded
+		}
+		if len(f.buf) < frameMinLen {
+			return Frame{}, false
+		}
+		n := int(binary.BigEndian.Uint16(f.buf[1:3]))
+		if n > MaxFramePayload {
+			f.buf = f.buf[1:]
+			f.bad++
+			continue
+		}
+		total := frameMinLen + n
+		if len(f.buf) < total {
+			return Frame{}, false
+		}
+		payload := f.buf[3 : 3+n]
+		want := binary.BigEndian.Uint16(f.buf[3+n : 3+n+2])
+		if checksum(payload) != want {
+			// Corrupt: discard the magic byte and resync.
+			f.buf = f.buf[1:]
+			f.bad++
+			continue
+		}
+		out := append([]byte(nil), payload...)
+		f.buf = f.buf[total:]
+		f.good++
+		return Frame{Payload: out}, true
+	}
+}
+
+// Stats reports validated and discarded frame counts.
+func (f *Framer) Stats() (good, bad int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(f.good), int64(f.bad)
+}
+
+// Packet wire format inside a frame payload: seq, flags, data.
+const packetHeader = 4 + 1
+
+// EncodePacket produces a frame payload for one packet.
+func EncodePacket(p Packet) []byte {
+	out := make([]byte, 0, packetHeader+len(p.Data))
+	out = binary.BigEndian.AppendUint32(out, p.Seq)
+	var flags byte
+	if p.Last {
+		flags = 1
+	}
+	out = append(out, flags)
+	return append(out, p.Data...)
+}
+
+// DecodePacket parses a frame payload.
+func DecodePacket(b []byte) (Packet, error) {
+	if len(b) < packetHeader {
+		return Packet{}, fmt.Errorf("proto: short packet (%d bytes)", len(b))
+	}
+	return Packet{
+		Seq:  binary.BigEndian.Uint32(b[0:4]),
+		Last: b[4]&1 != 0,
+		Data: append([]byte(nil), b[packetHeader:]...),
+	}, nil
+}
+
+// Transport is the middle layer: it restores order. In-order packets pass
+// up immediately; future packets are queued ("it may queue up the event
+// for later use"); duplicates and stale packets are dropped.
+type Transport struct {
+	mu      sync.Mutex
+	next    uint32
+	pending map[uint32]Packet
+	fns     []func(Packet)
+	dups    uint64
+	queued  uint64
+	maxHeld int
+	// ackSink, when set by EmitAcks, receives the next-expected sequence
+	// after every in-order delivery (see arq.go).
+	ackSink func(uint32)
+}
+
+// NewTransport returns a transport expecting sequence 0 first.
+func NewTransport() *Transport {
+	return &Transport{pending: make(map[uint32]Packet), maxHeld: 1024}
+}
+
+// Attach registers the transport's upcall procedure with the framing
+// layer — the inter-layer registration of §4.1.
+func (t *Transport) Attach(f *Framer) {
+	f.OnFrame(t.Frame)
+}
+
+// OnPacket registers a procedure for in-order packets.
+func (t *Transport) OnPacket(fn func(Packet)) {
+	if fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fns = append(t.fns, fn)
+}
+
+// Frame is the transport's upcall procedure for the framing layer.
+func (t *Transport) Frame(fr Frame) {
+	if _, isAck := IsAck(fr.Payload); isAck {
+		return // acks belong to the sending peer, not this direction
+	}
+	p, err := DecodePacket(fr.Payload)
+	if err != nil {
+		return // malformed: this layer discards it
+	}
+	t.mu.Lock()
+	var deliver []Packet
+	switch {
+	case p.Seq < t.next:
+		t.dups++ // stale or duplicate
+	case p.Seq > t.next:
+		if len(t.pending) < t.maxHeld {
+			if _, dup := t.pending[p.Seq]; !dup {
+				t.pending[p.Seq] = p
+				t.queued++
+			} else {
+				t.dups++
+			}
+		}
+	default:
+		deliver = append(deliver, p)
+		t.next++
+		for {
+			q, ok := t.pending[t.next]
+			if !ok {
+				break
+			}
+			delete(t.pending, t.next)
+			deliver = append(deliver, q)
+			t.next++
+		}
+	}
+	fns := append(([]func(Packet))(nil), t.fns...)
+	ackSink := t.ackSink
+	next := t.next
+	t.mu.Unlock()
+	for _, d := range deliver {
+		for _, fn := range fns {
+			fn(d)
+		}
+	}
+	if ackSink != nil && len(deliver) > 0 {
+		ackSink(next)
+	}
+}
+
+// Stats reports duplicate-drop and queue counts plus the next expected
+// sequence number.
+func (t *Transport) Stats() (dups, queued, next int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(t.dups), int64(t.queued), int64(t.next)
+}
+
+// Assembler is the top layer inside the stack: it concatenates packet
+// runs into messages and passes each complete message up — in a CLAM
+// deployment, typically through a distributed upcall into the client.
+type Assembler struct {
+	mu      sync.Mutex
+	partial []byte
+	count   int32
+	fns     []func(Message)
+	done    uint64
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler { return &Assembler{} }
+
+// Attach registers the assembler with the transport layer.
+func (a *Assembler) Attach(t *Transport) {
+	t.OnPacket(a.Packet)
+}
+
+// OnMessage registers a procedure for complete messages.
+func (a *Assembler) OnMessage(fn func(Message)) {
+	if fn == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.fns = append(a.fns, fn)
+}
+
+// Packet is the assembler's upcall procedure for the transport layer.
+func (a *Assembler) Packet(p Packet) {
+	a.mu.Lock()
+	a.partial = append(a.partial, p.Data...)
+	a.count++
+	var msg *Message
+	if p.Last {
+		msg = &Message{Data: a.partial, Packets: a.count}
+		a.partial = nil
+		a.count = 0
+		a.done++
+	}
+	fns := append(([]func(Message))(nil), a.fns...)
+	a.mu.Unlock()
+	if msg != nil {
+		for _, fn := range fns {
+			fn(*msg)
+		}
+	}
+}
+
+// MessageCount reports completed messages.
+func (a *Assembler) MessageCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.done)
+}
+
+// Sender produces the device-byte stream for messages — the peer end of
+// the stack, used by tests, examples and benchmarks.
+type Sender struct {
+	mu  sync.Mutex
+	seq uint32
+	mtu int
+}
+
+// NewSender returns a sender fragmenting at mtu bytes of payload per
+// packet.
+func NewSender(mtu int) *Sender {
+	if mtu <= 0 {
+		mtu = 512
+	}
+	return &Sender{mtu: mtu}
+}
+
+// Send encodes data as a sequence of framed packets and returns the
+// device bytes.
+func (s *Sender) Send(data []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []byte
+	for off := 0; ; off += s.mtu {
+		end := off + s.mtu
+		last := false
+		if end >= len(data) {
+			end = len(data)
+			last = true
+		}
+		chunk := data[off:end]
+		fb, err := EncodeFrame(EncodePacket(Packet{Seq: s.seq, Last: last, Data: chunk}))
+		if err != nil {
+			return nil, err
+		}
+		s.seq++
+		out = append(out, fb...)
+		if last {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"clam/internal/dynload"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := NewFramer()
+	var got []Frame
+	f.OnFrame(func(fr Frame) { got = append(got, fr) })
+	b, err := EncodeFrame([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Feed(b)
+	if len(got) != 1 || string(got[0].Payload) != "hello" {
+		t.Fatalf("got %v", got)
+	}
+	good, bad := f.Stats()
+	if good != 1 || bad != 0 {
+		t.Errorf("stats: %d good %d bad", good, bad)
+	}
+}
+
+func TestFramerHandlesArbitraryChunking(t *testing.T) {
+	f := NewFramer()
+	var got []string
+	f.OnFrame(func(fr Frame) { got = append(got, string(fr.Payload)) })
+	var stream []byte
+	for _, msg := range []string{"one", "two", "three"} {
+		b, _ := EncodeFrame([]byte(msg))
+		stream = append(stream, b...)
+	}
+	// Feed a byte at a time.
+	for _, b := range stream {
+		f.Feed([]byte{b})
+	}
+	if len(got) != 3 || got[0] != "one" || got[2] != "three" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestFramerDiscardsCorruptFrames(t *testing.T) {
+	f := NewFramer()
+	var got []string
+	f.OnFrame(func(fr Frame) { got = append(got, string(fr.Payload)) })
+	good, _ := EncodeFrame([]byte("ok"))
+	corrupt, _ := EncodeFrame([]byte("bad"))
+	corrupt[4] ^= 0xff // flip a payload byte: checksum fails
+	var stream []byte
+	stream = append(stream, corrupt...)
+	stream = append(stream, good...)
+	f.Feed(stream)
+	if len(got) != 1 || got[0] != "ok" {
+		t.Errorf("got %v", got)
+	}
+	_, bad := f.Stats()
+	if bad == 0 {
+		t.Error("corruption not counted")
+	}
+}
+
+func TestFramerResyncsPastGarbage(t *testing.T) {
+	f := NewFramer()
+	var got []string
+	f.OnFrame(func(fr Frame) { got = append(got, string(fr.Payload)) })
+	b, _ := EncodeFrame([]byte("x"))
+	stream := append([]byte{0x00, 0x01, 0x02}, b...)
+	f.Feed(stream)
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	if _, err := EncodeFrame(make([]byte, MaxFramePayload+1)); err == nil {
+		t.Error("oversized frame encoded")
+	}
+}
+
+func TestPacketCodec(t *testing.T) {
+	p := Packet{Seq: 7, Last: true, Data: []byte("abc")}
+	got, err := DecodePacket(EncodePacket(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || !got.Last || !bytes.Equal(got.Data, p.Data) {
+		t.Errorf("got %+v", got)
+	}
+	if _, err := DecodePacket([]byte{1, 2}); err == nil {
+		t.Error("short packet decoded")
+	}
+}
+
+func feedPacket(t *testing.T, f *Framer, p Packet) {
+	t.Helper()
+	b, err := EncodeFrame(EncodePacket(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Feed(b)
+}
+
+func stack(t *testing.T) (*Framer, *Transport, *Assembler) {
+	t.Helper()
+	f := NewFramer()
+	tr := NewTransport()
+	tr.Attach(f)
+	a := NewAssembler()
+	a.Attach(tr)
+	return f, tr, a
+}
+
+func TestTransportReordersPackets(t *testing.T) {
+	f, tr, _ := stack(t)
+	var seqs []uint32
+	tr.OnPacket(func(p Packet) { seqs = append(seqs, p.Seq) })
+	// Deliver 2, 0, 1: the layer queues 2, passes 0, then drains 1 and 2.
+	feedPacket(t, f, Packet{Seq: 2, Data: []byte("c")})
+	feedPacket(t, f, Packet{Seq: 0, Data: []byte("a")})
+	feedPacket(t, f, Packet{Seq: 1, Data: []byte("b")})
+	if len(seqs) != 3 || seqs[0] != 0 || seqs[1] != 1 || seqs[2] != 2 {
+		t.Errorf("delivery order %v", seqs)
+	}
+	_, queued, next := tr.Stats()
+	if queued != 1 || next != 3 {
+		t.Errorf("queued=%d next=%d", queued, next)
+	}
+}
+
+func TestTransportDropsDuplicates(t *testing.T) {
+	f, tr, _ := stack(t)
+	var n int
+	tr.OnPacket(func(Packet) { n++ })
+	feedPacket(t, f, Packet{Seq: 0, Data: []byte("a")})
+	feedPacket(t, f, Packet{Seq: 0, Data: []byte("a")}) // dup (stale)
+	feedPacket(t, f, Packet{Seq: 2, Data: []byte("c")})
+	feedPacket(t, f, Packet{Seq: 2, Data: []byte("c")}) // dup (queued)
+	if n != 1 {
+		t.Errorf("delivered %d", n)
+	}
+	dups, _, _ := tr.Stats()
+	if dups != 2 {
+		t.Errorf("dups = %d", dups)
+	}
+}
+
+func TestAssemblerReassembles(t *testing.T) {
+	f, _, a := stack(t)
+	var msgs []Message
+	a.OnMessage(func(m Message) { msgs = append(msgs, m) })
+	feedPacket(t, f, Packet{Seq: 0, Data: []byte("hello ")})
+	feedPacket(t, f, Packet{Seq: 1, Data: []byte("world")})
+	if len(msgs) != 0 {
+		t.Fatal("message completed early")
+	}
+	feedPacket(t, f, Packet{Seq: 2, Last: true, Data: []byte("!")})
+	if len(msgs) != 1 || string(msgs[0].Data) != "hello world!" || msgs[0].Packets != 3 {
+		t.Fatalf("msgs = %+v", msgs)
+	}
+	if a.MessageCount() != 1 {
+		t.Errorf("MessageCount = %d", a.MessageCount())
+	}
+}
+
+func TestSenderEndToEnd(t *testing.T) {
+	f, _, a := stack(t)
+	var msgs []string
+	a.OnMessage(func(m Message) { msgs = append(msgs, string(m.Data)) })
+	s := NewSender(4)
+	for _, text := range []string{"first message", "x", "second, longer message body"} {
+		b, err := s.Send([]byte(text))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Feed(b)
+	}
+	if len(msgs) != 3 || msgs[0] != "first message" || msgs[2] != "second, longer message body" {
+		t.Errorf("msgs = %q", msgs)
+	}
+}
+
+// Property: any payload survives the full stack under any MTU and any
+// feed chunking.
+func TestQuickStackDelivery(t *testing.T) {
+	prop := func(data []byte, mtu uint8, chunk uint8) bool {
+		f, _, a := stack(t)
+		var got []byte
+		done := false
+		a.OnMessage(func(m Message) {
+			got = m.Data
+			done = true
+		})
+		s := NewSender(int(mtu%32) + 1)
+		stream, err := s.Send(data)
+		if err != nil {
+			return false
+		}
+		c := int(chunk%16) + 1
+		for off := 0; off < len(stream); off += c {
+			end := off + c
+			if end > len(stream) {
+				end = len(stream)
+			}
+			f.Feed(stream[off:end])
+		}
+		return done && bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random corruption never produces a wrong message — either the
+// right data arrives or nothing does.
+func TestQuickCorruptionSafety(t *testing.T) {
+	prop := func(data []byte, flip uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		f, _, a := stack(t)
+		var got []byte
+		done := false
+		a.OnMessage(func(m Message) {
+			got = m.Data
+			done = true
+		})
+		s := NewSender(8)
+		stream, err := s.Send(data)
+		if err != nil {
+			return false
+		}
+		pos := int(flip) % len(stream)
+		stream[pos] ^= 0xA5
+		f.Feed(stream)
+		if !done {
+			return true // lost entirely: acceptable
+		}
+		return bytes.Equal(got, data) // delivered: must be intact
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegisterClasses(t *testing.T) {
+	lib := dynload.NewLibrary()
+	MustRegister(lib)
+	ld := dynload.NewLoader(lib)
+	fr, err := ld.Load("framer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fobj, err := fr.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := map[string]any{"framer": fobj}
+	env := namedMap(named)
+
+	trc, err := ld.Load("transport", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tobj, err := trc.New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	named["transport"] = tobj
+
+	asc, err := ld.Load("assembler", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aobj, err := asc.New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The auto-wired stack delivers end to end.
+	var got string
+	aobj.(*Assembler).OnMessage(func(m Message) { got = string(m.Data) })
+	s := NewSender(4)
+	b, _ := s.Send([]byte("wired"))
+	fobj.(*Framer).Feed(b)
+	if got != "wired" {
+		t.Errorf("got %q", got)
+	}
+}
+
+type namedMap map[string]any
+
+func (m namedMap) Named(name string) (any, bool) {
+	v, ok := m[name]
+	return v, ok
+}

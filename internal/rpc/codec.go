@@ -1,0 +1,165 @@
+// Package rpc implements CLAM's remote-procedure-call machinery (ICDCS
+// 1988, §3): the stub compiler that turns class declarations into method
+// stubs, the tagged value codec clients and servers exchange parameters
+// with, and the wire layouts of call batches, replies and upcalls.
+//
+// The paper integrates stub generation with the C++ compiler; here the
+// "compiler" runs at class-load time over reflect types (see
+// internal/bundle for the rationale). The paper's asynchronous batched
+// calls (§3.4) are encoded as one MsgCall body carrying several calls;
+// "batching reduces the amount of interprocess communication, and
+// introduces asynchrony into the RPC model."
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"clam/internal/bundle"
+	"clam/internal/xdr"
+)
+
+// Kind tags every top-level value on the wire so a client/server type
+// mismatch produces a clear error instead of silently decoded garbage.
+// (XDR itself is untagged; the tag costs one word per parameter.)
+type Kind uint32
+
+// Kinds of top-level values.
+const (
+	KindSigned Kind = iota + 1
+	KindUnsigned
+	KindFloat
+	KindBool
+	KindString
+	KindBytes
+	KindStruct
+	KindSlice
+	KindMap
+	KindPtr
+	KindArray
+	KindHandle // pointer to a class instance: travels as a handle (§3.5.1)
+	KindProc   // pointer to a procedure: travels as an upcall descriptor (§3.5.2)
+)
+
+var kindNames = map[Kind]string{
+	KindSigned:   "signed",
+	KindUnsigned: "unsigned",
+	KindFloat:    "float",
+	KindBool:     "bool",
+	KindString:   "string",
+	KindBytes:    "bytes",
+	KindStruct:   "struct",
+	KindSlice:    "slice",
+	KindMap:      "map",
+	KindPtr:      "pointer",
+	KindArray:    "array",
+	KindHandle:   "object-handle",
+	KindProc:     "procedure",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("rpc.Kind(%d)", uint32(k))
+}
+
+// ErrKindMismatch reports that the sender's parameter kind disagrees with
+// the receiver's declared parameter type.
+var ErrKindMismatch = errors.New("rpc: parameter kind mismatch")
+
+// KindOf classifies t the way the codec will transmit it. ctx supplies the
+// session's object hook so class-instance pointers classify as handles.
+func KindOf(t reflect.Type, ctx *bundle.Ctx) Kind {
+	switch t.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return KindSigned
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return KindUnsigned
+	case reflect.Float32, reflect.Float64:
+		return KindFloat
+	case reflect.Bool:
+		return KindBool
+	case reflect.String:
+		return KindString
+	case reflect.Struct:
+		return KindStruct
+	case reflect.Slice:
+		if t.Elem().Kind() == reflect.Uint8 {
+			return KindBytes
+		}
+		return KindSlice
+	case reflect.Map:
+		return KindMap
+	case reflect.Array:
+		return KindArray
+	case reflect.Func:
+		return KindProc
+	case reflect.Ptr:
+		if t.Elem().Kind() == reflect.Struct && ctx != nil && ctx.Objects != nil && ctx.Objects.IsClass(t.Elem()) {
+			return KindHandle
+		}
+		return KindPtr
+	default:
+		return 0
+	}
+}
+
+// EncodeValue writes one tagged value: its kind word followed by its
+// bundled form. The bundler is compiled from v's dynamic type; the special
+// pointer kinds divert through the Ctx hooks exactly as §3.5 describes.
+func EncodeValue(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, v reflect.Value) error {
+	k := KindOf(v.Type(), ctx)
+	if k == 0 {
+		return fmt.Errorf("%w: cannot transmit %s", bundle.ErrNoBundler, v.Type())
+	}
+	kk := uint32(k)
+	if err := s.Uint32(&kk); err != nil {
+		return err
+	}
+	f, err := reg.Compile(v.Type())
+	if err != nil {
+		return err
+	}
+	return f(ctx, s, v)
+}
+
+// DecodeValue reads one tagged value into target (settable), validating
+// the sender's kind against target's type.
+func DecodeValue(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, target reflect.Value) error {
+	return decodeTagged(reg, ctx, s, target, nil)
+}
+
+// DecodeValueWith is DecodeValue with a pre-compiled bundler for target's
+// type, avoiding the registry lookup on hot paths.
+func DecodeValueWith(ctx *bundle.Ctx, s *xdr.Stream, target reflect.Value, f bundle.Func, want Kind) error {
+	var got uint32
+	if err := s.Uint32(&got); err != nil {
+		return err
+	}
+	if Kind(got) != want {
+		return fmt.Errorf("%w: got %s, want %s (%s)", ErrKindMismatch, Kind(got), want, target.Type())
+	}
+	return f(ctx, s, target)
+}
+
+func decodeTagged(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, target reflect.Value, f bundle.Func) error {
+	var got uint32
+	if err := s.Uint32(&got); err != nil {
+		return err
+	}
+	want := KindOf(target.Type(), ctx)
+	if Kind(got) != want {
+		return fmt.Errorf("%w: got %s, want %s (%s)", ErrKindMismatch, Kind(got), want, target.Type())
+	}
+	if f == nil {
+		var err error
+		f, err = reg.Compile(target.Type())
+		if err != nil {
+			return err
+		}
+	}
+	return f(ctx, s, target)
+}

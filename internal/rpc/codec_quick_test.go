@@ -1,0 +1,141 @@
+package rpc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"clam/internal/bundle"
+	"clam/internal/xdr"
+)
+
+// Property tests for the tagged value codec: EncodeValue ∘ DecodeValue is
+// the identity for every transmissible shape, and kind tags catch
+// cross-kind confusion.
+
+func codecRoundTrip(t *testing.T, reg *bundle.Registry, v any) (any, bool) {
+	t.Helper()
+	var buf bytes.Buffer
+	ctx := &bundle.Ctx{}
+	if err := EncodeValue(reg, ctx, xdr.NewEncoder(&buf), reflect.ValueOf(v)); err != nil {
+		return nil, false
+	}
+	out := reflect.New(reflect.TypeOf(v)).Elem()
+	if err := DecodeValue(reg, ctx, xdr.NewDecoder(&buf), out); err != nil {
+		return nil, false
+	}
+	return out.Interface(), true
+}
+
+func TestQuickCodecPrimitives(t *testing.T) {
+	reg := bundle.NewRegistry()
+	cfg := &quick.Config{MaxCount: 200}
+
+	if err := quick.Check(func(v int64) bool {
+		got, ok := codecRoundTrip(t, reg, v)
+		return ok && got == v
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v string) bool {
+		got, ok := codecRoundTrip(t, reg, v)
+		return ok && got == v
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v bool) bool {
+		got, ok := codecRoundTrip(t, reg, v)
+		return ok && got == v
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(v uint32) bool {
+		got, ok := codecRoundTrip(t, reg, v)
+		return ok && got == v
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+type quickWire struct {
+	A int32
+	B string
+	C []int64
+	D map[string]uint16
+	E [2]bool
+	F []byte
+}
+
+func TestQuickCodecComposite(t *testing.T) {
+	reg := bundle.NewRegistry()
+	f := func(w quickWire) bool {
+		got, ok := codecRoundTrip(t, reg, w)
+		if !ok {
+			return false
+		}
+		g := got.(quickWire)
+		// Normalize empty vs nil containers, which the codec does not
+		// (and need not) distinguish.
+		norm := func(x *quickWire) {
+			if len(x.C) == 0 {
+				x.C = nil
+			}
+			if len(x.D) == 0 {
+				x.D = nil
+			}
+			if len(x.F) == 0 {
+				x.F = nil
+			}
+		}
+		norm(&g)
+		norm(&w)
+		return reflect.DeepEqual(g, w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decoding into a different kind always fails loudly, never
+// silently produces a value.
+func TestQuickCodecCrossKindRejected(t *testing.T) {
+	reg := bundle.NewRegistry()
+	f := func(v int64) bool {
+		var buf bytes.Buffer
+		ctx := &bundle.Ctx{}
+		if err := EncodeValue(reg, ctx, xdr.NewEncoder(&buf), reflect.ValueOf(v)); err != nil {
+			return false
+		}
+		var s string
+		err := DecodeValue(reg, ctx, xdr.NewDecoder(&buf), reflect.ValueOf(&s).Elem())
+		return err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pointer values round-trip including nil-ness.
+func TestQuickCodecPointers(t *testing.T) {
+	type inner struct{ N int64 }
+	reg := bundle.NewRegistry()
+	f := func(n int64, isNil bool) bool {
+		var v *inner
+		if !isNil {
+			v = &inner{N: n}
+		}
+		got, ok := codecRoundTrip(t, reg, v)
+		if !ok {
+			return false
+		}
+		g := got.(*inner)
+		if isNil {
+			return g == nil
+		}
+		return g != nil && g.N == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"clam/internal/bundle"
+	"clam/internal/handle"
+	"clam/internal/xdr"
+)
+
+// Wire layouts for the bodies of the CLAM message types (the frame types
+// themselves live in internal/wire).
+//
+// A MsgCall body is a batch: a call count followed by that many calls.
+// "The CLAM RPC facility batches several asynchronous calls together into
+// a single message" (§3.4); a call with Seq 0 is asynchronous and gets no
+// reply, a call with a nonzero Seq is synchronous and is answered by a
+// MsgReply carrying the same Seq.
+
+// Status reports a call's fate.
+type Status uint32
+
+// Call statuses.
+const (
+	// StatusOK: the procedure ran; results follow.
+	StatusOK Status = iota
+	// StatusAppError: the procedure ran and returned an error.
+	StatusAppError
+	// StatusFault: the procedure crashed; the server caught the fault
+	// (§4.3) and the class may be faulty.
+	StatusFault
+	// StatusDispatch: the call never reached a procedure (bad handle,
+	// unknown method, argument mismatch).
+	StatusDispatch
+)
+
+// String names the status.
+func (st Status) String() string {
+	switch st {
+	case StatusOK:
+		return "ok"
+	case StatusAppError:
+		return "application error"
+	case StatusFault:
+		return "fault in loaded class"
+	case StatusDispatch:
+		return "dispatch error"
+	default:
+		return fmt.Sprintf("rpc.Status(%d)", uint32(st))
+	}
+}
+
+// RemoteError is the client-side rendering of a non-OK reply.
+type RemoteError struct {
+	Status Status
+	Msg    string
+}
+
+// Error renders the remote failure.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Status, e.Msg)
+}
+
+// ErrTooManyCalls guards the batch count.
+var ErrTooManyCalls = errors.New("rpc: batch call count exceeds limit")
+
+// MaxBatch bounds the calls in one message.
+const MaxBatch = 1 << 16
+
+// CallHeader precedes each call's arguments in a batch.
+type CallHeader struct {
+	// Seq correlates the reply; 0 marks an asynchronous call.
+	Seq uint64
+	// Obj names the target object. The nil handle addresses the server's
+	// built-in root facilities.
+	Obj handle.Handle
+	// Method is the procedure name.
+	Method string
+}
+
+// Bundle bidirectionally transfers the header.
+func (h *CallHeader) Bundle(s *xdr.Stream) error {
+	s.Uint64(&h.Seq)
+	if err := h.Obj.Bundle(s); err != nil {
+		return err
+	}
+	return s.String(&h.Method)
+}
+
+// ReplyHeader precedes a reply's payload.
+type ReplyHeader struct {
+	Status Status
+	ErrMsg string
+}
+
+// Bundle bidirectionally transfers the header.
+func (h *ReplyHeader) Bundle(s *xdr.Stream) error {
+	st := uint32(h.Status)
+	s.Uint32(&st)
+	if s.Op() == xdr.Decode {
+		h.Status = Status(st)
+	}
+	// The error message travels only on failure.
+	if h.Status != StatusOK {
+		return s.String(&h.ErrMsg)
+	}
+	return s.Err()
+}
+
+// Err converts a decoded header into an error, nil when OK.
+func (h *ReplyHeader) Err() error {
+	if h.Status == StatusOK {
+		return nil
+	}
+	return &RemoteError{Status: h.Status, Msg: h.ErrMsg}
+}
+
+// UpcallHeader precedes a distributed upcall's arguments (§3.5.2): the
+// client's procedure pointer travels as an opaque identifier that the
+// client-side upcall stub maps back to the registered procedure.
+type UpcallHeader struct {
+	// ProcID is the client's procedure identifier, minted when the
+	// procedure pointer was bundled down to the server.
+	ProcID uint64
+}
+
+// Bundle bidirectionally transfers the header.
+func (h *UpcallHeader) Bundle(s *xdr.Stream) error {
+	return s.Uint64(&h.ProcID)
+}
+
+// EncodeFuncArgs bundles the arguments of an upcall (or any func-typed
+// invocation) according to ft's parameter types, which is how the paper's
+// compiler derives the upcall stubs: "The standard C++ syntax requires
+// that the declaration of a procedure pointer include a specification of
+// the type of each parameter ... The compiler uses this specification to
+// generate the upcall stubs."
+func EncodeFuncArgs(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, ft reflect.Type, args []reflect.Value) error {
+	if len(args) != ft.NumIn() {
+		return fmt.Errorf("rpc: upcall takes %d arguments, got %d", ft.NumIn(), len(args))
+	}
+	n := len(args)
+	if err := s.Len(&n); err != nil {
+		return err
+	}
+	for i, a := range args {
+		if err := EncodeValue(reg, ctx, s, a); err != nil {
+			return fmt.Errorf("rpc: upcall argument %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeFuncArgs unbundles upcall arguments per ft's parameter types.
+func DecodeFuncArgs(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, ft reflect.Type) ([]reflect.Value, error) {
+	var n int
+	if err := s.Len(&n); err != nil {
+		return nil, err
+	}
+	if n != ft.NumIn() {
+		return nil, fmt.Errorf("rpc: upcall takes %d arguments, caller sent %d", ft.NumIn(), n)
+	}
+	args := make([]reflect.Value, n)
+	for i := 0; i < n; i++ {
+		target := reflect.New(ft.In(i)).Elem()
+		if err := DecodeValue(reg, ctx, s, target); err != nil {
+			return nil, fmt.Errorf("rpc: upcall argument %d: %w", i, err)
+		}
+		args[i] = target
+	}
+	return args, nil
+}
+
+// FuncResults splits ft's results into data results and the optional
+// trailing error.
+func FuncResults(ft reflect.Type) (data []reflect.Type, hasErr bool) {
+	n := ft.NumOut()
+	if n > 0 && ft.Out(n-1) == errType {
+		hasErr = true
+		n--
+	}
+	for i := 0; i < n; i++ {
+		data = append(data, ft.Out(i))
+	}
+	return data, hasErr
+}
+
+// EncodeFuncResults bundles an upcall's reply: status, then data results.
+func EncodeFuncResults(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, ft reflect.Type, rets []reflect.Value, appErr error) error {
+	hdr := ReplyHeader{}
+	if appErr != nil {
+		hdr.Status = StatusAppError
+		hdr.ErrMsg = appErr.Error()
+	}
+	if err := hdr.Bundle(s); err != nil {
+		return err
+	}
+	if appErr != nil {
+		return nil
+	}
+	data, hasErr := FuncResults(ft)
+	if hasErr {
+		rets = rets[:len(rets)-1]
+	}
+	if len(rets) != len(data) {
+		return fmt.Errorf("rpc: upcall returns %d results, got %d", len(data), len(rets))
+	}
+	n := len(rets)
+	if err := s.Len(&n); err != nil {
+		return err
+	}
+	for i, rv := range rets {
+		if err := EncodeValue(reg, ctx, s, rv); err != nil {
+			return fmt.Errorf("rpc: upcall result %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeFuncResults unbundles an upcall's reply per ft, returning the data
+// results and any application error the remote procedure reported.
+func DecodeFuncResults(reg *bundle.Registry, ctx *bundle.Ctx, s *xdr.Stream, ft reflect.Type) ([]reflect.Value, error, error) {
+	var hdr ReplyHeader
+	if err := hdr.Bundle(s); err != nil {
+		return nil, nil, err
+	}
+	if err := hdr.Err(); err != nil {
+		return nil, err, nil
+	}
+	data, _ := FuncResults(ft)
+	var n int
+	if err := s.Len(&n); err != nil {
+		return nil, nil, err
+	}
+	if n != len(data) {
+		return nil, nil, fmt.Errorf("rpc: upcall returns %d results, remote sent %d", len(data), n)
+	}
+	rets := make([]reflect.Value, n)
+	for i := 0; i < n; i++ {
+		target := reflect.New(data[i]).Elem()
+		if err := DecodeValue(reg, ctx, s, target); err != nil {
+			return nil, nil, fmt.Errorf("rpc: upcall result %d: %w", i, err)
+		}
+		rets[i] = target
+	}
+	return rets, nil, nil
+}

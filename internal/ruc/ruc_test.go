@@ -1,0 +1,212 @@
+package ruc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// fakeCaller records upcalls and replies from a table of canned results.
+type fakeCaller struct {
+	mu    sync.Mutex
+	calls []recordedCall
+	reply func(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error)
+}
+
+type recordedCall struct {
+	procID uint64
+	args   []any
+}
+
+func (f *fakeCaller) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+	f.mu.Lock()
+	rec := recordedCall{procID: procID}
+	for _, a := range args {
+		rec.args = append(rec.args, a.Interface())
+	}
+	f.calls = append(f.calls, rec)
+	f.mu.Unlock()
+	if f.reply != nil {
+		return f.reply(procID, ft, args)
+	}
+	return nil, nil
+}
+
+func TestBindRejectsNonFunc(t *testing.T) {
+	tbl := NewTable(nil)
+	if _, _, err := tbl.Bind(1, reflect.TypeOf(3), &fakeCaller{}); err == nil {
+		t.Error("bound an int type")
+	}
+	if _, _, err := tbl.Bind(1, nil, &fakeCaller{}); err == nil {
+		t.Error("bound a nil type")
+	}
+	if _, _, err := tbl.Bind(1, reflect.TypeOf(func(...int) {}), &fakeCaller{}); err == nil {
+		t.Error("bound a variadic type")
+	}
+}
+
+func TestProxyLooksLikeNormalProcedure(t *testing.T) {
+	tbl := NewTable(nil)
+	c := &fakeCaller{}
+	ft := reflect.TypeOf(func(int32, string) {})
+	e, proxy, err := tbl.Bind(42, ft, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Type() != ft {
+		t.Fatalf("proxy type %s, want %s", proxy.Type(), ft)
+	}
+	// Invoke through the ordinary typed signature, as a lower-level
+	// object would after registration.
+	fn := proxy.Interface().(func(int32, string))
+	fn(7, "mouse")
+	fn(8, "key")
+
+	if len(c.calls) != 2 {
+		t.Fatalf("%d upcalls", len(c.calls))
+	}
+	if c.calls[0].procID != 42 || c.calls[0].args[0] != int32(7) || c.calls[0].args[1] != "mouse" {
+		t.Errorf("call 0: %+v", c.calls[0])
+	}
+	calls, failures, _ := e.Stats()
+	if calls != 2 || failures != 0 {
+		t.Errorf("stats: %d calls %d failures", calls, failures)
+	}
+}
+
+func TestProxyReturnsResults(t *testing.T) {
+	tbl := NewTable(nil)
+	c := &fakeCaller{
+		reply: func(_ uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+			n := args[0].Int()
+			return []reflect.Value{reflect.ValueOf(n * 2)}, nil
+		},
+	}
+	_, proxy, err := tbl.Bind(1, reflect.TypeOf(func(int64) int64 { return 0 }), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := proxy.Interface().(func(int64) int64)
+	if got := fn(21); got != 42 {
+		t.Errorf("fn(21) = %d", got)
+	}
+}
+
+func TestProxyPropagatesErrorResult(t *testing.T) {
+	tbl := NewTable(nil)
+	boom := errors.New("client unreachable")
+	c := &fakeCaller{
+		reply: func(uint64, reflect.Type, []reflect.Value) ([]reflect.Value, error) {
+			return nil, boom
+		},
+	}
+	e, proxy, err := tbl.Bind(1, reflect.TypeOf(func(string) (int32, error) { return 0, nil }), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := proxy.Interface().(func(string) (int32, error))
+	n, got := fn("x")
+	if !errors.Is(got, boom) {
+		t.Errorf("err = %v", got)
+	}
+	if n != 0 {
+		t.Errorf("data result = %d, want zero", n)
+	}
+	_, failures, last := e.Stats()
+	if failures != 1 || !errors.Is(last, boom) {
+		t.Errorf("stats: failures=%d last=%v", failures, last)
+	}
+}
+
+func TestProxyErrorWithoutErrorResultGoesToOnError(t *testing.T) {
+	var gotEntry *Entry
+	var gotErr error
+	tbl := NewTable(func(e *Entry, err error) {
+		gotEntry, gotErr = e, err
+	})
+	boom := errors.New("dead channel")
+	c := &fakeCaller{
+		reply: func(uint64, reflect.Type, []reflect.Value) ([]reflect.Value, error) {
+			return nil, boom
+		},
+	}
+	e, proxy, err := tbl.Bind(9, reflect.TypeOf(func(int32) {}), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy.Interface().(func(int32))(1) // must not panic
+	if gotEntry != e || !errors.Is(gotErr, boom) {
+		t.Errorf("onError got (%v, %v)", gotEntry, gotErr)
+	}
+}
+
+func TestEachBindingGetsItsOwnEntry(t *testing.T) {
+	tbl := NewTable(nil)
+	c := &fakeCaller{}
+	ft := reflect.TypeOf(func() {})
+	e1, _, _ := tbl.Bind(5, ft, c)
+	e2, _, _ := tbl.Bind(5, ft, c)
+	if e1.ID == e2.ID {
+		t.Error("two translations share a RUC object")
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("table len %d", tbl.Len())
+	}
+	if got, ok := tbl.Get(e1.ID); !ok || got != e1 {
+		t.Error("Get lost an entry")
+	}
+	ents := tbl.Entries()
+	if len(ents) != 2 || ents[0].ID > ents[1].ID {
+		t.Errorf("Entries() = %v", ents)
+	}
+}
+
+func TestDropCaller(t *testing.T) {
+	tbl := NewTable(nil)
+	c1, c2 := &fakeCaller{}, &fakeCaller{}
+	ft := reflect.TypeOf(func() {})
+	tbl.Bind(1, ft, c1)
+	tbl.Bind(2, ft, c1)
+	e3, _, _ := tbl.Bind(3, ft, c2)
+	if n := tbl.DropCaller(c1); n != 2 {
+		t.Errorf("dropped %d, want 2", n)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+	if _, ok := tbl.Get(e3.ID); !ok {
+		t.Error("wrong caller's entry dropped")
+	}
+}
+
+func TestProxyShortResultsPadded(t *testing.T) {
+	// A buggy caller returning fewer results than declared must not panic
+	// the server; missing results are zero.
+	tbl := NewTable(nil)
+	c := &fakeCaller{
+		reply: func(uint64, reflect.Type, []reflect.Value) ([]reflect.Value, error) {
+			return nil, nil // no results despite the declared int64
+		},
+	}
+	_, proxy, _ := tbl.Bind(1, reflect.TypeOf(func() int64 { return 0 }), c)
+	if got := proxy.Interface().(func() int64)(); got != 0 {
+		t.Errorf("got %d", got)
+	}
+}
+
+func ExampleTable_Bind() {
+	tbl := NewTable(nil)
+	c := &fakeCaller{
+		reply: func(_ uint64, _ reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+			fmt.Println("upcall to client proc with", args[0].Interface())
+			return nil, nil
+		},
+	}
+	_, proxy, _ := tbl.Bind(7, reflect.TypeOf(func(string) {}), c)
+	// The lower-level object sees an ordinary procedure pointer.
+	notify := proxy.Interface().(func(string))
+	notify("window created")
+	// Output: upcall to client proc with window created
+}

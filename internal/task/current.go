@@ -1,0 +1,61 @@
+package task
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// This file lets code discover the task it is running under. The paper's
+// RUC upcall handler blocks "the server task" while the client task is
+// active (§4.3); the handler is invoked through an ordinary procedure
+// pointer, so it has no task argument and must find the current task
+// implicitly — on the VAX that is the thread package's current-thread
+// global, here it is a goroutine-id registry maintained while a task's
+// function runs.
+
+var currentTasks sync.Map // goroutine id (uint64) → *Task
+
+// goid returns the current goroutine's id by parsing the first line of the
+// stack trace ("goroutine N [running]:"). This costs a few microseconds —
+// negligible next to the socket round trip of any distributed upcall, which
+// is the only place it is consulted.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	b := buf[:n]
+	b = bytes.TrimPrefix(b, []byte("goroutine "))
+	if i := bytes.IndexByte(b, ' '); i > 0 {
+		b = b[:i]
+	}
+	id, err := strconv.ParseUint(string(b), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return id
+}
+
+// bind associates the calling goroutine with t for the duration of the
+// task's execution.
+func (t *Task) bind() (gid uint64) {
+	gid = goid()
+	currentTasks.Store(gid, t)
+	return gid
+}
+
+func unbind(gid uint64) {
+	currentTasks.Delete(gid)
+}
+
+// Current returns the task the calling goroutine is executing, or nil when
+// called outside any task. Blocking primitives use it so that code invoked
+// through plain procedure pointers — upcall proxies in particular — can
+// yield the run token correctly without threading a *Task through every
+// signature.
+func Current() *Task {
+	if v, ok := currentTasks.Load(goid()); ok {
+		return v.(*Task)
+	}
+	return nil
+}

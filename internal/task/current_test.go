@@ -1,0 +1,100 @@
+package task
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCurrentInsideTask(t *testing.T) {
+	s := New()
+	defer s.Close()
+	got := make(chan *Task, 1)
+	s.Spawn(func(task *Task) { got <- Current() })
+	select {
+	case cur := <-got:
+		if cur == nil {
+			t.Error("Current() = nil inside a task")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("task never ran")
+	}
+}
+
+func TestCurrentMatchesOwnTask(t *testing.T) {
+	s := New()
+	defer s.Close()
+	type pair struct{ own, cur *Task }
+	got := make(chan pair, 1)
+	s.Spawn(func(task *Task) { got <- pair{own: task, cur: Current()} })
+	p := <-got
+	if p.own != p.cur {
+		t.Errorf("Current() = %v, want %v", p.cur, p.own)
+	}
+}
+
+func TestCurrentOutsideTaskIsNil(t *testing.T) {
+	if Current() != nil {
+		t.Error("Current() != nil on a plain goroutine")
+	}
+}
+
+func TestCurrentSurvivesBlock(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	got := make(chan *Task, 2)
+	s.Spawn(func(task *Task) {
+		got <- Current()
+		task.Block(&e)
+		got <- Current() // still bound after resuming
+	})
+	first := <-got
+	for e.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	e.Signal()
+	second := <-got
+	if first == nil || first != second {
+		t.Errorf("binding changed across Block: %v vs %v", first, second)
+	}
+}
+
+func TestCurrentUnboundAfterPoolExit(t *testing.T) {
+	s := New(WithoutReuse())
+	done := make(chan struct{})
+	s.Spawn(func(*Task) { close(done) })
+	<-done
+	s.Close()
+	// The goroutine has exited; a fresh goroutine must not see its task.
+	res := make(chan *Task, 1)
+	go func() { res <- Current() }()
+	if cur := <-res; cur != nil {
+		t.Errorf("stale binding visible: %v", cur)
+	}
+}
+
+func TestCurrentAcrossReuse(t *testing.T) {
+	s := New()
+	defer s.Close()
+	got := make(chan *Task, 1)
+	s.Spawn(func(task *Task) { got <- Current() })
+	t1 := <-got
+	// Wait for the task to park, then reuse it.
+	for {
+		s.mu.Lock()
+		n := len(s.parked)
+		s.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Spawn(func(task *Task) { got <- Current() })
+	t2 := <-got
+	if t2 == nil {
+		t.Fatal("Current() nil on reused task")
+	}
+	if t1 != t2 {
+		t.Error("reused task changed identity")
+	}
+}

@@ -1,0 +1,103 @@
+package task
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBlockHookRunsBeforeBlocking(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	order := make(chan string, 4)
+	s.Spawn(func(task *Task) {
+		task.SetBlockHook(func() { order <- "hook" })
+		task.Block(&e)
+		order <- "resumed"
+	})
+	for e.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := <-order; got != "hook" {
+		t.Fatalf("first = %q, want hook", got)
+	}
+	e.Signal()
+	if got := <-order; got != "resumed" {
+		t.Fatalf("second = %q", got)
+	}
+}
+
+func TestBlockHookRunsOnPendingFastPath(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	e.Signal() // pending: Block returns immediately, hook still fires
+	ran := make(chan bool, 1)
+	s.Spawn(func(task *Task) {
+		hooked := false
+		task.SetBlockHook(func() { hooked = true })
+		task.Block(&e)
+		ran <- hooked
+	})
+	if !<-ran {
+		t.Error("hook skipped on the pending fast path")
+	}
+}
+
+func TestBlockHookClearedBetweenReuses(t *testing.T) {
+	s := New()
+	defer s.Close()
+	fired := make(chan struct{}, 4)
+	done := make(chan struct{})
+	s.Spawn(func(task *Task) {
+		task.SetBlockHook(func() { fired <- struct{}{} })
+		close(done)
+	})
+	<-done
+	// Wait for the task to park, then reuse it with a function that
+	// blocks: the old hook must not fire.
+	for {
+		s.mu.Lock()
+		n := len(s.parked)
+		s.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var e Event
+	done2 := make(chan struct{})
+	s.Spawn(func(task *Task) {
+		task.Block(&e)
+		close(done2)
+	})
+	for e.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-fired:
+		t.Error("stale hook fired on reused task")
+	default:
+	}
+	e.Signal()
+	<-done2
+}
+
+func TestBlockHookNilIsSafe(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	e.Signal()
+	done := make(chan struct{})
+	s.Spawn(func(task *Task) {
+		task.SetBlockHook(func() {})
+		task.SetBlockHook(nil)
+		task.Block(&e)
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("task hung")
+	}
+}

@@ -1,0 +1,347 @@
+package task
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSpawnRuns(t *testing.T) {
+	s := New()
+	defer s.Close()
+	done := make(chan struct{})
+	if err := s.Spawn(func(*Task) { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("task never ran")
+	}
+}
+
+func TestTaskIDsUnique(t *testing.T) {
+	s := New(WithoutReuse())
+	defer s.Close()
+	ids := make(chan uint64, 10)
+	for i := 0; i < 10; i++ {
+		s.Spawn(func(task *Task) { ids <- task.ID() })
+	}
+	s.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate task id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// At most one task executes at a time: the defining property of the
+// paper's non-preemptive tasks.
+func TestMutualExclusion(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var inside atomic.Int32
+	var violations atomic.Int32
+	const tasks = 16
+	for i := 0; i < tasks; i++ {
+		s.Spawn(func(task *Task) {
+			for j := 0; j < 50; j++ {
+				if inside.Add(1) != 1 {
+					violations.Add(1)
+				}
+				// No Yield here: within a critical region a
+				// non-preemptive task cannot be interrupted.
+				inside.Add(-1)
+				task.Yield()
+			}
+		})
+	}
+	s.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Errorf("%d mutual-exclusion violations", v)
+	}
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var order []int
+	appendOrder := func(n int) { order = append(order, n) } // safe: one task at a time
+	done := make(chan struct{}, 2)
+	s.Spawn(func(task *Task) {
+		for i := 0; i < 3; i++ {
+			appendOrder(1)
+			task.Yield()
+		}
+		done <- struct{}{}
+	})
+	s.Spawn(func(task *Task) {
+		for i := 0; i < 3; i++ {
+			appendOrder(2)
+			task.Yield()
+		}
+		done <- struct{}{}
+	})
+	<-done
+	<-done
+	// Both tasks must have run; with yields, neither can finish all its
+	// appends before the other starts (the first yield hands over).
+	var ones, twos int
+	for _, n := range order {
+		if n == 1 {
+			ones++
+		} else {
+			twos++
+		}
+	}
+	if ones != 3 || twos != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] == order[1] && order[1] == order[2] && order[0] == order[3] {
+		t.Errorf("no interleaving observed: %v", order)
+	}
+}
+
+func TestBlockSignal(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	ran := make(chan struct{})
+	s.Spawn(func(task *Task) {
+		task.Block(&e)
+		close(ran)
+	})
+	// Give the task time to block, then signal from outside any task —
+	// the I/O-goroutine pattern.
+	for e.Waiters() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	e.Signal()
+	select {
+	case <-ran:
+	case <-time.After(time.Second):
+		t.Fatal("task not reactivated by Signal")
+	}
+}
+
+func TestSignalBeforeBlockNotLost(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	e.Signal() // occurs before anyone waits
+	done := make(chan struct{})
+	s.Spawn(func(task *Task) {
+		task.Block(&e) // must consume the pending occurrence
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("pending signal was lost")
+	}
+}
+
+// Each Signal reactivates exactly one blocked task (queued FIFO inside the
+// event); resumption execution order depends on token acquisition and is
+// deliberately not asserted.
+func TestSignalWakesOnePerCall(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	done := make(chan int, 3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		s.Spawn(func(task *Task) {
+			task.Block(&e)
+			done <- i
+		})
+		for e.Waiters() < i {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		e.Signal()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatalf("signal %d reactivated no task", i+1)
+		}
+		if got, want := e.Waiters(), 3-i-1; got != want {
+			t.Fatalf("after signal %d: %d waiters, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var e Event
+	var woke atomic.Int32
+	const n = 5
+	for i := 0; i < n; i++ {
+		s.Spawn(func(task *Task) {
+			task.Block(&e)
+			woke.Add(1)
+		})
+	}
+	for e.Waiters() < n {
+		time.Sleep(time.Millisecond)
+	}
+	e.Broadcast()
+	s.Wait()
+	if woke.Load() != n {
+		t.Errorf("broadcast woke %d of %d", woke.Load(), n)
+	}
+	// Broadcast leaves no pending count behind.
+	e.mu.Lock()
+	p := e.pending
+	e.mu.Unlock()
+	if p != 0 {
+		t.Errorf("pending = %d after broadcast", p)
+	}
+}
+
+func TestTaskReusePool(t *testing.T) {
+	s := New()
+	defer s.Close()
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		done := make(chan struct{})
+		s.Spawn(func(*Task) { close(done) })
+		<-done
+		// Let the finished task park before the next spawn.
+		for {
+			s.mu.Lock()
+			parked := len(s.parked)
+			s.mu.Unlock()
+			if parked > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	started, created, reused := s.Stats()
+	if started != rounds {
+		t.Errorf("started = %d", started)
+	}
+	if created != 1 {
+		t.Errorf("created %d goroutines, want 1 (reuse)", created)
+	}
+	if reused != rounds-1 {
+		t.Errorf("reused = %d, want %d", reused, rounds-1)
+	}
+}
+
+func TestWithoutReuseCreatesFreshTasks(t *testing.T) {
+	s := New(WithoutReuse())
+	defer s.Close()
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		done := make(chan struct{})
+		s.Spawn(func(*Task) { close(done) })
+		<-done
+	}
+	_, created, reused := s.Stats()
+	if created != rounds {
+		t.Errorf("created = %d, want %d", created, rounds)
+	}
+	if reused != 0 {
+		t.Errorf("reused = %d, want 0", reused)
+	}
+}
+
+func TestSpawnAfterClose(t *testing.T) {
+	s := New()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Spawn(func(*Task) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("spawn after close: err = %v", err)
+	}
+	if err := s.Close(); err == nil {
+		t.Error("second close succeeded")
+	}
+}
+
+func TestCloseReleasesParkedGoroutines(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	s.Spawn(func(*Task) { close(done) })
+	<-done
+	// Wait for the task to park, then close; Close must not hang.
+	closed := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on parked goroutines")
+	}
+}
+
+// The §4.3 interaction: a server task blocks while another task (standing
+// in for the client task) carries the flow of control, then resumes when
+// that task completes.
+func TestServerTaskBlocksDuringClientTask(t *testing.T) {
+	s := New()
+	defer s.Close()
+	var clientDone, serverResumed Event
+	var trace []string
+	rec := func(ev string) { trace = append(trace, ev) }
+
+	s.Spawn(func(server *Task) {
+		rec("server:upcall-start")
+		// The distributed upcall: start the client task, block until it
+		// finishes.
+		s.Spawn(func(client *Task) {
+			rec("client:handling")
+			clientDone.Signal()
+		})
+		server.Block(&clientDone)
+		rec("server:resumed")
+		serverResumed.Signal()
+	})
+
+	s.Spawn(func(waiter *Task) {
+		waiter.Block(&serverResumed)
+	})
+	s.Wait()
+	want := []string{"server:upcall-start", "client:handling", "server:resumed"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestManyTasksManyEvents(t *testing.T) {
+	s := New()
+	defer s.Close()
+	const n = 30
+	events := make([]Event, n)
+	var sum atomic.Int64
+	for i := 0; i < n; i++ {
+		i := i
+		s.Spawn(func(task *Task) {
+			task.Block(&events[i])
+			sum.Add(int64(i))
+			if i+1 < n {
+				events[i+1].Signal()
+			}
+		})
+	}
+	events[0].Signal()
+	s.Wait()
+	if got, want := sum.Load(), int64(n*(n-1)/2); got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,245 @@
+package upcall
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegisterAndPost(t *testing.T) {
+	r := NewRegistry()
+	var got []int32
+	if _, err := r.Register("mouse", func(x int32) { got = append(got, x) }); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Post("mouse", int32(5))
+	if err != nil || n != 1 {
+		t.Fatalf("Post: n=%d err=%v", n, err)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestRegisterRejectsNonFunc(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register("e", 42); !errors.Is(err, ErrNotFunc) {
+		t.Errorf("err = %v", err)
+	}
+	var nilFn func()
+	if _, err := r.Register("e", nilFn); !errors.Is(err, ErrNotFunc) {
+		t.Errorf("nil func: err = %v", err)
+	}
+	if _, err := r.Register("e", nil); !errors.Is(err, ErrNotFunc) {
+		t.Errorf("nil: err = %v", err)
+	}
+}
+
+func TestMultipleHandlersInOrder(t *testing.T) {
+	r := NewRegistry()
+	var order []string
+	r.Register("e", func() { order = append(order, "first") })
+	r.Register("e", func() { order = append(order, "second") })
+	n, err := r.Post("e")
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	id, _ := r.Register("e", func() { calls++ })
+	if !r.Unregister("e", id) {
+		t.Fatal("unregister failed")
+	}
+	if r.Unregister("e", id) {
+		t.Error("double unregister succeeded")
+	}
+	r.Post("e")
+	if calls != 0 {
+		t.Errorf("handler ran after unregister")
+	}
+	if r.Handlers("e") != 0 {
+		t.Errorf("Handlers = %d", r.Handlers("e"))
+	}
+}
+
+func TestDiscardPolicy(t *testing.T) {
+	r := NewRegistry() // default Discard
+	n, err := r.Post("nobody", 1)
+	if err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if r.Queued("nobody") != 0 {
+		t.Error("discard policy queued an event")
+	}
+}
+
+func TestQueuePolicyAndReplay(t *testing.T) {
+	r := NewRegistry(WithPolicy(Queue))
+	r.Post("mouse", int32(1))
+	r.Post("mouse", int32(2))
+	if r.Queued("mouse") != 2 {
+		t.Fatalf("queued = %d", r.Queued("mouse"))
+	}
+	var got []int32
+	r.Register("mouse", func(x int32) { got = append(got, x) })
+	n, err := r.Replay("mouse")
+	if err != nil || n != 2 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("replay order: %v", got)
+	}
+	if r.Queued("mouse") != 0 {
+		t.Error("queue not drained by replay")
+	}
+}
+
+func TestQueueBounded(t *testing.T) {
+	r := NewRegistry(WithPolicy(Queue), WithMaxQueue(2))
+	r.Post("e")
+	r.Post("e")
+	if _, err := r.Post("e"); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	r := NewRegistry(WithPolicy(Queue))
+	r.Post("e", "a")
+	r.Post("e", "b")
+	evs := r.Drain("e")
+	if len(evs) != 2 || evs[0].Args[0] != "a" || evs[1].Args[0] != "b" {
+		t.Errorf("drained %v", evs)
+	}
+	if len(r.Drain("e")) != 0 {
+		t.Error("second drain returned events")
+	}
+}
+
+func TestArgumentTypeChecking(t *testing.T) {
+	r := NewRegistry()
+	r.Register("e", func(x int32) {})
+	if _, err := r.Post("e", "wrong"); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("err = %v, want ErrBadArgs", err)
+	}
+	if _, err := r.Post("e"); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("arity: err = %v", err)
+	}
+	if _, err := r.Post("e", int32(1), int32(2)); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("arity: err = %v", err)
+	}
+}
+
+func TestNumericWidthConversion(t *testing.T) {
+	r := NewRegistry()
+	var got int64
+	r.Register("e", func(x int64) { got = x })
+	if _, err := r.Post("e", int32(7)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Errorf("got %d", got)
+	}
+	// But int→string conversion, though Convertible in reflect terms,
+	// must be rejected.
+	r.Register("s", func(x string) {})
+	if _, err := r.Post("s", 65); !errors.Is(err, ErrBadArgs) {
+		t.Errorf("int→string: err = %v", err)
+	}
+}
+
+func TestNilArgumentBecomesZero(t *testing.T) {
+	r := NewRegistry()
+	var got *int
+	sentinel := 5
+	got = &sentinel
+	r.Register("e", func(p *int) { got = p })
+	if _, err := r.Post("e", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("got %v, want nil", got)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("layer failed")
+	r.Register("e", func() error { return boom })
+	if _, err := r.Post("e"); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHandlerMayRegisterDuringDelivery(t *testing.T) {
+	r := NewRegistry()
+	nested := 0
+	r.Register("e", func() {
+		// Passing the event up: register a new layer mid-delivery.
+		r.Register("e2", func() { nested++ })
+		r.Post("e2")
+	})
+	if _, err := r.Post("e"); err != nil {
+		t.Fatal(err)
+	}
+	if nested != 1 {
+		t.Errorf("nested = %d", nested)
+	}
+}
+
+// Layered propagation: each layer maps the event and passes it upward,
+// the §2 input pipeline in miniature.
+func TestLayeredPropagation(t *testing.T) {
+	screen := NewRegistry()
+	window := NewRegistry()
+	var final []string
+
+	// window layer registers with screen: maps raw coordinates to a name.
+	screen.Register("raw", func(x, y int32) {
+		if x > 10 {
+			window.Post("win", fmt.Sprintf("click@%d,%d", x, y))
+		}
+		// else: the layer limits the asynchrony by dropping it
+	})
+	// application registers with window.
+	window.Register("win", func(desc string) { final = append(final, desc) })
+
+	screen.Post("raw", int32(20), int32(5))
+	screen.Post("raw", int32(3), int32(3)) // filtered by the window layer
+	if len(final) != 1 || final[0] != "click@20,5" {
+		t.Errorf("final = %v", final)
+	}
+}
+
+func TestConcurrentPosts(t *testing.T) {
+	r := NewRegistry()
+	var mu sync.Mutex
+	count := 0
+	r.Register("e", func() {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Post("e"); err != nil {
+				t.Errorf("post: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != n {
+		t.Errorf("count = %d", count)
+	}
+}

@@ -1,0 +1,343 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func connPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := Pipe()
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if MsgCall.String() != "Call" {
+		t.Errorf("MsgCall.String() = %q", MsgCall.String())
+	}
+	if got := MsgType(200).String(); got != "MsgType(200)" {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := connPair(t)
+	want := &Msg{Type: MsgCall, Seq: 42, Body: []byte("hello world")}
+	go func() {
+		if err := a.Send(want); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if got.Type != want.Type || got.Seq != want.Seq || !bytes.Equal(got.Body, want.Body) {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	a, b := connPair(t)
+	go func() { a.Send(&Msg{Type: MsgSync, Seq: 1}) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if len(got.Body) != 0 {
+		t.Errorf("body = %v, want empty", got.Body)
+	}
+}
+
+func TestBatchedWritesArriveInOrder(t *testing.T) {
+	a, b := connPair(t)
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := a.Write(&Msg{Type: MsgCall, Seq: uint64(i), Body: []byte{byte(i)}}); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+		if err := a.Flush(); err != nil {
+			t.Errorf("flush: %v", err)
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) || m.Body[0] != byte(i) {
+			t.Fatalf("message %d out of order: seq=%d body=%v", i, m.Seq, m.Body)
+		}
+	}
+}
+
+func TestRecvOnClosedConn(t *testing.T) {
+	a, b := Pipe()
+	a.Close()
+	b.Close()
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv on closed conn: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRecvAfterPeerClose(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	a.Close()
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after peer close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	ac, bc := net.Pipe()
+	defer bc.Close()
+	go func() {
+		defer ac.Close()
+		junk := make([]byte, headerLen)
+		junk[0] = 0xff
+		ac.Write(junk)
+	}()
+	b := NewConn(bc)
+	if _, err := b.Recv(); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestOversizeWriteRejected(t *testing.T) {
+	a, _ := connPair(t)
+	m := &Msg{Type: MsgCall, Body: make([]byte, MaxBody+1)}
+	if err := a.Write(m); !errors.Is(err, ErrTooBig) {
+		t.Errorf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestOversizeHeaderRejected(t *testing.T) {
+	ac, bc := net.Pipe()
+	defer bc.Close()
+	go func() {
+		defer ac.Close()
+		var h [headerLen]byte
+		putHeader(h[:], MsgCall, 1, MaxBody+1)
+		ac.Write(h[:])
+	}()
+	b := NewConn(bc)
+	if _, err := b.Recv(); !errors.Is(err, ErrTooBig) {
+		t.Errorf("err = %v, want ErrTooBig", err)
+	}
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	a, b := connPair(t)
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := a.Send(&Msg{Type: MsgCall, Seq: uint64(w*1000 + i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < writers*per; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+	wg.Wait()
+	if len(seen) != writers*per {
+		t.Errorf("received %d unique messages, want %d", len(seen), writers*per)
+	}
+}
+
+func TestStats(t *testing.T) {
+	a, b := connPair(t)
+	go func() {
+		a.Send(&Msg{Type: MsgCall, Seq: 1})
+		a.Send(&Msg{Type: MsgCall, Seq: 2})
+	}()
+	b.Recv()
+	b.Recv()
+	if sent, _ := a.Stats(); sent != 2 {
+		t.Errorf("a sent = %d, want 2", sent)
+	}
+	if _, recvd := b.Stats(); recvd != 2 {
+		t.Errorf("b received = %d, want 2", recvd)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// Property: any (type, seq, body) frame survives the wire intact, including
+// bodies that contain the magic bytes.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	a, b := connPair(t)
+	f := func(ty uint8, seq uint64, body []byte) bool {
+		m := &Msg{Type: MsgType(ty), Seq: seq, Body: body}
+		errc := make(chan error, 1)
+		go func() { errc <- a.Send(m) }()
+		got, err := b.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return got.Type == m.Type && got.Seq == seq && bytes.Equal(got.Body, body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("accept: %v", r.err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		r.c.Close()
+	})
+	return client, r.c
+}
+
+func TestSimLinkAddsLatency(t *testing.T) {
+	clientRaw, serverRaw := tcpPair(t)
+	const lat = 20 * time.Millisecond
+	client := NewConn(NewSimLink(clientRaw, lat, 0))
+	server := NewConn(serverRaw)
+
+	start := time.Now()
+	go client.Send(&Msg{Type: MsgCall, Seq: 7})
+	if _, err := server.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < lat {
+		t.Errorf("message arrived in %v, want >= %v", elapsed, lat)
+	}
+	if elapsed > 50*lat {
+		t.Errorf("message took %v, far more than the %v link latency", elapsed, lat)
+	}
+}
+
+func TestSimLinkPreservesOrderAndContent(t *testing.T) {
+	clientRaw, serverRaw := tcpPair(t)
+	client := NewConn(NewSimLink(clientRaw, time.Millisecond, 0))
+	server := NewConn(serverRaw)
+	const n = 20
+	go func() {
+		for i := 0; i < n; i++ {
+			client.Send(&Msg{Type: MsgCall, Seq: uint64(i), Body: []byte(fmt.Sprintf("m%d", i))})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d at position %d", m.Seq, i)
+		}
+	}
+}
+
+func TestSimLinkBandwidthDelay(t *testing.T) {
+	clientRaw, serverRaw := tcpPair(t)
+	// 1 MB/s: a 10 KB body should take ~10 ms of serialization delay.
+	link := NewSimLink(clientRaw, 0, 1<<20)
+	client := NewConn(link)
+	server := NewConn(serverRaw)
+	body := make([]byte, 10<<10)
+	start := time.Now()
+	go client.Send(&Msg{Type: MsgCall, Body: body})
+	if _, err := server.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("10KB over 1MB/s arrived in %v, want >= 5ms of serialization delay", elapsed)
+	}
+}
+
+func TestSimLinkWriteAfterClose(t *testing.T) {
+	clientRaw, _ := tcpPair(t)
+	link := NewSimLink(clientRaw, time.Millisecond, 0)
+	if err := link.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := link.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Errorf("write after close: err = %v, want net.ErrClosed", err)
+	}
+	if err := link.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestSimLinkDrainsOnClose(t *testing.T) {
+	clientRaw, serverRaw := tcpPair(t)
+	link := NewSimLink(clientRaw, 5*time.Millisecond, 0)
+	client := NewConn(link)
+	server := NewConn(serverRaw)
+	if err := client.Send(&Msg{Type: MsgBye, Seq: 99}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if err := link.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	m, err := server.Recv()
+	if err != nil {
+		t.Fatalf("final message lost on close: %v", err)
+	}
+	if m.Type != MsgBye || m.Seq != 99 {
+		t.Errorf("got %+v, want Bye/99", m)
+	}
+}

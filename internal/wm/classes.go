@@ -1,0 +1,152 @@
+package wm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+
+	"clam/internal/dynload"
+	"clam/internal/task"
+)
+
+// This file packages the window-management classes as dynamically loadable
+// modules (§2): the library is the set of object files a CLAM server could
+// load; nothing here links into the server until a Load request arrives.
+
+// Config sizes the simulated display.
+type Config struct {
+	Width, Height int16
+}
+
+// DefaultConfig matches a small workstation display.
+var DefaultConfig = Config{Width: 640, Height: 480}
+
+// The environment interfaces a module constructor probes for. core.Env
+// satisfies both; tests may supply anything equivalent.
+type schedEnv interface{ Sched() *task.Sched }
+type namedEnv interface{ Named(string) (any, bool) }
+
+func envSched(env any) *task.Sched {
+	if se, ok := env.(schedEnv); ok {
+		return se.Sched()
+	}
+	return nil
+}
+
+func envNamed(env any, name string) (any, bool) {
+	if ne, ok := env.(namedEnv); ok {
+		return ne.Named(name)
+	}
+	return nil, false
+}
+
+// errNoScreen reports a window-layer load before a screen exists.
+var errNoScreen = errors.New(`wm: no named "screen" instance; create the screen class first`)
+
+// SweepV2 is version 2 of the sweeping class: identical code with
+// different creation defaults (grid alignment on, transparent band),
+// demonstrating the paper's point that "different clients could have
+// different versions, depending on their application". It is a distinct
+// Go type so both versions can be loaded at once.
+type SweepV2 struct {
+	Sweep
+}
+
+// Register adds the window-management classes to lib. The screen class
+// publishes nothing by itself; a server bootstrap (or the first client)
+// typically creates "screen" and "window" instances and publishes them
+// under well-known names.
+func Register(lib *dynload.Library, cfg Config) error {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return fmt.Errorf("wm: invalid config %+v", cfg)
+	}
+	classes := []dynload.Class{
+		{
+			Name: "screen", Version: 1, Type: reflect.TypeOf(&Screen{}),
+			New: func(env any) (any, error) {
+				return NewScreen(cfg.Width, cfg.Height, envSched(env)), nil
+			},
+		},
+		{
+			Name: "window", Version: 1, Type: reflect.TypeOf(&Window{}),
+			New: func(env any) (any, error) {
+				obj, ok := envNamed(env, "screen")
+				if !ok {
+					return nil, errNoScreen
+				}
+				scr, ok := obj.(*Screen)
+				if !ok {
+					return nil, fmt.Errorf(`wm: named "screen" is a %T`, obj)
+				}
+				return NewBaseWindow(scr), nil
+			},
+		},
+		{
+			Name: "sweep", Version: 1, Type: reflect.TypeOf(&Sweep{}),
+			New: func(any) (any, error) { return NewSweep(), nil },
+		},
+		{
+			Name: "sweep", Version: 2, Type: reflect.TypeOf(&SweepV2{}),
+			New: func(any) (any, error) {
+				s := &SweepV2{}
+				s.borderColor = 255
+				s.grid = 8
+				s.transparent = true
+				return s, nil
+			},
+		},
+		{
+			Name: "cursor", Version: 1, Type: reflect.TypeOf(&Cursor{}),
+			New: func(env any) (any, error) {
+				c := NewCursor()
+				if obj, ok := envNamed(env, "screen"); ok {
+					if scr, ok := obj.(*Screen); ok {
+						c.AttachScreen(scr)
+					}
+				}
+				return c, nil
+			},
+		},
+		{
+			Name: "button", Version: 1, Type: reflect.TypeOf(&Button{}),
+			New: func(any) (any, error) { return NewButton(), nil },
+		},
+		{
+			Name: "menu", Version: 1, Type: reflect.TypeOf(&Menu{}),
+			New: func(any) (any, error) { return NewMenu(), nil },
+		},
+		{
+			Name: "layout", Version: 1, Type: reflect.TypeOf(&Layout{}),
+			New: func(any) (any, error) { return NewLayout(), nil },
+		},
+		{
+			Name: "label", Version: 1, Type: reflect.TypeOf(&Label{}),
+			New: func(any) (any, error) { return NewLabel(), nil },
+		},
+		{
+			Name: "focus", Version: 1, Type: reflect.TypeOf(&Focus{}),
+			New: func(any) (any, error) { return NewFocus(), nil },
+		},
+		{
+			Name: "deco", Version: 1, Type: reflect.TypeOf(&Deco{}),
+			New: func(any) (any, error) { return NewDeco(), nil },
+		},
+		{
+			Name: "console", Version: 1, Type: reflect.TypeOf(&Console{}),
+			New: func(any) (any, error) { return NewConsole(), nil },
+		},
+	}
+	for _, c := range classes {
+		if err := lib.Register(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustRegister is Register but panics on error.
+func MustRegister(lib *dynload.Library, cfg Config) {
+	if err := Register(lib, cfg); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,112 @@
+package wm
+
+import (
+	"strings"
+	"sync"
+)
+
+// Console is a scrolling text pane: lines are appended at the bottom and
+// scroll up when the pane fills — the terminal-emulator primitive of a
+// window library, and a convenient remote logging target (clients Async
+// lines into it).
+type Console struct {
+	mu    sync.Mutex
+	win   *Window
+	lines []string
+	ink   int64
+	// lineH is the pixel pitch between lines.
+	lineH int16
+}
+
+// NewConsole returns an unattached console.
+func NewConsole() *Console {
+	return &Console{ink: 255, lineH: GlyphHeight + 2}
+}
+
+// Attach binds the console to a window and clears it.
+func (c *Console) Attach(w *Window) {
+	c.mu.Lock()
+	c.win = w
+	c.lines = nil
+	c.mu.Unlock()
+	c.repaint()
+}
+
+// Rows reports how many lines fit in the attached window.
+func (c *Console) Rows() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.rowsLocked())
+}
+
+func (c *Console) rowsLocked() int {
+	if c.win == nil {
+		return 0
+	}
+	return int(c.win.Bounds().H / c.lineH)
+}
+
+// Println appends a line (split on newlines), scrolling as needed.
+func (c *Console) Println(text string) {
+	c.mu.Lock()
+	for _, line := range strings.Split(text, "\n") {
+		c.lines = append(c.lines, line)
+	}
+	if rows := c.rowsLocked(); rows > 0 && len(c.lines) > rows {
+		c.lines = c.lines[len(c.lines)-rows:]
+	}
+	c.mu.Unlock()
+	c.repaint()
+}
+
+// Clear empties the pane.
+func (c *Console) Clear() {
+	c.mu.Lock()
+	c.lines = nil
+	c.mu.Unlock()
+	c.repaint()
+}
+
+// LineCount reports the retained lines.
+func (c *Console) LineCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(len(c.lines))
+}
+
+// Line returns the i-th retained line (empty when out of range).
+func (c *Console) Line(i int64) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= int64(len(c.lines)) {
+		return ""
+	}
+	return c.lines[i]
+}
+
+// SetInk changes the text color.
+func (c *Console) SetInk(color int64) {
+	c.mu.Lock()
+	c.ink = color
+	c.mu.Unlock()
+	c.repaint()
+}
+
+func (c *Console) repaint() {
+	c.mu.Lock()
+	win := c.win
+	if win == nil {
+		c.mu.Unlock()
+		return
+	}
+	lines := append([]string(nil), c.lines...)
+	ink := c.ink
+	lineH := c.lineH
+	c.mu.Unlock()
+
+	win.Fill(win.Background())
+	dx, dy := win.screenOffset()
+	for i, line := range lines {
+		win.scr.DrawText(dx+2, dy+2+int16(i)*lineH, line, ink)
+	}
+}

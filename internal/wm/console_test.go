@@ -1,0 +1,90 @@
+package wm
+
+import "testing"
+
+func consoleFixture(t *testing.T) (*Screen, *Console) {
+	t.Helper()
+	s := NewScreen(200, 100, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(10, 10, 150, 60), 1)
+	c := NewConsole()
+	c.Attach(w)
+	return s, c
+}
+
+func TestConsolePrintAndRead(t *testing.T) {
+	s, c := consoleFixture(t)
+	c.Println("HELLO")
+	if c.LineCount() != 1 || c.Line(0) != "HELLO" {
+		t.Errorf("lines: %d %q", c.LineCount(), c.Line(0))
+	}
+	if s.CountColor(255) == 0 {
+		t.Error("text not painted")
+	}
+	if c.Line(5) != "" || c.Line(-1) != "" {
+		t.Error("out-of-range line not empty")
+	}
+}
+
+func TestConsoleMultilinePrintln(t *testing.T) {
+	_, c := consoleFixture(t)
+	c.Println("A\nB\nC")
+	if c.LineCount() != 3 || c.Line(2) != "C" {
+		t.Errorf("lines = %d", c.LineCount())
+	}
+}
+
+func TestConsoleScrollsWhenFull(t *testing.T) {
+	_, c := consoleFixture(t)
+	rows := c.Rows()
+	if rows <= 0 {
+		t.Fatalf("rows = %d", rows)
+	}
+	for i := int64(0); i < rows+3; i++ {
+		c.Println(fmtLine(i))
+	}
+	if c.LineCount() != rows {
+		t.Errorf("retained %d lines, want %d", c.LineCount(), rows)
+	}
+	// The oldest lines scrolled off; the first retained line is #3.
+	if c.Line(0) != fmtLine(3) {
+		t.Errorf("top line %q, want %q", c.Line(0), fmtLine(3))
+	}
+}
+
+func fmtLine(i int64) string {
+	return "LINE " + string(rune('0'+i%10))
+}
+
+func TestConsoleClear(t *testing.T) {
+	s, c := consoleFixture(t)
+	c.Println("XYZZY")
+	c.Clear()
+	if c.LineCount() != 0 {
+		t.Error("lines survive Clear")
+	}
+	if s.CountColor(255) != 0 {
+		t.Error("pixels survive Clear")
+	}
+}
+
+func TestConsoleSetInk(t *testing.T) {
+	s, c := consoleFixture(t)
+	c.Println("X")
+	c.SetInk(7)
+	if s.CountColor(7) == 0 {
+		t.Error("re-inked text missing")
+	}
+	if s.CountColor(255) != 0 {
+		t.Error("old ink left behind")
+	}
+}
+
+func TestConsoleUnattachedIsSafe(t *testing.T) {
+	c := NewConsole()
+	c.Println("no window") // must not panic
+	c.Clear()
+	if c.Rows() != 0 {
+		t.Error("rows without window")
+	}
+}

@@ -1,0 +1,95 @@
+package wm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOnDamageAndFlush(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	var batches [][]Rect
+	s.OnDamage(func(rs []Rect) { batches = append(batches, rs) })
+
+	s.Fill(R(0, 0, 5, 5), 1)
+	s.Fill(R(10, 10, 5, 5), 2)
+	if len(batches) != 0 {
+		t.Fatal("damage delivered before flush")
+	}
+	n := s.FlushDamage()
+	if n == 0 || len(batches) != 1 {
+		t.Fatalf("flush posted %d rects in %d batches", n, len(batches))
+	}
+	area := 0
+	for _, r := range batches[0] {
+		area += r.Area()
+	}
+	if area != 50 {
+		t.Errorf("damage area %d, want 50", area)
+	}
+	// Flushed damage is consumed.
+	if s.FlushDamage() != 0 {
+		t.Error("second flush re-posted damage")
+	}
+	if len(s.TakeDamage()) != 0 {
+		t.Error("TakeDamage sees flushed damage")
+	}
+}
+
+func TestFlushDamageWithoutObserversKeepsDamage(t *testing.T) {
+	s := NewScreen(20, 20, nil)
+	s.Fill(R(0, 0, 3, 3), 1)
+	if s.FlushDamage() != 0 {
+		t.Error("flush posted with no observers")
+	}
+	if len(s.TakeDamage()) == 0 {
+		t.Error("damage lost by observer-less flush")
+	}
+}
+
+func TestReadRect(t *testing.T) {
+	s := NewScreen(10, 10, nil)
+	s.Fill(R(2, 2, 3, 2), 7)
+	got := s.ReadRect(R(2, 2, 3, 2))
+	want := []byte{7, 7, 7, 7, 7, 7}
+	if !bytes.Equal(got, want) {
+		t.Errorf("ReadRect = %v", got)
+	}
+	// Clipped read.
+	if got := s.ReadRect(R(8, 8, 5, 5)); len(got) != 4 {
+		t.Errorf("clipped read length %d", len(got))
+	}
+	if s.ReadRect(R(50, 50, 5, 5)) != nil {
+		t.Error("off-screen read returned pixels")
+	}
+}
+
+// Incremental mirroring: a client keeps a local copy in sync using only
+// damage batches and ReadRect — the remote-display pattern.
+func TestIncrementalMirroring(t *testing.T) {
+	s := NewScreen(40, 30, nil)
+	mirror := make([]byte, 40*30)
+	s.OnDamage(func(rs []Rect) {
+		for _, r := range rs {
+			pix := s.ReadRect(r)
+			i := 0
+			for y := r.Y; y < r.Y+r.H; y++ {
+				for x := r.X; x < r.X+r.W; x++ {
+					mirror[int(y)*40+int(x)] = pix[i]
+					i++
+				}
+			}
+		}
+	})
+	base := NewBaseWindow(s)
+	w := base.Create(R(5, 5, 12, 9), 3)
+	w.FillRect(R(2, 2, 4, 4), 8)
+	s.FlushDamage()
+	if !bytes.Equal(mirror, s.Snapshot()) {
+		t.Fatal("mirror diverged after first flush")
+	}
+	w.MoveTo(20, 15)
+	s.FlushDamage()
+	if !bytes.Equal(mirror, s.Snapshot()) {
+		t.Fatal("mirror diverged after move")
+	}
+}

@@ -1,0 +1,168 @@
+package wm
+
+import (
+	"sync"
+)
+
+// Deco is the window-decoration layer: it frames a window with a title
+// bar, makes the bar draggable to move the window, and adds a close box
+// that destroys it. Like the sweeping layer, it is pure policy stacked on
+// the window abstraction with upcall registrations — exactly the kind of
+// code the paper wants dynamically loaded so "clients can decide the
+// details" (§2.1).
+type Deco struct {
+	mu    sync.Mutex
+	win   *Window // the decorated (content) window
+	title string
+
+	barColor   int64
+	textColor  int64
+	closeColor int64
+
+	dragging bool
+	lastPos  Point // last drag position in parent coordinates
+
+	closed []func(string)
+	moved  uint64
+}
+
+// barHeight is the title-bar height in pixels.
+const barHeight = GlyphHeight + 4
+
+// NewDeco returns an unattached decoration layer.
+func NewDeco() *Deco {
+	return &Deco{barColor: 60, textColor: 255, closeColor: 160}
+}
+
+// Attach decorates w: the bar is drawn along the window's top edge and
+// the layer registers for the window's mouse events. The content area
+// effectively starts below the bar.
+func (d *Deco) Attach(w *Window, title string) {
+	d.mu.Lock()
+	d.win = w
+	d.title = title
+	d.mu.Unlock()
+	w.PostMouse(d.Mouse)
+	d.paint()
+}
+
+// SetTitle replaces the title text and repaints the bar.
+func (d *Deco) SetTitle(title string) {
+	d.mu.Lock()
+	d.title = title
+	d.mu.Unlock()
+	d.paint()
+}
+
+// Title returns the current title.
+func (d *Deco) Title() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.title
+}
+
+// OnClosed registers a procedure upcalled (with the title) when the close
+// box is clicked, after the window is destroyed.
+func (d *Deco) OnClosed(fn func(string)) {
+	if fn == nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = append(d.closed, fn)
+}
+
+// Moves reports how many drag steps the layer has applied.
+func (d *Deco) Moves() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(d.moved)
+}
+
+// barRect returns the title-bar rectangle in window coordinates; d.mu
+// held.
+func (d *Deco) barRectLocked() Rect {
+	b := d.win.Bounds()
+	return Rect{X: 0, Y: 0, W: b.W, H: barHeight}
+}
+
+// closeRect returns the close box in window coordinates; d.mu held.
+func (d *Deco) closeRectLocked() Rect {
+	b := d.win.Bounds()
+	return Rect{X: b.W - barHeight, Y: 0, W: barHeight, H: barHeight}
+}
+
+func (d *Deco) paint() {
+	d.mu.Lock()
+	win := d.win
+	if win == nil {
+		d.mu.Unlock()
+		return
+	}
+	bar := d.barRectLocked()
+	box := d.closeRectLocked()
+	title := d.title
+	barColor, textColor, closeColor := d.barColor, d.textColor, d.closeColor
+	d.mu.Unlock()
+
+	win.FillRect(bar, barColor)
+	win.FillRect(box.Inset(2), closeColor)
+	dx, dy := win.screenOffset()
+	win.scr.DrawText(dx+3, dy+2, title, textColor)
+}
+
+// Mouse is the decoration layer's upcall procedure.
+func (d *Deco) Mouse(ev MouseEvent) {
+	d.mu.Lock()
+	win := d.win
+	if win == nil {
+		d.mu.Unlock()
+		return
+	}
+	bar := d.barRectLocked()
+	box := d.closeRectLocked()
+
+	switch ev.Kind {
+	case MouseDown:
+		if ev.Pos().In(box) {
+			// Close: destroy the window and upcall the observers.
+			title := d.title
+			fns := append(([]func(string))(nil), d.closed...)
+			d.win = nil
+			d.mu.Unlock()
+			win.Destroy()
+			for _, fn := range fns {
+				fn(title)
+			}
+			return
+		}
+		if ev.Pos().In(bar) {
+			d.dragging = true
+			b := win.Bounds()
+			// Remember where the press landed in parent coordinates.
+			d.lastPos = Point{X: b.X + ev.X, Y: b.Y + ev.Y}
+		}
+		d.mu.Unlock()
+	case MouseMove:
+		if !d.dragging {
+			d.mu.Unlock()
+			return
+		}
+		b := win.Bounds()
+		cur := Point{X: b.X + ev.X, Y: b.Y + ev.Y}
+		dx := cur.X - d.lastPos.X
+		dy := cur.Y - d.lastPos.Y
+		d.lastPos = cur
+		d.moved++
+		d.mu.Unlock()
+		if dx != 0 || dy != 0 {
+			win.MoveTo(int64(b.X+dx), int64(b.Y+dy))
+			d.paint()
+		}
+	case MouseUp:
+		d.dragging = false
+		d.mu.Unlock()
+	default:
+		d.mu.Unlock()
+	}
+}

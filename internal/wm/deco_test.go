@@ -1,0 +1,107 @@
+package wm
+
+import (
+	"testing"
+
+	"clam/internal/dynload"
+)
+
+func decoFixture(t *testing.T) (*Screen, *Window, *Window, *Deco) {
+	t.Helper()
+	s := NewScreen(200, 150, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(20, 20, 80, 60), 2)
+	d := NewDeco()
+	d.Attach(w, "DEMO")
+	return s, base, w, d
+}
+
+func TestDecoPaintsBarAndTitle(t *testing.T) {
+	s, _, _, d := decoFixture(t)
+	if d.Title() != "DEMO" {
+		t.Errorf("title %q", d.Title())
+	}
+	// Bar pixels at the window's top edge (screen 20..100 x 20..20+bar).
+	if s.PixelAt(25, 21) != 60 {
+		t.Error("bar not painted")
+	}
+	// Title text pixels.
+	if s.CountColor(255) == 0 {
+		t.Error("title not drawn")
+	}
+	// Close box near the right edge.
+	if s.PixelAt(int64(20+80-barHeight/2), 25) != 160 {
+		t.Error("close box not painted")
+	}
+}
+
+func TestDecoSetTitleRepaints(t *testing.T) {
+	s, _, _, d := decoFixture(t)
+	before := s.CountColor(255)
+	d.SetTitle("A MUCH LONGER TITLE")
+	if s.CountColor(255) <= before {
+		t.Error("longer title did not add pixels")
+	}
+}
+
+func TestDecoDragMovesWindow(t *testing.T) {
+	s, _, w, d := decoFixture(t)
+	start := w.Bounds()
+	// Press in the bar (window coords (10,3) → screen (30,23)).
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 30, Y: 23, Buttons: ButtonLeft})
+	// Drag right/down in small steps so the pointer stays inside the bar.
+	for i := int16(1); i <= 10; i++ {
+		s.InjectMouse(MouseEvent{Kind: MouseMove, X: 30 + i, Y: 23 + i/2})
+	}
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 40, Y: 28})
+	got := w.Bounds()
+	if got.X != start.X+10 || got.Y != start.Y+5 {
+		t.Errorf("window moved to %v, want +10,+5 from %v", got, start)
+	}
+	if d.Moves() == 0 {
+		t.Error("no drag steps recorded")
+	}
+	// The vacated area is repainted with the base background.
+	if s.PixelAt(int64(start.X)+1, int64(start.Y)+barHeight+1) == 2 {
+		t.Error("old window area not repainted")
+	}
+}
+
+func TestDecoCloseBoxDestroysWindow(t *testing.T) {
+	s, base, w, d := decoFixture(t)
+	var closedTitle string
+	d.OnClosed(func(title string) { closedTitle = title })
+	// Click the close box: window coords (W - bar/2, bar/2) → screen.
+	b := w.Bounds()
+	cx := int64(b.X + b.W - barHeight/2)
+	cy := int64(b.Y + barHeight/2)
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: int16(cx), Y: int16(cy), Buttons: ButtonLeft})
+	if base.ChildCount() != 0 {
+		t.Error("window not destroyed by close box")
+	}
+	if closedTitle != "DEMO" {
+		t.Errorf("closed upcall got %q", closedTitle)
+	}
+	// Further events must not panic the detached deco.
+	s.InjectMouse(MouseEvent{Kind: MouseMove, X: int16(cx), Y: int16(cy)})
+}
+
+func TestDecoClickInContentDoesNotDrag(t *testing.T) {
+	s, _, w, _ := decoFixture(t)
+	start := w.Bounds()
+	// Press well below the bar, then move.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 50, Y: 60})
+	s.InjectMouse(MouseEvent{Kind: MouseMove, X: 60, Y: 70})
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 60, Y: 70})
+	if w.Bounds() != start {
+		t.Error("content click dragged the window")
+	}
+}
+
+func TestDecoClassRegistered(t *testing.T) {
+	lib := dynload.NewLibrary()
+	MustRegister(lib, DefaultConfig)
+	if _, err := lib.Lookup("deco", 0); err != nil {
+		t.Errorf("deco class missing: %v", err)
+	}
+}

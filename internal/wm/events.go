@@ -1,0 +1,71 @@
+package wm
+
+import "fmt"
+
+// Input events. "Input is inherently asynchronous at some level.
+// Asynchronous input events should be able to propagate up through the
+// layers in a system, with each layer given the opportunity to map the
+// event, queue it, discard it, or pass it up to the next layer" (§2).
+// These are the payloads that flow through those upcalls; they are flat
+// structs so the automatic bundlers handle them.
+
+// Mouse event kinds.
+const (
+	MouseMove int16 = iota + 1
+	MouseDown
+	MouseUp
+)
+
+// Mouse buttons (bit mask).
+const (
+	ButtonLeft uint16 = 1 << iota
+	ButtonMiddle
+	ButtonRight
+)
+
+// MouseEvent is a low-level pointing-device event. X and Y are in the
+// coordinate space of whichever layer delivers the event; each layer
+// translates as it maps the event upward — "the return values from the
+// procedures form an upward mapping of the input abstraction".
+type MouseEvent struct {
+	Kind    int16
+	X, Y    int16
+	Buttons uint16
+}
+
+// Pos returns the event position.
+func (e MouseEvent) Pos() Point { return Point{X: e.X, Y: e.Y} }
+
+// Translated returns the event shifted into a child coordinate space.
+func (e MouseEvent) Translated(dx, dy int16) MouseEvent {
+	e.X += dx
+	e.Y += dy
+	return e
+}
+
+// String renders the event.
+func (e MouseEvent) String() string {
+	kind := "move"
+	switch e.Kind {
+	case MouseDown:
+		kind = "down"
+	case MouseUp:
+		kind = "up"
+	}
+	return fmt.Sprintf("mouse-%s@(%d,%d) buttons=%#x", kind, e.X, e.Y, e.Buttons)
+}
+
+// KeyEvent is a low-level keyboard event.
+type KeyEvent struct {
+	Code int32
+	Down bool
+}
+
+// String renders the event.
+func (e KeyEvent) String() string {
+	dir := "up"
+	if e.Down {
+		dir = "down"
+	}
+	return fmt.Sprintf("key-%s %d", dir, e.Code)
+}

@@ -1,0 +1,106 @@
+package wm
+
+import "testing"
+
+func TestDestroyExposesCoveredSibling(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	under := base.Create(R(10, 10, 30, 30), 4)
+	over := base.Create(R(20, 20, 30, 30), 5) // covers part of under
+
+	// The overlap is painted with the top window's color.
+	if s.PixelAt(25, 25) != 5 {
+		t.Fatal("top window not painted")
+	}
+	over.Destroy()
+	// The exposed overlap repaints with the underlying window's color.
+	if s.PixelAt(25, 25) != 4 {
+		t.Errorf("exposed pixel = %d, want 4", s.PixelAt(25, 25))
+	}
+	// Area outside under but inside the vacated rect returns to base.
+	if s.PixelAt(45, 45) != 0 {
+		t.Errorf("vacated pixel = %d, want base 0", s.PixelAt(45, 45))
+	}
+	_ = under
+}
+
+func TestMoveExposesCoveredSibling(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	under := base.Create(R(10, 10, 30, 30), 4)
+	over := base.Create(R(20, 20, 30, 30), 5)
+	over.MoveTo(60, 60)
+	if s.PixelAt(25, 25) != 4 {
+		t.Errorf("exposed pixel = %d, want 4", s.PixelAt(25, 25))
+	}
+	if s.PixelAt(65, 65) != 5 {
+		t.Error("moved window not painted at destination")
+	}
+	_ = under
+}
+
+func TestResizeExposes(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	under := base.Create(R(10, 10, 40, 40), 4)
+	over := base.Create(R(10, 10, 40, 40), 5)
+	over.Resize(10, 10)
+	// The shrunk-away area shows the underlying window again.
+	if s.PixelAt(35, 35) != 4 {
+		t.Errorf("exposed pixel = %d, want 4", s.PixelAt(35, 35))
+	}
+	if s.PixelAt(12, 12) != 5 {
+		t.Error("resized window missing at kept corner")
+	}
+	_ = under
+}
+
+func TestRefreshRepaintsSubtree(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(10, 10, 50, 50), 4)
+	inner := w.Create(R(5, 5, 10, 10), 6)
+	// Scribble over everything, then refresh the subtree.
+	s.Fill(R(0, 0, 100, 100), 9)
+	w.Refresh()
+	if s.PixelAt(12, 12) != 4 && s.PixelAt(30, 30) != 4 {
+		t.Error("window background not restored")
+	}
+	if s.PixelAt(16, 16) != 6 {
+		t.Error("child not restored on top")
+	}
+	// Outside the subtree the scribble remains.
+	if s.PixelAt(90, 90) != 9 {
+		t.Error("refresh painted outside the subtree")
+	}
+	_ = inner
+}
+
+func TestRefreshSkipsHiddenWindows(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(10, 10, 10, 10), 4)
+	w.SetVisible(false)
+	s.Fill(R(0, 0, 50, 50), 9)
+	w.Refresh()
+	if s.PixelAt(15, 15) != 9 {
+		t.Error("hidden window painted on refresh")
+	}
+}
+
+func TestExposePreservesZOrder(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	a := base.Create(R(10, 10, 30, 30), 3)
+	b := base.Create(R(20, 20, 30, 30), 4) // above a
+	c := base.Create(R(5, 5, 50, 50), 5)   // above both
+	c.Destroy()
+	// After exposing, b must still be over a in their overlap.
+	if s.PixelAt(25, 25) != 4 {
+		t.Errorf("overlap pixel = %d, want 4 (z-order lost)", s.PixelAt(25, 25))
+	}
+	if s.PixelAt(12, 12) != 3 {
+		t.Errorf("a's own area = %d, want 3", s.PixelAt(12, 12))
+	}
+	_, _ = a, b
+}

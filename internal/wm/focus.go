@@ -1,0 +1,125 @@
+package wm
+
+import (
+	"sync"
+)
+
+// Focus is the keyboard-focus layer: it registers with the screen for key
+// events and forwards them to whichever window currently holds the focus,
+// with click-to-focus as an option. This is the tenth main class of the
+// window library, completing the input story: mouse events route by
+// position (Window.Mouse), key events route by focus.
+type Focus struct {
+	mu      sync.Mutex
+	scr     *Screen
+	base    *Window
+	focused *Window
+	clickTo bool
+	// observers learn about focus changes — e.g. a decoration layer
+	// repainting title bars, or a client tracking the active window.
+	changed []func()
+	moves   uint64
+}
+
+// NewFocus returns an unattached focus manager.
+func NewFocus() *Focus {
+	return &Focus{}
+}
+
+// Attach wires the manager to the screen's key events and, for
+// click-to-focus, to the base window's mouse events.
+func (f *Focus) Attach(scr *Screen, base *Window) {
+	f.mu.Lock()
+	f.scr = scr
+	f.base = base
+	f.focused = base
+	f.mu.Unlock()
+	scr.PostKey(f.Key)
+	scr.PostInput(f.mouse)
+}
+
+// SetClickToFocus enables focus-follows-click: a button press inside a
+// child of the base window focuses it.
+func (f *Focus) SetClickToFocus(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.clickTo = v
+}
+
+// SetFocus makes w the key-event target. A nil w focuses the base window.
+func (f *Focus) SetFocus(w *Window) {
+	f.mu.Lock()
+	if w == nil {
+		w = f.base
+	}
+	changedNow := w != f.focused
+	f.focused = w
+	if changedNow {
+		f.moves++
+	}
+	obs := append(([]func())(nil), f.changed...)
+	f.mu.Unlock()
+	if changedNow {
+		for _, fn := range obs {
+			fn()
+		}
+	}
+}
+
+// Focused returns the window currently holding the focus.
+func (f *Focus) Focused() *Window {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.focused
+}
+
+// OnChange registers a procedure upcalled whenever the focus moves.
+func (f *Focus) OnChange(fn func()) {
+	if fn == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.changed = append(f.changed, fn)
+}
+
+// Moves reports how many times the focus has changed.
+func (f *Focus) Moves() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return int64(f.moves)
+}
+
+// Key is the manager's upcall procedure for the screen's key events: it
+// forwards to the focused window's registered key procedures. The base
+// window is skipped because NewBaseWindow already registered it with the
+// screen directly; forwarding again would deliver every event twice.
+func (f *Focus) Key(ev KeyEvent) {
+	f.mu.Lock()
+	w := f.focused
+	base := f.base
+	f.mu.Unlock()
+	if w == nil || w == base {
+		return
+	}
+	w.Key(ev)
+}
+
+// mouse implements click-to-focus.
+func (f *Focus) mouse(ev MouseEvent) {
+	if ev.Kind != MouseDown {
+		return
+	}
+	f.mu.Lock()
+	enabled := f.clickTo
+	base := f.base
+	f.mu.Unlock()
+	if !enabled || base == nil {
+		return
+	}
+	if child := base.ChildAt(ev.Pos()); child != nil {
+		f.SetFocus(child)
+	} else {
+		f.SetFocus(base)
+	}
+}

@@ -1,0 +1,113 @@
+package wm
+
+import (
+	"testing"
+
+	"clam/internal/dynload"
+)
+
+func focusFixture(t *testing.T) (*Screen, *Window, *Focus) {
+	t.Helper()
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	f := NewFocus()
+	f.Attach(s, base)
+	return s, base, f
+}
+
+func TestFocusDefaultsToBase(t *testing.T) {
+	s, base, f := focusFixture(t)
+	if f.Focused() != base {
+		t.Fatal("initial focus not on base")
+	}
+	var got []KeyEvent
+	base.PostKey(func(ev KeyEvent) { got = append(got, ev) })
+	s.InjectKey(KeyEvent{Code: 13, Down: true})
+	if len(got) != 1 || got[0].Code != 13 {
+		t.Errorf("base key delivery: %v", got)
+	}
+}
+
+func TestSetFocusRoutesKeys(t *testing.T) {
+	s, base, f := focusFixture(t)
+	w1 := base.Create(R(10, 10, 20, 20), 1)
+	w2 := base.Create(R(40, 40, 20, 20), 2)
+	var k1, k2 int
+	w1.PostKey(func(KeyEvent) { k1++ })
+	w2.PostKey(func(KeyEvent) { k2++ })
+
+	f.SetFocus(w1)
+	s.InjectKey(KeyEvent{Code: 65, Down: true})
+	f.SetFocus(w2)
+	s.InjectKey(KeyEvent{Code: 66, Down: true})
+	s.InjectKey(KeyEvent{Code: 66, Down: false})
+	if k1 != 1 || k2 != 2 {
+		t.Errorf("k1=%d k2=%d", k1, k2)
+	}
+	if f.Moves() != 2 {
+		t.Errorf("moves = %d", f.Moves())
+	}
+}
+
+func TestSetFocusNilFocusesBase(t *testing.T) {
+	_, base, f := focusFixture(t)
+	w := base.Create(R(0, 0, 5, 5), 1)
+	f.SetFocus(w)
+	f.SetFocus(nil)
+	if f.Focused() != base {
+		t.Error("nil focus did not return to base")
+	}
+}
+
+func TestClickToFocus(t *testing.T) {
+	s, base, f := focusFixture(t)
+	w := base.Create(R(10, 10, 20, 20), 1)
+	f.SetClickToFocus(true)
+
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 15, Y: 15})
+	if f.Focused() != w {
+		t.Fatal("click inside child did not focus it")
+	}
+	// Click on empty base refocuses the base.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 90, Y: 90})
+	if f.Focused() != base {
+		t.Error("click on base did not refocus base")
+	}
+	// Moves and ups do not change focus.
+	f.SetFocus(w)
+	s.InjectMouse(MouseEvent{Kind: MouseMove, X: 90, Y: 90})
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 90, Y: 90})
+	if f.Focused() != w {
+		t.Error("non-press event moved focus")
+	}
+}
+
+func TestClickToFocusDisabledByDefault(t *testing.T) {
+	s, base, f := focusFixture(t)
+	base.Create(R(10, 10, 20, 20), 1)
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 15, Y: 15})
+	if f.Focused() != base {
+		t.Error("click moved focus despite click-to-focus off")
+	}
+}
+
+func TestFocusChangeUpcalls(t *testing.T) {
+	_, base, f := focusFixture(t)
+	w := base.Create(R(0, 0, 5, 5), 1)
+	calls := 0
+	f.OnChange(func() { calls++ })
+	f.SetFocus(w)
+	f.SetFocus(w) // no change: no upcall
+	f.SetFocus(base)
+	if calls != 2 {
+		t.Errorf("change upcalls = %d, want 2", calls)
+	}
+}
+
+func TestFocusClassRegistered(t *testing.T) {
+	lib := dynload.NewLibrary()
+	MustRegister(lib, DefaultConfig)
+	if _, err := lib.Lookup("focus", 0); err != nil {
+		t.Errorf("focus class missing: %v", err)
+	}
+}

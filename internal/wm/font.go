@@ -1,0 +1,181 @@
+package wm
+
+import "strings"
+
+// A fixed 5×7 bitmap font, the kind a 1988 window server would carry for
+// titles and labels. Each glyph is seven rows of five bits, MSB left.
+// Unknown characters render as the box glyph; lowercase folds to
+// uppercase.
+
+// Glyph metrics.
+const (
+	GlyphWidth  = 5
+	GlyphHeight = 7
+	// GlyphAdvance includes one column of spacing.
+	GlyphAdvance = GlyphWidth + 1
+)
+
+var font5x7 = map[rune][GlyphHeight]uint8{
+	' ': {0, 0, 0, 0, 0, 0, 0},
+	'A': {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'B': {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110},
+	'C': {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110},
+	'D': {0b11100, 0b10010, 0b10001, 0b10001, 0b10001, 0b10010, 0b11100},
+	'E': {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111},
+	'F': {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000},
+	'G': {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111},
+	'H': {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001},
+	'I': {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'J': {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100},
+	'K': {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001},
+	'L': {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111},
+	'M': {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001},
+	'N': {0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001, 0b10001},
+	'O': {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'P': {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000},
+	'Q': {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101},
+	'R': {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001},
+	'S': {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110},
+	'T': {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100},
+	'U': {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110},
+	'V': {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100},
+	'W': {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010},
+	'X': {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001},
+	'Y': {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100},
+	'Z': {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111},
+	'0': {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1': {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2': {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3': {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4': {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5': {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6': {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7': {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8': {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9': {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'-': {0, 0, 0, 0b11111, 0, 0, 0},
+	'+': {0, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0},
+	'.': {0, 0, 0, 0, 0, 0b01100, 0b01100},
+	',': {0, 0, 0, 0, 0b01100, 0b00100, 0b01000},
+	':': {0, 0b01100, 0b01100, 0, 0b01100, 0b01100, 0},
+	'!': {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0, 0b00100},
+	'?': {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0, 0b00100},
+	'/': {0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000},
+	'=': {0, 0, 0b11111, 0, 0b11111, 0, 0},
+	'(': {0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010},
+	')': {0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000},
+	'%': {0b11001, 0b11010, 0b00010, 0b00100, 0b01000, 0b01011, 0b10011},
+	'*': {0, 0b10101, 0b01110, 0b11111, 0b01110, 0b10101, 0},
+	'_': {0, 0, 0, 0, 0, 0, 0b11111},
+}
+
+// boxGlyph stands in for characters the font lacks.
+var boxGlyph = [GlyphHeight]uint8{0b11111, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b11111}
+
+// Glyph returns the bitmap rows for r, folding lowercase and substituting
+// the box glyph for unknown characters. known reports whether the font
+// had the (folded) character.
+func Glyph(r rune) (rows [GlyphHeight]uint8, known bool) {
+	if r >= 'a' && r <= 'z' {
+		r = r - 'a' + 'A'
+	}
+	rows, known = font5x7[r]
+	if !known {
+		rows = boxGlyph
+	}
+	return rows, known
+}
+
+// TextWidth returns the pixel width of s in the fixed font.
+func TextWidth(s string) int16 {
+	n := len([]rune(s))
+	if n == 0 {
+		return 0
+	}
+	return int16(n*GlyphAdvance - 1)
+}
+
+// DrawText renders s onto the screen at (x, y) in the given color,
+// clipping as usual, and returns the advance width. It is the primitive
+// Label and title-drawing code build on.
+func (s *Screen) DrawText(x, y int16, text string, color int64) int16 {
+	cx := x
+	for _, r := range text {
+		rows, _ := Glyph(r)
+		for ry := 0; ry < GlyphHeight; ry++ {
+			bits := rows[ry]
+			for rx := 0; rx < GlyphWidth; rx++ {
+				if bits&(1<<(GlyphWidth-1-rx)) != 0 {
+					s.Fill(Rect{X: cx + int16(rx), Y: y + int16(ry), W: 1, H: 1}, color)
+				}
+			}
+		}
+		cx += GlyphAdvance
+	}
+	return cx - x
+}
+
+// Label is a text widget: attached to a window, it paints its text and
+// repaints on change. Like every class here it is dynamically loadable
+// and remotely drivable.
+type Label struct {
+	win   *Window
+	at    Point
+	text  string
+	color int64
+	bg    int64
+}
+
+// NewLabel returns an unattached label.
+func NewLabel() *Label {
+	return &Label{color: 255}
+}
+
+// Attach places the label on w at p (window coordinates).
+func (l *Label) Attach(w *Window, x, y int64) {
+	l.win = w
+	l.at = Point{X: int16(x), Y: int16(y)}
+	l.bg = w.Background()
+	l.paint()
+}
+
+// SetText replaces the text, erasing the previous rendering.
+func (l *Label) SetText(text string) {
+	if l.win != nil && l.text != "" {
+		l.erase()
+	}
+	l.text = text
+	l.paint()
+}
+
+// SetColor changes the ink and repaints.
+func (l *Label) SetColor(c int64) {
+	l.color = c
+	l.paint()
+}
+
+// Text returns the current text.
+func (l *Label) Text() string { return l.text }
+
+// Bounds returns the label's pixel rectangle in window coordinates.
+func (l *Label) Bounds() Rect {
+	return Rect{X: l.at.X, Y: l.at.Y, W: TextWidth(l.text), H: GlyphHeight}
+}
+
+func (l *Label) erase() {
+	if l.win == nil {
+		return
+	}
+	l.win.FillRect(l.Bounds(), l.bg)
+}
+
+func (l *Label) paint() {
+	if l.win == nil || l.text == "" {
+		return
+	}
+	dx, dy := l.win.screenOffset()
+	l.win.scr.DrawText(dx+l.at.X, dy+l.at.Y, l.text, l.color)
+}
+
+// uppercase helper for tests.
+func foldUpper(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,167 @@
+package wm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGlyphLookup(t *testing.T) {
+	if _, known := Glyph('A'); !known {
+		t.Error("A unknown")
+	}
+	if _, known := Glyph('a'); !known {
+		t.Error("lowercase not folded")
+	}
+	up, _ := Glyph('A')
+	low, _ := Glyph('a')
+	if up != low {
+		t.Error("folded glyph differs")
+	}
+	if _, known := Glyph('§'); known {
+		t.Error("exotic rune claimed known")
+	}
+	box, _ := Glyph('§')
+	if box != boxGlyph {
+		t.Error("unknown rune did not box")
+	}
+}
+
+func TestGlyphShapesAreDistinct(t *testing.T) {
+	// Sanity on the font data: no two letters/digits share a bitmap.
+	seen := make(map[[GlyphHeight]uint8]rune)
+	for _, r := range "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789" {
+		g, known := Glyph(r)
+		if !known {
+			t.Fatalf("%c missing from font", r)
+		}
+		if prev, dup := seen[g]; dup {
+			t.Errorf("%c and %c share a glyph", prev, r)
+		}
+		seen[g] = r
+	}
+}
+
+func TestGlyphsFitFiveColumns(t *testing.T) {
+	for r, g := range font5x7 {
+		for i, row := range g {
+			if row >= 1<<GlyphWidth {
+				t.Errorf("%q row %d overflows five columns: %b", r, i, row)
+			}
+		}
+	}
+}
+
+func TestTextWidth(t *testing.T) {
+	if TextWidth("") != 0 {
+		t.Error("empty width")
+	}
+	if TextWidth("A") != GlyphWidth {
+		t.Errorf("single char width %d", TextWidth("A"))
+	}
+	if TextWidth("AB") != 2*GlyphAdvance-1 {
+		t.Errorf("two char width %d", TextWidth("AB"))
+	}
+}
+
+func TestDrawTextPixels(t *testing.T) {
+	s := NewScreen(60, 20, nil)
+	w := s.DrawText(2, 2, "HI", 9)
+	if w != 2*GlyphAdvance {
+		t.Errorf("advance %d", w)
+	}
+	// 'H' = 13 lit pixels, 'I' = 11 in this font.
+	want := int64(0)
+	for _, r := range "HI" {
+		g, _ := Glyph(r)
+		for _, row := range g {
+			for b := 0; b < GlyphWidth; b++ {
+				if row&(1<<b) != 0 {
+					want++
+				}
+			}
+		}
+	}
+	if got := s.CountColor(9); got != want {
+		t.Errorf("lit %d pixels, want %d", got, want)
+	}
+	// The 'H' left column spans (2,2)..(2,8); below it is background.
+	if s.PixelAt(2, 2) != 9 || s.PixelAt(2, 8) != 9 || s.PixelAt(2, 9) != 0 {
+		t.Error("glyph misplaced")
+	}
+}
+
+func TestDrawTextClips(t *testing.T) {
+	s := NewScreen(8, 8, nil)
+	s.DrawText(5, 5, "WWW", 7) // mostly off-screen: must not panic
+	if s.CountColor(7) == 0 {
+		t.Error("nothing drawn at all")
+	}
+}
+
+func TestLabelLifecycle(t *testing.T) {
+	s := NewScreen(100, 40, nil)
+	base := NewBaseWindow(s)
+	l := NewLabel()
+	l.Attach(base, 4, 4)
+	l.SetText("OK")
+	if l.Text() != "OK" {
+		t.Errorf("text %q", l.Text())
+	}
+	if s.CountColor(255) == 0 {
+		t.Fatal("label not painted")
+	}
+	b := l.Bounds()
+	if b.W != TextWidth("OK") || b.H != GlyphHeight {
+		t.Errorf("bounds %v", b)
+	}
+	// Changing text erases the old rendering.
+	l.SetText("NO")
+	lit := s.CountColor(255)
+	g1, _ := Glyph('N')
+	g2, _ := Glyph('O')
+	want := int64(0)
+	for _, g := range [][GlyphHeight]uint8{g1, g2} {
+		for _, row := range g {
+			for b := 0; b < GlyphWidth; b++ {
+				if row&(1<<b) != 0 {
+					want++
+				}
+			}
+		}
+	}
+	if lit != want {
+		t.Errorf("after SetText: %d pixels lit, want %d", lit, want)
+	}
+}
+
+func TestLabelColorChange(t *testing.T) {
+	s := NewScreen(100, 40, nil)
+	base := NewBaseWindow(s)
+	l := NewLabel()
+	l.Attach(base, 0, 0)
+	l.SetText("X")
+	l.SetColor(5)
+	if s.CountColor(5) == 0 {
+		t.Error("recolor not painted")
+	}
+}
+
+// Property: width is monotone in length and every draw stays within the
+// computed bounds.
+func TestQuickTextWidthMonotone(t *testing.T) {
+	f := func(s string) bool {
+		if len(s) > 40 {
+			s = s[:40]
+		}
+		return TextWidth(s+"A") > TextWidth(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldUpperHelper(t *testing.T) {
+	if foldUpper("abc") != "ABC" {
+		t.Error("foldUpper broken")
+	}
+}

@@ -1,0 +1,272 @@
+// Package wm is the window-management class library built on CLAM — the
+// paper's driving application (§2): "The initial use of CLAM was to build
+// an extensible user interface manager, and the basic classes for screen
+// and window management are running. This includes 10 main classes."
+//
+// None of this code is linked into the server: every class registers with
+// a dynload.Library and is loaded on demand, so "the server itself ...
+// contains no code specific to window management".
+package wm
+
+import "fmt"
+
+// Point is a screen coordinate. The paper's Point uses shorts (Figure
+// 3.1); int16 matches and keeps the wire format tight.
+type Point struct {
+	X, Y int16
+}
+
+// Add translates p by q.
+func (p Point) Add(q Point) Point { return Point{X: p.X + q.X, Y: p.Y + q.Y} }
+
+// Sub translates p by -q.
+func (p Point) Sub(q Point) Point { return Point{X: p.X - q.X, Y: p.Y - q.Y} }
+
+// In reports whether p lies inside r.
+func (p Point) In(r Rect) bool {
+	return p.X >= r.X && p.X < r.X+r.W && p.Y >= r.Y && p.Y < r.Y+r.H
+}
+
+// String renders the point.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle: origin (X, Y), extent (W, H). A Rect
+// with W <= 0 or H <= 0 is empty.
+type Rect struct {
+	X, Y, W, H int16
+}
+
+// R is shorthand for constructing a Rect.
+func R(x, y, w, h int16) Rect { return Rect{X: x, Y: y, W: w, H: h} }
+
+// Empty reports whether the rectangle contains no points.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// Area returns the number of points in r.
+func (r Rect) Area() int {
+	if r.Empty() {
+		return 0
+	}
+	return int(r.W) * int(r.H)
+}
+
+// Canon returns r normalized so the extent is non-negative, flipping the
+// origin if needed — useful when a sweep drags up-left.
+func (r Rect) Canon() Rect {
+	if r.W < 0 {
+		r.X += r.W
+		r.W = -r.W
+	}
+	if r.H < 0 {
+		r.Y += r.H
+		r.H = -r.H
+	}
+	return r
+}
+
+// Min returns the top-left corner.
+func (r Rect) Min() Point { return Point{X: r.X, Y: r.Y} }
+
+// Max returns the exclusive bottom-right corner.
+func (r Rect) Max() Point { return Point{X: r.X + r.W, Y: r.Y + r.H} }
+
+// Translate shifts r by (dx, dy).
+func (r Rect) Translate(dx, dy int16) Rect {
+	r.X += dx
+	r.Y += dy
+	return r
+}
+
+// Intersect returns the common area of r and s (empty if disjoint).
+func (r Rect) Intersect(s Rect) Rect {
+	x1 := max16(r.X, s.X)
+	y1 := max16(r.Y, s.Y)
+	x2 := min16(r.X+r.W, s.X+s.W)
+	y2 := min16(r.Y+r.H, s.Y+s.H)
+	if x2 <= x1 || y2 <= y1 {
+		return Rect{}
+	}
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Overlaps reports whether r and s share any point.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).Empty() }
+
+// ContainsRect reports whether s lies entirely within r.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X >= r.X && s.Y >= r.Y && s.X+s.W <= r.X+r.W && s.Y+s.H <= r.Y+r.H
+}
+
+// Union returns the smallest rectangle covering both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x1 := min16(r.X, s.X)
+	y1 := min16(r.Y, s.Y)
+	x2 := max16(r.X+r.W, s.X+s.W)
+	y2 := max16(r.Y+r.H, s.Y+s.H)
+	return Rect{X: x1, Y: y1, W: x2 - x1, H: y2 - y1}
+}
+
+// Inset shrinks r by n on every side.
+func (r Rect) Inset(n int16) Rect {
+	r.X += n
+	r.Y += n
+	r.W -= 2 * n
+	r.H -= 2 * n
+	if r.Empty() {
+		return Rect{}
+	}
+	return r
+}
+
+// String renders the rectangle.
+func (r Rect) String() string { return fmt.Sprintf("[%d,%d %dx%d]", r.X, r.Y, r.W, r.H) }
+
+// Subtract returns r minus s as up to four disjoint rectangles.
+func (r Rect) Subtract(s Rect) []Rect {
+	is := r.Intersect(s)
+	if is.Empty() {
+		if r.Empty() {
+			return nil
+		}
+		return []Rect{r}
+	}
+	if is == r {
+		return nil
+	}
+	var out []Rect
+	// Top band.
+	if is.Y > r.Y {
+		out = append(out, Rect{X: r.X, Y: r.Y, W: r.W, H: is.Y - r.Y})
+	}
+	// Bottom band.
+	if is.Y+is.H < r.Y+r.H {
+		out = append(out, Rect{X: r.X, Y: is.Y + is.H, W: r.W, H: r.Y + r.H - (is.Y + is.H)})
+	}
+	// Left band (middle rows only).
+	if is.X > r.X {
+		out = append(out, Rect{X: r.X, Y: is.Y, W: is.X - r.X, H: is.H})
+	}
+	// Right band (middle rows only).
+	if is.X+is.W < r.X+r.W {
+		out = append(out, Rect{X: is.X + is.W, Y: is.Y, W: r.X + r.W - (is.X + is.W), H: is.H})
+	}
+	return out
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Region is a set of points represented as disjoint rectangles — the
+// damage/clipping machinery every window system needs.
+type Region struct {
+	rects []Rect
+}
+
+// NewRegion returns a region covering the given rectangles.
+func NewRegion(rects ...Rect) Region {
+	var g Region
+	for _, r := range rects {
+		g.Add(r)
+	}
+	return g
+}
+
+// Rects returns the disjoint rectangles of the region. The slice is a
+// copy.
+func (g *Region) Rects() []Rect { return append([]Rect(nil), g.rects...) }
+
+// Empty reports whether the region has no points.
+func (g *Region) Empty() bool { return len(g.rects) == 0 }
+
+// Area returns the number of points covered.
+func (g *Region) Area() int {
+	n := 0
+	for _, r := range g.rects {
+		n += r.Area()
+	}
+	return n
+}
+
+// Contains reports whether the region covers p.
+func (g *Region) Contains(p Point) bool {
+	for _, r := range g.rects {
+		if p.In(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// Add unions r into the region, keeping the representation disjoint.
+func (g *Region) Add(r Rect) {
+	if r.Empty() {
+		return
+	}
+	pending := []Rect{r}
+	for _, have := range g.rects {
+		var next []Rect
+		for _, p := range pending {
+			next = append(next, p.Subtract(have)...)
+		}
+		pending = next
+		if len(pending) == 0 {
+			return
+		}
+	}
+	g.rects = append(g.rects, pending...)
+}
+
+// Remove subtracts r from the region.
+func (g *Region) Remove(r Rect) {
+	if r.Empty() || len(g.rects) == 0 {
+		return
+	}
+	var out []Rect
+	for _, have := range g.rects {
+		out = append(out, have.Subtract(r)...)
+	}
+	g.rects = out
+}
+
+// IntersectRect clips the region to r.
+func (g *Region) IntersectRect(r Rect) {
+	var out []Rect
+	for _, have := range g.rects {
+		if is := have.Intersect(r); !is.Empty() {
+			out = append(out, is)
+		}
+	}
+	g.rects = out
+}
+
+// Clear empties the region.
+func (g *Region) Clear() { g.rects = nil }
+
+// Bounds returns the smallest rectangle covering the region.
+func (g *Region) Bounds() Rect {
+	var b Rect
+	for _, r := range g.rects {
+		b = b.Union(r)
+	}
+	return b
+}

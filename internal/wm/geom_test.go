@@ -1,0 +1,243 @@
+package wm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(10, 20, 30, 40)
+	if r.Empty() || r.Area() != 1200 {
+		t.Errorf("r = %v area %d", r, r.Area())
+	}
+	if (Rect{}).Area() != 0 || !(Rect{}).Empty() {
+		t.Error("zero rect not empty")
+	}
+	if R(0, 0, -5, 5).Area() != 0 {
+		t.Error("negative extent has area")
+	}
+	if r.Min() != (Point{X: 10, Y: 20}) || r.Max() != (Point{X: 40, Y: 60}) {
+		t.Errorf("min/max: %v %v", r.Min(), r.Max())
+	}
+	if got := r.String(); got != "[10,20 30x40]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRectCanon(t *testing.T) {
+	r := Rect{X: 10, Y: 10, W: -4, H: -6}.Canon()
+	if r != R(6, 4, 4, 6) {
+		t.Errorf("canon = %v", r)
+	}
+	if c := R(1, 2, 3, 4).Canon(); c != R(1, 2, 3, 4) {
+		t.Errorf("canon of canonical changed: %v", c)
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a, b := R(0, 0, 10, 10), R(5, 5, 10, 10)
+	if got := a.Intersect(b); got != R(5, 5, 5, 5) {
+		t.Errorf("intersect = %v", got)
+	}
+	if !a.Overlaps(b) || a.Overlaps(R(20, 20, 5, 5)) {
+		t.Error("overlaps wrong")
+	}
+	if !a.Intersect(R(10, 0, 5, 5)).Empty() {
+		t.Error("touching rects intersect")
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a, b := R(0, 0, 2, 2), R(8, 8, 2, 2)
+	u := a.Union(b)
+	if u != R(0, 0, 10, 10) {
+		t.Errorf("union = %v", u)
+	}
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Error("union does not contain parts")
+	}
+	if u.ContainsRect(R(9, 9, 5, 5)) {
+		t.Error("contains overflow rect")
+	}
+	if a.Union(Rect{}) != a || (Rect{}).Union(b) != b {
+		t.Error("union with empty broken")
+	}
+}
+
+func TestRectInset(t *testing.T) {
+	if got := R(0, 0, 10, 10).Inset(2); got != R(2, 2, 6, 6) {
+		t.Errorf("inset = %v", got)
+	}
+	if got := R(0, 0, 3, 3).Inset(2); !got.Empty() {
+		t.Errorf("over-inset = %v, want empty", got)
+	}
+}
+
+func TestRectSubtract(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	parts := a.Subtract(R(2, 2, 4, 4))
+	total := 0
+	for _, p := range parts {
+		total += p.Area()
+		for _, q := range parts {
+			if p != q && p.Overlaps(q) {
+				t.Fatalf("overlapping parts %v %v", p, q)
+			}
+		}
+		if p.Overlaps(R(2, 2, 4, 4)) {
+			t.Fatalf("part %v overlaps the hole", p)
+		}
+	}
+	if total != 100-16 {
+		t.Errorf("remaining area %d, want 84", total)
+	}
+	if parts := a.Subtract(a); parts != nil {
+		t.Errorf("a - a = %v", parts)
+	}
+	if parts := a.Subtract(R(50, 50, 2, 2)); len(parts) != 1 || parts[0] != a {
+		t.Errorf("disjoint subtract = %v", parts)
+	}
+}
+
+// Property: subtraction partitions the area.
+func TestQuickSubtractAreaLaw(t *testing.T) {
+	f := func(ax, ay int8, aw, ah uint8, bx, by int8, bw, bh uint8) bool {
+		a := R(int16(ax), int16(ay), int16(aw%40), int16(ah%40))
+		b := R(int16(bx), int16(by), int16(bw%40), int16(bh%40))
+		parts := a.Subtract(b)
+		total := 0
+		for _, p := range parts {
+			if p.Empty() {
+				return false // no degenerate parts
+			}
+			total += p.Area()
+		}
+		return total == a.Area()-a.Intersect(b).Area()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: intersection is commutative and contained in both.
+func TestQuickIntersectLaws(t *testing.T) {
+	f := func(ax, ay int8, aw, ah uint8, bx, by int8, bw, bh uint8) bool {
+		a := R(int16(ax), int16(ay), int16(aw%40), int16(ah%40))
+		b := R(int16(bx), int16(by), int16(bw%40), int16(bh%40))
+		i1, i2 := a.Intersect(b), b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if i1.Empty() {
+			return true
+		}
+		return a.ContainsRect(i1) && b.ContainsRect(i1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegionAddDisjoint(t *testing.T) {
+	var g Region
+	g.Add(R(0, 0, 10, 10))
+	g.Add(R(5, 5, 10, 10)) // overlapping add
+	if g.Area() != 100+100-25 {
+		t.Errorf("area = %d, want 175", g.Area())
+	}
+	rects := g.Rects()
+	for i, a := range rects {
+		for j, b := range rects {
+			if i != j && a.Overlaps(b) {
+				t.Fatalf("region rects overlap: %v %v", a, b)
+			}
+		}
+	}
+	// Adding a covered rect changes nothing.
+	before := g.Area()
+	g.Add(R(1, 1, 3, 3))
+	if g.Area() != before {
+		t.Errorf("covered add changed area to %d", g.Area())
+	}
+}
+
+func TestRegionRemove(t *testing.T) {
+	g := NewRegion(R(0, 0, 10, 10))
+	g.Remove(R(0, 0, 5, 10))
+	if g.Area() != 50 {
+		t.Errorf("area = %d", g.Area())
+	}
+	if g.Contains(Point{X: 2, Y: 2}) || !g.Contains(Point{X: 7, Y: 2}) {
+		t.Error("wrong half removed")
+	}
+	g.Remove(R(0, 0, 20, 20))
+	if !g.Empty() {
+		t.Error("full removal left points")
+	}
+}
+
+func TestRegionIntersectRectAndBounds(t *testing.T) {
+	g := NewRegion(R(0, 0, 4, 4), R(10, 10, 4, 4))
+	if b := g.Bounds(); b != R(0, 0, 14, 14) {
+		t.Errorf("bounds = %v", b)
+	}
+	g.IntersectRect(R(0, 0, 12, 12))
+	if g.Area() != 16+4 {
+		t.Errorf("clipped area = %d", g.Area())
+	}
+	g.Clear()
+	if !g.Empty() || g.Bounds() != (Rect{}) {
+		t.Error("clear failed")
+	}
+}
+
+// Property: region area equals the area of the union of the added rects
+// (computed by brute-force point membership on a small grid).
+func TestQuickRegionAreaMatchesPointSet(t *testing.T) {
+	f := func(rs [6][4]uint8) bool {
+		var g Region
+		grid := [32][32]bool{}
+		for _, q := range rs {
+			r := R(int16(q[0]%20), int16(q[1]%20), int16(q[2]%12), int16(q[3]%12))
+			g.Add(r)
+			for y := r.Y; y < r.Y+r.H && y < 32; y++ {
+				for x := r.X; x < r.X+r.W && x < 32; x++ {
+					grid[y][x] = true
+				}
+			}
+		}
+		want := 0
+		for y := range grid {
+			for x := range grid[y] {
+				if grid[y][x] {
+					want++
+					if !g.Contains(Point{X: int16(x), Y: int16(y)}) {
+						return false
+					}
+				} else if g.Contains(Point{X: int16(x), Y: int16(y)}) {
+					return false
+				}
+			}
+		}
+		return g.Area() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p := Point{X: 3, Y: 4}
+	if p.Add(Point{X: 1, Y: 1}) != (Point{X: 4, Y: 5}) {
+		t.Error("add")
+	}
+	if p.Sub(Point{X: 1, Y: 1}) != (Point{X: 2, Y: 3}) {
+		t.Error("sub")
+	}
+	if !p.In(R(0, 0, 10, 10)) || p.In(R(0, 0, 3, 3)) {
+		t.Error("in")
+	}
+	if p.String() != "(3,4)" {
+		t.Errorf("String() = %q", p.String())
+	}
+}

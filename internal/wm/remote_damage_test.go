@@ -1,0 +1,70 @@
+package wm_test
+
+import (
+	"testing"
+
+	"clam/internal/core"
+	"clam/internal/wm"
+)
+
+// Remote display mirroring: damage subscription and rectangle reads over
+// the full stack, with the damage handler making reentrant ReadRect calls
+// from inside its own upcall.
+func TestRemoteDamageMirroring(t *testing.T) {
+	_, scr, _, path := bootWMServer(t)
+	c, err := core.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	screen, err := c.NamedObject("screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := c.NamedObject("basewindow")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := int(scr.Width())
+	mirror := make([]byte, w*int(scr.Height()))
+	if err := screen.Call("OnDamage", func(rects []wm.Rect) {
+		for _, r := range rects {
+			var pix []byte
+			if err := screen.CallInto("ReadRect", []any{&pix}, r); err != nil {
+				t.Errorf("reentrant read: %v", err)
+				return
+			}
+			i := 0
+			for y := r.Y; y < r.Y+r.H; y++ {
+				for x := r.X; x < r.X+r.W; x++ {
+					mirror[int(y)*w+int(x)] = pix[i]
+					i++
+				}
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var win *core.Remote
+	if err := base.CallInto("Create", []any{&win}, wm.R(10, 10, 40, 30), int64(6)); err != nil {
+		t.Fatal(err)
+	}
+	if err := win.Async("FillRect", wm.R(5, 5, 10, 10), int64(8)); err != nil {
+		t.Fatal(err)
+	}
+	var posted int64
+	if err := screen.CallInto("FlushDamage", []any{&posted}); err != nil {
+		t.Fatal(err)
+	}
+	if posted == 0 {
+		t.Fatal("no damage posted")
+	}
+	truth := scr.Snapshot()
+	for i := range truth {
+		if mirror[i] != truth[i] {
+			t.Fatalf("mirror diverges at pixel %d: %d vs %d", i, mirror[i], truth[i])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package wm_test
+
+import (
+	"testing"
+	"time"
+
+	"clam/internal/core"
+	"clam/internal/wm"
+)
+
+// The newer classes — deco, console, label, focus — driven remotely
+// through the full CLAM stack, including their upcalls.
+
+func TestRemoteDecoratedWindow(t *testing.T) {
+	_, scr, base, path := bootWMServer(t)
+	c, err := core.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	baseRem, err := c.NamedObject("basewindow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win *core.Remote
+	if err := baseRem.CallInto("Create", []any{&win}, wm.R(30, 30, 100, 60), int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	deco, err := c.New("deco", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := deco.Call("Attach", win, "REMOTE"); err != nil {
+		t.Fatal(err)
+	}
+	var title string
+	if err := deco.CallInto("Title", []any{&title}); err != nil || title != "REMOTE" {
+		t.Errorf("title %q err %v", title, err)
+	}
+
+	// Drag the window by its bar from the device layer.
+	scr.InjectMouseWait(wm.MouseEvent{Kind: wm.MouseDown, X: 40, Y: 33, Buttons: wm.ButtonLeft})
+	for i := int16(1); i <= 8; i++ {
+		scr.InjectMouseWait(wm.MouseEvent{Kind: wm.MouseMove, X: 40 + i, Y: 33})
+	}
+	scr.InjectMouseWait(wm.MouseEvent{Kind: wm.MouseUp, X: 48, Y: 33})
+	if got := base.ChildAt(wm.Point{X: 39, Y: 35}); got == nil {
+		t.Error("window did not move right")
+	}
+
+	// Close it via the box; the closed upcall crosses to this client.
+	closed := make(chan string, 1)
+	if err := deco.Call("OnClosed", func(title string) { closed <- title }); err != nil {
+		t.Fatal(err)
+	}
+	// The window moved +8 in x: close box center accordingly.
+	scr.InjectMouseWait(wm.MouseEvent{Kind: wm.MouseDown, X: 38 + 100 - 5, Y: 35, Buttons: wm.ButtonLeft})
+	select {
+	case titleGot := <-closed:
+		if titleGot != "REMOTE" {
+			t.Errorf("closed upcall title %q", titleGot)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("closed upcall never arrived")
+	}
+	if base.ChildCount() != 0 {
+		t.Errorf("children after close: %d", base.ChildCount())
+	}
+}
+
+func TestRemoteConsoleLogging(t *testing.T) {
+	_, scr, _, path := bootWMServer(t)
+	c, err := core.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	baseRem, err := c.NamedObject("basewindow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var win *core.Remote
+	if err := baseRem.CallInto("Create", []any{&win}, wm.R(5, 5, 180, 80), int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	console, err := c.New("console", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := console.Call("Attach", win); err != nil {
+		t.Fatal(err)
+	}
+	// Log lines asynchronously — the natural batched use.
+	for i := 0; i < 5; i++ {
+		if err := console.Async("Println", "EVENT"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var count int64
+	if err := console.CallInto("LineCount", []any{&count}); err != nil || count != 5 {
+		t.Errorf("count=%d err=%v", count, err)
+	}
+	if scr.CountColor(255) == 0 {
+		t.Error("console text not on screen")
+	}
+}
+
+func TestRemoteLabelAndFocus(t *testing.T) {
+	srv, scr, base, path := bootWMServer(t)
+	_ = srv
+	c, err := core.Dial("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	baseRem, err := c.NamedObject("basewindow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrRem, err := c.NamedObject("screen")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lbl, err := c.New("label", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lbl.Call("Attach", baseRem, int64(4), int64(140)); err != nil {
+		t.Fatal(err)
+	}
+	if err := lbl.Call("SetText", "STATUS OK"); err != nil {
+		t.Fatal(err)
+	}
+	var lit int64
+	if err := scrRem.CallInto("CountColor", []any{&lit}, int64(255)); err != nil || lit == 0 {
+		t.Errorf("label pixels=%d err=%v", lit, err)
+	}
+
+	// Focus: create a window, focus it remotely, inject a key; the
+	// registered key handler upcalls into this client.
+	var win *core.Remote
+	if err := baseRem.CallInto("Create", []any{&win}, wm.R(60, 60, 40, 40), int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	focus, err := c.New("focus", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrObj, _ := srv.Named("screen")
+	_ = scrObj
+	if err := focus.Call("Attach", scrRem, baseRem); err != nil {
+		t.Fatal(err)
+	}
+	keys := make(chan wm.KeyEvent, 2)
+	if err := win.Call("PostKey", func(ev wm.KeyEvent) { keys <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	if err := focus.Call("SetFocus", win); err != nil {
+		t.Fatal(err)
+	}
+	scr.InjectKey(wm.KeyEvent{Code: 42, Down: true})
+	select {
+	case ev := <-keys:
+		if ev.Code != 42 {
+			t.Errorf("key %v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("focused key upcall never arrived")
+	}
+	_ = base
+}

@@ -1,0 +1,201 @@
+package wm
+
+import (
+	"sync"
+)
+
+// Sweep implements the paper's running example (§2.1): "allow the user to
+// be able to 'sweep' out a new window. The user invokes this function,
+// and then uses the mouse to drag one corner of the window outline until
+// it has the desired size and shape."
+//
+// "Upcalls provide a simple solution. The code to sweep out a window is
+// dynamically loaded into the CLAM server. Clients can decide the details
+// of window creation and load an appropriate version of the sweeping
+// code. ... Low level input routines would perform an upcall to the
+// sweeping layer (module). This layer would process the event, redrawing
+// the window border with [each] new event. Events would be processed
+// quickly, since upcalls are basically procedure calls. When the user
+// finishes sweeping (indicated by pressing a mouse button), the sweeping
+// layer makes an upcall to the next layer, passing the single 'window
+// created' event. This last upcall could pass to an application layer
+// loaded into the server or be a distributed upcall to a layer residing
+// in a client."
+//
+// The options the paper says a built-in implementation would freeze —
+// "window alignment and transparency of the sweep window" — are exactly
+// the knobs this module exposes, so different clients can load different
+// configurations (or different versions of the class).
+type Sweep struct {
+	mu  sync.Mutex
+	win *Window
+
+	active     bool
+	anchor     Point
+	cur        Point
+	lastBorder Rect
+
+	// Options, settable per loaded instance.
+	grid        int16 // alignment: snap the final rect to this grid (0 = off)
+	borderColor int64
+	transparent bool // transparent sweep: skip the rubber-band redraws
+
+	// done procedures receive the single "window created" event.
+	done []func(Rect)
+
+	// moves counts the per-motion events handled inside this layer —
+	// events that never cross to the client (experiment A-2).
+	moves uint64
+}
+
+// NewSweep creates a sweeping layer. Attach it to a window before
+// injecting input.
+func NewSweep() *Sweep {
+	return &Sweep{borderColor: 255}
+}
+
+// Attach registers the sweep layer's mouse procedure with the window —
+// an ordinary upcall registration; both objects live in the server, so
+// each subsequent input event is handled with local procedure calls.
+func (s *Sweep) Attach(w *Window) {
+	s.mu.Lock()
+	s.win = w
+	s.mu.Unlock()
+	w.PostMouse(s.Mouse)
+}
+
+// SetGrid enables alignment: the swept rectangle snaps to multiples of n.
+func (s *Sweep) SetGrid(n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grid = int16(n)
+}
+
+// SetTransparent selects a transparent sweep: no rubber-band border is
+// drawn during the drag.
+func (s *Sweep) SetTransparent(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.transparent = v
+}
+
+// SetBorderColor selects the rubber-band color.
+func (s *Sweep) SetBorderColor(c int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.borderColor = c
+}
+
+// OnCreated registers a procedure for the final "window created" event.
+// When called remotely the procedure is a distributed-upcall proxy and
+// only this single event crosses the address-space boundary.
+func (s *Sweep) OnCreated(fn func(Rect)) {
+	if fn == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.done = append(s.done, fn)
+}
+
+// Mouse is the sweeping layer's upcall procedure.
+func (s *Sweep) Mouse(ev MouseEvent) {
+	s.mu.Lock()
+	win := s.win
+	if win == nil {
+		s.mu.Unlock()
+		return
+	}
+	switch ev.Kind {
+	case MouseDown:
+		s.active = true
+		s.anchor = ev.Pos()
+		s.cur = ev.Pos()
+		s.lastBorder = Rect{}
+		s.mu.Unlock()
+	case MouseMove:
+		if !s.active {
+			s.mu.Unlock()
+			return
+		}
+		s.moves++
+		s.cur = ev.Pos()
+		old := s.lastBorder
+		r := s.rubberLocked()
+		s.lastBorder = r
+		transparent := s.transparent
+		color := s.borderColor
+		s.mu.Unlock()
+		if !transparent {
+			// Erase the previous band, draw the new one: the smooth
+			// visual effect the paper wants from server-side sweeping.
+			if !old.Empty() {
+				win.BorderRect(old, win.Background())
+			}
+			if !r.Empty() {
+				win.BorderRect(r, color)
+			}
+		}
+	case MouseUp:
+		if !s.active {
+			s.mu.Unlock()
+			return
+		}
+		s.active = false
+		s.cur = ev.Pos()
+		old := s.lastBorder
+		r := s.finalLocked()
+		fns := append(([]func(Rect))(nil), s.done...)
+		transparent := s.transparent
+		s.lastBorder = Rect{}
+		s.mu.Unlock()
+		if !transparent && !old.Empty() {
+			win.BorderRect(old, win.Background())
+		}
+		// The single "window created" event passes to the next layer.
+		for _, fn := range fns {
+			fn(r)
+		}
+	default:
+		s.mu.Unlock()
+	}
+}
+
+// rubberLocked computes the current rubber-band rectangle; s.mu held.
+func (s *Sweep) rubberLocked() Rect {
+	return Rect{
+		X: s.anchor.X,
+		Y: s.anchor.Y,
+		W: s.cur.X - s.anchor.X,
+		H: s.cur.Y - s.anchor.Y,
+	}.Canon()
+}
+
+// finalLocked computes the finished rectangle with grid alignment; s.mu
+// held.
+func (s *Sweep) finalLocked() Rect {
+	r := s.rubberLocked()
+	if s.grid > 1 {
+		g := s.grid
+		snap := func(v int16) int16 { return (v / g) * g }
+		snapUp := func(v int16) int16 { return ((v + g - 1) / g) * g }
+		x2, y2 := snapUp(r.X+r.W), snapUp(r.Y+r.H)
+		r.X, r.Y = snap(r.X), snap(r.Y)
+		r.W, r.H = x2-r.X, y2-r.Y
+	}
+	return r
+}
+
+// MoveCount reports how many motion events the layer absorbed locally.
+func (s *Sweep) MoveCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.moves)
+}
+
+// Active reports whether a sweep is in progress.
+func (s *Sweep) Active() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}

@@ -1,0 +1,333 @@
+package wm
+
+import (
+	"sync"
+)
+
+// Cursor tracks the pointer position and paints a marker, saving and
+// restoring the pixels underneath — the screen-level half of pointer
+// feedback.
+type Cursor struct {
+	mu      sync.Mutex
+	scr     *Screen
+	pos     Point
+	visible bool
+	color   int64
+	saved   []byte
+	savedAt Rect
+}
+
+// cursorSize is the square marker extent.
+const cursorSize = 3
+
+// NewCursor creates a cursor on the screen.
+func NewCursor() *Cursor {
+	return &Cursor{color: 254}
+}
+
+// AttachScreen binds the cursor to a screen.
+func (c *Cursor) AttachScreen(s *Screen) {
+	c.mu.Lock()
+	c.scr = s
+	c.mu.Unlock()
+}
+
+// Show makes the cursor visible at its current position.
+func (c *Cursor) Show() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.visible || c.scr == nil {
+		return
+	}
+	c.visible = true
+	c.paintLocked()
+}
+
+// Hide removes the cursor, restoring the pixels underneath.
+func (c *Cursor) Hide() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.visible {
+		return
+	}
+	c.visible = false
+	c.restoreLocked()
+}
+
+// MoveTo relocates the cursor.
+func (c *Cursor) MoveTo(x, y int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.visible {
+		c.restoreLocked()
+	}
+	c.pos = Point{X: int16(x), Y: int16(y)}
+	if c.visible {
+		c.paintLocked()
+	}
+}
+
+// Pos returns the cursor position.
+func (c *Cursor) Pos() Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pos
+}
+
+func (c *Cursor) paintLocked() {
+	r := Rect{X: c.pos.X, Y: c.pos.Y, W: cursorSize, H: cursorSize}.Intersect(c.scr.Bounds())
+	if r.Empty() {
+		c.savedAt = Rect{}
+		return
+	}
+	c.savedAt = r
+	c.saved = c.saved[:0]
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			c.saved = append(c.saved, byte(c.scr.PixelAt(int64(x), int64(y))))
+		}
+	}
+	c.scr.Fill(r, c.color)
+}
+
+func (c *Cursor) restoreLocked() {
+	r := c.savedAt
+	if r.Empty() {
+		return
+	}
+	i := 0
+	for y := r.Y; y < r.Y+r.H; y++ {
+		for x := r.X; x < r.X+r.W; x++ {
+			c.scr.Fill(Rect{X: x, Y: y, W: 1, H: 1}, int64(c.saved[i]))
+			i++
+		}
+	}
+	c.savedAt = Rect{}
+}
+
+// Button is a clickable region layered over a window: it fills itself,
+// watches mouse events, and upcalls its registered procedures on click —
+// a minimal interactive widget built purely from the upcall machinery.
+type Button struct {
+	mu      sync.Mutex
+	win     *Window
+	rect    Rect // in the attached window's coordinates
+	color   int64
+	pressed bool
+	clicks  []func(int64)
+	nclicks int64
+}
+
+// NewButton creates an unattached button.
+func NewButton() *Button {
+	return &Button{color: 7}
+}
+
+// Attach places the button on a window at r (window coordinates) and
+// registers for its mouse events.
+func (b *Button) Attach(w *Window, r Rect) {
+	b.mu.Lock()
+	b.win = w
+	b.rect = r
+	b.mu.Unlock()
+	w.FillRect(r, b.color)
+	w.PostMouse(b.Mouse)
+}
+
+// OnClick registers a procedure receiving the running click count.
+func (b *Button) OnClick(fn func(int64)) {
+	if fn == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.clicks = append(b.clicks, fn)
+}
+
+// Mouse is the button's upcall procedure.
+func (b *Button) Mouse(ev MouseEvent) {
+	b.mu.Lock()
+	inside := ev.Pos().In(b.rect)
+	var fire []func(int64)
+	var n int64
+	switch {
+	case ev.Kind == MouseDown && inside:
+		b.pressed = true
+	case ev.Kind == MouseUp && b.pressed:
+		b.pressed = false
+		if inside {
+			b.nclicks++
+			n = b.nclicks
+			fire = append(([]func(int64))(nil), b.clicks...)
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range fire {
+		fn(n)
+	}
+}
+
+// Clicks reports the click count.
+func (b *Button) Clicks() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.nclicks
+}
+
+// Menu is a pop-up list: Show paints it, mouse-up inside selects an item
+// and upcalls the registered procedures with (index, label).
+type Menu struct {
+	mu       sync.Mutex
+	win      *Window
+	items    []string
+	at       Rect // occupied area in window coordinates, empty when hidden
+	rowH     int16
+	selected []func(int64, string)
+}
+
+// NewMenu creates an empty menu.
+func NewMenu() *Menu {
+	return &Menu{rowH: 10}
+}
+
+// AttachWindow binds the menu to a window and registers for its events.
+func (m *Menu) AttachWindow(w *Window) {
+	m.mu.Lock()
+	m.win = w
+	m.mu.Unlock()
+	w.PostMouse(m.Mouse)
+}
+
+// AddItem appends a menu entry.
+func (m *Menu) AddItem(label string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.items = append(m.items, label)
+}
+
+// Items reports the number of entries.
+func (m *Menu) Items() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.items))
+}
+
+// OnSelect registers a selection procedure.
+func (m *Menu) OnSelect(fn func(int64, string)) {
+	if fn == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.selected = append(m.selected, fn)
+}
+
+// Show pops the menu up at p (window coordinates).
+func (m *Menu) Show(x, y int64) {
+	m.mu.Lock()
+	win := m.win
+	n := int16(len(m.items))
+	m.at = Rect{X: int16(x), Y: int16(y), W: 60, H: n * m.rowH}
+	at := m.at
+	m.mu.Unlock()
+	if win == nil || n == 0 {
+		return
+	}
+	win.FillRect(at, 200)
+	win.BorderRect(at, 255)
+}
+
+// Hide removes the menu.
+func (m *Menu) Hide() {
+	m.mu.Lock()
+	win := m.win
+	at := m.at
+	m.at = Rect{}
+	m.mu.Unlock()
+	if win == nil || at.Empty() {
+		return
+	}
+	win.FillRect(at, win.Background())
+}
+
+// Mouse is the menu's upcall procedure: a mouse-up inside the shown menu
+// selects the row under the pointer.
+func (m *Menu) Mouse(ev MouseEvent) {
+	if ev.Kind != MouseUp {
+		return
+	}
+	m.mu.Lock()
+	at := m.at
+	rowH := m.rowH
+	var fire []func(int64, string)
+	idx := int64(-1)
+	var label string
+	if !at.Empty() && ev.Pos().In(at) {
+		idx = int64((ev.Y - at.Y) / rowH)
+		if idx >= 0 && idx < int64(len(m.items)) {
+			label = m.items[idx]
+			fire = append(([]func(int64, string))(nil), m.selected...)
+		}
+	}
+	m.mu.Unlock()
+	if idx < 0 || label == "" && len(fire) == 0 {
+		return
+	}
+	for _, fn := range fire {
+		fn(idx, label)
+	}
+	m.Hide()
+}
+
+// Layout tiles a window's children into a grid — a tiny layout-manager
+// class demonstrating a pure server-side layer above windows.
+type Layout struct {
+	mu   sync.Mutex
+	cols int64
+	gap  int16
+}
+
+// NewLayout creates a layout manager with 2 columns.
+func NewLayout() *Layout {
+	return &Layout{cols: 2, gap: 2}
+}
+
+// SetColumns configures the grid width.
+func (l *Layout) SetColumns(n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > 0 {
+		l.cols = n
+	}
+}
+
+// Tile arranges all children of w in a grid filling the window.
+func (l *Layout) Tile(w *Window) {
+	l.mu.Lock()
+	cols := l.cols
+	gap := l.gap
+	l.mu.Unlock()
+
+	n := w.ChildCount()
+	if n == 0 {
+		return
+	}
+	rows := (n + cols - 1) / cols
+	b := w.Bounds()
+	cw := (int64(b.W) - int64(gap)*(cols+1)) / cols
+	ch := (int64(b.H) - int64(gap)*(rows+1)) / rows
+	if cw <= 0 || ch <= 0 {
+		return
+	}
+	w.mu.Lock()
+	kids := append([]*Window(nil), w.children...)
+	w.mu.Unlock()
+	for i, kid := range kids {
+		col := int64(i) % cols
+		row := int64(i) / cols
+		x := int64(gap) + col*(cw+int64(gap))
+		y := int64(gap) + row*(ch+int64(gap))
+		kid.Resize(cw, ch)
+		kid.MoveTo(x, y)
+	}
+}

@@ -1,0 +1,363 @@
+package wm
+
+import (
+	"sync"
+)
+
+// Window provides "a window abstraction layered over the screen
+// abstraction" (§4.2). Windows form a tree rooted at a base window that
+// covers the screen; each window clips its drawing to its screen area and
+// routes mouse events to the topmost child under the pointer, translating
+// coordinates as the event maps upward through the layers.
+//
+// Registration follows the paper's example exactly: creating the base
+// window registers Window.Mouse with the screen (S.postinput); a layer
+// above a window registers its own procedure with W.PostMouse. A
+// registered procedure may be a local func or a distributed-upcall proxy.
+type Window struct {
+	mu       sync.Mutex
+	scr      *Screen
+	parent   *Window
+	rect     Rect      // in parent coordinates
+	children []*Window // z-order: last is topmost
+	bg       byte
+	visible  bool
+	dead     bool
+
+	mouseFns []func(MouseEvent)
+	keyFns   []func(KeyEvent)
+
+	// routed counts events this window processed (delivered or passed to
+	// a child); used by the sweep-placement experiment.
+	routed uint64
+}
+
+// NewBaseWindow creates the root window covering the whole screen and
+// registers its Mouse and Key procedures with the screen — "While creating
+// BaseW, the window class registers the window::mouse procedure with S".
+func NewBaseWindow(scr *Screen) *Window {
+	w := &Window{
+		scr:     scr,
+		rect:    scr.Bounds(),
+		bg:      0,
+		visible: true,
+	}
+	scr.PostInput(w.Mouse)
+	scr.PostKey(w.Key)
+	return w
+}
+
+// Create makes a child window at r (parent coordinates) and paints it.
+// The returned pointer crosses to remote callers as a handle.
+func (w *Window) Create(r Rect, bg int64) *Window {
+	child := &Window{
+		scr:     w.scr,
+		parent:  w,
+		rect:    r,
+		bg:      byte(bg),
+		visible: true,
+	}
+	w.mu.Lock()
+	w.children = append(w.children, child)
+	w.mu.Unlock()
+	child.Fill(bg)
+	return child
+}
+
+// Bounds returns the window rectangle in parent coordinates.
+func (w *Window) Bounds() Rect {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.rect
+}
+
+// ScreenRect returns the window rectangle in screen coordinates, clipped
+// to every ancestor.
+func (w *Window) ScreenRect() Rect {
+	w.mu.Lock()
+	r := w.rect
+	p := w.parent
+	w.mu.Unlock()
+	for p != nil {
+		p.mu.Lock()
+		pr := p.rect // parent's rect, in the grandparent's coordinates
+		pp := p.parent
+		p.mu.Unlock()
+		// Lift r into the grandparent's coordinates and clip to the
+		// parent's extent there.
+		r = r.Translate(pr.X, pr.Y).Intersect(pr)
+		p = pp
+	}
+	return r.Intersect(w.scr.Bounds())
+}
+
+// screenOffset returns the translation from this window's coordinates to
+// screen coordinates.
+func (w *Window) screenOffset() (dx, dy int16) {
+	for cur := w; cur != nil; {
+		cur.mu.Lock()
+		dx += cur.rect.X
+		dy += cur.rect.Y
+		next := cur.parent
+		cur.mu.Unlock()
+		cur = next
+	}
+	return dx, dy
+}
+
+// Fill paints the window interior with a color.
+func (w *Window) Fill(color int64) {
+	dx, dy := w.screenOffset()
+	w.mu.Lock()
+	r := Rect{X: dx, Y: dy, W: w.rect.W, H: w.rect.H}
+	w.mu.Unlock()
+	w.scr.Fill(r, color)
+}
+
+// FillRect paints a rectangle given in window coordinates.
+func (w *Window) FillRect(r Rect, color int64) {
+	dx, dy := w.screenOffset()
+	w.scr.Fill(r.Translate(dx, dy), color)
+}
+
+// Border draws a 1-pixel frame just inside the window edge.
+func (w *Window) Border(color int64) {
+	dx, dy := w.screenOffset()
+	w.mu.Lock()
+	r := Rect{X: dx, Y: dy, W: w.rect.W, H: w.rect.H}
+	w.mu.Unlock()
+	w.scr.Border(r, color)
+}
+
+// BorderRect draws a frame for a rectangle in window coordinates.
+func (w *Window) BorderRect(r Rect, color int64) {
+	dx, dy := w.screenOffset()
+	w.scr.Border(r.Translate(dx, dy), color)
+}
+
+// MoveTo repositions the window within its parent, repainting the vacated
+// area (re-exposing any siblings it covered) and the window at its new
+// place.
+func (w *Window) MoveTo(x, y int64) {
+	w.mu.Lock()
+	old := w.rect
+	w.rect.X, w.rect.Y = int16(x), int16(y)
+	parent := w.parent
+	bg := w.bg
+	w.mu.Unlock()
+	w.exposeSiblings(parent, old)
+	w.Fill(int64(bg))
+}
+
+// Resize changes the window extent, repainting and re-exposing.
+func (w *Window) Resize(width, height int64) {
+	w.mu.Lock()
+	old := w.rect
+	w.rect.W, w.rect.H = int16(width), int16(height)
+	parent := w.parent
+	bg := w.bg
+	w.mu.Unlock()
+	w.exposeSiblings(parent, old)
+	w.Fill(int64(bg))
+}
+
+// Raise moves the window to the top of its siblings' z-order.
+func (w *Window) Raise() {
+	w.mu.Lock()
+	parent := w.parent
+	w.mu.Unlock()
+	if parent == nil {
+		return
+	}
+	parent.mu.Lock()
+	for i, c := range parent.children {
+		if c == w {
+			parent.children = append(append(parent.children[:i:i], parent.children[i+1:]...), w)
+			break
+		}
+	}
+	parent.mu.Unlock()
+	w.mu.Lock()
+	bg := w.bg
+	w.mu.Unlock()
+	w.Fill(int64(bg))
+}
+
+// Destroy removes the window from its parent, repaints the vacated area
+// and re-exposes any siblings it covered.
+func (w *Window) Destroy() {
+	w.mu.Lock()
+	parent := w.parent
+	rect := w.rect
+	w.dead = true
+	w.mu.Unlock()
+	if parent == nil {
+		return
+	}
+	parent.mu.Lock()
+	for i, c := range parent.children {
+		if c == w {
+			parent.children = append(parent.children[:i:i], parent.children[i+1:]...)
+			break
+		}
+	}
+	parent.mu.Unlock()
+	w.exposeSiblings(parent, rect)
+}
+
+// Refresh repaints this window's background and then every child, bottom
+// of the z-order first — the repaint a window system performs when
+// occluded content is exposed. Immediate-mode drawing (fills, labels) is
+// not replayed; layers that draw content re-assert it through their own
+// upcalls after an exposure.
+func (w *Window) Refresh() {
+	w.mu.Lock()
+	bg := w.bg
+	kids := append([]*Window(nil), w.children...)
+	visible := w.visible && !w.dead
+	w.mu.Unlock()
+	if !visible {
+		return
+	}
+	w.Fill(int64(bg))
+	for _, c := range kids {
+		c.Refresh()
+	}
+}
+
+// exposeSiblings repaints the parent subtree after this window vacated
+// old (parent coordinates): the vacated area returns to the parent
+// background and any sibling the window was covering repaints.
+func (w *Window) exposeSiblings(parent *Window, old Rect) {
+	if parent == nil {
+		return
+	}
+	pdx, pdy := parent.screenOffset()
+	parent.mu.Lock()
+	pbg := parent.bg
+	kids := append([]*Window(nil), parent.children...)
+	parent.mu.Unlock()
+	w.scr.Fill(old.Translate(pdx, pdy), int64(pbg))
+	for _, sib := range kids {
+		if sib == w {
+			continue
+		}
+		if sib.Bounds().Overlaps(old) {
+			sib.Refresh()
+		}
+	}
+}
+
+// ChildCount reports the number of children.
+func (w *Window) ChildCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(len(w.children))
+}
+
+// ChildAt returns the topmost visible child containing the point (window
+// coordinates), or nil.
+func (w *Window) ChildAt(p Point) *Window {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i := len(w.children) - 1; i >= 0; i-- {
+		c := w.children[i]
+		c.mu.Lock()
+		hit := c.visible && !c.dead && p.In(c.rect)
+		c.mu.Unlock()
+		if hit {
+			return c
+		}
+	}
+	return nil
+}
+
+// PostMouse registers a procedure for mouse events on this window — the
+// paper's W2.postinput. Procedures receive events in this window's
+// coordinate space.
+func (w *Window) PostMouse(fn func(MouseEvent)) {
+	if fn == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.mouseFns = append(w.mouseFns, fn)
+}
+
+// PostKey registers a procedure for key events on this window.
+func (w *Window) PostKey(fn func(KeyEvent)) {
+	if fn == nil {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.keyFns = append(w.keyFns, fn)
+}
+
+// Mouse is the window's upcall procedure, registered with the layer below.
+// "This procedure determines if the mouse was inside any other windows
+// and, if so, makes upcalls to them as well" (§4.2): the event is
+// translated into the child's coordinate space and passed up; otherwise it
+// is delivered to the procedures registered on this window. An event that
+// nobody wants is discarded — this layer's way of limiting the asynchrony.
+func (w *Window) Mouse(ev MouseEvent) {
+	w.mu.Lock()
+	w.routed++
+	w.mu.Unlock()
+	if child := w.ChildAt(ev.Pos()); child != nil {
+		cr := child.Bounds()
+		child.Mouse(ev.Translated(-cr.X, -cr.Y))
+		return
+	}
+	w.mu.Lock()
+	fns := append(([]func(MouseEvent))(nil), w.mouseFns...)
+	w.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// Key delivers a keyboard event to this window's registered procedures
+// (keyboard focus is simply the base window in this library).
+func (w *Window) Key(ev KeyEvent) {
+	w.mu.Lock()
+	fns := append(([]func(KeyEvent))(nil), w.keyFns...)
+	w.mu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+// RoutedCount reports how many mouse events this window has routed.
+func (w *Window) RoutedCount() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(w.routed)
+}
+
+// Background returns the window's background color.
+func (w *Window) Background() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return int64(w.bg)
+}
+
+// SetVisible shows or hides the window for hit-testing and repaints
+// accordingly.
+func (w *Window) SetVisible(v bool) {
+	w.mu.Lock()
+	w.visible = v
+	bg := w.bg
+	parent := w.parent
+	rect := w.rect
+	w.mu.Unlock()
+	if v {
+		w.Fill(int64(bg))
+	} else if parent != nil {
+		pdx, pdy := parent.screenOffset()
+		parent.mu.Lock()
+		pbg := parent.bg
+		parent.mu.Unlock()
+		w.scr.Fill(rect.Translate(pdx, pdy), int64(pbg))
+	}
+}

@@ -1,0 +1,514 @@
+package wm
+
+import (
+	"testing"
+
+	"clam/internal/dynload"
+	"clam/internal/task"
+)
+
+func TestScreenFillAndPixels(t *testing.T) {
+	s := NewScreen(32, 16, nil)
+	if s.Width() != 32 || s.Height() != 16 {
+		t.Fatalf("size %dx%d", s.Width(), s.Height())
+	}
+	s.Fill(R(2, 2, 4, 4), 9)
+	if s.PixelAt(3, 3) != 9 || s.PixelAt(1, 1) != 0 {
+		t.Error("fill wrong pixels")
+	}
+	if s.PixelAt(-1, 0) != -1 || s.PixelAt(99, 0) != -1 {
+		t.Error("out-of-range reads")
+	}
+	if s.CountColor(9) != 16 {
+		t.Errorf("CountColor = %d", s.CountColor(9))
+	}
+	if len(s.Snapshot()) != 32*16 {
+		t.Error("snapshot size")
+	}
+}
+
+func TestScreenClipsDrawing(t *testing.T) {
+	s := NewScreen(10, 10, nil)
+	s.Fill(R(8, 8, 10, 10), 5) // mostly off-screen
+	if s.CountColor(5) != 4 {
+		t.Errorf("clipped fill painted %d pixels", s.CountColor(5))
+	}
+}
+
+func TestScreenDamage(t *testing.T) {
+	s := NewScreen(20, 20, nil)
+	s.Fill(R(0, 0, 5, 5), 1)
+	s.Fill(R(10, 10, 5, 5), 2)
+	d := s.TakeDamage()
+	area := 0
+	for _, r := range d {
+		area += r.Area()
+	}
+	if area != 50 {
+		t.Errorf("damage area = %d", area)
+	}
+	if len(s.TakeDamage()) != 0 {
+		t.Error("damage not reset")
+	}
+}
+
+func TestScreenBorder(t *testing.T) {
+	s := NewScreen(10, 10, nil)
+	s.Border(R(0, 0, 10, 10), 7)
+	if s.CountColor(7) != 4*10-4 {
+		t.Errorf("border painted %d pixels", s.CountColor(7))
+	}
+	if s.PixelAt(5, 5) != 0 {
+		t.Error("border filled interior")
+	}
+}
+
+func TestScreenInputInline(t *testing.T) {
+	s := NewScreen(10, 10, nil)
+	var got []MouseEvent
+	s.PostInput(func(ev MouseEvent) { got = append(got, ev) })
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 1, Y: 2})
+	if len(got) != 1 || got[0].X != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if s.InputCount() != 1 {
+		t.Errorf("InputCount = %d", s.InputCount())
+	}
+	var keys []KeyEvent
+	s.PostKey(func(ev KeyEvent) { keys = append(keys, ev) })
+	s.InjectKey(KeyEvent{Code: 65, Down: true})
+	if len(keys) != 1 || keys[0].Code != 65 {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestScreenInputViaTasks(t *testing.T) {
+	sched := task.New()
+	defer sched.Close()
+	s := NewScreen(10, 10, sched)
+	got := make(chan MouseEvent, 1)
+	s.PostInput(func(ev MouseEvent) { got <- ev })
+	s.InjectMouseWait(MouseEvent{Kind: MouseDown, X: 3, Y: 4})
+	ev := <-got
+	if ev.X != 3 || ev.Y != 4 {
+		t.Errorf("ev = %v", ev)
+	}
+}
+
+func TestWindowTreeRouting(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	w1 := base.Create(R(10, 10, 30, 30), 1)
+	w2 := base.Create(R(20, 20, 30, 30), 2) // overlaps w1, on top
+
+	var got1, got2, gotBase []MouseEvent
+	w1.PostMouse(func(ev MouseEvent) { got1 = append(got1, ev) })
+	w2.PostMouse(func(ev MouseEvent) { got2 = append(got2, ev) })
+	base.PostMouse(func(ev MouseEvent) { gotBase = append(gotBase, ev) })
+
+	// In the overlap: w2 is topmost.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 25, Y: 25})
+	if len(got2) != 1 || len(got1) != 0 {
+		t.Fatalf("overlap routing: w1=%d w2=%d", len(got1), len(got2))
+	}
+	// Coordinates are translated into the window's space.
+	if got2[0].X != 5 || got2[0].Y != 5 {
+		t.Errorf("translated event %v", got2[0])
+	}
+	// Only over w1.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 12, Y: 12})
+	if len(got1) != 1 || got1[0].X != 2 {
+		t.Fatalf("w1 routing: %v", got1)
+	}
+	// Over neither: base gets it.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 90, Y: 90})
+	if len(gotBase) != 1 {
+		t.Fatalf("base routing: %d", len(gotBase))
+	}
+	if base.RoutedCount() != 3 {
+		t.Errorf("RoutedCount = %d", base.RoutedCount())
+	}
+}
+
+func TestWindowRaiseChangesRouting(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	w1 := base.Create(R(10, 10, 30, 30), 1)
+	w2 := base.Create(R(10, 10, 30, 30), 2)
+	var got1, got2 int
+	w1.PostMouse(func(MouseEvent) { got1++ })
+	w2.PostMouse(func(MouseEvent) { got2++ })
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 15, Y: 15})
+	if got2 != 1 || got1 != 0 {
+		t.Fatal("initial z-order wrong")
+	}
+	w1.Raise()
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 15, Y: 15})
+	if got1 != 1 {
+		t.Error("raise did not change routing")
+	}
+}
+
+func TestWindowDrawingAndGeometry(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(10, 10, 20, 20), 3)
+	if s.CountColor(3) != 400 {
+		t.Errorf("created window painted %d", s.CountColor(3))
+	}
+	inner := w.Create(R(5, 5, 5, 5), 4)
+	if sr := inner.ScreenRect(); sr != R(15, 15, 5, 5) {
+		t.Errorf("inner screen rect %v", sr)
+	}
+	if s.PixelAt(16, 16) != 4 {
+		t.Error("nested window drawn at wrong place")
+	}
+	// A child partially outside its parent clips.
+	edge := w.Create(R(18, 18, 10, 10), 5)
+	if sr := edge.ScreenRect(); sr != R(28, 28, 2, 2) {
+		t.Errorf("clipped screen rect %v", sr)
+	}
+}
+
+func TestWindowMoveRepaints(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	base := NewBaseWindow(s)
+	base.Fill(0)
+	w := base.Create(R(0, 0, 10, 10), 6)
+	w.MoveTo(20, 20)
+	if s.PixelAt(5, 5) != 0 {
+		t.Error("vacated area not repainted")
+	}
+	if s.PixelAt(25, 25) != 6 {
+		t.Error("window not painted at new position")
+	}
+	if w.Bounds() != R(20, 20, 10, 10) {
+		t.Errorf("bounds %v", w.Bounds())
+	}
+}
+
+func TestWindowDestroy(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(5, 5, 10, 10), 6)
+	if base.ChildCount() != 1 {
+		t.Fatal("child not registered")
+	}
+	w.Destroy()
+	if base.ChildCount() != 0 {
+		t.Error("child not removed")
+	}
+	if s.PixelAt(8, 8) != 0 {
+		t.Error("destroyed window still painted")
+	}
+	var got int
+	w.PostMouse(func(MouseEvent) { got++ })
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 8, Y: 8})
+	if got != 0 {
+		t.Error("destroyed window still receives events")
+	}
+}
+
+func TestWindowVisibility(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	base := NewBaseWindow(s)
+	w := base.Create(R(5, 5, 10, 10), 6)
+	var got int
+	w.PostMouse(func(MouseEvent) { got++ })
+	w.SetVisible(false)
+	if s.PixelAt(8, 8) == 6 {
+		t.Error("hidden window still painted")
+	}
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 8, Y: 8})
+	if got != 0 {
+		t.Error("hidden window receives events")
+	}
+	w.SetVisible(true)
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 8, Y: 8})
+	if got != 1 {
+		t.Error("shown window misses events")
+	}
+}
+
+func TestSweepLifecycle(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	sw := NewSweep()
+	sw.Attach(base)
+
+	var created []Rect
+	sw.OnCreated(func(r Rect) { created = append(created, r) })
+
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 10, Y: 10, Buttons: ButtonLeft})
+	if !sw.Active() {
+		t.Fatal("sweep not active after button down")
+	}
+	for x := int16(11); x <= 40; x++ {
+		s.InjectMouse(MouseEvent{Kind: MouseMove, X: x, Y: x})
+	}
+	if sw.MoveCount() != 30 {
+		t.Errorf("MoveCount = %d", sw.MoveCount())
+	}
+	if len(created) != 0 {
+		t.Fatal("created before button up")
+	}
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 40, Y: 50})
+	if sw.Active() {
+		t.Error("sweep still active")
+	}
+	if len(created) != 1 || created[0] != R(10, 10, 30, 40) {
+		t.Fatalf("created = %v", created)
+	}
+	// The rubber band has been erased: only the base background remains.
+	if s.CountColor(255) != 0 {
+		t.Errorf("%d rubber-band pixels left", s.CountColor(255))
+	}
+}
+
+func TestSweepGridAlignment(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	sw := NewSweep()
+	sw.Attach(base)
+	sw.SetGrid(8)
+	var created Rect
+	sw.OnCreated(func(r Rect) { created = r })
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 11, Y: 13})
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 29, Y: 30})
+	if created != R(8, 8, 24, 24) {
+		t.Errorf("snapped rect = %v", created)
+	}
+}
+
+func TestSweepUpLeftDrag(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	sw := NewSweep()
+	sw.Attach(base)
+	var created Rect
+	sw.OnCreated(func(r Rect) { created = r })
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 50, Y: 50})
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 30, Y: 40})
+	if created != R(30, 40, 20, 10) {
+		t.Errorf("created = %v", created)
+	}
+}
+
+func TestSweepTransparentDrawsNothing(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	sw := NewSweep()
+	sw.Attach(base)
+	sw.SetTransparent(true)
+	painted := s.PaintCount()
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 5, Y: 5})
+	for x := int16(6); x < 30; x++ {
+		s.InjectMouse(MouseEvent{Kind: MouseMove, X: x, Y: x})
+	}
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 30, Y: 30})
+	if s.PaintCount() != painted {
+		t.Errorf("transparent sweep painted %d times", s.PaintCount()-painted)
+	}
+}
+
+func TestCursorSavesAndRestores(t *testing.T) {
+	s := NewScreen(20, 20, nil)
+	s.Fill(R(0, 0, 20, 20), 3)
+	c := NewCursor()
+	c.AttachScreen(s)
+	c.Show()
+	if s.PixelAt(0, 0) != 254 {
+		t.Error("cursor not painted")
+	}
+	c.MoveTo(10, 10)
+	if s.PixelAt(0, 0) != 3 {
+		t.Error("old position not restored")
+	}
+	if s.PixelAt(11, 11) != 254 {
+		t.Error("cursor not at new position")
+	}
+	c.Hide()
+	if s.PixelAt(11, 11) != 3 {
+		t.Error("hide did not restore")
+	}
+	if c.Pos() != (Point{X: 10, Y: 10}) {
+		t.Errorf("pos = %v", c.Pos())
+	}
+}
+
+func TestButtonClicks(t *testing.T) {
+	s := NewScreen(50, 50, nil)
+	base := NewBaseWindow(s)
+	b := NewButton()
+	b.Attach(base, R(10, 10, 10, 10))
+	var clicks []int64
+	b.OnClick(func(n int64) { clicks = append(clicks, n) })
+
+	press := func(x, y int16) {
+		s.InjectMouse(MouseEvent{Kind: MouseDown, X: x, Y: y})
+		s.InjectMouse(MouseEvent{Kind: MouseUp, X: x, Y: y})
+	}
+	press(15, 15)
+	press(15, 15)
+	if len(clicks) != 2 || clicks[1] != 2 || b.Clicks() != 2 {
+		t.Errorf("clicks = %v", clicks)
+	}
+	// Press inside, release outside: no click.
+	s.InjectMouse(MouseEvent{Kind: MouseDown, X: 15, Y: 15})
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 40, Y: 40})
+	if b.Clicks() != 2 {
+		t.Error("drag-off counted as click")
+	}
+	// Click entirely outside: nothing.
+	press(40, 40)
+	if b.Clicks() != 2 {
+		t.Error("outside click counted")
+	}
+}
+
+func TestMenuSelection(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	m := NewMenu()
+	m.AttachWindow(base)
+	m.AddItem("open")
+	m.AddItem("close")
+	m.AddItem("quit")
+	if m.Items() != 3 {
+		t.Fatal("items")
+	}
+	var idx int64 = -1
+	var label string
+	m.OnSelect(func(i int64, l string) { idx, label = i, l })
+	m.Show(10, 10)
+	// Row height 10: row 1 is y in [20, 30).
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 15, Y: 25})
+	if idx != 1 || label != "close" {
+		t.Errorf("selected %d %q", idx, label)
+	}
+	// Menu hidden after selection; further clicks select nothing.
+	idx = -1
+	s.InjectMouse(MouseEvent{Kind: MouseUp, X: 15, Y: 25})
+	if idx != -1 {
+		t.Error("hidden menu selected")
+	}
+}
+
+func TestLayoutTiles(t *testing.T) {
+	s := NewScreen(100, 100, nil)
+	base := NewBaseWindow(s)
+	for i := 0; i < 4; i++ {
+		base.Create(R(0, 0, 5, 5), int64(i+1))
+	}
+	l := NewLayout()
+	l.SetColumns(2)
+	l.Tile(base)
+	// All four children resized and placed without overlap.
+	var rects []Rect
+	base.mu.Lock()
+	for _, c := range base.children {
+		rects = append(rects, c.rect)
+	}
+	base.mu.Unlock()
+	for i, a := range rects {
+		if a.W <= 5 || a.H <= 5 {
+			t.Errorf("child %d not resized: %v", i, a)
+		}
+		for j, b := range rects {
+			if i != j && a.Overlaps(b) {
+				t.Errorf("children overlap: %v %v", a, b)
+			}
+		}
+	}
+}
+
+func TestRegisterClasses(t *testing.T) {
+	lib := dynload.NewLibrary()
+	if err := Register(lib, DefaultConfig); err != nil {
+		t.Fatal(err)
+	}
+	names := lib.Names()
+	want := []string{"button", "console", "cursor", "deco", "focus", "label", "layout", "menu", "screen", "sweep", "window"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	// Sweep has two registered versions.
+	if c, err := lib.Lookup("sweep", 0); err != nil || c.Version != 2 {
+		t.Errorf("sweep lookup: %+v, %v", c, err)
+	}
+	if _, err := lib.LookupExact("sweep", 1); err != nil {
+		t.Errorf("sweep v1 missing: %v", err)
+	}
+	if err := Register(lib, Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+type testEnv struct {
+	sched *task.Sched
+	named map[string]any
+}
+
+func (e *testEnv) Sched() *task.Sched { return e.sched }
+
+func (e *testEnv) Named(name string) (any, bool) {
+	obj, ok := e.named[name]
+	return obj, ok
+}
+
+func TestClassConstructorsUseEnv(t *testing.T) {
+	lib := dynload.NewLibrary()
+	MustRegister(lib, Config{Width: 64, Height: 48})
+	ld := dynload.NewLoader(lib)
+
+	scrClass, err := ld.Load("screen", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &testEnv{named: map[string]any{}}
+	obj, err := scrClass.New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := obj.(*Screen)
+	if scr.Width() != 64 {
+		t.Errorf("width %d", scr.Width())
+	}
+	env.named["screen"] = scr
+
+	winClass, err := ld.Load("window", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wobj, err := winClass.New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wobj.(*Window).Bounds() != R(0, 0, 64, 48) {
+		t.Errorf("base window %v", wobj.(*Window).Bounds())
+	}
+
+	// Window without a screen fails cleanly.
+	if _, err := winClass.New(&testEnv{named: map[string]any{}}); err == nil {
+		t.Error("window construction without screen succeeded")
+	}
+
+	// Sweep v2 defaults: grid and transparency set.
+	swClass, err := ld.LoadExact("sweep", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sobj, err := swClass.New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sobj.(*SweepV2)
+	if sw.grid != 8 || !sw.transparent {
+		t.Errorf("v2 defaults: grid=%d transparent=%v", sw.grid, sw.transparent)
+	}
+}

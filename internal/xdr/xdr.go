@@ -1,0 +1,390 @@
+// Package xdr implements bidirectional, machine-independent data streams
+// patterned after the Sun XDR filters that CLAM's bundlers are built on
+// (Cohrs, Miller & Call, ICDCS 1988, §3.3 and Figure 3.2).
+//
+// A Stream is created in one of two operating modes, Encode or Decode. Every
+// filter method is bidirectional: the same call either writes the value it is
+// handed to the stream or overwrites that value with data read from the
+// stream, depending on the stream's mode. This mirrors the paper's rule that
+// a bundler "must be able to both bundle its first parameter or unbundle data
+// from its machine independent form", so a single user-written bundler serves
+// both directions.
+//
+// The wire format follows the XDR conventions: big-endian, with every item
+// padded to a four-byte boundary.
+package xdr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Op selects the direction a Stream operates in.
+type Op int
+
+const (
+	// Encode converts values to their machine-independent form.
+	Encode Op = iota + 1
+	// Decode converts machine-independent data back into values.
+	Decode
+)
+
+// String returns the conventional XDR name for the operation.
+func (op Op) String() string {
+	switch op {
+	case Encode:
+		return "XDR_ENCODE"
+	case Decode:
+		return "XDR_DECODE"
+	default:
+		return fmt.Sprintf("xdr.Op(%d)", int(op))
+	}
+}
+
+// Limits protecting a decoder from hostile or corrupt length prefixes.
+const (
+	// MaxBytes is the largest variable-length opaque or string a Stream
+	// will decode.
+	MaxBytes = 16 << 20
+	// MaxElems is the largest element count a Stream will decode for a
+	// counted array.
+	MaxElems = 1 << 20
+)
+
+// Common stream errors.
+var (
+	ErrTooLarge = errors.New("xdr: length prefix exceeds limit")
+	errNoReader = errors.New("xdr: decode on encode-only stream")
+	errNoWriter = errors.New("xdr: encode on decode-only stream")
+)
+
+// Stream is a bidirectional XDR filter stream. The zero value is not usable;
+// construct one with NewEncoder or NewDecoder.
+//
+// Errors are sticky: after the first failure every subsequent filter call
+// returns the same error and leaves its argument untouched, so a bundler may
+// chain many filter calls and check the error once at the end.
+type Stream struct {
+	op  Op
+	w   io.Writer
+	r   io.Reader
+	err error
+	buf [8]byte
+	// nw and nr count payload bytes written and read, used by tests and by
+	// the wire layer to account for message sizes.
+	nw int
+	nr int
+}
+
+// NewEncoder returns a Stream that bundles values into w.
+func NewEncoder(w io.Writer) *Stream { return &Stream{op: Encode, w: w} }
+
+// NewDecoder returns a Stream that unbundles values from r.
+func NewDecoder(r io.Reader) *Stream { return &Stream{op: Decode, r: r} }
+
+// Op reports the direction of the stream. Bundlers use it for the rare
+// asymmetric step, such as allocating space for a result while decoding
+// (Figure 3.2 of the paper).
+func (s *Stream) Op() Op { return s.op }
+
+// Err returns the first error encountered by the stream, if any.
+func (s *Stream) Err() error { return s.err }
+
+// SetErr records err as the stream's sticky error if none is set. Bundlers
+// use it to report semantic failures discovered mid-bundle.
+func (s *Stream) SetErr(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// Written returns the number of payload bytes encoded so far.
+func (s *Stream) Written() int { return s.nw }
+
+// ReadCount returns the number of payload bytes decoded so far.
+func (s *Stream) ReadCount() int { return s.nr }
+
+func (s *Stream) write(p []byte) {
+	if s.err != nil {
+		return
+	}
+	if s.w == nil {
+		s.err = errNoWriter
+		return
+	}
+	n, err := s.w.Write(p)
+	s.nw += n
+	if err != nil {
+		s.err = fmt.Errorf("xdr: write: %w", err)
+	}
+}
+
+func (s *Stream) read(p []byte) {
+	if s.err != nil {
+		return
+	}
+	if s.r == nil {
+		s.err = errNoReader
+		return
+	}
+	n, err := io.ReadFull(s.r, p)
+	s.nr += n
+	if err != nil {
+		s.err = fmt.Errorf("xdr: read: %w", err)
+	}
+}
+
+// word transfers one four-byte big-endian word.
+func (s *Stream) word(v *uint32) {
+	b := s.buf[:4]
+	switch s.op {
+	case Encode:
+		b[0] = byte(*v >> 24)
+		b[1] = byte(*v >> 16)
+		b[2] = byte(*v >> 8)
+		b[3] = byte(*v)
+		s.write(b)
+	case Decode:
+		s.read(b)
+		if s.err == nil {
+			*v = uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		}
+	default:
+		s.SetErr(fmt.Errorf("xdr: invalid op %d", int(s.op)))
+	}
+}
+
+// dword transfers one eight-byte big-endian doubleword (XDR hyper).
+func (s *Stream) dword(v *uint64) {
+	b := s.buf[:8]
+	switch s.op {
+	case Encode:
+		for i := 0; i < 8; i++ {
+			b[i] = byte(*v >> (56 - 8*i))
+		}
+		s.write(b)
+	case Decode:
+		s.read(b)
+		if s.err == nil {
+			var x uint64
+			for i := 0; i < 8; i++ {
+				x = x<<8 | uint64(b[i])
+			}
+			*v = x
+		}
+	default:
+		s.SetErr(fmt.Errorf("xdr: invalid op %d", int(s.op)))
+	}
+}
+
+// Uint32 transfers a 32-bit unsigned integer.
+func (s *Stream) Uint32(v *uint32) error {
+	s.word(v)
+	return s.err
+}
+
+// Int32 transfers a 32-bit signed integer.
+func (s *Stream) Int32(v *int32) error {
+	u := uint32(*v)
+	s.word(&u)
+	if s.op == Decode && s.err == nil {
+		*v = int32(u)
+	}
+	return s.err
+}
+
+// Uint64 transfers a 64-bit unsigned integer (XDR unsigned hyper).
+func (s *Stream) Uint64(v *uint64) error {
+	s.dword(v)
+	return s.err
+}
+
+// Int64 transfers a 64-bit signed integer (XDR hyper).
+func (s *Stream) Int64(v *int64) error {
+	u := uint64(*v)
+	s.dword(&u)
+	if s.op == Decode && s.err == nil {
+		*v = int64(u)
+	}
+	return s.err
+}
+
+// Int transfers a Go int as a 64-bit quantity so the format is identical on
+// all word sizes.
+func (s *Stream) Int(v *int) error {
+	x := int64(*v)
+	s.Int64(&x)
+	if s.op == Decode && s.err == nil {
+		*v = int(x)
+	}
+	return s.err
+}
+
+// Uint transfers a Go uint as a 64-bit quantity.
+func (s *Stream) Uint(v *uint) error {
+	x := uint64(*v)
+	s.Uint64(&x)
+	if s.op == Decode && s.err == nil {
+		*v = uint(x)
+	}
+	return s.err
+}
+
+// Short transfers a 16-bit signed integer. XDR carries shorts in a full
+// word, exactly as the VAX CLAM implementation did for the Point type of
+// Figure 3.1.
+func (s *Stream) Short(v *int16) error {
+	x := int32(*v)
+	s.Int32(&x)
+	if s.op == Decode && s.err == nil {
+		*v = int16(x)
+	}
+	return s.err
+}
+
+// Ushort transfers a 16-bit unsigned integer in a full word.
+func (s *Stream) Ushort(v *uint16) error {
+	x := uint32(*v)
+	s.Uint32(&x)
+	if s.op == Decode && s.err == nil {
+		*v = uint16(x)
+	}
+	return s.err
+}
+
+// Byte transfers a single byte in a full word, per XDR padding rules.
+func (s *Stream) Byte(v *byte) error {
+	x := uint32(*v)
+	s.Uint32(&x)
+	if s.op == Decode && s.err == nil {
+		*v = byte(x)
+	}
+	return s.err
+}
+
+// Bool transfers a boolean as a word holding 0 or 1.
+func (s *Stream) Bool(v *bool) error {
+	var x uint32
+	if *v {
+		x = 1
+	}
+	s.word(&x)
+	if s.op == Decode && s.err == nil {
+		switch x {
+		case 0:
+			*v = false
+		case 1:
+			*v = true
+		default:
+			s.SetErr(fmt.Errorf("xdr: bool encoding %d out of range", x))
+		}
+	}
+	return s.err
+}
+
+// Float32 transfers an IEEE-754 single-precision float.
+func (s *Stream) Float32(v *float32) error {
+	x := math.Float32bits(*v)
+	s.word(&x)
+	if s.op == Decode && s.err == nil {
+		*v = math.Float32frombits(x)
+	}
+	return s.err
+}
+
+// Float64 transfers an IEEE-754 double-precision float.
+func (s *Stream) Float64(v *float64) error {
+	x := math.Float64bits(*v)
+	s.dword(&x)
+	if s.op == Decode && s.err == nil {
+		*v = math.Float64frombits(x)
+	}
+	return s.err
+}
+
+// pad holds up to three zero bytes for four-byte alignment.
+var pad [4]byte
+
+// Opaque transfers exactly len(p) raw bytes plus alignment padding. The
+// caller fixes the length on both sides, as with XDR fixed-length opaque
+// data.
+func (s *Stream) Opaque(p []byte) error {
+	n := len(p)
+	switch s.op {
+	case Encode:
+		s.write(p)
+		if r := n % 4; r != 0 {
+			s.write(pad[:4-r])
+		}
+	case Decode:
+		s.read(p)
+		if r := n % 4; r != 0 {
+			var scratch [4]byte
+			s.read(scratch[:4-r])
+		}
+	default:
+		s.SetErr(fmt.Errorf("xdr: invalid op %d", int(s.op)))
+	}
+	return s.err
+}
+
+// Bytes transfers a variable-length byte slice: a length word followed by
+// the data and padding. While decoding, the slice is reallocated to the
+// received length; a nil slice decodes as nil only when the length is zero.
+func (s *Stream) Bytes(p *[]byte) error {
+	n := uint32(len(*p))
+	s.word(&n)
+	if s.err != nil {
+		return s.err
+	}
+	if s.op == Decode {
+		if n > MaxBytes {
+			s.SetErr(fmt.Errorf("%w: %d bytes", ErrTooLarge, n))
+			return s.err
+		}
+		if uint32(cap(*p)) >= n {
+			*p = (*p)[:n]
+		} else {
+			*p = make([]byte, n)
+		}
+	}
+	return s.Opaque(*p)
+}
+
+// String transfers a string as a counted sequence of bytes.
+func (s *Stream) String(v *string) error {
+	switch s.op {
+	case Encode:
+		b := []byte(*v)
+		s.Bytes(&b)
+	case Decode:
+		var b []byte
+		if s.Bytes(&b) == nil {
+			*v = string(b)
+		}
+	default:
+		s.SetErr(fmt.Errorf("xdr: invalid op %d", int(s.op)))
+	}
+	return s.err
+}
+
+// Len transfers an element count for a counted array, enforcing MaxElems on
+// decode. On encode the caller passes the count to write; on decode the
+// count is overwritten with the received value.
+func (s *Stream) Len(n *int) error {
+	x := uint32(*n)
+	s.word(&x)
+	if s.err != nil {
+		return s.err
+	}
+	if s.op == Decode {
+		if x > MaxElems {
+			s.SetErr(fmt.Errorf("%w: %d elements", ErrTooLarge, x))
+			return s.err
+		}
+		*n = int(x)
+	}
+	return s.err
+}

@@ -1,0 +1,469 @@
+package xdr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// roundTrip encodes with enc, then decodes into a fresh value with dec, and
+// returns the bytes produced.
+func encodeBuf(t *testing.T, enc func(s *Stream) error) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	s := NewEncoder(&buf)
+	if err := enc(s); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return &buf
+}
+
+func TestOpString(t *testing.T) {
+	if got := Encode.String(); got != "XDR_ENCODE" {
+		t.Errorf("Encode.String() = %q", got)
+	}
+	if got := Decode.String(); got != "XDR_DECODE" {
+		t.Errorf("Decode.String() = %q", got)
+	}
+	if got := Op(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestUint32RoundTrip(t *testing.T) {
+	for _, want := range []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Uint32(&v) })
+		if buf.Len() != 4 {
+			t.Fatalf("uint32 encoded to %d bytes, want 4", buf.Len())
+		}
+		var got uint32
+		if err := NewDecoder(buf).Uint32(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Errorf("round trip %#x: got %#x", want, got)
+		}
+	}
+}
+
+func TestUint32BigEndian(t *testing.T) {
+	v := uint32(0x01020304)
+	buf := encodeBuf(t, func(s *Stream) error { return s.Uint32(&v) })
+	want := []byte{1, 2, 3, 4}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("wire bytes = %v, want %v", buf.Bytes(), want)
+	}
+}
+
+func TestInt32RoundTrip(t *testing.T) {
+	for _, want := range []int32{0, 1, -1, math.MinInt32, math.MaxInt32} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Int32(&v) })
+		var got int32
+		if err := NewDecoder(buf).Int32(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Errorf("round trip %d: got %d", want, got)
+		}
+	}
+}
+
+func TestInt64RoundTrip(t *testing.T) {
+	for _, want := range []int64{0, -1, math.MinInt64, math.MaxInt64, 1 << 40} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Int64(&v) })
+		if buf.Len() != 8 {
+			t.Fatalf("int64 encoded to %d bytes, want 8", buf.Len())
+		}
+		var got int64
+		if err := NewDecoder(buf).Int64(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != want {
+			t.Errorf("round trip %d: got %d", want, got)
+		}
+	}
+}
+
+func TestIntAndUintRoundTrip(t *testing.T) {
+	iv := -123456789
+	buf := encodeBuf(t, func(s *Stream) error { return s.Int(&iv) })
+	var gotI int
+	if err := NewDecoder(buf).Int(&gotI); err != nil || gotI != -123456789 {
+		t.Errorf("int round trip: got %d, err %v", gotI, err)
+	}
+	uv := uint(0xdeadbeef)
+	buf = encodeBuf(t, func(s *Stream) error { return s.Uint(&uv) })
+	var gotU uint
+	if err := NewDecoder(buf).Uint(&gotU); err != nil || gotU != 0xdeadbeef {
+		t.Errorf("uint round trip: got %#x, err %v", gotU, err)
+	}
+}
+
+func TestShortRoundTrip(t *testing.T) {
+	for _, want := range []int16{0, -1, math.MinInt16, math.MaxInt16, 42} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Short(&v) })
+		if buf.Len() != 4 {
+			t.Fatalf("short encoded to %d bytes, want a full word", buf.Len())
+		}
+		var got int16
+		if err := NewDecoder(buf).Short(&got); err != nil || got != want {
+			t.Errorf("round trip %d: got %d err %v", want, got, err)
+		}
+	}
+}
+
+func TestUshortByteRoundTrip(t *testing.T) {
+	uv := uint16(65535)
+	buf := encodeBuf(t, func(s *Stream) error { return s.Ushort(&uv) })
+	var gotU uint16
+	if err := NewDecoder(buf).Ushort(&gotU); err != nil || gotU != 65535 {
+		t.Errorf("ushort round trip: got %d err %v", gotU, err)
+	}
+	bv := byte(0xab)
+	buf = encodeBuf(t, func(s *Stream) error { return s.Byte(&bv) })
+	var gotB byte
+	if err := NewDecoder(buf).Byte(&gotB); err != nil || gotB != 0xab {
+		t.Errorf("byte round trip: got %#x err %v", gotB, err)
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, want := range []bool{true, false} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Bool(&v) })
+		var got bool
+		if err := NewDecoder(buf).Bool(&got); err != nil || got != want {
+			t.Errorf("round trip %v: got %v err %v", want, got, err)
+		}
+	}
+}
+
+func TestBoolRejectsBadEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	v := uint32(2)
+	if err := NewEncoder(&buf).Uint32(&v); err != nil {
+		t.Fatal(err)
+	}
+	var got bool
+	if err := NewDecoder(&buf).Bool(&got); err == nil {
+		t.Error("decoding bool value 2 succeeded, want error")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, want := range []float64{0, 1.5, -2.75, math.Pi, math.Inf(1), math.SmallestNonzeroFloat64} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.Float64(&v) })
+		var got float64
+		if err := NewDecoder(buf).Float64(&got); err != nil || got != want {
+			t.Errorf("float64 round trip %v: got %v err %v", want, got, err)
+		}
+	}
+	f := float32(3.25)
+	buf := encodeBuf(t, func(s *Stream) error { return s.Float32(&f) })
+	var got32 float32
+	if err := NewDecoder(buf).Float32(&got32); err != nil || got32 != 3.25 {
+		t.Errorf("float32 round trip: got %v err %v", got32, err)
+	}
+}
+
+func TestFloatNaN(t *testing.T) {
+	v := math.NaN()
+	buf := encodeBuf(t, func(s *Stream) error { return s.Float64(&v) })
+	var got float64
+	if err := NewDecoder(buf).Float64(&got); err != nil || !math.IsNaN(got) {
+		t.Errorf("NaN round trip: got %v err %v", got, err)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, want := range []string{"", "a", "abc", "abcd", "hello, 世界", strings.Repeat("x", 1000)} {
+		v := want
+		buf := encodeBuf(t, func(s *Stream) error { return s.String(&v) })
+		if buf.Len()%4 != 0 {
+			t.Errorf("string %q encoding not word aligned: %d bytes", want, buf.Len())
+		}
+		var got string
+		if err := NewDecoder(buf).String(&got); err != nil || got != want {
+			t.Errorf("round trip %q: got %q err %v", want, got, err)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 255} {
+		want := make([]byte, n)
+		for i := range want {
+			want[i] = byte(i * 7)
+		}
+		v := append([]byte(nil), want...)
+		buf := encodeBuf(t, func(s *Stream) error { return s.Bytes(&v) })
+		var got []byte
+		if err := NewDecoder(buf).Bytes(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("round trip len %d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestBytesReusesCapacity(t *testing.T) {
+	src := []byte{1, 2, 3}
+	buf := encodeBuf(t, func(s *Stream) error { return s.Bytes(&src) })
+	dst := make([]byte, 0, 16)
+	if err := NewDecoder(buf).Bytes(&dst); err != nil {
+		t.Fatal(err)
+	}
+	if cap(dst) != 16 {
+		t.Errorf("decode reallocated despite capacity: cap=%d", cap(dst))
+	}
+	if !bytes.Equal(dst, src) {
+		t.Errorf("got %v want %v", dst, src)
+	}
+}
+
+func TestBytesLengthLimit(t *testing.T) {
+	var buf bytes.Buffer
+	huge := uint32(MaxBytes + 1)
+	if err := NewEncoder(&buf).Uint32(&huge); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	err := NewDecoder(&buf).Bytes(&got)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized length: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestLenLimit(t *testing.T) {
+	var buf bytes.Buffer
+	huge := uint32(MaxElems + 1)
+	if err := NewEncoder(&buf).Uint32(&huge); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	err := NewDecoder(&buf).Len(&n)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized count: err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestOpaquePadding(t *testing.T) {
+	p := []byte{9, 9, 9}
+	buf := encodeBuf(t, func(s *Stream) error { return s.Opaque(p) })
+	if buf.Len() != 4 {
+		t.Fatalf("3-byte opaque encoded to %d bytes, want 4", buf.Len())
+	}
+	got := make([]byte, 3)
+	if err := NewDecoder(buf).Opaque(got); err != nil || !bytes.Equal(got, p) {
+		t.Errorf("opaque round trip: got %v err %v", got, err)
+	}
+}
+
+func TestStickyErrorOnShortRead(t *testing.T) {
+	s := NewDecoder(bytes.NewReader([]byte{1, 2})) // truncated word
+	var v uint32
+	if err := s.Uint32(&v); err == nil {
+		t.Fatal("short read succeeded")
+	}
+	first := s.Err()
+	var w uint32
+	if err := s.Uint32(&w); !errors.Is(err, first) && err != first {
+		t.Errorf("error not sticky: %v then %v", first, err)
+	}
+	if w != 0 {
+		t.Errorf("value modified after error: %d", w)
+	}
+}
+
+func TestEncodeOnDecodeStreamFails(t *testing.T) {
+	s := NewDecoder(bytes.NewReader(nil))
+	// Force the encode path via Opaque, which writes in Encode mode only;
+	// instead check that a decode-mode stream with an empty reader errors.
+	var v uint32
+	if err := s.Uint32(&v); err == nil {
+		t.Error("decode from empty reader succeeded")
+	}
+	e := NewEncoder(io.Discard)
+	// A decode on an encoder must fail once the op dispatches to read.
+	var g uint32
+	e.op = Decode
+	if err := e.Uint32(&g); err == nil {
+		t.Error("decode on writer-only stream succeeded")
+	}
+}
+
+func TestSetErrFirstWins(t *testing.T) {
+	s := NewEncoder(io.Discard)
+	e1 := errors.New("first")
+	e2 := errors.New("second")
+	s.SetErr(e1)
+	s.SetErr(e2)
+	if s.Err() != e1 {
+		t.Errorf("Err() = %v, want first error", s.Err())
+	}
+	s.SetErr(nil)
+	if s.Err() != e1 {
+		t.Error("SetErr(nil) cleared the error")
+	}
+}
+
+func TestWrittenAndReadCount(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEncoder(&buf)
+	v := "abcde"
+	if err := e.String(&v); err != nil {
+		t.Fatal(err)
+	}
+	// 4 length + 5 data + 3 pad = 12.
+	if e.Written() != 12 {
+		t.Errorf("Written() = %d, want 12", e.Written())
+	}
+	d := NewDecoder(&buf)
+	var got string
+	if err := d.String(&got); err != nil {
+		t.Fatal(err)
+	}
+	if d.ReadCount() != 12 {
+		t.Errorf("ReadCount() = %d, want 12", d.ReadCount())
+	}
+}
+
+func TestInvalidOp(t *testing.T) {
+	s := &Stream{op: 0, w: io.Discard, r: bytes.NewReader(nil)}
+	var v uint32
+	if err := s.Uint32(&v); err == nil {
+		t.Error("invalid op succeeded")
+	}
+}
+
+// Property: every primitive filter is the identity under encode∘decode.
+func TestQuickPrimitivesRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	if err := quick.Check(func(want int64) bool {
+		v := want
+		var buf bytes.Buffer
+		if NewEncoder(&buf).Int64(&v) != nil {
+			return false
+		}
+		var got int64
+		return NewDecoder(&buf).Int64(&got) == nil && got == want
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(want string) bool {
+		v := want
+		var buf bytes.Buffer
+		if NewEncoder(&buf).String(&v) != nil {
+			return false
+		}
+		var got string
+		return NewDecoder(&buf).String(&got) == nil && got == want
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(want []byte) bool {
+		v := append([]byte(nil), want...)
+		var buf bytes.Buffer
+		if NewEncoder(&buf).Bytes(&v) != nil {
+			return false
+		}
+		var got []byte
+		if NewDecoder(&buf).Bytes(&got) != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+
+	if err := quick.Check(func(want float64) bool {
+		v := want
+		var buf bytes.Buffer
+		if NewEncoder(&buf).Float64(&v) != nil {
+			return false
+		}
+		var got float64
+		if NewDecoder(&buf).Float64(&got) != nil {
+			return false
+		}
+		return got == want || (math.IsNaN(got) && math.IsNaN(want))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: concatenated encodings decode in order (stream composition).
+func TestQuickSequenceRoundTrip(t *testing.T) {
+	f := func(a int32, b string, c bool, d []byte) bool {
+		var buf bytes.Buffer
+		e := NewEncoder(&buf)
+		av, bv, cv, dv := a, b, c, append([]byte(nil), d...)
+		e.Int32(&av)
+		e.String(&bv)
+		e.Bool(&cv)
+		e.Bytes(&dv)
+		if e.Err() != nil {
+			return false
+		}
+		dec := NewDecoder(&buf)
+		var ga int32
+		var gb string
+		var gc bool
+		var gd []byte
+		dec.Int32(&ga)
+		dec.String(&gb)
+		dec.Bool(&gc)
+		dec.Bytes(&gd)
+		return dec.Err() == nil && ga == a && gb == b && gc == c && bytes.Equal(gd, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The paper's Figure 3.2 bundler, transliterated: a single bidirectional
+// function bundles or unbundles a Point depending on the stream op,
+// allocating storage when unbundling into a nil pointer.
+type figPoint struct{ x, y, z int16 }
+
+func figPointBundler(s *Stream, p *figPoint) *figPoint {
+	if p == nil && s.Op() == Decode {
+		p = new(figPoint)
+	}
+	s.Short(&p.x)
+	s.Short(&p.y)
+	s.Short(&p.z)
+	return p
+}
+
+func TestFigure32BundlerStyle(t *testing.T) {
+	want := figPoint{x: 1, y: -2, z: 300}
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	in := want
+	figPointBundler(enc, &in)
+	if enc.Err() != nil {
+		t.Fatal(enc.Err())
+	}
+	dec := NewDecoder(&buf)
+	got := figPointBundler(dec, nil) // nil pointer: bundler allocates
+	if dec.Err() != nil {
+		t.Fatal(dec.Err())
+	}
+	if *got != want {
+		t.Errorf("got %+v want %+v", *got, want)
+	}
+}
