@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench
+
+# Tier-1 verification: everything must be green before a merge.
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-heavy packages additionally run under the race detector:
+# sessions, heartbeats, eviction and upcall queues all share state across
+# goroutines.
+race:
+	$(GO) test -race ./internal/core/... ./internal/upcall/...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -126,8 +126,15 @@ type UpcallRegistry = upcall.Registry
 const (
 	// UpcallDiscard throws unclaimed events away.
 	UpcallDiscard = upcall.Discard
-	// UpcallQueue keeps unclaimed events for later replay.
+	// UpcallQueue keeps unclaimed events for later replay; posting to a
+	// full queue is an error.
 	UpcallQueue = upcall.Queue
+	// UpcallDropOldest queues like UpcallQueue but a full queue evicts
+	// its oldest event instead of rejecting the new one.
+	UpcallDropOldest = upcall.DropOldest
+	// UpcallBlock queues like UpcallQueue but a Post against a full queue
+	// waits for a Drain, Replay or Register — backpressure, not loss.
+	UpcallBlock = upcall.Block
 )
 
 // NewUpcallRegistry returns an empty upcall registry.
@@ -136,7 +143,12 @@ func NewUpcallRegistry(opts ...upcall.Option) *UpcallRegistry {
 }
 
 // WithUpcallPolicy sets a registry's no-handler policy.
+// Example: clam.NewUpcallRegistry(clam.WithUpcallPolicy(clam.UpcallDropOldest)).
 var WithUpcallPolicy = upcall.WithPolicy
+
+// WithUpcallMaxQueue bounds each event queue of a registry.
+// Example: clam.NewUpcallRegistry(clam.WithUpcallMaxQueue(256)).
+var WithUpcallMaxQueue = upcall.WithMaxQueue
 
 // SimLink wraps a net.Conn with propagation latency and a bandwidth
 // ceiling, for emulating wide-area links.
@@ -176,36 +188,97 @@ func RegisterStatsClass(lib *Library) error { return core.RegisterStatsClass(lib
 // MetricsSnapshot is a point-in-time copy of a server's counters.
 type MetricsSnapshot = core.MetricsSnapshot
 
+// ClientMetricsSnapshot is a point-in-time copy of a client's
+// robustness counters (retries, timeouts, heartbeats), from
+// Client.Metrics.
+type ClientMetricsSnapshot = core.ClientMetricsSnapshot
+
+// RetryPolicy shapes client-side retries of idempotent-marked calls:
+// attempt budget, exponential backoff with a ceiling, and jitter.
+type RetryPolicy = core.RetryPolicy
+
+// DefaultRetryPolicy is the policy WithRetry uses when given a zero
+// Attempts count: 3 attempts, 50ms base backoff doubling to 1s, ±20%
+// jitter.
+var DefaultRetryPolicy = core.DefaultRetryPolicy
+
+// Call-failure sentinels, testable with errors.Is.
+var (
+	// ErrCallTimeout marks a synchronous call abandoned at its deadline;
+	// the only error the retry layer considers retryable.
+	ErrCallTimeout = core.ErrCallTimeout
+	// ErrServerUnresponsive marks a call failed because the client-side
+	// liveness window (WithClientHeartbeat) expired.
+	ErrServerUnresponsive = core.ErrServerUnresponsive
+)
+
 // Server options.
 var (
 	// WithUpcallTimeout bounds distributed-upcall waits.
+	// Example: clam.NewServer(lib, clam.WithUpcallTimeout(5*time.Second)).
 	WithUpcallTimeout = core.WithUpcallTimeout
 	// WithServerLog directs server diagnostics.
+	// Example: clam.NewServer(lib, clam.WithServerLog(log.Printf)).
 	WithServerLog = core.WithServerLog
 	// WithScheduler substitutes the server's task scheduler.
+	// Example: clam.NewServer(lib, clam.WithScheduler(clam.NewSched())).
 	WithScheduler = core.WithScheduler
 	// WithMaxClientUpcalls relaxes the one-active-upcall-per-client
 	// limit, the future-work extension §4.4 anticipates.
+	// Example: clam.NewServer(lib, clam.WithMaxClientUpcalls(4)).
 	WithMaxClientUpcalls = core.WithMaxClientUpcalls
+	// WithHeartbeat pings each session every interval on both channels
+	// and evicts clients silent for longer than the liveness window;
+	// zero interval (the default) disables heartbeats.
+	// Example: clam.NewServer(lib, clam.WithHeartbeat(2*time.Second, 10*time.Second)).
+	WithHeartbeat = core.WithHeartbeat
+	// WithMaxSessions caps concurrent client sessions; excess dials are
+	// refused at the handshake. Zero (the default) means unlimited.
+	// Example: clam.NewServer(lib, clam.WithMaxSessions(64)).
+	WithMaxSessions = core.WithMaxSessions
+	// WithSlowConsumerLimit evicts a client after n consecutive upcall
+	// transport failures (timeouts or disconnects). Zero disables.
+	// Example: clam.NewServer(lib, clam.WithSlowConsumerLimit(3)).
+	WithSlowConsumerLimit = core.WithSlowConsumerLimit
 )
 
 // Dial options.
 var (
 	// WithDialFunc substitutes the connection dialer.
+	// Example: clam.Dial("unix", path, clam.WithDialFunc(myDial)).
 	WithDialFunc = core.WithDialFunc
 	// WithoutClientBatching disables asynchronous call batching.
+	// Example: clam.Dial("unix", path, clam.WithoutClientBatching()).
 	WithoutClientBatching = core.WithoutClientBatching
 	// WithMaxBatch sets the batch auto-flush threshold.
+	// Example: clam.Dial("unix", path, clam.WithMaxBatch(64)).
 	WithMaxBatch = core.WithMaxBatch
-	// WithCallTimeout bounds synchronous call round trips.
+	// WithCallTimeout bounds synchronous call round trips; an expired
+	// call fails with ErrCallTimeout. Per-call deadlines come from
+	// Remote.CallCtx / Remote.CallIntoCtx.
+	// Example: clam.Dial("unix", path, clam.WithCallTimeout(3*time.Second)).
 	WithCallTimeout = core.WithCallTimeout
 	// WithClientLog directs client diagnostics.
+	// Example: clam.Dial("unix", path, clam.WithClientLog(log.Printf)).
 	WithClientLog = core.WithClientLog
 	// WithUpcallHandlers runs concurrent upcall-handler workers,
 	// pairing with WithMaxClientUpcalls.
+	// Example: clam.Dial("unix", path, clam.WithUpcallHandlers(4)).
 	WithUpcallHandlers = core.WithUpcallHandlers
+	// WithRetry re-sends calls to methods marked idempotent (see
+	// Remote.MarkIdempotent) when they time out, with exponential
+	// backoff; a zero-Attempts policy selects DefaultRetryPolicy.
+	// Example: clam.Dial("unix", path, clam.WithRetry(clam.RetryPolicy{Attempts: 3, Backoff: 50 * time.Millisecond})).
+	WithRetry = core.WithRetry
+	// WithClientHeartbeat pings the server every interval and fails all
+	// pending calls with ErrServerUnresponsive when nothing (pong or
+	// traffic) arrives within the liveness window; zero interval (the
+	// default) disables it.
+	// Example: clam.Dial("unix", path, clam.WithClientHeartbeat(2*time.Second, 10*time.Second)).
+	WithClientHeartbeat = core.WithClientHeartbeat
 )
 
 // WithoutTaskReuse disables the scheduler's task pool (the reuse
 // ablation's baseline).
+// Example: clam.NewSched(clam.WithoutTaskReuse()).
 var WithoutTaskReuse = task.WithoutReuse

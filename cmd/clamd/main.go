@@ -7,6 +7,10 @@
 //
 //	clamd -listen unix:/tmp/clam.sock
 //	clamd -listen tcp:127.0.0.1:7047 -width 640 -height 480
+//	clamd -listen tcp:0.0.0.0:7047 -heartbeat 2s -liveness 10s \
+//	      -max-sessions 64 -slow-consumer-limit 3
+//
+// See OPERATIONS.md for tuning guidance on the robustness flags.
 package main
 
 import (
@@ -29,6 +33,12 @@ func main() {
 	width := flag.Int("width", 640, "simulated display width")
 	height := flag.Int("height", 480, "simulated display height")
 	quiet := flag.Bool("quiet", false, "suppress per-session diagnostics")
+	upTimeout := flag.Duration("upcall-timeout", 0, "bound on each distributed-upcall wait (0 = default 30s)")
+	heartbeat := flag.Duration("heartbeat", 0, "interval between liveness pings to each client (0 = disabled)")
+	liveness := flag.Duration("liveness", 0, "silence window after which a client is evicted (0 = 3x -heartbeat)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited)")
+	slowLimit := flag.Int("slow-consumer-limit", 0, "evict a client after this many consecutive upcall failures (0 = disabled)")
+	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
 	flag.Parse()
 
 	network, addr, ok := strings.Cut(*listen, ":")
@@ -49,6 +59,21 @@ func main() {
 	opts := []clam.ServerOption{}
 	if *quiet {
 		opts = append(opts, clam.WithServerLog(func(string, ...any) {}))
+	}
+	if *upTimeout > 0 {
+		opts = append(opts, clam.WithUpcallTimeout(*upTimeout))
+	}
+	if *heartbeat > 0 {
+		opts = append(opts, clam.WithHeartbeat(*heartbeat, *liveness))
+	}
+	if *maxSessions > 0 {
+		opts = append(opts, clam.WithMaxSessions(*maxSessions))
+	}
+	if *slowLimit > 0 {
+		opts = append(opts, clam.WithSlowConsumerLimit(*slowLimit))
+	}
+	if *maxUpcalls > 0 {
+		opts = append(opts, clam.WithMaxClientUpcalls(*maxUpcalls))
 	}
 	srv := clam.NewServer(lib, opts...)
 
@@ -103,8 +128,16 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	m := srv.Metrics()
-	fmt.Printf("clamd: shutting down — %d sync + %d async calls in %d batches, %d upcalls (%d failed), %d loads, %d faults\n",
-		m.SyncCalls, m.AsyncCalls, m.Batches, m.Upcalls, m.UpcallFailures, m.Loads, m.Faults)
+	fmt.Printf("clamd: shutting down — %d sync + %d async calls in %d batches, %d upcalls (%d failed, %d timed out), %d loads, %d faults\n",
+		m.SyncCalls, m.AsyncCalls, m.Batches, m.Upcalls, m.UpcallFailures, m.UpcallTimeouts, m.Loads, m.Faults)
+	if m.Evictions > 0 || m.RejectedSessions > 0 {
+		fmt.Printf("clamd: robustness — %d clients evicted, %d sessions rejected\n",
+			m.Evictions, m.RejectedSessions)
+	}
+	if m.HeartbeatsSent > 0 {
+		fmt.Printf("clamd: heartbeats — %d sent, %d received\n",
+			m.HeartbeatsSent, m.HeartbeatsReceived)
+	}
 	if top := m.TopCalls(5); len(top) > 0 {
 		fmt.Printf("clamd: busiest methods: %v\n", top)
 	}

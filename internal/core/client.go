@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"reflect"
 	"sync"
@@ -42,6 +44,20 @@ type Client struct {
 	batching    bool
 	maxBatch    int
 	callTimeout time.Duration
+	retry       RetryPolicy
+
+	// Client-side liveness: frame arrival times per channel, heartbeat
+	// configuration, and whether the server was declared unresponsive.
+	hbInterval time.Duration
+	hbWindow   time.Duration
+	lastRPC    atomic.Int64
+	lastUp     atomic.Int64
+	hbLost     atomic.Bool
+
+	// Client-side robustness counters (see ClientMetricsSnapshot).
+	nRetries    atomic.Uint64
+	nTimeouts   atomic.Uint64
+	nHeartbeats atomic.Uint64
 
 	procMu   sync.Mutex
 	procs    map[uint64]reflect.Value
@@ -68,8 +84,56 @@ type dialCfg struct {
 	batching      bool
 	maxBatch      int
 	callTimeout   time.Duration
+	retry         RetryPolicy
+	hbInterval    time.Duration
+	hbWindow      time.Duration
 	upcallWorkers int
 	logf          func(string, ...any)
+}
+
+// RetryPolicy configures client-side retry of idempotent-marked calls that
+// time out. Attempts counts every try including the first; Backoff is the
+// delay before the first retry, doubling each further retry up to
+// MaxBackoff; Jitter (0..1) randomizes each delay by ±that fraction so a
+// fleet of clients does not retry in lockstep.
+type RetryPolicy struct {
+	Attempts   int
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	Jitter     float64
+}
+
+// DefaultRetryPolicy is the policy WithRetry applies when given a zero
+// Attempts count: three tries, 50ms initial backoff, 1s cap, 20% jitter.
+var DefaultRetryPolicy = RetryPolicy{
+	Attempts:   3,
+	Backoff:    50 * time.Millisecond,
+	MaxBackoff: time.Second,
+	Jitter:     0.2,
+}
+
+// delay returns the backoff before retry attempt a (a=1 is the first
+// retry), with jitter applied.
+func (p RetryPolicy) delay(a int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < a; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		f := 1 + p.Jitter*(2*rand.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // WithDialFunc substitutes the connection dialer — how the benchmarks
@@ -94,9 +158,47 @@ func WithMaxBatch(n int) DialOption {
 	}
 }
 
-// WithCallTimeout bounds each synchronous call round trip.
+// WithCallTimeout bounds each synchronous call round trip. A call that
+// sees no reply within d fails with an error wrapping ErrCallTimeout
+// (and, if marked idempotent under a WithRetry policy, is retried).
+// Zero disables the per-call deadline.
 func WithCallTimeout(d time.Duration) DialOption {
 	return func(c *dialCfg) { c.callTimeout = d }
+}
+
+// WithRetry enables automatic retry of timed-out synchronous calls on
+// methods the application marked idempotent (Remote.MarkIdempotent). Only
+// timeouts are retried: an application error or dispatch error means the
+// server heard the call, and a transport write failure means the
+// connection is gone. A zero-Attempts policy selects DefaultRetryPolicy.
+func WithRetry(p RetryPolicy) DialOption {
+	return func(c *dialCfg) {
+		if p.Attempts <= 0 {
+			p = DefaultRetryPolicy
+		}
+		if p.Backoff <= 0 {
+			p.Backoff = DefaultRetryPolicy.Backoff
+		}
+		c.retry = p
+	}
+}
+
+// WithClientHeartbeat makes the client ping the server on both channels
+// every interval and declare the server unresponsive — failing all pending
+// and future calls with ErrServerUnresponsive — when no traffic arrives
+// within the window. window values below interval are raised to
+// 3×interval. Zero interval (the default) disables client heartbeats.
+func WithClientHeartbeat(interval, window time.Duration) DialOption {
+	return func(c *dialCfg) {
+		if interval <= 0 {
+			c.hbInterval, c.hbWindow = 0, 0
+			return
+		}
+		if window < interval {
+			window = 3 * interval
+		}
+		c.hbInterval, c.hbWindow = interval, window
+	}
 }
 
 // WithClientLog directs client diagnostics.
@@ -163,10 +265,16 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		batching:    cfg.batching,
 		maxBatch:    cfg.maxBatch,
 		callTimeout: cfg.callTimeout,
+		retry:       cfg.retry,
+		hbInterval:  cfg.hbInterval,
+		hbWindow:    cfg.hbWindow,
 		procs:       make(map[uint64]reflect.Value),
 		closedCh:    make(chan struct{}),
 		logf:        cfg.logf,
 	}
+	now := time.Now().UnixNano()
+	c.lastRPC.Store(now)
+	c.lastUp.Store(now)
 	if cfg.upcallWorkers > 1 {
 		c.upWork = make(chan *wire.Msg)
 		for i := 0; i < cfg.upcallWorkers; i++ {
@@ -188,7 +296,45 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		defer c.wg.Done()
 		c.upcallReadLoop()
 	}()
+	if c.hbInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.heartbeatLoop()
+		}()
+	}
 	return c, nil
+}
+
+// heartbeatLoop pings the server on both channels and tears the client
+// down when the liveness window passes with no traffic — turning a wedged
+// server into prompt ErrServerUnresponsive failures instead of per-call
+// timeouts.
+func (c *Client) heartbeatLoop() {
+	ticker := time.NewTicker(c.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closedCh:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		window := c.hbWindow.Nanoseconds()
+		if now-c.lastRPC.Load() > window || now-c.lastUp.Load() > window {
+			c.hbLost.Store(true)
+			c.logf("clam: client: server unresponsive for > %v; closing", c.hbWindow)
+			// Close the conns (not Close(): that would deadlock waiting on
+			// this goroutine); the read loops exit and fail all pending.
+			c.rpcConn.Close()
+			c.upConn.Close()
+			c.failAllPending()
+			return
+		}
+		c.rpcConn.Send(&wire.Msg{Type: wire.MsgPing})
+		c.upConn.Send(&wire.Msg{Type: wire.MsgPing})
+		c.nHeartbeats.Add(2)
+	}
 }
 
 func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
@@ -224,6 +370,32 @@ func (c *Client) SessionStats() (sent, received uint64) {
 	s1, r1 := c.rpcConn.Stats()
 	s2, r2 := c.upConn.Stats()
 	return s1 + s2, r1 + r2
+}
+
+// ClientMetricsSnapshot is a point-in-time copy of the client's
+// robustness counters, the peer of the server's MetricsSnapshot.
+type ClientMetricsSnapshot struct {
+	// Retries counts retry attempts made under the WithRetry policy
+	// (not counting each call's first attempt).
+	Retries uint64
+	// Timeouts counts synchronous calls that hit the WithCallTimeout
+	// bound (including attempts that were subsequently retried).
+	Timeouts uint64
+	// HeartbeatsSent counts MsgPing frames sent by WithClientHeartbeat.
+	HeartbeatsSent uint64
+	// ServerUnresponsive reports whether the heartbeat declared the
+	// server dead and tore the connection down.
+	ServerUnresponsive bool
+}
+
+// Metrics snapshots the client's robustness counters.
+func (c *Client) Metrics() ClientMetricsSnapshot {
+	return ClientMetricsSnapshot{
+		Retries:            c.nRetries.Load(),
+		Timeouts:           c.nTimeouts.Load(),
+		HeartbeatsSent:     c.nHeartbeats.Load(),
+		ServerUnresponsive: c.hbLost.Load(),
+	}
 }
 
 // Registry exposes the client's bundler registry for custom bundlers.
@@ -279,6 +451,7 @@ func (c *Client) rpcReadLoop() {
 			c.failAllPending()
 			return
 		}
+		c.lastRPC.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgReply, wire.MsgLoadReply, wire.MsgSyncReply:
 			c.pmu.Lock()
@@ -290,6 +463,13 @@ func (c *Client) rpcReadLoop() {
 			if ok {
 				ch <- msg
 			}
+		case wire.MsgPing:
+			if err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+				c.failAllPending()
+				return
+			}
+		case wire.MsgPong:
+			// Liveness already noted above.
 		case wire.MsgBye:
 			c.failAllPending()
 			return
@@ -312,6 +492,7 @@ func (c *Client) upcallReadLoop() {
 		if err != nil {
 			return
 		}
+		c.lastUp.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgUpcall:
 			if c.upWork != nil {
@@ -319,6 +500,12 @@ func (c *Client) upcallReadLoop() {
 			} else {
 				c.handleUpcall(msg)
 			}
+		case wire.MsgPing:
+			if err := c.upConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+				return
+			}
+		case wire.MsgPong:
+			// Liveness already noted above.
 		case wire.MsgError:
 			var report FaultReport
 			if err := report.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
@@ -425,6 +612,15 @@ func (c *Client) ProcCount() int {
 // ErrClientClosed reports use of a closed client.
 var ErrClientClosed = errors.New("clam: client closed")
 
+// ErrCallTimeout is wrapped by errors from synchronous calls that saw no
+// reply within the call timeout; errors.Is(err, ErrCallTimeout) selects
+// the retryable failures.
+var ErrCallTimeout = errors.New("clam: call timed out")
+
+// ErrServerUnresponsive reports that the client's heartbeat declared the
+// server dead (WithClientHeartbeat) and tore the connection down.
+var ErrServerUnresponsive = errors.New("clam: server unresponsive (liveness window missed)")
+
 // encodeEntry bundles one call entry (header + tagged arguments) into a
 // scratch buffer so a mid-encode failure cannot corrupt the batch.
 func (c *Client) encodeEntry(seq uint64, h handle.Handle, method string, args []any) ([]byte, error) {
@@ -499,7 +695,7 @@ func (c *Client) Sync() error {
 		c.disarm(seq)
 		return err
 	}
-	_, err = c.wait(seq, ch)
+	_, err = c.wait(context.Background(), seq, ch)
 	return err
 }
 
@@ -517,22 +713,33 @@ func (c *Client) disarm(seq uint64) {
 	c.pmu.Unlock()
 }
 
-func (c *Client) wait(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
+func (c *Client) wait(ctx context.Context, seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
 	var timeout <-chan time.Time
 	if c.callTimeout > 0 {
 		t := time.NewTimer(c.callTimeout)
 		defer t.Stop()
 		timeout = t.C
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	select {
 	case msg, ok := <-ch:
 		if !ok || msg == nil {
+			if c.hbLost.Load() {
+				return nil, ErrServerUnresponsive
+			}
 			return nil, ErrClientClosed
 		}
 		return msg, nil
 	case <-timeout:
 		c.disarm(seq)
-		return nil, fmt.Errorf("clam: call %d timed out after %v", seq, c.callTimeout)
+		c.nTimeouts.Add(1)
+		return nil, fmt.Errorf("clam: call %d after %v: %w", seq, c.callTimeout, ErrCallTimeout)
+	case <-done:
+		c.disarm(seq)
+		return nil, ctx.Err()
 	case <-c.closedCh:
 		c.disarm(seq)
 		return nil, ErrClientClosed
@@ -543,6 +750,46 @@ func (c *Client) wait(seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
 // travel in the same message, preserving order, and the reply's
 // out-parameters are applied to pointer arguments.
 func (c *Client) call(h handle.Handle, method string, rets []any, args []any) error {
+	return c.callRetry(context.Background(), h, method, rets, args, false)
+}
+
+// callRetry wraps callOnce in the client's retry policy. Only calls the
+// application marked idempotent are retried, and only on timeout: a
+// timeout is the one failure where the caller cannot know whether the
+// server executed the call, so re-execution must be harmless, and only
+// the application can promise that.
+func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, rets []any, args []any, idempotent bool) error {
+	attempts := 1
+	if idempotent && c.retry.Attempts > 1 {
+		attempts = c.retry.Attempts
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.nRetries.Add(1)
+			t := time.NewTimer(c.retry.delay(a))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-c.closedCh:
+				t.Stop()
+				return ErrClientClosed
+			}
+		}
+		err = c.callOnce(ctx, h, method, rets, args)
+		if err == nil || !errors.Is(err, ErrCallTimeout) {
+			return err
+		}
+	}
+	return err
+}
+
+// callOnce performs one attempt: encode, arm, flush, wait, decode. Each
+// attempt uses a fresh sequence number, so a late reply to an abandoned
+// attempt is discarded rather than mistaken for the retry's answer.
+func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, rets []any, args []any) error {
 	seq := c.seq.Add(1)
 	entry, err := c.encodeEntry(seq, h, method, args)
 	if err != nil {
@@ -557,7 +804,7 @@ func (c *Client) call(h handle.Handle, method string, rets []any, args []any) er
 		c.disarm(seq)
 		return err
 	}
-	msg, err := c.wait(seq, ch)
+	msg, err := c.wait(ctx, seq, ch)
 	if err != nil {
 		return err
 	}
@@ -671,7 +918,7 @@ func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody,
 		c.disarm(seq)
 		return nil, err
 	}
-	msg, err := c.wait(seq, ch)
+	msg, err := c.wait(context.Background(), seq, ch)
 	if err != nil {
 		return nil, err
 	}
@@ -753,6 +1000,10 @@ type Remote struct {
 	h       handle.Handle
 	classID uint32
 	version uint32
+
+	// idem holds the method names the application marked idempotent
+	// (method string → struct{}); only those are retried under WithRetry.
+	idem sync.Map
 }
 
 // Handle exposes the capability.
@@ -767,17 +1018,44 @@ func (r *Remote) Version() uint32 { return r.version }
 // Client returns the owning client.
 func (r *Remote) Client() *Client { return r.c }
 
+// MarkIdempotent declares that the named methods may safely execute more
+// than once, opting them into the client's WithRetry policy. Returns r
+// for chaining: obj.MarkIdempotent("Total", "Get").
+func (r *Remote) MarkIdempotent(methods ...string) *Remote {
+	for _, m := range methods {
+		r.idem.Store(m, struct{}{})
+	}
+	return r
+}
+
+func (r *Remote) isIdempotent(method string) bool {
+	_, ok := r.idem.Load(method)
+	return ok
+}
+
 // Call synchronously invokes method on the remote object. Pointer
 // arguments receive the server's out/inout updates; results, if any, are
 // discarded — use CallInto to receive them.
 func (r *Remote) Call(method string, args ...any) error {
-	return r.c.call(r.h, method, nil, args)
+	return r.c.callRetry(context.Background(), r.h, method, nil, args, r.isIdempotent(method))
 }
 
 // CallInto synchronously invokes method, decoding each result into the
 // corresponding non-nil pointer in rets.
 func (r *Remote) CallInto(method string, rets []any, args ...any) error {
-	return r.c.call(r.h, method, rets, args)
+	return r.c.callRetry(context.Background(), r.h, method, rets, args, r.isIdempotent(method))
+}
+
+// CallCtx is Call with a per-call deadline or cancellation: the call
+// fails with ctx.Err() once ctx is done, in addition to the client-wide
+// WithCallTimeout bound.
+func (r *Remote) CallCtx(ctx context.Context, method string, args ...any) error {
+	return r.c.callRetry(ctx, r.h, method, nil, args, r.isIdempotent(method))
+}
+
+// CallIntoCtx is CallInto with a per-call context.
+func (r *Remote) CallIntoCtx(ctx context.Context, method string, rets []any, args ...any) error {
+	return r.c.callRetry(ctx, r.h, method, rets, args, r.isIdempotent(method))
 }
 
 // Async queues an asynchronous invocation: no reply, batched with other

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Server instrumentation. The paper's group built IPS, an "interactive
@@ -11,68 +12,89 @@ import (
 // this kind of counting inside the server. Metrics are cheap counters
 // updated on the dispatch paths and snapshotted on demand — clamd exposes
 // them and tests assert against them.
+//
+// Scalar counters are atomics and the per-method map is sharded by a
+// string hash, so counting on the hot dispatch path never funnels every
+// session through one mutex.
 
-// metrics is the live counter set; all fields guarded by mu.
+// callShards is the number of per-method map shards; a power of two so
+// the hash can be masked.
+const callShards = 16
+
+type callShard struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// metrics is the live counter set.
 type metrics struct {
-	mu           sync.Mutex
-	calls        map[string]uint64 // "class.Method" → count
-	syncCalls    uint64
-	asyncCalls   uint64
-	batches      uint64
-	upcalls      uint64
-	upcallFails  uint64
-	faults       uint64
-	loads        uint64
-	faultReports uint64
+	syncCalls      atomic.Uint64
+	asyncCalls     atomic.Uint64
+	batches        atomic.Uint64
+	upcalls        atomic.Uint64
+	upcallFails    atomic.Uint64
+	upcallTimeouts atomic.Uint64
+	faults         atomic.Uint64
+	loads          atomic.Uint64
+	faultReports   atomic.Uint64
+	evictions      atomic.Uint64
+	rejectedSess   atomic.Uint64
+	heartbeatsSent atomic.Uint64
+	heartbeatsRecv atomic.Uint64
+
+	shards [callShards]callShard
 }
 
 func newMetrics() *metrics {
-	return &metrics{calls: make(map[string]uint64)}
+	m := &metrics{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]uint64)
+	}
+	return m
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined to keep countCall allocation-free.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
 }
 
 func (m *metrics) countCall(class, method string, sync bool) {
-	m.mu.Lock()
-	m.calls[class+"."+method]++
+	key := class + "." + method
+	sh := &m.shards[fnv1a(key)&(callShards-1)]
+	sh.mu.Lock()
+	sh.m[key]++
+	sh.mu.Unlock()
 	if sync {
-		m.syncCalls++
+		m.syncCalls.Add(1)
 	} else {
-		m.asyncCalls++
+		m.asyncCalls.Add(1)
 	}
-	m.mu.Unlock()
 }
 
-func (m *metrics) countBatch() {
-	m.mu.Lock()
-	m.batches++
-	m.mu.Unlock()
-}
+func (m *metrics) countBatch() { m.batches.Add(1) }
 
 func (m *metrics) countUpcall(failed bool) {
-	m.mu.Lock()
-	m.upcalls++
+	m.upcalls.Add(1)
 	if failed {
-		m.upcallFails++
+		m.upcallFails.Add(1)
 	}
-	m.mu.Unlock()
 }
 
-func (m *metrics) countFault() {
-	m.mu.Lock()
-	m.faults++
-	m.mu.Unlock()
+func (m *metrics) countUpcallTimeout() { m.upcallTimeouts.Add(1) }
+func (m *metrics) countFault()         { m.faults.Add(1) }
+func (m *metrics) countLoad()          { m.loads.Add(1) }
+func (m *metrics) countFaultReport()   { m.faultReports.Add(1) }
+func (m *metrics) countEviction()      { m.evictions.Add(1) }
+func (m *metrics) countRejected()      { m.rejectedSess.Add(1) }
+func (m *metrics) countHeartbeat(n int) {
+	m.heartbeatsSent.Add(uint64(n))
 }
-
-func (m *metrics) countLoad() {
-	m.mu.Lock()
-	m.loads++
-	m.mu.Unlock()
-}
-
-func (m *metrics) countFaultReport() {
-	m.mu.Lock()
-	m.faultReports++
-	m.mu.Unlock()
-}
+func (m *metrics) countHeartbeatRecv() { m.heartbeatsRecv.Add(1) }
 
 // MetricsSnapshot is a point-in-time copy of the server's counters.
 type MetricsSnapshot struct {
@@ -85,11 +107,22 @@ type MetricsSnapshot struct {
 	// Upcalls counts distributed upcalls initiated; UpcallFailures those
 	// that ended in timeout, disconnect or a handler error.
 	Upcalls, UpcallFailures uint64
+	// UpcallTimeouts counts the subset of upcall failures caused by the
+	// liveness timeout (WithUpcallTimeout) expiring.
+	UpcallTimeouts uint64
 	// Faults counts panics caught in loaded code; FaultReports the error
 	// upcalls sent for them.
 	Faults, FaultReports uint64
 	// Loads counts load-protocol operations that succeeded.
 	Loads uint64
+	// Evictions counts sessions the server terminated for cause: a missed
+	// liveness window or a slow upcall consumer.
+	Evictions uint64
+	// RejectedSessions counts connections refused by WithMaxSessions.
+	RejectedSessions uint64
+	// HeartbeatsSent and HeartbeatsReceived count MsgPing frames sent and
+	// MsgPing/MsgPong frames answered across all sessions.
+	HeartbeatsSent, HeartbeatsReceived uint64
 }
 
 // TopCalls returns the busiest methods, most-called first, at most n.
@@ -121,21 +154,29 @@ func (s MetricsSnapshot) TopCalls(n int) []string {
 // Metrics snapshots the server's counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	m := s.metrics
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	calls := make(map[string]uint64, len(m.calls))
-	for k, v := range m.calls {
-		calls[k] = v
+	calls := make(map[string]uint64)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			calls[k] = v
+		}
+		sh.mu.Unlock()
 	}
 	return MetricsSnapshot{
-		Calls:          calls,
-		SyncCalls:      m.syncCalls,
-		AsyncCalls:     m.asyncCalls,
-		Batches:        m.batches,
-		Upcalls:        m.upcalls,
-		UpcallFailures: m.upcallFails,
-		Faults:         m.faults,
-		FaultReports:   m.faultReports,
-		Loads:          m.loads,
+		Calls:              calls,
+		SyncCalls:          m.syncCalls.Load(),
+		AsyncCalls:         m.asyncCalls.Load(),
+		Batches:            m.batches.Load(),
+		Upcalls:            m.upcalls.Load(),
+		UpcallFailures:     m.upcallFails.Load(),
+		UpcallTimeouts:     m.upcallTimeouts.Load(),
+		Faults:             m.faults.Load(),
+		FaultReports:       m.faultReports.Load(),
+		Loads:              m.loads.Load(),
+		Evictions:          m.evictions.Load(),
+		RejectedSessions:   m.rejectedSess.Load(),
+		HeartbeatsSent:     m.heartbeatsSent.Load(),
+		HeartbeatsReceived: m.heartbeatsRecv.Load(),
 	}
 }

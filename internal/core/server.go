@@ -40,11 +40,19 @@ type Server struct {
 	stubs     map[uint32]*rpc.ClassStubs // class id → compiled stubs
 	closed    bool
 
-	wg sync.WaitGroup // accept loops and connection readers
+	wg sync.WaitGroup // accept loops, connection readers, heartbeat loops
 
 	upcallTimeout    time.Duration
 	maxClientUpcalls int
 	logf             func(format string, args ...any)
+
+	// Robustness knobs: heartbeat cadence and liveness window (zero
+	// disables heartbeats), the session-count ceiling, and how many
+	// consecutive upcall failures mark a client a slow consumer.
+	hbInterval        time.Duration
+	hbWindow          time.Duration
+	maxSessions       int
+	slowConsumerLimit int
 
 	metrics *metrics
 }
@@ -84,6 +92,52 @@ func WithServerLog(f func(string, ...any)) ServerOption {
 // task.WithoutReuse for the reuse ablation.
 func WithScheduler(sched *task.Sched) ServerOption {
 	return func(s *Server) { s.sched = sched }
+}
+
+// WithHeartbeat enables liveness checking on both per-client streams: the
+// server pings every interval and evicts a session once no traffic has
+// arrived on one of its channels for the given window. The eviction
+// cancels any server task parked on an upcall to that client (counted as
+// an upcall failure) and sends the client a final FaultReport notice.
+// window values below interval are raised to 3×interval. A zero interval
+// (the default) disables heartbeats, preserving the paper's
+// cooperative-client trust model.
+func WithHeartbeat(interval, window time.Duration) ServerOption {
+	return func(s *Server) {
+		if interval <= 0 {
+			s.hbInterval, s.hbWindow = 0, 0
+			return
+		}
+		if window < interval {
+			window = 3 * interval
+		}
+		s.hbInterval, s.hbWindow = interval, window
+	}
+}
+
+// WithMaxSessions caps concurrently connected clients; further connection
+// attempts are refused at the handshake (counted in
+// MetricsSnapshot.RejectedSessions). Zero, the default, means unlimited.
+func WithMaxSessions(n int) ServerOption {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.maxSessions = n
+	}
+}
+
+// WithSlowConsumerLimit evicts a client after n consecutive failed
+// distributed upcalls (timeouts or transport errors) — the graceful-
+// degradation guard against a client whose upcall task has wedged while
+// its connections stay up. Zero, the default, disables the guard.
+func WithSlowConsumerLimit(n int) ServerOption {
+	return func(s *Server) {
+		if n < 0 {
+			n = 0
+		}
+		s.slowConsumerLimit = n
+	}
 }
 
 // NewServer returns a server drawing loadable classes from lib.
@@ -335,6 +389,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 			s.dropSession(sess)
 			return
 		}
+		sess.startHeartbeat()
 		sess.rpcReadLoop()
 		s.dropSession(sess)
 	case roleUpcall:
@@ -353,6 +408,9 @@ func (s *Server) handleConn(c *wire.Conn) {
 			return
 		}
 		sess.upcallReadLoop()
+		// The upcall channel is gone; any server task parked on an upcall
+		// to this client would otherwise wait out the full upcall timeout.
+		sess.upcallConnLost()
 	default:
 		c.Close()
 	}
@@ -371,6 +429,11 @@ func (s *Server) newSession(c *wire.Conn) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		return nil
+	}
+	if s.maxSessions > 0 && len(s.sessions) >= s.maxSessions {
+		s.metrics.countRejected()
+		s.logf("clam: refusing session: at max-sessions limit %d", s.maxSessions)
 		return nil
 	}
 	s.nextSess++

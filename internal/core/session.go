@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clam/internal/bundle"
@@ -59,6 +60,15 @@ type session struct {
 	dispatching bool
 	owner       *task.Task
 
+	// Liveness state: the arrival time (unix nanos) of the most recent
+	// frame on each channel. lastUp is zero until the upcall channel
+	// attaches. slowFails counts consecutive failed upcalls for the
+	// slow-consumer guard; evicting makes eviction once-only.
+	lastRPC   atomic.Int64
+	lastUp    atomic.Int64
+	slowFails atomic.Int32
+	evicting  atomic.Bool
+
 	closeOnce sync.Once
 	closedCh  chan struct{}
 }
@@ -73,7 +83,7 @@ type upcallWait struct {
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
-	return &session{
+	sess := &session{
 		id:       id,
 		srv:      srv,
 		rpcConn:  rpcConn,
@@ -82,6 +92,8 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 		waits:    make(map[uint64]*upcallWait),
 		closedCh: make(chan struct{}),
 	}
+	sess.lastRPC.Store(time.Now().UnixNano())
+	return sess
 }
 
 // acquireUpcallGate claims an active-upcall slot, waiting in a token-safe
@@ -139,9 +151,17 @@ func (sess *session) attachUpcallConn(c *wire.Conn) bool {
 		sess.upMu.Lock()
 		sess.upConn = c
 		sess.upMu.Unlock()
+		sess.lastUp.Store(time.Now().UnixNano())
 		ok = true
 	})
 	return ok
+}
+
+// upcallConnLost runs when the upcall channel's read loop exits: any task
+// parked on an upcall reply will never get one, so fail the waits now
+// rather than letting them ride out the upcall timeout.
+func (sess *session) upcallConnLost() {
+	sess.deliverUpcallReply(0, nil, true)
 }
 
 func (sess *session) close() {
@@ -177,9 +197,17 @@ func (sess *session) rpcReadLoop() {
 		if err != nil {
 			return
 		}
+		sess.lastRPC.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
 			sess.enqueue(msg)
+		case wire.MsgPing:
+			sess.srv.metrics.countHeartbeatRecv()
+			if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+				return
+			}
+		case wire.MsgPong:
+			sess.srv.metrics.countHeartbeatRecv()
 		case wire.MsgBye:
 			return
 		default:
@@ -196,15 +224,97 @@ func (sess *session) upcallReadLoop() {
 		if err != nil {
 			return
 		}
+		sess.lastUp.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgUpcallReply:
 			sess.deliverUpcallReply(msg.Seq, msg, false)
+		case wire.MsgPing:
+			sess.srv.metrics.countHeartbeatRecv()
+			if err := c.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+				return
+			}
+		case wire.MsgPong:
+			sess.srv.metrics.countHeartbeatRecv()
 		case wire.MsgBye:
 			return
 		default:
 			sess.srv.logf("clam: session %d: unexpected %v on upcall channel", sess.id, msg.Type)
 		}
 	}
+}
+
+// --- liveness ---------------------------------------------------------------
+
+// startHeartbeat launches the per-session liveness loop if the server was
+// configured with WithHeartbeat. It pings both channels every interval and
+// evicts the session when either channel has been silent past the window.
+func (sess *session) startHeartbeat() {
+	if sess.srv.hbInterval <= 0 {
+		return
+	}
+	sess.srv.wg.Add(1)
+	go func() {
+		defer sess.srv.wg.Done()
+		sess.heartbeatLoop()
+	}()
+}
+
+func (sess *session) heartbeatLoop() {
+	ticker := time.NewTicker(sess.srv.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sess.closedCh:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		window := sess.srv.hbWindow.Nanoseconds()
+		if now-sess.lastRPC.Load() > window {
+			sess.evict("liveness window missed on rpc channel")
+			return
+		}
+		if up := sess.lastUp.Load(); up != 0 && now-up > window {
+			sess.evict("liveness window missed on upcall channel")
+			return
+		}
+		sent := 0
+		if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+			sent++
+		}
+		sess.upMu.Lock()
+		up := sess.upConn
+		sess.upMu.Unlock()
+		if up != nil {
+			if err := up.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+				sent++
+			}
+		}
+		sess.srv.metrics.countHeartbeat(sent)
+	}
+}
+
+// evict terminates the session for cause: a final FaultReport notice goes
+// out on the upcall channel (best effort — the client may be the reason we
+// are here), every parked upcall wait is failed so server tasks unblock,
+// and the session is dropped. Idempotent.
+func (sess *session) evict(reason string) {
+	if !sess.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	sess.srv.metrics.countEviction()
+	sess.srv.logf("clam: session %d: evicted: %s", sess.id, reason)
+	sess.upMu.Lock()
+	up := sess.upConn
+	sess.upMu.Unlock()
+	if up != nil {
+		report := FaultReport{Class: "clam.session", Method: "evict", Msg: reason}
+		var body bytesBuf
+		if err := report.bundle(xdr.NewEncoder(&body)); err == nil {
+			up.Send(&wire.Msg{Type: wire.MsgError, Body: body.b})
+		}
+	}
+	sess.srv.dropSession(sess)
 }
 
 // --- dispatcher -----------------------------------------------------------
@@ -585,11 +695,13 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	}
 
 	var reply *wire.Msg
+	var timedOut atomic.Bool
 	if cur != nil {
 		// Hand off dispatch duty so this session's queue keeps draining
 		// while we wait for the client task.
 		sess.releaseDispatch()
 		timer := time.AfterFunc(sess.srv.upcallTimeout, func() {
+			timedOut.Store(true)
 			sess.deliverUpcallReply(seq, nil, true)
 		})
 		cur.Block(w.ev)
@@ -601,13 +713,21 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 		select {
 		case reply = <-w.ch:
 		case <-time.After(sess.srv.upcallTimeout):
+			timedOut.Store(true)
 			sess.deliverUpcallReply(seq, nil, true) // disarm the slot
 		case <-sess.closedCh:
 		}
 	}
 	if reply == nil {
+		if timedOut.Load() {
+			sess.srv.metrics.countUpcallTimeout()
+		}
+		sess.noteUpcallFailure()
 		return nil, fmt.Errorf("clam: upcall %d to session %d failed (timeout or disconnect)", seq, sess.id)
 	}
+	// The client answered; whatever the payload says, it is not a slow
+	// consumer.
+	sess.slowFails.Store(0)
 
 	dec := xdr.NewDecoder(byteReader(reply.Body))
 	rets, appErr, err := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dec, ft)
@@ -619,6 +739,20 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	}
 	failed = false
 	return rets, nil
+}
+
+// noteUpcallFailure records one transport-level upcall failure (no reply
+// arrived) and evicts the session once the consecutive-failure count
+// reaches the server's slow-consumer limit. The eviction runs on its own
+// goroutine: the caller may be a task holding the scheduler's run token,
+// and eviction closes connections, which can block.
+func (sess *session) noteUpcallFailure() {
+	n := sess.slowFails.Add(1)
+	limit := sess.srv.slowConsumerLimit
+	if limit <= 0 || int(n) < limit {
+		return
+	}
+	go sess.evict(fmt.Sprintf("slow consumer: %d consecutive upcall failures", n))
 }
 
 // deliverUpcallReply completes an armed wait slot. cancel delivers a nil

@@ -1,0 +1,108 @@
+package upcall
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Graceful-degradation policies: bounded queues under overload.
+
+func TestDropOldestEvictsFront(t *testing.T) {
+	r := NewRegistry(WithPolicy(DropOldest), WithMaxQueue(3))
+	for i := 0; i < 5; i++ {
+		if _, err := r.Post("ev", i); err != nil {
+			t.Fatalf("post %d: %v", i, err)
+		}
+	}
+	if got := r.Queued("ev"); got != 3 {
+		t.Fatalf("queued = %d, want 3", got)
+	}
+	q := r.Drain("ev")
+	// Events 0 and 1 were evicted; 2, 3, 4 remain in order.
+	for i, want := range []int{2, 3, 4} {
+		if q[i].Args[0].(int) != want {
+			t.Errorf("q[%d] = %v, want %d", i, q[i].Args[0], want)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestDiscardCountsDropped(t *testing.T) {
+	r := NewRegistry() // Discard is the default
+	r.Post("ev", 1)
+	r.Post("ev", 2)
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+}
+
+func TestBlockPolicyUnblocksOnDrain(t *testing.T) {
+	r := NewRegistry(WithPolicy(Block), WithMaxQueue(1))
+	if _, err := r.Post("ev", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Queue is full: the next Post must block until a Drain.
+	posted := make(chan struct{})
+	go func() {
+		r.Post("ev", 2)
+		close(posted)
+	}()
+	select {
+	case <-posted:
+		t.Fatal("Post against a full Block queue returned immediately")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if q := r.Drain("ev"); len(q) != 1 || q[0].Args[0].(int) != 1 {
+		t.Fatalf("drain = %v", q)
+	}
+	select {
+	case <-posted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Post never resumed after Drain")
+	}
+	if q := r.Drain("ev"); len(q) != 1 || q[0].Args[0].(int) != 2 {
+		t.Fatalf("second drain = %v", q)
+	}
+}
+
+func TestBlockPolicyDeliversWhenHandlerRegisters(t *testing.T) {
+	r := NewRegistry(WithPolicy(Block), WithMaxQueue(1))
+	r.Post("ev", 1) // fills the queue
+
+	var mu sync.Mutex
+	var got []int
+	delivered := make(chan struct{})
+	go func() {
+		n, err := r.Post("ev", 2) // blocks: queue full
+		if err != nil {
+			t.Errorf("blocked post: %v", err)
+		}
+		if n != 1 {
+			t.Errorf("blocked post delivered to %d handlers, want 1", n)
+		}
+		close(delivered)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	// Registering a handler must wake the blocked poster, which then
+	// delivers directly instead of queueing.
+	if _, err := r.Register("ev", func(v int) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-delivered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Post never delivered after Register")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("handler got %v, want [2]", got)
+	}
+}

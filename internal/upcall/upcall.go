@@ -32,15 +32,26 @@ import (
 )
 
 // Policy says what a lower-level object does with an event no higher layer
-// has registered for.
+// has registered for. Discard and Queue are the paper's two options
+// (§4.1); DropOldest and Block are the robustness layer's graceful-
+// degradation variants for bounded queues under sustained overload.
 type Policy int
 
 const (
 	// Discard throws unclaimed events away.
 	Discard Policy = iota + 1
 	// Queue keeps unclaimed events for later retrieval ("it may queue up
-	// the event for later use").
+	// the event for later use"); posting to a full queue is an error.
 	Queue
+	// DropOldest keeps unclaimed events like Queue, but a full queue
+	// evicts its oldest event instead of rejecting the new one — fresh
+	// events are worth more than stale ones under overload.
+	DropOldest
+	// Block keeps unclaimed events like Queue, but a Post against a full
+	// queue waits until a consumer drains the queue or a handler
+	// registers — backpressure instead of loss. Use only when some other
+	// goroutine is guaranteed to Drain, Replay or Register.
+	Block
 )
 
 // Registration errors.
@@ -68,11 +79,13 @@ type registration struct {
 // zero value is not usable; call NewRegistry.
 type Registry struct {
 	mu       sync.Mutex
+	cond     *sync.Cond // signals Block-policy waiters; lazily nil until needed
 	slots    map[string][]registration
 	queues   map[string][]Event
 	policy   Policy
 	maxQueue int
 	nextID   uint64
+	dropped  uint64 // events lost to Discard or DropOldest eviction
 }
 
 // Option configures a Registry.
@@ -96,6 +109,7 @@ func NewRegistry(opts ...Option) *Registry {
 		policy:   Discard,
 		maxQueue: DefaultMaxQueue,
 	}
+	r.cond = sync.NewCond(&r.mu)
 	for _, o := range opts {
 		o(r)
 	}
@@ -116,6 +130,7 @@ func (r *Registry) Register(event string, fn any) (uint64, error) {
 	defer r.mu.Unlock()
 	r.nextID++
 	r.slots[event] = append(r.slots[event], registration{id: r.nextID, fn: v})
+	r.cond.Broadcast() // Block-policy posters may now deliver instead
 	return r.nextID, nil
 }
 
@@ -150,28 +165,54 @@ func (r *Registry) Handlers(event string) int {
 // registry's policy and delivered count is 0.
 func (r *Registry) Post(event string, args ...any) (int, error) {
 	r.mu.Lock()
-	regs := append([]registration(nil), r.slots[event]...)
-	if len(regs) == 0 {
-		defer r.mu.Unlock()
-		if r.policy == Queue {
+	for {
+		if regs := r.slots[event]; len(regs) > 0 {
+			rc := append([]registration(nil), regs...)
+			r.mu.Unlock()
+			// Deliver outside the lock: handlers may re-register,
+			// unregister, or post further events (pass the event up to
+			// the next layer).
+			for _, g := range rc {
+				if err := call(g.fn, args); err != nil {
+					return 0, err
+				}
+			}
+			return len(rc), nil
+		}
+		switch r.policy {
+		case Queue:
 			q := r.queues[event]
 			if len(q) >= r.maxQueue {
+				r.mu.Unlock()
 				return 0, fmt.Errorf("%w: %q at %d", ErrQueueFull, event, r.maxQueue)
 			}
 			r.queues[event] = append(q, Event{Name: event, Args: args})
+			r.mu.Unlock()
+			return 0, nil
+		case DropOldest:
+			q := r.queues[event]
+			if len(q) >= r.maxQueue && len(q) > 0 {
+				q = append(q[:0], q[1:]...)
+				r.dropped++
+			}
+			r.queues[event] = append(q, Event{Name: event, Args: args})
+			r.mu.Unlock()
+			return 0, nil
+		case Block:
+			if len(r.queues[event]) < r.maxQueue {
+				r.queues[event] = append(r.queues[event], Event{Name: event, Args: args})
+				r.mu.Unlock()
+				return 0, nil
+			}
+			// Full: wait for a Drain/Replay/Register, then re-evaluate —
+			// a handler may have appeared, making this a delivery.
+			r.cond.Wait()
+		default: // Discard
+			r.dropped++
+			r.mu.Unlock()
+			return 0, nil
 		}
-		return 0, nil
 	}
-	r.mu.Unlock()
-
-	// Deliver outside the lock: handlers may re-register, unregister, or
-	// post further events (pass the event up to the next layer).
-	for _, g := range regs {
-		if err := call(g.fn, args); err != nil {
-			return 0, err
-		}
-	}
-	return len(regs), nil
 }
 
 func call(fn reflect.Value, args []any) error {
@@ -231,7 +272,16 @@ func (r *Registry) Drain(event string) []Event {
 	defer r.mu.Unlock()
 	q := r.queues[event]
 	delete(r.queues, event)
+	r.cond.Broadcast() // Block-policy posters may now enqueue
 	return q
+}
+
+// Dropped reports how many events the registry has thrown away: events
+// with no handler under Discard, plus queue evictions under DropOldest.
+func (r *Registry) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Queued reports how many events are queued for event.

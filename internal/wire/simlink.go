@@ -30,11 +30,23 @@ type SimLink struct {
 	closed   bool
 	done     chan struct{}
 	lastOut  time.Time // when the link's transmitter frees up
+
+	// Fault-injection state (chaos testing): counts of upcoming writes to
+	// drop, duplicate or delay, plus the blackhole and sever-mid-message
+	// switches. All guarded by mu.
+	dropN    int
+	dupN     int
+	delayN   int
+	delayBy  time.Duration
+	blackout bool
+	severMid bool
+	faults   uint64 // writes affected by any injected fault
 }
 
 type simChunk struct {
 	data      []byte
 	deliverAt time.Time
+	sever     bool // deliver only half, then cut the connection
 }
 
 var _ net.Conn = (*SimLink)(nil)
@@ -63,6 +75,36 @@ func (l *SimLink) Write(p []byte) (int, error) {
 	if l.werr != nil {
 		return 0, l.werr
 	}
+	// Injected faults, applied in order of destructiveness: a blackholed
+	// link swallows everything; a dropped write vanishes silently (the
+	// writer believes it was sent, as with a lossy network).
+	if l.blackout {
+		l.faults++
+		return len(p), nil
+	}
+	if l.dropN > 0 {
+		l.dropN--
+		l.faults++
+		return len(p), nil
+	}
+	extraDelay := time.Duration(0)
+	if l.delayN > 0 {
+		l.delayN--
+		l.faults++
+		extraDelay = l.delayBy
+	}
+	duplicate := false
+	if l.dupN > 0 {
+		l.dupN--
+		l.faults++
+		duplicate = true
+	}
+	sever := false
+	if l.severMid {
+		l.severMid = false
+		l.faults++
+		sever = true
+	}
 	now := time.Now()
 	// Serialization delay: the transmitter sends at bytesPerSec, so a chunk
 	// occupies the line for len/bps after the previous chunk finishes.
@@ -75,15 +117,84 @@ func (l *SimLink) Write(p []byte) (int, error) {
 		l.lastOut = start.Add(occupy)
 		start = l.lastOut
 	}
-	l.queue = append(l.queue, simChunk{
+	chunk := simChunk{
 		data:      append([]byte(nil), p...),
-		deliverAt: start.Add(l.latency),
-	})
+		deliverAt: start.Add(l.latency + extraDelay),
+		sever:     sever,
+	}
+	l.queue = append(l.queue, chunk)
+	if duplicate {
+		dup := chunk
+		dup.data = append([]byte(nil), p...)
+		l.queue = append(l.queue, dup)
+	}
 	select {
 	case l.wake <- struct{}{}:
 	default:
 	}
 	return len(p), nil
+}
+
+// --- fault injection --------------------------------------------------------
+//
+// These hooks model the classic link faults for chaos tests. They affect
+// writes through this SimLink only; the peer's link (if any) is independent.
+
+// InjectDrop silently discards the next n writes. The writer sees success,
+// as with a lossy network device.
+func (l *SimLink) InjectDrop(n int) {
+	l.mu.Lock()
+	l.dropN += n
+	l.mu.Unlock()
+}
+
+// InjectDuplicate delivers each of the next n writes twice, back to back.
+func (l *SimLink) InjectDuplicate(n int) {
+	l.mu.Lock()
+	l.dupN += n
+	l.mu.Unlock()
+}
+
+// InjectDelay adds d of extra one-way latency to each of the next n writes.
+func (l *SimLink) InjectDelay(n int, d time.Duration) {
+	l.mu.Lock()
+	l.delayN += n
+	l.delayBy = d
+	l.mu.Unlock()
+}
+
+// InjectBlackhole switches the link into (or out of) a state where every
+// write is silently swallowed while the connection stays open — the
+// wedged-peer case a liveness window exists to catch.
+func (l *SimLink) InjectBlackhole(on bool) {
+	l.mu.Lock()
+	l.blackout = on
+	l.mu.Unlock()
+}
+
+// SeverMidMessage truncates the next write halfway and then cuts the
+// underlying connection, so the peer sees a torn frame followed by EOF.
+func (l *SimLink) SeverMidMessage() {
+	l.mu.Lock()
+	l.severMid = true
+	l.mu.Unlock()
+}
+
+// Sever cuts the underlying connection immediately, discarding anything
+// still queued on the link.
+func (l *SimLink) Sever() error {
+	l.mu.Lock()
+	l.queue = nil
+	l.werr = net.ErrClosed
+	l.mu.Unlock()
+	return l.conn.Close()
+}
+
+// FaultCount reports how many writes have been affected by injected faults.
+func (l *SimLink) FaultCount() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.faults
 }
 
 func (l *SimLink) pump() {
@@ -115,6 +226,17 @@ func (l *SimLink) pump() {
 
 		if d := time.Until(chunk.deliverAt); d > 0 {
 			time.Sleep(d)
+		}
+		if chunk.sever {
+			// Deliver a torn message: half the bytes, then a dead link.
+			l.conn.Write(chunk.data[:len(chunk.data)/2])
+			l.conn.Close()
+			l.mu.Lock()
+			l.inflight = false
+			l.werr = net.ErrClosed
+			l.queue = nil
+			l.mu.Unlock()
+			return
 		}
 		_, err := l.conn.Write(chunk.data)
 		l.mu.Lock()

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Fault-injection hooks on SimLink: each fault mode must shape traffic as
+// advertised, deterministically, so the core chaos tests can rely on them.
+
+// collectReads drains conn into a channel of chunks until EOF/error.
+func collectReads(conn net.Conn) <-chan []byte {
+	out := make(chan []byte, 64)
+	go func() {
+		defer close(out)
+		buf := make([]byte, 4096)
+		for {
+			n, err := conn.Read(buf)
+			if n > 0 {
+				out <- append([]byte(nil), buf[:n]...)
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+func recvAll(ch <-chan []byte, within time.Duration) []byte {
+	var all []byte
+	deadline := time.After(within)
+	for {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				return all
+			}
+			all = append(all, b...)
+		case <-deadline:
+			return all
+		}
+	}
+}
+
+func TestSimLinkInjectDrop(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	l.InjectDrop(1)
+	if _, err := l.Write([]byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write([]byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "kept" {
+		t.Errorf("after drop, peer read %q, want %q", s, "kept")
+	}
+	if l.FaultCount() != 1 {
+		t.Errorf("FaultCount = %d, want 1", l.FaultCount())
+	}
+}
+
+func TestSimLinkInjectDuplicate(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	l.InjectDuplicate(1)
+	if _, err := l.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "abab" {
+		t.Errorf("after duplicate, peer read %q, want %q", s, "abab")
+	}
+}
+
+func TestSimLinkInjectDelay(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	const extra = 150 * time.Millisecond
+	l.InjectDelay(1, extra)
+	start := time.Now()
+	if _, err := l.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		if d := time.Since(start); d < extra/2 {
+			t.Errorf("delayed write arrived after %v, want >= %v", d, extra/2)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delayed write never arrived")
+	}
+}
+
+func TestSimLinkSeverMidMessage(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	got := collectReads(b)
+
+	l.SeverMidMessage()
+	if _, err := l.Write([]byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	torn := recvAll(got, time.Second)
+	if len(torn) != 5 {
+		t.Errorf("peer read %d bytes of a torn message, want 5", len(torn))
+	}
+	// The link is dead: subsequent writes fail.
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, err := l.Write([]byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes still succeed after sever")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSimLinkSever(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	if err := l.Sever(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err != io.EOF && err != io.ErrClosedPipe {
+		t.Errorf("peer read after sever: %v, want EOF", err)
+	}
+	if _, err := l.Write([]byte("x")); err == nil {
+		t.Error("write succeeded on severed link")
+	}
+}
+
+func TestSimLinkBlackhole(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	l.InjectBlackhole(true)
+	if _, err := l.Write([]byte("void")); err != nil {
+		t.Fatal(err)
+	}
+	if s := recvAll(got, 200*time.Millisecond); len(s) != 0 {
+		t.Errorf("blackholed link delivered %q", s)
+	}
+	l.InjectBlackhole(false)
+	if _, err := l.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "back" {
+		t.Errorf("after blackhole off, peer read %q, want %q", s, "back")
+	}
+}

@@ -29,7 +29,10 @@ type MsgType uint8
 // Message types. Hello messages pair a client's two streams into one
 // session; Call/Reply carry RPC batches; Upcall/UpcallReply carry
 // distributed upcalls; Load/LoadReply carry dynamic-loading requests; Sync
-// forces a batch flush and round trip; Error reports server-detected faults.
+// forces a batch flush and round trip; Error reports server-detected faults;
+// Ping/Pong are the liveness heartbeats either end may send on either
+// stream — the paper's dual-stream protocol (§4.4) has no liveness story of
+// its own, so heartbeats are the robustness layer's addition.
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloReply
@@ -43,6 +46,8 @@ const (
 	MsgSyncReply
 	MsgError
 	MsgBye
+	MsgPing
+	MsgPong
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -58,6 +63,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgSyncReply:   "SyncReply",
 	MsgError:       "Error",
 	MsgBye:         "Bye",
+	MsgPing:        "Ping",
+	MsgPong:        "Pong",
 }
 
 // String returns a readable name for the message type.
