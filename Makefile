@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench
+.PHONY: verify build fmtcheck vet test race bench benchfull
 
 # Tier-1 verification: everything must be green before a merge.
-verify: build vet test race
+verify: build fmtcheck vet test race
 
 build:
 	$(GO) build ./...
+
+fmtcheck:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -16,9 +20,17 @@ test:
 
 # The concurrency-heavy packages additionally run under the race detector:
 # sessions, heartbeats, eviction and upcall queues all share state across
-# goroutines.
+# goroutines. wire and rpc ride along so the allocation guards are also
+# exercised with the race runtime's different allocator behaviour.
 race:
-	$(GO) test -race ./internal/core/... ./internal/upcall/...
+	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc
 
+# Reproducible bench pipeline: regenerates BENCH_2.json (Fig 5.1 suite +
+# pooling ablation, with the embedded pre-change baseline for comparison).
+# See EXPERIMENTS.md for the schema.
 bench:
+	$(GO) run ./cmd/clambench -iters 300 -json BENCH_2.json
+
+# The full testing.B suite, for apples-to-apples -benchmem numbers.
+benchfull:
 	$(GO) test -bench=. -benchmem

@@ -21,6 +21,7 @@ import (
 	"clam/internal/dynload"
 	"clam/internal/handle"
 	"clam/internal/task"
+	"clam/internal/wire"
 	"clam/internal/wm"
 	"clam/internal/xdr"
 )
@@ -255,6 +256,23 @@ func BenchmarkFig51_RemoteCallWAN(b *testing.B) {
 // Row i: remote upcall, different machines (paper: 12 800 µs).
 func BenchmarkFig51_RemoteUpcallWAN(b *testing.B) {
 	remoteUpcallBench(b, "tcp", core.WithDialFunc(benchlib.WANDialer(wanLatency, 0)))
+}
+
+// --- Ablation A-7: pooled vs unpooled wire frames ----------------------------
+
+// BenchmarkAblation_FramePooling isolates what the sync.Pool frame
+// recycling in internal/wire buys on the remote-call hot path. Run with
+// -benchmem: the pooled/unpooled gap shows up in B/op and allocs/op.
+func BenchmarkAblation_FramePooling(b *testing.B) {
+	b.Run("pooled", func(b *testing.B) {
+		wire.SetPooling(true)
+		remoteCallBench(b, "unix")
+	})
+	b.Run("unpooled", func(b *testing.B) {
+		wire.SetPooling(false)
+		defer wire.SetPooling(true)
+		remoteCallBench(b, "unix")
+	})
 }
 
 // --- Ablation A-1: batched vs unbatched asynchronous calls (§3.4) -----------

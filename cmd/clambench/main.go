@@ -7,15 +7,18 @@
 //
 // Usage:
 //
-//	clambench            # full run
-//	clambench -iters 500 # cheaper run
+//	clambench                       # full run
+//	clambench -iters 500            # cheaper run
+//	clambench -json BENCH_2.json    # also emit machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,6 +28,7 @@ import (
 	"clam/internal/dynload"
 	"clam/internal/handle"
 	"clam/internal/task"
+	"clam/internal/wire"
 	"clam/internal/wm"
 	"clam/internal/xdr"
 
@@ -33,10 +37,29 @@ import (
 	"reflect"
 )
 
-var iters = flag.Int("iters", 2000, "iterations per measured row")
+var (
+	iters    = flag.Int("iters", 2000, "iterations per measured row")
+	jsonPath = flag.String("json", "", "write machine-readable results (BENCH_*.json) to this path")
+)
 
 // measure runs fn iters times and returns the mean cost per iteration.
 func measure(n int, fn func()) time.Duration {
+	return measureCost(n, fn).dur
+}
+
+// cost is one row's per-operation price: wall time plus heap traffic.
+type cost struct {
+	dur      time.Duration
+	bytesOp  float64
+	allocsOp float64
+}
+
+// measureCost runs fn n times and returns the mean per-iteration cost.
+// Heap traffic is a whole-process runtime.MemStats delta across the timed
+// loop: it includes the read loops and dispatcher serving the call, which
+// is the honest per-operation figure for a client/server exchange (and
+// why it can differ slightly from testing.B's per-goroutine view).
+func measureCost(n int, fn func()) cost {
 	// Warm up: connections, stub caches, pools.
 	warm := n / 10
 	if warm < 10 {
@@ -45,17 +68,27 @@ func measure(n int, fn func()) time.Duration {
 	for i := 0; i < warm; i++ {
 		fn()
 	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		fn()
 	}
-	return time.Since(start) / time.Duration(n)
+	dur := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return cost{
+		dur:      dur / time.Duration(n),
+		bytesOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+		allocsOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+	}
 }
 
 type row struct {
 	label   string
+	key     string
 	paperUS float64
-	cost    time.Duration
+	cost    cost
 }
 
 func main() {
@@ -67,25 +100,26 @@ func main() {
 	fmt.Println()
 
 	rows := []row{
-		{"Statically linked procedure call", 19, benchStatic(n * 1000)},
-		{"Dyn-loaded proc calling dyn-loaded proc", 21, benchDynToDyn(n * 1000)},
-		{"Upcall - both procedures in the server", 19, benchLocalUpcall(n * 1000)},
-		{"Remote call - same machine (UNIX domain)", 7200, benchRemoteCall(n, "unix", nil)},
-		{"Remote upcall - same machine (UNIX domain)", 7200, benchRemoteUpcall(n, "unix", nil)},
-		{"Remote call - same machine (TCP/IP)", 11500, benchRemoteCall(n, "tcp", nil)},
-		{"Remote upcall - same machine (TCP/IP)", 11500, benchRemoteUpcall(n, "tcp", nil)},
-		{"Remote call - different machines (TCP/IP)", 12400,
+		{"Statically linked procedure call", "static_call", 19, benchStatic(n * 1000)},
+		{"Dyn-loaded proc calling dyn-loaded proc", "dyn_to_dyn_call", 21, benchDynToDyn(n * 1000)},
+		{"Upcall - both procedures in the server", "local_upcall", 19, benchLocalUpcall(n * 1000)},
+		{"Remote call - same machine (UNIX domain)", "remote_call_unix", 7200, benchRemoteCall(n, "unix", nil)},
+		{"Remote upcall - same machine (UNIX domain)", "remote_upcall_unix", 7200, benchRemoteUpcall(n, "unix", nil)},
+		{"Remote call - same machine (TCP/IP)", "remote_call_tcp", 11500, benchRemoteCall(n, "tcp", nil)},
+		{"Remote upcall - same machine (TCP/IP)", "remote_upcall_tcp", 11500, benchRemoteUpcall(n, "tcp", nil)},
+		{"Remote call - different machines (TCP/IP)", "remote_call_wan", 12400,
 			benchRemoteCall(n/4, "tcp", benchlib.WANDialer(450*time.Microsecond, 0))},
-		{"Remote upcall - different machines (TCP/IP)", 12800,
+		{"Remote upcall - different machines (TCP/IP)", "remote_upcall_wan", 12800,
 			benchRemoteUpcall(n/4, "tcp", benchlib.WANDialer(450*time.Microsecond, 0))},
 	}
 
-	fmt.Printf("%-46s %12s %14s\n", "", "paper (µs)", "measured (µs)")
+	fmt.Printf("%-46s %12s %14s %10s %10s\n", "", "paper (µs)", "measured (µs)", "B/op", "allocs/op")
 	for _, r := range rows {
-		fmt.Printf("%-46s %12.0f %14.3f\n", r.label, r.paperUS, float64(r.cost.Nanoseconds())/1e3)
+		fmt.Printf("%-46s %12.0f %14.3f %10.0f %10.1f\n",
+			r.label, r.paperUS, float64(r.cost.dur.Nanoseconds())/1e3, r.cost.bytesOp, r.cost.allocsOp)
 	}
 
-	local := rows[0].cost
+	local := rows[0].cost.dur
 	fmt.Println()
 	fmt.Println("Shape checks (paper claims → measured):")
 	check := func(name string, ok bool) {
@@ -96,21 +130,21 @@ func main() {
 		fmt.Printf("  [%s] %s\n", status, name)
 	}
 	check("local upcall within ~20x of a static call (paper: 19 vs 19)",
-		rows[2].cost < 20*maxDur(local, 10*time.Nanosecond))
+		rows[2].cost.dur < 20*maxDur(local, 10*time.Nanosecond))
 	check("crossing an address space costs >=100x a local call (paper: ~380x)",
-		rows[3].cost > 100*maxDur(rows[2].cost, 10*time.Nanosecond))
+		rows[3].cost.dur > 100*maxDur(rows[2].cost.dur, 10*time.Nanosecond))
 	check("UNIX-domain remote call cheaper than TCP (paper: 7200 < 11500)",
-		rows[3].cost < rows[5].cost)
+		rows[3].cost.dur < rows[5].cost.dur)
 	check("different machines dearer than same machine TCP (paper: 12400 > 11500)",
-		rows[7].cost > rows[5].cost)
+		rows[7].cost.dur > rows[5].cost.dur)
 	check("remote upcall within 3x of remote call, same transport (paper: equal)",
-		rows[4].cost < 3*rows[3].cost && rows[6].cost < 3*rows[5].cost)
+		rows[4].cost.dur < 3*rows[3].cost.dur && rows[6].cost.dur < 3*rows[5].cost.dur)
 
 	fmt.Println()
 	fmt.Println("Extras (beyond the paper's table):")
 	pipe := benchRemoteCallPipe(n)
-	fmt.Printf("  Remote call - same process (in-memory pipe): %.3f µs — protocol cost without kernel IPC\n",
-		float64(pipe.Nanoseconds())/1e3)
+	fmt.Printf("  Remote call - same process (in-memory pipe): %.3f µs, %.0f B/op, %.1f allocs/op — protocol cost without kernel IPC\n",
+		float64(pipe.dur.Nanoseconds())/1e3, pipe.bytesOp, pipe.allocsOp)
 
 	fmt.Println()
 	fmt.Println("Ablations (DESIGN.md A-1..A-5):")
@@ -120,9 +154,123 @@ func main() {
 	ablateTreeBundling(n * 10)
 	ablateHandles(n * 1000)
 	ablateUpcallConcurrency(n / 20)
+	poolOn, poolOff := ablatePooling(n)
+
+	if *jsonPath != "" {
+		if err := writeReport(*jsonPath, n, rows, pipe, poolOn, poolOff); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
 }
 
-func benchRemoteCallPipe(n int) time.Duration {
+// ablatePooling reruns the UNIX-domain remote call with frame pooling
+// disabled, isolating what the sync.Pool recycling in internal/wire buys
+// on the hot path. Pooling is restored before returning.
+func ablatePooling(n int) (on, off cost) {
+	run := func() cost {
+		fx, c, cleanup := benchFixture("unix", nil)
+		defer cleanup()
+		_ = fx
+		rem, err := c.NamedObject("pinger")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out int64
+		return measureCost(n, func() {
+			if err := rem.CallInto("Ping", []any{&out}); err != nil {
+				log.Fatal(err)
+			}
+		})
+	}
+	on = run()
+	wire.SetPooling(false)
+	off = run()
+	wire.SetPooling(true)
+	fmt.Printf("  A-7 frame pooling (remote call, unix): pooled %.0f B/op %.1f allocs/op, unpooled %.0f B/op %.1f allocs/op\n",
+		on.bytesOp, on.allocsOp, off.bytesOp, off.allocsOp)
+	return on, off
+}
+
+// --- Machine-readable report -------------------------------------------------
+
+type jsonResult struct {
+	Name        string  `json:"name"`
+	PaperUS     float64 `json:"paper_us,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type jsonReport struct {
+	Schema    string                `json:"schema"`
+	Go        string                `json:"go"`
+	Iters     int                   `json:"iters"`
+	Fig51     []jsonResult          `json:"fig51"`
+	Extras    []jsonResult          `json:"extras"`
+	Ablations map[string]jsonResult `json:"ablations"`
+	Baseline  jsonBaseline          `json:"baseline_pre_change"`
+}
+
+type jsonBaseline struct {
+	Source  string       `json:"source"`
+	Results []jsonResult `json:"results"`
+}
+
+// preChangeBaseline is the `go test -bench` capture taken on this repo
+// immediately before the allocation overhaul (tree of commit ecb9e6b,
+// Intel Xeon @ 2.70GHz). It is embedded so every BENCH_*.json carries its
+// own before/after comparison; the allocs/op and bytes/op columns are the
+// ones the overhaul targets.
+var preChangeBaseline = jsonBaseline{
+	Source: "go test -bench 'Fig51|Extra_RemoteCallPipe' -benchmem, pre-change tree (ecb9e6b)",
+	Results: []jsonResult{
+		{Name: "static_call", NsPerOp: 2.833, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "dyn_to_dyn_call", NsPerOp: 2.263, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "local_upcall", NsPerOp: 19.54, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "remote_call_pipe", NsPerOp: 10264, BytesPerOp: 1699, AllocsPerOp: 46},
+		{Name: "remote_call_unix", NsPerOp: 9731, BytesPerOp: 1700, AllocsPerOp: 46},
+		{Name: "remote_upcall_unix", NsPerOp: 20687, BytesPerOp: 1633, AllocsPerOp: 45},
+		{Name: "remote_call_tcp", NsPerOp: 12904, BytesPerOp: 1699, AllocsPerOp: 46},
+		{Name: "remote_upcall_tcp", NsPerOp: 19735, BytesPerOp: 1688, AllocsPerOp: 45},
+		{Name: "remote_call_wan", NsPerOp: 1121072, BytesPerOp: 1827, AllocsPerOp: 48},
+		{Name: "remote_upcall_wan", NsPerOp: 1146725, BytesPerOp: 1714, AllocsPerOp: 47},
+	},
+}
+
+func writeReport(path string, n int, rows []row, pipe, poolOn, poolOff cost) error {
+	rep := jsonReport{
+		Schema: "clam-bench-v1",
+		Go:     runtime.Version(),
+		Iters:  n,
+		Extras: []jsonResult{toResult("remote_call_pipe", 0, pipe)},
+		Ablations: map[string]jsonResult{
+			"pooling_on":  toResult("remote_call_unix_pooled", 0, poolOn),
+			"pooling_off": toResult("remote_call_unix_unpooled", 0, poolOff),
+		},
+		Baseline: preChangeBaseline,
+	}
+	for _, r := range rows {
+		rep.Fig51 = append(rep.Fig51, toResult(r.key, r.paperUS, r.cost))
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func toResult(name string, paperUS float64, c cost) jsonResult {
+	return jsonResult{
+		Name:        name,
+		PaperUS:     paperUS,
+		NsPerOp:     float64(c.dur.Nanoseconds()),
+		BytesPerOp:  c.bytesOp,
+		AllocsPerOp: c.allocsOp,
+	}
+}
+
+func benchRemoteCallPipe(n int) cost {
 	dir, err := os.MkdirTemp("", "clambench-pipe")
 	if err != nil {
 		log.Fatal(err)
@@ -143,7 +291,7 @@ func benchRemoteCallPipe(n int) time.Duration {
 		log.Fatal(err)
 	}
 	var out int64
-	return measure(n, func() {
+	return measureCost(n, func() {
 		if err := rem.CallInto("Ping", []any{&out}); err != nil {
 			log.Fatal(err)
 		}
@@ -213,14 +361,14 @@ func maxDur(a, b time.Duration) time.Duration {
 
 // --- Figure 5.1 rows ---------------------------------------------------------
 
-func benchStatic(n int) time.Duration {
+func benchStatic(n int) cost {
 	var acc int64
-	d := measure(n, func() { acc = benchlib.StaticCall(acc) })
+	d := measureCost(n, func() { acc = benchlib.StaticCall(acc) })
 	_ = acc
 	return d
 }
 
-func benchDynToDyn(n int) time.Duration {
+func benchDynToDyn(n int) cost {
 	lib := dynload.NewLibrary()
 	if err := benchlib.Register(lib); err != nil {
 		log.Fatal(err)
@@ -232,13 +380,13 @@ func benchDynToDyn(n int) time.Duration {
 	rObj, _ := rc.New(nil)
 	relay := rObj.(*benchlib.Relay)
 	relay.SetTarget(pObj.(*benchlib.Pinger))
-	return measure(n, func() { relay.Relay() })
+	return measureCost(n, func() { relay.Relay() })
 }
 
-func benchLocalUpcall(n int) time.Duration {
+func benchLocalUpcall(n int) cost {
 	e := &benchlib.Echo{}
 	e.Register(func(x int64) int64 { return x + 1 })
-	return measure(n, func() {
+	return measureCost(n, func() {
 		if _, err := e.Call(1); err != nil {
 			log.Fatal(err)
 		}
@@ -270,7 +418,7 @@ func benchFixture(network string, dial func(string, string) (net.Conn, error)) (
 	return fx, c, cleanup
 }
 
-func benchRemoteCall(n int, network string, dial func(string, string) (net.Conn, error)) time.Duration {
+func benchRemoteCall(n int, network string, dial func(string, string) (net.Conn, error)) cost {
 	fx, c, cleanup := benchFixture(network, dial)
 	defer cleanup()
 	rem, err := c.NamedObject("pinger")
@@ -278,7 +426,7 @@ func benchRemoteCall(n int, network string, dial func(string, string) (net.Conn,
 		log.Fatal(err)
 	}
 	var out int64
-	d := measure(n, func() {
+	d := measureCost(n, func() {
 		if err := rem.CallInto("Ping", []any{&out}); err != nil {
 			log.Fatal(err)
 		}
@@ -287,7 +435,7 @@ func benchRemoteCall(n int, network string, dial func(string, string) (net.Conn,
 	return d
 }
 
-func benchRemoteUpcall(n int, network string, dial func(string, string) (net.Conn, error)) time.Duration {
+func benchRemoteUpcall(n int, network string, dial func(string, string) (net.Conn, error)) cost {
 	fx, c, cleanup := benchFixture(network, dial)
 	defer cleanup()
 	echo, err := c.NamedObject("echo")
@@ -301,7 +449,7 @@ func benchRemoteUpcall(n int, network string, dial func(string, string) (net.Con
 	if fn == nil {
 		log.Fatal("clambench: registration did not reach the server")
 	}
-	return measure(n, func() { fn(1) })
+	return measureCost(n, func() { fn(1) })
 }
 
 // --- Ablations -----------------------------------------------------------------

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
@@ -36,9 +37,13 @@ type Client struct {
 	pmu     sync.Mutex
 	pending map[uint64]chan *wire.Msg
 
-	// batch accumulates asynchronous calls (§3.4). Guarded by bmu.
+	// batch accumulates asynchronous calls (§3.4): the first four bytes
+	// are a count placeholder patched at flush, so the batch body ships
+	// without a copy. batchEnc is the persistent encoder writing into it.
+	// All guarded by bmu.
 	bmu        sync.Mutex
-	batch      bytesBuf
+	batch      xdr.Buffer
+	batchEnc   xdr.Stream
 	batchCount int
 
 	batching    bool
@@ -338,23 +343,25 @@ func (c *Client) heartbeatLoop() {
 }
 
 func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
-	var body bytesBuf
+	sc := rpc.GetScratch()
+	defer sc.Release()
 	hello := helloBody{Role: role, Session: session}
-	if err := hello.bundle(xdr.NewEncoder(&body)); err != nil {
+	if err := hello.bundle(sc.Encoder()); err != nil {
 		return 0, err
 	}
-	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: body.b}); err != nil {
+	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: sc.Bytes()}); err != nil {
 		return 0, fmt.Errorf("clam: hello: %w", err)
 	}
 	msg, err := c.Recv()
 	if err != nil {
 		return 0, fmt.Errorf("clam: hello reply: %w", err)
 	}
+	defer msg.Release()
 	if msg.Type != wire.MsgHelloReply {
 		return 0, fmt.Errorf("clam: hello answered with %v", msg.Type)
 	}
 	var reply helloReplyBody
-	if err := reply.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+	if err := reply.bundle(sc.Decoder(msg.Body)); err != nil {
 		return 0, err
 	}
 	return reply.Session, nil
@@ -461,20 +468,29 @@ func (c *Client) rpcReadLoop() {
 			}
 			c.pmu.Unlock()
 			if ok {
+				// The waiter owns (and releases) the message now.
 				ch <- msg
+			} else {
+				// Late reply to a timed-out or abandoned call.
+				msg.Release()
 			}
 		case wire.MsgPing:
-			if err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+			seq := msg.Seq
+			msg.Release()
+			if err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
 				c.failAllPending()
 				return
 			}
 		case wire.MsgPong:
 			// Liveness already noted above.
+			msg.Release()
 		case wire.MsgBye:
+			msg.Release()
 			c.failAllPending()
 			return
 		default:
 			c.logf("clam: client: unexpected %v on rpc channel", msg.Type)
+			msg.Release()
 		}
 	}
 }
@@ -495,20 +511,28 @@ func (c *Client) upcallReadLoop() {
 		c.lastUp.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgUpcall:
+			// handleUpcall releases the message when done.
 			if c.upWork != nil {
 				c.upWork <- msg
 			} else {
 				c.handleUpcall(msg)
 			}
 		case wire.MsgPing:
-			if err := c.upConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+			seq := msg.Seq
+			msg.Release()
+			if err := c.upConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
 				return
 			}
 		case wire.MsgPong:
 			// Liveness already noted above.
+			msg.Release()
 		case wire.MsgError:
 			var report FaultReport
-			if err := report.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+			sc := rpc.GetScratch()
+			err := report.bundle(sc.Decoder(msg.Body))
+			sc.Release()
+			msg.Release()
+			if err != nil {
 				c.logf("clam: client: bad fault report: %v", err)
 				continue
 			}
@@ -521,23 +545,29 @@ func (c *Client) upcallReadLoop() {
 				c.logf("clam: client: server fault report: %v", report)
 			}
 		case wire.MsgBye:
+			msg.Release()
 			return
 		default:
 			c.logf("clam: client: unexpected %v on upcall channel", msg.Type)
+			msg.Release()
 		}
 	}
 }
 
 func (c *Client) handleUpcall(msg *wire.Msg) {
-	dec := xdr.NewDecoder(byteReader(msg.Body))
+	defer msg.Release()
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	dec := sc.Decoder(msg.Body)
 	var hdr rpc.UpcallHeader
 	replyErr := func(err error) {
-		var body bytesBuf
+		esc := rpc.GetScratch()
+		defer esc.Release()
 		rh := rpc.ReplyHeader{Status: rpc.StatusDispatch, ErrMsg: err.Error()}
-		if berr := rh.Bundle(xdr.NewEncoder(&body)); berr != nil {
+		if berr := rh.Bundle(esc.Encoder()); berr != nil {
 			return
 		}
-		c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: body.b})
+		c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: esc.Bytes()})
 	}
 	if err := hdr.Bundle(dec); err != nil {
 		replyErr(err)
@@ -559,12 +589,12 @@ func (c *Client) handleUpcall(msg *wire.Msg) {
 
 	rets, appErr := c.invokeHandler(fn, args)
 
-	var body bytesBuf
-	if err := rpc.EncodeFuncResults(c.reg, ctx, xdr.NewEncoder(&body), fn.Type(), rets, appErr); err != nil {
+	// The decode is complete, so the workspace can carry the reply.
+	if err := rpc.EncodeFuncResults(c.reg, ctx, sc.Encoder(), fn.Type(), rets, appErr); err != nil {
 		replyErr(err)
 		return
 	}
-	if err := c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: body.b}); err != nil {
+	if err := c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: sc.Bytes()}); err != nil {
 		c.logf("clam: client: upcall reply: %v", err)
 	}
 }
@@ -621,36 +651,69 @@ var ErrCallTimeout = errors.New("clam: call timed out")
 // server dead (WithClientHeartbeat) and tore the connection down.
 var ErrServerUnresponsive = errors.New("clam: server unresponsive (liveness window missed)")
 
-// encodeEntry bundles one call entry (header + tagged arguments) into a
-// scratch buffer so a mid-encode failure cannot corrupt the batch.
-func (c *Client) encodeEntry(seq uint64, h handle.Handle, method string, args []any) ([]byte, error) {
-	var buf bytesBuf
-	enc := xdr.NewEncoder(&buf)
+// maxBatchBytes auto-flushes an asynchronous batch once its encoded size
+// reaches this bound, keeping batches comfortably inside the shared
+// wire/xdr body limit and bounding how much memory a burst can pin.
+const maxBatchBytes = 1 << 20
+
+// appendCallLocked encodes one call entry (header + tagged arguments)
+// directly into the batch buffer; bmu must be held. A mid-encode failure
+// rolls the buffer back to its pre-entry mark, so the batch is never
+// corrupted — the same guarantee the old encode-into-scratch-then-copy
+// gave, without the copy or the per-call scratch allocation.
+func (c *Client) appendCallLocked(seq uint64, h handle.Handle, method string, args []any) error {
+	if c.batchCount == 0 {
+		// Count placeholder, patched by writeBatchLocked. xdr encodes Len
+		// as one big-endian word, so four zero bytes reserve its slot.
+		c.batch.Reset()
+		c.batch.B = append(c.batch.B, 0, 0, 0, 0)
+	}
+	mark := c.batch.Len()
+	c.batchEnc.ResetEncode(&c.batch)
+	enc := &c.batchEnc
 	hdr := rpc.CallHeader{Seq: seq, Obj: h, Method: method}
 	if err := hdr.Bundle(enc); err != nil {
-		return nil, err
+		c.batch.Truncate(mark)
+		return err
 	}
 	n := len(args)
 	if err := enc.Len(&n); err != nil {
-		return nil, err
+		c.batch.Truncate(mark)
+		return err
 	}
 	ctx := c.ctx()
 	for i, a := range args {
 		v := reflect.ValueOf(a)
 		if !v.IsValid() {
-			return nil, fmt.Errorf("clam: argument %d of %s is untyped nil; pass a typed nil pointer", i, method)
+			c.batch.Truncate(mark)
+			return fmt.Errorf("clam: argument %d of %s is untyped nil; pass a typed nil pointer", i, method)
 		}
 		if err := rpc.EncodeValue(c.reg, ctx, enc, v); err != nil {
-			return nil, fmt.Errorf("clam: argument %d of %s: %w", i, method, err)
+			c.batch.Truncate(mark)
+			return fmt.Errorf("clam: argument %d of %s: %w", i, method, err)
 		}
 	}
-	return buf.b, nil
+	c.batchCount++
+	return nil
 }
 
-// appendEntryLocked adds an encoded entry to the batch; bmu must be held.
-func (c *Client) appendEntryLocked(entry []byte) {
-	c.batch.b = append(c.batch.b, entry...)
-	c.batchCount++
+// writeBatchLocked queues the accumulated batch as one MsgCall without
+// flushing, so a caller can coalesce it with a trailing Sync/Load frame;
+// bmu must be held. The batch buffer is handed to the wire layer as-is —
+// Write copies it toward the kernel before returning, so the buffer is
+// immediately reusable.
+func (c *Client) writeBatchLocked() error {
+	if c.batchCount == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint32(c.batch.B[0:4], uint32(c.batchCount))
+	c.batchCount = 0
+	err := c.rpcConn.Write(&wire.Msg{Type: wire.MsgCall, Body: c.batch.B})
+	if cap(c.batch.B) > maxBatchBytes {
+		c.batch.B = nil
+	}
+	c.batch.Reset()
+	return err
 }
 
 // flushLocked ships the accumulated batch as one MsgCall; bmu must be held.
@@ -658,16 +721,10 @@ func (c *Client) flushLocked() error {
 	if c.batchCount == 0 {
 		return nil
 	}
-	var body bytesBuf
-	enc := xdr.NewEncoder(&body)
-	n := c.batchCount
-	if err := enc.Len(&n); err != nil {
+	if err := c.writeBatchLocked(); err != nil {
 		return err
 	}
-	body.b = append(body.b, c.batch.b...)
-	c.batch.b = c.batch.b[:0]
-	c.batchCount = 0
-	return c.rpcConn.Send(&wire.Msg{Type: wire.MsgCall, Body: body.b})
+	return c.rpcConn.Flush()
 }
 
 // Flush ships any batched asynchronous calls to the server.
@@ -683,19 +740,19 @@ func (c *Client) Flush() error {
 func (c *Client) Sync() error {
 	seq := c.seq.Add(1)
 	ch := c.arm(seq)
+	// The batch and the sync frame coalesce into one kernel write.
 	c.bmu.Lock()
-	if err := c.flushLocked(); err != nil {
-		c.bmu.Unlock()
-		c.disarm(seq)
-		return err
+	err := c.writeBatchLocked()
+	if err == nil {
+		err = c.rpcConn.Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
 	}
-	err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
 	c.bmu.Unlock()
 	if err != nil {
 		c.disarm(seq)
 		return err
 	}
-	_, err = c.wait(context.Background(), seq, ch)
+	msg, err := c.wait(context.Background(), seq, ch)
+	msg.Release()
 	return err
 }
 
@@ -791,14 +848,12 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 // attempt is discarded rather than mistaken for the retry's answer.
 func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, rets []any, args []any) error {
 	seq := c.seq.Add(1)
-	entry, err := c.encodeEntry(seq, h, method, args)
-	if err != nil {
-		return err
-	}
 	ch := c.arm(seq)
 	c.bmu.Lock()
-	c.appendEntryLocked(entry)
-	err = c.flushLocked()
+	err := c.appendCallLocked(seq, h, method, args)
+	if err == nil {
+		err = c.flushLocked()
+	}
 	c.bmu.Unlock()
 	if err != nil {
 		c.disarm(seq)
@@ -808,27 +863,29 @@ func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, r
 	if err != nil {
 		return err
 	}
-	return c.decodeReply(msg, method, rets, args)
+	err = c.decodeReply(msg, method, rets, args)
+	msg.Release()
+	return err
 }
 
 // async queues an asynchronous call (no reply). Depending on batching
 // configuration it is shipped immediately or when the batch flushes.
 func (c *Client) async(h handle.Handle, method string, args []any) error {
-	entry, err := c.encodeEntry(0, h, method, args)
-	if err != nil {
-		return err
-	}
 	c.bmu.Lock()
 	defer c.bmu.Unlock()
-	c.appendEntryLocked(entry)
-	if !c.batching || c.batchCount >= c.maxBatch {
+	if err := c.appendCallLocked(0, h, method, args); err != nil {
+		return err
+	}
+	if !c.batching || c.batchCount >= c.maxBatch || c.batch.Len() >= maxBatchBytes {
 		return c.flushLocked()
 	}
 	return nil
 }
 
 func (c *Client) decodeReply(msg *wire.Msg, method string, rets []any, args []any) error {
-	dec := xdr.NewDecoder(byteReader(msg.Body))
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	dec := sc.Decoder(msg.Body)
 	var rh rpc.ReplyHeader
 	if err := rh.Bundle(dec); err != nil {
 		return err
@@ -899,21 +956,22 @@ func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody,
 	seq := c.seq.Add(1)
 	ch := c.arm(seq)
 
-	var body bytesBuf
+	sc := rpc.GetScratch()
 	req := loadBody{Op: op, Name: name, MinVersion: version}
-	if err := req.bundle(xdr.NewEncoder(&body)); err != nil {
+	if err := req.bundle(sc.Encoder()); err != nil {
+		sc.Release()
 		c.disarm(seq)
 		return nil, err
 	}
-	// Flush first so the load is ordered after queued asynchronous calls.
+	// Queued asynchronous calls precede the load in the same kernel write,
+	// preserving order while coalescing the two frames.
 	c.bmu.Lock()
-	if err := c.flushLocked(); err != nil {
-		c.bmu.Unlock()
-		c.disarm(seq)
-		return nil, err
+	err := c.writeBatchLocked()
+	if err == nil {
+		err = c.rpcConn.Send(&wire.Msg{Type: wire.MsgLoad, Seq: seq, Body: sc.Bytes()})
 	}
-	err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgLoad, Seq: seq, Body: body.b})
 	c.bmu.Unlock()
+	sc.Release()
 	if err != nil {
 		c.disarm(seq)
 		return nil, err
@@ -923,7 +981,11 @@ func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody,
 		return nil, err
 	}
 	var reply loadReplyBody
-	if err := reply.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+	dsc := rpc.GetScratch()
+	err = reply.bundle(dsc.Decoder(msg.Body))
+	dsc.Release()
+	msg.Release()
+	if err != nil {
 		return nil, err
 	}
 	if !reply.OK {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"clam/internal/wire"
+)
+
+// The dispatch queue used to drain with queue = queue[1:], which kept
+// every drained *wire.Msg reachable through the slice's backing array —
+// pinning message bodies (and, with pooling, keeping them from being
+// reused) until the whole array was collected. These tests pin the fix:
+// pop nils the drained slot and compacts a long-lived buffer.
+
+func TestMsgQueuePopReleasesSlot(t *testing.T) {
+	var q msgQueue
+	msgs := []*wire.Msg{
+		{Type: wire.MsgCall, Seq: 1},
+		{Type: wire.MsgCall, Seq: 2},
+		{Type: wire.MsgCall, Seq: 3},
+	}
+	for _, m := range msgs {
+		q.push(m)
+	}
+	if got := q.pop(); got != msgs[0] {
+		t.Fatalf("pop returned %+v, want first message", got)
+	}
+	// The drained head slot must not keep the message reachable.
+	if q.buf[0] != nil {
+		t.Fatal("drained slot still references its message (backing-array pin)")
+	}
+	if q.len() != 2 {
+		t.Fatalf("len = %d after one pop, want 2", q.len())
+	}
+	if got := q.pop(); got != msgs[1] {
+		t.Fatalf("second pop returned %+v", got)
+	}
+	if q.buf[1] != nil {
+		t.Fatal("second drained slot still references its message")
+	}
+}
+
+func TestMsgQueueDrainResets(t *testing.T) {
+	var q msgQueue
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.push(&wire.Msg{Type: wire.MsgCall, Seq: seq})
+	}
+	for i := 0; i < 5; i++ {
+		if q.pop() == nil {
+			t.Fatalf("pop %d returned nil", i)
+		}
+	}
+	if q.len() != 0 || q.head != 0 || len(q.buf) != 0 {
+		t.Fatalf("drained queue not reset: len=%d head=%d buf=%d", q.len(), q.head, len(q.buf))
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on empty queue returned a message")
+	}
+	// Reuse after full drain keeps FIFO order.
+	q.push(&wire.Msg{Seq: 10})
+	q.push(&wire.Msg{Seq: 11})
+	if got := q.pop(); got.Seq != 10 {
+		t.Fatalf("pop after reset returned seq %d, want 10", got.Seq)
+	}
+}
+
+// A queue that never fully drains (producer keeps it one ahead) must not
+// grow a dead prefix: compaction bounds the backing array and nils the
+// vacated tail slots.
+func TestMsgQueueCompactionBoundsDeadPrefix(t *testing.T) {
+	var q msgQueue
+	next := uint64(0)
+	for i := 0; i < 1000; i++ {
+		q.push(&wire.Msg{Type: wire.MsgCall, Seq: next})
+		q.push(&wire.Msg{Type: wire.MsgCall, Seq: next + 1})
+		next += 2
+		got := q.pop()
+		if got == nil {
+			t.Fatalf("iteration %d: pop returned nil", i)
+		}
+		for j := 0; j < q.head; j++ {
+			if q.buf[j] != nil {
+				t.Fatalf("iteration %d: drained slot %d still populated", i, j)
+			}
+		}
+	}
+	if q.head > 2*q.len()+130 {
+		t.Fatalf("dead prefix grew unbounded: head=%d live=%d", q.head, q.len())
+	}
+	// Everything still drains in FIFO order.
+	want := uint64(1000)
+	for q.len() > 0 {
+		got := q.pop()
+		if got.Seq != want {
+			t.Fatalf("out of order: got seq %d, want %d", got.Seq, want)
+		}
+		want++
+	}
+}

@@ -16,7 +16,6 @@ import (
 	"clam/internal/ruc"
 	"clam/internal/task"
 	"clam/internal/wire"
-	"clam/internal/xdr"
 )
 
 // Server is a CLAM server: it accepts client connections, dynamically
@@ -369,11 +368,17 @@ func (s *Server) Listen(network, addr string) (net.Listener, error) {
 func (s *Server) handleConn(c *wire.Conn) {
 	msg, err := c.Recv()
 	if err != nil || msg.Type != wire.MsgHello {
+		msg.Release()
 		c.Close()
 		return
 	}
 	var hello helloBody
-	if err := hello.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+	sc := rpc.GetScratch()
+	herr := hello.bundle(sc.Decoder(msg.Body))
+	sc.Release()
+	seq := msg.Seq
+	msg.Release()
+	if herr != nil {
 		c.Close()
 		return
 	}
@@ -385,7 +390,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 			c.Close()
 			return
 		}
-		if err := s.sendHelloReply(c, msg.Seq, sess.id); err != nil {
+		if err := s.sendHelloReply(c, seq, sess.id); err != nil {
 			s.dropSession(sess)
 			return
 		}
@@ -404,7 +409,7 @@ func (s *Server) handleConn(c *wire.Conn) {
 			c.Close()
 			return
 		}
-		if err := s.sendHelloReply(c, msg.Seq, sess.id); err != nil {
+		if err := s.sendHelloReply(c, seq, sess.id); err != nil {
 			return
 		}
 		sess.upcallReadLoop()
@@ -417,12 +422,13 @@ func (s *Server) handleConn(c *wire.Conn) {
 }
 
 func (s *Server) sendHelloReply(c *wire.Conn, seq, sessID uint64) error {
-	var body bytesBuf
+	sc := rpc.GetScratch()
+	defer sc.Release()
 	reply := helloReplyBody{Session: sessID}
-	if err := reply.bundle(xdr.NewEncoder(&body)); err != nil {
+	if err := reply.bundle(sc.Encoder()); err != nil {
 		return err
 	}
-	return c.Send(&wire.Msg{Type: wire.MsgHelloReply, Seq: seq, Body: body.b})
+	return c.Send(&wire.Msg{Type: wire.MsgHelloReply, Seq: seq, Body: sc.Bytes()})
 }
 
 func (s *Server) newSession(c *wire.Conn) *session {

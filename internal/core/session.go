@@ -56,9 +56,14 @@ type session struct {
 	// call-batch queue drained by dispatcher tasks. owner is the task
 	// currently holding dispatch duty; both fields are guarded by qMu.
 	qMu         sync.Mutex
-	queue       []*wire.Msg
+	queue       msgQueue
 	dispatching bool
 	owner       *task.Task
+
+	// replyPending marks buffered replies awaiting a flush: a dispatch
+	// burst's replies ride one kernel write instead of one per message
+	// (see reply / flushReplies).
+	replyPending atomic.Bool
 
 	// Liveness state: the arrival time (unix nanos) of the most recent
 	// frame on each channel. lastUp is zero until the upcall channel
@@ -200,18 +205,25 @@ func (sess *session) rpcReadLoop() {
 		sess.lastRPC.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
+			// The dispatcher owns the message now; it releases it after
+			// executing it.
 			sess.enqueue(msg)
 		case wire.MsgPing:
 			sess.srv.metrics.countHeartbeatRecv()
-			if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+			seq := msg.Seq
+			msg.Release()
+			if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
 				return
 			}
 		case wire.MsgPong:
 			sess.srv.metrics.countHeartbeatRecv()
+			msg.Release()
 		case wire.MsgBye:
+			msg.Release()
 			return
 		default:
 			sess.srv.logf("clam: session %d: unexpected %v on rpc channel", sess.id, msg.Type)
+			msg.Release()
 		}
 	}
 }
@@ -227,18 +239,28 @@ func (sess *session) upcallReadLoop() {
 		sess.lastUp.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgUpcallReply:
-			sess.deliverUpcallReply(msg.Seq, msg, false)
+			// A delivered reply is owned (and released) by the waiting
+			// upcaller; an unclaimed one — late reply after a timeout — is
+			// recycled here.
+			if !sess.deliverUpcallReply(msg.Seq, msg, false) {
+				msg.Release()
+			}
 		case wire.MsgPing:
 			sess.srv.metrics.countHeartbeatRecv()
-			if err := c.Send(&wire.Msg{Type: wire.MsgPong, Seq: msg.Seq}); err != nil {
+			seq := msg.Seq
+			msg.Release()
+			if err := c.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
 				return
 			}
 		case wire.MsgPong:
 			sess.srv.metrics.countHeartbeatRecv()
+			msg.Release()
 		case wire.MsgBye:
+			msg.Release()
 			return
 		default:
 			sess.srv.logf("clam: session %d: unexpected %v on upcall channel", sess.id, msg.Type)
+			msg.Release()
 		}
 	}
 }
@@ -309,19 +331,59 @@ func (sess *session) evict(reason string) {
 	sess.upMu.Unlock()
 	if up != nil {
 		report := FaultReport{Class: "clam.session", Method: "evict", Msg: reason}
-		var body bytesBuf
-		if err := report.bundle(xdr.NewEncoder(&body)); err == nil {
-			up.Send(&wire.Msg{Type: wire.MsgError, Body: body.b})
+		sc := rpc.GetScratch()
+		if err := report.bundle(sc.Encoder()); err == nil {
+			up.Send(&wire.Msg{Type: wire.MsgError, Body: sc.Bytes()})
 		}
+		sc.Release()
 	}
 	sess.srv.dropSession(sess)
 }
 
 // --- dispatcher -----------------------------------------------------------
 
+// msgQueue is the dispatch queue: append-push, head-index pop. Popping
+// nils the drained slot — the old `queue = queue[1:]` drain kept every
+// drained *wire.Msg reachable through the backing array until the whole
+// array was dropped, pinning message bodies long after their calls
+// finished (and, with pooled frames, keeping them out of the pool's
+// reach for reuse accounting).
+type msgQueue struct {
+	buf  []*wire.Msg
+	head int
+}
+
+func (q *msgQueue) push(m *wire.Msg) { q.buf = append(q.buf, m) }
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
+
+func (q *msgQueue) pop() *wire.Msg {
+	if q.head >= len(q.buf) {
+		return nil
+	}
+	m := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > 64 && q.head*2 >= len(q.buf):
+		// Slide the live tail down so a long-lived queue does not grow a
+		// mostly-dead prefix.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return m
+}
+
 func (sess *session) enqueue(msg *wire.Msg) {
 	sess.qMu.Lock()
-	sess.queue = append(sess.queue, msg)
+	sess.queue.push(msg)
 	spawn := !sess.dispatching
 	if spawn {
 		sess.dispatching = true
@@ -350,18 +412,22 @@ func (sess *session) dispatch(t *task.Task) {
 		sess.qMu.Lock()
 		if sess.owner != t {
 			// Dispatch duty was released mid-batch (distributed upcall)
-			// and another task now drains the queue.
+			// and another task now drains the queue. This task may have
+			// buffered a reply after resuming (its call finished once the
+			// upcall returned), so it must flush on its way out.
 			sess.qMu.Unlock()
+			sess.flushReplies()
 			return
 		}
-		if len(sess.queue) == 0 {
+		if sess.queue.len() == 0 {
 			sess.dispatching = false
 			sess.owner = nil
 			sess.qMu.Unlock()
+			// The burst is drained: push its buffered replies in one write.
+			sess.flushReplies()
 			return
 		}
-		msg := sess.queue[0]
-		sess.queue = sess.queue[1:]
+		msg := sess.queue.pop()
 		sess.qMu.Unlock()
 
 		// If the handler blocks for any reason — a distributed upcall, an
@@ -378,6 +444,7 @@ func (sess *session) dispatch(t *task.Task) {
 			sess.reply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
 		}
 		t.SetBlockHook(nil)
+		msg.Release()
 	}
 }
 
@@ -396,11 +463,15 @@ func (sess *session) releaseDispatch() {
 	}
 	sess.owner = nil
 	sess.dispatching = false
-	respawn := len(sess.queue) > 0
+	respawn := sess.queue.len() > 0
 	if respawn {
 		sess.dispatching = true
 	}
 	sess.qMu.Unlock()
+	// About to block: anything this dispatcher buffered must reach the
+	// client now, or a client task we are waiting on could itself be
+	// waiting on one of those replies.
+	sess.flushReplies()
 	if respawn {
 		if err := sess.srv.sched.Spawn(func(t *task.Task) { sess.dispatch(t) }); err != nil {
 			sess.qMu.Lock()
@@ -414,7 +485,9 @@ func (sess *session) releaseDispatch() {
 
 func (sess *session) execBatch(msg *wire.Msg) {
 	sess.srv.metrics.countBatch()
-	dec := xdr.NewDecoder(byteReader(msg.Body))
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	dec := sc.Decoder(msg.Body)
 	var count int
 	if err := dec.Len(&count); err != nil {
 		sess.srv.logf("clam: session %d: bad call batch: %v", sess.id, err)
@@ -510,8 +583,13 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 		return
 	}
 
-	var body bytesBuf
-	enc := xdr.NewEncoder(&body)
+	// The reply is encoded into its own scratch — the batch decoder (dec)
+	// is mid-stream and its workspace cannot be shared. reply() copies the
+	// body toward the kernel before returning, so releasing right after is
+	// safe.
+	rsc := rpc.GetScratch()
+	defer rsc.Release()
+	enc := rsc.Encoder()
 	rh := rpc.ReplyHeader{Status: status, ErrMsg: errMsg}
 	if err := rh.Bundle(enc); err != nil {
 		sess.srv.logf("clam: session %d: encoding reply header: %v", sess.id, err)
@@ -521,19 +599,35 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 		if err := stub.EncodeReplyPayload(ctx, enc, args, rets); err != nil {
 			// Fall back to a dispatch error so the client is not left
 			// waiting on a half-encoded reply.
-			body = bytesBuf{}
+			enc = rsc.Encoder()
 			rh = rpc.ReplyHeader{Status: rpc.StatusDispatch, ErrMsg: err.Error()}
-			if err := rh.Bundle(xdr.NewEncoder(&body)); err != nil {
+			if err := rh.Bundle(enc); err != nil {
 				return
 			}
 		}
 	}
-	sess.reply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: body.b})
+	sess.reply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: rsc.Bytes()})
 }
 
+// reply queues msg on the RPC channel without flushing: a dispatch
+// burst's replies coalesce into one kernel write, flushed when the queue
+// drains or the dispatcher blocks (flushReplies).
 func (sess *session) reply(msg *wire.Msg) {
-	if err := sess.rpcConn.Send(msg); err != nil {
+	if err := sess.rpcConn.Write(msg); err != nil {
 		sess.srv.logf("clam: session %d: reply: %v", sess.id, err)
+		return
+	}
+	sess.replyPending.Store(true)
+}
+
+// flushReplies pushes buffered replies to the kernel. The pending flag
+// makes the common no-replies case (async batches) a single atomic load.
+func (sess *session) flushReplies() {
+	if !sess.replyPending.Swap(false) {
+		return
+	}
+	if err := sess.rpcConn.Flush(); err != nil {
+		sess.srv.logf("clam: session %d: reply flush: %v", sess.id, err)
 	}
 }
 
@@ -542,7 +636,10 @@ func (sess *session) reply(msg *wire.Msg) {
 func (sess *session) execLoad(msg *wire.Msg) {
 	var req loadBody
 	reply := loadReplyBody{}
-	if err := req.bundle(xdr.NewDecoder(byteReader(msg.Body))); err != nil {
+	sc := rpc.GetScratch()
+	err := req.bundle(sc.Decoder(msg.Body))
+	sc.Release()
+	if err != nil {
 		reply.ErrMsg = err.Error()
 		sess.sendLoadReply(msg.Seq, &reply)
 		return
@@ -623,12 +720,13 @@ func (sess *session) execLoad(msg *wire.Msg) {
 }
 
 func (sess *session) sendLoadReply(seq uint64, reply *loadReplyBody) {
-	var body bytesBuf
-	if err := reply.bundle(xdr.NewEncoder(&body)); err != nil {
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	if err := reply.bundle(sc.Encoder()); err != nil {
 		sess.srv.logf("clam: session %d: encoding load reply: %v", sess.id, err)
 		return
 	}
-	sess.reply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: body.b})
+	sess.reply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: sc.Bytes()})
 }
 
 // --- distributed upcalls (ruc.Caller) --------------------------------------
@@ -659,14 +757,16 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 		return nil, errNoUpcallChannel
 	}
 
-	var body bytesBuf
-	enc := xdr.NewEncoder(&body)
+	sc := rpc.GetScratch()
+	enc := sc.Encoder()
 	uh := rpc.UpcallHeader{ProcID: procID}
 	if err := uh.Bundle(enc); err != nil {
+		sc.Release()
 		return nil, err
 	}
 	ctx := sess.ctx()
 	if err := rpc.EncodeFuncArgs(sess.srv.reg, ctx, enc, ft, args); err != nil {
+		sc.Release()
 		return nil, err
 	}
 
@@ -690,7 +790,13 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 		sess.waitMu.Unlock()
 	}()
 
-	if err := c.Send(&wire.Msg{Type: wire.MsgUpcall, Seq: seq, Body: body.b}); err != nil {
+	// Buffered replies must precede the upcall: the client task about to
+	// take over the flow of control may depend on them. Send copies the
+	// scratch bytes before returning, so the workspace recycles here.
+	sess.flushReplies()
+	err := c.Send(&wire.Msg{Type: wire.MsgUpcall, Seq: seq, Body: sc.Bytes()})
+	sc.Release()
+	if err != nil {
 		return nil, fmt.Errorf("clam: sending upcall: %w", err)
 	}
 
@@ -729,8 +835,10 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	// consumer.
 	sess.slowFails.Store(0)
 
-	dec := xdr.NewDecoder(byteReader(reply.Body))
-	rets, appErr, err := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dec, ft)
+	dsc := rpc.GetScratch()
+	rets, appErr, err := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dsc.Decoder(reply.Body), ft)
+	dsc.Release()
+	reply.Release()
 	if err != nil {
 		return nil, err
 	}
@@ -756,24 +864,27 @@ func (sess *session) noteUpcallFailure() {
 }
 
 // deliverUpcallReply completes an armed wait slot. cancel delivers a nil
-// message (timeout, shutdown); seq 0 cancels every in-flight slot.
-func (sess *session) deliverUpcallReply(seq uint64, msg *wire.Msg, cancel bool) {
+// message (timeout, shutdown); seq 0 cancels every in-flight slot. It
+// reports whether msg was handed to a waiter — if not (late reply after
+// a timeout), the caller still owns msg and should release it.
+func (sess *session) deliverUpcallReply(seq uint64, msg *wire.Msg, cancel bool) bool {
 	sess.waitMu.Lock()
 	defer sess.waitMu.Unlock()
 	if seq == 0 {
 		for _, w := range sess.waits {
 			completeWaitLocked(w, nil)
 		}
-		return
+		return false
 	}
 	w, ok := sess.waits[seq]
 	if !ok || w.done {
-		return
+		return false
 	}
 	if cancel {
 		msg = nil
 	}
 	completeWaitLocked(w, msg)
+	return msg != nil
 }
 
 // completeWaitLocked finishes one slot; sess.waitMu must be held.
@@ -808,11 +919,12 @@ func (sess *session) reportFault(class, method, msg string) {
 			sess.srv.logf("clam: session %d: dropping fault report (%v): no upcall channel", sess.id, report)
 			return
 		}
-		var body bytesBuf
-		if err := report.bundle(xdr.NewEncoder(&body)); err != nil {
+		sc := rpc.GetScratch()
+		defer sc.Release()
+		if err := report.bundle(sc.Encoder()); err != nil {
 			return
 		}
-		if err := c.Send(&wire.Msg{Type: wire.MsgError, Body: body.b}); err != nil {
+		if err := c.Send(&wire.Msg{Type: wire.MsgError, Body: sc.Bytes()}); err != nil {
 			sess.srv.logf("clam: session %d: fault report failed: %v", sess.id, err)
 		}
 	})

@@ -1,0 +1,75 @@
+package rpc
+
+import (
+	"sync"
+
+	"clam/internal/xdr"
+)
+
+// Scratch is a reusable encode/decode workspace: one growing buffer, one
+// slice reader, and one xdr.Stream, pooled together. The paper's §5 cost
+// table puts message handling at the top of a CLAM call's budget; on a
+// modern runtime that budget is spent in per-call allocation, so the hot
+// paths rearm one workspace per exchange instead of building a fresh
+// buffer, reader and stream for every message.
+//
+// A Scratch serves one encode or one decode at a time. The bytes returned
+// by Bytes remain valid until the next Encoder/Decoder call or Release —
+// long enough to hand to wire.Conn.Write, which copies before returning.
+type Scratch struct {
+	buf xdr.Buffer
+	rd  xdr.Reader
+	st  xdr.Stream
+}
+
+// maxScratch caps the buffer capacity the pool retains, mirroring
+// wire.maxPooledBody: one huge reply must not pin megabytes behind a
+// pool entry forever.
+const maxScratch = 256 << 10
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a workspace from the pool. Pair with Release.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the workspace to the pool. The slice returned by Bytes
+// is dead after this call.
+func (sc *Scratch) Release() {
+	if sc == nil {
+		return
+	}
+	if cap(sc.buf.B) > maxScratch {
+		sc.buf.B = nil
+	}
+	sc.buf.Reset()
+	sc.rd.Reset(nil)
+	scratchPool.Put(sc)
+}
+
+// Encoder rearms the workspace for encoding and returns its stream; the
+// encoded bytes accumulate in the workspace buffer (see Bytes).
+func (sc *Scratch) Encoder() *xdr.Stream {
+	sc.buf.Reset()
+	sc.st.ResetEncode(&sc.buf)
+	return &sc.st
+}
+
+// Decoder rearms the workspace for decoding body and returns its stream.
+// The stream reads body in place; body must stay alive for the duration
+// of the decode (release any pooled wire.Msg only afterwards).
+func (sc *Scratch) Decoder(body []byte) *xdr.Stream {
+	sc.rd.Reset(body)
+	sc.st.ResetDecode(&sc.rd)
+	return &sc.st
+}
+
+// Bytes returns the encoded payload accumulated since the last Encoder
+// call. Valid until the next Encoder/Decoder call or Release.
+func (sc *Scratch) Bytes() []byte { return sc.buf.Bytes() }
+
+// Len reports the encoded payload length.
+func (sc *Scratch) Len() int { return sc.buf.Len() }
+
+// Truncate rolls the encoded payload back to n bytes, discarding a
+// partially encoded item (e.g. one failed call entry in a batch).
+func (sc *Scratch) Truncate(n int) { sc.buf.Truncate(n) }

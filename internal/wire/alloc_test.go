@@ -1,0 +1,66 @@
+package wire
+
+import "testing"
+
+// Allocation guards pinning the pooled fast path: a steady-state framed
+// round trip (Send, Recv, Release) must not allocate per message once
+// the pool is warm. These run under -race in tier-1; a regression that
+// reintroduces per-frame allocation fails here before it shows up in
+// the BENCH_*.json trajectory.
+
+// maxRoundTripAllocs is the pinned budget for one Send+Recv+Release
+// cycle. The pooled path measures 0; the single unit of slack absorbs a
+// rare mid-run GC clearing the pool.
+const maxRoundTripAllocs = 1
+
+func TestAllocsSendRecvRoundTrip(t *testing.T) {
+	c := loopPair()
+	body := make([]byte, 256)
+	m := &Msg{Type: MsgCall, Seq: 1, Body: body}
+	// Warm the pool and the bufio buffers.
+	for i := 0; i < 16; i++ {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	})
+	if allocs > maxRoundTripAllocs {
+		t.Errorf("send/recv round trip allocates %.1f objects/op, budget %d", allocs, maxRoundTripAllocs)
+	}
+}
+
+// Empty-body frames (heartbeats, syncs) must also ride the pool.
+func TestAllocsHeartbeatFrames(t *testing.T) {
+	c := loopPair()
+	m := &Msg{Type: MsgPing, Seq: 7}
+	for i := 0; i < 16; i++ {
+		c.Send(m)
+		got, _ := c.Recv()
+		got.Release()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Send(m)
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Release()
+	})
+	if allocs > maxRoundTripAllocs {
+		t.Errorf("heartbeat round trip allocates %.1f objects/op, budget %d", allocs, maxRoundTripAllocs)
+	}
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"clam/internal/xdr"
+)
+
+// loopConn is a single-goroutine in-memory net.Conn: writes append to a
+// buffer, reads drain it. It lets a test drive a full Send/Recv round
+// trip without goroutines or kernel sockets, which is what the
+// allocation guards need.
+type loopConn struct{ buf bytes.Buffer }
+
+func (l *loopConn) Read(p []byte) (int, error)         { return l.buf.Read(p) }
+func (l *loopConn) Write(p []byte) (int, error)        { return l.buf.Write(p) }
+func (l *loopConn) Close() error                       { return nil }
+func (l *loopConn) LocalAddr() net.Addr                { return loopAddr{} }
+func (l *loopConn) RemoteAddr() net.Addr               { return loopAddr{} }
+func (l *loopConn) SetDeadline(t time.Time) error      { return nil }
+func (l *loopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (l *loopConn) SetWriteDeadline(t time.Time) error { return nil }
+
+type loopAddr struct{}
+
+func (loopAddr) Network() string { return "loop" }
+func (loopAddr) String() string  { return "loop" }
+
+func loopPair() *Conn { return NewConn(&loopConn{}) }
+
+// roundTrip sends m and receives it back on the same in-memory conn.
+func roundTrip(t *testing.T, c *Conn, m *Msg) *Msg {
+	t.Helper()
+	if err := c.Send(m); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	return got
+}
+
+// The frame layer and the xdr layer now share one configurable body
+// limit: a body of exactly the limit passes, one byte more is rejected
+// on both the write and the read side.
+func TestBodyLimitBoundary(t *testing.T) {
+	const limit = 4096
+	prev := xdr.SetMaxBytesLimit(limit)
+	defer xdr.SetMaxBytesLimit(prev)
+
+	if got := BodyLimit(); got != limit {
+		t.Fatalf("BodyLimit() = %d, want %d (shared with xdr)", got, limit)
+	}
+
+	c := loopPair()
+	got := roundTrip(t, c, &Msg{Type: MsgCall, Seq: 1, Body: make([]byte, limit)})
+	if len(got.Body) != limit {
+		t.Fatalf("at-limit body arrived with %d bytes, want %d", len(got.Body), limit)
+	}
+	got.Release()
+
+	if err := c.Write(&Msg{Type: MsgCall, Body: make([]byte, limit+1)}); !errors.Is(err, ErrTooBig) {
+		t.Errorf("write over limit: err = %v, want ErrTooBig", err)
+	}
+
+	// A peer ignoring the limit is stopped at the header.
+	raw := &loopConn{}
+	var h [headerLen]byte
+	putHeader(h[:], MsgCall, 1, limit+1)
+	raw.Write(h[:])
+	if _, err := NewConn(raw).Recv(); !errors.Is(err, ErrTooBig) {
+		t.Errorf("recv over limit: err = %v, want ErrTooBig", err)
+	}
+}
+
+// A corrupt header with an unknown type byte is rejected before its
+// length prefix can force any body allocation: total bytes allocated by
+// the rejection stay far below the max-size body the header announces.
+func TestHostileHeaderRejectedBeforeAllocation(t *testing.T) {
+	var h [headerLen]byte
+	binary.BigEndian.PutUint16(h[0:2], magic)
+	h[2] = 200 // no such MsgType
+	binary.BigEndian.PutUint32(h[12:16], uint32(BodyLimit()))
+
+	conn := &loopConn{}
+	conn.buf.Write(h[:])
+	c := NewConn(conn) // bufio buffers allocated here, outside the window
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	_, err := c.Recv()
+	runtime.ReadMemStats(&m1)
+	if !errors.Is(err, ErrBadType) {
+		t.Fatalf("err = %v, want ErrBadType", err)
+	}
+	if spent := m1.TotalAlloc - m0.TotalAlloc; spent > 1<<20 {
+		t.Errorf("rejecting a hostile header allocated %d bytes; the %d-byte body must not be allocated", spent, BodyLimit())
+	}
+}
+
+// A nonzero reserved byte is a corrupt header, not a frame.
+func TestReservedByteRejected(t *testing.T) {
+	raw := &loopConn{}
+	var h [headerLen]byte
+	putHeader(h[:], MsgCall, 1, 0)
+	h[3] = 7
+	raw.Write(h[:])
+	if _, err := NewConn(raw).Recv(); !errors.Is(err, ErrBadType) {
+		t.Errorf("err = %v, want ErrBadType", err)
+	}
+}
+
+// Write refuses to put an unknown type on the wire at all.
+func TestUnknownTypeRejected(t *testing.T) {
+	c := loopPair()
+	if err := c.Write(&Msg{Type: MsgType(200)}); !errors.Is(err, ErrBadType) {
+		t.Errorf("err = %v, want ErrBadType", err)
+	}
+}
+
+// A header may truthfully announce a large body; Recv must commit
+// storage chunk by chunk and still reassemble the body intact.
+func TestChunkedLargeBodyRoundTrip(t *testing.T) {
+	n := 3*recvChunk + 12345
+	if n > BodyLimit() {
+		t.Skipf("limit %d below test body %d", BodyLimit(), n)
+	}
+	body := make([]byte, n)
+	for i := range body {
+		body[i] = byte(i * 31)
+	}
+	c := loopPair()
+	got := roundTrip(t, c, &Msg{Type: MsgCall, Seq: 9, Body: body})
+	defer got.Release()
+	if !bytes.Equal(got.Body, body) {
+		t.Fatal("chunked body corrupted in transit")
+	}
+}
+
+// A truncated connection that dies mid-body surfaces an error, not a
+// short body.
+func TestTruncatedBodyFails(t *testing.T) {
+	raw := &loopConn{}
+	var h [headerLen]byte
+	putHeader(h[:], MsgCall, 1, 100)
+	raw.Write(h[:])
+	raw.Write(make([]byte, 40)) // 60 bytes short
+	if _, err := NewConn(raw).Recv(); err == nil {
+		t.Fatal("truncated body produced a message")
+	}
+}
+
+// Released messages are recycled: steady-state Recv reuses pooled
+// bodies instead of allocating fresh ones.
+func TestReleaseRecyclesBodies(t *testing.T) {
+	c := loopPair()
+	body := bytes.Repeat([]byte("x"), 512)
+	reused := false
+	var lastPtr *byte
+	for i := 0; i < 8; i++ {
+		got := roundTrip(t, c, &Msg{Type: MsgCall, Seq: uint64(i), Body: body})
+		if len(got.Body) > 0 && lastPtr == &got.Body[0] {
+			reused = true
+		}
+		lastPtr = &got.Body[0]
+		got.Release()
+	}
+	if !reused {
+		t.Error("no pooled body was ever reused across 8 release/recv cycles")
+	}
+}
+
+// Releasing twice, releasing nil, and releasing a caller-built message
+// must all be harmless.
+func TestReleaseEdgeCases(t *testing.T) {
+	var nilMsg *Msg
+	nilMsg.Release()
+	caller := &Msg{Type: MsgCall, Body: []byte("abc")}
+	caller.Release()
+	if string(caller.Body) != "abc" {
+		t.Error("Release mutated a caller-owned message")
+	}
+	c := loopPair()
+	got := roundTrip(t, c, &Msg{Type: MsgCall, Body: []byte("abc")})
+	got.Release()
+	got.Release()
+}
+
+// With pooling disabled (the ablation switch) every Recv allocates a
+// fresh caller-owned message.
+func TestSetPoolingAblation(t *testing.T) {
+	prev := SetPooling(false)
+	defer SetPooling(prev)
+	if !prev {
+		t.Fatal("pooling should default to on")
+	}
+	c := loopPair()
+	got := roundTrip(t, c, &Msg{Type: MsgCall, Body: []byte("abc")})
+	if got.pooled {
+		t.Error("message pooled despite SetPooling(false)")
+	}
+	got.Release() // must be a no-op
+	if string(got.Body) != "abc" {
+		t.Error("unpooled body mutated by Release")
+	}
+}

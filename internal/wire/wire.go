@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"clam/internal/xdr"
 )
 
 // MsgType identifies the conversation a frame belongs to, replacing the
@@ -75,9 +77,13 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
 
-// MaxBody bounds a frame body so a corrupt or hostile peer cannot force an
-// unbounded allocation.
-const MaxBody = 64 << 20
+// BodyLimit reports the cap on a frame body. The limit is shared with the
+// xdr layer (xdr.MaxBytesLimit / xdr.SetMaxBytesLimit): the two layers
+// used to disagree (64 MiB frames over 16 MiB decodables), which let a
+// peer ship a frame that was fully allocated and read only to be rejected
+// mid-decode. With one limit, an oversized body is refused at the frame
+// header, before any of it is read.
+func BodyLimit() int { return xdr.MaxBytesLimit() }
 
 // headerLen is the fixed frame prefix: 4 bytes magic+type, 8 bytes sequence
 // number, 4 bytes body length.
@@ -88,18 +94,94 @@ const magic = 0xC1A0
 
 // Msg is one framed message. Seq correlates replies with requests: a reply
 // carries the Seq of the message it answers.
+//
+// Messages returned by Recv are pooled: the caller owns the message until
+// it calls Release (or writes it back with Write/Send, which consumes it),
+// after which the message and its body must not be touched. Data that
+// must outlive the message must be copied out — the xdr decoders already
+// copy, so decode-then-Release is the normal pattern.
 type Msg struct {
 	Type MsgType
 	Seq  uint64
 	Body []byte
+	// pooled marks a message whose storage came from msgPool and returns
+	// there on Release. Caller-constructed messages are never pooled.
+	pooled bool
+}
+
+// msgPool recycles Recv messages together with their body arrays. The
+// paper's §5 table shows message handling dominating a CLAM call; on a
+// modern runtime the per-frame make([]byte, n) is a large share of that,
+// so steady-state Recv reuses released bodies instead of allocating.
+var msgPool = sync.Pool{New: func() any { return new(Msg) }}
+
+// maxPooledBody caps the body capacity the pool will retain, so one huge
+// frame does not pin megabytes behind a pool entry forever.
+const maxPooledBody = 256 << 10
+
+// poolingOff disables frame pooling (the allocation ablation switch).
+var poolingOff atomic.Bool
+
+// SetPooling toggles frame-body pooling and reports the previous state.
+// Pooling is on by default; turning it off restores the allocate-per-Recv
+// behavior and is intended only for the allocation ablation benchmarks.
+func SetPooling(on bool) (prev bool) { return !poolingOff.Swap(!on) }
+
+// newRecvMsg returns a message with a body of length n, pooled when
+// pooling is enabled.
+func newRecvMsg(n int) *Msg {
+	if poolingOff.Load() {
+		m := &Msg{}
+		if n > 0 {
+			m.Body = make([]byte, n)
+		}
+		return m
+	}
+	m := msgPool.Get().(*Msg)
+	m.pooled = true
+	if n == 0 {
+		m.Body = m.Body[:0]
+		return m
+	}
+	if cap(m.Body) < n {
+		m.Body = make([]byte, n)
+	} else {
+		m.Body = m.Body[:n]
+	}
+	return m
+}
+
+// Release returns a pooled message to the frame pool. It is a no-op for
+// nil and caller-constructed messages, and idempotent for pooled ones,
+// but any use of the message or a retained Body slice after Release is a
+// data race with the next Recv.
+func (m *Msg) Release() {
+	if m == nil || !m.pooled {
+		return
+	}
+	m.pooled = false
+	m.Type = 0
+	m.Seq = 0
+	if cap(m.Body) > maxPooledBody {
+		m.Body = nil
+	} else {
+		m.Body = m.Body[:0]
+	}
+	msgPool.Put(m)
 }
 
 // Frame errors.
 var (
 	ErrBadMagic = errors.New("wire: bad frame magic")
+	ErrBadType  = errors.New("wire: unknown frame type")
 	ErrTooBig   = errors.New("wire: frame body exceeds limit")
 	ErrClosed   = errors.New("wire: connection closed")
 )
+
+// validType reports whether t is a known frame type — checked on both
+// ends so a corrupt header is caught before its length prefix can force
+// an allocation.
+func validType(t MsgType) bool { return t >= MsgHello && t <= MsgPong }
 
 // Conn frames messages over a reliable, in-order byte stream. Writes are
 // buffered until Flush so several messages — or one message assembled
@@ -117,6 +199,11 @@ type Conn struct {
 	// blocked in Recv, which holds rmu across the wait for data.
 	sent     atomic.Uint64
 	received atomic.Uint64
+	// Header scratch lives on the Conn (not the stack) because slices
+	// passed through the io interfaces escape; wh is guarded by wmu, rh
+	// by rmu.
+	wh [headerLen]byte
+	rh [headerLen]byte
 }
 
 // NewConn wraps c in a framed connection.
@@ -143,7 +230,9 @@ func putHeader(h []byte, t MsgType, seq uint64, n int) {
 }
 
 // Write queues m on the connection without flushing. Use it to batch; pair
-// with Flush. Safe for concurrent use.
+// with Flush. Safe for concurrent use. Writing a pooled message (one
+// returned by Recv) consumes it: the body is recycled once it has been
+// copied toward the kernel.
 func (c *Conn) Write(m *Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -151,18 +240,24 @@ func (c *Conn) Write(m *Msg) error {
 }
 
 func (c *Conn) writeLocked(m *Msg) error {
-	if len(m.Body) > MaxBody {
+	if !validType(m.Type) {
+		return fmt.Errorf("%w: %d", ErrBadType, uint8(m.Type))
+	}
+	if len(m.Body) > BodyLimit() {
 		return fmt.Errorf("%w: %d bytes", ErrTooBig, len(m.Body))
 	}
-	var h [headerLen]byte
-	putHeader(h[:], m.Type, m.Seq, len(m.Body))
-	if _, err := c.bw.Write(h[:]); err != nil {
+	putHeader(c.wh[:], m.Type, m.Seq, len(m.Body))
+	if _, err := c.bw.Write(c.wh[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
+	// bufio either copies the body into its buffer or hands it to the
+	// kernel before returning, so the caller's (or the pool's) reuse of
+	// the array after this point is safe.
 	if _, err := c.bw.Write(m.Body); err != nil {
 		return fmt.Errorf("wire: write body: %w", err)
 	}
 	c.sent.Add(1)
+	m.Release()
 	return nil
 }
 
@@ -189,13 +284,24 @@ func (c *Conn) Send(m *Msg) error {
 	return nil
 }
 
+// recvChunk bounds how much body storage Recv commits before the bytes
+// actually arrive: a corrupt-but-well-formed header can name a body up to
+// BodyLimit, so large bodies are read in capped chunks and the buffer
+// grows only as data shows up.
+const recvChunk = 1 << 20
+
 // Recv blocks until the next frame arrives and returns it. The returned
-// body is freshly allocated and owned by the caller.
+// message is pooled: the caller owns it until Msg.Release (or a Write,
+// which consumes it), and must copy out any body bytes it keeps.
+//
+// A frame is validated — magic, known type, reserved byte, body within
+// the shared BodyLimit — before any body storage is committed, so a
+// hostile or corrupt header cannot force a max-size allocation.
 func (c *Conn) Recv() (*Msg, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	var h [headerLen]byte
-	if _, err := io.ReadFull(c.br, h[:]); err != nil {
+	h := c.rh[:]
+	if _, err := io.ReadFull(c.br, h); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 			errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
 			return nil, ErrClosed
@@ -205,20 +311,50 @@ func (c *Conn) Recv() (*Msg, error) {
 	if binary.BigEndian.Uint16(h[0:2]) != magic {
 		return nil, ErrBadMagic
 	}
-	n := binary.BigEndian.Uint32(h[12:16])
-	if n > MaxBody {
+	if t := MsgType(h[2]); !validType(t) || h[3] != 0 {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, h[2])
+	}
+	n := int(binary.BigEndian.Uint32(h[12:16]))
+	if n > BodyLimit() {
 		return nil, fmt.Errorf("%w: %d bytes", ErrTooBig, n)
 	}
-	m := &Msg{
-		Type: MsgType(h[2]),
-		Seq:  binary.BigEndian.Uint64(h[4:12]),
-		Body: make([]byte, n),
-	}
-	if _, err := io.ReadFull(c.br, m.Body); err != nil {
-		return nil, fmt.Errorf("wire: read body: %w", err)
+	m := newRecvMsg(min(n, recvChunk))
+	m.Type = MsgType(h[2])
+	m.Seq = binary.BigEndian.Uint64(h[4:12])
+	if err := c.readBody(m, n); err != nil {
+		m.Release()
+		return nil, err
 	}
 	c.received.Add(1)
 	return m, nil
+}
+
+// readBody fills m.Body with the n-byte frame body, growing in recvChunk
+// steps so storage is committed only as data arrives.
+func (c *Conn) readBody(m *Msg, n int) error {
+	if n <= recvChunk {
+		if _, err := io.ReadFull(c.br, m.Body); err != nil {
+			return fmt.Errorf("wire: read body: %w", err)
+		}
+		return nil
+	}
+	body := m.Body[:0]
+	for len(body) < n {
+		step := min(n-len(body), recvChunk)
+		if cap(body)-len(body) < step {
+			grown := make([]byte, len(body), min(2*cap(body)+step, n))
+			copy(grown, body)
+			body = grown
+		}
+		seg := body[len(body) : len(body)+step]
+		if _, err := io.ReadFull(c.br, seg); err != nil {
+			m.Body = body
+			return fmt.Errorf("wire: read body: %w", err)
+		}
+		body = body[:len(body)+step]
+	}
+	m.Body = body
+	return nil
 }
 
 // Stats reports the number of frames sent and received so far. The two

@@ -119,7 +119,7 @@ func TestBadMagicRejected(t *testing.T) {
 
 func TestOversizeWriteRejected(t *testing.T) {
 	a, _ := connPair(t)
-	m := &Msg{Type: MsgCall, Body: make([]byte, MaxBody+1)}
+	m := &Msg{Type: MsgCall, Body: make([]byte, BodyLimit()+1)}
 	if err := a.Write(m); !errors.Is(err, ErrTooBig) {
 		t.Errorf("err = %v, want ErrTooBig", err)
 	}
@@ -131,7 +131,7 @@ func TestOversizeHeaderRejected(t *testing.T) {
 	go func() {
 		defer ac.Close()
 		var h [headerLen]byte
-		putHeader(h[:], MsgCall, 1, MaxBody+1)
+		putHeader(h[:], MsgCall, 1, BodyLimit()+1)
 		ac.Write(h[:])
 	}()
 	b := NewConn(bc)
@@ -205,7 +205,9 @@ func TestCloseIdempotent(t *testing.T) {
 func TestQuickFrameRoundTrip(t *testing.T) {
 	a, b := connPair(t)
 	f := func(ty uint8, seq uint64, body []byte) bool {
-		m := &Msg{Type: MsgType(ty), Seq: seq, Body: body}
+		// Map the arbitrary byte into the valid type range; unknown
+		// types are rejected at Write (see TestUnknownTypeRejected).
+		m := &Msg{Type: MsgHello + MsgType(ty)%(MsgPong-MsgHello+1), Seq: seq, Body: body}
 		errc := make(chan error, 1)
 		go func() { errc <- a.Send(m) }()
 		got, err := b.Recv()

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync/atomic"
 )
 
 // Op selects the direction a Stream operates in.
@@ -45,13 +46,35 @@ func (op Op) String() string {
 
 // Limits protecting a decoder from hostile or corrupt length prefixes.
 const (
-	// MaxBytes is the largest variable-length opaque or string a Stream
-	// will decode.
-	MaxBytes = 16 << 20
+	// DefaultMaxBytes is the default cap on a variable-length opaque or
+	// string, and — because the wire layer shares the limit (see
+	// wire.BodyLimit) — on a whole frame body.
+	DefaultMaxBytes = 16 << 20
 	// MaxElems is the largest element count a Stream will decode for a
 	// counted array.
 	MaxElems = 1 << 20
 )
+
+// maxBytes is the configurable byte-length limit, shared by this package's
+// decoders and the frame layer so an oversized payload is rejected before
+// it is ever allocated or read, not mid-decode.
+var maxBytes atomic.Int64
+
+func init() { maxBytes.Store(DefaultMaxBytes) }
+
+// MaxBytesLimit reports the current byte-length limit.
+func MaxBytesLimit() int { return int(maxBytes.Load()) }
+
+// SetMaxBytesLimit sets the byte-length limit shared by the xdr and wire
+// layers and returns the previous value. n <= 0 restores the default.
+// Raise it only in deployments that genuinely ship frames past 16 MiB;
+// both peers must agree or large frames fail on one side only.
+func SetMaxBytesLimit(n int) (prev int) {
+	if n <= 0 {
+		n = DefaultMaxBytes
+	}
+	return int(maxBytes.Swap(int64(n)))
+}
 
 // Common stream errors.
 var (
@@ -340,7 +363,7 @@ func (s *Stream) Bytes(p *[]byte) error {
 		return s.err
 	}
 	if s.op == Decode {
-		if n > MaxBytes {
+		if int64(n) > maxBytes.Load() {
 			s.SetErr(fmt.Errorf("%w: %d bytes", ErrTooLarge, n))
 			return s.err
 		}
@@ -353,12 +376,30 @@ func (s *Stream) Bytes(p *[]byte) error {
 	return s.Opaque(*p)
 }
 
-// String transfers a string as a counted sequence of bytes.
+// String transfers a string as a counted sequence of bytes. Encoding to a
+// writer that supports io.StringWriter (e.g. the Buffer scratch) copies
+// the string directly, without the per-call []byte conversion.
 func (s *Stream) String(v *string) error {
 	switch s.op {
 	case Encode:
-		b := []byte(*v)
-		s.Bytes(&b)
+		n := uint32(len(*v))
+		s.word(&n)
+		if s.err != nil {
+			return s.err
+		}
+		if sw, ok := s.w.(io.StringWriter); ok {
+			nn, err := sw.WriteString(*v)
+			s.nw += nn
+			if err != nil {
+				s.err = fmt.Errorf("xdr: write: %w", err)
+				return s.err
+			}
+			if r := len(*v) % 4; r != 0 {
+				s.write(pad[:4-r])
+			}
+		} else {
+			s.Opaque([]byte(*v))
+		}
 	case Decode:
 		var b []byte
 		if s.Bytes(&b) == nil {

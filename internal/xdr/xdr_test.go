@@ -233,7 +233,7 @@ func TestBytesReusesCapacity(t *testing.T) {
 
 func TestBytesLengthLimit(t *testing.T) {
 	var buf bytes.Buffer
-	huge := uint32(MaxBytes + 1)
+	huge := uint32(MaxBytesLimit() + 1)
 	if err := NewEncoder(&buf).Uint32(&huge); err != nil {
 		t.Fatal(err)
 	}
