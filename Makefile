@@ -19,11 +19,12 @@ test:
 	$(GO) test ./...
 
 # The concurrency-heavy packages additionally run under the race detector:
-# sessions, heartbeats, eviction and upcall queues all share state across
-# goroutines. wire and rpc ride along so the allocation guards are also
-# exercised with the race runtime's different allocator behaviour.
+# sessions, heartbeats, eviction, upcall queues, the RUC table and the
+# task scheduler all share state across goroutines. wire and rpc ride
+# along so the allocation guards are also exercised with the race
+# runtime's different allocator behaviour.
 race:
-	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc
+	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc ./internal/ruc ./internal/task
 
 # Reproducible bench pipeline: regenerates BENCH_2.json (Fig 5.1 suite +
 # pooling ablation, with the embedded pre-change baseline for comparison).

@@ -172,6 +172,15 @@ func SelfDial(srv *Server, opts ...DialOption) (*Client, error) {
 	return core.SelfDial(srv, opts...)
 }
 
+// SelfDialUpstream stacks srv on lower inside one process: srv dials
+// lower over an in-memory pipe and attaches the connection for
+// forwarding, exactly as Server.DialUpstream does across machines. Use
+// Server.ImportNamed afterwards to re-export the lower server's base
+// instances as proxies.
+func SelfDialUpstream(srv, lower *Server, opts ...DialOption) (*Client, error) {
+	return core.SelfDialUpstream(srv, lower, opts...)
+}
+
 // NewLibrary returns an empty class library.
 func NewLibrary() *Library { return dynload.NewLibrary() }
 
@@ -192,6 +201,16 @@ type MetricsSnapshot = core.MetricsSnapshot
 // robustness counters (retries, timeouts, heartbeats), from
 // Client.Metrics.
 type ClientMetricsSnapshot = core.ClientMetricsSnapshot
+
+// LinkStats is the per-endpoint transport health block (retries,
+// timeouts, heartbeats) shared by MetricsSnapshot and
+// ClientMetricsSnapshot — one vocabulary for both ends of a link.
+type LinkStats = core.LinkStats
+
+// ForwardingStats counts a middle tier's relay activity: calls relayed
+// to the upstream server, upcalls relayed up into clients, and live
+// proxy handles (see Server.DialUpstream).
+type ForwardingStats = core.ForwardingStats
 
 // RetryPolicy shapes client-side retries of idempotent-marked calls:
 // attempt budget, exponential backoff with a ceiling, and jitter.

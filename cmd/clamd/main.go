@@ -9,8 +9,15 @@
 //	clamd -listen tcp:127.0.0.1:7047 -width 640 -height 480
 //	clamd -listen tcp:0.0.0.0:7047 -heartbeat 2s -liveness 10s \
 //	      -max-sessions 64 -slow-consumer-limit 3
+//	clamd -listen unix:/tmp/mid.sock -upstream unix:/tmp/clam.sock \
+//	      -import framer,transport
 //
-// See OPERATIONS.md for tuning guidance on the robustness flags.
+// The last form runs a middle tier: the server stacks on a lower CLAM
+// server, re-exports the named objects as proxies, relays calls on them
+// down, and relays the lower server's upcalls up into its own clients.
+//
+// See OPERATIONS.md for tuning guidance on the robustness flags and the
+// middle-tier deployment notes.
 package main
 
 import (
@@ -39,11 +46,16 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited)")
 	slowLimit := flag.Int("slow-consumer-limit", 0, "evict a client after this many consecutive upcall failures (0 = disabled)")
 	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
+	upstream := flag.String("upstream", "", "lower CLAM server to stack on, as network:address; this server relays calls down and upcalls up")
+	imports := flag.String("import", "", "comma-separated named objects to re-export from the -upstream server as proxies")
 	flag.Parse()
 
 	network, addr, ok := strings.Cut(*listen, ":")
 	if !ok || (network != "unix" && network != "tcp") {
 		log.Fatalf("clamd: bad -listen %q; want unix:PATH or tcp:HOST:PORT", *listen)
+	}
+	if *imports != "" && *upstream == "" {
+		log.Fatal("clamd: -import requires -upstream")
 	}
 
 	lib := clam.NewLibrary()
@@ -114,6 +126,33 @@ func main() {
 	}
 	srv.SetNamed("pinger", pobj)
 
+	// Middle-tier placement (§1's layering across address spaces): dial a
+	// lower CLAM server and re-export selected base instances as proxies.
+	// Calls on them relay down; their upcalls relay back up through this
+	// server into our clients.
+	if *upstream != "" {
+		unet, uaddr, ok := strings.Cut(*upstream, ":")
+		if !ok || (unet != "unix" && unet != "tcp") {
+			log.Fatalf("clamd: bad -upstream %q; want unix:PATH or tcp:HOST:PORT", *upstream)
+		}
+		up, err := srv.DialUpstream(unet, uaddr)
+		if err != nil {
+			log.Fatalf("clamd: dialing upstream: %v", err)
+		}
+		if *imports != "" {
+			names := strings.Split(*imports, ",")
+			for i := range names {
+				names[i] = strings.TrimSpace(names[i])
+			}
+			if err := srv.ImportNamed(up, names...); err != nil {
+				log.Fatalf("clamd: importing from upstream: %v", err)
+			}
+			fmt.Printf("clamd: stacked on %s, re-exporting: %s\n", *upstream, strings.Join(names, ", "))
+		} else {
+			fmt.Printf("clamd: stacked on %s\n", *upstream)
+		}
+	}
+
 	if network == "unix" {
 		os.Remove(addr) // stale socket from a previous run
 	}
@@ -137,6 +176,10 @@ func main() {
 	if m.HeartbeatsSent > 0 {
 		fmt.Printf("clamd: heartbeats — %d sent, %d received\n",
 			m.HeartbeatsSent, m.HeartbeatsReceived)
+	}
+	if f := m.Forwarding; f.CallsRelayedDown > 0 || f.UpcallsRelayedUp > 0 || f.ProxyHandlesLive > 0 {
+		fmt.Printf("clamd: forwarding — %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
+			f.CallsRelayedDown, f.UpcallsRelayedUp, f.ProxyHandlesLive)
 	}
 	if top := m.TopCalls(5); len(top) > 0 {
 		fmt.Printf("clamd: busiest methods: %v\n", top)

@@ -1,9 +1,15 @@
-// Protostack: the paper's layered-network-protocol motivation (§1). A
-// three-layer protocol stack is dynamically loaded into a CLAM server;
-// device bytes are injected at the bottom, propagate upward through the
-// framing, transport and assembly layers — each mapping, queueing or
-// discarding events — and each completed message crosses to the client as
-// a distributed upcall. Run with: go run ./examples/protostack
+// Protostack: the paper's layered-network-protocol motivation (§1),
+// spread across THREE address spaces. A device/transport server sits at
+// the bottom; an assembly server stacks on top of it as a middle tier
+// (DialUpstream); the application layer lives in the client, attached to
+// the middle. Device bytes injected by the client descend two hops
+// through proxy handles; every layer event climbs back up as an upcall,
+// with the inter-process hops crossing as distributed upcalls:
+//
+//	client  ──Feed──▶ middle ──relay──▶ bottom: Framer → Transport
+//	client ◀─OnMessage── middle: Assembler ◀──OnPacket upcall── bottom
+//
+// Run with: go run ./examples/protostack
 package main
 
 import (
@@ -17,56 +23,90 @@ import (
 )
 
 func main() {
-	lib := clam.NewLibrary()
-	proto.MustRegister(lib)
-	srv := clam.NewServer(lib)
-	defer srv.Close()
-
-	// Build the server-side stack bottom-up and publish the layers.
-	fobj, _, err := srv.CreateInstance("framer", 0, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv.SetNamed("framer", fobj)
-	tobj, _, err := srv.CreateInstance("transport", 0, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv.SetNamed("transport", tobj)
-	aobj, _, err := srv.CreateInstance("assembler", 0, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv.SetNamed("assembler", aobj)
-
 	dir, err := os.MkdirTemp("", "clam-protostack")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer os.RemoveAll(dir)
-	sock := filepath.Join(dir, "clam.sock")
-	if _, err := srv.Listen("unix", sock); err != nil {
+
+	// Bottom address space: the device server. Framing and transport load
+	// here; the transport auto-attaches to the framer through the
+	// constructor environment.
+	deviceLib := clam.NewLibrary()
+	proto.MustRegister(deviceLib)
+	device := clam.NewServer(deviceLib)
+	defer device.Close()
+	fobj, _, err := device.CreateInstance("framer", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device.SetNamed("framer", fobj)
+	tobj, _, err := device.CreateInstance("transport", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	device.SetNamed("transport", tobj)
+	deviceSock := filepath.Join(dir, "device.sock")
+	if _, err := device.Listen("unix", deviceSock); err != nil {
 		log.Fatal(err)
 	}
 
-	c, err := clam.Dial("unix", sock)
+	// Middle address space: the assembly server. It is a client of the
+	// device server (upstream) and a server to the application client —
+	// the symmetric endpoint role the layering of §1 calls for.
+	asmLib := clam.NewLibrary()
+	proto.MustRegister(asmLib)
+	assembly := clam.NewServer(asmLib)
+	defer assembly.Close()
+	up, err := assembly.DialUpstream("unix", deviceSock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Re-export the bottom's framer and transport so the client can reach
+	// the device layers through the middle: calls on the proxies are
+	// relayed down one hop.
+	if err := assembly.ImportNamed(up, "framer", "transport"); err != nil {
+		log.Fatal(err)
+	}
+	aobj, _, err := assembly.CreateInstance("assembler", 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assembly.SetNamed("assembler", aobj)
+	asm := aobj.(*proto.Assembler)
+
+	// Inter-layer registration across the bottom hop (§4.1): the middle's
+	// assembler registers its Packet procedure with the bottom's
+	// transport. Each in-order packet now crosses the device→assembly
+	// boundary as a distributed upcall.
+	transport, err := up.NamedObject("transport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := transport.Call("OnPacket", asm.Packet); err != nil {
+		log.Fatal(err)
+	}
+
+	asmSock := filepath.Join(dir, "assembly.sock")
+	if _, err := assembly.Listen("unix", asmSock); err != nil {
+		log.Fatal(err)
+	}
+
+	// Top address space: the application client, attached to the middle.
+	c, err := clam.Dial("unix", asmSock)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer c.Close()
 
-	framer, err := c.NamedObject("framer")
-	if err != nil {
-		log.Fatal(err)
-	}
+	// The application layer registers for complete messages with the
+	// middle's assembler — the second upcall hop. The registration crosses
+	// one address space; afterwards the assembler cannot tell this
+	// observer from a local one.
 	assembler, err := c.NamedObject("assembler")
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// The application layer lives in the client: register for complete
-	// messages. The registration crosses one address space; afterwards
-	// the assembler cannot tell this observer from a local one.
 	msgs := make(chan proto.Message, 8)
 	if err := assembler.Call("OnMessage", func(m proto.Message) {
 		msgs <- m
@@ -74,21 +114,49 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// "framer" at the middle is a proxy for the bottom's framer: calls on
+	// it descend both hops.
+	framer, err := c.NamedObject("framer")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The client can also tap a layer two address spaces down: this
+	// packet observer registers through the middle's transport proxy, so
+	// each in-order packet climbs bottom → middle → client, translated at
+	// every hop (§3.5.2 procedure-pointer forwarding).
+	packets := make(chan proto.Packet, 16)
+	transportProxy, err := c.NamedObject("transport")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := transportProxy.Call("OnPacket", func(p proto.Packet) {
+		packets <- p
+	}); err != nil {
+		log.Fatal(err)
+	}
+
 	// A simulated peer produces the device byte stream: three messages,
-	// fragmented at a 6-byte MTU, delivered with the middle message's
-	// packets reordered and one frame duplicated.
+	// fragmented at a 6-byte MTU, with the first message's frames
+	// replayed once — the transport at the bottom must drop the replays.
 	sender := proto.NewSender(6)
 	var stream []byte
-	for _, text := range []string{"hello upcalls", "the middle message", "goodbye"} {
+	var wantPackets int
+	for i, text := range []string{"hello upcalls", "the middle message", "goodbye"} {
 		b, err := sender.Send([]byte(text))
 		if err != nil {
 			log.Fatal(err)
 		}
 		stream = append(stream, b...)
+		if i == 0 {
+			stream = append(stream, b...) // duplicated frames, stale seqs
+		}
+		wantPackets += (len(text) + 5) / 6
 	}
 
-	// Inject the bytes at the device layer, in awkward chunks, via RPC —
-	// the driver happens to live in another address space.
+	// Inject the bytes at the device layer, in awkward chunks, via relayed
+	// asynchronous RPC — the driver happens to live two address spaces up.
+	// Sync flushes the batch down both hops (§3.4 across the chain).
 	for off := 0; off < len(stream); off += 11 {
 		end := off + 11
 		if end > len(stream) {
@@ -102,15 +170,30 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Completion is signalled by the upcalls themselves: every surviving
+	// packet reaches the tap and every message reaches the application.
 	for i := 0; i < 3; i++ {
 		m := <-msgs
 		fmt.Printf("message %d (%d packets): %q\n", i+1, m.Packets, m.Data)
 	}
+	for i := 0; i < wantPackets; i++ {
+		<-packets
+	}
 
-	// Layer statistics show where events were absorbed.
+	// Layer statistics show where events were absorbed — gathered with a
+	// two-hop relayed call and a one-hop local call.
 	var good, bad int64
 	if err := framer.CallInto("Stats", []any{&good, &bad}); err != nil {
 		log.Fatal(err)
 	}
+	var dups, queued, next int64
+	if err := transport.CallInto("Stats", []any{&dups, &queued, &next}); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("framing layer: %d frames validated, %d discarded\n", good, bad)
+	fmt.Printf("transport layer: %d duplicates dropped, %d queued, next seq %d\n", dups, queued, next)
+	fmt.Printf("application layer: %d packets observed through the two-hop tap\n", wantPackets)
+	fwd := assembly.Metrics().Forwarding
+	fmt.Printf("middle tier: %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
+		fwd.CallsRelayedDown, fwd.UpcallsRelayedUp, fwd.ProxyHandlesLive)
 }

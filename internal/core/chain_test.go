@@ -1,0 +1,358 @@
+package core
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"clam/internal/handle"
+	"clam/internal/rpc"
+)
+
+// Three-address-space tests: a top client, a middle server that dialed a
+// bottom server, all over real sockets. Calls flow down through the proxy
+// handles, upcalls chain back up through per-hop RUC translation — the
+// paper's layering (§1, Figure 1) stretched across N processes.
+
+type chainFixture struct {
+	bottom *Server
+	mid    *Server
+	up     *Client // the middle tier's upstream connection to the bottom
+	top    *Client
+
+	bottomNotifier *notifier
+	bottomParent   *parent
+}
+
+// startChain brings up bottom and middle servers on unix sockets, attaches
+// the middle to the bottom via upstream dial, imports the bottom's named
+// base instances, and connects a top client to the middle.
+func startChain(t testing.TB, upstreamOpts []DialOption, topOpts ...DialOption) *chainFixture {
+	t.Helper()
+	ch := &chainFixture{}
+	var bottomPath string
+	ch.bottom, bottomPath = startServer(t)
+
+	nobj, _, err := ch.bottom.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.bottom.SetNamed("notify", nobj)
+	ch.bottomNotifier = nobj.(*notifier)
+
+	cobj, _, err := ch.bottom.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.bottom.SetNamed("tally", cobj)
+
+	pobj, _, err := ch.bottom.CreateInstance("parent", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.bottom.SetNamed("family", pobj)
+	ch.bottomParent = pobj.(*parent)
+
+	ch.mid = NewServer(testLibrary(t),
+		WithServerLog(func(format string, args ...any) { t.Logf("mid: "+format, args...) }))
+	midPath := filepath.Join(t.TempDir(), "mid.sock")
+	if _, err := ch.mid.Listen("unix", midPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ch.mid.Close() })
+
+	upstreamOpts = append([]DialOption{
+		WithClientLog(func(format string, args ...any) { t.Logf("mid-up: "+format, args...) }),
+	}, upstreamOpts...)
+	ch.up, err = ch.mid.DialUpstream("unix", bottomPath, upstreamOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.mid.ImportNamed(ch.up, "notify", "tally", "family"); err != nil {
+		t.Fatal(err)
+	}
+
+	ch.top = dialClient(t, midPath, topOpts...)
+	return ch
+}
+
+// TestChainUpcallRelay: an upcall originated by the bottom server reaches
+// the top client, correct and in order, through the middle tier. The
+// procedure pointer descends two hops (top→middle→bottom, re-registered
+// per hop, §3.5.2) and each upcall climbs back the same way.
+func TestChainUpcallRelay(t *testing.T) {
+	ch := startChain(t, nil)
+
+	notify, err := ch.top.NamedObject("notify")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got []int32
+	handler := func(x int32, s string) int32 {
+		mu.Lock()
+		got = append(got, x)
+		mu.Unlock()
+		return 2 * x
+	}
+	if err := notify.Call("Register", handler); err != nil {
+		t.Fatal(err)
+	}
+
+	// Top-originated: a synchronous Trigger relayed down, whose execution
+	// upcalls back up through both hops before the call returns.
+	var sum int32
+	if err := notify.CallInto("Trigger", []any{&sum}, int32(7), "from-top"); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 14 {
+		t.Fatalf("relayed Trigger sum = %d, want 14", sum)
+	}
+
+	// Bottom-originated: the bottom server invokes the registered procedure
+	// directly (the paper's device-driven upcall, §4.3) — each invocation
+	// must reach the top client and return its result.
+	for i := int32(1); i <= 10; i++ {
+		s, err := ch.bottomNotifier.Trigger(i, "from-bottom")
+		if err != nil {
+			t.Fatalf("bottom-originated trigger %d: %v", i, err)
+		}
+		if s != 2*i {
+			t.Fatalf("trigger %d returned %d, want %d", i, s, 2*i)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int32{7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if len(got) != len(want) {
+		t.Fatalf("handler ran %d times, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("upcall order %v, want %v", got, want)
+		}
+	}
+
+	m := ch.mid.Metrics()
+	if m.Forwarding.CallsRelayedDown == 0 {
+		t.Fatal("middle tier counted no relayed calls")
+	}
+	if m.Forwarding.UpcallsRelayedUp != uint64(len(want)) {
+		t.Fatalf("UpcallsRelayedUp = %d, want %d", m.Forwarding.UpcallsRelayedUp, len(want))
+	}
+	if m.Forwarding.ProxyHandlesLive == 0 {
+		t.Fatal("middle tier reports no live proxy handles")
+	}
+}
+
+// TestChainObjectProxies: class-instance results cross both hops as
+// proxy-of-proxy handles, and passing such a handle back down resolves to
+// the real object at the bottom.
+func TestChainObjectProxies(t *testing.T) {
+	ch := startChain(t, nil)
+
+	family, err := ch.top.NamedObject("family")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var kid *Remote
+	if err := family.CallInto("Child", []any{&kid}, int64(0)); err != nil {
+		t.Fatal(err)
+	}
+	if kid == nil {
+		t.Fatal("Child(0) returned nil proxy")
+	}
+	var name string
+	if err := kid.CallInto("Name", []any{&name}); err != nil {
+		t.Fatal(err)
+	}
+	if name != "alice" {
+		t.Fatalf("Name through two hops = %q, want %q", name, "alice")
+	}
+
+	// The proxy handle descends: Adopt must identify the same bottom object.
+	var idx int64
+	if err := family.CallInto("Adopt", []any{&idx}, kid); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 0 {
+		t.Fatalf("Adopt(Child(0)) = %d, want 0", idx)
+	}
+
+	// A nil object pointer stays nil across hops, and the application error
+	// comes back with its status intact.
+	err = family.CallInto("Adopt", []any{&idx}, (*Remote)(nil))
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || re.Status != rpc.StatusAppError || !strings.Contains(re.Msg, "nil child") {
+		t.Fatalf("Adopt(nil) error = %v, want application error %q", err, "nil child")
+	}
+}
+
+// TestChainRevocation: revoking the real object at the bottom propagates —
+// the middle's proxy entry is revoked on the stale report, so the upper
+// handle dies with the lower one (§3.5.1 across hops). A forged tag is
+// rejected at the first hop that sees it.
+func TestChainRevocation(t *testing.T) {
+	ch := startChain(t, nil)
+
+	family, err := ch.top.NamedObject("family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kid *Remote
+	if err := family.CallInto("Child", []any{&kid}, int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	if err := kid.CallInto("Name", []any{&name}); err != nil || name != "bob" {
+		t.Fatalf("Name = %q, %v; want %q", name, err, "bob")
+	}
+
+	// Tag mismatch: same id, wrong tag, rejected by the middle's table
+	// without ever reaching the bottom.
+	forged := &Remote{c: ch.top, h: handle.Handle{ID: kid.h.ID, Tag: kid.h.Tag + 1}}
+	err = forged.CallInto("Name", []any{&name})
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch || !strings.Contains(re.Msg, "tag mismatch") {
+		t.Fatalf("forged-tag call error = %v, want dispatch %q", err, "tag mismatch")
+	}
+
+	live := ch.mid.Metrics().Forwarding.ProxyHandlesLive
+
+	// Revoke the real child at the bottom; the next relayed call fails and
+	// takes the middle's proxy entry with it.
+	if !ch.bottom.Handles().RevokeObj(ch.bottomParent.kids[1]) {
+		t.Fatal("bottom object was not registered")
+	}
+	err = kid.CallInto("Name", []any{&name})
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch {
+		t.Fatalf("call after bottom revocation = %v, want dispatch error", err)
+	}
+	if got := ch.mid.Metrics().Forwarding.ProxyHandlesLive; got != live-1 {
+		t.Fatalf("ProxyHandlesLive after revocation = %d, want %d", got, live-1)
+	}
+	// The proxy itself is now gone from the middle's table: the failure
+	// shifts from the bottom to the first hop.
+	err = kid.CallInto("Name", []any{&name})
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch || !strings.Contains(re.Msg, "unknown object identifier") {
+		t.Fatalf("second call after revocation = %v, want %q", err, "unknown object identifier")
+	}
+}
+
+// TestChainAsyncSync: asynchronous calls batch across the first hop, relay
+// asynchronously across the second, and the client's Sync guarantee covers
+// the full chain (§3.4 end to end).
+func TestChainAsyncSync(t *testing.T) {
+	ch := startChain(t, nil)
+
+	tally, err := ch.top.NamedObject("tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want int64
+	for i := int64(1); i <= 25; i++ {
+		if err := tally.Async("Add", i); err != nil {
+			t.Fatal(err)
+		}
+		want += i
+	}
+	if err := ch.top.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := tally.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total != want {
+		t.Fatalf("Total after chained Sync = %d, want %d", total, want)
+	}
+}
+
+// TestChainMiddleHopDrop: severing the middle→bottom link fails relayed
+// calls with an error instead of hanging, while the middle server itself
+// stays healthy for local work and the top client stays connected.
+func TestChainMiddleHopDrop(t *testing.T) {
+	cl := &chaosLinks{}
+	ch := startChain(t, []DialOption{
+		WithDialFunc(cl.dial),
+		WithCallTimeout(2 * time.Second),
+	})
+
+	tally, err := ch.top.NamedObject("tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := tally.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the middle tier's RPC channel to the bottom mid-chain.
+	cl.rpc().Sever()
+
+	errc := make(chan error, 1)
+	go func() { errc <- tally.CallInto("Total", []any{&total}) }()
+	select {
+	case err = <-errc:
+	case <-time.After(5 * time.Second):
+		t.Fatal("relayed call through severed hop did not fail")
+	}
+	var re *rpc.RemoteError
+	if err == nil || !errors.As(err, &re) || re.Status != rpc.StatusDispatch {
+		t.Fatalf("relayed call through severed hop = %v, want dispatch error", err)
+	}
+
+	// The middle server still serves local work on the same session.
+	if _, _, err := ch.top.LoadClass("counter", 0); err != nil {
+		t.Fatalf("local call on middle after upstream drop: %v", err)
+	}
+}
+
+// TestChainLoopback: the same three-layer stack folded into one process
+// via SelfDialUpstream exercises the identical forwarding code.
+func TestChainLoopback(t *testing.T) {
+	bottom := NewServer(testLibrary(t), WithServerLog(t.Logf))
+	t.Cleanup(func() { bottom.Close() })
+	nobj, _, err := bottom.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom.SetNamed("notify", nobj)
+
+	mid := NewServer(testLibrary(t), WithServerLog(t.Logf))
+	t.Cleanup(func() { mid.Close() })
+	up, err := SelfDialUpstream(mid, bottom, WithClientLog(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.ImportNamed(up, "notify"); err != nil {
+		t.Fatal(err)
+	}
+
+	top, err := SelfDial(mid, WithClientLog(t.Logf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { top.Close() })
+
+	notify, err := top.NamedObject("notify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := notify.Call("Register", func(x int32, s string) int32 { return x + 1 }); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	if err := notify.CallInto("Trigger", []any{&sum}, int32(41), "loop"); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("loopback chained Trigger = %d, want 42", sum)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
@@ -10,59 +9,32 @@ import (
 	"net"
 	"reflect"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"clam/internal/bundle"
 	"clam/internal/handle"
 	"clam/internal/rpc"
+	"clam/internal/task"
 	"clam/internal/wire"
 	"clam/internal/xdr"
 )
 
-// Client is a CLAM client process. It holds the two per-client channels of
+// Client is a CLAM client process: the downward-facing role wrapper over
+// the shared endpoint engine. It holds the two per-client channels of
 // §4.4 and runs the paper's two client tasks: the application flow (the
 // caller's goroutines, which block during RPC requests) and the upcall
 // task (a dedicated receive loop that is "initially blocked, and is
 // unblocked on receipt of an upcall. After handling the event, any return
 // value is sent back to the server, and then the task is blocked again").
+// Everything channel-shaped — seq allocation, reply waits, batching,
+// heartbeats, teardown — lives in the embedded endpoint; the client adds
+// only what is role-specific: the call/load protocol, the upcall handler
+// registry, and fault-report delivery.
 type Client struct {
-	rpcConn *wire.Conn
-	upConn  *wire.Conn
-	reg     *bundle.Registry
+	endpoint
 
 	sessionID uint64
-	seq       atomic.Uint64
-
-	pmu     sync.Mutex
-	pending map[uint64]chan *wire.Msg
-
-	// batch accumulates asynchronous calls (§3.4): the first four bytes
-	// are a count placeholder patched at flush, so the batch body ships
-	// without a copy. batchEnc is the persistent encoder writing into it.
-	// All guarded by bmu.
-	bmu        sync.Mutex
-	batch      xdr.Buffer
-	batchEnc   xdr.Stream
-	batchCount int
-
-	batching    bool
-	maxBatch    int
-	callTimeout time.Duration
-	retry       RetryPolicy
-
-	// Client-side liveness: frame arrival times per channel, heartbeat
-	// configuration, and whether the server was declared unresponsive.
-	hbInterval time.Duration
-	hbWindow   time.Duration
-	lastRPC    atomic.Int64
-	lastUp     atomic.Int64
-	hbLost     atomic.Bool
-
-	// Client-side robustness counters (see ClientMetricsSnapshot).
-	nRetries    atomic.Uint64
-	nTimeouts   atomic.Uint64
-	nHeartbeats atomic.Uint64
+	retry     RetryPolicy
 
 	procMu   sync.Mutex
 	procs    map[uint64]reflect.Value
@@ -75,10 +47,7 @@ type Client struct {
 	faultMu sync.Mutex
 	onFault func(FaultReport)
 
-	closeOnce sync.Once
-	closedCh  chan struct{}
-	wg        sync.WaitGroup
-	logf      func(string, ...any)
+	wg sync.WaitGroup
 }
 
 // DialOption configures a client.
@@ -262,24 +231,25 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 	}
 
 	c := &Client{
-		rpcConn:     rpcConn,
-		upConn:      upConn,
-		reg:         bundle.NewRegistry(),
-		sessionID:   sessionID,
-		pending:     make(map[uint64]chan *wire.Msg),
-		batching:    cfg.batching,
-		maxBatch:    cfg.maxBatch,
-		callTimeout: cfg.callTimeout,
-		retry:       cfg.retry,
-		hbInterval:  cfg.hbInterval,
-		hbWindow:    cfg.hbWindow,
-		procs:       make(map[uint64]reflect.Value),
-		closedCh:    make(chan struct{}),
-		logf:        cfg.logf,
+		sessionID: sessionID,
+		retry:     cfg.retry,
+		procs:     make(map[uint64]reflect.Value),
 	}
-	now := time.Now().UnixNano()
-	c.lastRPC.Store(now)
-	c.lastUp.Store(now)
+	e := &c.endpoint
+	e.rpcConn = rpcConn
+	e.reg = bundle.NewRegistry()
+	e.mkCtx = c.ctx
+	e.batching = cfg.batching
+	e.maxBatch = cfg.maxBatch
+	e.callTimeout = cfg.callTimeout
+	e.hbInterval = cfg.hbInterval
+	e.hbWindow = cfg.hbWindow
+	e.link = &linkCounters{}
+	e.closedCh = make(chan struct{})
+	e.logf = cfg.logf
+	e.lastRPC.Store(time.Now().UnixNano())
+	e.attachUpcall(upConn) // stamps lastUp
+
 	if cfg.upcallWorkers > 1 {
 		c.upWork = make(chan *wire.Msg)
 		for i := 0; i < cfg.upcallWorkers; i++ {
@@ -301,70 +271,18 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		defer c.wg.Done()
 		c.upcallReadLoop()
 	}()
-	if c.hbInterval > 0 {
+	if e.hbInterval > 0 {
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
-			c.heartbeatLoop()
+			e.heartbeatLoop(func(reason string) {
+				e.hbLost.Store(true)
+				e.logf("clam: client: server unresponsive (%s) for > %v; closing", reason, e.hbWindow)
+				e.shutdown(false)
+			})
 		}()
 	}
 	return c, nil
-}
-
-// heartbeatLoop pings the server on both channels and tears the client
-// down when the liveness window passes with no traffic — turning a wedged
-// server into prompt ErrServerUnresponsive failures instead of per-call
-// timeouts.
-func (c *Client) heartbeatLoop() {
-	ticker := time.NewTicker(c.hbInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-c.closedCh:
-			return
-		case <-ticker.C:
-		}
-		now := time.Now().UnixNano()
-		window := c.hbWindow.Nanoseconds()
-		if now-c.lastRPC.Load() > window || now-c.lastUp.Load() > window {
-			c.hbLost.Store(true)
-			c.logf("clam: client: server unresponsive for > %v; closing", c.hbWindow)
-			// Close the conns (not Close(): that would deadlock waiting on
-			// this goroutine); the read loops exit and fail all pending.
-			c.rpcConn.Close()
-			c.upConn.Close()
-			c.failAllPending()
-			return
-		}
-		c.rpcConn.Send(&wire.Msg{Type: wire.MsgPing})
-		c.upConn.Send(&wire.Msg{Type: wire.MsgPing})
-		c.nHeartbeats.Add(2)
-	}
-}
-
-func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
-	sc := rpc.GetScratch()
-	defer sc.Release()
-	hello := helloBody{Role: role, Session: session}
-	if err := hello.bundle(sc.Encoder()); err != nil {
-		return 0, err
-	}
-	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: sc.Bytes()}); err != nil {
-		return 0, fmt.Errorf("clam: hello: %w", err)
-	}
-	msg, err := c.Recv()
-	if err != nil {
-		return 0, fmt.Errorf("clam: hello reply: %w", err)
-	}
-	defer msg.Release()
-	if msg.Type != wire.MsgHelloReply {
-		return 0, fmt.Errorf("clam: hello answered with %v", msg.Type)
-	}
-	var reply helloReplyBody
-	if err := reply.bundle(sc.Decoder(msg.Body)); err != nil {
-		return 0, err
-	}
-	return reply.Session, nil
 }
 
 // SessionID identifies this client on the server.
@@ -375,21 +293,16 @@ func (c *Client) SessionID() uint64 { return c.sessionID }
 // the address-space boundary.
 func (c *Client) SessionStats() (sent, received uint64) {
 	s1, r1 := c.rpcConn.Stats()
-	s2, r2 := c.upConn.Stats()
+	s2, r2 := c.upcallConn().Stats()
 	return s1 + s2, r1 + r2
 }
 
 // ClientMetricsSnapshot is a point-in-time copy of the client's
-// robustness counters, the peer of the server's MetricsSnapshot.
+// robustness counters, the peer of the server's MetricsSnapshot — both
+// embed the same LinkStats, because both sides run the same endpoint
+// engine.
 type ClientMetricsSnapshot struct {
-	// Retries counts retry attempts made under the WithRetry policy
-	// (not counting each call's first attempt).
-	Retries uint64
-	// Timeouts counts synchronous calls that hit the WithCallTimeout
-	// bound (including attempts that were subsequently retried).
-	Timeouts uint64
-	// HeartbeatsSent counts MsgPing frames sent by WithClientHeartbeat.
-	HeartbeatsSent uint64
+	LinkStats
 	// ServerUnresponsive reports whether the heartbeat declared the
 	// server dead and tore the connection down.
 	ServerUnresponsive bool
@@ -398,9 +311,7 @@ type ClientMetricsSnapshot struct {
 // Metrics snapshots the client's robustness counters.
 func (c *Client) Metrics() ClientMetricsSnapshot {
 	return ClientMetricsSnapshot{
-		Retries:            c.nRetries.Load(),
-		Timeouts:           c.nTimeouts.Load(),
-		HeartbeatsSent:     c.nHeartbeats.Load(),
+		LinkStats:          c.link.snapshot(),
 		ServerUnresponsive: c.hbLost.Load(),
 	}
 }
@@ -426,69 +337,35 @@ func (c *Client) ctx() *bundle.Ctx {
 
 // Close tears both channels down.
 func (c *Client) Close() error {
-	c.closeOnce.Do(func() {
-		close(c.closedCh)
-		// Best-effort goodbyes; the server treats a dropped connection
-		// the same way.
-		c.rpcConn.Send(&wire.Msg{Type: wire.MsgBye})
-		c.upConn.Send(&wire.Msg{Type: wire.MsgBye})
-		c.rpcConn.Close()
-		c.upConn.Close()
-		c.failAllPending()
-	})
+	c.shutdown(true)
 	c.wg.Wait()
 	return nil
-}
-
-func (c *Client) failAllPending() {
-	c.pmu.Lock()
-	for seq, ch := range c.pending {
-		close(ch)
-		delete(c.pending, seq)
-	}
-	c.pmu.Unlock()
 }
 
 // --- read loops -------------------------------------------------------------
 
 func (c *Client) rpcReadLoop() {
+	defer c.waits.cancelAll()
 	for {
 		msg, err := c.rpcConn.Recv()
 		if err != nil {
-			c.failAllPending()
 			return
 		}
 		c.lastRPC.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgReply, wire.MsgLoadReply, wire.MsgSyncReply:
-			c.pmu.Lock()
-			ch, ok := c.pending[msg.Seq]
-			if ok {
-				delete(c.pending, msg.Seq)
-			}
-			c.pmu.Unlock()
-			if ok {
-				// The waiter owns (and releases) the message now.
-				ch <- msg
-			} else {
-				// Late reply to a timed-out or abandoned call.
+			// A delivered reply is owned (and released) by the waiter; an
+			// unclaimed one — late reply after a timeout — recycles here.
+			if !c.waits.deliver(msg.Seq, msg, false) {
 				msg.Release()
 			}
-		case wire.MsgPing:
-			seq := msg.Seq
-			msg.Release()
-			if err := c.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
-				c.failAllPending()
-				return
-			}
-		case wire.MsgPong:
-			// Liveness already noted above.
-			msg.Release()
-		case wire.MsgBye:
-			msg.Release()
-			c.failAllPending()
-			return
 		default:
+			if handled, stop := c.demuxCommon(c.rpcConn, msg); handled {
+				if stop {
+					return
+				}
+				continue
+			}
 			c.logf("clam: client: unexpected %v on rpc channel", msg.Type)
 			msg.Release()
 		}
@@ -503,8 +380,9 @@ func (c *Client) upcallReadLoop() {
 	if c.upWork != nil {
 		defer close(c.upWork)
 	}
+	up := c.upcallConn()
 	for {
-		msg, err := c.upConn.Recv()
+		msg, err := up.Recv()
 		if err != nil {
 			return
 		}
@@ -517,15 +395,6 @@ func (c *Client) upcallReadLoop() {
 			} else {
 				c.handleUpcall(msg)
 			}
-		case wire.MsgPing:
-			seq := msg.Seq
-			msg.Release()
-			if err := c.upConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
-				return
-			}
-		case wire.MsgPong:
-			// Liveness already noted above.
-			msg.Release()
 		case wire.MsgError:
 			var report FaultReport
 			sc := rpc.GetScratch()
@@ -544,10 +413,13 @@ func (c *Client) upcallReadLoop() {
 			} else {
 				c.logf("clam: client: server fault report: %v", report)
 			}
-		case wire.MsgBye:
-			msg.Release()
-			return
 		default:
+			if handled, stop := c.demuxCommon(up, msg); handled {
+				if stop {
+					return
+				}
+				continue
+			}
 			c.logf("clam: client: unexpected %v on upcall channel", msg.Type)
 			msg.Release()
 		}
@@ -560,6 +432,7 @@ func (c *Client) handleUpcall(msg *wire.Msg) {
 	defer sc.Release()
 	dec := sc.Decoder(msg.Body)
 	var hdr rpc.UpcallHeader
+	up := c.upcallConn()
 	replyErr := func(err error) {
 		esc := rpc.GetScratch()
 		defer esc.Release()
@@ -567,7 +440,7 @@ func (c *Client) handleUpcall(msg *wire.Msg) {
 		if berr := rh.Bundle(esc.Encoder()); berr != nil {
 			return
 		}
-		c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: esc.Bytes()})
+		up.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: esc.Bytes()})
 	}
 	if err := hdr.Bundle(dec); err != nil {
 		replyErr(err)
@@ -594,7 +467,7 @@ func (c *Client) handleUpcall(msg *wire.Msg) {
 		replyErr(err)
 		return
 	}
-	if err := c.upConn.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: sc.Bytes()}); err != nil {
+	if err := up.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: sc.Bytes()}); err != nil {
 		c.logf("clam: client: upcall reply: %v", err)
 	}
 }
@@ -651,95 +524,13 @@ var ErrCallTimeout = errors.New("clam: call timed out")
 // server dead (WithClientHeartbeat) and tore the connection down.
 var ErrServerUnresponsive = errors.New("clam: server unresponsive (liveness window missed)")
 
-// maxBatchBytes auto-flushes an asynchronous batch once its encoded size
-// reaches this bound, keeping batches comfortably inside the shared
-// wire/xdr body limit and bounding how much memory a burst can pin.
-const maxBatchBytes = 1 << 20
-
-// appendCallLocked encodes one call entry (header + tagged arguments)
-// directly into the batch buffer; bmu must be held. A mid-encode failure
-// rolls the buffer back to its pre-entry mark, so the batch is never
-// corrupted — the same guarantee the old encode-into-scratch-then-copy
-// gave, without the copy or the per-call scratch allocation.
-func (c *Client) appendCallLocked(seq uint64, h handle.Handle, method string, args []any) error {
-	if c.batchCount == 0 {
-		// Count placeholder, patched by writeBatchLocked. xdr encodes Len
-		// as one big-endian word, so four zero bytes reserve its slot.
-		c.batch.Reset()
-		c.batch.B = append(c.batch.B, 0, 0, 0, 0)
-	}
-	mark := c.batch.Len()
-	c.batchEnc.ResetEncode(&c.batch)
-	enc := &c.batchEnc
-	hdr := rpc.CallHeader{Seq: seq, Obj: h, Method: method}
-	if err := hdr.Bundle(enc); err != nil {
-		c.batch.Truncate(mark)
-		return err
-	}
-	n := len(args)
-	if err := enc.Len(&n); err != nil {
-		c.batch.Truncate(mark)
-		return err
-	}
-	ctx := c.ctx()
-	for i, a := range args {
-		v := reflect.ValueOf(a)
-		if !v.IsValid() {
-			c.batch.Truncate(mark)
-			return fmt.Errorf("clam: argument %d of %s is untyped nil; pass a typed nil pointer", i, method)
-		}
-		if err := rpc.EncodeValue(c.reg, ctx, enc, v); err != nil {
-			c.batch.Truncate(mark)
-			return fmt.Errorf("clam: argument %d of %s: %w", i, method, err)
-		}
-	}
-	c.batchCount++
-	return nil
-}
-
-// writeBatchLocked queues the accumulated batch as one MsgCall without
-// flushing, so a caller can coalesce it with a trailing Sync/Load frame;
-// bmu must be held. The batch buffer is handed to the wire layer as-is —
-// Write copies it toward the kernel before returning, so the buffer is
-// immediately reusable.
-func (c *Client) writeBatchLocked() error {
-	if c.batchCount == 0 {
-		return nil
-	}
-	binary.BigEndian.PutUint32(c.batch.B[0:4], uint32(c.batchCount))
-	c.batchCount = 0
-	err := c.rpcConn.Write(&wire.Msg{Type: wire.MsgCall, Body: c.batch.B})
-	if cap(c.batch.B) > maxBatchBytes {
-		c.batch.B = nil
-	}
-	c.batch.Reset()
-	return err
-}
-
-// flushLocked ships the accumulated batch as one MsgCall; bmu must be held.
-func (c *Client) flushLocked() error {
-	if c.batchCount == 0 {
-		return nil
-	}
-	if err := c.writeBatchLocked(); err != nil {
-		return err
-	}
-	return c.rpcConn.Flush()
-}
-
-// Flush ships any batched asynchronous calls to the server.
-func (c *Client) Flush() error {
-	c.bmu.Lock()
-	defer c.bmu.Unlock()
-	return c.flushLocked()
-}
-
 // Sync flushes the batch and performs an empty round trip, the "special
 // synchronization procedure" of §3.4: when it returns, every previously
 // issued asynchronous call has been executed by the server.
 func (c *Client) Sync() error {
 	seq := c.seq.Add(1)
-	ch := c.arm(seq)
+	w := c.waits.arm(seq)
+	defer c.waits.disarm(seq)
 	// The batch and the sync frame coalesce into one kernel write.
 	c.bmu.Lock()
 	err := c.writeBatchLocked()
@@ -748,59 +539,11 @@ func (c *Client) Sync() error {
 	}
 	c.bmu.Unlock()
 	if err != nil {
-		c.disarm(seq)
 		return err
 	}
-	msg, err := c.wait(context.Background(), seq, ch)
+	msg, err := c.await(context.Background(), seq, w)
 	msg.Release()
 	return err
-}
-
-func (c *Client) arm(seq uint64) chan *wire.Msg {
-	ch := make(chan *wire.Msg, 1)
-	c.pmu.Lock()
-	c.pending[seq] = ch
-	c.pmu.Unlock()
-	return ch
-}
-
-func (c *Client) disarm(seq uint64) {
-	c.pmu.Lock()
-	delete(c.pending, seq)
-	c.pmu.Unlock()
-}
-
-func (c *Client) wait(ctx context.Context, seq uint64, ch chan *wire.Msg) (*wire.Msg, error) {
-	var timeout <-chan time.Time
-	if c.callTimeout > 0 {
-		t := time.NewTimer(c.callTimeout)
-		defer t.Stop()
-		timeout = t.C
-	}
-	var done <-chan struct{}
-	if ctx != nil {
-		done = ctx.Done()
-	}
-	select {
-	case msg, ok := <-ch:
-		if !ok || msg == nil {
-			if c.hbLost.Load() {
-				return nil, ErrServerUnresponsive
-			}
-			return nil, ErrClientClosed
-		}
-		return msg, nil
-	case <-timeout:
-		c.disarm(seq)
-		c.nTimeouts.Add(1)
-		return nil, fmt.Errorf("clam: call %d after %v: %w", seq, c.callTimeout, ErrCallTimeout)
-	case <-done:
-		c.disarm(seq)
-		return nil, ctx.Err()
-	case <-c.closedCh:
-		c.disarm(seq)
-		return nil, ErrClientClosed
-	}
 }
 
 // call performs a synchronous call on h: any batched asynchronous calls
@@ -814,16 +557,19 @@ func (c *Client) call(h handle.Handle, method string, rets []any, args []any) er
 // application marked idempotent are retried, and only on timeout: a
 // timeout is the one failure where the caller cannot know whether the
 // server executed the call, so re-execution must be harmless, and only
-// the application can promise that.
+// the application can promise that. A cooperative task never retries —
+// sleeping out a backoff while holding the scheduler's run token would
+// stall every other task (relevant on a middle-tier server forwarding
+// from a dispatcher task, see forward.go).
 func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, rets []any, args []any, idempotent bool) error {
 	attempts := 1
-	if idempotent && c.retry.Attempts > 1 {
+	if idempotent && c.retry.Attempts > 1 && task.Current() == nil {
 		attempts = c.retry.Attempts
 	}
 	var err error
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
-			c.nRetries.Add(1)
+			c.link.retries.Add(1)
 			t := time.NewTimer(c.retry.delay(a))
 			select {
 			case <-t.C:
@@ -848,7 +594,8 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 // attempt is discarded rather than mistaken for the retry's answer.
 func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, rets []any, args []any) error {
 	seq := c.seq.Add(1)
-	ch := c.arm(seq)
+	w := c.waits.arm(seq)
+	defer c.waits.disarm(seq)
 	c.bmu.Lock()
 	err := c.appendCallLocked(seq, h, method, args)
 	if err == nil {
@@ -856,10 +603,9 @@ func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, r
 	}
 	c.bmu.Unlock()
 	if err != nil {
-		c.disarm(seq)
 		return err
 	}
-	msg, err := c.wait(ctx, seq, ch)
+	msg, err := c.await(ctx, seq, w)
 	if err != nil {
 		return err
 	}
@@ -952,15 +698,14 @@ func (c *Client) decodeReply(msg *wire.Msg, method string, rets []any, args []an
 
 // --- dynamic loading -----------------------------------------------------------
 
-func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody, error) {
+func (c *Client) loadOp(req loadBody) (*loadReplyBody, error) {
 	seq := c.seq.Add(1)
-	ch := c.arm(seq)
+	w := c.waits.arm(seq)
+	defer c.waits.disarm(seq)
 
 	sc := rpc.GetScratch()
-	req := loadBody{Op: op, Name: name, MinVersion: version}
 	if err := req.bundle(sc.Encoder()); err != nil {
 		sc.Release()
-		c.disarm(seq)
 		return nil, err
 	}
 	// Queued asynchronous calls precede the load in the same kernel write,
@@ -973,10 +718,9 @@ func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody,
 	c.bmu.Unlock()
 	sc.Release()
 	if err != nil {
-		c.disarm(seq)
 		return nil, err
 	}
-	msg, err := c.wait(context.Background(), seq, ch)
+	msg, err := c.await(context.Background(), seq, w)
 	if err != nil {
 		return nil, err
 	}
@@ -997,7 +741,7 @@ func (c *Client) loadOp(op uint32, name string, version uint32) (*loadReplyBody,
 // LoadClass dynamically loads a class into the server (§2), returning its
 // class identifier and the version actually loaded.
 func (c *Client) LoadClass(name string, minVersion uint32) (classID, version uint32, err error) {
-	reply, err := c.loadOp(loadOpLoad, name, minVersion)
+	reply, err := c.loadOp(loadBody{Op: loadOpLoad, Name: name, MinVersion: minVersion})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -1007,7 +751,7 @@ func (c *Client) LoadClass(name string, minVersion uint32) (classID, version uin
 // New loads (if necessary) and instantiates a class in the server,
 // returning a remote reference to the instance.
 func (c *Client) New(name string, minVersion uint32) (*Remote, error) {
-	reply, err := c.loadOp(loadOpNew, name, minVersion)
+	reply, err := c.loadOp(loadBody{Op: loadOpNew, Name: name, MinVersion: minVersion})
 	if err != nil {
 		return nil, err
 	}
@@ -1017,7 +761,7 @@ func (c *Client) New(name string, minVersion uint32) (*Remote, error) {
 // LoadClassExact loads a specific version of a class, so different
 // clients can run different versions side by side (§2.1).
 func (c *Client) LoadClassExact(name string, version uint32) (classID uint32, err error) {
-	reply, err := c.loadOp(loadOpLoadExact, name, version)
+	reply, err := c.loadOp(loadBody{Op: loadOpLoadExact, Name: name, MinVersion: version})
 	if err != nil {
 		return 0, err
 	}
@@ -1026,7 +770,7 @@ func (c *Client) LoadClassExact(name string, version uint32) (classID uint32, er
 
 // NewExact instantiates a pinned class version in the server.
 func (c *Client) NewExact(name string, version uint32) (*Remote, error) {
-	reply, err := c.loadOp(loadOpNewExact, name, version)
+	reply, err := c.loadOp(loadBody{Op: loadOpNewExact, Name: name, MinVersion: version})
 	if err != nil {
 		return nil, err
 	}
@@ -1035,7 +779,7 @@ func (c *Client) NewExact(name string, version uint32) (*Remote, error) {
 
 // Unload removes a loaded class version from the server.
 func (c *Client) Unload(name string, version uint32) error {
-	_, err := c.loadOp(loadOpUnload, name, version)
+	_, err := c.loadOp(loadBody{Op: loadOpUnload, Name: name, MinVersion: version})
 	return err
 }
 
@@ -1043,11 +787,23 @@ func (c *Client) Unload(name string, version uint32) error {
 // with Server.SetNamed — how clients find base abstractions like the
 // screen.
 func (c *Client) NamedObject(name string) (*Remote, error) {
-	reply, err := c.loadOp(loadOpNamed, name, 0)
+	reply, err := c.loadOp(loadBody{Op: loadOpNamed, Name: name})
 	if err != nil {
 		return nil, err
 	}
 	return &Remote{c: c, h: reply.Obj, classID: reply.ClassID, version: reply.Version}, nil
+}
+
+// DescribeClass resolves a class identifier on this client's server to
+// its {name, version} identity — how a forwarding middle tier learns what
+// class hides behind a handle it is about to proxy upward (§3.5.1 across
+// hops, see forward.go).
+func (c *Client) DescribeClass(classID uint32) (name string, version uint32, err error) {
+	reply, err := c.loadOp(loadBody{Op: loadOpDescribe, ClassID: classID})
+	if err != nil {
+		return "", 0, err
+	}
+	return reply.Name, reply.Version, nil
 }
 
 // --- Remote ---------------------------------------------------------------------
@@ -1058,8 +814,15 @@ func (c *Client) NamedObject(name string) (*Remote, error) {
 // handle" — a Remote is that stored handle, and performing an operation on
 // it "becomes an RPC back into the server".
 type Remote struct {
-	c       *Client
-	h       handle.Handle
+	c *Client
+	h handle.Handle
+
+	// Class identity behind the handle. Known immediately for references
+	// minted by the load protocol; references decoded out of call results
+	// arrive as bare capabilities and are resolved on demand (ensureClass)
+	// when a forwarding server needs to re-export them. Guarded by infoMu
+	// because that lazy resolution can race concurrent forwarders.
+	infoMu  sync.Mutex
 	classID uint32
 	version uint32
 
@@ -1071,11 +834,42 @@ type Remote struct {
 // Handle exposes the capability.
 func (r *Remote) Handle() handle.Handle { return r.h }
 
+// classInfo returns the resolved class identity (zero if never resolved).
+func (r *Remote) classInfo() (classID, version uint32) {
+	r.infoMu.Lock()
+	defer r.infoMu.Unlock()
+	return r.classID, r.version
+}
+
 // ClassID reports the object's class identifier, when known.
-func (r *Remote) ClassID() uint32 { return r.classID }
+func (r *Remote) ClassID() uint32 {
+	id, _ := r.classInfo()
+	return id
+}
 
 // Version reports the object's class version, when known.
-func (r *Remote) Version() uint32 { return r.version }
+func (r *Remote) Version() uint32 {
+	_, v := r.classInfo()
+	return v
+}
+
+// ensureClass resolves the class identity behind r when it arrived as a
+// bare capability (decoded from a call result rather than a load reply):
+// the owning server is asked to describe the handle. Idempotent and
+// cheap after the first resolution.
+func (r *Remote) ensureClass() error {
+	r.infoMu.Lock()
+	defer r.infoMu.Unlock()
+	if r.classID != 0 {
+		return nil
+	}
+	reply, err := r.c.loadOp(loadBody{Op: loadOpDescribe, Obj: r.h})
+	if err != nil {
+		return err
+	}
+	r.classID, r.version = reply.ClassID, reply.Version
+	return nil
+}
 
 // Client returns the owning client.
 func (r *Remote) Client() *Client { return r.c }
@@ -1131,7 +925,8 @@ func (r *Remote) Async(method string, args ...any) error {
 
 // String renders the reference.
 func (r *Remote) String() string {
-	return fmt.Sprintf("remote(%v class=%d v=%d)", r.h, r.classID, r.version)
+	id, v := r.classInfo()
+	return fmt.Sprintf("remote(%v class=%d v=%d)", r.h, id, v)
 }
 
 // --- client-side bundle hooks ------------------------------------------------------

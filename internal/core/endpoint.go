@@ -1,0 +1,579 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clam/internal/bundle"
+	"clam/internal/handle"
+	"clam/internal/rpc"
+	"clam/internal/task"
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// endpoint is the symmetric peer engine underneath both the client runtime
+// and the server's per-client session. The paper describes two mirror-image
+// runtimes — a client making calls down and receiving upcalls, a server
+// receiving calls and making upcalls back up (§4.1, §4.4) — but the
+// machinery on each side is the same: a pair of framed channels, sequence
+// allocation, a table of armed reply waits, a batch buffer whose flush
+// coalesces with trailing frames, reply coalescing toward the peer,
+// heartbeat liveness on both channels, and teardown plumbing. Client and
+// session are thin role wrappers over one endpoint, which is also what
+// lets a server dial a lower server and forward calls/upcalls across hops
+// (see forward.go): the middle process is simply both roles at once.
+type endpoint struct {
+	rpcConn *wire.Conn
+	reg     *bundle.Registry
+
+	// mkCtx supplies the role's bundling hooks (client: Remote wrapping;
+	// session: handle table + RUC binding). Set by the wrapper after
+	// construction, since the hooks close over the wrapper itself.
+	mkCtx func() *bundle.Ctx
+
+	// The second channel of §4.4. Attached once: at dial time on the
+	// client, when the peer's upcall connection arrives on the server.
+	upMu   sync.Mutex
+	upConn *wire.Conn
+	upOnce sync.Once
+
+	// seq numbers this endpoint's outgoing request stream: calls and load
+	// ops on a client endpoint, upcalls on a session endpoint. waits holds
+	// the armed reply slots for that stream.
+	seq   atomic.Uint64
+	waits waitTable
+
+	// batch accumulates asynchronous calls (§3.4): the first four bytes
+	// are a count placeholder patched at flush, so the batch body ships
+	// without a copy. batchEnc is the persistent encoder writing into it.
+	// All guarded by bmu.
+	bmu        sync.Mutex
+	batch      xdr.Buffer
+	batchEnc   xdr.Stream
+	batchCount int
+
+	batching bool
+	maxBatch int
+
+	// callTimeout bounds each armed wait: the client's WithCallTimeout on
+	// call replies, the server's WithUpcallTimeout on upcall replies.
+	callTimeout time.Duration
+
+	// replyPending marks buffered replies awaiting a flush: a dispatch
+	// burst's replies ride one kernel write instead of one per message
+	// (see queueReply / flushReplies).
+	replyPending atomic.Bool
+
+	// Liveness: the arrival time (unix nanos) of the most recent frame on
+	// each channel, heartbeat configuration, and whether the peer was
+	// declared dead. lastUp is zero until the upcall channel attaches.
+	hbInterval time.Duration
+	hbWindow   time.Duration
+	lastRPC    atomic.Int64
+	lastUp     atomic.Int64
+	hbLost     atomic.Bool
+
+	// link counts this endpoint's channel-level robustness events. The
+	// client allocates its own; sessions share the server's, so per-hop
+	// traffic aggregates in one place.
+	link *linkCounters
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+	logf      func(string, ...any)
+}
+
+// linkCounters are the channel-level robustness counters every endpoint
+// keeps, whichever role it plays. They snapshot as LinkStats, the struct
+// shared by MetricsSnapshot and ClientMetricsSnapshot.
+type linkCounters struct {
+	retries        atomic.Uint64
+	timeouts       atomic.Uint64
+	heartbeatsSent atomic.Uint64
+	heartbeatsRecv atomic.Uint64
+}
+
+func (lc *linkCounters) snapshot() LinkStats {
+	return LinkStats{
+		Retries:            lc.retries.Load(),
+		Timeouts:           lc.timeouts.Load(),
+		HeartbeatsSent:     lc.heartbeatsSent.Load(),
+		HeartbeatsReceived: lc.heartbeatsRecv.Load(),
+	}
+}
+
+// LinkStats is a point-in-time copy of one endpoint's channel counters —
+// the same struct on both sides of a hop, because both sides run the same
+// engine.
+type LinkStats struct {
+	// Retries counts retry attempts made under the WithRetry policy
+	// (not counting each call's first attempt). Always zero on a server:
+	// upcalls are never auto-retried.
+	Retries uint64
+	// Timeouts counts armed waits that hit the endpoint's deadline: on a
+	// client, synchronous calls past WithCallTimeout; on a server, upcall
+	// waits past WithUpcallTimeout.
+	Timeouts uint64
+	// HeartbeatsSent counts MsgPing frames this endpoint sent;
+	// HeartbeatsReceived counts MsgPing/MsgPong frames that arrived.
+	HeartbeatsSent, HeartbeatsReceived uint64
+}
+
+// --- reply wait table -------------------------------------------------------
+
+// waiter is one armed reply slot. Exactly one of ev/ch is set, depending
+// on whether the waiter is a cooperative task or a plain goroutine: a task
+// that parked on a Go channel while holding the scheduler's run token
+// would freeze every task, so tasks Block on an event instead.
+type waiter struct {
+	cur  *task.Task
+	ev   *task.Event
+	ch   chan *wire.Msg
+	msg  *wire.Msg
+	done bool
+}
+
+// waitTable maps in-flight sequence numbers to their reply slots. Slot
+// lifetime is owned by the waiter: arm before sending, disarm (deferred)
+// after the wait resolves. deliver never deletes, so a late reply racing a
+// timeout is simply left unclaimed for the read loop to recycle.
+type waitTable struct {
+	mu   sync.Mutex
+	m    map[uint64]*waiter
+	pool sync.Pool // recycled goroutine waiters, each with an open buffered channel
+}
+
+// arm creates the reply slot for seq, choosing the wait strategy by
+// caller context. Goroutine waiters (the common case: every client call
+// outside a dispatch task) are pooled together with their reply channel,
+// so a synchronous call allocates nothing here in steady state.
+func (t *waitTable) arm(seq uint64) *waiter {
+	var w *waiter
+	if cur := task.Current(); cur != nil {
+		w = &waiter{cur: cur, ev: &task.Event{}}
+	} else if v, _ := t.pool.Get().(*waiter); v != nil {
+		w = v
+	} else {
+		w = &waiter{ch: make(chan *wire.Msg, 1)}
+	}
+	t.mu.Lock()
+	if t.m == nil {
+		t.m = make(map[uint64]*waiter)
+	}
+	t.m[seq] = w
+	t.mu.Unlock()
+	return w
+}
+
+// disarm retires the slot for seq. A goroutine waiter whose channel is
+// still open goes back to the pool; a channel closed by cancellation is
+// unusable, and a delivery the waiter never consumed (a reply racing a
+// timeout) is drained and released before the slot is reused.
+func (t *waitTable) disarm(seq uint64) {
+	t.mu.Lock()
+	w := t.m[seq]
+	delete(t.m, seq)
+	t.mu.Unlock()
+	if w == nil || w.ch == nil || (w.done && w.msg == nil) {
+		return // task waiter, or channel closed by cancelAll/timeout cancel
+	}
+	select {
+	case msg := <-w.ch:
+		if msg != nil {
+			msg.Release()
+		}
+	default:
+	}
+	w.msg, w.done = nil, false
+	t.pool.Put(w)
+}
+
+// deliver completes the slot for seq. cancel delivers a nil message
+// (timeout, shutdown); seq 0 cancels every in-flight slot. It reports
+// whether msg was handed to a waiter — if not (late reply after a
+// timeout), the caller still owns msg and should release it.
+func (t *waitTable) deliver(seq uint64, msg *wire.Msg, cancel bool) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if seq == 0 {
+		for _, w := range t.m {
+			completeWaiterLocked(w, nil)
+		}
+		return false
+	}
+	w, ok := t.m[seq]
+	if !ok || w.done {
+		return false
+	}
+	if cancel {
+		msg = nil
+	}
+	completeWaiterLocked(w, msg)
+	return msg != nil
+}
+
+// cancelAll fails every armed wait (connection loss, shutdown).
+func (t *waitTable) cancelAll() { t.deliver(0, nil, true) }
+
+// take reads the delivered message out of a completed slot.
+func (t *waitTable) take(w *waiter) *wire.Msg {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return w.msg
+}
+
+// completeWaiterLocked finishes one slot; t.mu must be held.
+func completeWaiterLocked(w *waiter, msg *wire.Msg) {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.msg = msg
+	if w.ev != nil {
+		w.ev.Signal()
+	} else if w.ch != nil {
+		if msg != nil {
+			w.ch <- msg
+		} else {
+			close(w.ch)
+		}
+	}
+}
+
+// --- upcall channel ---------------------------------------------------------
+
+// attachUpcall binds the endpoint's second channel. It may be attached
+// once; the first attach wins and stamps the channel live.
+func (e *endpoint) attachUpcall(c *wire.Conn) bool {
+	ok := false
+	e.upOnce.Do(func() {
+		e.upMu.Lock()
+		e.upConn = c
+		e.upMu.Unlock()
+		e.lastUp.Store(time.Now().UnixNano())
+		ok = true
+	})
+	return ok
+}
+
+// upcallConn returns the attached upcall channel, or nil.
+func (e *endpoint) upcallConn() *wire.Conn {
+	e.upMu.Lock()
+	defer e.upMu.Unlock()
+	return e.upConn
+}
+
+// --- waiting for replies ----------------------------------------------------
+
+// await waits for the reply to seq armed as w, bounded by the endpoint's
+// callTimeout and an optional context. The caller disarms the slot.
+func (e *endpoint) await(ctx context.Context, seq uint64, w *waiter) (*wire.Msg, error) {
+	if w.cur != nil {
+		return e.awaitTask(ctx, seq, w)
+	}
+	var timeout <-chan time.Time
+	if e.callTimeout > 0 {
+		t := time.NewTimer(e.callTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case msg, ok := <-w.ch:
+		if !ok || msg == nil {
+			return nil, e.closedErr()
+		}
+		return msg, nil
+	case <-timeout:
+		e.waits.deliver(seq, nil, true)
+		e.link.timeouts.Add(1)
+		return nil, fmt.Errorf("clam: call %d after %v: %w", seq, e.callTimeout, ErrCallTimeout)
+	case <-done:
+		e.waits.deliver(seq, nil, true)
+		return nil, ctx.Err()
+	case <-e.closedCh:
+		e.waits.deliver(seq, nil, true)
+		return nil, e.closedErr()
+	}
+}
+
+// awaitTask is await for cooperative tasks: instead of parking on a Go
+// channel (which would freeze the scheduler — the waiter holds the run
+// token), the task Blocks on the slot's event, releasing the token.
+// Blocking also fires the task's block hook, so a dispatcher that awaits a
+// reply mid-batch automatically hands dispatch duty to a fresh task.
+// Timeout and cancellation are translated into event signals.
+func (e *endpoint) awaitTask(ctx context.Context, seq uint64, w *waiter) (*wire.Msg, error) {
+	var timedOut atomic.Bool
+	if e.callTimeout > 0 {
+		t := time.AfterFunc(e.callTimeout, func() {
+			timedOut.Store(true)
+			e.waits.deliver(seq, nil, true)
+		})
+		defer t.Stop()
+	}
+	var ctxDone atomic.Bool
+	if ctx != nil && ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			ctxDone.Store(true)
+			e.waits.deliver(seq, nil, true)
+		})
+		defer stop()
+	}
+	w.cur.Block(w.ev)
+	if msg := e.waits.take(w); msg != nil {
+		return msg, nil
+	}
+	switch {
+	case ctxDone.Load():
+		return nil, ctx.Err()
+	case timedOut.Load():
+		e.link.timeouts.Add(1)
+		return nil, fmt.Errorf("clam: call %d after %v: %w", seq, e.callTimeout, ErrCallTimeout)
+	default:
+		return nil, e.closedErr()
+	}
+}
+
+// closedErr names the reason an armed wait found the endpoint gone.
+func (e *endpoint) closedErr() error {
+	if e.hbLost.Load() {
+		return ErrServerUnresponsive
+	}
+	return ErrClientClosed
+}
+
+// --- batched asynchronous calls (§3.4) --------------------------------------
+
+// maxBatchBytes auto-flushes an asynchronous batch once its encoded size
+// reaches this bound, keeping batches comfortably inside the shared
+// wire/xdr body limit and bounding how much memory a burst can pin.
+const maxBatchBytes = 1 << 20
+
+// appendCallLocked encodes one call entry (header + tagged arguments)
+// directly into the batch buffer; bmu must be held. A mid-encode failure
+// rolls the buffer back to its pre-entry mark, so the batch is never
+// corrupted.
+func (e *endpoint) appendCallLocked(seq uint64, h handle.Handle, method string, args []any) error {
+	if e.batchCount == 0 {
+		// Count placeholder, patched by writeBatchLocked. xdr encodes Len
+		// as one big-endian word, so four zero bytes reserve its slot.
+		e.batch.Reset()
+		e.batch.B = append(e.batch.B, 0, 0, 0, 0)
+	}
+	mark := e.batch.Len()
+	e.batchEnc.ResetEncode(&e.batch)
+	enc := &e.batchEnc
+	hdr := rpc.CallHeader{Seq: seq, Obj: h, Method: method}
+	if err := hdr.Bundle(enc); err != nil {
+		e.batch.Truncate(mark)
+		return err
+	}
+	n := len(args)
+	if err := enc.Len(&n); err != nil {
+		e.batch.Truncate(mark)
+		return err
+	}
+	ctx := e.mkCtx()
+	for i, a := range args {
+		v := reflect.ValueOf(a)
+		if !v.IsValid() {
+			e.batch.Truncate(mark)
+			return fmt.Errorf("clam: argument %d of %s is untyped nil; pass a typed nil pointer", i, method)
+		}
+		if err := rpc.EncodeValue(e.reg, ctx, enc, v); err != nil {
+			e.batch.Truncate(mark)
+			return fmt.Errorf("clam: argument %d of %s: %w", i, method, err)
+		}
+	}
+	e.batchCount++
+	return nil
+}
+
+// writeBatchLocked queues the accumulated batch as one MsgCall without
+// flushing, so a caller can coalesce it with a trailing Sync/Load frame;
+// bmu must be held. The batch buffer is handed to the wire layer as-is —
+// Write copies it toward the kernel before returning, so the buffer is
+// immediately reusable.
+func (e *endpoint) writeBatchLocked() error {
+	if e.batchCount == 0 {
+		return nil
+	}
+	binary.BigEndian.PutUint32(e.batch.B[0:4], uint32(e.batchCount))
+	e.batchCount = 0
+	err := e.rpcConn.Write(&wire.Msg{Type: wire.MsgCall, Body: e.batch.B})
+	if cap(e.batch.B) > maxBatchBytes {
+		e.batch.B = nil
+	}
+	e.batch.Reset()
+	return err
+}
+
+// flushLocked ships the accumulated batch as one MsgCall; bmu must be held.
+func (e *endpoint) flushLocked() error {
+	if e.batchCount == 0 {
+		return nil
+	}
+	if err := e.writeBatchLocked(); err != nil {
+		return err
+	}
+	return e.rpcConn.Flush()
+}
+
+// Flush ships any batched asynchronous calls to the peer.
+func (e *endpoint) Flush() error {
+	e.bmu.Lock()
+	defer e.bmu.Unlock()
+	return e.flushLocked()
+}
+
+// --- reply coalescing -------------------------------------------------------
+
+// queueReply buffers msg on the RPC channel without flushing: a dispatch
+// burst's replies coalesce into one kernel write, flushed when the burst
+// drains or the sender blocks (flushReplies).
+func (e *endpoint) queueReply(msg *wire.Msg) {
+	if err := e.rpcConn.Write(msg); err != nil {
+		e.logf("clam: endpoint: reply: %v", err)
+		return
+	}
+	e.replyPending.Store(true)
+}
+
+// flushReplies pushes buffered replies to the kernel. The pending flag
+// makes the common no-replies case (async batches) a single atomic load.
+func (e *endpoint) flushReplies() {
+	if !e.replyPending.Swap(false) {
+		return
+	}
+	if err := e.rpcConn.Flush(); err != nil {
+		e.logf("clam: endpoint: reply flush: %v", err)
+	}
+}
+
+// --- common demultiplexing --------------------------------------------------
+
+// demuxCommon handles the frame types every channel understands — the
+// liveness and teardown traffic shared by both roles. It reports whether
+// it consumed msg and whether the read loop should exit. Liveness
+// stamping is the caller's job (the caller knows which channel it reads).
+func (e *endpoint) demuxCommon(c *wire.Conn, msg *wire.Msg) (handled, stop bool) {
+	switch msg.Type {
+	case wire.MsgPing:
+		e.link.heartbeatsRecv.Add(1)
+		seq := msg.Seq
+		msg.Release()
+		if err := c.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
+			return true, true
+		}
+		return true, false
+	case wire.MsgPong:
+		e.link.heartbeatsRecv.Add(1)
+		msg.Release()
+		return true, false
+	case wire.MsgBye:
+		msg.Release()
+		return true, true
+	}
+	return false, false
+}
+
+// --- heartbeats -------------------------------------------------------------
+
+// heartbeatLoop pings the peer on both channels every interval and calls
+// onDead once the liveness window passes with no inbound traffic on a
+// channel. The upcall channel only participates once attached (lastUp is
+// zero until then). Both roles run this same loop; they differ only in
+// what death means (client: declare the server unresponsive; session:
+// evict the client).
+func (e *endpoint) heartbeatLoop(onDead func(reason string)) {
+	ticker := time.NewTicker(e.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.closedCh:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		window := e.hbWindow.Nanoseconds()
+		if now-e.lastRPC.Load() > window {
+			onDead("liveness window missed on rpc channel")
+			return
+		}
+		if up := e.lastUp.Load(); up != 0 && now-up > window {
+			onDead("liveness window missed on upcall channel")
+			return
+		}
+		sent := 0
+		if err := e.rpcConn.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+			sent++
+		}
+		if up := e.upcallConn(); up != nil {
+			if err := up.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+				sent++
+			}
+		}
+		e.link.heartbeatsSent.Add(uint64(sent))
+	}
+}
+
+// --- teardown ---------------------------------------------------------------
+
+// shutdown tears the endpoint down idempotently: closes both channels,
+// fails every armed wait, and (optionally) says goodbye first.
+func (e *endpoint) shutdown(sendBye bool) {
+	e.closeOnce.Do(func() {
+		close(e.closedCh)
+		up := e.upcallConn()
+		if sendBye {
+			// Best-effort goodbyes; the peer treats a dropped connection
+			// the same way.
+			e.rpcConn.Send(&wire.Msg{Type: wire.MsgBye})
+			if up != nil {
+				up.Send(&wire.Msg{Type: wire.MsgBye})
+			}
+		}
+		e.rpcConn.Close()
+		if up != nil {
+			up.Close()
+		}
+		e.waits.cancelAll()
+	})
+}
+
+// --- handshake --------------------------------------------------------------
+
+func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	hello := helloBody{Role: role, Session: session}
+	if err := hello.bundle(sc.Encoder()); err != nil {
+		return 0, err
+	}
+	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: sc.Bytes()}); err != nil {
+		return 0, fmt.Errorf("clam: hello: %w", err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("clam: hello reply: %w", err)
+	}
+	defer msg.Release()
+	if msg.Type != wire.MsgHelloReply {
+		return 0, fmt.Errorf("clam: hello answered with %v", msg.Type)
+	}
+	var reply helloReplyBody
+	if err := reply.bundle(sc.Decoder(msg.Body)); err != nil {
+		return 0, err
+	}
+	return reply.Session, nil
+}

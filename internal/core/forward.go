@@ -1,0 +1,529 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+
+	"clam/internal/bundle"
+	"clam/internal/handle"
+	"clam/internal/rpc"
+	"clam/internal/wire"
+	"clam/internal/xdr"
+)
+
+// Multi-hop forwarding: a CLAM server dialing a lower CLAM server as an
+// ordinary client, so abstractions layer across N address spaces rather
+// than the paper's two. The paper already contains every ingredient — a
+// layer "may live in another address space" (§1), handles are opaque
+// capabilities (§3.5.1), procedure pointers translate per hop through RUC
+// objects (§3.5.2) — and the symmetric endpoint engine makes the middle
+// process simply both roles at once:
+//
+//	top client ──calls──▶ middle server ──calls──▶ bottom server
+//	top client ◀─upcalls── middle server ◀─upcalls── bottom server
+//
+// Downward, a *Remote the middle tier holds for a lower server's object is
+// re-exported upward as a proxy entry in the middle's handle table (same
+// {class id, version, tag} semantics; revoking the proxy invalidates the
+// upper handle without touching the lower one). A call on a proxy handle
+// is relayed down over the upstream client connection. Upward, a procedure
+// pointer from the top client is bound into the middle's RUC table and
+// re-registered down as a fresh procedure pointer, so an upcall from the
+// bottom chains hop by hop back to the top — each hop translating ids it
+// minted itself, exactly as §3.5.2 prescribes for one hop.
+
+// upstream is one lower server this server dialed, with the translation
+// cache mapping the lower server's class ids to locally compiled stubs.
+type upstream struct {
+	c *Client
+
+	mu      sync.Mutex
+	classes map[uint32]*proxyClass
+}
+
+// proxyClass is the middle tier's knowledge of one lower-server class: its
+// portable identity and the stubs compiled from the local library's class
+// of the same name, which drive argument decoding for forwarded calls.
+type proxyClass struct {
+	name    string
+	version uint32
+	stubs   *rpc.ClassStubs
+}
+
+// relayCaller is the ruc.Caller identity under which forwarded procedure
+// pointers are bound: the same per-session upcall path, plus the per-hop
+// relay counter. A distinct identity also lets dropSession clear forwarded
+// bindings separately from the client's own.
+type relayCaller struct {
+	sess *session
+}
+
+// Upcall relays an upcall arriving from a lower server on toward this
+// server's client.
+func (rc *relayCaller) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+	rc.sess.srv.metrics.countRelayedUpcall()
+	return rc.sess.Upcall(procID, ft, args)
+}
+
+// DialUpstream connects this server to a lower CLAM server and registers
+// the connection for forwarding: objects imported from it (ImportNamed, or
+// received as call results) can be re-exported to this server's clients,
+// and calls on those proxies relay down. The returned client is the
+// server's ordinary client connection to the lower tier — usable directly
+// for bootstrap (loading classes below, importing named objects).
+func (s *Server) DialUpstream(network, addr string, opts ...DialOption) (*Client, error) {
+	c, err := Dial(network, addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.AttachUpstream(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// AttachUpstream registers an already-dialed client connection to a lower
+// server for forwarding. Idempotent per client. The server owns the client
+// from here on and closes it on shutdown.
+func (s *Server) AttachUpstream(c *Client) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("clam: server closed")
+	}
+	for _, u := range s.upstreams {
+		if u.c == c {
+			return nil
+		}
+	}
+	s.upstreams = append(s.upstreams, &upstream{c: c, classes: make(map[uint32]*proxyClass)})
+	return nil
+}
+
+// upstreamFor returns the upstream record owning client c, or nil.
+func (s *Server) upstreamFor(c *Client) *upstream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, u := range s.upstreams {
+		if u.c == c {
+			return u
+		}
+	}
+	return nil
+}
+
+// syncUpstreams flushes and round-trips every upstream connection, so a
+// client's Sync covers asynchronous calls this server relayed further down
+// (§3.4's guarantee, extended across hops).
+func (s *Server) syncUpstreams() {
+	s.mu.Lock()
+	ups := make([]*upstream, len(s.upstreams))
+	copy(ups, s.upstreams)
+	s.mu.Unlock()
+	for _, u := range ups {
+		if err := u.c.Sync(); err != nil {
+			s.logf("clam: sync relay to upstream failed: %v", err)
+		}
+	}
+}
+
+// ImportNamed pulls named objects from an upstream server and republishes
+// them under the same names here, so this server's clients find lower-tier
+// base abstractions exactly as they would local ones.
+func (s *Server) ImportNamed(c *Client, names ...string) error {
+	if u := s.upstreamFor(c); u == nil {
+		return errors.New("clam: client is not an attached upstream")
+	}
+	for _, name := range names {
+		r, err := c.NamedObject(name)
+		if err != nil {
+			return fmt.Errorf("clam: importing %q: %w", name, err)
+		}
+		s.SetNamed(name, r)
+	}
+	return nil
+}
+
+// cachedProxyClass searches the upstream translation caches for a class id
+// (used to answer Describe for classes this server never loaded, e.g. in
+// 3+-hop chains).
+func (s *Server) cachedProxyClass(classID uint32) *proxyClass {
+	s.mu.Lock()
+	ups := make([]*upstream, len(s.upstreams))
+	copy(ups, s.upstreams)
+	s.mu.Unlock()
+	for _, u := range ups {
+		u.mu.Lock()
+		pc := u.classes[classID]
+		u.mu.Unlock()
+		if pc != nil {
+			return pc
+		}
+	}
+	return nil
+}
+
+// proxyClassFor resolves a lower server's class id to locally compiled
+// stubs, asking the lower server to describe the id on first sight. Class
+// ids are per-server; the name+version pair is the portable identity the
+// local library is searched by. The exact version is preferred; if the
+// library only has other versions, the newest is used (the stub layout of
+// coexisting versions must agree for forwarding to work, which holds for
+// the method signatures — a genuinely incompatible revision would fail
+// kind validation rather than corrupt the stream).
+func (s *Server) proxyClassFor(u *upstream, classID, version uint32) (*proxyClass, error) {
+	u.mu.Lock()
+	if pc, ok := u.classes[classID]; ok {
+		u.mu.Unlock()
+		return pc, nil
+	}
+	u.mu.Unlock()
+
+	name, ver, err := u.c.DescribeClass(classID)
+	if err != nil {
+		return nil, fmt.Errorf("clam: describing upstream class %d: %w", classID, err)
+	}
+	if version == 0 {
+		version = ver
+	}
+	cls, err := s.lib.LookupExact(name, version)
+	if err != nil {
+		cls, err = s.lib.Lookup(name, 0)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("clam: upstream class %q v%d unknown to local library: %w", name, version, err)
+	}
+	stubs, err := rpc.CompileClass(s.reg, cls.Type, cls.Specs)
+	if err != nil {
+		return nil, fmt.Errorf("clam: compiling proxy stubs for %q: %w", name, err)
+	}
+	pc := &proxyClass{name: name, version: version, stubs: stubs}
+	u.mu.Lock()
+	if prev, ok := u.classes[classID]; ok {
+		pc = prev
+	} else {
+		u.classes[classID] = pc
+	}
+	u.mu.Unlock()
+	return pc, nil
+}
+
+// exportProxy re-exports a lower server's object upward: the *Remote
+// itself becomes the handle-table entry, carrying the lower server's class
+// identity. Re-exporting the same Remote is stable (same handle), and
+// revocation semantics are the table's own (§3.5.1).
+func (s *Server) exportProxy(r *Remote) (handle.Handle, error) {
+	if err := r.ensureClass(); err != nil {
+		return handle.Nil, fmt.Errorf("clam: resolving proxied object's class: %w", err)
+	}
+	classID, version := r.classInfo()
+	return s.handles.Put(r, classID, version)
+}
+
+// isProxyableClassPtr reports whether t is a type whose values cross hops
+// as handles: *Remote itself, or a pointer to a class instance struct
+// known to this server (loaded, or merely registered in the library —
+// forwarding must recognize classes it never instantiates locally).
+func (s *Server) isProxyableClassPtr(t reflect.Type) bool {
+	if t == reflect.PtrTo(remoteStructType) {
+		return true
+	}
+	if t.Kind() != reflect.Ptr || t.Elem().Kind() != reflect.Struct {
+		return false
+	}
+	return s.loader.IsClassType(t.Elem()) || s.lib.HasType(t)
+}
+
+// isStaleHandleErr recognizes a lower server's report that the proxied
+// handle is no longer valid (revoked below), so the proxy entry above is
+// revoked too — tag-mismatch semantics propagate up the chain.
+func isStaleHandleErr(err error) bool {
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch {
+		return false
+	}
+	return strings.Contains(re.Msg, handle.ErrStale.Error()) ||
+		strings.Contains(re.Msg, handle.ErrUnknown.Error())
+}
+
+// --- forwarded call execution ----------------------------------------------
+
+// replyStatus answers a synchronous call with a bare status header.
+func (sess *session) replyStatus(seq uint64, status rpc.Status, msg string) {
+	if seq == 0 {
+		return
+	}
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	rh := rpc.ReplyHeader{Status: status, ErrMsg: msg}
+	if err := rh.Bundle(sc.Encoder()); err != nil {
+		return
+	}
+	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: seq, Body: sc.Bytes()})
+}
+
+// execForward relays one call on a proxy handle down to the lower server
+// that owns the real object. The batch decoder is mid-stream, so any
+// decode failure must poison it (SetErr) to drop the rest of the batch.
+func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remote, entry handle.Entry) {
+	srv := sess.srv
+	u := srv.upstreamFor(pr.c)
+	if u == nil {
+		dec.SetErr(fmt.Errorf("clam: proxy call %s on detached upstream", hdr.Method))
+		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: upstream connection is gone")
+		return
+	}
+	pc, err := srv.proxyClassFor(u, entry.ClassID, entry.Version)
+	if err != nil {
+		dec.SetErr(err)
+		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, err.Error())
+		return
+	}
+	stub, err := pc.stubs.Method(hdr.Method)
+	if err != nil {
+		dec.SetErr(fmt.Errorf("clam: undecodable proxy call %s", hdr.Method))
+		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, err.Error())
+		return
+	}
+
+	args, err := sess.decodeForwardArgs(dec, stub, pr)
+	if err != nil {
+		dec.SetErr(err)
+		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, err.Error())
+		return
+	}
+
+	srv.metrics.countRelayedCall()
+	srv.metrics.countCall(pc.name, hdr.Method, hdr.Seq != 0)
+
+	if hdr.Seq == 0 {
+		// Asynchronous: relay asynchronously, keeping §3.4's batching
+		// across the hop. The client's Sync is relayed too (syncUpstreams),
+		// preserving the completion guarantee end to end. Failures follow
+		// the async error path: a fault report upcall.
+		if err := pr.c.async(pr.h, hdr.Method, args); err != nil {
+			sess.reportFault(pc.name, hdr.Method, err.Error())
+		}
+		return
+	}
+
+	// Synchronous: build result targets, relay, and re-encode the answer
+	// upward. Class-typed results come back as *Remote proxies; everything
+	// else round-trips as data.
+	rets := make([]any, len(stub.Rets))
+	proxied := make([]bool, len(stub.Rets))
+	for i := range stub.Rets {
+		rt := stub.Rets[i].Type
+		switch {
+		case srv.isProxyableClassPtr(rt):
+			rets[i] = new(*Remote)
+			proxied[i] = true
+		case rt.Kind() == reflect.Func:
+			sess.replyStatus(hdr.Seq, rpc.StatusDispatch,
+				fmt.Sprintf("clam: cannot forward procedure-pointer result of %s", hdr.Method))
+			return
+		default:
+			rets[i] = reflect.New(rt).Interface()
+		}
+	}
+
+	err = pr.c.callRetry(context.Background(), pr.h, hdr.Method, rets, args, false)
+	if err != nil {
+		if isStaleHandleErr(err) {
+			// The lower server revoked the real object: revoke our proxy so
+			// the upper handle dies with it.
+			srv.handles.RevokeObj(pr)
+		}
+		status, msg := rpc.StatusDispatch, err.Error()
+		var re *rpc.RemoteError
+		if errors.As(err, &re) {
+			status, msg = re.Status, re.Msg
+		}
+		sess.replyStatus(hdr.Seq, status, msg)
+		return
+	}
+	sess.replyForward(hdr.Seq, stub, args, rets, proxied)
+}
+
+// decodeForwardArgs walks a forwarded call's arguments by the kind word
+// each one carries — the self-describing wire is what makes generic
+// forwarding possible without the lower class loaded locally. Handles are
+// translated through this server's table (must name proxies of the same
+// upstream); procedure pointers are re-bound through the RUC table under
+// the session's relay identity; data decodes by the stub's compiled
+// bundlers.
+func (sess *session) decodeForwardArgs(dec *xdr.Stream, stub *rpc.MethodStub, pr *Remote) (args []any, err error) {
+	srv := sess.srv
+	var argc int
+	if err := dec.Len(&argc); err != nil {
+		return nil, err
+	}
+	if argc != len(stub.Args) {
+		return nil, fmt.Errorf("rpc: %s takes %d parameters, caller sent %d", stub.Name, len(stub.Args), argc)
+	}
+	args = make([]any, argc)
+	ctx := sess.ctx()
+	for i := range stub.Args {
+		a := &stub.Args[i]
+		var got uint32
+		if err := dec.Uint32(&got); err != nil {
+			return nil, err
+		}
+		switch rpc.Kind(got) {
+		case rpc.KindHandle:
+			var hd handle.Handle
+			if err := hd.Bundle(dec); err != nil {
+				return nil, err
+			}
+			if hd.IsNil() {
+				args[i] = (*Remote)(nil)
+				continue
+			}
+			ent, err := srv.handles.Entry(hd)
+			if err != nil {
+				return nil, err
+			}
+			inner, ok := ent.Obj.(*Remote)
+			if !ok {
+				return nil, fmt.Errorf("clam: parameter %d of %s names a local object; it cannot descend to the lower server", i, stub.Name)
+			}
+			if inner.c != pr.c {
+				return nil, fmt.Errorf("clam: parameter %d of %s names an object on a different upstream", i, stub.Name)
+			}
+			args[i] = inner
+		case rpc.KindProc:
+			var procID uint64
+			if err := dec.Uint64(&procID); err != nil {
+				return nil, err
+			}
+			ft := a.Type
+			if ft.Kind() != reflect.Func {
+				return nil, fmt.Errorf("clam: parameter %d of %s is %s, caller sent a procedure", i, stub.Name, ft)
+			}
+			if procID == 0 {
+				args[i] = reflect.Zero(ft).Interface()
+				continue
+			}
+			_, proxy, err := srv.rucs.Bind(procID, ft, sess.relay)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = proxy.Interface()
+		default:
+			want := a.Kind
+			if rpc.Kind(got) != want {
+				return nil, fmt.Errorf("%w: got %s, want %s (%s parameter %d)",
+					rpc.ErrKindMismatch, rpc.Kind(got), want, stub.Name, i)
+			}
+			target := reflect.New(a.Type).Elem()
+			if err := a.Fn(ctx, dec, target); err != nil {
+				return nil, fmt.Errorf("rpc: %s parameter %d: %w", stub.Name, i, err)
+			}
+			if a.Type.Kind() == reflect.Ptr && a.ElemFn != nil &&
+				target.IsNil() && a.Mode == bundle.Out {
+				target.Set(reflect.New(a.Type.Elem()))
+			}
+			args[i] = target.Interface()
+		}
+	}
+	return args, nil
+}
+
+// replyForward hand-encodes a forwarded call's reply in the standard
+// layout (out-parameter triples, then tagged results), minting proxy
+// handles for class-typed results.
+func (sess *session) replyForward(seq uint64, stub *rpc.MethodStub, args []any, rets []any, proxied []bool) {
+	srv := sess.srv
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	enc := sc.Encoder()
+	rh := rpc.ReplyHeader{Status: rpc.StatusOK}
+	if err := rh.Bundle(enc); err != nil {
+		return
+	}
+	ctx := sess.ctx()
+
+	// Out-parameters: recount which data-pointer args travel back (same
+	// rule as the stub's own reply path).
+	var outs []int
+	for i := range stub.Args {
+		a := &stub.Args[i]
+		if a.Type.Kind() != reflect.Ptr || a.ElemFn == nil {
+			continue
+		}
+		if _, isProxy := args[i].(*Remote); isProxy {
+			continue
+		}
+		if a.Mode == bundle.Out || a.Mode == bundle.InOut {
+			outs = append(outs, i)
+		}
+	}
+	n := len(outs)
+	if err := enc.Len(&n); err != nil {
+		return
+	}
+	for _, i := range outs {
+		a := &stub.Args[i]
+		idx := uint32(i)
+		if err := enc.Uint32(&idx); err != nil {
+			return
+		}
+		av := reflect.ValueOf(args[i])
+		present := !av.IsNil()
+		if err := enc.Bool(&present); err != nil {
+			return
+		}
+		if !present {
+			continue
+		}
+		k := uint32(a.ElemKind)
+		if err := enc.Uint32(&k); err != nil {
+			return
+		}
+		if err := a.ElemFn(ctx, enc, av.Elem()); err != nil {
+			sess.replyStatus(seq, rpc.StatusDispatch, err.Error())
+			return
+		}
+	}
+
+	rn := len(rets)
+	if err := enc.Len(&rn); err != nil {
+		return
+	}
+	for i := range rets {
+		if proxied[i] {
+			k := uint32(rpc.KindHandle)
+			if err := enc.Uint32(&k); err != nil {
+				return
+			}
+			hd := handle.Nil
+			if r := *(rets[i].(**Remote)); r != nil {
+				var err error
+				hd, err = srv.exportProxy(r)
+				if err != nil {
+					sess.replyStatus(seq, rpc.StatusDispatch, err.Error())
+					return
+				}
+			}
+			if err := hd.Bundle(enc); err != nil {
+				return
+			}
+			continue
+		}
+		a := &stub.Rets[i]
+		k := uint32(a.Kind)
+		if err := enc.Uint32(&k); err != nil {
+			return
+		}
+		if err := a.Fn(ctx, enc, reflect.ValueOf(rets[i]).Elem()); err != nil {
+			sess.replyStatus(seq, rpc.StatusDispatch, err.Error())
+			return
+		}
+	}
+	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: seq, Body: sc.Bytes()})
+}

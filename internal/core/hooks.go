@@ -17,8 +17,11 @@ import (
 type serverObjectHook session
 
 // IsClass reports whether t is the instance struct of a loaded class.
+// *Remote counts too: a forwarding server holds proxies for lower-server
+// objects, and those leave the server as handles just like local
+// instances (forward.go).
 func (h *serverObjectHook) IsClass(t reflect.Type) bool {
-	return (*session)(h).srv.loader.IsClassType(t)
+	return t == remoteStructType || (*session)(h).srv.loader.IsClassType(t)
 }
 
 // BundleObject converts between object pointers and handles. Leaving the
@@ -32,6 +35,16 @@ func (h *serverObjectHook) BundleObject(s *xdr.Stream, v reflect.Value) error {
 		if v.IsNil() {
 			nh := handle.Nil
 			return nh.Bundle(s)
+		}
+		if r, ok := v.Interface().(*Remote); ok {
+			// A proxy for a lower server's object: re-export it upward
+			// under this server's handle table (§3.5.1 semantics apply to
+			// the proxy entry too — revoking it invalidates the tag).
+			hd, err := sess.srv.exportProxy(r)
+			if err != nil {
+				return err
+			}
+			return hd.Bundle(s)
 		}
 		loaded, err := sess.srv.loader.ByType(v.Type())
 		if err != nil {

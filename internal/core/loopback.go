@@ -13,6 +13,11 @@ import (
 // a Client to a Server over an in-memory pipe, exercising the full
 // protocol (hello, batching, handles, upcalls) with no kernel sockets.
 // Benchmarks use it to separate protocol overhead from IPC cost.
+//
+// There is no special-cased loopback path: SelfDial goes through Dial and
+// the unified endpoint engine, differing from the wire path only in the
+// net.Conn underneath, so the in-process placement exercises exactly the
+// code the distributed placement runs.
 
 // ErrServerClosed reports a pipe request against a closed server.
 var ErrServerClosed = errors.New("clam: server closed")
@@ -41,4 +46,21 @@ func SelfDial(srv *Server, opts ...DialOption) (*Client, error) {
 		return srv.PipeConn()
 	}))
 	return Dial("pipe", "in-process", opts...)
+}
+
+// SelfDialUpstream stacks srv on top of lower inside one process: srv
+// dials lower over an in-memory pipe and registers the connection for
+// forwarding (see forward.go). The co-located placement of a middle tier —
+// the other end of the paper's placement-flexibility spectrum — runs the
+// same forwarding code as the distributed one.
+func SelfDialUpstream(srv, lower *Server, opts ...DialOption) (*Client, error) {
+	c, err := SelfDial(lower, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.AttachUpstream(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }

@@ -26,7 +26,10 @@ type callShard struct {
 	m  map[string]uint64
 }
 
-// metrics is the live counter set.
+// metrics is the live counter set. Link-level counters (heartbeats,
+// retries, timeouts) live in the shared linkCounters struct the endpoint
+// engine counts into — the same struct backs the client's metrics, since
+// both roles run the same engine.
 type metrics struct {
 	syncCalls      atomic.Uint64
 	asyncCalls     atomic.Uint64
@@ -39,8 +42,13 @@ type metrics struct {
 	faultReports   atomic.Uint64
 	evictions      atomic.Uint64
 	rejectedSess   atomic.Uint64
-	heartbeatsSent atomic.Uint64
-	heartbeatsRecv atomic.Uint64
+
+	// Per-hop forwarding counters: calls relayed to an upstream (lower)
+	// server, and upcalls relayed from it back toward our clients.
+	callsRelayed   atomic.Uint64
+	upcallsRelayed atomic.Uint64
+
+	link linkCounters
 
 	shards [callShards]callShard
 }
@@ -91,10 +99,8 @@ func (m *metrics) countLoad()          { m.loads.Add(1) }
 func (m *metrics) countFaultReport()   { m.faultReports.Add(1) }
 func (m *metrics) countEviction()      { m.evictions.Add(1) }
 func (m *metrics) countRejected()      { m.rejectedSess.Add(1) }
-func (m *metrics) countHeartbeat(n int) {
-	m.heartbeatsSent.Add(uint64(n))
-}
-func (m *metrics) countHeartbeatRecv() { m.heartbeatsRecv.Add(1) }
+func (m *metrics) countRelayedCall()   { m.callsRelayed.Add(1) }
+func (m *metrics) countRelayedUpcall() { m.upcallsRelayed.Add(1) }
 
 // MetricsSnapshot is a point-in-time copy of the server's counters.
 type MetricsSnapshot struct {
@@ -120,9 +126,26 @@ type MetricsSnapshot struct {
 	Evictions uint64
 	// RejectedSessions counts connections refused by WithMaxSessions.
 	RejectedSessions uint64
-	// HeartbeatsSent and HeartbeatsReceived count MsgPing frames sent and
-	// MsgPing/MsgPong frames answered across all sessions.
-	HeartbeatsSent, HeartbeatsReceived uint64
+	// LinkStats carries the shared endpoint-engine counters (heartbeats,
+	// retries, timeouts) aggregated across all sessions. Embedded, so
+	// HeartbeatsSent and HeartbeatsReceived promote as before.
+	LinkStats
+	// Forwarding carries the per-hop relay counters for a server that
+	// dialed an upstream (lower) server.
+	Forwarding ForwardingStats
+}
+
+// ForwardingStats counts multi-hop traffic through a middle-tier server.
+type ForwardingStats struct {
+	// CallsRelayedDown counts calls on proxy handles forwarded to an
+	// upstream server.
+	CallsRelayedDown uint64
+	// UpcallsRelayedUp counts upcalls from an upstream server relayed on
+	// toward this server's own clients.
+	UpcallsRelayedUp uint64
+	// ProxyHandlesLive is the number of handle-table entries currently
+	// naming remote (upstream) objects rather than local instances.
+	ProxyHandlesLive uint64
 }
 
 // TopCalls returns the busiest methods, most-called first, at most n.
@@ -163,20 +186,30 @@ func (s *Server) Metrics() MetricsSnapshot {
 		}
 		sh.mu.Unlock()
 	}
-	return MetricsSnapshot{
-		Calls:              calls,
-		SyncCalls:          m.syncCalls.Load(),
-		AsyncCalls:         m.asyncCalls.Load(),
-		Batches:            m.batches.Load(),
-		Upcalls:            m.upcalls.Load(),
-		UpcallFailures:     m.upcallFails.Load(),
-		UpcallTimeouts:     m.upcallTimeouts.Load(),
-		Faults:             m.faults.Load(),
-		FaultReports:       m.faultReports.Load(),
-		Loads:              m.loads.Load(),
-		Evictions:          m.evictions.Load(),
-		RejectedSessions:   m.rejectedSess.Load(),
-		HeartbeatsSent:     m.heartbeatsSent.Load(),
-		HeartbeatsReceived: m.heartbeatsRecv.Load(),
+	snap := MetricsSnapshot{
+		Calls:            calls,
+		SyncCalls:        m.syncCalls.Load(),
+		AsyncCalls:       m.asyncCalls.Load(),
+		Batches:          m.batches.Load(),
+		Upcalls:          m.upcalls.Load(),
+		UpcallFailures:   m.upcallFails.Load(),
+		UpcallTimeouts:   m.upcallTimeouts.Load(),
+		Faults:           m.faults.Load(),
+		FaultReports:     m.faultReports.Load(),
+		Loads:            m.loads.Load(),
+		Evictions:        m.evictions.Load(),
+		RejectedSessions: m.rejectedSess.Load(),
+		LinkStats:        m.link.snapshot(),
+		Forwarding: ForwardingStats{
+			CallsRelayedDown: m.callsRelayed.Load(),
+			UpcallsRelayedUp: m.upcallsRelayed.Load(),
+		},
 	}
+	if s.handles != nil {
+		snap.Forwarding.ProxyHandlesLive = uint64(s.handles.CountFunc(func(obj any) bool {
+			_, isProxy := obj.(*Remote)
+			return isProxy
+		}))
+	}
+	return snap
 }

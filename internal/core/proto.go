@@ -53,6 +53,12 @@ const (
 	// be able to pin the version rather than take the newest.
 	loadOpLoadExact
 	loadOpNewExact
+	// Describe resolves a class id (or the class behind a handle) to its
+	// {name, version} identity. A forwarding server uses it to translate
+	// class ids minted by a lower server it dialed into classes of its own
+	// library (forward.go); class ids are per-server, names are the
+	// portable identity (§2.1).
+	loadOpDescribe
 )
 
 // loadBody requests a dynamic-loading operation.
@@ -60,12 +66,18 @@ type loadBody struct {
 	Op         uint32
 	Name       string
 	MinVersion uint32
+	// ClassID and Obj parameterize loadOpDescribe: describe by class id,
+	// or by the class of the object a handle names.
+	ClassID uint32
+	Obj     handle.Handle
 }
 
 func (l *loadBody) bundle(s *xdr.Stream) error {
 	s.Uint32(&l.Op)
 	s.String(&l.Name)
-	return s.Uint32(&l.MinVersion)
+	s.Uint32(&l.MinVersion)
+	s.Uint32(&l.ClassID)
+	return l.Obj.Bundle(s)
 }
 
 // loadReplyBody answers a load request.
@@ -74,6 +86,7 @@ type loadReplyBody struct {
 	ErrMsg  string
 	ClassID uint32
 	Version uint32
+	Name    string
 	Obj     handle.Handle
 }
 
@@ -84,6 +97,7 @@ func (l *loadReplyBody) bundle(s *xdr.Stream) error {
 	}
 	s.Uint32(&l.ClassID)
 	s.Uint32(&l.Version)
+	s.String(&l.Name)
 	return l.Obj.Bundle(s)
 }
 

@@ -37,6 +37,7 @@ type Server struct {
 	listeners []net.Listener
 	named     map[string]any
 	stubs     map[uint32]*rpc.ClassStubs // class id → compiled stubs
+	upstreams []*upstream                // lower servers this server dialed (forward.go)
 	closed    bool
 
 	wg sync.WaitGroup // accept loops, connection readers, heartbeat loops
@@ -454,6 +455,10 @@ func (s *Server) dropSession(sess *session) {
 	s.mu.Unlock()
 	sess.close()
 	s.rucs.DropCaller(sess)
+	// Forwarded procedure pointers are bound under the session's relay
+	// identity (forward.go); drop those too so a departed client cannot
+	// receive relayed upcalls.
+	s.rucs.DropCaller(sess.relay)
 }
 
 // SessionCount reports the number of connected clients.
@@ -479,6 +484,8 @@ func (s *Server) Close() error {
 		sessions = append(sessions, sess)
 	}
 	s.sessions = make(map[uint64]*session)
+	ups := s.upstreams
+	s.upstreams = nil
 	s.mu.Unlock()
 
 	for _, ln := range lns {
@@ -486,6 +493,9 @@ func (s *Server) Close() error {
 	}
 	for _, sess := range sessions {
 		sess.close()
+	}
+	for _, u := range ups {
+		u.c.Close()
 	}
 	s.wg.Wait()
 	return s.sched.Close()

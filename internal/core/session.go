@@ -17,18 +17,21 @@ import (
 	"clam/internal/xdr"
 )
 
-// session is the server side of one client connection pair: the RPC
-// channel it was created with and the upcall channel that attaches later
-// (§4.4). Incoming call batches are executed in order by a dispatcher
-// task; when a handler blocks in a distributed upcall, dispatching is
-// handed to a fresh task so the server keeps serving — in particular the
-// reentrant case where the client's upcall handler calls back into the
-// server.
+// session is the server side of one client connection pair: the
+// upward-facing role wrapper over the shared endpoint engine. It owns the
+// RPC channel it was created with and the upcall channel that attaches
+// later (§4.4). Incoming call batches are executed in order by a
+// dispatcher task; when a handler blocks in a distributed upcall,
+// dispatching is handed to a fresh task so the server keeps serving — in
+// particular the reentrant case where the client's upcall handler calls
+// back into the server. The embedded endpoint carries the seq/wait table
+// (here numbering upcalls), reply coalescing, heartbeats and teardown;
+// the session adds dispatch, the upcall gate, and the load protocol.
 type session struct {
+	endpoint
+
 	id  uint64
 	srv *Server
-
-	rpcConn *wire.Conn
 
 	// The upcall gate bounds concurrent distributed upcalls per client:
 	// "we allow only one upcall to be active per client process. This
@@ -40,18 +43,11 @@ type session struct {
 	// token would freeze every task, including the one that will release
 	// the gate. Task waiters therefore Block on upFree (releasing the
 	// token); plain goroutines wait on upFreeCh.
-	upMu     sync.Mutex // guards upBusy, upSeq, upConn
+	gateMu   sync.Mutex // guards upBusy
 	upBusy   int
 	upMax    int
 	upFree   task.Event
 	upFreeCh chan struct{}
-	upSeq    uint64
-	upConn   *wire.Conn
-	upOnce   sync.Once
-
-	// In-flight upcall reply slots, keyed by upcall sequence number.
-	waitMu sync.Mutex
-	waits  map[uint64]*upcallWait
 
 	// call-batch queue drained by dispatcher tasks. owner is the task
 	// currently holding dispatch duty; both fields are guarded by qMu.
@@ -60,44 +56,36 @@ type session struct {
 	dispatching bool
 	owner       *task.Task
 
-	// replyPending marks buffered replies awaiting a flush: a dispatch
-	// burst's replies ride one kernel write instead of one per message
-	// (see reply / flushReplies).
-	replyPending atomic.Bool
-
-	// Liveness state: the arrival time (unix nanos) of the most recent
-	// frame on each channel. lastUp is zero until the upcall channel
-	// attaches. slowFails counts consecutive failed upcalls for the
-	// slow-consumer guard; evicting makes eviction once-only.
-	lastRPC   atomic.Int64
-	lastUp    atomic.Int64
+	// slowFails counts consecutive failed upcalls for the slow-consumer
+	// guard; evicting makes eviction once-only.
 	slowFails atomic.Int32
 	evicting  atomic.Bool
 
-	closeOnce sync.Once
-	closedCh  chan struct{}
-}
-
-// upcallWait is one armed reply slot: exactly one of ev/ch is set,
-// depending on whether the waiter is a task or a plain goroutine.
-type upcallWait struct {
-	ev   *task.Event
-	ch   chan *wire.Msg
-	msg  *wire.Msg
-	done bool
+	// relay is the ruc.Caller identity under which forwarded procedure
+	// pointers are bound (see forward.go): same upcall path, but each hop
+	// crossed is counted.
+	relay *relayCaller
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 	sess := &session{
 		id:       id,
 		srv:      srv,
-		rpcConn:  rpcConn,
 		upMax:    srv.maxClientUpcalls,
 		upFreeCh: make(chan struct{}, 1),
-		waits:    make(map[uint64]*upcallWait),
-		closedCh: make(chan struct{}),
 	}
-	sess.lastRPC.Store(time.Now().UnixNano())
+	e := &sess.endpoint
+	e.rpcConn = rpcConn
+	e.reg = srv.reg
+	e.mkCtx = sess.ctx
+	e.callTimeout = srv.upcallTimeout
+	e.hbInterval = srv.hbInterval
+	e.hbWindow = srv.hbWindow
+	e.link = &srv.metrics.link
+	e.closedCh = make(chan struct{})
+	e.logf = srv.logf
+	e.lastRPC.Store(time.Now().UnixNano())
+	sess.relay = &relayCaller{sess: sess}
 	return sess
 }
 
@@ -105,13 +93,13 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 // way. It returns false if the session closed first.
 func (sess *session) acquireUpcallGate(cur *task.Task) bool {
 	for {
-		sess.upMu.Lock()
+		sess.gateMu.Lock()
 		if sess.upBusy < sess.upMax {
 			sess.upBusy++
-			sess.upMu.Unlock()
+			sess.gateMu.Unlock()
 			return true
 		}
-		sess.upMu.Unlock()
+		sess.gateMu.Unlock()
 		select {
 		case <-sess.closedCh:
 			return false
@@ -136,9 +124,9 @@ func (sess *session) acquireUpcallGate(cur *task.Task) bool {
 
 // releaseUpcallGate frees the slot and wakes one waiter of each kind.
 func (sess *session) releaseUpcallGate() {
-	sess.upMu.Lock()
+	sess.gateMu.Lock()
 	sess.upBusy--
-	sess.upMu.Unlock()
+	sess.gateMu.Unlock()
 	// Signal is counting, so a release that precedes the next waiter's
 	// Block is not lost.
 	sess.upFree.Signal()
@@ -151,36 +139,18 @@ func (sess *session) releaseUpcallGate() {
 // attachUpcallConn binds the client's second channel. It may be attached
 // once.
 func (sess *session) attachUpcallConn(c *wire.Conn) bool {
-	ok := false
-	sess.upOnce.Do(func() {
-		sess.upMu.Lock()
-		sess.upConn = c
-		sess.upMu.Unlock()
-		sess.lastUp.Store(time.Now().UnixNano())
-		ok = true
-	})
-	return ok
+	return sess.attachUpcall(c)
 }
 
 // upcallConnLost runs when the upcall channel's read loop exits: any task
 // parked on an upcall reply will never get one, so fail the waits now
 // rather than letting them ride out the upcall timeout.
 func (sess *session) upcallConnLost() {
-	sess.deliverUpcallReply(0, nil, true)
+	sess.waits.cancelAll()
 }
 
 func (sess *session) close() {
-	sess.closeOnce.Do(func() {
-		close(sess.closedCh)
-		sess.rpcConn.Close()
-		sess.upMu.Lock()
-		if sess.upConn != nil {
-			sess.upConn.Close()
-		}
-		sess.upMu.Unlock()
-		// Fail any in-flight upcall wait.
-		sess.deliverUpcallReply(0, nil, true)
-	})
+	sess.shutdown(false)
 }
 
 // ctx returns a fresh per-call bundling context wired to this session's
@@ -208,20 +178,13 @@ func (sess *session) rpcReadLoop() {
 			// The dispatcher owns the message now; it releases it after
 			// executing it.
 			sess.enqueue(msg)
-		case wire.MsgPing:
-			sess.srv.metrics.countHeartbeatRecv()
-			seq := msg.Seq
-			msg.Release()
-			if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
-				return
-			}
-		case wire.MsgPong:
-			sess.srv.metrics.countHeartbeatRecv()
-			msg.Release()
-		case wire.MsgBye:
-			msg.Release()
-			return
 		default:
+			if handled, stop := sess.demuxCommon(sess.rpcConn, msg); handled {
+				if stop {
+					return
+				}
+				continue
+			}
 			sess.srv.logf("clam: session %d: unexpected %v on rpc channel", sess.id, msg.Type)
 			msg.Release()
 		}
@@ -230,7 +193,7 @@ func (sess *session) rpcReadLoop() {
 
 // upcallReadLoop receives upcall replies on the upcall channel.
 func (sess *session) upcallReadLoop() {
-	c := sess.upConn
+	c := sess.upcallConn()
 	for {
 		msg, err := c.Recv()
 		if err != nil {
@@ -242,23 +205,16 @@ func (sess *session) upcallReadLoop() {
 			// A delivered reply is owned (and released) by the waiting
 			// upcaller; an unclaimed one — late reply after a timeout — is
 			// recycled here.
-			if !sess.deliverUpcallReply(msg.Seq, msg, false) {
+			if !sess.waits.deliver(msg.Seq, msg, false) {
 				msg.Release()
 			}
-		case wire.MsgPing:
-			sess.srv.metrics.countHeartbeatRecv()
-			seq := msg.Seq
-			msg.Release()
-			if err := c.Send(&wire.Msg{Type: wire.MsgPong, Seq: seq}); err != nil {
-				return
-			}
-		case wire.MsgPong:
-			sess.srv.metrics.countHeartbeatRecv()
-			msg.Release()
-		case wire.MsgBye:
-			msg.Release()
-			return
 		default:
+			if handled, stop := sess.demuxCommon(c, msg); handled {
+				if stop {
+					return
+				}
+				continue
+			}
 			sess.srv.logf("clam: session %d: unexpected %v on upcall channel", sess.id, msg.Type)
 			msg.Release()
 		}
@@ -268,52 +224,17 @@ func (sess *session) upcallReadLoop() {
 // --- liveness ---------------------------------------------------------------
 
 // startHeartbeat launches the per-session liveness loop if the server was
-// configured with WithHeartbeat. It pings both channels every interval and
-// evicts the session when either channel has been silent past the window.
+// configured with WithHeartbeat: the shared endpoint heartbeat, with
+// eviction as this role's response to a dead peer.
 func (sess *session) startHeartbeat() {
-	if sess.srv.hbInterval <= 0 {
+	if sess.hbInterval <= 0 {
 		return
 	}
 	sess.srv.wg.Add(1)
 	go func() {
 		defer sess.srv.wg.Done()
-		sess.heartbeatLoop()
+		sess.heartbeatLoop(sess.evict)
 	}()
-}
-
-func (sess *session) heartbeatLoop() {
-	ticker := time.NewTicker(sess.srv.hbInterval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-sess.closedCh:
-			return
-		case <-ticker.C:
-		}
-		now := time.Now().UnixNano()
-		window := sess.srv.hbWindow.Nanoseconds()
-		if now-sess.lastRPC.Load() > window {
-			sess.evict("liveness window missed on rpc channel")
-			return
-		}
-		if up := sess.lastUp.Load(); up != 0 && now-up > window {
-			sess.evict("liveness window missed on upcall channel")
-			return
-		}
-		sent := 0
-		if err := sess.rpcConn.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
-			sent++
-		}
-		sess.upMu.Lock()
-		up := sess.upConn
-		sess.upMu.Unlock()
-		if up != nil {
-			if err := up.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
-				sent++
-			}
-		}
-		sess.srv.metrics.countHeartbeat(sent)
-	}
 }
 
 // evict terminates the session for cause: a final FaultReport notice goes
@@ -326,10 +247,7 @@ func (sess *session) evict(reason string) {
 	}
 	sess.srv.metrics.countEviction()
 	sess.srv.logf("clam: session %d: evicted: %s", sess.id, reason)
-	sess.upMu.Lock()
-	up := sess.upConn
-	sess.upMu.Unlock()
-	if up != nil {
+	if up := sess.upcallConn(); up != nil {
 		report := FaultReport{Class: "clam.session", Method: "evict", Msg: reason}
 		sc := rpc.GetScratch()
 		if err := report.bundle(sc.Encoder()); err == nil {
@@ -431,9 +349,10 @@ func (sess *session) dispatch(t *task.Task) {
 		sess.qMu.Unlock()
 
 		// If the handler blocks for any reason — a distributed upcall, an
-		// event wait inside a loaded class — dispatch duty moves to a
-		// fresh task so this session's queue keeps draining. That is what
-		// makes reentrant client calls during a blocked handler work.
+		// event wait inside a loaded class, a forwarded call awaiting a
+		// lower server — dispatch duty moves to a fresh task so this
+		// session's queue keeps draining. That is what makes reentrant
+		// client calls during a blocked handler work.
 		t.SetBlockHook(func() { sess.releaseDispatch() })
 		switch msg.Type {
 		case wire.MsgCall:
@@ -441,7 +360,11 @@ func (sess *session) dispatch(t *task.Task) {
 		case wire.MsgLoad:
 			sess.execLoad(msg)
 		case wire.MsgSync:
-			sess.reply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
+			// Sync is relayed before being answered, so the §3.4 guarantee —
+			// every earlier asynchronous call has executed — holds across
+			// forwarding hops too.
+			sess.srv.syncUpstreams()
+			sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
 		}
 		t.SetBlockHook(nil)
 		msg.Release()
@@ -519,6 +442,11 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 	entry, err := sess.srv.handles.Entry(hdr.Obj)
 	if err != nil {
 		status, errMsg = rpc.StatusDispatch, err.Error()
+	} else if pr, ok := entry.Obj.(*Remote); ok {
+		// A proxy entry: the object lives on a lower server this server
+		// dialed. Relay the call down instead of invoking locally.
+		sess.execForward(dec, hdr, pr, entry)
+		return
 	} else {
 		loaded, lerr := sess.srv.loader.Get(entry.ClassID)
 		if lerr != nil {
@@ -584,9 +512,9 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 	}
 
 	// The reply is encoded into its own scratch — the batch decoder (dec)
-	// is mid-stream and its workspace cannot be shared. reply() copies the
-	// body toward the kernel before returning, so releasing right after is
-	// safe.
+	// is mid-stream and its workspace cannot be shared. queueReply() copies
+	// the body toward the kernel before returning, so releasing right after
+	// is safe.
 	rsc := rpc.GetScratch()
 	defer rsc.Release()
 	enc := rsc.Encoder()
@@ -606,29 +534,7 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 			}
 		}
 	}
-	sess.reply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: rsc.Bytes()})
-}
-
-// reply queues msg on the RPC channel without flushing: a dispatch
-// burst's replies coalesce into one kernel write, flushed when the queue
-// drains or the dispatcher blocks (flushReplies).
-func (sess *session) reply(msg *wire.Msg) {
-	if err := sess.rpcConn.Write(msg); err != nil {
-		sess.srv.logf("clam: session %d: reply: %v", sess.id, err)
-		return
-	}
-	sess.replyPending.Store(true)
-}
-
-// flushReplies pushes buffered replies to the kernel. The pending flag
-// makes the common no-replies case (async batches) a single atomic load.
-func (sess *session) flushReplies() {
-	if !sess.replyPending.Swap(false) {
-		return
-	}
-	if err := sess.rpcConn.Flush(); err != nil {
-		sess.srv.logf("clam: session %d: reply flush: %v", sess.id, err)
-	}
+	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: rsc.Bytes()})
 }
 
 // --- load protocol --------------------------------------------------------
@@ -661,6 +567,7 @@ func (sess *session) execLoad(msg *wire.Msg) {
 		reply.OK = true
 		reply.ClassID = loaded.ID
 		reply.Version = loaded.Version
+		reply.Name = loaded.Name
 	case loadOpNew, loadOpNewExact:
 		env := &Env{Server: sess.srv, SessionID: sess.id}
 		var obj any
@@ -683,6 +590,7 @@ func (sess *session) execLoad(msg *wire.Msg) {
 		reply.OK = true
 		reply.ClassID = loaded.ID
 		reply.Version = loaded.Version
+		reply.Name = loaded.Name
 		reply.Obj = h
 	case loadOpUnload:
 		if err := sess.srv.loader.Unload(req.Name, req.MinVersion); err != nil {
@@ -691,25 +599,9 @@ func (sess *session) execLoad(msg *wire.Msg) {
 		}
 		reply.OK = true
 	case loadOpNamed:
-		obj, ok := sess.srv.Named(req.Name)
-		if !ok {
-			reply.ErrMsg = fmt.Sprintf("clam: no named instance %q", req.Name)
-			break
-		}
-		loaded, err := sess.srv.loader.ByType(reflect.TypeOf(obj))
-		if err != nil {
-			reply.ErrMsg = err.Error()
-			break
-		}
-		h, err := sess.srv.handles.Put(obj, loaded.ID, loaded.Version)
-		if err != nil {
-			reply.ErrMsg = err.Error()
-			break
-		}
-		reply.OK = true
-		reply.ClassID = loaded.ID
-		reply.Version = loaded.Version
-		reply.Obj = h
+		sess.execLoadNamed(&req, &reply)
+	case loadOpDescribe:
+		sess.execDescribe(&req, &reply)
 	default:
 		reply.ErrMsg = fmt.Sprintf("clam: unknown load op %d", req.Op)
 	}
@@ -719,6 +611,99 @@ func (sess *session) execLoad(msg *wire.Msg) {
 	sess.sendLoadReply(msg.Seq, &reply)
 }
 
+// execLoadNamed resolves a published name to a handle. A published
+// *Remote — a lower server's object imported by this middle tier — is
+// re-exported as a proxy handle rather than minted as a local object.
+func (sess *session) execLoadNamed(req *loadBody, reply *loadReplyBody) {
+	obj, ok := sess.srv.Named(req.Name)
+	if !ok {
+		reply.ErrMsg = fmt.Sprintf("clam: no named instance %q", req.Name)
+		return
+	}
+	if r, isProxy := obj.(*Remote); isProxy {
+		h, err := sess.srv.exportProxy(r)
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			return
+		}
+		reply.OK = true
+		reply.ClassID, reply.Version = r.classInfo()
+		if u := sess.srv.upstreamFor(r.c); u != nil {
+			if pc, perr := sess.srv.proxyClassFor(u, reply.ClassID, reply.Version); perr == nil {
+				reply.Name = pc.name
+			}
+		}
+		reply.Obj = h
+		return
+	}
+	loaded, err := sess.srv.loader.ByType(reflect.TypeOf(obj))
+	if err != nil {
+		reply.ErrMsg = err.Error()
+		return
+	}
+	h, err := sess.srv.handles.Put(obj, loaded.ID, loaded.Version)
+	if err != nil {
+		reply.ErrMsg = err.Error()
+		return
+	}
+	reply.OK = true
+	reply.ClassID = loaded.ID
+	reply.Version = loaded.Version
+	reply.Name = loaded.Name
+	reply.Obj = h
+}
+
+// execDescribe answers loadOpDescribe: resolve a class id (or the class
+// behind a handle) to its {name, version} identity, so a higher server
+// can translate proxied classes it has never loaded (forward.go).
+func (sess *session) execDescribe(req *loadBody, reply *loadReplyBody) {
+	classID, version := req.ClassID, uint32(0)
+	if classID == 0 && !req.Obj.IsNil() {
+		entry, err := sess.srv.handles.Entry(req.Obj)
+		if err != nil {
+			reply.ErrMsg = err.Error()
+			return
+		}
+		if r, isProxy := entry.Obj.(*Remote); isProxy {
+			// A proxy entry carries the lower server's class identity; its
+			// numeric id must not be confused with local loader ids.
+			reply.OK = true
+			reply.ClassID, reply.Version = r.classInfo()
+			if u := sess.srv.upstreamFor(r.c); u != nil {
+				if pc, perr := sess.srv.proxyClassFor(u, reply.ClassID, reply.Version); perr == nil {
+					reply.Name = pc.name
+				}
+			}
+			return
+		}
+		classID, version = entry.ClassID, entry.Version
+	}
+	if loaded, err := sess.srv.loader.Get(classID); err == nil {
+		reply.OK = true
+		reply.ClassID = classID
+		reply.Name = loaded.Name
+		if version == 0 {
+			version = loaded.Version
+		}
+		reply.Version = version
+		return
+	}
+	// Not loaded here: the class may live further down a chain of
+	// forwarding servers, in which case an upstream translation cache
+	// knows its identity.
+	if pc := sess.srv.cachedProxyClass(classID); pc != nil {
+		reply.OK = true
+		reply.ClassID = classID
+		reply.Name = pc.name
+		if version == 0 {
+			version = pc.version
+		}
+		reply.Version = version
+		return
+	}
+	reply.ErrMsg = fmt.Sprintf("clam: class %d not loaded", classID)
+}
+
 func (sess *session) sendLoadReply(seq uint64, reply *loadReplyBody) {
 	sc := rpc.GetScratch()
 	defer sc.Release()
@@ -726,7 +711,7 @@ func (sess *session) sendLoadReply(seq uint64, reply *loadReplyBody) {
 		sess.srv.logf("clam: session %d: encoding load reply: %v", sess.id, err)
 		return
 	}
-	sess.reply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: sc.Bytes()})
+	sess.queueReply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: sc.Bytes()})
 }
 
 // --- distributed upcalls (ruc.Caller) --------------------------------------
@@ -738,7 +723,8 @@ var errNoUpcallChannel = errors.New("clam: client has no upcall channel")
 // Upcall implements ruc.Caller: it is the remote call back to the higher
 // level object in the client (§4.1). The server task blocks while the
 // client task carries the flow of control (§4.3); at most one upcall is
-// active per client (§4.4).
+// active per client (§4.4). The wait runs on the shared endpoint engine:
+// the endpoint's callTimeout is the server's WithUpcallTimeout.
 func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
 	cur := task.Current()
 	if !sess.acquireUpcallGate(cur) {
@@ -748,14 +734,11 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	failed := true
 	defer func() { sess.srv.metrics.countUpcall(failed) }()
 
-	sess.upMu.Lock()
-	c := sess.upConn
-	sess.upSeq++
-	seq := sess.upSeq
-	sess.upMu.Unlock()
+	c := sess.upcallConn()
 	if c == nil {
 		return nil, errNoUpcallChannel
 	}
+	seq := sess.seq.Add(1)
 
 	sc := rpc.GetScratch()
 	enc := sc.Encoder()
@@ -771,24 +754,9 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	}
 
 	// Arm the reply slot before sending so a fast client cannot race the
-	// wait. The wait strategy depends on who is calling: a task blocks on
-	// an event (releasing the run token so other tasks — including a new
-	// dispatcher for this session — keep running), while a plain
-	// goroutine waits on a channel.
-	w := &upcallWait{}
-	if cur != nil {
-		w.ev = &task.Event{}
-	} else {
-		w.ch = make(chan *wire.Msg, 1)
-	}
-	sess.waitMu.Lock()
-	sess.waits[seq] = w
-	sess.waitMu.Unlock()
-	defer func() {
-		sess.waitMu.Lock()
-		delete(sess.waits, seq)
-		sess.waitMu.Unlock()
-	}()
+	// wait.
+	w := sess.waits.arm(seq)
+	defer sess.waits.disarm(seq)
 
 	// Buffered replies must precede the upcall: the client task about to
 	// take over the flow of control may depend on them. Send copies the
@@ -800,32 +768,15 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 		return nil, fmt.Errorf("clam: sending upcall: %w", err)
 	}
 
-	var reply *wire.Msg
-	var timedOut atomic.Bool
 	if cur != nil {
 		// Hand off dispatch duty so this session's queue keeps draining
-		// while we wait for the client task.
+		// while we wait for the client task (await's Block would fire the
+		// block hook anyway; releasing eagerly keeps the handoff explicit).
 		sess.releaseDispatch()
-		timer := time.AfterFunc(sess.srv.upcallTimeout, func() {
-			timedOut.Store(true)
-			sess.deliverUpcallReply(seq, nil, true)
-		})
-		cur.Block(w.ev)
-		timer.Stop()
-		sess.waitMu.Lock()
-		reply = w.msg
-		sess.waitMu.Unlock()
-	} else {
-		select {
-		case reply = <-w.ch:
-		case <-time.After(sess.srv.upcallTimeout):
-			timedOut.Store(true)
-			sess.deliverUpcallReply(seq, nil, true) // disarm the slot
-		case <-sess.closedCh:
-		}
 	}
-	if reply == nil {
-		if timedOut.Load() {
+	reply, werr := sess.await(nil, seq, w)
+	if werr != nil {
+		if errors.Is(werr, ErrCallTimeout) {
 			sess.srv.metrics.countUpcallTimeout()
 		}
 		sess.noteUpcallFailure()
@@ -836,11 +787,11 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	sess.slowFails.Store(0)
 
 	dsc := rpc.GetScratch()
-	rets, appErr, err := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dsc.Decoder(reply.Body), ft)
+	rets, appErr, derr := rpc.DecodeFuncResults(sess.srv.reg, sess.ctx(), dsc.Decoder(reply.Body), ft)
 	dsc.Release()
 	reply.Release()
-	if err != nil {
-		return nil, err
+	if derr != nil {
+		return nil, derr
 	}
 	if appErr != nil {
 		return nil, appErr
@@ -863,48 +814,6 @@ func (sess *session) noteUpcallFailure() {
 	go sess.evict(fmt.Sprintf("slow consumer: %d consecutive upcall failures", n))
 }
 
-// deliverUpcallReply completes an armed wait slot. cancel delivers a nil
-// message (timeout, shutdown); seq 0 cancels every in-flight slot. It
-// reports whether msg was handed to a waiter — if not (late reply after
-// a timeout), the caller still owns msg and should release it.
-func (sess *session) deliverUpcallReply(seq uint64, msg *wire.Msg, cancel bool) bool {
-	sess.waitMu.Lock()
-	defer sess.waitMu.Unlock()
-	if seq == 0 {
-		for _, w := range sess.waits {
-			completeWaitLocked(w, nil)
-		}
-		return false
-	}
-	w, ok := sess.waits[seq]
-	if !ok || w.done {
-		return false
-	}
-	if cancel {
-		msg = nil
-	}
-	completeWaitLocked(w, msg)
-	return msg != nil
-}
-
-// completeWaitLocked finishes one slot; sess.waitMu must be held.
-func completeWaitLocked(w *upcallWait, msg *wire.Msg) {
-	if w.done {
-		return
-	}
-	w.done = true
-	w.msg = msg
-	if w.ev != nil {
-		w.ev.Signal()
-	} else if w.ch != nil {
-		if msg != nil {
-			w.ch <- msg
-		} else {
-			close(w.ch)
-		}
-	}
-}
-
 // reportFault notifies the client that it tried to use a faulty class
 // (§4.3). A new task carries the report so the failing path is not
 // delayed; the report travels on the upcall channel as a MsgError.
@@ -912,9 +821,7 @@ func (sess *session) reportFault(class, method, msg string) {
 	sess.srv.metrics.countFaultReport()
 	report := FaultReport{Class: class, Method: method, Msg: msg}
 	err := sess.srv.sched.Spawn(func(*task.Task) {
-		sess.upMu.Lock()
-		c := sess.upConn
-		sess.upMu.Unlock()
+		c := sess.upcallConn()
 		if c == nil {
 			sess.srv.logf("clam: session %d: dropping fault report (%v): no upcall channel", sess.id, report)
 			return

@@ -152,6 +152,23 @@ func (l *Library) LookupExact(name string, version uint32) (Class, error) {
 	return Class{}, fmt.Errorf("%w: %q v%d", ErrNotFound, name, version)
 }
 
+// HasType reports whether t is the instance type (pointer-to-struct) of
+// any registered class version. A forwarding server uses it to recognize
+// class-typed results in a lower server's replies even before the class
+// is loaded locally.
+func (l *Library) HasType(t reflect.Type) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, versions := range l.classes {
+		for _, c := range versions {
+			if c.Type == t {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Names lists the registered class names in sorted order.
 func (l *Library) Names() []string {
 	l.mu.RLock()

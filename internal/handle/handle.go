@@ -208,3 +208,17 @@ func (t *Table) Len() int {
 	defer t.mu.RUnlock()
 	return len(t.entries)
 }
+
+// CountFunc reports how many live entries hold objects satisfying pred —
+// e.g. how many entries are proxies for another server's objects.
+func (t *Table) CountFunc(pred func(obj any) bool) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, e := range t.entries {
+		if pred(e.Obj) {
+			n++
+		}
+	}
+	return n
+}

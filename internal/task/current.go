@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // This file lets code discover the task it is running under. The paper's
@@ -16,6 +17,12 @@ import (
 // function runs.
 
 var currentTasks sync.Map // goroutine id (uint64) → *Task
+
+// boundTasks counts goroutines currently executing a task function. When
+// it is zero — always in a pure client process, and between dispatches on
+// an idle server — Current returns nil with one atomic load, keeping the
+// stack parse off the RPC hot path.
+var boundTasks atomic.Int64
 
 // goid returns the current goroutine's id by parsing the first line of the
 // stack trace ("goroutine N [running]:"). This costs a few microseconds —
@@ -36,15 +43,24 @@ func goid() uint64 {
 	return id
 }
 
-// bind associates the calling goroutine with t for the duration of the
-// task's execution.
-func (t *Task) bind() (gid uint64) {
-	gid = goid()
+// bindAs associates goroutine gid with t for the duration of one dispatch.
+// The caller computes gid once per goroutine (the id never changes), so
+// binding is two cheap writes per dispatch, not a stack parse.
+func (t *Task) bindAs(gid uint64) {
 	currentTasks.Store(gid, t)
-	return gid
+	boundTasks.Add(1)
 }
 
+// unbind clears the association but keeps the map entry (storing a nil
+// task): a pooled goroutine re-binds the same key on its next dispatch,
+// and overwriting an existing sync.Map entry never allocates.
 func unbind(gid uint64) {
+	currentTasks.Store(gid, (*Task)(nil))
+	boundTasks.Add(-1)
+}
+
+// dropBinding removes the map entry outright when a task goroutine exits.
+func dropBinding(gid uint64) {
 	currentTasks.Delete(gid)
 }
 
@@ -54,8 +70,13 @@ func unbind(gid uint64) {
 // yield the run token correctly without threading a *Task through every
 // signature.
 func Current() *Task {
+	if boundTasks.Load() == 0 {
+		return nil
+	}
 	if v, ok := currentTasks.Load(goid()); ok {
-		return v.(*Task)
+		if t, _ := v.(*Task); t != nil {
+			return t
+		}
 	}
 	return nil
 }

@@ -126,11 +126,13 @@ func (s *Sched) Spawn(fn func(*Task)) error {
 }
 
 func (t *Task) loop(fn func(*Task)) {
-	gid := t.bind()
-	defer unbind(gid)
+	gid := goid()
+	defer dropBinding(gid)
 	for {
 		t.acquire()
+		t.bindAs(gid)
 		fn(t)
+		unbind(gid)
 		t.onBlock = nil // hooks never outlive the function that set them
 		t.release()
 		t.s.active.Done()
