@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build fmtcheck vet test race bench benchfull
+.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull
 
 # Tier-1 verification: everything must be green before a merge.
-verify: build fmtcheck vet test race
+verify: build fmtcheck vet test race benchsmoke
 
 build:
 	$(GO) build ./...
@@ -26,11 +26,16 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc ./internal/ruc ./internal/task
 
-# Reproducible bench pipeline: regenerates BENCH_2.json (Fig 5.1 suite +
-# pooling ablation, with the embedded pre-change baseline for comparison).
-# See EXPERIMENTS.md for the schema.
+# Every benchmark body runs exactly once: catches bit-rotted bench code
+# (fixture boot failures, renamed methods) without paying for measurement.
+benchsmoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Reproducible bench pipeline: regenerates BENCH_3.json (Fig 5.1 suite,
+# pooling ablation and the dispatch-throughput matrix, with the embedded
+# pre-change baselines for comparison). See EXPERIMENTS.md for the schema.
 bench:
-	$(GO) run ./cmd/clambench -iters 300 -json BENCH_2.json
+	$(GO) run ./cmd/clambench -iters 300 -json BENCH_3.json
 
 # The full testing.B suite, for apples-to-apples -benchmem numbers.
 benchfull:

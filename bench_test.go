@@ -9,8 +9,10 @@ package clam_test
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -523,6 +525,154 @@ func BenchmarkAblation_HandleLookup(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Throughput: pipelined load under the per-object executor ---------------
+//
+// The Figure 5.1 rows measure one call's latency; these rows measure how
+// many independent calls the server completes per second when clients
+// keep several in flight at once. Each client is its own session, and
+// each holds `inflight` synchronous Pings pending from separate
+// goroutines (asyncs would not do: §3.4 pins one session's asyncs to
+// program order, so only independent synchronous calls may overlap).
+// Cross-object rows aim every client at its own pinger instance — the
+// case the per-object executor parallelizes; same-object rows all hammer
+// one instance, which must stay serialized in every engine. The _Serial
+// variants rerun the cross-object shape on the pre-change serial
+// dispatcher (WithPerObjectDispatch(false)) as the ablation baseline, and
+// the TwoHop rows interpose a middle server relaying over proxy handles
+// so the chain's hops parallelize too.
+
+// holdMicros is each handler's simulated wait — long enough that the
+// dispatch engine, not the wire, is the bottleneck at 8 clients.
+const holdMicros = int64(50)
+
+func throughputBench(b *testing.B, clients, inflight, hops int, cross, serial bool) {
+	b.Helper()
+	var srvOpts []core.ServerOption
+	if serial {
+		srvOpts = append(srvOpts, core.WithPerObjectDispatch(false))
+	} else {
+		// One worker per client: the default pool is sized to GOMAXPROCS
+		// for CPU work, but blocked handlers overlap beyond core count.
+		srvOpts = append(srvOpts, core.WithDispatchWorkers(clients))
+	}
+	fx, err := benchlib.Boot("unix", b.TempDir(), srvOpts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fx.Server.Close()
+
+	names := make([]string, clients)
+	for i := range names {
+		names[i] = "pinger"
+	}
+	if cross {
+		if _, err := fx.PublishPingers(clients); err != nil {
+			b.Fatal(err)
+		}
+		for i := range names {
+			names[i] = fmt.Sprintf("pinger%d", i)
+		}
+	}
+
+	network, addr := fx.Network, fx.Addr
+	if hops == 2 {
+		lib := dynload.NewLibrary()
+		if err := benchlib.Register(lib); err != nil {
+			b.Fatal(err)
+		}
+		mid := core.NewServer(lib, append([]core.ServerOption{
+			core.WithServerLog(func(string, ...any) {}),
+		}, srvOpts...)...)
+		defer mid.Close()
+		up, err := core.SelfDialUpstream(mid, fx.Server, core.WithClientLog(func(string, ...any) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		uniq := make([]string, 0, len(names))
+		seen := make(map[string]bool)
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				uniq = append(uniq, n)
+			}
+		}
+		if err := mid.ImportNamed(up, uniq...); err != nil {
+			b.Fatal(err)
+		}
+		ln, err := mid.Listen("unix", b.TempDir()+"/mid.sock")
+		if err != nil {
+			b.Fatal(err)
+		}
+		network, addr = "unix", ln.Addr().String()
+	}
+
+	conns := make([]*core.Client, clients)
+	objs := make([]*core.Remote, clients)
+	for i := range conns {
+		c, err := core.Dial(network, addr, core.WithClientLog(func(string, ...any) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		conns[i] = c
+		if objs[i], err = c.NamedObject(names[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Spread b.N calls over clients × inflight workers; ns/op is then
+	// wall time per completed call with the parallelism baked in, so
+	// throughput = 1e9 / ns_op calls/sec.
+	per := b.N / (clients * inflight)
+	if per < 1 {
+		per = 1
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i := 0; i < clients; i++ {
+		for j := 0; j < inflight; j++ {
+			wg.Add(1)
+			go func(obj *core.Remote) {
+				defer wg.Done()
+				var n int64
+				for k := 0; k < per; k++ {
+					if err := obj.CallInto("Hold", []any{&n}, holdMicros); err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}(objs[i])
+		}
+	}
+	wg.Wait()
+	b.StopTimer()
+	if failed.Load() {
+		b.Fatal("a pipelined call failed")
+	}
+}
+
+func BenchmarkThroughput_SameObject_8x4(b *testing.B)  { throughputBench(b, 8, 4, 1, false, false) }
+func BenchmarkThroughput_CrossObject_8x4(b *testing.B) { throughputBench(b, 8, 4, 1, true, false) }
+
+// Serial-dispatcher ablation of the same shapes: the pre-change engine.
+func BenchmarkThroughput_SameObject_8x4_Serial(b *testing.B) {
+	throughputBench(b, 8, 4, 1, false, true)
+}
+func BenchmarkThroughput_CrossObject_8x4_Serial(b *testing.B) {
+	throughputBench(b, 8, 4, 1, true, true)
+}
+
+// Two-hop chain: client → middle server → bottom server, relayed over
+// proxy handles; the middle tier's executor yields relaying workers while
+// they wait on the lower hop, so independent objects pipeline end to end.
+func BenchmarkThroughput_TwoHop_CrossObject_4x2(b *testing.B) {
+	throughputBench(b, 4, 2, 2, true, false)
+}
+func BenchmarkThroughput_TwoHop_CrossObject_4x2_Serial(b *testing.B) {
+	throughputBench(b, 4, 2, 2, true, true)
 }
 
 // Sanity: the facade compiles against the benchmarks' imports.

@@ -212,6 +212,11 @@ type LinkStats = core.LinkStats
 // proxy handles (see Server.DialUpstream).
 type ForwardingStats = core.ForwardingStats
 
+// DispatchStats describes a server's dispatch engine: worker bound,
+// per-object mode, observed parallelism high-water mark, live queue
+// depth, and worker stalls (handler blocks that released a slot).
+type DispatchStats = core.DispatchStats
+
 // RetryPolicy shapes client-side retries of idempotent-marked calls:
 // attempt budget, exponential backoff with a ceiling, and jitter.
 type RetryPolicy = core.RetryPolicy
@@ -259,6 +264,15 @@ var (
 	// transport failures (timeouts or disconnects). Zero disables.
 	// Example: clam.NewServer(lib, clam.WithSlowConsumerLimit(3)).
 	WithSlowConsumerLimit = core.WithSlowConsumerLimit
+	// WithDispatchWorkers bounds the per-object executor's worker pool
+	// (default max(2, GOMAXPROCS)); blocked handlers release their slot.
+	// Example: clam.NewServer(lib, clam.WithDispatchWorkers(8)).
+	WithDispatchWorkers = core.WithDispatchWorkers
+	// WithPerObjectDispatch selects the dispatch engine: true (default)
+	// serializes calls per target object and runs distinct objects
+	// concurrently; false restores the serial per-session dispatcher.
+	// Example: clam.NewServer(lib, clam.WithPerObjectDispatch(false)).
+	WithPerObjectDispatch = core.WithPerObjectDispatch
 )
 
 // Dial options.

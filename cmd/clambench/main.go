@@ -155,9 +155,10 @@ func main() {
 	ablateHandles(n * 1000)
 	ablateUpcallConcurrency(n / 20)
 	poolOn, poolOff := ablatePooling(n)
+	tput := runThroughput(n)
 
 	if *jsonPath != "" {
-		if err := writeReport(*jsonPath, n, rows, pipe, poolOn, poolOff); err != nil {
+		if err := writeReport(*jsonPath, n, rows, tput, pipe, poolOn, poolOff); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\nwrote %s\n", *jsonPath)
@@ -203,13 +204,15 @@ type jsonResult struct {
 }
 
 type jsonReport struct {
-	Schema    string                `json:"schema"`
-	Go        string                `json:"go"`
-	Iters     int                   `json:"iters"`
-	Fig51     []jsonResult          `json:"fig51"`
-	Extras    []jsonResult          `json:"extras"`
-	Ablations map[string]jsonResult `json:"ablations"`
-	Baseline  jsonBaseline          `json:"baseline_pre_change"`
+	Schema             string                `json:"schema"`
+	Go                 string                `json:"go"`
+	Iters              int                   `json:"iters"`
+	Fig51              []jsonResult          `json:"fig51"`
+	Extras             []jsonResult          `json:"extras"`
+	Ablations          map[string]jsonResult `json:"ablations"`
+	Throughput         []jsonResult          `json:"throughput"`
+	Baseline           jsonBaseline          `json:"baseline_pre_change"`
+	ThroughputBaseline jsonBaseline          `json:"baseline_pre_change_throughput"`
 }
 
 type jsonBaseline struct {
@@ -238,7 +241,23 @@ var preChangeBaseline = jsonBaseline{
 	},
 }
 
-func writeReport(path string, n int, rows []row, pipe, poolOn, poolOff cost) error {
+// preChangeThroughput is the throughput matrix captured on the serial
+// per-session dispatcher — the engine this repo shipped before the
+// per-object executor (the serial ablation reproduces it exactly, so the
+// capture ran these same rows under WithPerObjectDispatch(false) on the
+// tree of commit c9aedfd, Intel Xeon @ 2.70GHz, GOMAXPROCS=1). Embedded
+// so every BENCH_3.json carries the before/after the executor targets:
+// cross-object rows are the ones per-object dispatch must beat.
+var preChangeThroughput = jsonBaseline{
+	Source: "clambench throughput rows, serial dispatcher (WithPerObjectDispatch(false)), pre-executor tree (c9aedfd)",
+	Results: []jsonResult{
+		{Name: "same_object_8x4_serial", NsPerOp: 846500},
+		{Name: "cross_object_8x4_serial", NsPerOp: 794300},
+		{Name: "twohop_cross_4x2_serial", NsPerOp: 388100},
+	},
+}
+
+func writeReport(path string, n int, rows, tput []row, pipe, poolOn, poolOff cost) error {
 	rep := jsonReport{
 		Schema: "clam-bench-v1",
 		Go:     runtime.Version(),
@@ -248,10 +267,14 @@ func writeReport(path string, n int, rows []row, pipe, poolOn, poolOff cost) err
 			"pooling_on":  toResult("remote_call_unix_pooled", 0, poolOn),
 			"pooling_off": toResult("remote_call_unix_unpooled", 0, poolOff),
 		},
-		Baseline: preChangeBaseline,
+		Baseline:           preChangeBaseline,
+		ThroughputBaseline: preChangeThroughput,
 	}
 	for _, r := range rows {
 		rep.Fig51 = append(rep.Fig51, toResult(r.key, r.paperUS, r.cost))
+	}
+	for _, r := range tput {
+		rep.Throughput = append(rep.Throughput, toResult(r.key, 0, r.cost))
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

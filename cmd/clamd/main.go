@@ -46,6 +46,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited)")
 	slowLimit := flag.Int("slow-consumer-limit", 0, "evict a client after this many consecutive upcall failures (0 = disabled)")
 	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
+	dispatchWorkers := flag.Int("dispatch-workers", 0, "bound on concurrently running call handlers (0 = max(2, GOMAXPROCS))")
+	serialDispatch := flag.Bool("serial-dispatch", false, "use the original serial per-session dispatcher instead of the per-object executor")
 	upstream := flag.String("upstream", "", "lower CLAM server to stack on, as network:address; this server relays calls down and upcalls up")
 	imports := flag.String("import", "", "comma-separated named objects to re-export from the -upstream server as proxies")
 	flag.Parse()
@@ -86,6 +88,12 @@ func main() {
 	}
 	if *maxUpcalls > 0 {
 		opts = append(opts, clam.WithMaxClientUpcalls(*maxUpcalls))
+	}
+	if *dispatchWorkers > 0 {
+		opts = append(opts, clam.WithDispatchWorkers(*dispatchWorkers))
+	}
+	if *serialDispatch {
+		opts = append(opts, clam.WithPerObjectDispatch(false))
 	}
 	srv := clam.NewServer(lib, opts...)
 
@@ -180,6 +188,10 @@ func main() {
 	if f := m.Forwarding; f.CallsRelayedDown > 0 || f.UpcallsRelayedUp > 0 || f.ProxyHandlesLive > 0 {
 		fmt.Printf("clamd: forwarding — %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
 			f.CallsRelayedDown, f.UpcallsRelayedUp, f.ProxyHandlesLive)
+	}
+	if d := m.Dispatch; d.PerObject {
+		fmt.Printf("clamd: dispatch — %d workers, peak parallelism %d, %d queued, %d worker stalls\n",
+			d.Workers, d.Parallelism, d.QueueDepth, d.WorkerStalls)
 	}
 	if top := m.TopCalls(5); len(top) > 0 {
 		fmt.Printf("clamd: busiest methods: %v\n", top)

@@ -32,6 +32,19 @@ func (p *Pinger) Ping() int64 {
 // Calls reports how many pings have landed.
 func (p *Pinger) Calls() int64 { return p.calls }
 
+// Hold parks the handler for roughly us microseconds before replying —
+// the stand-in for a handler that waits on I/O, a lock, or a lower
+// layer. Throughput rows call it instead of Ping because an empty
+// handler hides dispatch behavior behind wire cost: with per-call wait,
+// a serial dispatcher caps the server at one handler's rate while
+// per-object dispatch overlaps as many waits as it has workers (and,
+// unlike CPU spin, blocked handlers overlap even on GOMAXPROCS=1).
+func (p *Pinger) Hold(us int64) int64 {
+	time.Sleep(time.Duration(us) * time.Microsecond)
+	p.calls++
+	return p.calls
+}
+
 //go:noinline
 func staticLeaf(n int64) int64 { return n + 1 }
 
@@ -172,6 +185,25 @@ func Boot(network, dir string, opts ...core.ServerOption) (*Fixture, error) {
 		Echo:    eObj.(*Echo),
 		Pinger:  pObj.(*Pinger),
 	}, nil
+}
+
+// PublishPingers creates n extra pinger instances named "pinger0" …
+// "pinger{n-1}" so throughput benchmarks can aim each client at a
+// distinct object. Pinger.calls is deliberately unguarded: under
+// per-object dispatch each instance's calls are serialized, so the race
+// detector doubles as an ordering check when these fixtures run under
+// -race.
+func (fx *Fixture) PublishPingers(n int) ([]*Pinger, error) {
+	ps := make([]*Pinger, n)
+	for i := range ps {
+		obj, _, err := fx.Server.CreateInstance("pinger", 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		fx.Server.SetNamed(fmt.Sprintf("pinger%d", i), obj)
+		ps[i] = obj.(*Pinger)
+	}
+	return ps, nil
 }
 
 // WANDialer returns a dial function that inserts a simulated wide-area

@@ -332,7 +332,13 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 		}
 	}
 
+	// The relay waits a full round trip on the lower server; an executor
+	// worker releases its slot meanwhile so this session's other lanes keep
+	// draining (no-op under the serial dispatcher, whose block hook hands
+	// off the same way when callRetry's wait blocks the task).
+	xit := srv.exec.yieldCurrent()
 	err = pr.c.callRetry(context.Background(), pr.h, hdr.Method, rets, args, false)
+	srv.exec.resume(xit)
 	if err != nil {
 		if isStaleHandleErr(err) {
 			// The lower server revoked the real object: revoke our proxy so

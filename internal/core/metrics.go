@@ -133,6 +133,24 @@ type MetricsSnapshot struct {
 	// Forwarding carries the per-hop relay counters for a server that
 	// dialed an upstream (lower) server.
 	Forwarding ForwardingStats
+	// Dispatch describes the dispatch engine and its executor counters.
+	Dispatch DispatchStats
+}
+
+// DispatchStats describes the server's dispatch engine. Under the serial
+// ablation it reports {Workers: 1, PerObject: false} and zeros.
+type DispatchStats struct {
+	// Workers is the configured bound on simultaneously running handlers.
+	Workers int
+	// PerObject reports whether the per-object executor is active.
+	PerObject bool
+	// Parallelism is the high-water mark of handlers running at once.
+	Parallelism uint64
+	// QueueDepth is the number of queued-or-running messages right now.
+	QueueDepth uint64
+	// WorkerStalls counts handler blocks (distributed upcalls, forwarded
+	// calls, relayed Syncs) that released a worker slot mid-message.
+	WorkerStalls uint64
 }
 
 // ForwardingStats counts multi-hop traffic through a middle-tier server.
@@ -204,6 +222,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			CallsRelayedDown: m.callsRelayed.Load(),
 			UpcallsRelayedUp: m.upcallsRelayed.Load(),
 		},
+		Dispatch: s.exec.stats(),
 	}
 	if s.handles != nil {
 		snap.Forwarding.ProxyHandlesLive = uint64(s.handles.CountFunc(func(obj any) bool {

@@ -6,6 +6,7 @@ import (
 	"log"
 	"net"
 	"reflect"
+	"runtime"
 	"sync"
 	"time"
 
@@ -53,6 +54,12 @@ type Server struct {
 	hbWindow          time.Duration
 	maxSessions       int
 	slowConsumerLimit int
+
+	// Per-object dispatch (executor.go). exec is nil when the serial
+	// dispatcher ablation is selected; every consumer branches on that.
+	dispatchWorkers int
+	serialDispatch  bool
+	exec            *executor
 
 	metrics *metrics
 }
@@ -140,6 +147,31 @@ func WithSlowConsumerLimit(n int) ServerOption {
 	}
 }
 
+// WithDispatchWorkers bounds the per-object executor's worker pool: at
+// most n handlers run simultaneously (blocked handlers — distributed
+// upcalls, forwarded calls — release their slot and do not count). The
+// default is max(2, GOMAXPROCS). Values < 1 are treated as 1; note that
+// one worker still differs from the serial ablation — ordering comes from
+// the dependency lanes, not from global serialization.
+func WithDispatchWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.dispatchWorkers = n
+	}
+}
+
+// WithPerObjectDispatch selects the dispatch engine. On (the default),
+// incoming calls are serialized per target object and run concurrently
+// across objects on a bounded worker pool (executor.go). Off restores the
+// original one-dispatcher-task-per-session engine — the ablation baseline,
+// which also globally serializes handler execution under the scheduler's
+// run token.
+func WithPerObjectDispatch(on bool) ServerOption {
+	return func(s *Server) { s.serialDispatch = !on }
+}
+
 // NewServer returns a server drawing loadable classes from lib.
 func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 	s := &Server{
@@ -164,7 +196,24 @@ func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 	if s.sched == nil {
 		s.sched = task.New()
 	}
+	if !s.serialDispatch {
+		if s.dispatchWorkers == 0 {
+			s.dispatchWorkers = runtime.GOMAXPROCS(0)
+			if s.dispatchWorkers < 2 {
+				s.dispatchWorkers = 2
+			}
+		}
+		s.exec = newExecutor(s, s.dispatchWorkers)
+	}
 	return s
+}
+
+// hasUpstreams reports whether this server forwards to lower servers —
+// the only case where answering a Sync involves a round trip.
+func (s *Server) hasUpstreams() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.upstreams) > 0
 }
 
 // Registry exposes the server's bundler registry so applications can
@@ -497,6 +546,9 @@ func (s *Server) Close() error {
 	for _, u := range ups {
 		u.c.Close()
 	}
+	// Sessions and upstreams are down, so workers blocked in upcall waits
+	// or forwarded calls have been cancelled; now the pool can drain.
+	s.exec.close()
 	s.wg.Wait()
 	return s.sched.Close()
 }

@@ -61,6 +61,15 @@ type session struct {
 	slowFails atomic.Int32
 	evicting  atomic.Bool
 
+	// Per-object executor bookkeeping (executor.go); all three references
+	// are guarded by the server executor's mutex, never qMu. execActive
+	// counts this session's in-flight items for reply coalescing: the last
+	// finisher flushes the burst's buffered replies in one write.
+	execItems     map[*dispatchItem]struct{}
+	execBarrier   *dispatchItem // latest incomplete MsgLoad/MsgSync
+	execLastAsync *dispatchItem // latest incomplete async single call
+	execActive    atomic.Int64
+
 	// relay is the ruc.Caller identity under which forwarded procedure
 	// pointers are bound (see forward.go): same upcall path, but each hop
 	// crossed is counted.
@@ -73,6 +82,9 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 		srv:      srv,
 		upMax:    srv.maxClientUpcalls,
 		upFreeCh: make(chan struct{}, 1),
+	}
+	if srv.exec != nil {
+		sess.execItems = make(map[*dispatchItem]struct{})
 	}
 	e := &sess.endpoint
 	e.rpcConn = rpcConn
@@ -177,7 +189,11 @@ func (sess *session) rpcReadLoop() {
 		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
 			// The dispatcher owns the message now; it releases it after
 			// executing it.
-			sess.enqueue(msg)
+			if x := sess.srv.exec; x != nil {
+				x.enqueue(sess, msg)
+			} else {
+				sess.enqueue(msg)
+			}
 		default:
 			if handled, stop := sess.demuxCommon(sess.rpcConn, msg); handled {
 				if stop {
@@ -354,21 +370,34 @@ func (sess *session) dispatch(t *task.Task) {
 		// session's queue keeps draining. That is what makes reentrant
 		// client calls during a blocked handler work.
 		t.SetBlockHook(func() { sess.releaseDispatch() })
-		switch msg.Type {
-		case wire.MsgCall:
-			sess.execBatch(msg)
-		case wire.MsgLoad:
-			sess.execLoad(msg)
-		case wire.MsgSync:
-			// Sync is relayed before being answered, so the §3.4 guarantee —
-			// every earlier asynchronous call has executed — holds across
-			// forwarding hops too.
-			sess.srv.syncUpstreams()
-			sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
-		}
+		sess.execMsg(msg)
 		t.SetBlockHook(nil)
-		msg.Release()
 	}
+}
+
+// execMsg executes one queued message and releases it: the shared body of
+// the serial dispatcher loop and the per-object executor's workers.
+func (sess *session) execMsg(msg *wire.Msg) {
+	switch msg.Type {
+	case wire.MsgCall:
+		sess.execBatch(msg)
+	case wire.MsgLoad:
+		sess.execLoad(msg)
+	case wire.MsgSync:
+		// Sync is relayed before being answered, so the §3.4 guarantee —
+		// every earlier asynchronous call has executed — holds across
+		// forwarding hops too.
+		if sess.srv.hasUpstreams() {
+			// Relaying waits on a lower server's round trip: release the
+			// worker slot meanwhile. Under the serial dispatcher the block
+			// hook performs the same hand-off; yieldCurrent is a no-op there.
+			it := sess.srv.exec.yieldCurrent()
+			sess.srv.syncUpstreams()
+			sess.srv.exec.resume(it)
+		}
+		sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
+	}
+	msg.Release()
 }
 
 // releaseDispatch is called by the RUC caller just before blocking for a
@@ -726,6 +755,13 @@ var errNoUpcallChannel = errors.New("clam: client has no upcall channel")
 // active per client (§4.4). The wait runs on the shared endpoint engine:
 // the endpoint's callTimeout is the server's WithUpcallTimeout.
 func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+	// An executor worker about to wait for a client task must release its
+	// slot before contending for the upcall gate: the slot's replacement
+	// keeps the session's lanes draining while the gate (bounded per §4.4)
+	// and then the wire are waited on. No-op under the serial dispatcher,
+	// whose block hook performs the equivalent hand-off.
+	xit := sess.srv.exec.yieldCurrent()
+	defer sess.srv.exec.resume(xit)
 	cur := task.Current()
 	if !sess.acquireUpcallGate(cur) {
 		return nil, fmt.Errorf("clam: session %d closed before upcall", sess.id)

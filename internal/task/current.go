@@ -24,6 +24,12 @@ var currentTasks sync.Map // goroutine id (uint64) → *Task
 // stack parse off the RPC hot path.
 var boundTasks atomic.Int64
 
+// GoID returns the calling goroutine's id. Exported for the server's
+// per-object dispatch executor, which binds work items to its worker
+// goroutines exactly the way tasks bind here, and consults the binding only
+// on paths that already pay a network round trip.
+func GoID() uint64 { return goid() }
+
 // goid returns the current goroutine's id by parsing the first line of the
 // stack trace ("goroutine N [running]:"). This costs a few microseconds —
 // negligible next to the socket round trip of any distributed upcall, which
