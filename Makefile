@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull
+.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull chaos
 
 # Tier-1 verification: everything must be green before a merge.
-verify: build fmtcheck vet test race benchsmoke
+verify: build fmtcheck vet test race benchsmoke chaos
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,12 @@ test:
 # runtime's different allocator behaviour.
 race:
 	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc ./internal/ruc ./internal/task
+
+# Fault-injection and resurrection tests, twice under the race detector:
+# scripted link kills, flap schedules, session resumes and chain healing
+# are timing-sensitive, so -count=2 shakes out order-dependent passes.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker' ./internal/core/... ./internal/wire
 
 # Every benchmark body runs exactly once: catches bit-rotted bench code
 # (fixture boot failures, renamed methods) without paying for measurement.

@@ -217,6 +217,12 @@ type ForwardingStats = core.ForwardingStats
 // depth, and worker stalls (handler blocks that released a slot).
 type DispatchStats = core.DispatchStats
 
+// ResilienceStats counts session-resurrection events: reconnects
+// completed, asynchronous calls replayed after them, duplicate frames
+// suppressed by the receive window, and circuit-breaker trips. Appears
+// in both MetricsSnapshot and ClientMetricsSnapshot.
+type ResilienceStats = core.ResilienceStats
+
 // RetryPolicy shapes client-side retries of idempotent-marked calls:
 // attempt budget, exponential backoff with a ceiling, and jitter.
 type RetryPolicy = core.RetryPolicy
@@ -234,6 +240,10 @@ var (
 	// ErrServerUnresponsive marks a call failed because the client-side
 	// liveness window (WithClientHeartbeat) expired.
 	ErrServerUnresponsive = core.ErrServerUnresponsive
+	// ErrDisconnected marks a call failed because the link dropped while
+	// a session resume is (or may be) in progress; retryable for methods
+	// marked idempotent (see Remote.MarkIdempotent and WithRetry).
+	ErrDisconnected = core.ErrDisconnected
 )
 
 // Server options.
@@ -273,6 +283,19 @@ var (
 	// concurrently; false restores the serial per-session dispatcher.
 	// Example: clam.NewServer(lib, clam.WithPerObjectDispatch(false)).
 	WithPerObjectDispatch = core.WithPerObjectDispatch
+	// WithResumeWindow parks a disconnected session for the given grace
+	// period instead of evicting it: handles, upcall registrations and
+	// the duplicate-suppression window survive, and a client presenting
+	// the session's resume token reattaches transparently. Zero (the
+	// default) disables resurrection entirely.
+	// Example: clam.NewServer(lib, clam.WithResumeWindow(30*time.Second)).
+	WithResumeWindow = core.WithResumeWindow
+	// WithUpstreamBreaker arms a circuit breaker on each upstream link:
+	// after threshold consecutive failed reconnect attempts the circuit
+	// opens for cooldown, failing forwarded calls fast instead of
+	// queueing behind a flapping upstream.
+	// Example: clam.NewServer(lib, clam.WithUpstreamBreaker(5, 10*time.Second)).
+	WithUpstreamBreaker = core.WithUpstreamBreaker
 )
 
 // Dial options.

@@ -45,6 +45,9 @@ func main() {
 	liveness := flag.Duration("liveness", 0, "silence window after which a client is evicted (0 = 3x -heartbeat)")
 	maxSessions := flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited)")
 	slowLimit := flag.Int("slow-consumer-limit", 0, "evict a client after this many consecutive upcall failures (0 = disabled)")
+	resumeWindow := flag.Duration("resume-window", 0, "grace period a disconnected session is parked for resumption instead of evicted (0 = disabled)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "open the upstream circuit after this many consecutive failed reconnects (0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an opened upstream circuit stays open (0 = default 5s)")
 	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
 	dispatchWorkers := flag.Int("dispatch-workers", 0, "bound on concurrently running call handlers (0 = max(2, GOMAXPROCS))")
 	serialDispatch := flag.Bool("serial-dispatch", false, "use the original serial per-session dispatcher instead of the per-object executor")
@@ -94,6 +97,12 @@ func main() {
 	}
 	if *serialDispatch {
 		opts = append(opts, clam.WithPerObjectDispatch(false))
+	}
+	if *resumeWindow > 0 {
+		opts = append(opts, clam.WithResumeWindow(*resumeWindow))
+	}
+	if *breakerThreshold > 0 {
+		opts = append(opts, clam.WithUpstreamBreaker(*breakerThreshold, *breakerCooldown))
 	}
 	srv := clam.NewServer(lib, opts...)
 
@@ -188,6 +197,10 @@ func main() {
 	if f := m.Forwarding; f.CallsRelayedDown > 0 || f.UpcallsRelayedUp > 0 || f.ProxyHandlesLive > 0 {
 		fmt.Printf("clamd: forwarding — %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
 			f.CallsRelayedDown, f.UpcallsRelayedUp, f.ProxyHandlesLive)
+	}
+	if r := m.Resilience; r.Reconnects > 0 || r.ReplayedCalls > 0 || r.DedupDrops > 0 || r.BreakerOpens > 0 {
+		fmt.Printf("clamd: resilience — %d reconnects, %d calls replayed, %d duplicates dropped, %d breaker opens\n",
+			r.Reconnects, r.ReplayedCalls, r.DedupDrops, r.BreakerOpens)
 	}
 	if d := m.Dispatch; d.PerObject {
 		fmt.Printf("clamd: dispatch — %d workers, peak parallelism %d, %d queued, %d worker stalls\n",

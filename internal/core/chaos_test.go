@@ -95,8 +95,8 @@ func TestAbruptDisconnectMidBatch(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		obj.Async("Add", int64(1))
 	}
-	c.rpcConn.Close()
-	c.upConn.Close()
+	c.rpcConn().Close()
+	c.upcallConn().Close()
 
 	deadline := time.Now().Add(2 * time.Second)
 	for srv.SessionCount() != 0 && time.Now().Before(deadline) {
@@ -138,8 +138,8 @@ func TestDisconnectDuringUpcallWait(t *testing.T) {
 	// task blocked on the reply must be released by the disconnect, well
 	// before the 5s timeout.
 	if err := n.Call("Register", func(x int32, s string) int32 {
-		c.rpcConn.Close()
-		c.upConn.Close()
+		c.rpcConn().Close()
+		c.upcallConn().Close()
 		return x
 	}); err != nil {
 		t.Fatal(err)
@@ -200,8 +200,8 @@ func TestManyClientsChurn(t *testing.T) {
 			}
 			if i%3 == 0 {
 				// A third of the clients vanish without goodbye.
-				c.rpcConn.Close()
-				c.upConn.Close()
+				c.rpcConn().Close()
+				c.upcallConn().Close()
 			} else {
 				c.Close()
 			}

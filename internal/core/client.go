@@ -9,6 +9,7 @@ import (
 	"net"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clam/internal/bundle"
@@ -35,6 +36,24 @@ type Client struct {
 
 	sessionID uint64
 	retry     RetryPolicy
+
+	// Session-resurrection identity, granted by the server's hello reply
+	// when it runs with WithResumeWindow. A zero token means the session
+	// dies with its link (the pre-resurrection behavior). network/addr/
+	// dialFn reproduce the original dial on reconnect; epoch advances on
+	// each successful resume (only the resurrect goroutine writes it).
+	network, addr string
+	dialFn        func(network, addr string) (net.Conn, error)
+	resumeToken   uint64
+	resumeWindow  time.Duration
+	epoch         uint32
+	resuming      atomic.Bool
+
+	// Reconnect hooks let an owner gate and observe resume attempts —
+	// the forwarding layer wires its circuit breaker here.
+	reconnMu       sync.Mutex
+	reconnAllow    func() bool
+	reconnOnResult func(ok bool)
 
 	procMu   sync.Mutex
 	procs    map[uint64]reflect.Value
@@ -212,11 +231,12 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		return nil, fmt.Errorf("clam: dialing rpc channel: %w", err)
 	}
 	rpcConn := wire.NewConn(rpcRaw)
-	sessionID, err := helloExchange(rpcConn, roleRPC, 0)
+	hr, err := helloExchange(rpcConn, roleRPC, 0)
 	if err != nil {
 		rpcConn.Close()
 		return nil, err
 	}
+	sessionID := hr.Session
 
 	upRaw, err := cfg.dial(network, addr)
 	if err != nil {
@@ -231,12 +251,18 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 	}
 
 	c := &Client{
-		sessionID: sessionID,
-		retry:     cfg.retry,
-		procs:     make(map[uint64]reflect.Value),
+		sessionID:    sessionID,
+		retry:        cfg.retry,
+		network:      network,
+		addr:         addr,
+		dialFn:       cfg.dial,
+		resumeToken:  hr.Token,
+		resumeWindow: time.Duration(hr.WindowNanos),
+		procs:        make(map[uint64]reflect.Value),
 	}
 	e := &c.endpoint
-	e.rpcConn = rpcConn
+	e.setRPCConn(rpcConn)
+	e.numbered = hr.Token != 0 && hr.WindowNanos > 0
 	e.reg = bundle.NewRegistry()
 	e.mkCtx = c.ctx
 	e.batching = cfg.batching
@@ -256,8 +282,16 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				for msg := range c.upWork {
-					c.handleUpcall(msg)
+				// Workers outlive any one connection (a resumed session
+				// keeps its workers), so they stop on client close, not on
+				// channel close.
+				for {
+					select {
+					case msg := <-c.upWork:
+						c.handleUpcall(msg)
+					case <-c.closedCh:
+						return
+					}
 				}
 			}()
 		}
@@ -265,11 +299,11 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 	c.wg.Add(2)
 	go func() {
 		defer c.wg.Done()
-		c.rpcReadLoop()
+		c.rpcReadLoop(rpcConn)
 	}()
 	go func() {
 		defer c.wg.Done()
-		c.upcallReadLoop()
+		c.upcallReadLoop(upConn)
 	}()
 	if e.hbInterval > 0 {
 		c.wg.Add(1)
@@ -292,7 +326,7 @@ func (c *Client) SessionID() uint64 { return c.sessionID }
 // the client's channels — a direct measure of how much traffic crossed
 // the address-space boundary.
 func (c *Client) SessionStats() (sent, received uint64) {
-	s1, r1 := c.rpcConn.Stats()
+	s1, r1 := c.rpcConn().Stats()
 	s2, r2 := c.upcallConn().Stats()
 	return s1 + s2, r1 + r2
 }
@@ -303,6 +337,10 @@ func (c *Client) SessionStats() (sent, received uint64) {
 // engine.
 type ClientMetricsSnapshot struct {
 	LinkStats
+	// Resilience counts session-resurrection events on this client's
+	// link: reconnects completed, calls replayed after them, and (always
+	// zero here — dedup happens on the receiving side) duplicate drops.
+	Resilience ResilienceStats
 	// ServerUnresponsive reports whether the heartbeat declared the
 	// server dead and tore the connection down.
 	ServerUnresponsive bool
@@ -311,9 +349,30 @@ type ClientMetricsSnapshot struct {
 // Metrics snapshots the client's robustness counters.
 func (c *Client) Metrics() ClientMetricsSnapshot {
 	return ClientMetricsSnapshot{
-		LinkStats:          c.link.snapshot(),
+		LinkStats: c.link.snapshot(),
+		Resilience: ResilienceStats{
+			Reconnects:    c.link.reconnects.Load(),
+			ReplayedCalls: c.link.replayed.Load(),
+			DedupDrops:    c.link.dedups.Load(),
+		},
 		ServerUnresponsive: c.hbLost.Load(),
 	}
+}
+
+// setReconnectHooks installs the gate and observer for resume attempts.
+// allow is consulted before each attempt; onResult reports each attempt's
+// outcome. The forwarding layer uses these to drive its circuit breaker.
+func (c *Client) setReconnectHooks(allow func() bool, onResult func(ok bool)) {
+	c.reconnMu.Lock()
+	c.reconnAllow = allow
+	c.reconnOnResult = onResult
+	c.reconnMu.Unlock()
+}
+
+func (c *Client) reconnectHooks() (func() bool, func(bool)) {
+	c.reconnMu.Lock()
+	defer c.reconnMu.Unlock()
+	return c.reconnAllow, c.reconnOnResult
 }
 
 // Registry exposes the client's bundler registry for custom bundlers.
@@ -344,10 +403,10 @@ func (c *Client) Close() error {
 
 // --- read loops -------------------------------------------------------------
 
-func (c *Client) rpcReadLoop() {
-	defer c.waits.cancelAll()
+func (c *Client) rpcReadLoop(conn *wire.Conn) {
+	defer c.linkLost(true)
 	for {
-		msg, err := c.rpcConn.Recv()
+		msg, err := conn.Recv()
 		if err != nil {
 			return
 		}
@@ -360,7 +419,7 @@ func (c *Client) rpcReadLoop() {
 				msg.Release()
 			}
 		default:
-			if handled, stop := c.demuxCommon(c.rpcConn, msg); handled {
+			if handled, stop := c.demuxCommon(conn, msg); handled {
 				if stop {
 					return
 				}
@@ -376,11 +435,8 @@ func (c *Client) rpcReadLoop() {
 // at a time, sends the return value back, and blocks again — unless
 // concurrent handler workers were configured, in which case it only
 // demultiplexes.
-func (c *Client) upcallReadLoop() {
-	if c.upWork != nil {
-		defer close(c.upWork)
-	}
-	up := c.upcallConn()
+func (c *Client) upcallReadLoop(up *wire.Conn) {
+	defer c.linkLost(false)
 	for {
 		msg, err := up.Recv()
 		if err != nil {
@@ -391,7 +447,12 @@ func (c *Client) upcallReadLoop() {
 		case wire.MsgUpcall:
 			// handleUpcall releases the message when done.
 			if c.upWork != nil {
-				c.upWork <- msg
+				select {
+				case c.upWork <- msg:
+				case <-c.closedCh:
+					msg.Release()
+					return
+				}
 			} else {
 				c.handleUpcall(msg)
 			}
@@ -424,6 +485,233 @@ func (c *Client) upcallReadLoop() {
 			msg.Release()
 		}
 	}
+}
+
+// --- session resurrection ---------------------------------------------------
+
+// linkLost runs when a read loop exits. Without a resume grant it keeps
+// the legacy semantics: a dead RPC channel fails every armed wait and the
+// client is effectively finished. With one, it marks the link down, fails
+// pending waits fast with ErrDisconnected (satisfying "no waiter hangs
+// until deadline"), and starts the single resurrect attempt — whichever
+// channel died first wins the CAS; the loser is a no-op.
+func (c *Client) linkLost(fromRPC bool) {
+	if !c.resumable() || c.byeSeen.Load() {
+		// No resume grant — or the server deliberately said goodbye
+		// (eviction, shutdown): chasing it with resume attempts is wrong.
+		if fromRPC {
+			c.waits.cancelAll()
+		}
+		return
+	}
+	select {
+	case <-c.closedCh:
+		return
+	default:
+	}
+	if !c.resuming.CompareAndSwap(false, true) {
+		return
+	}
+	c.linkDown.Store(true)
+	c.waits.cancelAll()
+	// Close both channels so the sibling read loop exits too (its linkLost
+	// loses the CAS above).
+	c.rpcConn().Close()
+	if up := c.upcallConn(); up != nil {
+		up.Close()
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.resurrect()
+	}()
+}
+
+// resumable reports whether the server granted this client a resume
+// token, i.e. whether link loss means "resuming" rather than "finished".
+func (c *Client) resumable() bool { return c.resumeToken != 0 && c.resumeWindow > 0 }
+
+// asDisconnected classifies a send failure: on a resumable client a dead
+// connection is a transient outage the resurrect loop is (or will soon
+// be) repairing, so surface the retryable sentinel instead of the raw
+// transport error — even when the read loop has not flipped linkDown yet.
+func (c *Client) asDisconnected(err error) error {
+	if errors.Is(err, ErrDisconnected) {
+		return err
+	}
+	select {
+	case <-c.closedCh:
+		return err // deliberate shutdown, not an outage
+	default:
+	}
+	if c.linkDown.Load() || c.resumable() {
+		return ErrDisconnected
+	}
+	return err
+}
+
+// resurrect re-dials and resumes the session, retrying under the client's
+// backoff policy until the resume window closes. Giving up tears the
+// client down — the server will have evicted the parked session by then.
+func (c *Client) resurrect() {
+	deadline := time.Now().Add(c.resumeWindow)
+	pol := c.retry
+	if pol.Backoff <= 0 {
+		pol.Backoff = DefaultRetryPolicy.Backoff
+		pol.MaxBackoff = DefaultRetryPolicy.MaxBackoff
+		pol.Jitter = DefaultRetryPolicy.Jitter
+	}
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-c.closedCh:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			c.logf("clam: client: resume window (%v) expired; giving up on session %d", c.resumeWindow, c.sessionID)
+			c.shutdown(false)
+			return
+		}
+		allow, onResult := c.reconnectHooks()
+		if allow != nil && !allow() {
+			// Circuit open: hold off without consuming an attempt.
+			if !c.sleepBackoff(pol.Backoff) {
+				return
+			}
+			continue
+		}
+		ok, fatal := c.tryResume()
+		if onResult != nil {
+			onResult(ok)
+		}
+		if ok {
+			return
+		}
+		if fatal {
+			c.logf("clam: client: server refused resume of session %d; giving up", c.sessionID)
+			c.shutdown(false)
+			return
+		}
+		if !c.sleepBackoff(pol.delay(attempt)) {
+			return
+		}
+	}
+}
+
+// sleepBackoff waits d or until the client closes, reporting whether the
+// caller should continue.
+func (c *Client) sleepBackoff(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.closedCh:
+		return false
+	}
+}
+
+// tryResume performs one resurrection attempt: dial both channels, present
+// the resume token on each, install the connections, replay unacked
+// batches above the server's receive mark, and restart the read loops.
+// fatal reports a refusal that retrying cannot fix.
+func (c *Client) tryResume() (ok, fatal bool) {
+	rpcRaw, err := c.dialFn(c.network, c.addr)
+	if err != nil {
+		return false, false
+	}
+	rc := wire.NewConn(rpcRaw)
+	rrep, err := resumeExchange(rc, roleRPC, c.sessionID, c.resumeToken, c.epoch)
+	if err != nil {
+		rc.Close()
+		return false, false
+	}
+	if !rrep.OK {
+		rc.Close()
+		if rrep.ErrMsg != "" {
+			c.logf("clam: client: resume refused: %s", rrep.ErrMsg)
+		}
+		return false, !rrep.Retry
+	}
+	upRaw, err := c.dialFn(c.network, c.addr)
+	if err != nil {
+		rc.Close()
+		return false, false
+	}
+	uc := wire.NewConn(upRaw)
+	urep, err := resumeExchange(uc, roleUpcall, c.sessionID, c.resumeToken, rrep.Epoch)
+	if err != nil || !urep.OK {
+		rc.Close()
+		uc.Close()
+		return false, err == nil && !urep.Retry
+	}
+
+	// Install under resMu so a concurrent Close cannot leave these
+	// connections orphaned: either we see closedCh and abort, or shutdown
+	// runs after us and closes what we installed.
+	c.resMu.Lock()
+	select {
+	case <-c.closedCh:
+		c.resMu.Unlock()
+		rc.Close()
+		uc.Close()
+		return true, false // closed: end the resurrect loop quietly
+	default:
+	}
+	c.epoch = rrep.Epoch
+	c.setRPCConn(rc)
+	c.replaceUpcall(uc)
+	now := time.Now().UnixNano()
+	c.lastRPC.Store(now)
+	c.lastUp.Store(now)
+	c.resMu.Unlock()
+
+	// Replay every numbered batch the server never received; anything at
+	// or below its receive mark executed already and must not run twice.
+	c.bmu.Lock()
+	c.pruneRTLocked(rrep.RecvSeq)
+	replayed := 0
+	werr := error(nil)
+	for _, ent := range c.rt {
+		if werr = rc.Write(&wire.Msg{Type: wire.MsgCall, Seq: ent.seq, Body: ent.body}); werr != nil {
+			break
+		}
+		replayed += ent.calls
+	}
+	if werr == nil {
+		werr = rc.Flush()
+	}
+	if replayed > 0 {
+		c.link.replayed.Add(uint64(replayed))
+	}
+	c.linkDown.Store(false)
+	var ferr error
+	if c.batchCount > 0 {
+		// Asyncs buffered during the outage ship now.
+		ferr = c.flushLocked()
+	}
+	c.bmu.Unlock()
+	if werr != nil || ferr != nil {
+		// The fresh link died during replay; the new read loops below will
+		// notice and trigger another round.
+		c.logf("clam: client: replay after resume: %v", errors.Join(werr, ferr))
+	}
+	c.link.reconnects.Add(1)
+	c.logf("clam: client: session %d resumed (epoch %d, %d calls replayed)", c.sessionID, c.epoch, replayed)
+
+	// Clear resuming before starting the loops: if the new link dies
+	// instantly, its linkLost must be able to win the CAS again.
+	c.resuming.Store(false)
+	c.wg.Add(2)
+	go func() {
+		defer c.wg.Done()
+		c.rpcReadLoop(rc)
+	}()
+	go func() {
+		defer c.wg.Done()
+		c.upcallReadLoop(uc)
+	}()
+	return true, false
 }
 
 func (c *Client) handleUpcall(msg *wire.Msg) {
@@ -524,6 +812,12 @@ var ErrCallTimeout = errors.New("clam: call timed out")
 // server dead (WithClientHeartbeat) and tore the connection down.
 var ErrServerUnresponsive = errors.New("clam: server unresponsive (liveness window missed)")
 
+// ErrDisconnected reports that the link died mid-call while the session is
+// resumable: the call may or may not have executed, resurrection is in
+// progress, and the failure is retryable — it composes with WithRetry on
+// methods the application marked idempotent, exactly like a timeout.
+var ErrDisconnected = errors.New("clam: connection lost (session resuming)")
+
 // Sync flushes the batch and performs an empty round trip, the "special
 // synchronization procedure" of §3.4: when it returns, every previously
 // issued asynchronous call has been executed by the server.
@@ -535,14 +829,20 @@ func (c *Client) Sync() error {
 	c.bmu.Lock()
 	err := c.writeBatchLocked()
 	if err == nil {
-		err = c.rpcConn.Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
+		err = c.rpcConn().Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
 	}
+	mark := c.sendSeq
 	c.bmu.Unlock()
 	if err != nil {
-		return err
+		return c.asDisconnected(err)
 	}
 	msg, err := c.await(context.Background(), seq, w)
 	msg.Release()
+	if err == nil {
+		// The sync reply proves the server received everything we sent
+		// before it, so the replay buffer up to mark is ballast.
+		c.ackRT(mark)
+	}
 	return err
 }
 
@@ -554,13 +854,13 @@ func (c *Client) call(h handle.Handle, method string, rets []any, args []any) er
 }
 
 // callRetry wraps callOnce in the client's retry policy. Only calls the
-// application marked idempotent are retried, and only on timeout: a
-// timeout is the one failure where the caller cannot know whether the
-// server executed the call, so re-execution must be harmless, and only
-// the application can promise that. A cooperative task never retries —
-// sleeping out a backoff while holding the scheduler's run token would
-// stall every other task (relevant on a middle-tier server forwarding
-// from a dispatcher task, see forward.go).
+// application marked idempotent are retried, and only on timeout or a
+// resumable disconnect: those are the failures where the caller cannot
+// know whether the server executed the call, so re-execution must be
+// harmless, and only the application can promise that. A cooperative task
+// never retries — sleeping out a backoff while holding the scheduler's
+// run token would stall every other task (relevant on a middle-tier
+// server forwarding from a dispatcher task, see forward.go).
 func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, rets []any, args []any, idempotent bool) error {
 	attempts := 1
 	if idempotent && c.retry.Attempts > 1 && task.Current() == nil {
@@ -582,7 +882,7 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 			}
 		}
 		err = c.callOnce(ctx, h, method, rets, args)
-		if err == nil || !errors.Is(err, ErrCallTimeout) {
+		if err == nil || !(errors.Is(err, ErrCallTimeout) || errors.Is(err, ErrDisconnected)) {
 			return err
 		}
 	}
@@ -593,22 +893,33 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 // attempt uses a fresh sequence number, so a late reply to an abandoned
 // attempt is discarded rather than mistaken for the retry's answer.
 func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, rets []any, args []any) error {
+	if c.linkDown.Load() {
+		// Fail fast mid-outage instead of arming a wait no reply can
+		// reach; WithRetry's backoff rides out the resume.
+		return ErrDisconnected
+	}
 	seq := c.seq.Add(1)
 	w := c.waits.arm(seq)
 	defer c.waits.disarm(seq)
 	c.bmu.Lock()
 	err := c.appendCallLocked(seq, h, method, args)
-	if err == nil {
-		err = c.flushLocked()
+	if err != nil {
+		c.bmu.Unlock()
+		return err // encoding failure: the caller's arguments, not the link
 	}
+	err = c.flushLocked()
+	mark := c.sendSeq
 	c.bmu.Unlock()
 	if err != nil {
-		return err
+		return c.asDisconnected(err)
 	}
 	msg, err := c.await(ctx, seq, w)
 	if err != nil {
 		return err
 	}
+	// Any reply on the in-order stream acknowledges every frame sent
+	// before it; drop them from the replay buffer.
+	c.ackRT(mark)
 	err = c.decodeReply(msg, method, rets, args)
 	msg.Release()
 	return err
@@ -623,7 +934,19 @@ func (c *Client) async(h handle.Handle, method string, args []any) error {
 		return err
 	}
 	if !c.batching || c.batchCount >= c.maxBatch || c.batch.Len() >= maxBatchBytes {
-		return c.flushLocked()
+		err := c.flushLocked()
+		if err != nil {
+			// Classify before deciding: a raw socket error racing the read
+			// loop's linkDown flip is still a disconnect on a resumable
+			// session.
+			err = c.asDisconnected(err)
+		}
+		if errors.Is(err, ErrDisconnected) && c.batch.Len() < maxBatchBytes {
+			// Transparent buffering: the batch rides out the outage and
+			// ships on resume. Only overflow surfaces the outage.
+			return nil
+		}
+		return err
 	}
 	return nil
 }
@@ -713,17 +1036,19 @@ func (c *Client) loadOp(req loadBody) (*loadReplyBody, error) {
 	c.bmu.Lock()
 	err := c.writeBatchLocked()
 	if err == nil {
-		err = c.rpcConn.Send(&wire.Msg{Type: wire.MsgLoad, Seq: seq, Body: sc.Bytes()})
+		err = c.rpcConn().Send(&wire.Msg{Type: wire.MsgLoad, Seq: seq, Body: sc.Bytes()})
 	}
+	mark := c.sendSeq
 	c.bmu.Unlock()
 	sc.Release()
 	if err != nil {
-		return nil, err
+		return nil, c.asDisconnected(err)
 	}
 	msg, err := c.await(context.Background(), seq, w)
 	if err != nil {
 		return nil, err
 	}
+	c.ackRT(mark)
 	var reply loadReplyBody
 	dsc := rpc.GetScratch()
 	err = reply.bundle(dsc.Decoder(msg.Body))

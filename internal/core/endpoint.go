@@ -29,19 +29,22 @@ import (
 // lets a server dial a lower server and forward calls/upcalls across hops
 // (see forward.go): the middle process is simply both roles at once.
 type endpoint struct {
-	rpcConn *wire.Conn
-	reg     *bundle.Registry
+	// rpcc holds the RPC channel. It is an atomic pointer because session
+	// resurrection swaps a fresh connection in mid-life; every user goes
+	// through rpcConn()/setRPCConn.
+	rpcc atomic.Pointer[wire.Conn]
+	reg  *bundle.Registry
 
 	// mkCtx supplies the role's bundling hooks (client: Remote wrapping;
 	// session: handle table + RUC binding). Set by the wrapper after
 	// construction, since the hooks close over the wrapper itself.
 	mkCtx func() *bundle.Ctx
 
-	// The second channel of §4.4. Attached once: at dial time on the
-	// client, when the peer's upcall connection arrives on the server.
+	// The second channel of §4.4. Attached at dial time on the client,
+	// when the peer's upcall connection arrives on the server — and
+	// replaced wholesale when a resumed session re-pairs.
 	upMu   sync.Mutex
 	upConn *wire.Conn
-	upOnce sync.Once
 
 	// seq numbers this endpoint's outgoing request stream: calls and load
 	// ops on a client endpoint, upcalls on a session endpoint. waits holds
@@ -60,6 +63,16 @@ type endpoint struct {
 
 	batching bool
 	maxBatch int
+
+	// Session-resurrection state. numbered turns on frame-level send
+	// sequence numbering of MsgCall batches plus the bounded retransmit
+	// buffer (rt) of unacknowledged batch bodies — both only when the
+	// server granted a resume token, so the default configuration pays
+	// nothing. All guarded by bmu alongside the batch they shadow.
+	numbered bool
+	sendSeq  uint64
+	rt       []rtEntry
+	rtBytes  int
 
 	// callTimeout bounds each armed wait: the client's WithCallTimeout on
 	// call replies, the server's WithUpcallTimeout on upcall replies.
@@ -84,10 +97,37 @@ type endpoint struct {
 	// traffic aggregates in one place.
 	link *linkCounters
 
+	// linkDown marks the window between losing the link and a successful
+	// resume: sends fail fast with ErrDisconnected instead of hitting a
+	// dead connection, and heartbeats hold their fire. resMu serializes
+	// connection installs (resume, park) against shutdown, so a late
+	// resume cannot smuggle a live connection past a closed endpoint.
+	linkDown atomic.Bool
+	resMu    sync.Mutex
+
+	// byeSeen records a deliberate MsgBye from the peer: the link did not
+	// fail, the peer left. A session whose client said goodbye is dropped,
+	// never parked for resumption.
+	byeSeen atomic.Bool
+
 	closeOnce sync.Once
 	closedCh  chan struct{}
 	logf      func(string, ...any)
 }
+
+// rtEntry is one unacknowledged numbered batch held for replay: the frame
+// sequence it shipped under, a private copy of the encoded body, and how
+// many call entries it carries (for the ReplayedCalls metric).
+type rtEntry struct {
+	seq   uint64
+	body  []byte
+	calls int
+}
+
+// maxRetransmitBytes bounds the replay buffer. Past it the oldest bodies
+// are dropped — a long-disconnected purely-asynchronous workload degrades
+// to possible loss (logged) rather than unbounded memory.
+const maxRetransmitBytes = 4 << 20
 
 // linkCounters are the channel-level robustness counters every endpoint
 // keeps, whichever role it plays. They snapshot as LinkStats, the struct
@@ -97,6 +137,9 @@ type linkCounters struct {
 	timeouts       atomic.Uint64
 	heartbeatsSent atomic.Uint64
 	heartbeatsRecv atomic.Uint64
+	reconnects     atomic.Uint64
+	replayed       atomic.Uint64
+	dedups         atomic.Uint64
 }
 
 func (lc *linkCounters) snapshot() LinkStats {
@@ -171,17 +214,18 @@ func (t *waitTable) arm(seq uint64) *waiter {
 	return w
 }
 
-// disarm retires the slot for seq. A goroutine waiter whose channel is
-// still open goes back to the pool; a channel closed by cancellation is
-// unusable, and a delivery the waiter never consumed (a reply racing a
-// timeout) is drained and released before the slot is reused.
+// disarm retires the slot for seq. Goroutine waiters always return to the
+// pool: cancellation delivers a nil over the (still open) channel rather
+// than closing it, so a cancelled slot is as reusable as a completed one.
+// A delivery the waiter never consumed (a reply racing a timeout) is
+// drained and released before the slot is reused.
 func (t *waitTable) disarm(seq uint64) {
 	t.mu.Lock()
 	w := t.m[seq]
 	delete(t.m, seq)
 	t.mu.Unlock()
-	if w == nil || w.ch == nil || (w.done && w.msg == nil) {
-		return // task waiter, or channel closed by cancelAll/timeout cancel
+	if w == nil || w.ch == nil {
+		return // task waiter: nothing pooled
 	}
 	select {
 	case msg := <-w.ch:
@@ -238,28 +282,42 @@ func completeWaiterLocked(w *waiter, msg *wire.Msg) {
 	if w.ev != nil {
 		w.ev.Signal()
 	} else if w.ch != nil {
-		if msg != nil {
-			w.ch <- msg
-		} else {
-			close(w.ch)
-		}
+		// Cancellation sends nil instead of closing: the buffered channel
+		// stays usable, so the waiter can be pooled again after disarm.
+		// The done guard above makes a second send impossible.
+		w.ch <- msg
 	}
 }
 
-// --- upcall channel ---------------------------------------------------------
+// --- channels ---------------------------------------------------------------
 
-// attachUpcall binds the endpoint's second channel. It may be attached
-// once; the first attach wins and stamps the channel live.
+// rpcConn returns the current RPC channel.
+func (e *endpoint) rpcConn() *wire.Conn { return e.rpcc.Load() }
+
+// setRPCConn installs (or replaces, on resume) the RPC channel.
+func (e *endpoint) setRPCConn(c *wire.Conn) { e.rpcc.Store(c) }
+
+// attachUpcall binds the endpoint's second channel. The first attach wins
+// and stamps the channel live; a second attach on a live session is
+// refused (resume goes through replaceUpcall instead).
 func (e *endpoint) attachUpcall(c *wire.Conn) bool {
-	ok := false
-	e.upOnce.Do(func() {
-		e.upMu.Lock()
-		e.upConn = c
+	e.upMu.Lock()
+	if e.upConn != nil {
 		e.upMu.Unlock()
-		e.lastUp.Store(time.Now().UnixNano())
-		ok = true
-	})
-	return ok
+		return false
+	}
+	e.upConn = c
+	e.upMu.Unlock()
+	e.lastUp.Store(time.Now().UnixNano())
+	return true
+}
+
+// replaceUpcall swaps in a fresh upcall channel after a resume.
+func (e *endpoint) replaceUpcall(c *wire.Conn) {
+	e.upMu.Lock()
+	e.upConn = c
+	e.upMu.Unlock()
+	e.lastUp.Store(time.Now().UnixNano())
 }
 
 // upcallConn returns the attached upcall channel, or nil.
@@ -288,8 +346,8 @@ func (e *endpoint) await(ctx context.Context, seq uint64, w *waiter) (*wire.Msg,
 		done = ctx.Done()
 	}
 	select {
-	case msg, ok := <-w.ch:
-		if !ok || msg == nil {
+	case msg := <-w.ch:
+		if msg == nil {
 			return nil, e.closedErr()
 		}
 		return msg, nil
@@ -344,8 +402,14 @@ func (e *endpoint) awaitTask(ctx context.Context, seq uint64, w *waiter) (*wire.
 	}
 }
 
-// closedErr names the reason an armed wait found the endpoint gone.
+// closedErr names the reason an armed wait found the endpoint gone. A
+// downed-but-resumable link reports ErrDisconnected — the retryable error
+// that composes with WithRetry/MarkIdempotent — ahead of the terminal
+// diagnoses.
 func (e *endpoint) closedErr() error {
+	if e.linkDown.Load() {
+		return ErrDisconnected
+	}
 	if e.hbLost.Load() {
 		return ErrServerUnresponsive
 	}
@@ -408,14 +472,66 @@ func (e *endpoint) writeBatchLocked() error {
 	if e.batchCount == 0 {
 		return nil
 	}
+	if e.linkDown.Load() {
+		// The batch stays intact: asynchronous calls keep accumulating
+		// through the outage and ship after the resume.
+		return ErrDisconnected
+	}
 	binary.BigEndian.PutUint32(e.batch.B[0:4], uint32(e.batchCount))
+	calls := e.batchCount
 	e.batchCount = 0
-	err := e.rpcConn.Write(&wire.Msg{Type: wire.MsgCall, Body: e.batch.B})
+	var frameSeq uint64
+	if e.numbered {
+		// Numbered batches (resume granted): stamp the frame-level send
+		// sequence — unused by the legacy path, MsgCall frames always
+		// shipped Seq 0 — and keep a copy for replay until acknowledged.
+		e.sendSeq++
+		frameSeq = e.sendSeq
+		e.rt = append(e.rt, rtEntry{
+			seq:   frameSeq,
+			body:  append([]byte(nil), e.batch.B...),
+			calls: calls,
+		})
+		e.rtBytes += len(e.batch.B)
+		for e.rtBytes > maxRetransmitBytes && len(e.rt) > 1 {
+			e.rtBytes -= len(e.rt[0].body)
+			e.logf("clam: retransmit buffer over %d bytes; dropping unacked batch %d (%d calls)",
+				maxRetransmitBytes, e.rt[0].seq, e.rt[0].calls)
+			e.rt = e.rt[1:]
+		}
+	}
+	err := e.rpcConn().Write(&wire.Msg{Type: wire.MsgCall, Seq: frameSeq, Body: e.batch.B})
 	if cap(e.batch.B) > maxBatchBytes {
 		e.batch.B = nil
 	}
 	e.batch.Reset()
 	return err
+}
+
+// pruneRTLocked drops retransmit entries the peer has acknowledged
+// (implicitly: any reply, or the resume handshake's RecvSeq, proves
+// receipt of every frame at or below upTo on the in-order stream); bmu
+// must be held.
+func (e *endpoint) pruneRTLocked(upTo uint64) {
+	i := 0
+	for i < len(e.rt) && e.rt[i].seq <= upTo {
+		e.rtBytes -= len(e.rt[i].body)
+		e.rt[i].body = nil
+		i++
+	}
+	if i > 0 {
+		e.rt = e.rt[:copy(e.rt, e.rt[i:])]
+	}
+}
+
+// ackRT acknowledges every numbered frame up to mark.
+func (e *endpoint) ackRT(mark uint64) {
+	if !e.numbered || mark == 0 {
+		return
+	}
+	e.bmu.Lock()
+	e.pruneRTLocked(mark)
+	e.bmu.Unlock()
 }
 
 // flushLocked ships the accumulated batch as one MsgCall; bmu must be held.
@@ -426,7 +542,7 @@ func (e *endpoint) flushLocked() error {
 	if err := e.writeBatchLocked(); err != nil {
 		return err
 	}
-	return e.rpcConn.Flush()
+	return e.rpcConn().Flush()
 }
 
 // Flush ships any batched asynchronous calls to the peer.
@@ -442,7 +558,7 @@ func (e *endpoint) Flush() error {
 // burst's replies coalesce into one kernel write, flushed when the burst
 // drains or the sender blocks (flushReplies).
 func (e *endpoint) queueReply(msg *wire.Msg) {
-	if err := e.rpcConn.Write(msg); err != nil {
+	if err := e.rpcConn().Write(msg); err != nil {
 		e.logf("clam: endpoint: reply: %v", err)
 		return
 	}
@@ -455,7 +571,7 @@ func (e *endpoint) flushReplies() {
 	if !e.replyPending.Swap(false) {
 		return
 	}
-	if err := e.rpcConn.Flush(); err != nil {
+	if err := e.rpcConn().Flush(); err != nil {
 		e.logf("clam: endpoint: reply flush: %v", err)
 	}
 }
@@ -481,6 +597,7 @@ func (e *endpoint) demuxCommon(c *wire.Conn, msg *wire.Msg) (handled, stop bool)
 		msg.Release()
 		return true, false
 	case wire.MsgBye:
+		e.byeSeen.Store(true)
 		msg.Release()
 		return true, true
 	}
@@ -504,6 +621,13 @@ func (e *endpoint) heartbeatLoop(onDead func(reason string)) {
 			return
 		case <-ticker.C:
 		}
+		if e.linkDown.Load() {
+			// Mid-resume: the link is known dead and being rebuilt. Death
+			// checks would only re-diagnose the outage, and pings would
+			// land on closed connections; the resume window is the
+			// deadline that matters now.
+			continue
+		}
 		now := time.Now().UnixNano()
 		window := e.hbWindow.Nanoseconds()
 		if now-e.lastRPC.Load() > window {
@@ -515,7 +639,7 @@ func (e *endpoint) heartbeatLoop(onDead func(reason string)) {
 			return
 		}
 		sent := 0
-		if err := e.rpcConn.Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
+		if err := e.rpcConn().Send(&wire.Msg{Type: wire.MsgPing}); err == nil {
 			sent++
 		}
 		if up := e.upcallConn(); up != nil {
@@ -533,47 +657,80 @@ func (e *endpoint) heartbeatLoop(onDead func(reason string)) {
 // fails every armed wait, and (optionally) says goodbye first.
 func (e *endpoint) shutdown(sendBye bool) {
 	e.closeOnce.Do(func() {
+		// resMu excludes a concurrent resume's connection install: by the
+		// time we hold it, either the install completed (we close the new
+		// connections below) or the installer will see closedCh closed and
+		// abort.
+		e.resMu.Lock()
 		close(e.closedCh)
 		up := e.upcallConn()
 		if sendBye {
 			// Best-effort goodbyes; the peer treats a dropped connection
 			// the same way.
-			e.rpcConn.Send(&wire.Msg{Type: wire.MsgBye})
+			e.rpcConn().Send(&wire.Msg{Type: wire.MsgBye})
 			if up != nil {
 				up.Send(&wire.Msg{Type: wire.MsgBye})
 			}
 		}
-		e.rpcConn.Close()
+		e.rpcConn().Close()
 		if up != nil {
 			up.Close()
 		}
+		e.resMu.Unlock()
 		e.waits.cancelAll()
 	})
 }
 
 // --- handshake --------------------------------------------------------------
 
-func helloExchange(c *wire.Conn, role uint32, session uint64) (uint64, error) {
+func helloExchange(c *wire.Conn, role uint32, session uint64) (helloReplyBody, error) {
+	var reply helloReplyBody
 	sc := rpc.GetScratch()
 	defer sc.Release()
 	hello := helloBody{Role: role, Session: session}
 	if err := hello.bundle(sc.Encoder()); err != nil {
-		return 0, err
+		return reply, err
 	}
 	if err := c.Send(&wire.Msg{Type: wire.MsgHello, Seq: 1, Body: sc.Bytes()}); err != nil {
-		return 0, fmt.Errorf("clam: hello: %w", err)
+		return reply, fmt.Errorf("clam: hello: %w", err)
 	}
 	msg, err := c.Recv()
 	if err != nil {
-		return 0, fmt.Errorf("clam: hello reply: %w", err)
+		return reply, fmt.Errorf("clam: hello reply: %w", err)
 	}
 	defer msg.Release()
 	if msg.Type != wire.MsgHelloReply {
-		return 0, fmt.Errorf("clam: hello answered with %v", msg.Type)
+		return reply, fmt.Errorf("clam: hello answered with %v", msg.Type)
 	}
-	var reply helloReplyBody
 	if err := reply.bundle(sc.Decoder(msg.Body)); err != nil {
-		return 0, err
+		return reply, err
 	}
-	return reply.Session, nil
+	return reply, nil
+}
+
+// resumeExchange replaces helloExchange on a reconnect: it presents the
+// resume token for an existing session and returns the server's verdict.
+func resumeExchange(c *wire.Conn, role uint32, session, token uint64, epoch uint32) (resumeReplyBody, error) {
+	var reply resumeReplyBody
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	req := resumeBody{Role: role, Session: session, Token: token, Epoch: epoch}
+	if err := req.bundle(sc.Encoder()); err != nil {
+		return reply, err
+	}
+	if err := c.Send(&wire.Msg{Type: wire.MsgResume, Seq: 1, Body: sc.Bytes()}); err != nil {
+		return reply, fmt.Errorf("clam: resume: %w", err)
+	}
+	msg, err := c.Recv()
+	if err != nil {
+		return reply, fmt.Errorf("clam: resume reply: %w", err)
+	}
+	defer msg.Release()
+	if msg.Type != wire.MsgResumeReply {
+		return reply, fmt.Errorf("clam: resume answered with %v", msg.Type)
+	}
+	if err := reply.bundle(sc.Decoder(msg.Body)); err != nil {
+		return reply, err
+	}
+	return reply, nil
 }

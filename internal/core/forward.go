@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clam/internal/bundle"
 	"clam/internal/handle"
@@ -39,10 +41,60 @@ import (
 // upstream is one lower server this server dialed, with the translation
 // cache mapping the lower server's class ids to locally compiled stubs.
 type upstream struct {
-	c *Client
+	c  *Client
+	br *breaker // nil unless WithUpstreamBreaker
 
 	mu      sync.Mutex
 	classes map[uint32]*proxyClass
+}
+
+// breaker is a per-upstream circuit breaker (WithUpstreamBreaker). After
+// threshold consecutive failed reconnect attempts the circuit opens for
+// cooldown: the resurrect loop stops dialing a flapping upstream, and
+// forwarded calls fail fast instead of queueing behind it. A successful
+// reconnect closes the circuit and resets the failure count.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	opens     atomic.Uint64
+
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a reconnect attempt may proceed (circuit closed
+// or cooldown elapsed). Wired into the client's resurrect loop.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !time.Now().Before(b.openUntil)
+}
+
+// result records the outcome of one reconnect attempt, tripping the
+// circuit after threshold consecutive failures.
+func (b *breaker) result(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.fails = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.fails++
+	if b.fails >= b.threshold {
+		b.fails = 0
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.opens.Add(1)
+	}
+}
+
+// open reports whether the circuit is currently open (calls should fail
+// fast rather than wait on the dead upstream).
+func (b *breaker) open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return time.Now().Before(b.openUntil)
 }
 
 // proxyClass is the middle tier's knowledge of one lower-server class: its
@@ -101,7 +153,12 @@ func (s *Server) AttachUpstream(c *Client) error {
 			return nil
 		}
 	}
-	s.upstreams = append(s.upstreams, &upstream{c: c, classes: make(map[uint32]*proxyClass)})
+	u := &upstream{c: c, classes: make(map[uint32]*proxyClass)}
+	if s.breakerThreshold > 0 {
+		u.br = &breaker{threshold: s.breakerThreshold, cooldown: s.breakerCooldown}
+		c.setReconnectHooks(u.br.allow, u.br.result)
+	}
+	s.upstreams = append(s.upstreams, u)
 	return nil
 }
 
@@ -276,6 +333,19 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 	if u == nil {
 		dec.SetErr(fmt.Errorf("clam: proxy call %s on detached upstream", hdr.Method))
 		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: upstream connection is gone")
+		return
+	}
+	if u.br != nil && u.br.open() {
+		// The upstream's circuit is open: fail fast rather than relay into
+		// a link the resurrect loop has given up on for now. Sync calls get
+		// a dispatch error; asyncs follow the async error path (fault
+		// report), matching a relay failure.
+		dec.SetErr(fmt.Errorf("clam: proxy call %s while upstream circuit open", hdr.Method))
+		if hdr.Seq == 0 {
+			sess.reportFault("proxy", hdr.Method, "clam: upstream circuit open")
+		} else {
+			sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: upstream circuit open")
+		}
 		return
 	}
 	pc, err := srv.proxyClassFor(u, entry.ClassID, entry.Version)

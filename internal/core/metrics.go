@@ -48,6 +48,10 @@ type metrics struct {
 	callsRelayed   atomic.Uint64
 	upcallsRelayed atomic.Uint64
 
+	// resumes counts sessions successfully resurrected after a link loss
+	// (the server side of a client reconnect).
+	resumes atomic.Uint64
+
 	link linkCounters
 
 	shards [callShards]callShard
@@ -101,6 +105,7 @@ func (m *metrics) countEviction()      { m.evictions.Add(1) }
 func (m *metrics) countRejected()      { m.rejectedSess.Add(1) }
 func (m *metrics) countRelayedCall()   { m.callsRelayed.Add(1) }
 func (m *metrics) countRelayedUpcall() { m.upcallsRelayed.Add(1) }
+func (m *metrics) countResume()        { m.resumes.Add(1) }
 
 // MetricsSnapshot is a point-in-time copy of the server's counters.
 type MetricsSnapshot struct {
@@ -135,6 +140,30 @@ type MetricsSnapshot struct {
 	Forwarding ForwardingStats
 	// Dispatch describes the dispatch engine and its executor counters.
 	Dispatch DispatchStats
+	// Resilience carries the session-resurrection counters, aggregated
+	// over this server's own sessions and its upstream links.
+	Resilience ResilienceStats
+}
+
+// ResilienceStats counts session-resurrection events. The same struct
+// appears on both sides of a hop: a client (or a middle tier's upstream
+// link) counts reconnects and replays; the server it reconnects to counts
+// resumes and duplicate drops.
+type ResilienceStats struct {
+	// Reconnects counts successful session resumes: on a server, its own
+	// sessions resurrected plus upstream links it re-established; on a
+	// client, links it re-established.
+	Reconnects uint64
+	// ReplayedCalls counts batched asynchronous calls retransmitted after
+	// a resume because the peer never acknowledged them.
+	ReplayedCalls uint64
+	// DedupDrops counts replayed call frames discarded by the receive
+	// window because they had already executed — the visible half of the
+	// at-most-once guarantee.
+	DedupDrops uint64
+	// BreakerOpens counts times an upstream circuit breaker tripped open
+	// (WithUpstreamBreaker).
+	BreakerOpens uint64
 }
 
 // DispatchStats describes the server's dispatch engine. Under the serial
@@ -223,6 +252,25 @@ func (s *Server) Metrics() MetricsSnapshot {
 			UpcallsRelayedUp: m.upcallsRelayed.Load(),
 		},
 		Dispatch: s.exec.stats(),
+		Resilience: ResilienceStats{
+			Reconnects:    m.resumes.Load(),
+			ReplayedCalls: m.link.replayed.Load(),
+			DedupDrops:    m.link.dedups.Load(),
+		},
+	}
+	// Fold in this server's upstream links: reconnects/replays its own
+	// resurrect loops performed toward lower tiers, and breaker trips.
+	s.mu.Lock()
+	ups := make([]*upstream, len(s.upstreams))
+	copy(ups, s.upstreams)
+	s.mu.Unlock()
+	for _, u := range ups {
+		snap.Resilience.Reconnects += u.c.link.reconnects.Load()
+		snap.Resilience.ReplayedCalls += u.c.link.replayed.Load()
+		snap.Resilience.DedupDrops += u.c.link.dedups.Load()
+		if u.br != nil {
+			snap.Resilience.BreakerOpens += u.br.opens.Load()
+		}
 	}
 	if s.handles != nil {
 		snap.Forwarding.ProxyHandlesLive = uint64(s.handles.CountFunc(func(obj any) bool {

@@ -34,12 +34,60 @@ func (h *helloBody) bundle(s *xdr.Stream) error {
 }
 
 // helloReplyBody acknowledges the handshake with the session identifier.
+// When the server retains sessions across disconnects it also grants a
+// resume token and announces the grace window; Token of zero means the
+// session dies with its link, exactly the pre-resurrection behavior.
 type helloReplyBody struct {
-	Session uint64
+	Session     uint64
+	Token       uint64
+	WindowNanos int64
 }
 
 func (h *helloReplyBody) bundle(s *xdr.Stream) error {
-	return s.Uint64(&h.Session)
+	s.Uint64(&h.Session)
+	s.Uint64(&h.Token)
+	return s.Int64(&h.WindowNanos)
+}
+
+// resumeBody re-pairs a fresh connection with a parked session: the role
+// plays the part helloBody.Role does on first connect, the token proves
+// the caller owns the session, and the epoch guards against a stale
+// reconnect from a generation the server already superseded.
+type resumeBody struct {
+	Role    uint32
+	Session uint64
+	Token   uint64
+	Epoch   uint32
+}
+
+func (r *resumeBody) bundle(s *xdr.Stream) error {
+	s.Uint32(&r.Role)
+	s.Uint64(&r.Session)
+	s.Uint64(&r.Token)
+	return s.Uint32(&r.Epoch)
+}
+
+// resumeReplyBody answers a resume attempt. On refusal, Retry
+// distinguishes "not yet" (the old link's reader has not parked the
+// session) from "never" (unknown session, bad token, window expired).
+// On success, Epoch is the new generation and RecvSeq the highest
+// numbered call frame the server has received — the client replays only
+// what lies above it, which is the duplicate-suppression half of the
+// at-most-once argument (DESIGN.md §6.3).
+type resumeReplyBody struct {
+	OK      bool
+	Retry   bool
+	ErrMsg  string
+	Epoch   uint32
+	RecvSeq uint64
+}
+
+func (r *resumeReplyBody) bundle(s *xdr.Stream) error {
+	s.Bool(&r.OK)
+	s.Bool(&r.Retry)
+	s.String(&r.ErrMsg)
+	s.Uint32(&r.Epoch)
+	return s.Uint64(&r.RecvSeq)
 }
 
 // Load-protocol operations (§2's dynamic loading plus instance management).

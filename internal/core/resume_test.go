@@ -1,0 +1,655 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clam/internal/rpc"
+	"clam/internal/wire"
+)
+
+// Session-resurrection tests: scripted link kills against a server that
+// parks disconnected sessions (WithResumeWindow), asserting transparent
+// reconnect, replay of unacknowledged batches, duplicate suppression
+// (at-most-once), fail-fast pending waiters, and the preserved legacy
+// eviction path when the window is disabled.
+
+// latestRPC returns the RPC channel of the most recent successful
+// (re)connection: tryResume dials RPC then upcall, so after a completed
+// resume the last two links are that attempt's pair.
+func (cl *chaosLinks) latestRPC() *wire.SimLink {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.links[len(cl.links)-2]
+}
+
+// trySync attempts a Sync, tolerating mid-outage failures.
+func trySync(c *Client) { _ = c.Sync() }
+
+func TestResumeAfterSever(t *testing.T) {
+	srv, path := startServer(t, WithResumeWindow(5*time.Second))
+	c, cl := chaosClient(t, path, WithCallTimeout(2*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.New("notifier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []int32
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		mu.Lock()
+		got = append(got, x)
+		mu.Unlock()
+		return 2 * x
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the RPC channel mid-session. The client must re-dial, present
+	// its resume token, and carry on with the same handles.
+	cl.rpc().Sever()
+	waitFor(t, 5*time.Second, "client to resume the session", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+
+	// The handle minted before the kill still names the same object, with
+	// its state intact — the server retained the session rather than
+	// evicting it.
+	var total int64
+	waitFor(t, 3*time.Second, "post-resume call to succeed", func() bool {
+		return obj.CallInto("Total", []any{&total}) == nil
+	})
+	if total != 7 {
+		t.Errorf("Total after resume = %d, want 7 (state lost)", total)
+	}
+
+	// The RUC registration survived too: an upcall flows over the fresh
+	// upcall channel without re-registering.
+	var sum int32
+	if err := n.CallInto("Trigger", []any{&sum}, int32(9), "post-resume"); err != nil {
+		t.Fatalf("upcall after resume: %v", err)
+	}
+	if sum != 18 {
+		t.Errorf("Trigger after resume = %d, want 18", sum)
+	}
+	mu.Lock()
+	handled := len(got)
+	mu.Unlock()
+	if handled != 1 {
+		t.Errorf("handler ran %d times, want 1", handled)
+	}
+
+	if got := srv.SessionCount(); got != 1 {
+		t.Errorf("SessionCount = %d, want 1 (same session, not a new one)", got)
+	}
+	m := srv.Metrics()
+	if m.Resilience.Reconnects < 1 {
+		t.Errorf("server Resilience.Reconnects = %d, want >= 1", m.Resilience.Reconnects)
+	}
+	if m.Evictions != 0 {
+		t.Errorf("Evictions = %d, want 0", m.Evictions)
+	}
+}
+
+// TestResumeReplaysAndDedups drives both halves of the at-most-once
+// argument deterministically: a duplicated numbered frame is dropped by
+// the server's receive window, and a frame lost before the kill is
+// replayed from the retransmit buffer on resume — with the final total
+// proving exactly-once execution of every Add.
+func TestResumeReplaysAndDedups(t *testing.T) {
+	srv, path := startServer(t, WithResumeWindow(5*time.Second))
+	// Unbatched: every Async ships immediately as its own numbered frame,
+	// so the fault injectors below target exactly one call each.
+	c, cl := chaosClient(t, path,
+		WithCallTimeout(2*time.Second),
+		WithoutClientBatching())
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three adds, delivered normally.
+	for i := 0; i < 3; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One add duplicated at the byte level by the link. The server
+	// executes the first copy and drops the second by sequence.
+	cl.rpc().InjectDuplicate(1)
+	if err := obj.Async("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 3*time.Second, "duplicate frame to be suppressed", func() bool {
+		return srv.Metrics().Resilience.DedupDrops >= 1
+	})
+	// Acknowledge everything so far so only the lost frame remains
+	// replayable.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One add silently eaten by the link — the client believes it was
+	// sent, so it sits unacknowledged in the retransmit buffer.
+	cl.rpc().InjectDrop(1)
+	if err := obj.Async("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill and resume: the handshake reports the server's receive mark,
+	// so the client replays exactly the dropped frame.
+	cl.rpc().Sever()
+	waitFor(t, 5*time.Second, "client to resume", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 3*time.Second, "post-resume sync", func() bool {
+		return c.Sync() == nil
+	})
+
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Errorf("Total = %d, want exactly 5 (3 delivered + 1 deduped-to-once + 1 replayed)", total)
+	}
+	cm := c.Metrics().Resilience
+	if cm.ReplayedCalls < 1 {
+		t.Errorf("client ReplayedCalls = %d, want >= 1", cm.ReplayedCalls)
+	}
+	sm := srv.Metrics().Resilience
+	if sm.DedupDrops < 1 {
+		t.Errorf("server DedupDrops = %d, want >= 1", sm.DedupDrops)
+	}
+}
+
+// TestDisconnectFailsPendingWaitersFast: a synchronous call in flight
+// when the link dies must fail promptly with the typed, retryable
+// ErrDisconnected — not hang until its 30s deadline.
+func TestDisconnectFailsPendingWaitersFast(t *testing.T) {
+	_, path := startServer(t, WithResumeWindow(5*time.Second))
+	c, cl := chaosClient(t, path, WithCallTimeout(30*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Swallow the request so the call is pending, then cut the link.
+	cl.rpc().InjectBlackhole(true)
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() { errc <- obj.Call("Add", int64(1)) }()
+	time.Sleep(50 * time.Millisecond)
+	cl.rpc().Sever()
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrDisconnected) {
+			t.Errorf("pending call failed with %v, want ErrDisconnected", err)
+		}
+		if d := time.Since(start); d > 3*time.Second {
+			t.Errorf("pending call failed after %v, want well under the 30s deadline", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pending call hung past the disconnect")
+	}
+}
+
+// TestRetryRidesThroughResume: ErrDisconnected composes with WithRetry —
+// an idempotent-marked call issued mid-outage backs off and succeeds once
+// the session resumes, with no caller-visible failure.
+func TestRetryRidesThroughResume(t *testing.T) {
+	_, path := startServer(t, WithResumeWindow(5*time.Second))
+	c, cl := chaosClient(t, path,
+		WithCallTimeout(2*time.Second),
+		WithRetry(RetryPolicy{Attempts: 10, Backoff: 25 * time.Millisecond}))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.MarkIdempotent("Total")
+	if err := obj.Call("Add", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.rpc().Sever()
+	// Issued immediately after the kill: the first attempts see the
+	// outage (ErrDisconnected), the retry loop rides it out, and the call
+	// completes against the resumed session.
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatalf("idempotent call across an outage: %v", err)
+	}
+	if total != 3 {
+		t.Errorf("Total = %d, want 3", total)
+	}
+	if got := c.Metrics().Resilience.Reconnects; got < 1 {
+		t.Errorf("Reconnects = %d, want >= 1", got)
+	}
+}
+
+// TestResumeWindowExpiresEvicts: when the client cannot return in time,
+// the parked session is evicted at the window boundary — retention is a
+// grace period, not a leak.
+func TestResumeWindowExpiresEvicts(t *testing.T) {
+	srv, path := startServer(t, WithResumeWindow(300*time.Millisecond))
+	inner := &chaosLinks{}
+	var dials atomic.Int32
+	dial := func(network, addr string) (net.Conn, error) {
+		if dials.Add(1) > 2 {
+			// The partition outlasts the window: every reconnect fails.
+			return nil, errors.New("simulated partition")
+		}
+		return inner.dial(network, addr)
+	}
+	c, err := Dial("unix", path,
+		WithClientLog(func(string, ...any) {}),
+		WithDialFunc(dial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	if _, err := c.New("counter", 0); err != nil {
+		t.Fatal(err)
+	}
+
+	inner.rpc().Sever()
+	waitFor(t, 3*time.Second, "parked session to expire", func() bool {
+		return srv.SessionCount() == 0
+	})
+	m := srv.Metrics()
+	if m.Evictions < 1 {
+		t.Errorf("Evictions = %d, want >= 1 (window expiry)", m.Evictions)
+	}
+	if m.Resilience.Reconnects != 0 {
+		t.Errorf("Reconnects = %d, want 0 (no reconnect ever landed)", m.Resilience.Reconnects)
+	}
+}
+
+// TestResumeDisabledDegradesToEviction is the ablation: without
+// WithResumeWindow nothing is parked, nothing replays, and a dead link
+// means the legacy drop — exactly the pre-resurrection behavior.
+func TestResumeDisabledDegradesToEviction(t *testing.T) {
+	srv, path := startServer(t) // no resume window
+	c, cl := chaosClient(t, path, WithCallTimeout(2*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	cl.rpc().Sever()
+	waitFor(t, 3*time.Second, "session to drop", func() bool {
+		return srv.SessionCount() == 0
+	})
+	// No resurrection machinery ran on either side.
+	time.Sleep(100 * time.Millisecond)
+	if got := c.Metrics().Resilience.Reconnects; got != 0 {
+		t.Errorf("client Reconnects = %d, want 0 without a resume grant", got)
+	}
+	if got := srv.Metrics().Resilience.Reconnects; got != 0 {
+		t.Errorf("server Reconnects = %d, want 0", got)
+	}
+	if err := obj.Call("Add", int64(1)); err == nil {
+		t.Error("call on a dead un-resumable client succeeded")
+	}
+}
+
+// TestCleanCloseDoesNotPark: a deliberate goodbye must drop the session
+// immediately, never park it — resume retention is for failures only.
+func TestCleanCloseDoesNotPark(t *testing.T) {
+	srv, path := startServer(t, WithResumeWindow(10*time.Second))
+	c := dialClient(t, path)
+	if _, err := c.New("counter", 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	waitFor(t, 3*time.Second, "cleanly closed session to drop", func() bool {
+		return srv.SessionCount() == 0
+	})
+	if got := srv.Metrics().Evictions; got != 0 {
+		t.Errorf("Evictions = %d, want 0 for a clean close", got)
+	}
+}
+
+// TestFlapScheduleExactTotals: a flapping link (scripted kills every few
+// writes across successive connections) must not lose or double-execute
+// a single batched call — the replay buffer and receive window keep the
+// ledger exact across every resume.
+func TestFlapScheduleExactTotals(t *testing.T) {
+	_, path := startServer(t, WithResumeWindow(10*time.Second))
+	var dials atomic.Int32
+	dial := func(network, addr string) (net.Conn, error) {
+		conn, err := net.Dial(network, addr)
+		if err != nil {
+			return nil, err
+		}
+		l := wire.NewSimLink(conn, 0, 0)
+		if n := dials.Add(1); n <= 5 && n%2 == 1 {
+			// Flap schedule: the first few odd-numbered connections die
+			// after a handful of frames.
+			l.KillAfterWrites(6)
+		}
+		return l, nil
+	}
+	c, err := Dial("unix", path,
+		WithClientLog(func(string, ...any) {}),
+		WithDialFunc(dial),
+		WithCallTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const adds = 60
+	for i := 0; i < adds; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatalf("Async during flap: %v", err)
+		}
+		if i%10 == 9 {
+			trySync(c) // pacing; mid-outage failures are expected
+		}
+	}
+	waitFor(t, 10*time.Second, "final sync after the flapping stops", func() bool {
+		return c.Sync() == nil
+	})
+	var total int64
+	waitFor(t, 5*time.Second, "final total read", func() bool {
+		return obj.CallInto("Total", []any{&total}) == nil
+	})
+	if total != adds {
+		t.Errorf("Total = %d, want exactly %d (lost or duplicated adds)", total, adds)
+	}
+	if got := c.Metrics().Resilience.Reconnects; got < 1 {
+		t.Errorf("Reconnects = %d, want >= 1 (the link never flapped?)", got)
+	}
+}
+
+// TestWaitTableCancelledWaiterIsReusable: cancellation delivers nil over
+// the still-open pooled channel, so a cancelled slot can be pooled and
+// reused like a completed one (the old teardown closed the channel,
+// poisoning the pool).
+func TestWaitTableCancelledWaiterIsReusable(t *testing.T) {
+	var wt waitTable
+	for i := 0; i < 64; i++ {
+		seq := uint64(i + 1)
+		w := wt.arm(seq)
+		if w.ch == nil {
+			t.Fatal("goroutine waiter without a channel")
+		}
+		if i%2 == 0 {
+			wt.cancelAll()
+			select {
+			case msg := <-w.ch:
+				if msg != nil {
+					t.Fatalf("cancelled waiter received %v, want nil", msg)
+				}
+			case <-time.After(time.Second):
+				t.Fatal("cancelled waiter never notified")
+			}
+		} else {
+			m := &wire.Msg{Type: wire.MsgReply, Seq: seq}
+			if !wt.deliver(seq, m, false) {
+				t.Fatal("deliver to armed waiter reported no consumer")
+			}
+			select {
+			case got := <-w.ch:
+				if got != m {
+					t.Fatalf("waiter received %v, want the delivered message", got)
+				}
+			case <-time.After(time.Second):
+				t.Fatal("completed waiter never notified")
+			}
+		}
+		// disarm pools the slot either way; the next arm reuses it.
+		wt.disarm(seq)
+	}
+}
+
+// TestChainMiddleHopResurrection kills and resurrects the mid→bottom link
+// of a three-address-space chain while calls and upcalls are in flight:
+// the chain must heal hop-by-hop with no lost adds (replay), no double
+// execution (dedup), and §3.4 upcall ordering preserved end to end.
+func TestChainMiddleHopResurrection(t *testing.T) {
+	bottom, bottomPath := startServer(t, WithResumeWindow(10*time.Second))
+	nobj, _, err := bottom.CreateInstance("notifier", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom.SetNamed("notify", nobj)
+	bottomNotifier := nobj.(*notifier)
+	cobj, _, err := bottom.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom.SetNamed("tally", cobj)
+
+	mid := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}))
+	t.Cleanup(func() { mid.Close() })
+	midPath := t.TempDir() + "/mid.sock"
+	if _, err := mid.Listen("unix", midPath); err != nil {
+		t.Fatal(err)
+	}
+	cl := &chaosLinks{}
+	up, err := mid.DialUpstream("unix", bottomPath,
+		WithClientLog(func(string, ...any) {}),
+		WithDialFunc(cl.dial),
+		WithCallTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.ImportNamed(up, "notify", "tally"); err != nil {
+		t.Fatal(err)
+	}
+	top := dialClient(t, midPath)
+
+	// Wire the upcall chain and prove it before any faults.
+	notify, err := top.NamedObject("notify")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []int32
+	if err := notify.Call("Register", func(x int32, s string) int32 {
+		mu.Lock()
+		got = append(got, x)
+		mu.Unlock()
+		return 2 * x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	if err := notify.CallInto("Trigger", []any{&sum}, int32(7), "pre-fault"); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 14 {
+		t.Fatalf("pre-fault Trigger sum = %d, want 14", sum)
+	}
+
+	tally, err := top.NamedObject("tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tally.Call("Add", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Lose a relayed batch: the mid tier's next write to the bottom (its
+	// batched adds coalesced with its sync) vanishes on the wire. The
+	// top-level Sync stalls out on the mid tier's upstream timeout; the
+	// batch stays in the mid tier's retransmit buffer.
+	cl.rpc().InjectDrop(1)
+	for i := 0; i < 4; i++ {
+		if err := tally.Async("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trySync(top)
+
+	// Now kill the middle hop outright and let it heal itself: the mid
+	// tier re-dials the bottom, resumes its session, and replays the lost
+	// batch without any involvement from the top client.
+	cl.rpc().Sever()
+	waitFor(t, 10*time.Second, "middle hop to resurrect its upstream", func() bool {
+		return mid.Metrics().Resilience.Reconnects >= 1
+	})
+
+	// Post-heal traffic with a duplicated frame: the bottom's receive
+	// window must execute the batch exactly once.
+	cl.latestRPC().InjectDuplicate(1)
+	for i := 0; i < 3; i++ {
+		if err := tally.Async("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "post-heal sync through the chain", func() bool {
+		return top.Sync() == nil
+	})
+	waitFor(t, 3*time.Second, "duplicate batch to be suppressed", func() bool {
+		return bottom.Metrics().Resilience.DedupDrops >= 1
+	})
+
+	// The ledger is exact across the kill: 5 + 4 replayed + 3 deduped.
+	var total int64
+	waitFor(t, 5*time.Second, "chain total to settle", func() bool {
+		return tally.CallInto("Total", []any{&total}) == nil && total == 12
+	})
+	if total != 12 {
+		t.Errorf("Total = %d, want exactly 12 (lost or duplicated adds across the kill)", total)
+	}
+
+	// The upcall chain survived the middle hop's death: bottom-originated
+	// triggers climb both hops, return results, and arrive in order.
+	for i := int32(1); i <= 5; i++ {
+		s, err := bottomNotifier.Trigger(i, "post-heal")
+		if err != nil {
+			t.Fatalf("bottom Trigger(%d): %v", i, err)
+		}
+		if s != 2*i {
+			t.Errorf("bottom Trigger(%d) = %d, want %d", i, s, 2*i)
+		}
+	}
+	mu.Lock()
+	want := []int32{7, 1, 2, 3, 4, 5}
+	ok := len(got) == len(want)
+	if ok {
+		for i := range want {
+			ok = ok && got[i] == want[i]
+		}
+	}
+	gotCopy := append([]int32(nil), got...)
+	mu.Unlock()
+	if !ok {
+		t.Errorf("upcall order = %v, want %v (§3.4 ordering broken by resurrection)", gotCopy, want)
+	}
+
+	mm := mid.Metrics().Resilience
+	if mm.Reconnects < 1 || mm.ReplayedCalls < 1 {
+		t.Errorf("mid Resilience = %+v, want Reconnects >= 1 and ReplayedCalls >= 1", mm)
+	}
+	if bm := bottom.Metrics().Resilience; bm.DedupDrops < 1 {
+		t.Errorf("bottom DedupDrops = %d, want >= 1", bm.DedupDrops)
+	}
+}
+
+// TestBreakerTripsAndCloses exercises the circuit breaker state machine
+// through the same hooks the client's resurrect loop drives.
+func TestBreakerTripsAndCloses(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: 50 * time.Millisecond}
+	if !b.allow() || b.open() {
+		t.Fatal("new breaker should start closed")
+	}
+	b.result(false)
+	b.result(false)
+	if b.open() {
+		t.Fatal("breaker opened below threshold")
+	}
+	b.result(false) // third consecutive failure trips it
+	if !b.open() || b.allow() {
+		t.Fatal("breaker should be open after threshold failures")
+	}
+	if got := b.opens.Load(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+	waitFor(t, 2*time.Second, "cooldown to elapse", b.allow)
+	b.result(true) // success closes it and resets the count
+	b.result(false)
+	b.result(false)
+	if b.open() {
+		t.Fatal("breaker reopened without threshold consecutive failures after a success")
+	}
+}
+
+// TestBreakerFailsForwardedCallsFast: with the upstream gone and the
+// circuit open, relayed calls fail immediately with a dispatch error
+// instead of queueing behind reconnect attempts.
+func TestBreakerFailsForwardedCallsFast(t *testing.T) {
+	bottom, bottomPath := startServer(t, WithResumeWindow(10*time.Second))
+	cobj, _, err := bottom.CreateInstance("counter", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom.SetNamed("tally", cobj)
+
+	mid := NewServer(testLibrary(t),
+		WithServerLog(func(string, ...any) {}),
+		WithUpstreamBreaker(2, 10*time.Second))
+	t.Cleanup(func() { mid.Close() })
+	midPath := t.TempDir() + "/mid.sock"
+	if _, err := mid.Listen("unix", midPath); err != nil {
+		t.Fatal(err)
+	}
+	up, err := mid.DialUpstream("unix", bottomPath,
+		WithClientLog(func(string, ...any) {}),
+		WithCallTimeout(time.Second),
+		WithRetry(RetryPolicy{Attempts: 1, Backoff: 20 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.ImportNamed(up, "tally"); err != nil {
+		t.Fatal(err)
+	}
+	top := dialClient(t, midPath)
+	tally, err := top.NamedObject("tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := tally.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take the bottom away for good: reconnect attempts fail until the
+	// breaker gives up on the flapping upstream.
+	bottom.Close()
+	waitFor(t, 10*time.Second, "breaker to open", func() bool {
+		return mid.Metrics().Resilience.BreakerOpens >= 1
+	})
+
+	start := time.Now()
+	err = tally.CallInto("Total", []any{&total})
+	var re *rpc.RemoteError
+	if err == nil || !errors.As(err, &re) || re.Status != rpc.StatusDispatch {
+		t.Fatalf("relayed call with circuit open = %v, want dispatch error", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("circuit-open call took %v, want fast failure", d)
+	}
+}

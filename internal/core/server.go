@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net"
 	"reflect"
 	"runtime"
@@ -54,6 +55,18 @@ type Server struct {
 	hbWindow          time.Duration
 	maxSessions       int
 	slowConsumerLimit int
+
+	// Session resurrection (WithResumeWindow): how long a session whose
+	// link died is parked — handle table, RUC registrations and receive
+	// window retained — awaiting a resume, before it is evicted. Zero
+	// (the default) disables resurrection entirely.
+	resumeWindow time.Duration
+
+	// Upstream circuit breaker (WithUpstreamBreaker): after this many
+	// consecutive failed reconnect attempts to an upstream, hold attempts
+	// for the cooldown. Zero threshold disables the breaker.
+	breakerThreshold int
+	breakerCooldown  time.Duration
 
 	// Per-object dispatch (executor.go). exec is nil when the serial
 	// dispatcher ablation is selected; every consumer branches on that.
@@ -144,6 +157,42 @@ func WithSlowConsumerLimit(n int) ServerOption {
 			n = 0
 		}
 		s.slowConsumerLimit = n
+	}
+}
+
+// WithResumeWindow enables session resurrection: when a client's link
+// dies, its session is parked — exported handles, RUC procedure
+// registrations and the receive-sequence window retained — for d, during
+// which the client may reconnect and present the resume token granted at
+// hello. A resumed session replays unacknowledged batched calls; the
+// receive window suppresses duplicates, preserving at-most-once execution
+// (DESIGN.md §6.3). Zero (the default) keeps the immediate-eviction
+// behavior.
+func WithResumeWindow(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d < 0 {
+			d = 0
+		}
+		s.resumeWindow = d
+	}
+}
+
+// WithUpstreamBreaker arms a circuit breaker on every upstream link this
+// server dials (DialUpstream/AttachUpstream): after threshold consecutive
+// failed reconnect attempts, further attempts are held for cooldown, and
+// forwarded calls fail fast while the circuit is open — so a flapping
+// lower server cannot melt the dispatcher with reconnect storms. A
+// cooldown <= 0 defaults to 5s; threshold <= 0 disables the breaker.
+func WithUpstreamBreaker(threshold int, cooldown time.Duration) ServerOption {
+	return func(s *Server) {
+		if threshold < 0 {
+			threshold = 0
+		}
+		if cooldown <= 0 {
+			cooldown = 5 * time.Second
+		}
+		s.breakerThreshold = threshold
+		s.breakerCooldown = cooldown
 	}
 }
 
@@ -417,7 +466,16 @@ func (s *Server) Listen(network, addr string) (net.Listener, error) {
 // loop according to its declared role.
 func (s *Server) handleConn(c *wire.Conn) {
 	msg, err := c.Recv()
-	if err != nil || msg.Type != wire.MsgHello {
+	if err != nil {
+		msg.Release()
+		c.Close()
+		return
+	}
+	if msg.Type == wire.MsgResume {
+		s.handleResume(c, msg)
+		return
+	}
+	if msg.Type != wire.MsgHello {
 		msg.Release()
 		c.Close()
 		return
@@ -440,13 +498,12 @@ func (s *Server) handleConn(c *wire.Conn) {
 			c.Close()
 			return
 		}
-		if err := s.sendHelloReply(c, seq, sess.id); err != nil {
+		if err := s.sendHelloReply(c, seq, sess); err != nil {
 			s.dropSession(sess)
 			return
 		}
 		sess.startHeartbeat()
-		sess.rpcReadLoop()
-		s.dropSession(sess)
+		s.runSessionRPC(sess, c)
 	case roleUpcall:
 		s.mu.Lock()
 		sess := s.sessions[hello.Session]
@@ -459,10 +516,10 @@ func (s *Server) handleConn(c *wire.Conn) {
 			c.Close()
 			return
 		}
-		if err := s.sendHelloReply(c, seq, sess.id); err != nil {
+		if err := s.sendHelloReply(c, seq, sess); err != nil {
 			return
 		}
-		sess.upcallReadLoop()
+		sess.upcallReadLoop(c)
 		// The upcall channel is gone; any server task parked on an upcall
 		// to this client would otherwise wait out the full upcall timeout.
 		sess.upcallConnLost()
@@ -471,14 +528,102 @@ func (s *Server) handleConn(c *wire.Conn) {
 	}
 }
 
-func (s *Server) sendHelloReply(c *wire.Conn, seq, sessID uint64) error {
+// runSessionRPC reads the session's RPC channel until it dies, then parks
+// the session for resurrection when eligible, or drops it (the legacy and
+// ablation path) when not.
+func (s *Server) runSessionRPC(sess *session, c *wire.Conn) {
+	sess.rpcReadLoop(c)
+	if sess.park() {
+		return
+	}
+	s.dropSession(sess)
+}
+
+// handleResume answers a MsgResume opening frame: re-pair the connection
+// with the parked session the token names, then serve it like a freshly
+// attached channel of the right role.
+func (s *Server) handleResume(c *wire.Conn, msg *wire.Msg) {
+	var req resumeBody
+	sc := rpc.GetScratch()
+	rerr := req.bundle(sc.Decoder(msg.Body))
+	sc.Release()
+	seq := msg.Seq
+	msg.Release()
+	if rerr != nil {
+		c.Close()
+		return
+	}
+	refuse := func(retry bool, why string) {
+		s.sendResumeReply(c, seq, &resumeReplyBody{Retry: retry, ErrMsg: why})
+		c.Close()
+	}
+	s.mu.Lock()
+	sess := s.sessions[req.Session]
+	s.mu.Unlock()
+	if sess == nil || sess.token == 0 || sess.token != req.Token {
+		refuse(false, "clam: unknown session or bad resume token")
+		return
+	}
+	switch req.Role {
+	case roleRPC:
+		epoch, recvSeq, retry, err := sess.resumeRPC(c, req.Epoch)
+		if err != nil {
+			refuse(retry, err.Error())
+			return
+		}
+		s.metrics.countResume()
+		s.logf("clam: session %d: resumed (epoch %d)", sess.id, epoch)
+		// Send failure is not fatal here: a dead fresh link re-parks via
+		// the read loop below.
+		s.sendResumeReply(c, seq, &resumeReplyBody{OK: true, Epoch: epoch, RecvSeq: recvSeq})
+		s.runSessionRPC(sess, c)
+	case roleUpcall:
+		if err := sess.resumeUpcall(c, req.Epoch); err != nil {
+			refuse(true, err.Error())
+			return
+		}
+		if err := s.sendResumeReply(c, seq, &resumeReplyBody{OK: true, Epoch: req.Epoch}); err != nil {
+			return
+		}
+		sess.upcallReadLoop(c)
+		sess.upcallConnLost()
+	default:
+		c.Close()
+	}
+}
+
+func (s *Server) sendHelloReply(c *wire.Conn, seq uint64, sess *session) error {
 	sc := rpc.GetScratch()
 	defer sc.Release()
-	reply := helloReplyBody{Session: sessID}
+	reply := helloReplyBody{
+		Session:     sess.id,
+		Token:       sess.token,
+		WindowNanos: int64(s.resumeWindow),
+	}
 	if err := reply.bundle(sc.Encoder()); err != nil {
 		return err
 	}
 	return c.Send(&wire.Msg{Type: wire.MsgHelloReply, Seq: seq, Body: sc.Bytes()})
+}
+
+func (s *Server) sendResumeReply(c *wire.Conn, seq uint64, reply *resumeReplyBody) error {
+	sc := rpc.GetScratch()
+	defer sc.Release()
+	if err := reply.bundle(sc.Encoder()); err != nil {
+		return err
+	}
+	return c.Send(&wire.Msg{Type: wire.MsgResumeReply, Seq: seq, Body: sc.Bytes()})
+}
+
+// mintToken generates a nonzero resume token. Tokens are bearer secrets
+// within the transport's trust domain, not cryptographic credentials —
+// the same trust model as the rest of the protocol.
+func mintToken() uint64 {
+	for {
+		if t := rand.Uint64(); t != 0 {
+			return t
+		}
+	}
 }
 
 func (s *Server) newSession(c *wire.Conn) *session {

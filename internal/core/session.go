@@ -74,6 +74,20 @@ type session struct {
 	// pointers are bound (see forward.go): same upcall path, but each hop
 	// crossed is counted.
 	relay *relayCaller
+
+	// Session-resurrection state. token is the durable identity granted at
+	// hello when the server runs with WithResumeWindow (zero otherwise);
+	// epoch counts successful resumes; parked marks a session whose links
+	// died but whose state — handle table entries, RUC registrations, the
+	// receive window — is retained until parkTimer fires. epoch, parked
+	// and parkTimer are guarded by the endpoint's resMu; recvSeq is the
+	// highest numbered MsgCall frame received, read/written only by the
+	// (single) RPC read loop and reported to a resuming client.
+	token     uint64
+	epoch     uint32
+	parked    bool
+	parkTimer *time.Timer
+	recvSeq   atomic.Uint64
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
@@ -86,8 +100,11 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 	if srv.exec != nil {
 		sess.execItems = make(map[*dispatchItem]struct{})
 	}
+	if srv.resumeWindow > 0 {
+		sess.token = mintToken()
+	}
 	e := &sess.endpoint
-	e.rpcConn = rpcConn
+	e.setRPCConn(rpcConn)
 	e.reg = srv.reg
 	e.mkCtx = sess.ctx
 	e.callTimeout = srv.upcallTimeout
@@ -165,6 +182,117 @@ func (sess *session) close() {
 	sess.shutdown(false)
 }
 
+// --- session resurrection (server side) -------------------------------------
+
+// park retains the session after its RPC link died instead of dropping it:
+// the handle table entries, RUC registrations and receive window survive
+// for the resume window, awaiting a reconnect that presents the token.
+// Reports false when the session is not resumable (no grant, mid-eviction,
+// already closed) — the caller then takes the legacy drop path.
+func (sess *session) park() bool {
+	if sess.token == 0 || sess.srv.resumeWindow <= 0 || sess.evicting.Load() || sess.byeSeen.Load() {
+		return false
+	}
+	sess.resMu.Lock()
+	select {
+	case <-sess.closedCh:
+		sess.resMu.Unlock()
+		return false
+	default:
+	}
+	sess.parked = true
+	sess.linkDown.Store(true)
+	// Close both channels: the client is gone, and the upcall read loop
+	// should exit rather than linger on a half-dead pair.
+	sess.rpcConn().Close()
+	if up := sess.upcallConn(); up != nil {
+		up.Close()
+	}
+	if sess.parkTimer != nil {
+		sess.parkTimer.Stop()
+	}
+	sess.parkTimer = time.AfterFunc(sess.srv.resumeWindow, sess.expireIfParked)
+	sess.resMu.Unlock()
+	// Upcalls in flight toward the dead link fail now, not at timeout.
+	sess.waits.cancelAll()
+	sess.srv.logf("clam: session %d: link lost; parked for %v awaiting resume", sess.id, sess.srv.resumeWindow)
+	return true
+}
+
+// expireIfParked evicts a session still parked when its window closes.
+func (sess *session) expireIfParked() {
+	sess.resMu.Lock()
+	expired := sess.parked
+	sess.resMu.Unlock()
+	if !expired {
+		return
+	}
+	select {
+	case <-sess.closedCh:
+		return
+	default:
+	}
+	sess.evict("resume window expired")
+}
+
+// resumeRPC re-pairs a fresh RPC connection with this parked session. On
+// success it returns the new epoch and the receive high-water mark to
+// report to the client. retry=true asks the client to try again shortly
+// (the old read loop has not parked the session yet).
+func (sess *session) resumeRPC(c *wire.Conn, epoch uint32) (newEpoch uint32, recvSeq uint64, retry bool, err error) {
+	sess.resMu.Lock()
+	defer sess.resMu.Unlock()
+	select {
+	case <-sess.closedCh:
+		return 0, 0, false, errors.New("clam: session closed")
+	default:
+	}
+	if sess.evicting.Load() {
+		return 0, 0, false, errors.New("clam: session evicted")
+	}
+	if !sess.parked {
+		// The dead link's read loop has not returned yet (it parks the
+		// session on exit). Kick the old connection so it does, and have
+		// the client retry after a backoff.
+		sess.rpcConn().Close()
+		return 0, 0, true, errors.New("clam: session not yet parked; retry")
+	}
+	if epoch != sess.epoch {
+		return 0, 0, false, fmt.Errorf("clam: resume epoch %d, session at %d", epoch, sess.epoch)
+	}
+	sess.epoch++
+	sess.parked = false
+	if sess.parkTimer != nil {
+		sess.parkTimer.Stop()
+		sess.parkTimer = nil
+	}
+	sess.setRPCConn(c)
+	// Stamp both channels live: the upcall channel re-attaches moments
+	// from now, and the heartbeat must not evict in the gap.
+	now := time.Now().UnixNano()
+	sess.lastRPC.Store(now)
+	sess.lastUp.Store(now)
+	sess.linkDown.Store(false)
+	return sess.epoch, sess.recvSeq.Load(), false, nil
+}
+
+// resumeUpcall re-attaches the upcall channel after a successful RPC-side
+// resume; epoch must match the generation resumeRPC just minted.
+func (sess *session) resumeUpcall(c *wire.Conn, epoch uint32) error {
+	sess.resMu.Lock()
+	defer sess.resMu.Unlock()
+	select {
+	case <-sess.closedCh:
+		return errors.New("clam: session closed")
+	default:
+	}
+	if epoch != sess.epoch {
+		return fmt.Errorf("clam: resume epoch %d, session at %d", epoch, sess.epoch)
+	}
+	sess.replaceUpcall(c)
+	return nil
+}
+
 // ctx returns a fresh per-call bundling context wired to this session's
 // hooks, per the no-global-state bundler rule (§3.3).
 func (sess *session) ctx() *bundle.Ctx {
@@ -178,15 +306,29 @@ func (sess *session) ctx() *bundle.Ctx {
 
 // rpcReadLoop receives messages on the RPC channel and queues work for the
 // dispatcher. It returns when the connection drops.
-func (sess *session) rpcReadLoop() {
+func (sess *session) rpcReadLoop(conn *wire.Conn) {
 	for {
-		msg, err := sess.rpcConn.Recv()
+		msg, err := conn.Recv()
 		if err != nil {
 			return
 		}
 		sess.lastRPC.Store(time.Now().UnixNano())
 		switch msg.Type {
 		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
+			if msg.Type == wire.MsgCall && msg.Seq != 0 {
+				// Numbered batch from a resume-granted client. A frame at
+				// or below the high-water mark is a replay of something
+				// already executed (a duplicate a resuming client could
+				// not avoid sending): drop it, which is the server half of
+				// the at-most-once argument (DESIGN.md §6.3). The single
+				// reader owns recvSeq, so load-then-store is safe.
+				if msg.Seq <= sess.recvSeq.Load() {
+					sess.link.dedups.Add(1)
+					msg.Release()
+					continue
+				}
+				sess.recvSeq.Store(msg.Seq)
+			}
 			// The dispatcher owns the message now; it releases it after
 			// executing it.
 			if x := sess.srv.exec; x != nil {
@@ -195,7 +337,7 @@ func (sess *session) rpcReadLoop() {
 				sess.enqueue(msg)
 			}
 		default:
-			if handled, stop := sess.demuxCommon(sess.rpcConn, msg); handled {
+			if handled, stop := sess.demuxCommon(conn, msg); handled {
 				if stop {
 					return
 				}
@@ -208,8 +350,7 @@ func (sess *session) rpcReadLoop() {
 }
 
 // upcallReadLoop receives upcall replies on the upcall channel.
-func (sess *session) upcallReadLoop() {
-	c := sess.upcallConn()
+func (sess *session) upcallReadLoop(c *wire.Conn) {
 	for {
 		msg, err := c.Recv()
 		if err != nil {

@@ -40,6 +40,7 @@ type SimLink struct {
 	delayBy  time.Duration
 	blackout bool
 	severMid bool
+	killIn   int    // cut the link after this many more writes (0 = unarmed)
 	faults   uint64 // writes affected by any injected fault
 }
 
@@ -47,6 +48,7 @@ type simChunk struct {
 	data      []byte
 	deliverAt time.Time
 	sever     bool // deliver only half, then cut the connection
+	kill      bool // deliver in full, then cut the connection
 }
 
 var _ net.Conn = (*SimLink)(nil)
@@ -105,6 +107,14 @@ func (l *SimLink) Write(p []byte) (int, error) {
 		l.faults++
 		sever = true
 	}
+	kill := false
+	if l.killIn > 0 {
+		l.killIn--
+		if l.killIn == 0 {
+			l.faults++
+			kill = true
+		}
+	}
 	now := time.Now()
 	// Serialization delay: the transmitter sends at bytesPerSec, so a chunk
 	// occupies the line for len/bps after the previous chunk finishes.
@@ -121,6 +131,7 @@ func (l *SimLink) Write(p []byte) (int, error) {
 		data:      append([]byte(nil), p...),
 		deliverAt: start.Add(l.latency + extraDelay),
 		sever:     sever,
+		kill:      kill,
 	}
 	l.queue = append(l.queue, chunk)
 	if duplicate {
@@ -178,6 +189,26 @@ func (l *SimLink) SeverMidMessage() {
 	l.mu.Lock()
 	l.severMid = true
 	l.mu.Unlock()
+}
+
+// KillAfterWrites arms a scripted mid-stream connection kill: the next n
+// writes are delivered intact, and immediately after the n-th reaches the
+// peer the underlying connection is cut. Unlike SeverMidMessage the peer
+// sees whole frames followed by a clean EOF — the deterministic
+// "connection died between messages" case reconnect logic must handle.
+// Calling it again rearms the countdown.
+func (l *SimLink) KillAfterWrites(n int) {
+	l.mu.Lock()
+	l.killIn = n
+	l.mu.Unlock()
+}
+
+// KillAfter severs the link once d has elapsed, regardless of traffic.
+// Combined with a dial hook that rearms it per connection, it scripts a
+// flap schedule (drop-every-T). The returned timer can be stopped to
+// cancel the pending kill.
+func (l *SimLink) KillAfter(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, func() { l.Sever() })
 }
 
 // Sever cuts the underlying connection immediately, discarding anything
@@ -239,6 +270,17 @@ func (l *SimLink) pump() {
 			return
 		}
 		_, err := l.conn.Write(chunk.data)
+		if chunk.kill && err == nil {
+			// Scripted kill: the frame arrived whole, and then the
+			// connection died.
+			l.conn.Close()
+			l.mu.Lock()
+			l.inflight = false
+			l.werr = net.ErrClosed
+			l.queue = nil
+			l.mu.Unlock()
+			return
+		}
 		l.mu.Lock()
 		l.inflight = false
 		if err != nil {

@@ -144,6 +144,86 @@ func TestSimLinkSever(t *testing.T) {
 	}
 }
 
+func TestSimLinkKillAfterWrites(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	got := collectReads(b)
+
+	l.KillAfterWrites(2)
+	if _, err := l.Write([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Write([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	// Both writes arrive whole — the kill cuts the link between frames,
+	// never inside one — and then the peer sees a clean EOF.
+	if s := string(recvAll(got, time.Second)); s != "onetwo" {
+		t.Errorf("peer read %q, want %q", s, "onetwo")
+	}
+	buf := make([]byte, 1)
+	if _, err := b.Read(buf); err == nil {
+		t.Error("peer connection still open after scripted kill")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, err := l.Write([]byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes still succeed after scripted kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if l.FaultCount() != 1 {
+		t.Errorf("FaultCount = %d, want 1", l.FaultCount())
+	}
+}
+
+func TestSimLinkKillAfterDuration(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	got := collectReads(b)
+
+	if _, err := l.Write([]byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "early" {
+		t.Fatalf("pre-kill write read %q, want %q", s, "early")
+	}
+	l.KillAfter(30 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := l.Write([]byte("x")); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("link never died after KillAfter elapsed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Error("peer connection still open after timed kill")
+	}
+}
+
+func TestSimLinkKillAfterStopped(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	tm := l.KillAfter(20 * time.Millisecond)
+	tm.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if _, err := l.Write([]byte("alive")); err != nil {
+		t.Fatalf("write after cancelled kill: %v", err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "alive" {
+		t.Errorf("peer read %q, want %q", s, "alive")
+	}
+}
+
 func TestSimLinkBlackhole(t *testing.T) {
 	a, b := net.Pipe()
 	l := NewSimLink(a, 0, 0)

@@ -34,7 +34,11 @@ type MsgType uint8
 // forces a batch flush and round trip; Error reports server-detected faults;
 // Ping/Pong are the liveness heartbeats either end may send on either
 // stream — the paper's dual-stream protocol (§4.4) has no liveness story of
-// its own, so heartbeats are the robustness layer's addition.
+// its own, so heartbeats are the robustness layer's addition. Resume and
+// ResumeReply re-pair a reconnecting stream with a parked session: a client
+// whose link died presents its resume token instead of a fresh Hello, and
+// the reply carries the server's receive high-water mark so the client can
+// replay only the batches the server never saw.
 const (
 	MsgHello MsgType = iota + 1
 	MsgHelloReply
@@ -50,6 +54,8 @@ const (
 	MsgBye
 	MsgPing
 	MsgPong
+	MsgResume
+	MsgResumeReply
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -67,6 +73,8 @@ var msgTypeNames = map[MsgType]string{
 	MsgBye:         "Bye",
 	MsgPing:        "Ping",
 	MsgPong:        "Pong",
+	MsgResume:      "Resume",
+	MsgResumeReply: "ResumeReply",
 }
 
 // String returns a readable name for the message type.
@@ -181,7 +189,7 @@ var (
 // validType reports whether t is a known frame type — checked on both
 // ends so a corrupt header is caught before its length prefix can force
 // an allocation.
-func validType(t MsgType) bool { return t >= MsgHello && t <= MsgPong }
+func validType(t MsgType) bool { return t >= MsgHello && t <= MsgResumeReply }
 
 // Conn frames messages over a reliable, in-order byte stream. Writes are
 // buffered until Flush so several messages — or one message assembled
