@@ -34,14 +34,21 @@ chaos:
 
 # Every benchmark body runs exactly once: catches bit-rotted bench code
 # (fixture boot failures, renamed methods) without paying for measurement.
+# The fan-out matrix rides along at toy scale — it is self-checking (cells
+# are lossless-or-fatal, the tree row verifies its counters), so this also
+# smoke-tests the multicast path end to end.
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/clambench -fanout -fanout-subs 64 -fanout-events 20
 
 # Reproducible bench pipeline: regenerates BENCH_3.json (Fig 5.1 suite,
 # pooling ablation and the dispatch-throughput matrix, with the embedded
-# pre-change baselines for comparison). See EXPERIMENTS.md for the schema.
+# pre-change baselines for comparison) and BENCH_4.json (the fan-out
+# matrix, 10k-subscriber scale row and mid-tier multiplication proof).
+# See EXPERIMENTS.md for the schemas.
 bench:
 	$(GO) run ./cmd/clambench -iters 300 -json BENCH_3.json
+	$(GO) run ./cmd/clambench -fanout -fanout-json BENCH_4.json
 
 # The full testing.B suite, for apples-to-apples -benchmem numbers.
 benchfull:

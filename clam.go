@@ -223,6 +223,38 @@ type DispatchStats = core.DispatchStats
 // in both MetricsSnapshot and ClientMetricsSnapshot.
 type ResilienceStats = core.ResilienceStats
 
+// FanoutStats counts a server's multicast activity: live subscribers,
+// declared topics, events published/relayed/delivered, coalesced pending
+// events, and queue drops split by cause (see Server.RegisterMulticast).
+type FanoutStats = core.FanoutStats
+
+// MulticastOption configures a topic declared with
+// Server.RegisterMulticast.
+type MulticastOption = core.MulticastOption
+
+// Multicast topic options.
+var (
+	// WithCoalesce makes a topic last-event-wins: a newly published
+	// event replaces a subscriber's pending tail instead of queueing
+	// behind it — right for state-valued events where only the latest
+	// matters.
+	// Example: srv.RegisterMulticast("damage", (func(int64))(nil), clam.WithCoalesce()).
+	WithCoalesce = core.WithCoalesce
+	// WithFanoutQueue bounds each subscriber's pending-event queue.
+	// Example: srv.RegisterMulticast("ev", (func(int64))(nil), clam.WithFanoutQueue(64)).
+	WithFanoutQueue = core.WithFanoutQueue
+	// WithFanoutPolicy selects the full-queue behaviour per subscriber:
+	// UpcallDropOldest (default), UpcallBlock (backpressure) or
+	// UpcallQueue (reject newest).
+	// Example: srv.RegisterMulticast("ev", (func(int64))(nil), clam.WithFanoutPolicy(clam.UpcallBlock)).
+	WithFanoutPolicy = core.WithFanoutPolicy
+)
+
+// RegisterFanoutClass adds the built-in "fanout" class (remote multicast
+// subscription management) to a library. NewServer registers it
+// automatically; exported for libraries shared across servers.
+func RegisterFanoutClass(lib *Library) error { return core.RegisterFanoutClass(lib) }
+
 // RetryPolicy shapes client-side retries of idempotent-marked calls:
 // attempt budget, exponential backoff with a ceiling, and jitter.
 type RetryPolicy = core.RetryPolicy
@@ -296,6 +328,11 @@ var (
 	// queueing behind a flapping upstream.
 	// Example: clam.NewServer(lib, clam.WithUpstreamBreaker(5, 10*time.Second)).
 	WithUpstreamBreaker = core.WithUpstreamBreaker
+	// WithFanoutShards sets the multicast subscription table's shard
+	// count (rounded up to a power of two); raise it when subscribe/
+	// unsubscribe churn contends with publishing.
+	// Example: clam.NewServer(lib, clam.WithFanoutShards(128)).
+	WithFanoutShards = core.WithFanoutShards
 )
 
 // Dial options.

@@ -1,0 +1,356 @@
+// Fan-out rows for the multicast subsystem (BENCH_4): one Publish
+// multiplied across N live subscribers through the sharded registration
+// table and per-subscriber bounded queues. The matrix sweeps subscriber
+// count × event-burst size and reports the aggregate delivery rate; the
+// scale row holds ≥10k live subscribers (each a full client session over
+// an in-memory pipe) and prices the per-session footprint; the tree row
+// stacks a middle tier on a lower server and verifies by counters that
+// the chain multiplies locally — the lower server delivers each event
+// ONCE (to the mid tier), the mid tier re-publishes it to its K local
+// subscribers.
+//
+// Subscribers connect over net.Pipe (core.SelfDial), so the rows measure
+// the fan-out engine — snapshot, enqueue, drain, upcall — without kernel
+// socket limits capping the subscriber count.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clam/internal/core"
+	"clam/internal/dynload"
+)
+
+var (
+	fanOnly   = flag.Bool("fanout", false, "run only the fan-out matrix (BENCH_4 rows)")
+	fanSubs   = flag.Int("fanout-subs", 10000, "live subscribers in the scale row")
+	fanEvents = flag.Int("fanout-events", 200, "events per matrix cell (the burst the publisher emits)")
+	fanJSON   = flag.String("fanout-json", "", "write fan-out results (BENCH_4.json) to this path")
+)
+
+// fanFixture is one server with n subscribed client sessions, each a
+// real *core.Client over an in-memory pipe counting its deliveries.
+type fanFixture struct {
+	srv     *core.Server
+	clients []*core.Client
+	got     atomic.Int64 // total deliveries across all subscribers
+}
+
+func quietClient() core.DialOption { return core.WithClientLog(func(string, ...any) {}) }
+
+// newFanFixture boots a server with one multicast topic and subscribes n
+// clients through a bounded dial pool. The queue is sized to hold a full
+// burst so matrix cells are lossless: every published event must arrive
+// at every subscriber or the cell times out.
+func newFanFixture(n, maxEvents int) *fanFixture {
+	fx := &fanFixture{}
+	fx.srv = core.NewServer(dynload.NewLibrary(), core.WithServerLog(func(string, ...any) {}))
+	if err := fx.srv.RegisterMulticast("ev", (func(int64))(nil),
+		core.WithFanoutQueue(maxEvents+8)); err != nil {
+		log.Fatal(err)
+	}
+	fx.subscribe(n)
+	return fx
+}
+
+// subscribe dials and subscribes n clients, 32 at a time.
+func (fx *fanFixture) subscribe(n int) {
+	fx.clients = make([]*core.Client, n)
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	sem := make(chan struct{}, 32)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := core.SelfDial(fx.srv, quietClient())
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			fx.clients[i] = c
+			if _, err := c.Subscribe("ev", func(int64) { fx.got.Add(1) }); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		log.Fatalf("clambench: fan-out subscribe: %v", err)
+	}
+}
+
+func (fx *fanFixture) close() {
+	for _, c := range fx.clients {
+		if c != nil {
+			c.Close()
+		}
+	}
+	fx.srv.Close()
+}
+
+// runFanCell publishes a burst of `events` distinct events and waits for
+// every subscriber to receive every one. Returns the wall time from the
+// first Publish to the last delivery.
+func (fx *fanFixture) runCell(subs, events int) time.Duration {
+	base := fx.got.Load()
+	want := base + int64(subs)*int64(events)
+	start := time.Now()
+	for i := 0; i < events; i++ {
+		if n, err := fx.srv.Publish("ev", int64(i)); err != nil {
+			log.Fatal(err)
+		} else if n != subs {
+			log.Fatalf("clambench: Publish reached %d of %d subscribers", n, subs)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Minute)
+	for fx.got.Load() < want {
+		if time.Now().After(deadline) {
+			log.Fatalf("clambench: fan-out cell %dx%d stalled: %d of %d deliveries",
+				subs, events, fx.got.Load()-base, want-base)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	d := time.Since(start)
+	f := fx.srv.Metrics().Fanout
+	if f.DeliveryFailures > 0 || f.QueueDropsOldest > 0 || f.QueueDropsNewest > 0 {
+		log.Fatalf("clambench: fan-out cell %dx%d lost events: %d failures, %d/%d drops",
+			subs, events, f.DeliveryFailures, f.QueueDropsOldest, f.QueueDropsNewest)
+	}
+	return d
+}
+
+// --- Report -----------------------------------------------------------------
+
+type fanCellResult struct {
+	Name             string  `json:"name"`
+	Subscribers      int     `json:"subscribers"`
+	Events           int     `json:"events"`
+	NsPerDelivery    float64 `json:"ns_per_delivery"`
+	DeliveriesPerSec float64 `json:"deliveries_per_sec"`
+}
+
+type fanScaleResult struct {
+	Subscribers       int     `json:"subscribers"`
+	Events            int     `json:"events"`
+	BytesPerSession   float64 `json:"bytes_per_session"`
+	SubscribeUsPerSub float64 `json:"subscribe_us_per_session"`
+	NsPerDelivery     float64 `json:"ns_per_delivery"`
+	DeliveriesPerSec  float64 `json:"deliveries_per_sec"`
+	Shards            uint64  `json:"shards"`
+}
+
+type fanTreeResult struct {
+	Events          int    `json:"events"`
+	MidSubscribers  int    `json:"mid_subscribers"`
+	BottomDelivered uint64 `json:"bottom_delivered"`
+	MidRelayed      uint64 `json:"mid_relayed"`
+	MidDelivered    uint64 `json:"mid_delivered"`
+	Verified        bool   `json:"verified"`
+}
+
+type fanReport struct {
+	Schema string          `json:"schema"`
+	Go     string          `json:"go"`
+	Matrix []fanCellResult `json:"matrix"`
+	Scale  fanScaleResult  `json:"scale"`
+	Tree   fanTreeResult   `json:"tree"`
+}
+
+func cellResult(subs, events int, d time.Duration) fanCellResult {
+	total := float64(subs) * float64(events)
+	ns := float64(d.Nanoseconds()) / total
+	return fanCellResult{
+		Name:             fmt.Sprintf("fanout_s%d_e%d", subs, events),
+		Subscribers:      subs,
+		Events:           events,
+		NsPerDelivery:    ns,
+		DeliveriesPerSec: 1e9 / ns,
+	}
+}
+
+// runFanout measures the matrix, the scale row and the tree row, prints
+// the table and shape checks, and optionally writes BENCH_4.json.
+func runFanout(maxSubs, events int, jsonPath string) {
+	if maxSubs < 1 {
+		maxSubs = 1
+	}
+	if events < 2 {
+		events = 2
+	}
+	rep := fanReport{Schema: "clam-bench-fanout-v1", Go: runtime.Version()}
+
+	fmt.Println("Fan-out (one Publish × N live subscriber sessions, in-memory pipes):")
+	fmt.Printf("  %-24s %14s %16s\n", "", "µs/delivery", "deliveries/sec")
+
+	// Matrix: subscriber count × burst size, below the scale row.
+	subsList := []int{}
+	for _, s := range []int{16, 256, 2048} {
+		if s < maxSubs {
+			subsList = append(subsList, s)
+		}
+	}
+	burstList := []int{events / 4, events}
+	if burstList[0] < 10 {
+		burstList[0] = 10
+	}
+	if burstList[0] >= burstList[1] {
+		burstList = burstList[1:]
+	}
+	for _, subs := range subsList {
+		fx := newFanFixture(subs, burstList[len(burstList)-1])
+		for _, burst := range burstList {
+			d := fx.runCell(subs, burst)
+			r := cellResult(subs, burst, d)
+			rep.Matrix = append(rep.Matrix, r)
+			fmt.Printf("  %-24s %14.2f %16.0f\n", r.Name, r.NsPerDelivery/1e3, r.DeliveriesPerSec)
+		}
+		fx.close()
+	}
+
+	// Scale row: maxSubs live subscribers, with the live per-session
+	// footprint priced as the post-GC heap delta across subscription.
+	scaleEvents := events / 10
+	if scaleEvents < 10 {
+		scaleEvents = 10
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	subStart := time.Now()
+	fx := newFanFixture(maxSubs, scaleEvents)
+	subDur := time.Since(subStart)
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	live := fx.srv.Metrics().Fanout
+	if live.SubscribersLive != uint64(maxSubs) {
+		log.Fatalf("clambench: scale row has %d live subscribers, want %d", live.SubscribersLive, maxSubs)
+	}
+	d := fx.runCell(maxSubs, scaleEvents)
+	r := cellResult(maxSubs, scaleEvents, d)
+	rep.Scale = fanScaleResult{
+		Subscribers:       maxSubs,
+		Events:            scaleEvents,
+		BytesPerSession:   float64(m1.HeapAlloc-m0.HeapAlloc) / float64(maxSubs),
+		SubscribeUsPerSub: float64(subDur.Microseconds()) / float64(maxSubs),
+		NsPerDelivery:     r.NsPerDelivery,
+		DeliveriesPerSec:  r.DeliveriesPerSec,
+		Shards:            live.Shards,
+	}
+	fmt.Printf("  %-24s %14.2f %16.0f   (%.0f B/session live, %.1f µs to subscribe, %d shards)\n",
+		fmt.Sprintf("scale_s%d_e%d", maxSubs, scaleEvents), r.NsPerDelivery/1e3, r.DeliveriesPerSec,
+		rep.Scale.BytesPerSession, rep.Scale.SubscribeUsPerSub, live.Shards)
+	fx.close()
+
+	// Tree row: bottom → mid → K subscribers. The counters are the
+	// verification: the bottom fans each event out ONCE (its only
+	// subscriber is the mid tier's relay), the mid tier multiplies it
+	// into K local deliveries.
+	treeSubs := 16
+	if maxSubs < treeSubs {
+		treeSubs = maxSubs
+	}
+	rep.Tree = runFanTree(treeSubs, scaleEvents)
+
+	fmt.Println()
+	fmt.Println("Fan-out shape checks:")
+	check := func(name string, ok bool) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s\n", status, name)
+	}
+	check(fmt.Sprintf("scale row sustained %d live subscribers losslessly", maxSubs),
+		rep.Scale.Subscribers == maxSubs)
+	check("tree multiplies at the mid tier: bottom delivered E, mid relayed E, mid delivered E*K",
+		rep.Tree.Verified)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}
+
+// runFanTree stacks a mid tier on a bottom server over an in-memory
+// pipe, subscribes k clients to the mid tier, publishes on the BOTTOM,
+// and verifies the multiplication by counters.
+func runFanTree(k, events int) fanTreeResult {
+	quiet := core.WithServerLog(func(string, ...any) {})
+	bottom := core.NewServer(dynload.NewLibrary(), quiet)
+	defer bottom.Close()
+	if err := bottom.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		log.Fatal(err)
+	}
+	mid := core.NewServer(dynload.NewLibrary(), quiet)
+	defer mid.Close()
+	up, err := core.SelfDialUpstream(mid, bottom, quietClient())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer up.Close()
+	if err := mid.RegisterMulticast("ev", (func(int64))(nil),
+		core.WithFanoutQueue(events+8)); err != nil {
+		log.Fatal(err)
+	}
+
+	var got atomic.Int64
+	clients := make([]*core.Client, k)
+	for i := range clients {
+		c, err := core.SelfDial(mid, quietClient())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+		if _, err := c.Subscribe("ev", func(int64) { got.Add(1) }); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	want := int64(k) * int64(events)
+	for i := 0; i < events; i++ {
+		if _, err := bottom.Publish("ev", int64(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Minute)
+	for got.Load() < want {
+		if time.Now().After(deadline) {
+			log.Fatalf("clambench: fan-out tree stalled: %d of %d deliveries", got.Load(), want)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	bf := bottom.Metrics().Fanout
+	mf := mid.Metrics().Fanout
+	res := fanTreeResult{
+		Events:          events,
+		MidSubscribers:  k,
+		BottomDelivered: bf.EventsDelivered,
+		MidRelayed:      mf.EventsRelayed,
+		MidDelivered:    mf.EventsDelivered,
+	}
+	res.Verified = bf.EventsDelivered == uint64(events) &&
+		mf.EventsRelayed == uint64(events) &&
+		mf.EventsDelivered == uint64(events)*uint64(k)
+	fmt.Printf("  tree %d ev × %d subs: bottom delivered %d (once per event), mid relayed %d, mid delivered %d\n",
+		events, k, res.BottomDelivered, res.MidRelayed, res.MidDelivered)
+	return res
+}

@@ -95,6 +95,11 @@ func main() {
 	flag.Parse()
 	n := *iters
 
+	if *fanOnly {
+		runFanout(*fanSubs, *fanEvents, *fanJSON)
+		return
+	}
+
 	fmt.Println("CLAM reproduction — Figure 5.1: Procedure Call Costs")
 	fmt.Println("(paper: MicroVAX-II, 4.3BSD, 1988; here: this machine, Go)")
 	fmt.Println()

@@ -50,6 +50,7 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an opened upstream circuit stays open (0 = default 5s)")
 	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
 	dispatchWorkers := flag.Int("dispatch-workers", 0, "bound on concurrently running call handlers (0 = max(2, GOMAXPROCS))")
+	fanoutShards := flag.Int("fanout-shards", 0, "shard count for the multicast subscription table, rounded up to a power of two (0 = default 32)")
 	serialDispatch := flag.Bool("serial-dispatch", false, "use the original serial per-session dispatcher instead of the per-object executor")
 	upstream := flag.String("upstream", "", "lower CLAM server to stack on, as network:address; this server relays calls down and upcalls up")
 	imports := flag.String("import", "", "comma-separated named objects to re-export from the -upstream server as proxies")
@@ -97,6 +98,9 @@ func main() {
 	}
 	if *serialDispatch {
 		opts = append(opts, clam.WithPerObjectDispatch(false))
+	}
+	if *fanoutShards > 0 {
+		opts = append(opts, clam.WithFanoutShards(*fanoutShards))
 	}
 	if *resumeWindow > 0 {
 		opts = append(opts, clam.WithResumeWindow(*resumeWindow))
@@ -201,6 +205,12 @@ func main() {
 	if r := m.Resilience; r.Reconnects > 0 || r.ReplayedCalls > 0 || r.DedupDrops > 0 || r.BreakerOpens > 0 {
 		fmt.Printf("clamd: resilience — %d reconnects, %d calls replayed, %d duplicates dropped, %d breaker opens\n",
 			r.Reconnects, r.ReplayedCalls, r.DedupDrops, r.BreakerOpens)
+	}
+	if fo := m.Fanout; fo.EventsPublished > 0 || fo.SubscribersLive > 0 {
+		fmt.Printf("clamd: fanout — %d subscribers on %d topics (%d shards), %d published + %d relayed, %d delivered (%d failed), %d coalesced, drops %d oldest / %d newest / %d closed\n",
+			fo.SubscribersLive, fo.Topics, fo.Shards, fo.EventsPublished, fo.EventsRelayed,
+			fo.EventsDelivered, fo.DeliveryFailures, fo.EventsCoalesced,
+			fo.QueueDropsOldest, fo.QueueDropsNewest, fo.QueueDropsClosed)
 	}
 	if d := m.Dispatch; d.PerObject {
 		fmt.Printf("clamd: dispatch — %d workers, peak parallelism %d, %d queued, %d worker stalls\n",

@@ -59,6 +59,11 @@ type Client struct {
 	procs    map[uint64]reflect.Value
 	nextProc uint64
 
+	// fanRemote caches this client's fanout-class instance (fanout.go);
+	// one per client so its handle tag anchors the subscription shard.
+	fanMu     sync.Mutex
+	fanRemote *Remote
+
 	// upWork, when non-nil, fans upcalls out to concurrent handler
 	// workers (the relaxation of the one-upcall-task model).
 	upWork chan *wire.Msg

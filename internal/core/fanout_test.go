@@ -1,0 +1,603 @@
+package core
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clam/internal/upcall"
+)
+
+// collector accumulates delivered events for assertion.
+type collector struct {
+	mu  sync.Mutex
+	got []int64
+}
+
+func (co *collector) add(x int64) {
+	co.mu.Lock()
+	co.got = append(co.got, x)
+	co.mu.Unlock()
+}
+
+func (co *collector) snapshot() []int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return append([]int64(nil), co.got...)
+}
+
+func (co *collector) len() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return len(co.got)
+}
+
+// wantExactly asserts the collector saw exactly want, in order — no
+// losses, no duplicates, no reordering.
+func (co *collector) wantExactly(t *testing.T, want []int64) {
+	t.Helper()
+	got := co.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v (diverge at %d)", got, want, i)
+		}
+	}
+}
+
+func seq(n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+func TestFanoutDeliverAll(t *testing.T) {
+	srv, path := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err == nil {
+		t.Fatal("duplicate RegisterMulticast succeeded")
+	}
+
+	const clients, events = 3, 5
+	cols := make([]*collector, clients)
+	for i := range cols {
+		cols[i] = &collector{}
+		c := dialClient(t, path)
+		if _, err := c.Subscribe("ev", cols[i].add); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Metrics().Fanout.SubscribersLive; got != clients {
+		t.Fatalf("SubscribersLive = %d, want %d", got, clients)
+	}
+
+	for i := 0; i < events; i++ {
+		n, err := srv.Publish("ev", int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != clients {
+			t.Fatalf("Publish fanned out to %d subscribers, want %d", n, clients)
+		}
+	}
+	waitFor(t, 5*time.Second, "all subscribers to receive all events", func() bool {
+		for _, co := range cols {
+			if co.len() != events {
+				return false
+			}
+		}
+		return true
+	})
+	for _, co := range cols {
+		co.wantExactly(t, seq(events))
+	}
+
+	m := srv.Metrics().Fanout
+	if m.EventsPublished != events || m.EventsDelivered != clients*events {
+		t.Errorf("Fanout = %+v, want %d published, %d delivered", m, events, clients*events)
+	}
+	if m.Topics != 1 {
+		t.Errorf("Topics = %d, want 1", m.Topics)
+	}
+
+	if _, err := srv.Publish("nope", int64(1)); err == nil {
+		t.Error("Publish to unregistered topic succeeded")
+	}
+	if _, err := srv.Publish("ev", "wrong-type"); err == nil {
+		t.Error("Publish with mismatched args succeeded")
+	}
+}
+
+func TestFanoutClientUnsubscribe(t *testing.T) {
+	srv, path := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	c := dialClient(t, path)
+	co := &collector{}
+	id, err := c.Subscribe("ev", co.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := c.ProcCount()
+	if _, err := srv.Publish("ev", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "first event to arrive", func() bool { return co.len() == 1 })
+
+	if err := c.Unsubscribe("ev", id); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ProcCount(); got != procs-1 {
+		t.Errorf("ProcCount after unsubscribe = %d, want %d", got, procs-1)
+	}
+	if err := c.Unsubscribe("ev", id); err == nil {
+		t.Error("double Unsubscribe succeeded")
+	}
+	n, err := srv.Publish("ev", int64(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("Publish after unsubscribe fanned out to %d subscribers, want 0", n)
+	}
+	time.Sleep(50 * time.Millisecond)
+	co.wantExactly(t, []int64{1})
+}
+
+func TestFanoutLocalSubscriber(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	co := &collector{}
+	id, err := srv.SubscribeFunc("ev", co.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.SubscribeFunc("ev", func(s string) {}); err == nil {
+		t.Error("SubscribeFunc with mismatched signature succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Publish("ev", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "local subscriber to receive all", func() bool { return co.len() == 3 })
+	co.wantExactly(t, seq(3))
+
+	if !srv.UnsubscribeFunc("ev", id) {
+		t.Fatal("UnsubscribeFunc reported missing subscription")
+	}
+	if srv.UnsubscribeFunc("ev", id) {
+		t.Fatal("double UnsubscribeFunc succeeded")
+	}
+}
+
+// blockingSub is a local subscriber whose first delivery parks inside the
+// handler until released, letting tests build a deterministic pending
+// queue behind it.
+type blockingSub struct {
+	co      collector
+	entered chan struct{} // signalled once per delivery, on entry
+	release chan struct{} // each receive lets one delivery finish
+}
+
+func newBlockingSub() *blockingSub {
+	return &blockingSub{
+		entered: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (b *blockingSub) handle(x int64) {
+	b.entered <- struct{}{}
+	<-b.release
+	b.co.add(x)
+}
+
+func TestFanoutCoalesceLastEventWins(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil), WithCoalesce()); err != nil {
+		t.Fatal(err)
+	}
+	b := newBlockingSub()
+	if _, err := srv.SubscribeFunc("ev", b.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("ev", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.entered // delivery of 1 is in the handler; the queue is empty
+	// 2 queues as the pending tail; 3..6 each supersede it.
+	for i := int64(2); i <= 6; i++ {
+		if _, err := srv.Publish("ev", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.release <- struct{}{} // finish 1
+	<-b.entered             // delivery of the coalesced tail
+	b.release <- struct{}{}
+
+	waitFor(t, 5*time.Second, "coalesced delivery", func() bool { return b.co.len() == 2 })
+	b.co.wantExactly(t, []int64{1, 6})
+	m := srv.Metrics().Fanout
+	if m.EventsCoalesced != 4 {
+		t.Errorf("EventsCoalesced = %d, want 4 (3,4,5,6 superseding the tail)", m.EventsCoalesced)
+	}
+	if m.EventsDelivered != 2 {
+		t.Errorf("EventsDelivered = %d, want 2", m.EventsDelivered)
+	}
+}
+
+func TestFanoutCoalesceIdenticalPending(t *testing.T) {
+	srv, _ := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	b := newBlockingSub()
+	if _, err := srv.SubscribeFunc("ev", b.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("ev", int64(7)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.entered
+	// 8 queues; two identical 8s are redundant against the pending tail;
+	// 9 differs and queues behind it.
+	for _, x := range []int64{8, 8, 8, 9} {
+		if _, err := srv.Publish("ev", x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.release <- struct{}{}
+		if i < 2 {
+			<-b.entered
+		}
+	}
+	waitFor(t, 5*time.Second, "deduplicated deliveries", func() bool { return b.co.len() == 3 })
+	b.co.wantExactly(t, []int64{7, 8, 9})
+	if m := srv.Metrics().Fanout; m.EventsCoalesced != 2 {
+		t.Errorf("EventsCoalesced = %d, want 2", m.EventsCoalesced)
+	}
+}
+
+func TestFanoutDropOldestPolicy(t *testing.T) {
+	srv, _ := startServer(t)
+	err := srv.RegisterMulticast("ev", (func(int64))(nil), WithFanoutQueue(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBlockingSub()
+	if _, err := srv.SubscribeFunc("ev", b.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("ev", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.entered
+	// Queue bound is 2: 2 and 3 fill it, 4 evicts 2.
+	for i := int64(2); i <= 4; i++ {
+		if _, err := srv.Publish("ev", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		b.release <- struct{}{}
+		if i < 2 {
+			<-b.entered
+		}
+	}
+	waitFor(t, 5*time.Second, "post-eviction deliveries", func() bool { return b.co.len() == 3 })
+	b.co.wantExactly(t, []int64{1, 3, 4})
+	if m := srv.Metrics().Fanout; m.QueueDropsOldest != 1 {
+		t.Errorf("QueueDropsOldest = %d, want 1", m.QueueDropsOldest)
+	}
+}
+
+func TestFanoutBlockPolicyBackpressure(t *testing.T) {
+	srv, _ := startServer(t)
+	err := srv.RegisterMulticast("ev", (func(int64))(nil),
+		WithFanoutPolicy(upcall.Block), WithFanoutQueue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBlockingSub()
+	if _, err := srv.SubscribeFunc("ev", b.handle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Publish("ev", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-b.entered
+	if _, err := srv.Publish("ev", int64(2)); err != nil { // fills the queue
+		t.Fatal(err)
+	}
+	published := make(chan struct{})
+	go func() {
+		defer close(published)
+		if _, err := srv.Publish("ev", int64(3)); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-published:
+		t.Fatal("Block-policy Publish returned against a full queue")
+	case <-time.After(100 * time.Millisecond):
+	}
+	for i := 0; i < 3; i++ {
+		b.release <- struct{}{}
+		if i < 2 {
+			<-b.entered
+		}
+	}
+	<-published
+	waitFor(t, 5*time.Second, "backpressured deliveries", func() bool { return b.co.len() == 3 })
+	b.co.wantExactly(t, []int64{1, 2, 3})
+	m := srv.Metrics().Fanout
+	if m.QueueDropsOldest+m.QueueDropsNewest+m.QueueDropsClosed != 0 {
+		t.Errorf("Block policy dropped events: %+v", m)
+	}
+}
+
+// TestFanoutChurnStorm runs a register/unregister storm during an active
+// publish burst: stable subscribers must receive every event exactly
+// once, in order, regardless of concurrent churn on other shards.
+func TestFanoutChurnStorm(t *testing.T) {
+	srv, path := startServer(t)
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	const stable, churners, churnRounds, events = 3, 4, 40, 150
+	cols := make([]*collector, stable)
+	for i := range cols {
+		cols[i] = &collector{}
+		c := dialClient(t, path)
+		if _, err := c.Subscribe("ev", cols[i].add); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < churners; w++ {
+		c := dialClient(t, path)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churnRounds; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := c.Subscribe("ev", func(int64) {})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := c.Unsubscribe("ev", id); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < events; i++ {
+		if _, err := srv.Publish("ev", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 20*time.Second, "stable subscribers to receive the burst", func() bool {
+		for _, co := range cols {
+			if co.len() != events {
+				return false
+			}
+		}
+		return true
+	})
+	close(stop)
+	wg.Wait()
+
+	for _, co := range cols {
+		co.wantExactly(t, seq(events))
+	}
+	if got := srv.Metrics().Fanout.SubscribersLive; got != stable {
+		t.Errorf("SubscribersLive after churn = %d, want %d", got, stable)
+	}
+}
+
+// midTier builds a bottom+mid chain with the topic declared on both and
+// returns (bottom, mid, mid's listen path, the chaos links, an offline
+// gate). While the gate is set, the mid tier's reconnect dials fail —
+// giving chaos tests a deterministic outage window.
+func midTier(t *testing.T, registerBeforeAttach bool, bottomOpts ...ServerOption) (*Server, *Server, string, *chaosLinks, *atomic.Bool) {
+	t.Helper()
+	bottom, bottomPath := startServer(t, bottomOpts...)
+	if err := bottom.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	mid := NewServer(testLibrary(t), WithServerLog(func(string, ...any) {}))
+	t.Cleanup(func() { mid.Close() })
+	midPath := t.TempDir() + "/mid.sock"
+	if _, err := mid.Listen("unix", midPath); err != nil {
+		t.Fatal(err)
+	}
+	if registerBeforeAttach {
+		if err := mid.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := &chaosLinks{}
+	offline := &atomic.Bool{}
+	dial := func(network, addr string) (net.Conn, error) {
+		if offline.Load() {
+			return nil, errors.New("chaos: network offline")
+		}
+		return cl.dial(network, addr)
+	}
+	if _, err := mid.DialUpstream("unix", bottomPath,
+		WithClientLog(func(string, ...any) {}),
+		WithDialFunc(dial),
+		WithCallTimeout(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if !registerBeforeAttach {
+		if err := mid.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bottom, mid, midPath, cl, offline
+}
+
+// TestFanoutTreeMultiplication proves the fan-out tree: the bottom tier
+// delivers ONE event per hop to the mid tier, which multiplies it to its
+// own K subscribers — not K copies through the hop.
+func TestFanoutTreeMultiplication(t *testing.T) {
+	bottom, mid, midPath, _, _ := midTier(t, false)
+
+	const clients, events = 3, 5
+	cols := make([]*collector, clients)
+	for i := range cols {
+		cols[i] = &collector{}
+		c := dialClient(t, midPath)
+		if _, err := c.Subscribe("ev", cols[i].add); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < events; i++ {
+		if _, err := bottom.Publish("ev", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "events to multiply through the tree", func() bool {
+		for _, co := range cols {
+			if co.len() != events {
+				return false
+			}
+		}
+		return true
+	})
+	for _, co := range cols {
+		co.wantExactly(t, seq(events))
+	}
+
+	bm, mm := bottom.Metrics().Fanout, mid.Metrics().Fanout
+	// One delivery per event crossed the hop: the mid tier is the
+	// bottom's only subscriber, however many clients sit above it.
+	if bm.SubscribersLive != 1 {
+		t.Errorf("bottom SubscribersLive = %d, want 1 (the mid tier)", bm.SubscribersLive)
+	}
+	if bm.EventsDelivered != events {
+		t.Errorf("bottom EventsDelivered = %d, want %d (one per event per hop)", bm.EventsDelivered, events)
+	}
+	if mm.EventsRelayed != events {
+		t.Errorf("mid EventsRelayed = %d, want %d", mm.EventsRelayed, events)
+	}
+	if mm.EventsDelivered != clients*events {
+		t.Errorf("mid EventsDelivered = %d, want %d (local multiplication)", mm.EventsDelivered, clients*events)
+	}
+}
+
+// TestFanoutTreeLinkOnAttach covers the other declaration order: the mid
+// tier declares the topic before dialing its upstream; AttachUpstream
+// forms the link.
+func TestFanoutTreeLinkOnAttach(t *testing.T) {
+	bottom, _, midPath, _, _ := midTier(t, true)
+	co := &collector{}
+	c := dialClient(t, midPath)
+	if _, err := c.Subscribe("ev", co.add); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bottom.Publish("ev", int64(42)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "event through link formed at attach", func() bool {
+		return co.len() == 1
+	})
+	co.wantExactly(t, []int64{42})
+}
+
+// TestChaosFanoutMidTierKillResume kills the mid→bottom link during a
+// broadcast sequence. PR 5's resurrection machinery heals the hop; the
+// events published while the link was down were parked in the bottom's
+// per-subscriber queue and must arrive after the resume — exactly once,
+// in order, with no duplicates.
+func TestChaosFanoutMidTierKillResume(t *testing.T) {
+	bottom, mid, midPath, cl, offline := midTier(t, false, WithResumeWindow(10*time.Second))
+
+	co := &collector{}
+	top := dialClient(t, midPath)
+	if _, err := top.Subscribe("ev", co.add); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := int64(0); i < 3; i++ {
+		if _, err := bottom.Publish("ev", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "pre-kill events", func() bool { return co.len() == 3 })
+
+	// Take the network down, then kill both channels of the mid→bottom
+	// hop mid-sequence: the mid tier's resurrect loop spins against the
+	// offline gate, holding the outage window open deterministically.
+	offline.Store(true)
+	cl.rpc().Sever()
+	cl.upcall().Sever()
+	waitFor(t, 10*time.Second, "bottom to park the mid tier's session", func() bool {
+		bottom.mu.Lock()
+		defer bottom.mu.Unlock()
+		for _, sess := range bottom.sessions {
+			if sess.linkIsDown() {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Published into the outage: the drain stands down and these park in
+	// the bottom's queue for the mid tier rather than burning against the
+	// dead link.
+	for i := int64(3); i < 6; i++ {
+		if _, err := bottom.Publish("ev", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Network restored: the next resurrect attempt heals the hop.
+	offline.Store(false)
+	waitFor(t, 15*time.Second, "mid tier to resurrect its upstream", func() bool {
+		return mid.Metrics().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 15*time.Second, "parked events to flow after resume", func() bool {
+		return co.len() == 6
+	})
+
+	// Post-heal events keep flowing.
+	for i := int64(6); i < 8; i++ {
+		if _, err := bottom.Publish("ev", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "post-heal events", func() bool { return co.len() == 8 })
+
+	// Exactly once, in order, across the kill: resurrection must not
+	// duplicate or reorder deliveries.
+	co.wantExactly(t, seq(8))
+	if fails := bottom.Metrics().Fanout.DeliveryFailures; fails != 0 {
+		t.Errorf("bottom DeliveryFailures = %d, want 0 (drain should park, not burn, during the outage)", fails)
+	}
+}

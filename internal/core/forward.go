@@ -144,12 +144,13 @@ func (s *Server) DialUpstream(network, addr string, opts ...DialOption) (*Client
 // from here on and closes it on shutdown.
 func (s *Server) AttachUpstream(c *Client) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return errors.New("clam: server closed")
 	}
 	for _, u := range s.upstreams {
 		if u.c == c {
+			s.mu.Unlock()
 			return nil
 		}
 	}
@@ -159,6 +160,10 @@ func (s *Server) AttachUpstream(c *Client) error {
 		c.setReconnectHooks(u.br.allow, u.br.result)
 	}
 	s.upstreams = append(s.upstreams, u)
+	s.mu.Unlock()
+	// Link declared multicast topics to the new upstream outside s.mu:
+	// each link is a subscribe round-trip down the wire (fanout.go).
+	s.fan.linkNewUpstream(u)
 	return nil
 }
 

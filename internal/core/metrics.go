@@ -52,6 +52,20 @@ type metrics struct {
 	// (the server side of a client reconnect).
 	resumes atomic.Uint64
 
+	// Multicast fan-out counters (fanout.go). Published counts Publish
+	// calls (plus events republished by upstream relays); delivered and
+	// failed count per-subscriber delivery attempts; coalesced counts
+	// pending events superseded or deduplicated before delivery; the
+	// drop counters split queue losses by cause.
+	fanPublished     atomic.Uint64
+	fanDelivered     atomic.Uint64
+	fanRelayed       atomic.Uint64
+	fanCoalesced     atomic.Uint64
+	fanDeliveryFails atomic.Uint64
+	fanDropsOldest   atomic.Uint64
+	fanDropsNewest   atomic.Uint64
+	fanDropsClosed   atomic.Uint64
+
 	link linkCounters
 
 	shards [callShards]callShard
@@ -143,6 +157,35 @@ type MetricsSnapshot struct {
 	// Resilience carries the session-resurrection counters, aggregated
 	// over this server's own sessions and its upstream links.
 	Resilience ResilienceStats
+	// Fanout carries the multicast counters (RegisterMulticast/Publish).
+	Fanout FanoutStats
+}
+
+// FanoutStats counts multicast fan-out activity (fanout.go).
+type FanoutStats struct {
+	// SubscribersLive is the current live subscription count across all
+	// topics; Topics the number of declared multicast procedures; Shards
+	// the subscription table's shard count.
+	SubscribersLive, Topics, Shards uint64
+	// EventsPublished counts Publish calls, including events an upstream
+	// relay republished here; EventsRelayed is that relayed subset — on
+	// a middle tier, EventsRelayed equal to the upstream's per-topic
+	// publish count is the signature of tree multiplication (one event
+	// per hop, multiplied locally).
+	EventsPublished, EventsRelayed uint64
+	// EventsDelivered counts per-subscriber deliveries completed;
+	// DeliveryFailures attempts that errored (timeout, disconnect,
+	// handler error) — failed deliveries are not retried, preserving
+	// at-most-once.
+	EventsDelivered, DeliveryFailures uint64
+	// EventsCoalesced counts pending events superseded (last-event-wins
+	// topics) or deduplicated (identical tail) before delivery.
+	EventsCoalesced uint64
+	// QueueDropsOldest counts DropOldest evictions of stale pending
+	// events; QueueDropsNewest counts events a full Queue-policy queue
+	// rejected; QueueDropsClosed counts pending events discarded when a
+	// subscription closed. Block-policy queues never drop.
+	QueueDropsOldest, QueueDropsNewest, QueueDropsClosed uint64
 }
 
 // ResilienceStats counts session-resurrection events. The same struct
@@ -257,6 +300,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 			ReplayedCalls: m.link.replayed.Load(),
 			DedupDrops:    m.link.dedups.Load(),
 		},
+		Fanout: FanoutStats{
+			EventsPublished:  m.fanPublished.Load(),
+			EventsRelayed:    m.fanRelayed.Load(),
+			EventsDelivered:  m.fanDelivered.Load(),
+			DeliveryFailures: m.fanDeliveryFails.Load(),
+			EventsCoalesced:  m.fanCoalesced.Load(),
+			QueueDropsOldest: m.fanDropsOldest.Load(),
+			QueueDropsNewest: m.fanDropsNewest.Load(),
+			QueueDropsClosed: m.fanDropsClosed.Load(),
+		},
 	}
 	// Fold in this server's upstream links: reconnects/replays its own
 	// resurrect loops performed toward lower tiers, and breaker trips.
@@ -271,6 +324,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		if u.br != nil {
 			snap.Resilience.BreakerOpens += u.br.opens.Load()
 		}
+	}
+	if s.fan != nil {
+		snap.Fanout.SubscribersLive = uint64(s.fan.subs.Len())
+		snap.Fanout.Topics = uint64(s.fan.topicCount())
+		snap.Fanout.Shards = uint64(s.fan.subs.ShardCount())
 	}
 	if s.handles != nil {
 		snap.Forwarding.ProxyHandlesLive = uint64(s.handles.CountFunc(func(obj any) bool {

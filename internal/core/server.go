@@ -74,6 +74,11 @@ type Server struct {
 	serialDispatch  bool
 	exec            *executor
 
+	// Multicast fan-out (fanout.go): declared topics and the sharded
+	// subscription table behind Publish/RegisterMulticast.
+	fanoutShards int
+	fan          *fanoutState
+
 	metrics *metrics
 }
 
@@ -112,6 +117,15 @@ func WithServerLog(f func(string, ...any)) ServerOption {
 // task.WithoutReuse for the reuse ablation.
 func WithScheduler(sched *task.Sched) ServerOption {
 	return func(s *Server) { s.sched = sched }
+}
+
+// WithFanoutShards sets how many independently locked shards the
+// multicast subscription table uses (default ruc.DefaultShards, rounded
+// up to a power of two). Raise it when profiles show subscribe/
+// unsubscribe churn contending with publish snapshots; shard count does
+// not affect delivery throughput, only registration concurrency.
+func WithFanoutShards(n int) ServerOption {
+	return func(s *Server) { s.fanoutShards = n }
 }
 
 // WithHeartbeat enables liveness checking on both per-client streams: the
@@ -241,6 +255,13 @@ func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 	})
 	for _, o := range opts {
 		o(s)
+	}
+	s.fan = newFanoutState(s, s.fanoutShards)
+	// Every server speaks multicast: the fanout class is how remote
+	// clients subscribe, so it rides along in the library unless the
+	// application registered its own version.
+	if err := RegisterFanoutClass(lib); err != nil && !errors.Is(err, dynload.ErrDuplicate) {
+		s.logf("clam: registering fanout class: %v", err)
 	}
 	if s.sched == nil {
 		s.sched = task.New()
@@ -585,6 +606,9 @@ func (s *Server) handleResume(c *wire.Conn, msg *wire.Msg) {
 		if err := s.sendResumeReply(c, seq, &resumeReplyBody{OK: true, Epoch: req.Epoch}); err != nil {
 			return
 		}
+		// The upcall channel is back: restart any fan-out drains that
+		// stood down while the session was parked.
+		s.fan.resumeCaller(sess)
 		sess.upcallReadLoop(c)
 		sess.upcallConnLost()
 	default:
@@ -653,6 +677,17 @@ func (s *Server) dropSession(sess *session) {
 	// identity (forward.go); drop those too so a departed client cannot
 	// receive relayed upcalls.
 	s.rucs.DropCaller(sess.relay)
+	// Multicast subscriptions die with the session the same way its RUC
+	// registrations do; parked sessions never reach here, so theirs
+	// survive resurrection.
+	s.fan.dropCaller(sess)
+}
+
+// sessionByID returns the live (or parked) session with the given id.
+func (s *Server) sessionByID(id uint64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
 }
 
 // SessionCount reports the number of connected clients.
@@ -691,6 +726,9 @@ func (s *Server) Close() error {
 	for _, u := range ups {
 		u.c.Close()
 	}
+	// Retire fan-out queues and release any Block-policy publishers
+	// before draining the pool, or a blocked Publish could hold a worker.
+	s.fan.close()
 	// Sessions and upstreams are down, so workers blocked in upcall waits
 	// or forwarded calls have been cancelled; now the pool can drain.
 	s.exec.close()

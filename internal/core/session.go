@@ -276,6 +276,11 @@ func (sess *session) resumeRPC(c *wire.Conn, epoch uint32) (newEpoch uint32, rec
 	return sess.epoch, sess.recvSeq.Load(), false, nil
 }
 
+// linkIsDown reports whether the session is parked with its links
+// severed, awaiting resurrection. Fan-out drains consult it to stand
+// down instead of burning queued events against a dead link.
+func (sess *session) linkIsDown() bool { return sess.linkDown.Load() }
+
 // resumeUpcall re-attaches the upcall channel after a successful RPC-side
 // resume; epoch must match the generation resumeRPC just minted.
 func (sess *session) resumeUpcall(c *wire.Conn, epoch uint32) error {

@@ -1,0 +1,237 @@
+// Sharded is the multicast companion to Table. Where Table models the
+// paper's point-to-point RUC objects — one registered client procedure
+// per binding (§3.5.2) — Sharded holds the one-to-many registrations
+// behind Server.Publish: many subscribers per topic, spread over N
+// independently locked shards so register/unregister churn on one
+// subscriber never serializes against delivery snapshots for another.
+//
+// The shard for a subscription is chosen by its Key — callers use the
+// handle tag of the subscribing object (an "arbitrary bit pattern",
+// §3.5.1), which is uniformly distributed and stable for the life of the
+// subscriber — so all of one subscriber's operations land on one shard
+// and both Add and Remove are O(1) map operations under that shard's
+// lock alone.
+package ruc
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Sub is one multicast registration: a client procedure pointer bound to
+// a topic, deliverable over Caller exactly like a point-to-point RUC
+// entry.
+type Sub struct {
+	// ID identifies the subscription within its Sharded table; assigned
+	// by Add, never reused.
+	ID uint64
+	// Key selects the shard. Callers set it to the subscriber's handle
+	// tag; if zero, Add substitutes the subscription ID.
+	Key uint64
+	// Topic is the multicast procedure this subscription receives.
+	Topic string
+	// ProcID is the client's procedure pointer in opaque form.
+	ProcID uint64
+	// FuncType drives argument bundling for deliveries.
+	FuncType reflect.Type
+	// Caller is the connection deliveries travel over.
+	Caller Caller
+	// State is opaque per-subscription delivery state owned by the
+	// layer above (queue, coalescing buffer, drain flag).
+	State any
+}
+
+type shard struct {
+	mu   sync.Mutex
+	subs map[string]map[uint64]*Sub // topic → subscription ID → sub
+}
+
+// Sharded is a sharded multicast registration table. The zero value is
+// not usable; call NewSharded.
+type Sharded struct {
+	mask   uint64
+	nextID atomic.Uint64
+	shards []shard
+}
+
+// DefaultShards is the shard count when none is configured — enough
+// that a registration storm on one core rarely collides with delivery
+// snapshots on another, small enough that Snapshot's full sweep stays
+// cheap.
+const DefaultShards = 32
+
+// NewSharded returns an empty table with at least n shards, rounded up
+// to a power of two so the shard index is a mask of the key. n <= 0
+// selects DefaultShards.
+func NewSharded(n int) *Sharded {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &Sharded{mask: uint64(size - 1), shards: make([]shard, size)}
+	for i := range s.shards {
+		s.shards[i].subs = make(map[string]map[uint64]*Sub)
+	}
+	return s
+}
+
+// ShardCount reports the number of shards.
+func (s *Sharded) ShardCount() int { return len(s.shards) }
+
+func (s *Sharded) shardFor(key uint64) *shard {
+	return &s.shards[key&s.mask]
+}
+
+// Add registers sub, assigns its ID, and returns it. If sub.Key is zero
+// the ID doubles as the key, so keyless (local) subscriptions still
+// spread across shards.
+func (s *Sharded) Add(sub *Sub) uint64 {
+	sub.ID = s.nextID.Add(1)
+	if sub.Key == 0 {
+		sub.Key = sub.ID
+	}
+	sh := s.shardFor(sub.Key)
+	sh.mu.Lock()
+	m := sh.subs[sub.Topic]
+	if m == nil {
+		m = make(map[uint64]*Sub)
+		sh.subs[sub.Topic] = m
+	}
+	m[sub.ID] = sub
+	sh.mu.Unlock()
+	return sub.ID
+}
+
+// Remove unregisters the subscription (topic, id) whose shard key is
+// key, returning it, or nil if no such subscription exists. Key must be
+// the same value the subscription was added under — the caller that
+// registered it knows its own key, keeping removal O(1).
+func (s *Sharded) Remove(topic string, key, id uint64) *Sub {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m := sh.subs[topic]
+	sub, ok := m[id]
+	if !ok {
+		return nil
+	}
+	delete(m, id)
+	if len(m) == 0 {
+		delete(sh.subs, topic)
+	}
+	return sub
+}
+
+// Snapshot returns the live subscriptions for topic, sorted by ID so
+// fan-out order is deterministic. The slice is the caller's to keep;
+// later Add/Remove calls do not disturb it.
+func (s *Sharded) Snapshot(topic string) []*Sub {
+	var out []*Sub
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sub := range sh.subs[topic] {
+			out = append(out, sub)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByCaller returns the live subscriptions delivered over c, across all
+// topics, sorted by ID.
+func (s *Sharded) ByCaller(c Caller) []*Sub {
+	var out []*Sub
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.subs {
+			for _, sub := range m {
+				if sub.Caller == c {
+					out = append(out, sub)
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DropCaller removes every subscription delivered over c — the
+// multicast analogue of Table.DropCaller, used when a client departs for
+// good — and returns the removed subscriptions so the delivery layer can
+// retire their queues.
+func (s *Sharded) DropCaller(c Caller) []*Sub {
+	var out []*Sub
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for topic, m := range sh.subs {
+			for id, sub := range m {
+				if sub.Caller == c {
+					delete(m, id)
+					out = append(out, sub)
+				}
+			}
+			if len(m) == 0 {
+				delete(sh.subs, topic)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len reports the number of live subscriptions across all topics.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, m := range sh.subs {
+			n += len(m)
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// TopicLen reports the number of live subscriptions for topic.
+func (s *Sharded) TopicLen(topic string) int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.subs[topic])
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Topics returns the distinct topics with at least one live
+// subscription, sorted.
+func (s *Sharded) Topics() []string {
+	seen := make(map[string]bool)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for topic := range sh.subs {
+			seen[topic] = true
+		}
+		sh.mu.Unlock()
+	}
+	out := make([]string, 0, len(seen))
+	for topic := range seen {
+		out = append(out, topic)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,167 @@
+package ruc
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type nullCaller struct{ name string }
+
+func (n *nullCaller) Upcall(procID uint64, ft reflect.Type, args []reflect.Value) ([]reflect.Value, error) {
+	return nil, nil
+}
+
+var sigInt = reflect.TypeOf(func(int64) {})
+
+func TestShardedAddRemove(t *testing.T) {
+	s := NewSharded(4)
+	if s.ShardCount() != 4 {
+		t.Fatalf("ShardCount = %d, want 4", s.ShardCount())
+	}
+	c := &nullCaller{}
+	sub := &Sub{Key: 0xdeadbeef, Topic: "ev", ProcID: 7, FuncType: sigInt, Caller: c}
+	id := s.Add(sub)
+	if id == 0 || sub.ID != id {
+		t.Fatalf("Add assigned id %d (sub.ID %d)", id, sub.ID)
+	}
+	if s.Len() != 1 || s.TopicLen("ev") != 1 {
+		t.Fatalf("Len=%d TopicLen=%d, want 1/1", s.Len(), s.TopicLen("ev"))
+	}
+	snap := s.Snapshot("ev")
+	if len(snap) != 1 || snap[0] != sub {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+	if got := s.Remove("ev", sub.Key, id); got != sub {
+		t.Fatalf("Remove returned %v, want the sub", got)
+	}
+	if got := s.Remove("ev", sub.Key, id); got != nil {
+		t.Fatalf("second Remove returned %v, want nil", got)
+	}
+	if s.Len() != 0 || len(s.Topics()) != 0 {
+		t.Fatalf("table not empty after remove: Len=%d Topics=%v", s.Len(), s.Topics())
+	}
+}
+
+func TestShardedKeylessUsesID(t *testing.T) {
+	s := NewSharded(8)
+	sub := &Sub{Topic: "ev", FuncType: sigInt, Caller: &nullCaller{}}
+	id := s.Add(sub)
+	if sub.Key != id {
+		t.Fatalf("keyless sub got Key=%d, want ID %d", sub.Key, id)
+	}
+	if s.Remove("ev", sub.Key, id) != sub {
+		t.Fatal("Remove by assigned key failed")
+	}
+}
+
+func TestShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {32, 32}, {33, 64}} {
+		if got := NewSharded(tc.in).ShardCount(); got != tc.want {
+			t.Errorf("NewSharded(%d).ShardCount() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestShardedDropCaller(t *testing.T) {
+	s := NewSharded(4)
+	a, b := &nullCaller{"a"}, &nullCaller{"b"}
+	for i := 0; i < 10; i++ {
+		s.Add(&Sub{Key: uint64(i + 1), Topic: "ev", FuncType: sigInt, Caller: a})
+		s.Add(&Sub{Key: uint64(i + 100), Topic: "ev", FuncType: sigInt, Caller: b})
+	}
+	if got := s.ByCaller(a); len(got) != 10 {
+		t.Fatalf("ByCaller(a) = %d subs, want 10", len(got))
+	}
+	dropped := s.DropCaller(a)
+	if len(dropped) != 10 {
+		t.Fatalf("DropCaller removed %d, want 10", len(dropped))
+	}
+	if s.TopicLen("ev") != 10 {
+		t.Fatalf("TopicLen after drop = %d, want 10 (b's subs)", s.TopicLen("ev"))
+	}
+	for _, sub := range s.Snapshot("ev") {
+		if sub.Caller != b {
+			t.Fatalf("survivor %d has caller %v, want b", sub.ID, sub.Caller)
+		}
+	}
+}
+
+// TestShardedChurnStorm hammers one topic with concurrent register/
+// unregister churn while readers take delivery snapshots, under -race.
+// Stable subscribers added before the storm must appear in every
+// snapshot exactly once.
+func TestShardedChurnStorm(t *testing.T) {
+	s := NewSharded(16)
+	stableCaller := &nullCaller{"stable"}
+	stable := make(map[uint64]bool)
+	for i := 0; i < 20; i++ {
+		sub := &Sub{Key: uint64(1000 + i), Topic: "ev", FuncType: sigInt, Caller: stableCaller}
+		stable[s.Add(sub)] = true
+	}
+
+	const churners = 8
+	const rounds = 500
+	var churnWG, readWG sync.WaitGroup
+	for w := 0; w < churners; w++ {
+		w := w
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			c := &nullCaller{}
+			for i := 0; i < rounds; i++ {
+				sub := &Sub{Key: uint64(w*rounds + i + 1), Topic: "ev", FuncType: sigInt, Caller: c}
+				id := s.Add(sub)
+				if s.Remove("ev", sub.Key, id) != sub {
+					t.Error("lost own subscription during churn")
+					return
+				}
+			}
+		}()
+	}
+	// Snapshot readers race with the churners.
+	done := make(chan struct{})
+	var snaps atomic.Uint64
+	for r := 0; r < 4; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := s.Snapshot("ev")
+				seen := make(map[uint64]int)
+				for _, sub := range snap {
+					if sub.Caller == stableCaller {
+						seen[sub.ID]++
+					}
+				}
+				if len(seen) != len(stable) {
+					t.Errorf("snapshot saw %d stable subs, want %d", len(seen), len(stable))
+					return
+				}
+				for id, n := range seen {
+					if n != 1 {
+						t.Errorf("stable sub %d appeared %d times in snapshot", id, n)
+						return
+					}
+				}
+				snaps.Add(1)
+			}
+		}()
+	}
+	churnWG.Wait()
+	close(done)
+	readWG.Wait()
+
+	if s.TopicLen("ev") != len(stable) {
+		t.Fatalf("after storm TopicLen = %d, want %d", s.TopicLen("ev"), len(stable))
+	}
+	if snaps.Load() == 0 {
+		t.Fatal("snapshot readers never ran")
+	}
+}

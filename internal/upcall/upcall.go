@@ -215,10 +215,19 @@ func (r *Registry) Post(event string, args ...any) (int, error) {
 	}
 }
 
-func call(fn reflect.Value, args []any) error {
-	ft := fn.Type()
+// ConvertArgs checks loosely typed arguments against the parameters of
+// func type ft and returns them as call-ready values, applying the same
+// conversions Post applies before invoking a handler: nil becomes the
+// zero value, exact and assignable types pass through, and numeric
+// widths convert within their kind family. It is the run-time analogue
+// of §4.1's compile-time typechecking of registration parameters, shared
+// by every layer that turns event payloads into upcall arguments.
+func ConvertArgs(ft reflect.Type, args []any) ([]reflect.Value, error) {
+	if ft == nil || ft.Kind() != reflect.Func {
+		return nil, fmt.Errorf("%w: %v is not a func type", ErrNotFunc, ft)
+	}
 	if ft.NumIn() != len(args) {
-		return fmt.Errorf("%w: takes %d, got %d", ErrBadArgs, ft.NumIn(), len(args))
+		return nil, fmt.Errorf("%w: takes %d, got %d", ErrBadArgs, ft.NumIn(), len(args))
 	}
 	in := make([]reflect.Value, len(args))
 	for i, a := range args {
@@ -234,8 +243,16 @@ func call(fn reflect.Value, args []any) error {
 		case av.Type().AssignableTo(pt):
 			in[i] = av
 		default:
-			return fmt.Errorf("%w: argument %d is %s, want %s", ErrBadArgs, i, av.Type(), pt)
+			return nil, fmt.Errorf("%w: argument %d is %s, want %s", ErrBadArgs, i, av.Type(), pt)
 		}
+	}
+	return in, nil
+}
+
+func call(fn reflect.Value, args []any) error {
+	in, err := ConvertArgs(fn.Type(), args)
+	if err != nil {
+		return err
 	}
 	out := fn.Call(in)
 	// A trailing error result propagates to the poster.
