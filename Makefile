@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull chaos
+.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull chaos crash
 
 # Tier-1 verification: everything must be green before a merge.
-verify: build fmtcheck vet test race benchsmoke chaos
+verify: build fmtcheck vet test race benchsmoke chaos crash
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ race:
 # are timing-sensitive, so -count=2 shakes out order-dependent passes.
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker' ./internal/core/... ./internal/wire
+
+# The crash-restart suite: a re-exec'd server process is SIGKILLed
+# mid-burst and restarted on its write-ahead journal (DESIGN.md §6.5);
+# the at-most-once ledger must balance exactly. The journal's own
+# torn-tail/compaction tests ride along.
+crash:
+	$(GO) test -race -count=2 -run 'Crash|Kill|ReplayGap|Retransmit' ./internal/core/...
+	$(GO) test -race -count=2 ./internal/journal/...
 
 # Every benchmark body runs exactly once: catches bit-rotted bench code
 # (fixture boot failures, renamed methods) without paying for measurement.

@@ -510,6 +510,49 @@ func BenchmarkAblation_TreeBundling(b *testing.B) {
 	b.Run("user", func(b *testing.B) { treeBundleBench(b, bundle.NodeAndChildrenBundler) })
 }
 
+// --- Ablation A-8: write-ahead journal on the call path ---------------------
+
+// BenchmarkAblation_Journal prices durable sessions: the same remote
+// sync call with (a) the default ephemeral server, (b) resurrection
+// enabled (numbered frames, in-memory only), and (c) resurrection backed
+// by the write-ahead journal. The journal's hot-path cost is one
+// contiguity check plus a coalesced in-memory mark per executed frame —
+// fsyncs ride the group-commit ticker, never a call — so (c) must stay
+// within a few percent of (b).
+func BenchmarkAblation_Journal(b *testing.B) {
+	run := func(b *testing.B, srvOpts ...core.ServerOption) {
+		fx, err := benchlib.Boot("unix", b.TempDir(), srvOpts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer fx.Server.Close()
+		c, err := core.Dial(fx.Network, fx.Addr, core.WithClientLog(func(string, ...any) {}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rem, err := c.NamedObject("pinger")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var n int64
+		for i := 0; i < b.N; i++ {
+			if err := rem.CallInto("Ping", []any{&n}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sinkInt64 = n
+	}
+	b.Run("ephemeral", func(b *testing.B) { run(b) })
+	b.Run("resume", func(b *testing.B) {
+		run(b, core.WithResumeWindow(30*time.Second))
+	})
+	b.Run("resume+journal", func(b *testing.B) {
+		run(b, core.WithResumeWindow(30*time.Second), core.WithJournal(b.TempDir()))
+	})
+}
+
 // --- Ablation A-5: handle validation overhead (§3.5.1) ----------------------
 
 func BenchmarkAblation_HandleLookup(b *testing.B) {

@@ -228,6 +228,11 @@ type ResilienceStats = core.ResilienceStats
 // events, and queue drops split by cause (see Server.RegisterMulticast).
 type FanoutStats = core.FanoutStats
 
+// JournalStats describes a server's write-ahead journal (WithJournal):
+// append/fsync/compaction counters, file size, and what the last restart
+// recovered. Enabled is false when the server runs without a journal.
+type JournalStats = core.JournalStats
+
 // MulticastOption configures a topic declared with
 // Server.RegisterMulticast.
 type MulticastOption = core.MulticastOption
@@ -276,6 +281,12 @@ var (
 	// a session resume is (or may be) in progress; retryable for methods
 	// marked idempotent (see Remote.MarkIdempotent and WithRetry).
 	ErrDisconnected = core.ErrDisconnected
+	// ErrReplayGap marks a resume abandoned because the bounded replay
+	// buffer had already dropped unacknowledged calls the server never
+	// executed; not retryable — the session's at-most-once ledger cannot
+	// be made whole, so the client fails definitively instead of silently
+	// losing calls.
+	ErrReplayGap = core.ErrReplayGap
 )
 
 // Server options.
@@ -322,6 +333,13 @@ var (
 	// default) disables resurrection entirely.
 	// Example: clam.NewServer(lib, clam.WithResumeWindow(30*time.Second)).
 	WithResumeWindow = core.WithResumeWindow
+	// WithJournal records grants, handle mints, registrations and receive
+	// marks in an append-only journal under dir, and replays it on the
+	// next start so parked sessions survive a server crash-restart —
+	// durable session resurrection. Implies a 30s resume window unless
+	// WithResumeWindow says otherwise.
+	// Example: clam.NewServer(lib, clam.WithJournal("/var/lib/clamd")).
+	WithJournal = core.WithJournal
 	// WithUpstreamBreaker arms a circuit breaker on each upstream link:
 	// after threshold consecutive failed reconnect attempts the circuit
 	// opens for cooldown, failing forwarded calls fast instead of

@@ -46,6 +46,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "cap on concurrent client sessions (0 = unlimited)")
 	slowLimit := flag.Int("slow-consumer-limit", 0, "evict a client after this many consecutive upcall failures (0 = disabled)")
 	resumeWindow := flag.Duration("resume-window", 0, "grace period a disconnected session is parked for resumption instead of evicted (0 = disabled)")
+	journalDir := flag.String("journal", "", "directory for the write-ahead journal; parked sessions then survive a server crash-restart (empty = disabled)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "open the upstream circuit after this many consecutive failed reconnects (0 = disabled)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "how long an opened upstream circuit stays open (0 = default 5s)")
 	maxUpcalls := flag.Int("max-client-upcalls", 0, "concurrent upcalls allowed per client (0 = the paper's limit of 1)")
@@ -104,6 +105,9 @@ func main() {
 	}
 	if *resumeWindow > 0 {
 		opts = append(opts, clam.WithResumeWindow(*resumeWindow))
+	}
+	if *journalDir != "" {
+		opts = append(opts, clam.WithJournal(*journalDir))
 	}
 	if *breakerThreshold > 0 {
 		opts = append(opts, clam.WithUpstreamBreaker(*breakerThreshold, *breakerCooldown))
@@ -202,9 +206,15 @@ func main() {
 		fmt.Printf("clamd: forwarding — %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
 			f.CallsRelayedDown, f.UpcallsRelayedUp, f.ProxyHandlesLive)
 	}
-	if r := m.Resilience; r.Reconnects > 0 || r.ReplayedCalls > 0 || r.DedupDrops > 0 || r.BreakerOpens > 0 {
-		fmt.Printf("clamd: resilience — %d reconnects, %d calls replayed, %d duplicates dropped, %d breaker opens\n",
-			r.Reconnects, r.ReplayedCalls, r.DedupDrops, r.BreakerOpens)
+	if r := m.Resilience; r.Reconnects > 0 || r.ReplayedCalls > 0 || r.DedupDrops > 0 || r.RetransmitDrops > 0 || r.BreakerOpens > 0 {
+		fmt.Printf("clamd: resilience — %d reconnects, %d calls replayed, %d duplicates dropped, %d retransmit drops, %d breaker opens\n",
+			r.Reconnects, r.ReplayedCalls, r.DedupDrops, r.RetransmitDrops, r.BreakerOpens)
+	}
+	if j := m.Journal; j.Enabled {
+		fmt.Printf("clamd: journal — %d appends (%d synced, %d fsyncs), %d compactions, %d bytes; recovered %d sessions / %d handles / %d subs%s\n",
+			j.Appends, j.SyncAppends, j.Fsyncs, j.Compactions, j.SizeBytes,
+			j.RecoveredSessions, j.RecoveredHandles, j.RecoveredSubs,
+			map[bool]string{true: " (torn tail truncated)", false: ""}[j.TornTailTruncated])
 	}
 	if fo := m.Fanout; fo.EventsPublished > 0 || fo.SubscribersLive > 0 {
 		fmt.Printf("clamd: fanout — %d subscribers on %d topics (%d shards), %d published + %d relayed, %d delivered (%d failed), %d coalesced, drops %d oldest / %d newest / %d closed\n",

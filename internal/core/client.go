@@ -356,9 +356,10 @@ func (c *Client) Metrics() ClientMetricsSnapshot {
 	return ClientMetricsSnapshot{
 		LinkStats: c.link.snapshot(),
 		Resilience: ResilienceStats{
-			Reconnects:    c.link.reconnects.Load(),
-			ReplayedCalls: c.link.replayed.Load(),
-			DedupDrops:    c.link.dedups.Load(),
+			Reconnects:      c.link.reconnects.Load(),
+			ReplayedCalls:   c.link.replayed.Load(),
+			DedupDrops:      c.link.dedups.Load(),
+			RetransmitDrops: c.link.rtDrops.Load(),
 		},
 		ServerUnresponsive: c.hbLost.Load(),
 	}
@@ -541,6 +542,12 @@ func (c *Client) resumable() bool { return c.resumeToken != 0 && c.resumeWindow 
 // be) repairing, so surface the retryable sentinel instead of the raw
 // transport error — even when the read loop has not flipped linkDown yet.
 func (c *Client) asDisconnected(err error) error {
+	// A detected replay gap outranks everything: the session is dead for
+	// good and "disconnected" would invite the caller to wait out a
+	// resume that can never happen.
+	if c.replayGap.Load() {
+		return ErrReplayGap
+	}
 	if errors.Is(err, ErrDisconnected) {
 		return err
 	}
@@ -675,6 +682,19 @@ func (c *Client) tryResume() (ok, fatal bool) {
 	// or below its receive mark executed already and must not run twice.
 	c.bmu.Lock()
 	c.pruneRTLocked(rrep.RecvSeq)
+	if c.rtDroppedTo > rrep.RecvSeq {
+		// The retransmit cap evicted frames the server never executed: the
+		// replay range has a hole, and resuming anyway would silently lose
+		// those calls. Fail definitively instead — at-most-once stays
+		// honest, and callers get ErrReplayGap rather than a quiet gap.
+		dropped := c.rtDroppedTo
+		c.bmu.Unlock()
+		c.replayGap.Store(true)
+		c.logf("clam: client: resume impossible: frames through %d were dropped from the retransmit buffer but the server only received through %d",
+			dropped, rrep.RecvSeq)
+		c.shutdown(false)
+		return true, false // "done": the resurrect loop must not retry
+	}
 	replayed := 0
 	werr := error(nil)
 	for _, ent := range c.rt {
@@ -823,6 +843,14 @@ var ErrServerUnresponsive = errors.New("clam: server unresponsive (liveness wind
 // methods the application marked idempotent, exactly like a timeout.
 var ErrDisconnected = errors.New("clam: connection lost (session resuming)")
 
+// ErrReplayGap reports that a resume was abandoned because the bounded
+// retransmit buffer had already evicted unacknowledged batches the server
+// never executed: replaying would silently skip those calls, so the
+// client fails definitively instead. Unlike ErrDisconnected this is not
+// retryable — the lost calls cannot be recovered; the application must
+// re-establish its state over a fresh session.
+var ErrReplayGap = errors.New("clam: resume abandoned: unacked calls were dropped from the bounded replay buffer")
+
 // Sync flushes the batch and performs an empty round trip, the "special
 // synchronization procedure" of §3.4: when it returns, every previously
 // issued asynchronous call has been executed by the server.
@@ -899,6 +927,11 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 // attempt is discarded rather than mistaken for the retry's answer.
 func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, rets []any, args []any) error {
 	if c.linkDown.Load() {
+		if c.replayGap.Load() {
+			// Not an outage: the replay buffer lost frames the server
+			// never saw, the resume was abandoned, and no retry can help.
+			return ErrReplayGap
+		}
 		// Fail fast mid-outage instead of arming a wait no reply can
 		// reach; WithRetry's backoff rides out the resume.
 		return ErrDisconnected

@@ -1,0 +1,487 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Crash-restart chaos tests: the write-ahead journal (WithJournal) must
+// carry parked sessions, handle capabilities and subscriptions across a
+// genuine server death — kill -9, not a polite Close — with exact
+// at-most-once totals when the client's replay meets the recovered
+// receive marks.
+
+// TestCrashServerProcess is not a test: it is the server half of the
+// kill -9 chaos suite, run as a re-exec'd subprocess so the parent can
+// SIGKILL a real process mid-burst. Gated on an env var so a plain
+// `go test ./...` skips it instantly.
+func TestCrashServerProcess(t *testing.T) {
+	if os.Getenv("CLAM_CRASH_SERVER") != "1" {
+		t.Skip("subprocess body for the crash suite; driven by TestCrashRestartKillNineExactTotals")
+	}
+	sock := os.Getenv("CLAM_CRASH_SOCK")
+	jdir := os.Getenv("CLAM_CRASH_JOURNAL")
+	lib := testLibrary(t)
+	if err := RegisterStatsClass(lib); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(lib, WithJournal(jdir),
+		WithServerLog(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "server: "+format+"\n", args...)
+		}))
+	if _, err := srv.Load("child", 0); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(sock) // run 2 reuses run 1's path; the old socket is dead
+	if _, err := srv.Listen("unix", sock); err != nil {
+		t.Fatal(err)
+	}
+	select {} // hold the process open until the parent SIGKILLs it
+}
+
+// startCrashServer re-execs the test binary as a server process on sock
+// with its journal in jdir, and waits until the socket accepts.
+func startCrashServer(t *testing.T, sock, jdir string) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrashServerProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		"CLAM_CRASH_SERVER=1",
+		"CLAM_CRASH_SOCK="+sock,
+		"CLAM_CRASH_JOURNAL="+jdir,
+	)
+	out := &bytes.Buffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		conn, err := net.Dial("unix", sock)
+		if err == nil {
+			conn.Close()
+			return cmd, out
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("crash server never came up on %s; output:\n%s", sock, out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCrashRestartKillNineExactTotals is the acceptance spine of durable
+// resurrection: SIGKILL the server mid-async-burst, restart it on the
+// same journal, let the untouched client code resume, and audit the
+// at-most-once ledger exactly.
+//
+// The counter's state dies with the process, so after restart its total
+// counts exactly the calls executed by the new incarnation: the replayed
+// frames (those above the journaled receive mark) plus anything sent
+// after the resume. Three things must balance:
+//
+//   - counter.Total == client ReplayedCalls delta + post-restart adds
+//   - server DedupDrops == 0: the client never replays a frame the
+//     recovered mark says already executed (marks and replay agree)
+//   - client RetransmitDrops == 0 and zero call errors: nothing was
+//     silently shed on the way
+func TestCrashRestartKillNineExactTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec subprocess chaos test")
+	}
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "crash.sock")
+	jdir := filepath.Join(dir, "journal")
+
+	cmd, out1 := startCrashServer(t, sock, jdir)
+	killed := false
+	defer func() {
+		if !killed {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}()
+
+	// Unbatched, so every async Add ships as its own numbered frame —
+	// maximum pressure on the replay/mark bookkeeping.
+	c := dialClient(t, sock, WithoutClientBatching(), WithCallTimeout(5*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: a settled prefix. The Sync acks these frames away from the
+	// replay buffer and lets the journal mark them executed.
+	const n1 = 100
+	for i := 0; i < n1; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatalf("phase-1 Add %d: %v", i, err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	replayed0 := c.Metrics().Resilience.ReplayedCalls
+
+	// Phase 2: an unacknowledged burst, then kill -9 mid-flight. The pause
+	// between the two half-bursts lets the journal's group commit mark the
+	// first half executed, while the kill lands before a tick can cover
+	// the second — so the replay is genuinely partial: the marked prefix
+	// must NOT re-execute, the unmarked tail must, and the ledger below
+	// reconciles marked, executed-but-unmarked and never-arrived frames
+	// exactly.
+	const n2 = 300
+	for i := 0; i < n2/2; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatalf("phase-2 Add %d: %v", i, err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond) // > the journal's commit interval
+	for i := n2 / 2; i < n2; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatalf("phase-2 Add %d: %v", i, err)
+		}
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+	killed = true
+	t.Logf("run-1 server killed; output:\n%s", out1.String())
+
+	// Restart on the same journal. The client resurrects on its own —
+	// that is the point: no client-side code changes.
+	cmd2, out2 := startCrashServer(t, sock, jdir)
+	defer func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+		if t.Failed() {
+			t.Logf("run-2 server output:\n%s", out2.String())
+		}
+	}()
+
+	waitFor(t, 30*time.Second, "client to resume against the restarted server", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 15*time.Second, "post-resume sync to drain the replay", func() bool {
+		return c.Sync() == nil
+	})
+
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatalf("Total through the recovered handle: %v", err)
+	}
+	m := c.Metrics()
+	replayed := int64(m.Resilience.ReplayedCalls - replayed0)
+	if total != replayed {
+		t.Errorf("counter = %d but client replayed %d calls: the restarted server executed frames the replay did not send (lost mark) or dropped frames it should have run", total, replayed)
+	}
+	if m.Resilience.RetransmitDrops != 0 {
+		t.Errorf("client RetransmitDrops = %d, want 0", m.Resilience.RetransmitDrops)
+	}
+
+	// The recovered handle must stay fully live: new calls land on it.
+	const n3 = 7
+	for i := 0; i < n3; i++ {
+		if err := obj.Async("Add", int64(1)); err != nil {
+			t.Fatalf("post-restart Add: %v", err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if want := replayed + n3; total != want {
+		t.Errorf("counter after %d fresh adds = %d, want %d", n3, total, want)
+	}
+
+	// Server-side half of the ledger, read remotely through the stats
+	// class: zero dedup drops means the replay range and the recovered
+	// receive mark tiled perfectly — no frame executed twice, none judged
+	// duplicate that was not.
+	st, err := c.New("stats", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec, rep, ded, rtd int64
+	if err := st.CallInto("Resilience", []any{&rec, &rep, &ded, &rtd}); err != nil {
+		t.Fatal(err)
+	}
+	if ded != 0 {
+		t.Errorf("server DedupDrops = %d, want 0 (client replayed frames the journal had marked executed)", ded)
+	}
+	if rec < 1 {
+		t.Errorf("server Reconnects = %d, want >= 1", rec)
+	}
+	t.Logf("ledger: replayed=%d total=%d server(resumes=%d replayed=%d dedups=%d rtdrops=%d)",
+		replayed, total, rec, rep, ded, rtd)
+}
+
+// TestCrashInProcessRestartRecoversSessionsHandlesSubs exercises the same
+// journal recovery without the subprocess: server 1 dies abruptly from
+// the client's point of view (its connections just vanish), a second
+// server opens the same journal, and the client's resurrect loop lands on
+// it — session parked-across-processes, handle re-bound, multicast
+// subscription restored.
+func TestCrashInProcessRestartRecoversSessionsHandlesSubs(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "clam.sock")
+	jdir := filepath.Join(dir, "journal")
+
+	newSrv := func() (*Server, net.Listener) {
+		srv := NewServer(testLibrary(t), WithJournal(jdir),
+			WithServerLog(func(format string, args ...any) { t.Logf(format, args...) }))
+		if _, err := srv.Load("child", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RegisterMulticast("tick", (func(int64))(nil)); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(sock)
+		ln, err := srv.Listen("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, ln
+	}
+
+	srv1, ln1 := newSrv()
+	c := dialClient(t, sock, WithoutClientBatching(), WithCallTimeout(3*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := obj.Call("Add", int64(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	var ticks atomic.Int64
+	if _, err := c.Subscribe("tick", func(int64) { ticks.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stop accepting first — the client must not resume against server 1
+	// — then sever the links without a goodbye and park the session. A
+	// parked session is never journaled as ended, so the second server
+	// resurrects it.
+	ln1.Close()
+	c.rpcConn().Close()
+	waitFor(t, 5*time.Second, "server 1 to park the severed session", func() bool {
+		srv1.mu.Lock()
+		defer srv1.mu.Unlock()
+		for _, sess := range srv1.sessions {
+			return sess.linkDown.Load()
+		}
+		return false
+	})
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, _ := newSrv()
+	t.Cleanup(func() { srv2.Close() })
+	waitFor(t, 20*time.Second, "client to resume against server 2", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 10*time.Second, "post-resume sync", func() bool {
+		return c.Sync() == nil
+	})
+
+	// The recovered state is auditable server-side...
+	jm := srv2.Metrics().Journal
+	if !jm.Enabled {
+		t.Fatal("journal metrics not enabled on server 2")
+	}
+	if jm.RecoveredSessions != 1 {
+		t.Errorf("RecoveredSessions = %d, want 1", jm.RecoveredSessions)
+	}
+	if jm.RecoveredHandles < 1 {
+		t.Errorf("RecoveredHandles = %d, want >= 1", jm.RecoveredHandles)
+	}
+	if jm.RecoveredSubs != 1 {
+		t.Errorf("RecoveredSubs = %d, want 1", jm.RecoveredSubs)
+	}
+
+	// ...and usable: the old handle takes calls (the counter's state died
+	// with server 1 — only calls the new incarnation executed count)...
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatalf("Add through recovered handle: %v", err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total < 1 {
+		t.Errorf("Total through recovered handle = %d, want >= 1", total)
+	}
+
+	// ...and the restored subscription delivers on the resumed upcall
+	// channel without the client ever re-subscribing.
+	waitFor(t, 10*time.Second, "restored subscription to deliver", func() bool {
+		if _, err := srv2.Publish("tick", int64(1)); err != nil {
+			t.Fatalf("publish on server 2: %v", err)
+		}
+		return ticks.Load() >= 1
+	})
+}
+
+// TestCrashRestartSurvivesDoubleRestart replays the journal twice in a
+// row — recovery output must itself recover.
+func TestCrashRestartSurvivesDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	sock := filepath.Join(dir, "clam.sock")
+	jdir := filepath.Join(dir, "journal")
+
+	newSrv := func() (*Server, net.Listener) {
+		srv := NewServer(testLibrary(t), WithJournal(jdir),
+			WithServerLog(func(format string, args ...any) { t.Logf(format, args...) }))
+		if _, err := srv.Load("child", 0); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(sock)
+		ln, err := srv.Listen("unix", sock)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, ln
+	}
+
+	srv, ln := newSrv()
+	c := dialClient(t, sock, WithoutClientBatching(), WithCallTimeout(3*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 1; round <= 2; round++ {
+		ln.Close()
+		c.rpcConn().Close()
+		waitFor(t, 5*time.Second, "session parked", func() bool {
+			srv.mu.Lock()
+			defer srv.mu.Unlock()
+			for _, sess := range srv.sessions {
+				return sess.linkDown.Load()
+			}
+			return false
+		})
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		srv, ln = newSrv()
+		want := uint64(round)
+		waitFor(t, 20*time.Second, "client resumed", func() bool {
+			return c.Metrics().Resilience.Reconnects >= want
+		})
+		waitFor(t, 10*time.Second, "sync after restart", func() bool {
+			return c.Sync() == nil
+		})
+		if err := obj.Call("Add", int64(1)); err != nil {
+			t.Fatalf("restart %d: Add: %v", round, err)
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Close()
+}
+
+// TestReplayGapFailsFastOnResume: when the bounded retransmit buffer has
+// dropped frames the server never executed, a resume must refuse to
+// pretend — the client fails definitively with ErrReplayGap instead of
+// silently losing calls (the old behavior was a log line and a hole).
+func TestReplayGapFailsFastOnResume(t *testing.T) {
+	_, path := startServer(t, WithResumeWindow(5*time.Second))
+	c := dialClient(t, path, WithoutClientBatching(), WithCallTimeout(2*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unacknowledged async frame keeps the replay buffer non-trivial.
+	if err := obj.Async("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the cap having evicted unacked frames beyond anything the
+	// server received: the next resume's RecvSeq is necessarily below
+	// rtDroppedTo, so the replay range has a hole.
+	c.bmu.Lock()
+	c.rtDroppedTo = c.sendSeq + 5
+	c.bmu.Unlock()
+
+	c.rpcConn().Close()
+
+	var callErr error
+	waitFor(t, 10*time.Second, "calls to fail definitively", func() bool {
+		callErr = obj.Call("Add", int64(1))
+		return callErr != nil && !errors.Is(callErr, ErrDisconnected) && !errors.Is(callErr, ErrCallTimeout)
+	})
+	if !errors.Is(callErr, ErrReplayGap) {
+		t.Errorf("post-gap call error = %v, want ErrReplayGap", callErr)
+	}
+	if got := c.Metrics().Resilience.Reconnects; got != 0 {
+		t.Errorf("client reconnects = %d, want 0 (resume must be abandoned)", got)
+	}
+}
+
+// TestRetransmitDropsCounted drives the replay buffer past its byte cap
+// with real unacknowledged async traffic and checks the former silent
+// drop now shows up in the client's resilience counters.
+func TestRetransmitDropsCounted(t *testing.T) {
+	_, path := startServer(t, WithResumeWindow(5*time.Second))
+	c := dialClient(t, path, WithoutClientBatching(), WithCallTimeout(5*time.Second))
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Each Record frame carries ~512KiB and, being async, draws no reply
+	// to piggyback an ack on — the buffer must cross 4MiB and evict.
+	payload := string(bytes.Repeat([]byte("x"), 512<<10))
+	for i := 0; i < 12; i++ {
+		if err := obj.Async("Record", payload); err != nil {
+			t.Fatalf("Record %d: %v", i, err)
+		}
+	}
+	c.bmu.Lock()
+	droppedTo := c.rtDroppedTo
+	c.bmu.Unlock()
+	drops := c.Metrics().Resilience.RetransmitDrops
+	if drops == 0 {
+		t.Fatalf("no retransmit drops counted past the %d-byte cap (rt eviction not reaching the counter)", maxRetransmitBytes)
+	}
+	if droppedTo == 0 {
+		t.Fatal("rtDroppedTo never advanced despite counted drops")
+	}
+	t.Logf("drops=%d droppedTo=%d", drops, droppedTo)
+
+	// With the link healthy the drops are harmless — everything already
+	// reached the server in order; a final sync settles the stream.
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

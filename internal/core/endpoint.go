@@ -74,6 +74,16 @@ type endpoint struct {
 	rt       []rtEntry
 	rtBytes  int
 
+	// rtDroppedTo is the highest frame sequence evicted unacknowledged
+	// from rt under the maxRetransmitBytes cap (0 = none); guarded by bmu.
+	// At resume time it turns the cap's silent possible-loss into a
+	// definitive answer: if the peer has not received everything up to it,
+	// the replay range has a hole and the resume must fail rather than
+	// resurrect a session that silently lost calls. replayGap records that
+	// verdict for error reporting.
+	rtDroppedTo uint64
+	replayGap   atomic.Bool
+
 	// callTimeout bounds each armed wait: the client's WithCallTimeout on
 	// call replies, the server's WithUpcallTimeout on upcall replies.
 	callTimeout time.Duration
@@ -140,6 +150,7 @@ type linkCounters struct {
 	reconnects     atomic.Uint64
 	replayed       atomic.Uint64
 	dedups         atomic.Uint64
+	rtDrops        atomic.Uint64
 }
 
 func (lc *linkCounters) snapshot() LinkStats {
@@ -407,6 +418,9 @@ func (e *endpoint) awaitTask(ctx context.Context, seq uint64, w *waiter) (*wire.
 // that composes with WithRetry/MarkIdempotent — ahead of the terminal
 // diagnoses.
 func (e *endpoint) closedErr() error {
+	if e.replayGap.Load() {
+		return ErrReplayGap
+	}
 	if e.linkDown.Load() {
 		return ErrDisconnected
 	}
@@ -497,6 +511,8 @@ func (e *endpoint) writeBatchLocked() error {
 			e.rtBytes -= len(e.rt[0].body)
 			e.logf("clam: retransmit buffer over %d bytes; dropping unacked batch %d (%d calls)",
 				maxRetransmitBytes, e.rt[0].seq, e.rt[0].calls)
+			e.rtDroppedTo = e.rt[0].seq
+			e.link.rtDrops.Add(1)
 			e.rt = e.rt[1:]
 		}
 	}
@@ -664,15 +680,22 @@ func (e *endpoint) shutdown(sendBye bool) {
 		e.resMu.Lock()
 		close(e.closedCh)
 		up := e.upcallConn()
+		// rc is nil for a journal-recovered parked session that expired
+		// before any client resumed: such an endpoint never had a connection.
+		rc := e.rpcConn()
 		if sendBye {
 			// Best-effort goodbyes; the peer treats a dropped connection
 			// the same way.
-			e.rpcConn().Send(&wire.Msg{Type: wire.MsgBye})
+			if rc != nil {
+				rc.Send(&wire.Msg{Type: wire.MsgBye})
+			}
 			if up != nil {
 				up.Send(&wire.Msg{Type: wire.MsgBye})
 			}
 		}
-		e.rpcConn().Close()
+		if rc != nil {
+			rc.Close()
+		}
 		if up != nil {
 			up.Close()
 		}

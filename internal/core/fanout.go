@@ -576,14 +576,25 @@ func (f *FanoutClass) Subscribe(topic string, procID uint64) (uint64, error) {
 	if sess == nil {
 		return 0, errors.New("clam: subscribing session is gone")
 	}
-	return f.srv.fan.subscribe(topic, f.shardKey(), procID, sess)
+	key := f.shardKey()
+	id, err := f.srv.fan.subscribe(topic, key, procID, sess)
+	if err != nil {
+		return 0, err
+	}
+	f.srv.journalSubscribe(id, key, topic, procID, f.sessID)
+	return id, nil
 }
 
 // Unsubscribe cancels subscription id on topic, returning the client
 // procedure id it delivered to (so the client can retire it) and whether
 // the subscription existed.
 func (f *FanoutClass) Unsubscribe(topic string, id uint64) (uint64, bool) {
-	return f.srv.fan.unsubscribe(topic, f.shardKey(), id)
+	key := f.shardKey()
+	procID, ok := f.srv.fan.unsubscribe(topic, key, id)
+	if ok {
+		f.srv.journalUnsubscribe(topic, key, id)
+	}
+	return procID, ok
 }
 
 // Subscribers reports the live subscription count for topic, across all

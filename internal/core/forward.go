@@ -418,7 +418,7 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 		if isStaleHandleErr(err) {
 			// The lower server revoked the real object: revoke our proxy so
 			// the upper handle dies with it.
-			srv.handles.RevokeObj(pr)
+			srv.revokeHandleObj(pr)
 		}
 		status, msg := rpc.StatusDispatch, err.Error()
 		var re *rpc.RemoteError

@@ -50,7 +50,7 @@ func (h *serverObjectHook) BundleObject(s *xdr.Stream, v reflect.Value) error {
 		if err != nil {
 			return fmt.Errorf("clam: object of unloaded class %s cannot leave the server: %w", v.Type(), err)
 		}
-		hd, err := sess.srv.handles.Put(v.Interface(), loaded.ID, loaded.Version)
+		hd, err := sess.srv.putHandle(v.Interface(), loaded, sess.id)
 		if err != nil {
 			return err
 		}
@@ -105,10 +105,11 @@ func (h *serverProcHook) BundleProc(s *xdr.Stream, v reflect.Value) error {
 			v.Set(reflect.Zero(v.Type()))
 			return nil
 		}
-		_, proxy, err := sess.srv.rucs.Bind(procID, v.Type(), sess)
+		entry, proxy, err := sess.srv.rucs.Bind(procID, v.Type(), sess)
 		if err != nil {
 			return err
 		}
+		sess.srv.journalBindRUC(entry.ID, procID, sess.id)
 		v.Set(proxy)
 		return nil
 	}

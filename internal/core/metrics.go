@@ -159,6 +159,31 @@ type MetricsSnapshot struct {
 	Resilience ResilienceStats
 	// Fanout carries the multicast counters (RegisterMulticast/Publish).
 	Fanout FanoutStats
+	// Journal carries the write-ahead journal counters (WithJournal);
+	// zero-valued with Enabled false when the server runs without one.
+	Journal JournalStats
+}
+
+// JournalStats describes the write-ahead journal (journal.go) and what
+// the last recovery rebuilt from it.
+type JournalStats struct {
+	// Enabled reports whether the server runs with WithJournal.
+	Enabled bool
+	// Appends counts records accepted; SyncAppends the subset that waited
+	// for their fsync (grants, mints, registrations); Fsyncs the actual
+	// disk syncs — group commit makes Fsyncs << Appends under load.
+	Appends, SyncAppends, Fsyncs uint64
+	// Compactions counts snapshot rewrites; SizeBytes is the journal file's
+	// current size.
+	Compactions uint64
+	SizeBytes   int64
+	// RecoveredSessions, RecoveredHandles and RecoveredSubs report what the
+	// last restart rebuilt from the journal.
+	RecoveredSessions, RecoveredHandles, RecoveredSubs uint64
+	// TornTailTruncated reports that the journal ended mid-record on open
+	// (crash during a write) and recovery truncated to the last complete
+	// record — expected after a hard crash, a red flag otherwise.
+	TornTailTruncated bool
 }
 
 // FanoutStats counts multicast fan-out activity (fanout.go).
@@ -204,6 +229,11 @@ type ResilienceStats struct {
 	// window because they had already executed — the visible half of the
 	// at-most-once guarantee.
 	DedupDrops uint64
+	// RetransmitDrops counts unacknowledged batches evicted from the
+	// bounded replay buffer. Nonzero means a later resume may find a hole
+	// in its replay range and fail with ErrReplayGap instead of silently
+	// losing those calls.
+	RetransmitDrops uint64
 	// BreakerOpens counts times an upstream circuit breaker tripped open
 	// (WithUpstreamBreaker).
 	BreakerOpens uint64
@@ -296,9 +326,10 @@ func (s *Server) Metrics() MetricsSnapshot {
 		},
 		Dispatch: s.exec.stats(),
 		Resilience: ResilienceStats{
-			Reconnects:    m.resumes.Load(),
-			ReplayedCalls: m.link.replayed.Load(),
-			DedupDrops:    m.link.dedups.Load(),
+			Reconnects:      m.resumes.Load(),
+			ReplayedCalls:   m.link.replayed.Load(),
+			DedupDrops:      m.link.dedups.Load(),
+			RetransmitDrops: m.link.rtDrops.Load(),
 		},
 		Fanout: FanoutStats{
 			EventsPublished:  m.fanPublished.Load(),
@@ -321,8 +352,24 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap.Resilience.Reconnects += u.c.link.reconnects.Load()
 		snap.Resilience.ReplayedCalls += u.c.link.replayed.Load()
 		snap.Resilience.DedupDrops += u.c.link.dedups.Load()
+		snap.Resilience.RetransmitDrops += u.c.link.rtDrops.Load()
 		if u.br != nil {
 			snap.Resilience.BreakerOpens += u.br.opens.Load()
+		}
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		snap.Journal = JournalStats{
+			Enabled:           true,
+			Appends:           js.Appends,
+			SyncAppends:       js.SyncAppends,
+			Fsyncs:            js.Fsyncs,
+			Compactions:       js.Compactions,
+			SizeBytes:         js.SizeBytes,
+			RecoveredSessions: s.recov.sessions.Load(),
+			RecoveredHandles:  s.recov.handles.Load(),
+			RecoveredSubs:     s.recov.subs.Load(),
+			TornTailTruncated: s.recov.torn.Load(),
 		}
 	}
 	if s.fan != nil {

@@ -14,6 +14,7 @@ import (
 	"clam/internal/bundle"
 	"clam/internal/dynload"
 	"clam/internal/handle"
+	"clam/internal/journal"
 	"clam/internal/rpc"
 	"clam/internal/ruc"
 	"clam/internal/task"
@@ -78,6 +79,17 @@ type Server struct {
 	// subscription table behind Publish/RegisterMulticast.
 	fanoutShards int
 	fan          *fanoutState
+
+	// Write-ahead journal (WithJournal, journal.go): the durable record of
+	// grants, mints, registrations and receive marks that lets parked
+	// sessions survive a server crash. journalErr is a deferred open
+	// failure surfaced by Serve/Listen; recoverOnce gates phase-2 replay.
+	journalDir  string
+	journal     *journal.Journal
+	journalErr  error
+	jstate      *journal.State
+	recoverOnce sync.Once
+	recov       journalRecovery
 
 	metrics *metrics
 }
@@ -275,6 +287,7 @@ func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 		}
 		s.exec = newExecutor(s, s.dispatchWorkers)
 	}
+	s.openJournal()
 	return s
 }
 
@@ -390,7 +403,11 @@ func (s *Server) instantiate(loaded *dynload.Loaded, env any) (any, handle.Handl
 	if reflect.TypeOf(obj) != loaded.Type {
 		return nil, handle.Nil, fmt.Errorf("clam: %s constructor returned %T, want %s", loaded.Name, obj, loaded.Type)
 	}
-	h, err := s.handles.Put(obj, loaded.ID, loaded.Version)
+	var sessID uint64
+	if e, ok := env.(*Env); ok {
+		sessID = e.SessionID
+	}
+	h, err := s.putHandle(obj, loaded, sessID)
 	if err != nil {
 		return nil, handle.Nil, err
 	}
@@ -398,11 +415,20 @@ func (s *Server) instantiate(loaded *dynload.Loaded, env any) (any, handle.Handl
 }
 
 // SetNamed publishes obj under a well-known name so clients (and other
-// modules) can find base instances such as the screen.
+// modules) can find base instances such as the screen. If obj already has
+// a handle, the name binding is journaled so recovery re-binds the
+// journaled capability to the re-registered object of the same name.
 func (s *Server) SetNamed(name string, obj any) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.named[name] = obj
+	s.mu.Unlock()
+	if s.journal != nil {
+		if h, ok := s.handles.Lookup(obj); ok {
+			if err := s.journal.BindName(name, uint64(h.ID)); err != nil && !errors.Is(err, journal.ErrClosed) {
+				s.logf("clam: journal: recording name %q for %v: %v", name, h, err)
+			}
+		}
+	}
 }
 
 // Named retrieves a published instance.
@@ -439,6 +465,10 @@ func (e *Env) Sched() *task.Sched {
 // Serve accepts CLAM connections on ln until the server closes. It
 // returns after the listener fails or Close is called.
 func (s *Server) Serve(ln net.Listener) error {
+	if s.journalErr != nil {
+		return s.journalErr
+	}
+	s.ensureRecovered()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -469,6 +499,9 @@ func (s *Server) Serve(ln net.Listener) error {
 // Listen starts serving on the given network and address in a background
 // goroutine and returns the bound listener.
 func (s *Server) Listen(network, addr string) (net.Listener, error) {
+	if s.journalErr != nil {
+		return nil, s.journalErr
+	}
 	ln, err := net.Listen(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("clam: listen %s %s: %w", network, addr, err)
@@ -519,6 +552,10 @@ func (s *Server) handleConn(c *wire.Conn) {
 			c.Close()
 			return
 		}
+		// The resume token must be durable before the reply hands it to the
+		// client: a token the client holds but a restarted server has never
+		// heard of would make resurrection a liar.
+		s.journalGrant(sess)
 		if err := s.sendHelloReply(c, seq, sess); err != nil {
 			s.dropSession(sess)
 			return
@@ -593,6 +630,10 @@ func (s *Server) handleResume(c *wire.Conn, msg *wire.Msg) {
 			return
 		}
 		s.metrics.countResume()
+		// The bumped fence must be durable before the reply: were the server
+		// to crash after replying but journal the old epoch, a restart would
+		// admit a link the fence already retired.
+		s.journalEpoch(sess, epoch)
 		s.logf("clam: session %d: resumed (epoch %d)", sess.id, epoch)
 		// Send failure is not fatal here: a dead fresh link re-parks via
 		// the read loop below.
@@ -681,6 +722,9 @@ func (s *Server) dropSession(sess *session) {
 	// registrations do; parked sessions never reach here, so theirs
 	// survive resurrection.
 	s.fan.dropCaller(sess)
+	// The end is definitive (eviction, expiry or goodbye — never a mere
+	// park), so recovery must not resurrect this session.
+	s.journalEndSession(sess)
 }
 
 // sessionByID returns the live (or parked) session with the given id.
@@ -733,7 +777,15 @@ func (s *Server) Close() error {
 	// or forwarded calls have been cancelled; now the pool can drain.
 	s.exec.close()
 	s.wg.Wait()
-	return s.sched.Close()
+	err := s.sched.Close()
+	// Last: a final group commit flushes coalesced receive marks, so a
+	// clean shutdown recovers with marks current, not one commit behind.
+	if s.journal != nil {
+		if jerr := s.journal.Close(); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // bytesBuf is a minimal write buffer avoiding the bytes import dance in

@@ -88,6 +88,15 @@ type session struct {
 	parked    bool
 	parkTimer *time.Timer
 	recvSeq   atomic.Uint64
+
+	// Journaled receive high-water mark (journal.go). The per-object
+	// executor completes frames out of order, but a durable mark must mean
+	// "everything at or below executed", so completions above the
+	// contiguous frontier wait in markAbove until the gap fills. Only
+	// touched when the server journals.
+	markMu    sync.Mutex
+	markHW    uint64
+	markAbove map[uint64]struct{}
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
@@ -121,6 +130,15 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 // acquireUpcallGate claims an active-upcall slot, waiting in a token-safe
 // way. It returns false if the session closed first.
 func (sess *session) acquireUpcallGate(cur *task.Task) bool {
+	// One reusable timer for the goroutine-waiter branch: a contended gate
+	// spins here many times, and a fresh time.After per spin would leave a
+	// garbage timer behind each pass.
+	var gateTimer *time.Timer
+	defer func() {
+		if gateTimer != nil {
+			gateTimer.Stop()
+		}
+	}()
 	for {
 		sess.gateMu.Lock()
 		if sess.upBusy < sess.upMax {
@@ -140,12 +158,23 @@ func (sess *session) acquireUpcallGate(cur *task.Task) bool {
 			sess.releaseDispatch()
 			cur.Block(&sess.upFree)
 		} else {
+			if gateTimer == nil {
+				gateTimer = time.NewTimer(50 * time.Millisecond)
+			} else {
+				gateTimer.Reset(50 * time.Millisecond)
+			}
 			select {
 			case <-sess.upFreeCh:
 			case <-sess.closedCh:
 				return false
-			case <-time.After(50 * time.Millisecond):
+			case <-gateTimer.C:
 				// Re-check: the release signal may have gone to a task.
+			}
+			if !gateTimer.Stop() {
+				select {
+				case <-gateTimer.C:
+				default:
+				}
 			}
 		}
 	}
@@ -524,6 +553,7 @@ func (sess *session) dispatch(t *task.Task) {
 // execMsg executes one queued message and releases it: the shared body of
 // the serial dispatcher loop and the per-object executor's workers.
 func (sess *session) execMsg(msg *wire.Msg) {
+	seq, typ := msg.Seq, msg.Type
 	switch msg.Type {
 	case wire.MsgCall:
 		sess.execBatch(msg)
@@ -544,6 +574,11 @@ func (sess *session) execMsg(msg *wire.Msg) {
 		sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
 	}
 	msg.Release()
+	// The mark is written strictly after execution: journaling a frame the
+	// crash then loses would silently break at-most-once on replay.
+	if sess.srv.journal != nil && typ == wire.MsgCall && seq != 0 {
+		sess.noteExecuted(seq)
+	}
 }
 
 // releaseDispatch is called by the RUC caller just before blocking for a
@@ -816,7 +851,7 @@ func (sess *session) execLoadNamed(req *loadBody, reply *loadReplyBody) {
 		reply.ErrMsg = err.Error()
 		return
 	}
-	h, err := sess.srv.handles.Put(obj, loaded.ID, loaded.Version)
+	h, err := sess.srv.putHandle(obj, loaded, sess.id)
 	if err != nil {
 		reply.ErrMsg = err.Error()
 		return

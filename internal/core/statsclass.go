@@ -31,6 +31,15 @@ func (s *StatsClass) Totals() (int64, int64, int64, int64) {
 	return int64(m.SyncCalls), int64(m.AsyncCalls), int64(m.Upcalls), int64(m.Faults)
 }
 
+// Resilience returns (reconnects, replayedCalls, dedupDrops,
+// retransmitDrops) — the at-most-once ledger a crash-restart test
+// audits remotely.
+func (s *StatsClass) Resilience() (int64, int64, int64, int64) {
+	m := s.srv.Metrics()
+	r := m.Resilience
+	return int64(r.Reconnects), int64(r.ReplayedCalls), int64(r.DedupDrops), int64(r.RetransmitDrops)
+}
+
 // Sessions reports connected clients.
 func (s *StatsClass) Sessions() int64 {
 	return int64(s.srv.SessionCount())

@@ -121,14 +121,22 @@ func NewTable() *Table {
 // handle. Registering the same object again returns the same handle, so an
 // object passed out of the server twice compares equal on the client.
 func (t *Table) Put(obj any, classID, version uint32) (Handle, error) {
+	h, _, err := t.PutNew(obj, classID, version)
+	return h, err
+}
+
+// PutNew is Put that additionally reports whether the handle was minted
+// by this call (false when obj was already registered). Callers that
+// journal mints use it to record each capability exactly once.
+func (t *Table) PutNew(obj any, classID, version uint32) (Handle, bool, error) {
 	if obj == nil {
-		return Nil, nil
+		return Nil, false, nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if id, ok := t.byObj[obj]; ok {
 		e := t.entries[id]
-		return Handle{ID: id, Tag: e.Tag}, nil
+		return Handle{ID: id, Tag: e.Tag}, false, nil
 	}
 	t.next++
 	id := t.next
@@ -138,7 +146,50 @@ func (t *Table) Put(obj any, classID, version uint32) (Handle, error) {
 	}
 	t.entries[id] = &Entry{ClassID: classID, Version: version, Tag: tag, Obj: obj}
 	t.byObj[obj] = id
-	return Handle{ID: id, Tag: tag}, nil
+	return Handle{ID: id, Tag: tag}, true, nil
+}
+
+// Restore installs obj under a previously minted handle, preserving its
+// (ID, Tag) capability — journal recovery re-binding client-held handles
+// to freshly re-created objects. If obj is already registered under
+// another ID the byObj mapping keeps the existing one (later Puts keep
+// returning it); the restored entry still validates the old capability.
+// The id allocator is advanced past h.ID so new mints never collide.
+func (t *Table) Restore(h Handle, classID, version uint32, obj any) {
+	if h.IsNil() || obj == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[h.ID] = &Entry{ClassID: classID, Version: version, Tag: h.Tag, Obj: obj}
+	if _, ok := t.byObj[obj]; !ok {
+		t.byObj[obj] = h.ID
+	}
+	if h.ID > t.next {
+		t.next = h.ID
+	}
+}
+
+// FloorID advances the id allocator so no future mint uses an identifier
+// at or below id. Recovery calls it with the journaled maximum before
+// any new handles are minted.
+func (t *Table) FloorID(id ID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id > t.next {
+		t.next = id
+	}
+}
+
+// Lookup returns the handle registered for obj, if any.
+func (t *Table) Lookup(obj any) (Handle, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	id, ok := t.byObj[obj]
+	if !ok {
+		return Nil, false
+	}
+	return Handle{ID: id, Tag: t.entries[id].Tag}, true
 }
 
 // Get validates h and returns the object it names.

@@ -1,0 +1,941 @@
+// Package journal implements the server's opt-in write-ahead log: the
+// durable half of session resurrection. PR 5's resume protocol survives
+// link death but not process death — a kill -9 loses every parked
+// session, handle-table entry and fan-out registration. The journal
+// records the server's control plane (resume-token grants with their
+// epoch, handle mints and revocations, name bindings, RUC and multicast
+// registrations, per-session receive high-water marks) as length-prefixed
+// CRC-checked records, so a restarted server can rebuild the park table
+// and let the existing MsgResume handshake reattach clients with no
+// client-side changes.
+//
+// Durability classes keep the hot call path off the disk:
+//
+//   - Control-plane records (grants, epoch bumps, mints, bindings) are
+//     appended synchronously: the caller waits for the group commit's
+//     fsync before acting on the record (e.g. before the hello reply
+//     carries the token to the client).
+//   - Receive marks — one per executed call frame — are coalesced
+//     per-session (latest wins) and ride the next group commit
+//     asynchronously; mark-only commits write to the OS each tick but
+//     lag the fsync (bounded by maxFsyncLag), so steady-state call
+//     traffic costs one buffered write per tick, not one fsync. A mark
+//     is written only after its frame executed, so a crash can lose
+//     recent marks but never invent one: the recovered receive window
+//     is a floor, and the worst case is a replayed frame re-executing
+//     against post-restart state, which is exactly the at-most-once
+//     contract the resume protocol already provides (DESIGN.md §6.3,
+//     §6.5).
+//
+// The journal folds every record into an in-memory State as it is
+// appended, which makes compaction self-contained: a snapshot of the
+// live State is written to a temporary file, fsynced, and renamed over
+// the log, bounding growth without consulting the server (and therefore
+// without any lock-order entanglement with it).
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clam/internal/xdr"
+)
+
+// Record kinds. The on-disk kind values are part of the journal format;
+// append only.
+const (
+	recFloors  uint32 = 1  // id-space floors (emitted by compaction)
+	recGrant   uint32 = 2  // session created: resume token granted
+	recEpoch   uint32 = 3  // session resumed: epoch fence bumped
+	recMark    uint32 = 4  // receive high-water mark advanced
+	recMint    uint32 = 5  // handle minted
+	recRevoke  uint32 = 6  // handle revoked
+	recName    uint32 = 7  // well-known name bound to a handle
+	recSub     uint32 = 8  // multicast subscription registered
+	recUnsub   uint32 = 9  // multicast subscription cancelled
+	recRUC     uint32 = 10 // point-to-point RUC procedure bound
+	recSessEnd uint32 = 11 // session ended (evicted, expired, goodbye)
+)
+
+// Format framing.
+const (
+	magic         = "CLAMJRNL"
+	formatVersion = uint32(1)
+	headerSize    = len(magic) + 4
+	// maxRecordSize bounds one record body; anything larger on read is
+	// corruption, not data.
+	maxRecordSize = 1 << 20
+)
+
+// Options configures Open. The zero value selects the defaults.
+type Options struct {
+	// Log receives diagnostics; default log.Printf.
+	Log func(format string, args ...any)
+	// CommitInterval is the group-commit cadence: how long appended
+	// records may sit in memory before the background committer writes
+	// and fsyncs them (default 2ms). Synchronous appends wake the
+	// committer immediately and only wait out the fsync itself.
+	CommitInterval time.Duration
+	// CompactThreshold is the journal size (bytes) past which the
+	// committer folds the log into a snapshot of its live state
+	// (default 4MiB). Zero keeps the default; negative disables
+	// automatic compaction (Compact may still be called explicitly).
+	CompactThreshold int64
+}
+
+// SessionState is the recovered durable identity of one session.
+type SessionState struct {
+	Token   uint64
+	Epoch   uint32
+	RecvSeq uint64 // receive high-water mark: every frame <= this executed
+}
+
+// HandleState is one recovered handle-table entry. The object itself is
+// not durable; the server re-binds the (ID, Tag) capability to a
+// re-registered named object or a re-instantiated class instance.
+type HandleState struct {
+	ID      uint64
+	Tag     uint64
+	Class   string
+	Version uint32
+	Session uint64 // minting session; zero for server-side mints
+}
+
+// SubState is one recovered multicast subscription.
+type SubState struct {
+	ID      uint64
+	Key     uint64
+	Topic   string
+	ProcID  uint64
+	Session uint64
+}
+
+// RUCState is one recorded point-to-point RUC binding. The procedure's
+// Go func type does not survive a restart, so these are reported (and
+// their id space floored) rather than rebuilt; the durable fan-out path
+// is the multicast table, whose types re-derive from topic prototypes.
+type RUCState struct {
+	ID      uint64
+	ProcID  uint64
+	Session uint64
+}
+
+// State is the journal's fold: what a replay of every record yields.
+// Open returns the recovered state; the journal keeps folding appended
+// records into its own copy so compaction can snapshot it.
+type State struct {
+	Sessions map[uint64]*SessionState
+	Handles  map[uint64]*HandleState
+	Names    map[string]uint64 // well-known name -> handle ID
+	Subs     map[uint64]*SubState
+	RUCs     map[uint64]*RUCState
+
+	// Id-space floors: the highest identifier ever journaled in each
+	// space, preserved across session ends, revocations and compactions
+	// so a restarted server never re-mints a live client's identifier.
+	MaxSession, MaxHandle, MaxSub, MaxRUC uint64
+
+	// Truncated reports that Open found (and cut) a torn tail record —
+	// the expected signature of a crash mid-write.
+	Truncated bool
+}
+
+func newState() *State {
+	return &State{
+		Sessions: make(map[uint64]*SessionState),
+		Handles:  make(map[uint64]*HandleState),
+		Names:    make(map[string]uint64),
+		Subs:     make(map[uint64]*SubState),
+		RUCs:     make(map[uint64]*RUCState),
+	}
+}
+
+// record is one decoded journal record; unused fields are zero.
+type record struct {
+	kind uint32
+	// identifiers
+	sess, id, tag, key, procID uint64
+	// floors (recFloors)
+	maxSess, maxHandle, maxSub, maxRUC uint64
+	seq                                uint64 // recMark
+	epoch                              uint32 // recEpoch
+	version                            uint32 // recMint
+	name                               string // recMint class / recName name / recSub+recUnsub topic
+}
+
+// bundle transfers the record body (kind included) on s.
+func (r *record) bundle(s *xdr.Stream) error {
+	s.Uint32(&r.kind)
+	switch r.kind {
+	case recFloors:
+		s.Uint64(&r.maxSess)
+		s.Uint64(&r.maxHandle)
+		s.Uint64(&r.maxSub)
+		s.Uint64(&r.maxRUC)
+	case recGrant:
+		s.Uint64(&r.sess)
+		s.Uint64(&r.id) // token
+	case recEpoch:
+		s.Uint64(&r.sess)
+		s.Uint32(&r.epoch)
+	case recMark:
+		s.Uint64(&r.sess)
+		s.Uint64(&r.seq)
+	case recMint:
+		s.Uint64(&r.id)
+		s.Uint64(&r.tag)
+		s.String(&r.name) // class name
+		s.Uint32(&r.version)
+		s.Uint64(&r.sess)
+	case recRevoke:
+		s.Uint64(&r.id)
+	case recName:
+		s.String(&r.name)
+		s.Uint64(&r.id)
+	case recSub, recUnsub:
+		s.Uint64(&r.id)
+		s.Uint64(&r.key)
+		s.String(&r.name) // topic
+		s.Uint64(&r.procID)
+		s.Uint64(&r.sess)
+	case recRUC:
+		s.Uint64(&r.id)
+		s.Uint64(&r.procID)
+		s.Uint64(&r.sess)
+	case recSessEnd:
+		s.Uint64(&r.sess)
+	default:
+		if s.Err() == nil {
+			s.SetErr(fmt.Errorf("journal: unknown record kind %d", r.kind))
+		}
+	}
+	return s.Err()
+}
+
+// apply folds one record into st.
+func (st *State) apply(r *record) {
+	switch r.kind {
+	case recFloors:
+		st.MaxSession = max(st.MaxSession, r.maxSess)
+		st.MaxHandle = max(st.MaxHandle, r.maxHandle)
+		st.MaxSub = max(st.MaxSub, r.maxSub)
+		st.MaxRUC = max(st.MaxRUC, r.maxRUC)
+	case recGrant:
+		st.Sessions[r.sess] = &SessionState{Token: r.id}
+		st.MaxSession = max(st.MaxSession, r.sess)
+	case recEpoch:
+		if ss := st.Sessions[r.sess]; ss != nil {
+			ss.Epoch = r.epoch
+		}
+	case recMark:
+		if ss := st.Sessions[r.sess]; ss != nil && r.seq > ss.RecvSeq {
+			ss.RecvSeq = r.seq
+		}
+	case recMint:
+		st.Handles[r.id] = &HandleState{
+			ID: r.id, Tag: r.tag, Class: r.name, Version: r.version, Session: r.sess,
+		}
+		st.MaxHandle = max(st.MaxHandle, r.id)
+	case recRevoke:
+		delete(st.Handles, r.id)
+		for name, id := range st.Names {
+			if id == r.id {
+				delete(st.Names, name)
+			}
+		}
+	case recName:
+		st.Names[r.name] = r.id
+	case recSub:
+		st.Subs[r.id] = &SubState{
+			ID: r.id, Key: r.key, Topic: r.name, ProcID: r.procID, Session: r.sess,
+		}
+		st.MaxSub = max(st.MaxSub, r.id)
+	case recUnsub:
+		delete(st.Subs, r.id)
+	case recRUC:
+		st.RUCs[r.id] = &RUCState{ID: r.id, ProcID: r.procID, Session: r.sess}
+		st.MaxRUC = max(st.MaxRUC, r.id)
+	case recSessEnd:
+		delete(st.Sessions, r.sess)
+		for id, sub := range st.Subs {
+			if sub.Session == r.sess {
+				delete(st.Subs, id)
+			}
+		}
+		for id, e := range st.RUCs {
+			if e.Session == r.sess {
+				delete(st.RUCs, id)
+			}
+		}
+	}
+}
+
+// Stats is a point-in-time copy of the journal's I/O counters.
+type Stats struct {
+	// Appends counts records appended (including coalesced marks as
+	// written, not as submitted); SyncAppends the subset whose caller
+	// waited for the fsync.
+	Appends, SyncAppends uint64
+	// Fsyncs counts group commits that reached the disk; Compactions
+	// counts snapshot+rename cycles.
+	Fsyncs, Compactions uint64
+	// SizeBytes is the journal file's current size.
+	SizeBytes int64
+}
+
+// Journal is an open write-ahead log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	path string
+	logf func(string, ...any)
+
+	interval  time.Duration
+	compactAt int64
+
+	// mu guards the pending buffer, the coalesced marks, the waiter
+	// list, the live state fold and the closed flag. Appends only touch
+	// memory under mu; file I/O happens under io on the committer.
+	mu      sync.Mutex
+	pending xdr.Buffer
+	scratch xdr.Buffer // per-record body workspace
+	enc     xdr.Stream
+	marks   map[uint64]uint64 // session -> latest executed-frame mark
+	waiters []chan error
+	state   *State
+	closed  bool
+
+	// io serializes the committer's write+fsync against compaction.
+	io    sync.Mutex
+	f     *os.File
+	lock  *os.File // flock on the dir's lock file; nil where unsupported
+	size  int64
+	spare []byte // committer-owned double buffer
+
+	// Fsync lag for asynchronous records (under io): commits containing
+	// only coalesced marks write to the OS immediately — a killed process
+	// loses nothing in the page cache — but defer the fsync until a sync
+	// waiter needs one or lagTicks commits have passed, keeping the
+	// steady-state call path to one write per tick instead of one fsync.
+	unsynced int64
+	lagTicks int
+
+	wake     chan struct{}
+	done     chan struct{}
+	closedWg sync.WaitGroup
+
+	appends     atomic.Uint64
+	syncAppends atomic.Uint64
+	fsyncs      atomic.Uint64
+	compactions atomic.Uint64
+	lastErr     atomic.Value // error
+}
+
+// Open opens (or creates) the journal in dir, replays it to its live
+// state — truncating a torn tail to the last complete record — and
+// starts the group-commit goroutine. The returned State is the caller's
+// to consume; the journal keeps its own fold.
+func Open(dir string, opts Options) (*Journal, *State, error) {
+	if opts.Log == nil {
+		opts.Log = log.Printf
+	}
+	if opts.CommitInterval <= 0 {
+		opts.CommitInterval = 2 * time.Millisecond
+	}
+	switch {
+	case opts.CompactThreshold == 0:
+		opts.CompactThreshold = 4 << 20
+	case opts.CompactThreshold < 0:
+		opts.CompactThreshold = 0 // disabled
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	// Exclusive advisory lock on the directory: two processes appending
+	// to one journal would interleave records and corrupt recovery. The
+	// lock dies with the process — kill -9 included — so a crashed
+	// server never wedges its successor.
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, "clam.journal")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{
+		path:      path,
+		logf:      opts.Log,
+		interval:  opts.CommitInterval,
+		compactAt: opts.CompactThreshold,
+		marks:     make(map[uint64]uint64),
+		wake:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
+		f:         f,
+		lock:      lock,
+	}
+	st, size, err := j.replay(f)
+	if err != nil {
+		f.Close()
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, err
+	}
+	j.size = size
+	j.state = st
+	// The journal's own fold must not alias the caller's copy: the
+	// server mutates recovered maps while the journal keeps folding.
+	j.mu.Lock()
+	j.state = cloneState(st)
+	j.mu.Unlock()
+	j.closedWg.Add(1)
+	go j.commitLoop()
+	return j, st, nil
+}
+
+func cloneState(st *State) *State {
+	c := newState()
+	for k, v := range st.Sessions {
+		cp := *v
+		c.Sessions[k] = &cp
+	}
+	for k, v := range st.Handles {
+		cp := *v
+		c.Handles[k] = &cp
+	}
+	for k, v := range st.Names {
+		c.Names[k] = v
+	}
+	for k, v := range st.Subs {
+		cp := *v
+		c.Subs[k] = &cp
+	}
+	for k, v := range st.RUCs {
+		cp := *v
+		c.RUCs[k] = &cp
+	}
+	c.MaxSession, c.MaxHandle, c.MaxSub, c.MaxRUC = st.MaxSession, st.MaxHandle, st.MaxSub, st.MaxRUC
+	c.Truncated = st.Truncated
+	return c
+}
+
+// replay scans f from the start, folds every complete record into a
+// fresh State, and truncates anything after the last complete record
+// (the torn tail a crash mid-write leaves behind). It leaves f
+// positioned at the end for appending and returns the surviving size.
+func (j *Journal) replay(f *os.File) (*State, int64, error) {
+	st := newState()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	if info.Size() == 0 {
+		// Fresh journal: stamp the header durably before any record.
+		var hdr [12]byte
+		copy(hdr[:], magic)
+		binary.BigEndian.PutUint32(hdr[8:], formatVersion)
+		if _, err := f.Write(hdr[:]); err != nil {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+		return st, int64(headerSize), nil
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("journal: reading header of %s: %w", j.path, err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, 0, fmt.Errorf("journal: %s is not a clam journal", j.path)
+	}
+	if v := binary.BigEndian.Uint32(hdr[8:]); v != formatVersion {
+		return nil, 0, fmt.Errorf("journal: %s has format version %d, want %d", j.path, v, formatVersion)
+	}
+
+	good := int64(headerSize)
+	var frame [8]byte
+	var body []byte
+	var rd xdr.Reader
+	var dec xdr.Stream
+	var rec record
+	for {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, 0, fmt.Errorf("journal: %w", err)
+			}
+			break
+		}
+		n := binary.BigEndian.Uint32(frame[0:4])
+		sum := binary.BigEndian.Uint32(frame[4:8])
+		if n == 0 || n > maxRecordSize {
+			break // corrupt length: treat as torn tail
+		}
+		if cap(body) < int(n) {
+			body = make([]byte, n)
+		}
+		body = body[:n]
+		if _, err := io.ReadFull(f, body); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, 0, fmt.Errorf("journal: %w", err)
+			}
+			break // short body: torn tail
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			break // bit rot or torn write: stop at the last good record
+		}
+		rd.Reset(body)
+		dec.ResetDecode(&rd)
+		rec = record{}
+		if err := rec.bundle(&dec); err != nil {
+			break // undecodable body: same treatment as a bad checksum
+		}
+		st.apply(&rec)
+		good += 8 + int64(n)
+	}
+	if good < info.Size() {
+		st.Truncated = true
+		j.logf("journal: %s: dropping torn tail (%d of %d bytes survive)", j.path, good, info.Size())
+		if err := f.Truncate(good); err != nil {
+			return nil, 0, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, 0, fmt.Errorf("journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	return st, good, nil
+}
+
+// --- appending ---------------------------------------------------------------
+
+// ErrClosed reports an append on a closed journal.
+var ErrClosed = errors.New("journal: closed")
+
+// appendLocked frames r into the pending buffer and folds it into the
+// live state; j.mu must be held.
+func (j *Journal) appendLocked(r *record) error {
+	j.scratch.Reset()
+	j.enc.ResetEncode(&j.scratch)
+	if err := r.bundle(&j.enc); err != nil {
+		return err
+	}
+	body := j.scratch.B
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(body))
+	j.pending.B = append(j.pending.B, frame[:]...)
+	j.pending.B = append(j.pending.B, body...)
+	j.state.apply(r)
+	j.appends.Add(1)
+	return nil
+}
+
+// append queues r for the next group commit without waiting.
+func (j *Journal) append(r *record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.appendLocked(r)
+}
+
+// appendSync queues r, wakes the committer, and waits until the record
+// is on disk (or the journal failed).
+func (j *Journal) appendSync(r *record) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	if err := j.appendLocked(r); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	ch := make(chan error, 1)
+	j.waiters = append(j.waiters, ch)
+	j.mu.Unlock()
+	j.syncAppends.Add(1)
+	select {
+	case j.wake <- struct{}{}:
+	default:
+	}
+	return <-ch
+}
+
+// Grant records a session's resume-token grant. Durable before the
+// caller replies to the hello, so a token a client holds is always one
+// a restarted server recognizes.
+func (j *Journal) Grant(sess, token uint64) error {
+	return j.appendSync(&record{kind: recGrant, sess: sess, id: token})
+}
+
+// EpochBump records a successful resume's new epoch fence. Durable
+// before the resume reply.
+func (j *Journal) EpochBump(sess uint64, epoch uint32) error {
+	return j.appendSync(&record{kind: recEpoch, sess: sess, epoch: epoch})
+}
+
+// Mark records that every numbered frame of sess at or below seq has
+// executed. Marks are coalesced per session (latest wins) and ride the
+// next group commit without blocking the caller — the hot-path append.
+func (j *Journal) Mark(sess, seq uint64) {
+	j.mu.Lock()
+	if !j.closed && seq > j.marks[sess] {
+		j.marks[sess] = seq
+	}
+	j.mu.Unlock()
+}
+
+// Mint records a handle-table entry: the (id, tag) capability plus the
+// class identity and minting session the server needs to re-bind it
+// after a restart.
+func (j *Journal) Mint(id, tag uint64, class string, version uint32, sess uint64) error {
+	return j.appendSync(&record{kind: recMint, id: id, tag: tag, name: class, version: version, sess: sess})
+}
+
+// Revoke records a handle revocation.
+func (j *Journal) Revoke(id uint64) error {
+	return j.appendSync(&record{kind: recRevoke, id: id})
+}
+
+// BindName records a well-known-name binding to a minted handle, so
+// recovery re-binds the old capability to the re-registered object
+// rather than instantiating a stranger of the same class.
+func (j *Journal) BindName(name string, id uint64) error {
+	return j.appendSync(&record{kind: recName, name: name, id: id})
+}
+
+// Subscribe records a multicast registration.
+func (j *Journal) Subscribe(id, key uint64, topic string, procID, sess uint64) error {
+	return j.appendSync(&record{kind: recSub, id: id, key: key, name: topic, procID: procID, sess: sess})
+}
+
+// Unsubscribe records a multicast cancellation.
+func (j *Journal) Unsubscribe(topic string, key, id uint64) error {
+	return j.appendSync(&record{kind: recUnsub, id: id, key: key, name: topic})
+}
+
+// BindRUC records a point-to-point RUC binding (reported, not rebuilt,
+// at recovery — see RUCState).
+func (j *Journal) BindRUC(id, procID, sess uint64) error {
+	return j.appendSync(&record{kind: recRUC, id: id, procID: procID, sess: sess})
+}
+
+// EndSession records a session's definitive end; its subscriptions and
+// RUC bindings die with it in the fold.
+func (j *Journal) EndSession(sess uint64) error {
+	return j.appendSync(&record{kind: recSessEnd, sess: sess})
+}
+
+// --- group commit ------------------------------------------------------------
+
+func (j *Journal) commitLoop() {
+	defer j.closedWg.Done()
+	t := time.NewTicker(j.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.done:
+			j.commitWith(true) // final drain: everything reaches the disk
+			return
+		case <-j.wake:
+		case <-t.C:
+		}
+		j.commit()
+		if j.compactAt > 0 && j.sizeNow() > j.compactAt {
+			if err := j.Compact(); err != nil {
+				j.logf("journal: compaction failed: %v", err)
+			}
+		}
+	}
+}
+
+func (j *Journal) sizeNow() int64 {
+	j.io.Lock()
+	defer j.io.Unlock()
+	return j.size
+}
+
+// drainMarksLocked turns the coalesced marks into pending records;
+// j.mu must be held.
+func (j *Journal) drainMarksLocked() {
+	if len(j.marks) == 0 {
+		return
+	}
+	for sess, seq := range j.marks {
+		if err := j.appendLocked(&record{kind: recMark, sess: sess, seq: seq}); err != nil {
+			j.logf("journal: encoding mark: %v", err)
+		}
+		delete(j.marks, sess)
+	}
+}
+
+// maxFsyncLag bounds how many commits an asynchronous-only record may
+// sit in the page cache before a periodic fsync covers it: ~100ms at the
+// default 2ms interval. A SIGKILL loses none of it (the write already
+// reached the OS); only a whole-machine crash can, and marks are a floor
+// the resume protocol tolerates losing.
+const maxFsyncLag = 50
+
+// commit writes everything pending and answers waiters; the fsync is
+// immediate when a synchronous append is waiting on it, lagged (bounded
+// by maxFsyncLag) when the batch holds only asynchronous records.
+func (j *Journal) commit() { j.commitWith(false) }
+
+func (j *Journal) commitWith(force bool) {
+	j.mu.Lock()
+	j.drainMarksLocked()
+	if j.pending.Len() == 0 && len(j.waiters) == 0 && !force {
+		j.mu.Unlock()
+		return
+	}
+	buf := j.pending.B
+	j.pending.B = j.spare[:0]
+	waiters := j.waiters
+	j.waiters = nil
+	j.mu.Unlock()
+
+	var err error
+	if len(buf) > 0 || force {
+		j.io.Lock()
+		if len(buf) > 0 {
+			if _, err = j.f.Write(buf); err == nil {
+				j.size += int64(len(buf))
+				j.unsynced += int64(len(buf))
+				j.lagTicks++
+			}
+		}
+		if err == nil && j.unsynced > 0 {
+			if force || len(waiters) > 0 || j.lagTicks >= maxFsyncLag {
+				if err = j.f.Sync(); err == nil {
+					j.fsyncs.Add(1)
+					j.unsynced = 0
+					j.lagTicks = 0
+				}
+			}
+		}
+		j.io.Unlock()
+	}
+	j.spare = buf[:0]
+	if err != nil {
+		j.lastErr.Store(err)
+		j.logf("journal: commit failed: %v", err)
+	}
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// --- compaction --------------------------------------------------------------
+
+// snapshotRecords emits the canonical record sequence for st, sorted so
+// the output is deterministic.
+func snapshotRecords(st *State, emit func(*record) error) error {
+	if err := emit(&record{
+		kind:    recFloors,
+		maxSess: st.MaxSession, maxHandle: st.MaxHandle, maxSub: st.MaxSub, maxRUC: st.MaxRUC,
+	}); err != nil {
+		return err
+	}
+	for _, sess := range sortedKeys(st.Sessions) {
+		ss := st.Sessions[sess]
+		if err := emit(&record{kind: recGrant, sess: sess, id: ss.Token}); err != nil {
+			return err
+		}
+		if ss.Epoch != 0 {
+			if err := emit(&record{kind: recEpoch, sess: sess, epoch: ss.Epoch}); err != nil {
+				return err
+			}
+		}
+		if ss.RecvSeq != 0 {
+			if err := emit(&record{kind: recMark, sess: sess, seq: ss.RecvSeq}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range sortedKeys(st.Handles) {
+		h := st.Handles[id]
+		if err := emit(&record{kind: recMint, id: h.ID, tag: h.Tag, name: h.Class, version: h.Version, sess: h.Session}); err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(st.Names))
+	for name := range st.Names {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := emit(&record{kind: recName, name: name, id: st.Names[name]}); err != nil {
+			return err
+		}
+	}
+	for _, id := range sortedKeys(st.Subs) {
+		sub := st.Subs[id]
+		if err := emit(&record{kind: recSub, id: sub.ID, key: sub.Key, name: sub.Topic, procID: sub.ProcID, sess: sub.Session}); err != nil {
+			return err
+		}
+	}
+	for _, id := range sortedKeys(st.RUCs) {
+		e := st.RUCs[id]
+		if err := emit(&record{kind: recRUC, id: e.ID, procID: e.ProcID, sess: e.Session}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[uint64]*V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Compact folds the journal into a snapshot of its live state: the
+// canonical records are written to a temporary file, fsynced, and
+// renamed over the log. Records appended during the snapshot write are
+// already folded into the state being snapshotted (appends fold before
+// they commit), so nothing is lost; pending bytes are simply dropped in
+// favor of the snapshot that covers them.
+func (j *Journal) Compact() error {
+	j.io.Lock()
+	defer j.io.Unlock()
+
+	// Freeze a snapshot buffer under mu: drain marks, encode the state,
+	// and claim the waiters whose records the snapshot now covers.
+	var buf xdr.Buffer
+	var enc xdr.Stream
+	var hdr [12]byte
+	copy(hdr[:], magic)
+	binary.BigEndian.PutUint32(hdr[8:], formatVersion)
+	buf.B = append(buf.B, hdr[:]...)
+
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return ErrClosed
+	}
+	j.drainMarksLocked()
+	var scratch xdr.Buffer
+	err := snapshotRecords(j.state, func(r *record) error {
+		scratch.Reset()
+		enc.ResetEncode(&scratch)
+		if err := r.bundle(&enc); err != nil {
+			return err
+		}
+		var frame [8]byte
+		binary.BigEndian.PutUint32(frame[0:4], uint32(len(scratch.B)))
+		binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(scratch.B))
+		buf.B = append(buf.B, frame[:]...)
+		buf.B = append(buf.B, scratch.B...)
+		return nil
+	})
+	j.pending.Reset()
+	waiters := j.waiters
+	j.waiters = nil
+	j.mu.Unlock()
+
+	finish := func(err error) error {
+		for _, ch := range waiters {
+			ch <- err
+		}
+		return err
+	}
+	if err != nil {
+		return finish(fmt.Errorf("journal: encoding snapshot: %w", err))
+	}
+
+	tmpPath := j.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return finish(fmt.Errorf("journal: %w", err))
+	}
+	if _, err := tmp.Write(buf.B); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return finish(fmt.Errorf("journal: writing snapshot: %w", err))
+	}
+	if err := os.Rename(tmpPath, j.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return finish(fmt.Errorf("journal: installing snapshot: %w", err))
+	}
+	// Make the rename itself durable before retiring the old file.
+	if dir, derr := os.Open(filepath.Dir(j.path)); derr == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	old := j.f
+	j.f = tmp
+	j.size = int64(len(buf.B))
+	j.unsynced = 0 // the snapshot is already fsynced; the old file's lag died with it
+	j.lagTicks = 0
+	old.Close()
+	j.compactions.Add(1)
+	return finish(nil)
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+// Close drains pending records (one final commit) and closes the file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.done)
+	j.closedWg.Wait()
+	j.io.Lock()
+	defer j.io.Unlock()
+	err, _ := j.lastErr.Load().(error)
+	if cerr := j.f.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if j.lock != nil {
+		j.lock.Close() // releases the flock; the next Open may proceed
+	}
+	return err
+}
+
+// Stats snapshots the journal's I/O counters.
+func (j *Journal) Stats() Stats {
+	return Stats{
+		Appends:     j.appends.Load(),
+		SyncAppends: j.syncAppends.Load(),
+		Fsyncs:      j.fsyncs.Load(),
+		Compactions: j.compactions.Load(),
+		SizeBytes:   j.sizeNow(),
+	}
+}
+
+// Path returns the journal file's path (diagnostics, tests).
+func (j *Journal) Path() string { return j.path }

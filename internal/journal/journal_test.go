@@ -1,0 +1,349 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testOpts() Options {
+	return Options{
+		Log:              func(string, ...any) {},
+		CommitInterval:   time.Millisecond,
+		CompactThreshold: -1, // explicit Compact() only, unless a test overrides
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, *State) {
+	t.Helper()
+	j, st, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return j, st
+}
+
+// populate writes one record of every kind through the public API.
+func populate(t *testing.T, j *Journal) {
+	t.Helper()
+	for _, err := range []error{
+		j.Grant(1, 0xfeedface),
+		j.EpochBump(1, 3),
+		j.Grant(2, 0xdeadbeef),
+		j.Mint(10, 0xaaa, "counter", 1, 1),
+		j.Mint(11, 0xbbb, "screen", 2, 0),
+		j.BindName("screen", 11),
+		j.Subscribe(5, 5, "ticks", 77, 1),
+		j.Subscribe(6, 42, "ticks", 77, 2),
+		j.BindRUC(9, 88, 1),
+		j.Mint(12, 0xccc, "window", 1, 2),
+		j.Revoke(12),
+		j.Subscribe(7, 7, "frames", 78, 2),
+		j.Unsubscribe("frames", 7, 7),
+		j.EndSession(2),
+	} {
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	j.Mark(1, 40)
+	j.Mark(1, 55) // coalesces over the prior mark
+}
+
+// checkState asserts the fold of populate's records.
+func checkState(t *testing.T, st *State) {
+	t.Helper()
+	if len(st.Sessions) != 1 {
+		t.Fatalf("sessions = %d, want 1 (session 2 ended)", len(st.Sessions))
+	}
+	s1 := st.Sessions[1]
+	if s1 == nil || s1.Token != 0xfeedface || s1.Epoch != 3 || s1.RecvSeq != 55 {
+		t.Fatalf("session 1 = %+v, want token feedface epoch 3 recvseq 55", s1)
+	}
+	if len(st.Handles) != 2 {
+		t.Fatalf("handles = %d, want 2 (12 revoked)", len(st.Handles))
+	}
+	if h := st.Handles[10]; h == nil || h.Tag != 0xaaa || h.Class != "counter" || h.Version != 1 || h.Session != 1 {
+		t.Fatalf("handle 10 = %+v", h)
+	}
+	if h := st.Handles[11]; h == nil || h.Tag != 0xbbb || h.Class != "screen" {
+		t.Fatalf("handle 11 = %+v", h)
+	}
+	if st.Names["screen"] != 11 {
+		t.Fatalf("names = %v, want screen->11", st.Names)
+	}
+	// Sub 6 died with session 2; sub 7 was unsubscribed; sub 5 survives.
+	if len(st.Subs) != 1 {
+		t.Fatalf("subs = %v, want only id 5", st.Subs)
+	}
+	if sub := st.Subs[5]; sub == nil || sub.Topic != "ticks" || sub.ProcID != 77 || sub.Session != 1 {
+		t.Fatalf("sub 5 = %+v", sub)
+	}
+	if len(st.RUCs) != 1 || st.RUCs[9] == nil || st.RUCs[9].ProcID != 88 {
+		t.Fatalf("rucs = %v, want only id 9", st.RUCs)
+	}
+	// Floors remember the dead: session 2, handle 12, subs 6 and 7.
+	if st.MaxSession != 2 || st.MaxHandle != 12 || st.MaxSub != 7 || st.MaxRUC != 9 {
+		t.Fatalf("floors = %d/%d/%d/%d, want 2/12/7/9",
+			st.MaxSession, st.MaxHandle, st.MaxSub, st.MaxRUC)
+	}
+}
+
+// TestJournalRoundTrip writes every record kind, reopens, and checks the
+// recovered fold matches.
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, st := mustOpen(t, dir, testOpts())
+	if len(st.Sessions)+len(st.Handles)+len(st.Subs) != 0 || st.Truncated {
+		t.Fatalf("fresh journal state not empty: %+v", st)
+	}
+	populate(t, j)
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, st2 := mustOpen(t, dir, testOpts())
+	defer j2.Close()
+	if st2.Truncated {
+		t.Fatal("clean close flagged as truncated")
+	}
+	checkState(t, st2)
+}
+
+// TestJournalTornTail corrupts the file mid-record (the signature of a
+// crash during a write) and checks reopen recovers to the last complete
+// record, truncates the tail, and flags it.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, testOpts())
+	if err := j.Grant(1, 111); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Mint(10, 0xaaa, "counter", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "clam.journal")
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut at every byte offset inside the last record: a torn tail of
+	// any length must recover to exactly the first record.
+	info, _ := os.Stat(path)
+	full := info.Size()
+	// Recompute where the mint record starts: reopen cleanly, note size
+	// after just the grant.
+	grantOnly := t.TempDir()
+	jg, _ := mustOpen(t, grantOnly, testOpts())
+	if err := jg.Grant(1, 111); err != nil {
+		t.Fatal(err)
+	}
+	jg.Close()
+	ginfo, _ := os.Stat(filepath.Join(grantOnly, "clam.journal"))
+	mintStart := ginfo.Size()
+
+	for cut := mintStart + 1; cut < full; cut += 7 {
+		if err := os.WriteFile(path, whole[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, st := mustOpen(t, dir, testOpts())
+		if !st.Truncated {
+			t.Fatalf("cut at %d: torn tail not flagged", cut)
+		}
+		if st.Sessions[1] == nil || st.Sessions[1].Token != 111 {
+			t.Fatalf("cut at %d: grant lost: %+v", cut, st.Sessions)
+		}
+		if len(st.Handles) != 0 {
+			t.Fatalf("cut at %d: torn mint partially applied: %+v", cut, st.Handles)
+		}
+		// The truncated journal must accept new appends.
+		if err := j2.Mint(20, 0xbbb, "window", 1, 1); err != nil {
+			t.Fatalf("cut at %d: append after truncation: %v", cut, err)
+		}
+		j2.Close()
+		j3, st3 := mustOpen(t, dir, testOpts())
+		if st3.Handles[20] == nil {
+			t.Fatalf("cut at %d: post-truncation append lost", cut)
+		}
+		j3.Close()
+	}
+
+	// A flipped bit (bad CRC, length intact) gets the same treatment.
+	corrupt := append([]byte(nil), whole...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j4, st4 := mustOpen(t, dir, testOpts())
+	defer j4.Close()
+	if !st4.Truncated || len(st4.Handles) != 0 {
+		t.Fatalf("bit flip: truncated=%v handles=%v, want truncated with mint dropped",
+			st4.Truncated, st4.Handles)
+	}
+}
+
+// TestJournalDoubleRestart journals, recovers, journals more, recovers
+// again: the journal of a journal-recovered server must fold cleanly.
+func TestJournalDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	j1, _ := mustOpen(t, dir, testOpts())
+	populate(t, j1)
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, st2 := mustOpen(t, dir, testOpts())
+	checkState(t, st2)
+	// Second incarnation keeps working: resume bumps the epoch, new
+	// session arrives, marks advance.
+	if err := j2.EpochBump(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Grant(3, 0xabcd); err != nil {
+		t.Fatal(err)
+	}
+	j2.Mark(1, 90)
+	if err := j2.Mint(13, 0xddd, "framer", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, st3 := func() (*Journal, *State) {
+		j, st := mustOpen(t, dir, testOpts())
+		j.Close()
+		return j, st
+	}()
+	if s1 := st3.Sessions[1]; s1 == nil || s1.Epoch != 4 || s1.RecvSeq != 90 {
+		t.Fatalf("session 1 after double restart = %+v, want epoch 4 recvseq 90", s1)
+	}
+	if s3 := st3.Sessions[3]; s3 == nil || s3.Token != 0xabcd {
+		t.Fatalf("session 3 = %+v", s3)
+	}
+	if st3.Handles[13] == nil || st3.MaxHandle != 13 {
+		t.Fatalf("handle 13 = %+v max %d", st3.Handles[13], st3.MaxHandle)
+	}
+	if st3.MaxSession != 3 {
+		t.Fatalf("MaxSession = %d, want 3", st3.MaxSession)
+	}
+}
+
+// TestJournalCompaction proves a snapshot cycle bounds growth: the live
+// state survives, dead records are gone, and floors are preserved.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, testOpts())
+	populate(t, j)
+
+	// Churn: mint+revoke in a loop so the log grows with dead records.
+	for i := uint64(0); i < 500; i++ {
+		if err := j.Mint(100+i, i+1, "window", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Revoke(100 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := j.Stats().SizeBytes
+	if err := j.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	shrunk := j.Stats().SizeBytes
+	if shrunk >= grown/4 {
+		t.Fatalf("compaction barely shrank the log: %d -> %d bytes", grown, shrunk)
+	}
+	if j.Stats().Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", j.Stats().Compactions)
+	}
+	// Appends after compaction land in the new file.
+	if err := j.Mint(700, 0xeee, "assembler", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, st := mustOpen(t, dir, testOpts())
+	defer j2.Close()
+	checkState2 := func() {
+		// populate's fold plus the churn floor and the post-compaction mint.
+		if s1 := st.Sessions[1]; s1 == nil || s1.Token != 0xfeedface || s1.RecvSeq != 55 {
+			t.Fatalf("session 1 = %+v", s1)
+		}
+		if st.Handles[10] == nil || st.Handles[11] == nil || st.Handles[700] == nil {
+			t.Fatalf("handles = %v, want 10, 11, 700", st.Handles)
+		}
+		if len(st.Handles) != 3 {
+			t.Fatalf("dead churn handles survived compaction: %d entries", len(st.Handles))
+		}
+		if st.MaxHandle != 700 {
+			t.Fatalf("MaxHandle = %d, want 700", st.MaxHandle)
+		}
+		if st.Names["screen"] != 11 {
+			t.Fatalf("names = %v", st.Names)
+		}
+		if st.MaxSession != 2 || st.MaxSub != 7 || st.MaxRUC != 9 {
+			t.Fatalf("floors lost in compaction: %d/%d/%d", st.MaxSession, st.MaxSub, st.MaxRUC)
+		}
+	}
+	checkState2()
+}
+
+// TestJournalAutoCompaction checks the committer compacts on its own
+// once the log passes the threshold.
+func TestJournalAutoCompaction(t *testing.T) {
+	opts := testOpts()
+	opts.CompactThreshold = 8 << 10
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, testOpts())
+	j.Close()
+	j, _ = mustOpen(t, dir, opts)
+	defer j.Close()
+	for i := uint64(0); i < 2000; i++ {
+		if err := j.Mint(100+i, i+1, "window", 1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Revoke(100 + i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for j.Stats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if j.Stats().Compactions == 0 {
+		t.Fatal("auto-compaction never fired past the threshold")
+	}
+	if got := j.Stats().SizeBytes; got > 16<<10 {
+		t.Fatalf("log not bounded after auto-compaction: %d bytes", got)
+	}
+}
+
+// TestJournalMarksCoalesce checks the async mark path folds to the max
+// without a record per call.
+func TestJournalMarksCoalesce(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, testOpts())
+	for seq := uint64(1); seq <= 10_000; seq++ {
+		j.Mark(7, seq)
+	}
+	// Marks ride group commits, so far fewer appends than Mark calls.
+	j.Grant(7, 1) // force at least one commit cycle after the marks
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a := j.Stats().Appends; a > 100 {
+		t.Fatalf("marks not coalesced: %d appends for 10k Mark calls", a)
+	}
+	j2, st := mustOpen(t, dir, testOpts())
+	defer j2.Close()
+	if st.Sessions[7] == nil || st.Sessions[7].RecvSeq != 10_000 {
+		t.Fatalf("session 7 = %+v, want recvseq 10000", st.Sessions[7])
+	}
+}

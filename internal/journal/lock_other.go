@@ -1,0 +1,9 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Advisory file locking is unix-only; elsewhere the journal trusts the
+// operator to run one server per directory.
+func acquireDirLock(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,28 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive, non-blocking flock on the journal
+// directory's lock file. flock is advisory but exactly right here: it is
+// released by the kernel when the holding process dies — SIGKILL
+// included — so a crashed server never blocks its restarted successor,
+// while a second live server on the same directory is refused before it
+// can write a single interleaved record.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "clam.journal.lock"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %s is in use by another server process (flock: %w)", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package journal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenRefusesSecondProcessLock proves one journal directory admits
+// one live writer: a second Open while the first is live must fail with
+// a diagnostic naming the directory, and closing the first must free the
+// lock for the next Open. (Same-process flocks on separate fds conflict
+// exactly like cross-process ones, so this exercises the real kernel
+// lock, not a mock.)
+func TestOpenRefusesSecondProcessLock(t *testing.T) {
+	dir := t.TempDir()
+	j1, _, err := Open(dir, Options{Log: t.Logf})
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if _, _, err = Open(dir, Options{Log: t.Logf}); err == nil {
+		t.Fatal("second Open of a live journal dir succeeded; want lock refusal")
+	} else if !strings.Contains(err.Error(), "in use by another server") {
+		t.Fatalf("second Open error = %v; want lock diagnostic", err)
+	}
+	if err := j1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	j2, _, err := Open(dir, Options{Log: t.Logf})
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	j2.Close()
+}

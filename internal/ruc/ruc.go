@@ -93,6 +93,17 @@ func NewTable(onError func(*Entry, error)) *Table {
 
 var errType = reflect.TypeOf((*error)(nil)).Elem()
 
+// Floor advances the entry-id allocator so future Binds assign IDs
+// above n. Journal recovery floors the space with the journaled maximum
+// so a restarted server never reuses an identifier a client saw.
+func (t *Table) Floor(n uint64) {
+	t.mu.Lock()
+	if n > t.next {
+		t.next = n
+	}
+	t.mu.Unlock()
+}
+
 // Bind creates a RUC object for a client procedure pointer and returns it
 // together with the proxy func value that "looks like a normal procedure
 // pointer". ft must be a func type. A new entry is created per binding,

@@ -107,6 +107,41 @@ func (s *Sharded) Add(sub *Sub) uint64 {
 	return sub.ID
 }
 
+// Restore registers sub under its existing ID — journal recovery
+// re-installing a subscription whose identifier a client may still hold
+// — and floors the allocator so later Adds never reuse it. As in Add, a
+// zero Key falls back to the ID.
+func (s *Sharded) Restore(sub *Sub) {
+	for {
+		cur := s.nextID.Load()
+		if sub.ID <= cur || s.nextID.CompareAndSwap(cur, sub.ID) {
+			break
+		}
+	}
+	if sub.Key == 0 {
+		sub.Key = sub.ID
+	}
+	sh := s.shardFor(sub.Key)
+	sh.mu.Lock()
+	m := sh.subs[sub.Topic]
+	if m == nil {
+		m = make(map[uint64]*Sub)
+		sh.subs[sub.Topic] = m
+	}
+	m[sub.ID] = sub
+	sh.mu.Unlock()
+}
+
+// Floor advances the ID allocator so future Adds assign IDs above n.
+func (s *Sharded) Floor(n uint64) {
+	for {
+		cur := s.nextID.Load()
+		if n <= cur || s.nextID.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Remove unregisters the subscription (topic, id) whose shard key is
 // key, returning it, or nil if no such subscription exists. Key must be
 // the same value the subscription was added under — the caller that
