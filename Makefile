@@ -24,13 +24,13 @@ test:
 # along so the allocation guards are also exercised with the race
 # runtime's different allocator behaviour.
 race:
-	$(GO) test -race ./internal/core/... ./internal/upcall/... ./internal/wire ./internal/rpc ./internal/ruc ./internal/task
+	$(GO) test -race ./internal/core/... ./internal/mesh ./internal/upcall/... ./internal/wire ./internal/rpc ./internal/ruc ./internal/task
 
 # Fault-injection and resurrection tests, twice under the race detector:
 # scripted link kills, flap schedules, session resumes and chain healing
 # are timing-sensitive, so -count=2 shakes out order-dependent passes.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker' ./internal/core/... ./internal/wire
+	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker|Partition|PeerDown' ./internal/core/... ./internal/wire
 
 # The crash-restart suite: a re-exec'd server process is SIGKILLed
 # mid-burst and restarted on its write-ahead journal (DESIGN.md §6.5);
@@ -48,15 +48,19 @@ crash:
 benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/clambench -fanout -fanout-subs 64 -fanout-events 20
+	$(GO) run ./cmd/clambench -mesh -mesh-iters 50
 
 # Reproducible bench pipeline: regenerates BENCH_3.json (Fig 5.1 suite,
 # pooling ablation and the dispatch-throughput matrix, with the embedded
-# pre-change baselines for comparison) and BENCH_4.json (the fan-out
-# matrix, 10k-subscriber scale row and mid-tier multiplication proof).
+# pre-change baselines for comparison), BENCH_4.json (the fan-out matrix,
+# 10k-subscriber scale row and mid-tier multiplication proof) and
+# BENCH_5.json (the mesh routing matrix: local vs routed calls/upcalls,
+# with the 1-peer ablation parity row against the chain numbers).
 # See EXPERIMENTS.md for the schemas.
 bench:
 	$(GO) run ./cmd/clambench -iters 300 -json BENCH_3.json
 	$(GO) run ./cmd/clambench -fanout -fanout-json BENCH_4.json
+	$(GO) run ./cmd/clambench -mesh -mesh-json BENCH_5.json
 
 # The full testing.B suite, for apples-to-apples -benchmem numbers.
 benchfull:

@@ -260,6 +260,25 @@ var (
 // automatically; exported for libraries shared across servers.
 func RegisterFanoutClass(lib *Library) error { return core.RegisterFanoutClass(lib) }
 
+// MeshPeer names one member of a federated server mesh for
+// Server.JoinMesh: its unique mesh name and where it listens. Client may
+// carry an already-dialed connection; when nil, JoinMesh dials Addr.
+type MeshPeer = core.MeshPeer
+
+// MeshStats describes a server's mesh membership: self name, member and
+// up counts, named resolutions routed to owning peers, and calls refused
+// fast because the owner was down. Appears in MetricsSnapshot.
+type MeshStats = core.MeshStats
+
+// ErrPeerDown marks a call routed to a mesh member currently believed
+// dead: the call fails fast instead of queueing behind the dead link,
+// and the object stays where its handles live until the owner rejoins.
+var ErrPeerDown = core.ErrPeerDown
+
+// IsPeerDown reports whether err is ErrPeerDown, including the remote
+// form a routed call returns after crossing a hop.
+func IsPeerDown(err error) bool { return core.IsPeerDown(err) }
+
 // RetryPolicy shapes client-side retries of idempotent-marked calls:
 // attempt budget, exponential backoff with a ceiling, and jitter.
 type RetryPolicy = core.RetryPolicy

@@ -99,6 +99,10 @@ func main() {
 		runFanout(*fanSubs, *fanEvents, *fanJSON)
 		return
 	}
+	if *meshOnly {
+		runMesh(*meshIters, *meshJSON)
+		return
+	}
 
 	fmt.Println("CLAM reproduction — Figure 5.1: Procedure Call Costs")
 	fmt.Println("(paper: MicroVAX-II, 4.3BSD, 1988; here: this machine, Go)")

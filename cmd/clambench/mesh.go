@@ -1,0 +1,404 @@
+// Mesh routing rows (BENCH_5): what a federated-mesh hop costs. The
+// matrix prices a synchronous call on an object owned by the entered
+// member (local), the same call routed one mesh hop to another owner
+// (routed), and an upcall chained back across that hop — against two
+// ablation baselines: a plain no-mesh server (the 1-peer degenerate case
+// must stay at parity with it) and the old vertical chain's forwarded
+// call (the mesh hop rides the identical peerLink machinery, so routed
+// and chain numbers should agree).
+//
+// Members listen on real unix sockets — the hop crosses the same wire a
+// deployment would — and every row is verified for exactness before it
+// is timed (async adds land exactly, triggers return the handler's
+// answer), so a row that measures a broken path dies instead of
+// reporting it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sync"
+
+	"clam/internal/core"
+	"clam/internal/dynload"
+)
+
+var (
+	meshOnly  = flag.Bool("mesh", false, "run only the mesh routing matrix (BENCH_5 rows)")
+	meshIters = flag.Int("mesh-iters", 400, "iterations per mesh row")
+	meshJSON  = flag.String("mesh-json", "", "write mesh results (BENCH_5.json) to this path")
+)
+
+// meshTally is the bench class placed into the mesh: a counter plus an
+// upcall trigger, so one class exercises both directions across the hop.
+type meshTally struct {
+	mu    sync.Mutex
+	total int64
+	fn    func(int32) int32
+}
+
+func (t *meshTally) Add(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total += n
+}
+
+func (t *meshTally) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+func (t *meshTally) Register(fn func(int32) int32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fn = fn
+}
+
+func (t *meshTally) Trigger(x int32) (int32, error) {
+	t.mu.Lock()
+	fn := t.fn
+	t.mu.Unlock()
+	if fn == nil {
+		return 0, fmt.Errorf("no handler registered")
+	}
+	return fn(x), nil
+}
+
+func meshBenchLibrary() *dynload.Library {
+	lib := dynload.NewLibrary()
+	lib.MustRegister(dynload.Class{
+		Name: "tally", Version: 1, Type: reflect.TypeOf(&meshTally{}),
+		New: func(any) (any, error) { return &meshTally{}, nil },
+	})
+	return lib
+}
+
+func quietServer() core.ServerOption { return core.WithServerLog(func(string, ...any) {}) }
+
+// meshBenchFixture is a full mesh of servers on unix sockets plus a
+// client entered at the first member.
+type meshBenchFixture struct {
+	dir    string
+	names  []string
+	srvs   map[string]*core.Server
+	paths  map[string]string
+	client *core.Client
+}
+
+func newMeshBenchFixture(names []string) *meshBenchFixture {
+	dir, err := os.MkdirTemp("", "clam-mesh-bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx := &meshBenchFixture{
+		dir:   dir,
+		names: names,
+		srvs:  make(map[string]*core.Server),
+		paths: make(map[string]string),
+	}
+	for i, name := range names {
+		srv := core.NewServer(meshBenchLibrary(), quietServer())
+		path := filepath.Join(dir, fmt.Sprintf("m%d.sock", i))
+		if _, err := srv.Listen("unix", path); err != nil {
+			log.Fatal(err)
+		}
+		fx.srvs[name] = srv
+		fx.paths[name] = path
+	}
+	for _, name := range names {
+		var peers []core.MeshPeer
+		for _, other := range names {
+			if other != name {
+				peers = append(peers, core.MeshPeer{Name: other, Network: "unix", Addr: fx.paths[other]})
+			}
+		}
+		if err := fx.srvs[name].JoinMesh(core.MeshPeer{Name: name, Network: "unix", Addr: fx.paths[name]}, peers...); err != nil {
+			log.Fatalf("clambench: JoinMesh(%s): %v", name, err)
+		}
+	}
+	fx.client, err = core.Dial("unix", fx.paths[names[0]], quietClient())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fx
+}
+
+// tallyOwnedBy probes names until the directory assigns one to owner,
+// creates it there, and returns the client's remote for it.
+func (fx *meshBenchFixture) tallyOwnedBy(owner string) *core.Remote {
+	entry := fx.srvs[fx.names[0]]
+	for i := 0; i < 4096; i++ {
+		name := fmt.Sprintf("tally-%s-%d", owner, i)
+		if got, _ := entry.MeshOwner(name); got != owner {
+			continue
+		}
+		if err := entry.MeshCreateNamed("tally", name); err != nil {
+			log.Fatalf("clambench: MeshCreateNamed(%s): %v", name, err)
+		}
+		r, err := fx.client.NamedObject(name)
+		if err != nil {
+			log.Fatalf("clambench: NamedObject(%s): %v", name, err)
+		}
+		return r
+	}
+	log.Fatalf("clambench: directory never assigned a name to %s", owner)
+	return nil
+}
+
+func (fx *meshBenchFixture) close() {
+	fx.client.Close()
+	for _, srv := range fx.srvs {
+		srv.Close()
+	}
+	os.RemoveAll(fx.dir)
+}
+
+// verifyTally proves the path carries batched asyncs exactly before it is
+// timed: k adds, a Sync, and the total must have grown by exactly k.
+func verifyTally(c *core.Client, r *core.Remote, k int64) {
+	var before, after int64
+	if err := r.CallInto("Total", []any{&before}); err != nil {
+		log.Fatalf("clambench: mesh verify Total: %v", err)
+	}
+	for i := int64(0); i < k; i++ {
+		if err := r.Async("Add", int64(1)); err != nil {
+			log.Fatalf("clambench: mesh verify Add: %v", err)
+		}
+	}
+	if err := c.Sync(); err != nil {
+		log.Fatalf("clambench: mesh verify Sync: %v", err)
+	}
+	if err := r.CallInto("Total", []any{&after}); err != nil {
+		log.Fatalf("clambench: mesh verify Total: %v", err)
+	}
+	if after-before != k {
+		log.Fatalf("clambench: mesh path lost adds: %d of %d landed", after-before, k)
+	}
+}
+
+// --- Report -----------------------------------------------------------------
+
+type meshRowResult struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+type meshReport struct {
+	Schema           string          `json:"schema"`
+	Go               string          `json:"go"`
+	Iters            int             `json:"iters"`
+	Rows             []meshRowResult `json:"rows"`
+	RoutedOverLocal  float64         `json:"routed_over_local"`
+	SoloOverDirect   float64         `json:"solo_over_direct"`
+	RoutedOverChain  float64         `json:"routed_over_chain"`
+	UpcallOverRouted float64         `json:"upcall_over_routed"`
+}
+
+// runMesh measures the matrix, prints the table and parity checks, and
+// optionally writes BENCH_5.json.
+func runMesh(n int, jsonPath string) {
+	if n < 20 {
+		n = 20
+	}
+	rep := meshReport{Schema: "clam-bench-mesh-v1", Go: runtime.Version(), Iters: n}
+	rows := map[string]cost{}
+	add := func(name string, c cost) {
+		rows[name] = c
+		rep.Rows = append(rep.Rows, meshRowResult{
+			Name:     name,
+			NsPerOp:  float64(c.dur.Nanoseconds()),
+			BytesOp:  c.bytesOp,
+			AllocsOp: c.allocsOp,
+		})
+	}
+
+	// Baseline: a plain server, no mesh anywhere near it.
+	{
+		srv := core.NewServer(meshBenchLibrary(), quietServer())
+		dir, err := os.MkdirTemp("", "clam-mesh-bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := filepath.Join(dir, "direct.sock")
+		if _, err := srv.Listen("unix", path); err != nil {
+			log.Fatal(err)
+		}
+		obj, _, err := srv.CreateInstance("tally", 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetNamed("t", obj)
+		c, err := core.Dial("unix", path, quietClient())
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := c.NamedObject("t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		verifyTally(c, r, 100)
+		var total int64
+		add("direct_call", measureCost(n, func() {
+			if err := r.CallInto("Total", []any{&total}); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		c.Close()
+		srv.Close()
+		os.RemoveAll(dir)
+	}
+
+	// Ablation: a 1-member mesh degenerates to the same local serve path.
+	{
+		fx := newMeshBenchFixture([]string{"solo"})
+		r := fx.tallyOwnedBy("solo")
+		verifyTally(fx.client, r, 100)
+		var total int64
+		add("mesh_solo_call", measureCost(n, func() {
+			if err := r.CallInto("Total", []any{&total}); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		if routed := fx.srvs["solo"].Metrics().Mesh.RoutedNamed; routed != 0 {
+			log.Fatalf("clambench: solo mesh routed %d resolutions; want 0", routed)
+		}
+		fx.close()
+	}
+
+	// The old vertical hop: a chain-forwarded call through a middle tier,
+	// over the same unix-socket wire the mesh hop crosses.
+	{
+		dir, err := os.MkdirTemp("", "clam-mesh-bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		bottom := core.NewServer(meshBenchLibrary(), quietServer())
+		bottomPath := filepath.Join(dir, "bottom.sock")
+		if _, err := bottom.Listen("unix", bottomPath); err != nil {
+			log.Fatal(err)
+		}
+		obj, _, err := bottom.CreateInstance("tally", 0, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bottom.SetNamed("t", obj)
+		mid := core.NewServer(meshBenchLibrary(), quietServer())
+		midPath := filepath.Join(dir, "mid.sock")
+		if _, err := mid.Listen("unix", midPath); err != nil {
+			log.Fatal(err)
+		}
+		up, err := mid.DialUpstream("unix", bottomPath, quietClient())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := mid.ImportNamed(up, "t"); err != nil {
+			log.Fatal(err)
+		}
+		c, err := core.Dial("unix", midPath, quietClient())
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := c.NamedObject("t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		verifyTally(c, r, 100)
+		var total int64
+		add("chain_forwarded_call", measureCost(n, func() {
+			if err := r.CallInto("Total", []any{&total}); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		c.Close()
+		mid.Close()
+		bottom.Close()
+		os.RemoveAll(dir)
+	}
+
+	// The mesh matrix proper: a 3-member mesh, client entered at "a".
+	{
+		fx := newMeshBenchFixture([]string{"a", "b", "c"})
+		local := fx.tallyOwnedBy("a")
+		routed := fx.tallyOwnedBy("b")
+		verifyTally(fx.client, local, 100)
+		verifyTally(fx.client, routed, 100)
+
+		var total int64
+		add("mesh_local_call", measureCost(n, func() {
+			if err := local.CallInto("Total", []any{&total}); err != nil {
+				log.Fatal(err)
+			}
+		}))
+		add("mesh_routed_call", measureCost(n, func() {
+			if err := routed.CallInto("Total", []any{&total}); err != nil {
+				log.Fatal(err)
+			}
+		}))
+
+		// Routed upcall: the handler lives in the client, the trigger runs
+		// at the owner, the upcall chains owner → entry member → client.
+		if err := routed.Call("Register", func(x int32) int32 { return 2 * x }); err != nil {
+			log.Fatal(err)
+		}
+		var doubled int32
+		add("mesh_routed_upcall", measureCost(n, func() {
+			if err := routed.CallInto("Trigger", []any{&doubled}, int32(21)); err != nil {
+				log.Fatal(err)
+			}
+			if doubled != 42 {
+				log.Fatalf("clambench: routed upcall returned %d, want 42", doubled)
+			}
+		}))
+		if ms := fx.srvs["a"].Metrics().Mesh; !ms.Enabled || ms.RoutedNamed == 0 {
+			log.Fatalf("clambench: mesh matrix never routed (stats %+v)", ms)
+		}
+		fx.close()
+	}
+
+	ns := func(name string) float64 { return float64(rows[name].dur.Nanoseconds()) }
+	rep.RoutedOverLocal = ns("mesh_routed_call") / ns("mesh_local_call")
+	rep.SoloOverDirect = ns("mesh_solo_call") / ns("direct_call")
+	rep.RoutedOverChain = ns("mesh_routed_call") / ns("chain_forwarded_call")
+	rep.UpcallOverRouted = ns("mesh_routed_upcall") / ns("mesh_routed_call")
+
+	fmt.Println("Mesh routing matrix (unix sockets, 3-member mesh, client entered at one member):")
+	fmt.Printf("  %-24s %12s %12s %10s\n", "", "µs/op", "B/op", "allocs/op")
+	for _, r := range rep.Rows {
+		fmt.Printf("  %-24s %12.2f %12.0f %10.1f\n", r.Name, r.NsPerOp/1e3, r.BytesOp, r.AllocsOp)
+	}
+	fmt.Println()
+	fmt.Println("Mesh shape checks:")
+	check := func(name string, ok bool) {
+		status := "PASS"
+		if !ok {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s\n", status, name)
+	}
+	check(fmt.Sprintf("1-peer mesh at parity with the plain server (x%.2f, want < 1.5)", rep.SoloOverDirect),
+		rep.SoloOverDirect < 1.5)
+	check(fmt.Sprintf("routed call at parity with the chain-forwarded call (x%.2f, want 0.5-2.0)", rep.RoutedOverChain),
+		rep.RoutedOverChain > 0.5 && rep.RoutedOverChain < 2.0)
+	check(fmt.Sprintf("routing costs one extra hop over local (x%.2f, want > 1)", rep.RoutedOverLocal),
+		rep.RoutedOverLocal > 1)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonPath)
+	}
+}

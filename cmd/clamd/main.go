@@ -11,10 +11,17 @@
 //	      -max-sessions 64 -slow-consumer-limit 3
 //	clamd -listen unix:/tmp/mid.sock -upstream unix:/tmp/clam.sock \
 //	      -import framer,transport
+//	clamd -listen tcp:10.0.0.1:7047 -mesh-name a \
+//	      -mesh-peer b=tcp:10.0.0.2:7047,c=tcp:10.0.0.3:7047
+//	clamd -listen tcp:10.0.0.4:7047 -mesh-name d -mesh-seed tcp:10.0.0.1:7047
 //
-// The last form runs a middle tier: the server stacks on a lower CLAM
-// server, re-exports the named objects as proxies, relays calls on them
-// down, and relays the lower server's upcalls up into its own clients.
+// The -upstream form runs a middle tier: the server stacks on a lower
+// CLAM server, re-exports the named objects as proxies, relays calls on
+// them down, and relays the lower server's upcalls up into its own
+// clients. The -mesh-* forms join a federated mesh instead: N peer
+// servers share one consistent-hash object space, any member routes
+// calls to the owner, and a joiner may learn the membership from a
+// single live seed member's roster.
 //
 // See OPERATIONS.md for tuning guidance on the robustness flags and the
 // middle-tier deployment notes.
@@ -55,6 +62,9 @@ func main() {
 	serialDispatch := flag.Bool("serial-dispatch", false, "use the original serial per-session dispatcher instead of the per-object executor")
 	upstream := flag.String("upstream", "", "lower CLAM server to stack on, as network:address; this server relays calls down and upcalls up")
 	imports := flag.String("import", "", "comma-separated named objects to re-export from the -upstream server as proxies")
+	meshName := flag.String("mesh-name", "", "this server's unique name in a federated mesh; enables JoinMesh")
+	meshPeers := flag.String("mesh-peer", "", "comma-separated mesh members as name=network:address; requires -mesh-name")
+	meshSeed := flag.String("mesh-seed", "", "one live mesh member as network:address; its roster supplies the membership (alternative to -mesh-peer)")
 	flag.Parse()
 
 	network, addr, ok := strings.Cut(*listen, ":")
@@ -63,6 +73,9 @@ func main() {
 	}
 	if *imports != "" && *upstream == "" {
 		log.Fatal("clamd: -import requires -upstream")
+	}
+	if (*meshPeers != "" || *meshSeed != "") && *meshName == "" {
+		log.Fatal("clamd: -mesh-peer/-mesh-seed require -mesh-name")
 	}
 
 	lib := clam.NewLibrary()
@@ -188,6 +201,32 @@ func main() {
 	fmt.Printf("clamd: serving on %s:%s (display %dx%d); classes: %s\n",
 		network, ln.Addr(), *width, *height, strings.Join(lib.Names(), ", "))
 
+	// Federated mesh membership (DESIGN.md §6.6): join a horizontal peer
+	// mesh sharing one consistent-hash object space. Joined after Listen so
+	// peers handling our announce can dial us back immediately.
+	if *meshName != "" {
+		peers, err := parseMeshPeers(*meshPeers)
+		if err != nil {
+			log.Fatalf("clamd: %v", err)
+		}
+		if *meshSeed != "" {
+			snet, saddr, ok := strings.Cut(*meshSeed, ":")
+			if !ok || (snet != "unix" && snet != "tcp") {
+				log.Fatalf("clamd: bad -mesh-seed %q; want unix:PATH or tcp:HOST:PORT", *meshSeed)
+			}
+			more, err := fetchRoster(snet, saddr, *meshName)
+			if err != nil {
+				log.Fatalf("clamd: seeding mesh from %s: %v", *meshSeed, err)
+			}
+			peers = append(peers, more...)
+		}
+		self := clam.MeshPeer{Name: *meshName, Network: network, Addr: addr}
+		if err := srv.JoinMesh(self, peers...); err != nil {
+			log.Fatalf("clamd: joining mesh: %v", err)
+		}
+		fmt.Printf("clamd: mesh member %q with %d peers\n", *meshName, len(peers))
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -205,6 +244,10 @@ func main() {
 	if f := m.Forwarding; f.CallsRelayedDown > 0 || f.UpcallsRelayedUp > 0 || f.ProxyHandlesLive > 0 {
 		fmt.Printf("clamd: forwarding — %d calls relayed down, %d upcalls relayed up, %d proxy handles live\n",
 			f.CallsRelayedDown, f.UpcallsRelayedUp, f.ProxyHandlesLive)
+	}
+	if ms := m.Mesh; ms.Enabled {
+		fmt.Printf("clamd: mesh — member %q, %d/%d peers up, %d named resolutions routed, %d peer-down refusals\n",
+			ms.Self, ms.PeersUp, ms.Peers, ms.RoutedNamed, ms.PeerDownFailures)
 	}
 	if r := m.Resilience; r.Reconnects > 0 || r.ReplayedCalls > 0 || r.DedupDrops > 0 || r.RetransmitDrops > 0 || r.BreakerOpens > 0 {
 		fmt.Printf("clamd: resilience — %d reconnects, %d calls replayed, %d duplicates dropped, %d retransmit drops, %d breaker opens\n",
@@ -235,4 +278,54 @@ func main() {
 	if network == "unix" {
 		os.Remove(addr)
 	}
+}
+
+// parseMeshPeers parses the -mesh-peer list: comma-separated entries of
+// the form name=network:address.
+func parseMeshPeers(spec string) ([]clam.MeshPeer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var peers []clam.MeshPeer
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		name, where, ok := strings.Cut(entry, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -mesh-peer entry %q; want name=network:address", entry)
+		}
+		pnet, paddr, ok := strings.Cut(where, ":")
+		if !ok || (pnet != "unix" && pnet != "tcp") {
+			return nil, fmt.Errorf("bad -mesh-peer address %q; want unix:PATH or tcp:HOST:PORT", where)
+		}
+		peers = append(peers, clam.MeshPeer{Name: name, Network: pnet, Addr: paddr})
+	}
+	return peers, nil
+}
+
+// fetchRoster dials one live mesh member and reads its membership view
+// (the "mesh" class's Roster), so a joining server needs only a single
+// seed address instead of the full peer list.
+func fetchRoster(network, addr, self string) ([]clam.MeshPeer, error) {
+	c, err := clam.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	r, err := c.New("mesh", 1)
+	if err != nil {
+		return nil, err
+	}
+	var roster string
+	if err := r.CallInto("Roster", []any{&roster}); err != nil {
+		return nil, err
+	}
+	var peers []clam.MeshPeer
+	for _, line := range strings.Split(strings.TrimSpace(roster), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 4 || f[0] == self {
+			continue
+		}
+		peers = append(peers, clam.MeshPeer{Name: f[0], Network: f[1], Addr: f[2]})
+	}
+	return peers, nil
 }

@@ -18,10 +18,11 @@ import (
 // paper's layering (§1, Figure 1) stretched across N processes.
 
 type chainFixture struct {
-	bottom *Server
-	mid    *Server
-	up     *Client // the middle tier's upstream connection to the bottom
-	top    *Client
+	bottom  *Server
+	mid     *Server
+	midPath string  // the middle server's listening socket
+	up      *Client // the middle tier's upstream connection to the bottom
+	top     *Client
 
 	bottomNotifier *notifier
 	bottomParent   *parent
@@ -58,8 +59,8 @@ func startChain(t testing.TB, upstreamOpts []DialOption, topOpts ...DialOption) 
 
 	ch.mid = NewServer(testLibrary(t),
 		WithServerLog(func(format string, args ...any) { t.Logf("mid: "+format, args...) }))
-	midPath := filepath.Join(t.TempDir(), "mid.sock")
-	if _, err := ch.mid.Listen("unix", midPath); err != nil {
+	ch.midPath = filepath.Join(t.TempDir(), "mid.sock")
+	if _, err := ch.mid.Listen("unix", ch.midPath); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { ch.mid.Close() })
@@ -75,7 +76,7 @@ func startChain(t testing.TB, upstreamOpts []DialOption, topOpts ...DialOption) 
 		t.Fatal(err)
 	}
 
-	ch.top = dialClient(t, midPath, topOpts...)
+	ch.top = dialClient(t, ch.midPath, topOpts...)
 	return ch
 }
 
@@ -242,6 +243,76 @@ func TestChainRevocation(t *testing.T) {
 	err = kid.CallInto("Name", []any{&name})
 	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch || !strings.Contains(re.Msg, "unknown object identifier") {
 		t.Fatalf("second call after revocation = %v, want %q", err, "unknown object identifier")
+	}
+}
+
+// TestChainRevocationThreeHop: revocation at the bottom of a THREE-hop
+// chain (top → mid2 → mid1 → bottom) cascades through every tier on a
+// single failed call. Each hop preserves the lower hop's status and
+// message when it relays the failure (replyStatus), so mid1 recognizes
+// the bottom's stale report and revokes its proxy, and mid2 recognizes
+// mid1's identical report and revokes its proxy-of-proxy — §3.5.1's
+// tag-mismatch semantics, transitive across the whole chain.
+func TestChainRevocationThreeHop(t *testing.T) {
+	ch := startChain(t, nil) // bottom + mid1 (ch.mid) with "family" imported
+
+	mid2 := NewServer(testLibrary(t),
+		WithServerLog(func(format string, args ...any) { t.Logf("mid2: "+format, args...) }))
+	mid2Path := filepath.Join(t.TempDir(), "mid2.sock")
+	if _, err := mid2.Listen("unix", mid2Path); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mid2.Close() })
+	up2, err := mid2.DialUpstream("unix", ch.midPath,
+		WithClientLog(func(format string, args ...any) { t.Logf("mid2-up: "+format, args...) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid2.ImportNamed(up2, "family"); err != nil {
+		t.Fatal(err)
+	}
+	top := dialClient(t, mid2Path)
+
+	family, err := top.NamedObject("family")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kid *Remote
+	if err := family.CallInto("Child", []any{&kid}, int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	if err := kid.CallInto("Name", []any{&name}); err != nil || name != "bob" {
+		t.Fatalf("Name through three hops = %q, %v; want %q", name, err, "bob")
+	}
+
+	liveMid1 := ch.mid.Metrics().Forwarding.ProxyHandlesLive
+	liveMid2 := mid2.Metrics().Forwarding.ProxyHandlesLive
+	if liveMid1 == 0 || liveMid2 == 0 {
+		t.Fatalf("expected live proxy handles on both middles (mid1=%d, mid2=%d)", liveMid1, liveMid2)
+	}
+
+	// Revoke the real child at the bottom. ONE failed call must cascade the
+	// revocation through both middle tiers.
+	if !ch.bottom.Handles().RevokeObj(ch.bottomParent.kids[1]) {
+		t.Fatal("bottom object was not registered")
+	}
+	err = kid.CallInto("Name", []any{&name})
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch {
+		t.Fatalf("call after bottom revocation = %v, want dispatch error", err)
+	}
+	if got := ch.mid.Metrics().Forwarding.ProxyHandlesLive; got != liveMid1-1 {
+		t.Fatalf("mid1 ProxyHandlesLive after cascade = %d, want %d", got, liveMid1-1)
+	}
+	if got := mid2.Metrics().Forwarding.ProxyHandlesLive; got != liveMid2-1 {
+		t.Fatalf("mid2 ProxyHandlesLive after cascade = %d, want %d", got, liveMid2-1)
+	}
+	// The next call dies at the first hop: mid2's table no longer knows the
+	// handle at all.
+	err = kid.CallInto("Name", []any{&name})
+	if !errors.As(err, &re) || re.Status != rpc.StatusDispatch || !strings.Contains(re.Msg, "unknown object identifier") {
+		t.Fatalf("second call after cascade = %v, want %q", err, "unknown object identifier")
 	}
 }
 

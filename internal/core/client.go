@@ -353,16 +353,12 @@ type ClientMetricsSnapshot struct {
 
 // Metrics snapshots the client's robustness counters.
 func (c *Client) Metrics() ClientMetricsSnapshot {
-	return ClientMetricsSnapshot{
-		LinkStats: c.link.snapshot(),
-		Resilience: ResilienceStats{
-			Reconnects:      c.link.reconnects.Load(),
-			ReplayedCalls:   c.link.replayed.Load(),
-			DedupDrops:      c.link.dedups.Load(),
-			RetransmitDrops: c.link.rtDrops.Load(),
-		},
+	snap := ClientMetricsSnapshot{
+		LinkStats:          c.link.snapshot(),
 		ServerUnresponsive: c.hbLost.Load(),
 	}
+	snap.Resilience.foldLink(c.link, nil)
+	return snap
 }
 
 // setReconnectHooks installs the gate and observer for resume attempts.

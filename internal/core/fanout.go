@@ -19,11 +19,15 @@
 // the upcall package's overload policies (DropOldest, Block, Queue) and
 // coalesce redundant pending events per subscriber.
 //
-// Across chained servers, fan-out multiplies in the tree rather than
-// relaying N copies through one hop: a middle tier subscribes ONCE per
-// upstream topic and republishes each received event to its own
-// subscribers (linkTopicUpstream), the HAM insight that message-path
-// cost, not marshaling, dominates at scale.
+// Across peer servers, fan-out multiplies in the tree rather than
+// relaying N copies through one hop: this server subscribes ONCE per
+// peer-link topic and republishes each received event to its own
+// subscribers (linkTopicPeer), the HAM insight that message-path cost,
+// not marshaling, dominates at scale. Chain links re-relay upward
+// indefinitely (a 3-level chain forwards twice); mesh links mark their
+// subscriptions as relays, and an event that arrived FROM a mesh peer is
+// never republished over relay subscriptions — each event crosses each
+// mesh edge exactly once, so a full mesh cannot loop.
 package core
 
 import (
@@ -64,8 +68,8 @@ type fanoutTopic struct {
 	policy   upcall.Policy
 	maxQueue int
 
-	mu        sync.Mutex
-	linkedUps map[*upstream]uint64 // upstream → its remote subscription id
+	mu     sync.Mutex
+	linked map[*peerLink]uint64 // peer link → its remote subscription id
 }
 
 // fanEvent is one published occurrence: the raw arguments for coalescing
@@ -149,11 +153,11 @@ func (s *Server) RegisterMulticast(topic string, prototype any, opts ...Multicas
 		return fmt.Errorf("clam: variadic multicast prototype %s not supported", ft)
 	}
 	t := &fanoutTopic{
-		name:      topic,
-		ft:        ft,
-		policy:    upcall.DropOldest,
-		maxQueue:  upcall.DefaultMaxQueue,
-		linkedUps: make(map[*upstream]uint64),
+		name:     topic,
+		ft:       ft,
+		policy:   upcall.DropOldest,
+		maxQueue: upcall.DefaultMaxQueue,
+		linked:   make(map[*peerLink]uint64),
 	}
 	for _, o := range opts {
 		o(t)
@@ -171,12 +175,8 @@ func (s *Server) RegisterMulticast(topic string, prototype any, opts ...Multicas
 	f.topics[topic] = t
 	f.mu.Unlock()
 
-	s.mu.Lock()
-	ups := make([]*upstream, len(s.upstreams))
-	copy(ups, s.upstreams)
-	s.mu.Unlock()
-	for _, u := range ups {
-		f.linkTopicUpstream(t, u)
+	for _, pl := range s.snapshotLinks() {
+		f.linkTopicPeer(t, pl)
 	}
 	return nil
 }
@@ -225,7 +225,7 @@ func (s *Server) SubscribeFunc(topic string, fn any) (uint64, error) {
 			return 0, fmt.Errorf("clam: subscriber %s does not match topic prototype %s", vt, t.ft)
 		}
 	}
-	return s.fan.subscribe(topic, 0, 0, &localCaller{fn: v})
+	return s.fan.subscribe(topic, 0, 0, &localCaller{fn: v}, false)
 }
 
 // UnsubscribeFunc cancels a SubscribeFunc subscription, reporting whether
@@ -268,8 +268,9 @@ func (f *fanoutState) topicCount() int {
 }
 
 // subscribe creates the subscription and its delivery state. key selects
-// the shard (0 lets the table substitute the subscription id).
-func (f *fanoutState) subscribe(topic string, key, procID uint64, caller ruc.Caller) (uint64, error) {
+// the shard (0 lets the table substitute the subscription id). relay
+// marks the subscription as a peer's tree-relay tap (see publishVia).
+func (f *fanoutState) subscribe(topic string, key, procID uint64, caller ruc.Caller, relay bool) (uint64, error) {
 	t := f.topic(topic)
 	if t == nil {
 		return 0, fmt.Errorf("clam: subscribe to unregistered topic %q", topic)
@@ -280,7 +281,7 @@ func (f *fanoutState) subscribe(topic string, key, procID uint64, caller ruc.Cal
 	if closed {
 		return 0, errors.New("clam: server closed")
 	}
-	sub := &ruc.Sub{Key: key, Topic: topic, ProcID: procID, FuncType: t.ft, Caller: caller}
+	sub := &ruc.Sub{Key: key, Topic: topic, ProcID: procID, FuncType: t.ft, Caller: caller, Relay: relay}
 	fs := &fanSub{top: t, sub: sub}
 	fs.cond = sync.NewCond(&fs.mu)
 	sub.State = fs
@@ -303,6 +304,17 @@ func (f *fanoutState) unsubscribe(topic string, key, id uint64) (uint64, bool) {
 // publish fans ev out to the topic's current subscribers, returning how
 // many accepted it (queued or coalesced).
 func (f *fanoutState) publish(t *fanoutTopic, raw []any, args []reflect.Value) int {
+	return f.publishVia(t, raw, args, false)
+}
+
+// publishVia is publish with provenance: fromMesh marks an event that
+// arrived over a mesh peer link. Such an event is delivered to every
+// local subscriber but NOT to relay-marked subscriptions — the taps mesh
+// peers hold here — because each mesh peer received its own copy directly
+// from the origin. Without the skip, a full mesh republishes forever
+// (A→B, B's relay→A, A's relay→B, …). Chain relays are unmarked, so an
+// event still climbs a vertical chain hop by hop.
+func (f *fanoutState) publishVia(t *fanoutTopic, raw []any, args []reflect.Value, fromMesh bool) int {
 	f.srv.metrics.fanPublished.Add(1)
 	if t.policy == upcall.Block {
 		// A Block-policy publisher may wait on a full subscriber queue;
@@ -313,6 +325,9 @@ func (f *fanoutState) publish(t *fanoutTopic, raw []any, args []reflect.Value) i
 	ev := fanEvent{raw: raw, args: args}
 	n := 0
 	for _, sub := range f.subs.Snapshot(t.name) {
+		if fromMesh && sub.Relay {
+			continue
+		}
 		fs, ok := sub.State.(*fanSub)
 		if ok && fs.enqueue(f, ev) {
 			n++
@@ -482,9 +497,9 @@ func (f *fanoutState) close() {
 	}
 }
 
-// linkNewUpstream links every declared topic to a freshly attached
-// upstream server (the AttachUpstream half of tree formation).
-func (f *fanoutState) linkNewUpstream(u *upstream) {
+// linkNewPeer links every declared topic to a freshly attached peer link
+// (the attachLink half of tree formation).
+func (f *fanoutState) linkNewPeer(pl *peerLink) {
 	if f == nil {
 		return
 	}
@@ -495,50 +510,74 @@ func (f *fanoutState) linkNewUpstream(u *upstream) {
 	}
 	f.mu.Unlock()
 	for _, t := range topics {
-		f.linkTopicUpstream(t, u)
+		f.linkTopicPeer(t, pl)
 	}
 }
 
-// linkTopicUpstream subscribes this server ONCE to topic t on upstream u
-// and republishes each received event to local subscribers. This is the
-// fan-out tree: the upstream sends one event per hop, and each hop
-// multiplies it — N subscribers cost the upstream one delivery, not N.
-// Idempotent per (topic, upstream). If the upstream does not declare the
-// topic (yet), the link is skipped with a log line; declare bottom-tier
-// topics before middle-tier ones.
-func (f *fanoutState) linkTopicUpstream(t *fanoutTopic, u *upstream) {
+// linkTopicPeer subscribes this server ONCE to topic t on the peer and
+// republishes each received event to local subscribers. This is the
+// fan-out tree: the peer sends one event per hop, and each hop multiplies
+// it — N subscribers cost the peer one delivery, not N. Idempotent per
+// (topic, link). Over a mesh link the subscription is relay-marked on the
+// peer and the republish carries mesh provenance, so events cross each
+// mesh edge exactly once (see publishVia). If the peer does not declare
+// the topic (yet), the link is skipped with a log line; declare
+// lower-tier topics before upper-tier ones.
+func (f *fanoutState) linkTopicPeer(t *fanoutTopic, pl *peerLink) {
 	t.mu.Lock()
-	if _, done := t.linkedUps[u]; done {
+	if _, done := t.linked[pl]; done {
 		t.mu.Unlock()
 		return
 	}
-	t.linkedUps[u] = 0 // reserve while the subscribe round-trips
+	t.linked[pl] = 0 // reserve while the subscribe round-trips
 	t.mu.Unlock()
 
+	fromMesh := pl.role == linkMesh
 	relay := reflect.MakeFunc(t.ft, func(args []reflect.Value) []reflect.Value {
 		f.srv.metrics.fanRelayed.Add(1)
 		raw := make([]any, len(args))
 		for i, a := range args {
 			raw[i] = a.Interface()
 		}
-		f.publish(t, raw, args)
+		f.publishVia(t, raw, args, fromMesh)
 		out := make([]reflect.Value, t.ft.NumOut())
 		for i := range out {
 			out[i] = reflect.Zero(t.ft.Out(i))
 		}
 		return out
 	})
-	id, err := u.c.Subscribe(t.name, relay.Interface())
+	id, err := pl.c.subscribe(t.name, relay.Interface(), fromMesh)
 	if err != nil {
-		f.srv.logf("clam: linking multicast topic %q to upstream: %v", t.name, err)
+		f.srv.logf("clam: linking multicast topic %q to peer: %v", t.name, err)
 		t.mu.Lock()
-		delete(t.linkedUps, u)
+		delete(t.linked, pl)
 		t.mu.Unlock()
 		return
 	}
 	t.mu.Lock()
-	t.linkedUps[u] = id
+	t.linked[pl] = id
 	t.mu.Unlock()
+}
+
+// unlinkPeer forgets a detached link's topic reservations, so a fresh
+// link to a restarted peer re-forms the tree instead of being treated as
+// already linked. The dead link's remote subscription needs no teardown —
+// it died with the peer's session.
+func (f *fanoutState) unlinkPeer(pl *peerLink) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	topics := make([]*fanoutTopic, 0, len(f.topics))
+	for _, t := range f.topics {
+		topics = append(topics, t)
+	}
+	f.mu.Unlock()
+	for _, t := range topics {
+		t.mu.Lock()
+		delete(t.linked, pl)
+		t.mu.Unlock()
+	}
 }
 
 // --- the built-in "fanout" class ---------------------------------------------------
@@ -577,12 +616,29 @@ func (f *FanoutClass) Subscribe(topic string, procID uint64) (uint64, error) {
 		return 0, errors.New("clam: subscribing session is gone")
 	}
 	key := f.shardKey()
-	id, err := f.srv.fan.subscribe(topic, key, procID, sess)
+	id, err := f.srv.fan.subscribe(topic, key, procID, sess, false)
 	if err != nil {
 		return 0, err
 	}
 	f.srv.journalSubscribe(id, key, topic, procID, f.sessID)
 	return id, nil
+}
+
+// SubscribeRelay is Subscribe for a mesh peer's fan-out tap: the
+// subscription is relay-marked, so events that arrived here over a mesh
+// link are not fanned back out through it (publishVia). Relay
+// subscriptions are deliberately NOT journaled — a rejoining peer
+// re-links its topics itself, and resurrecting a tap for a peer whose
+// link died with the crash would deliver into the void.
+func (f *FanoutClass) SubscribeRelay(topic string, procID uint64) (uint64, error) {
+	if f.sessID == 0 {
+		return 0, errors.New("clam: fanout subscribe requires a client session")
+	}
+	sess := f.srv.sessionByID(f.sessID)
+	if sess == nil {
+		return 0, errors.New("clam: subscribing session is gone")
+	}
+	return f.srv.fan.subscribe(topic, f.shardKey(), procID, sess, true)
 }
 
 // Unsubscribe cancels subscription id on topic, returning the client
@@ -629,6 +685,13 @@ func RegisterFanoutClass(lib *dynload.Library) error {
 // (checked at delivery, like any upcall). The returned id cancels the
 // subscription via Unsubscribe.
 func (c *Client) Subscribe(topic string, fn any) (uint64, error) {
+	return c.subscribe(topic, fn, false)
+}
+
+// subscribe is Subscribe with the relay switch: a server linking a topic
+// over a mesh peer link registers a relay-marked tap (SubscribeRelay on
+// the wire) so the peer never fans mesh-relayed events back through it.
+func (c *Client) subscribe(topic string, fn any, relay bool) (uint64, error) {
 	v := reflect.ValueOf(fn)
 	if !v.IsValid() || v.Kind() != reflect.Func || v.IsNil() {
 		return 0, fmt.Errorf("clam: subscriber is not a func: %T", fn)
@@ -637,9 +700,13 @@ func (c *Client) Subscribe(topic string, fn any) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	method := "Subscribe"
+	if relay {
+		method = "SubscribeRelay"
+	}
 	procID := c.registerProc(v)
 	var id uint64
-	if err := r.CallInto("Subscribe", []any{&id}, topic, procID); err != nil {
+	if err := r.CallInto(method, []any{&id}, topic, procID); err != nil {
 		c.dropProc(procID)
 		return 0, err
 	}

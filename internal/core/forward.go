@@ -6,9 +6,6 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
-	"sync"
-	"sync/atomic"
-	"time"
 
 	"clam/internal/bundle"
 	"clam/internal/handle"
@@ -38,64 +35,9 @@ import (
 // bottom chains hop by hop back to the top — each hop translating ids it
 // minted itself, exactly as §3.5.2 prescribes for one hop.
 
-// upstream is one lower server this server dialed, with the translation
-// cache mapping the lower server's class ids to locally compiled stubs.
-type upstream struct {
-	c  *Client
-	br *breaker // nil unless WithUpstreamBreaker
-
-	mu      sync.Mutex
-	classes map[uint32]*proxyClass
-}
-
-// breaker is a per-upstream circuit breaker (WithUpstreamBreaker). After
-// threshold consecutive failed reconnect attempts the circuit opens for
-// cooldown: the resurrect loop stops dialing a flapping upstream, and
-// forwarded calls fail fast instead of queueing behind it. A successful
-// reconnect closes the circuit and resets the failure count.
-type breaker struct {
-	threshold int
-	cooldown  time.Duration
-	opens     atomic.Uint64
-
-	mu        sync.Mutex
-	fails     int
-	openUntil time.Time
-}
-
-// allow reports whether a reconnect attempt may proceed (circuit closed
-// or cooldown elapsed). Wired into the client's resurrect loop.
-func (b *breaker) allow() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return !time.Now().Before(b.openUntil)
-}
-
-// result records the outcome of one reconnect attempt, tripping the
-// circuit after threshold consecutive failures.
-func (b *breaker) result(ok bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if ok {
-		b.fails = 0
-		b.openUntil = time.Time{}
-		return
-	}
-	b.fails++
-	if b.fails >= b.threshold {
-		b.fails = 0
-		b.openUntil = time.Now().Add(b.cooldown)
-		b.opens.Add(1)
-	}
-}
-
-// open reports whether the circuit is currently open (calls should fail
-// fast rather than wait on the dead upstream).
-func (b *breaker) open() bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return time.Now().Before(b.openUntil)
-}
+// The hop state itself — peerLink, its breaker, the per-link translation
+// cache — lives in peerlink.go, shared between this vertical chain
+// arrangement and the horizontal mesh (mesh.go).
 
 // proxyClass is the middle tier's knowledge of one lower-server class: its
 // portable identity and the stubs compiled from the local library's class
@@ -143,62 +85,15 @@ func (s *Server) DialUpstream(network, addr string, opts ...DialOption) (*Client
 // server for forwarding. Idempotent per client. The server owns the client
 // from here on and closes it on shutdown.
 func (s *Server) AttachUpstream(c *Client) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return errors.New("clam: server closed")
-	}
-	for _, u := range s.upstreams {
-		if u.c == c {
-			s.mu.Unlock()
-			return nil
-		}
-	}
-	u := &upstream{c: c, classes: make(map[uint32]*proxyClass)}
-	if s.breakerThreshold > 0 {
-		u.br = &breaker{threshold: s.breakerThreshold, cooldown: s.breakerCooldown}
-		c.setReconnectHooks(u.br.allow, u.br.result)
-	}
-	s.upstreams = append(s.upstreams, u)
-	s.mu.Unlock()
-	// Link declared multicast topics to the new upstream outside s.mu:
-	// each link is a subscribe round-trip down the wire (fanout.go).
-	s.fan.linkNewUpstream(u)
-	return nil
-}
-
-// upstreamFor returns the upstream record owning client c, or nil.
-func (s *Server) upstreamFor(c *Client) *upstream {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, u := range s.upstreams {
-		if u.c == c {
-			return u
-		}
-	}
-	return nil
-}
-
-// syncUpstreams flushes and round-trips every upstream connection, so a
-// client's Sync covers asynchronous calls this server relayed further down
-// (§3.4's guarantee, extended across hops).
-func (s *Server) syncUpstreams() {
-	s.mu.Lock()
-	ups := make([]*upstream, len(s.upstreams))
-	copy(ups, s.upstreams)
-	s.mu.Unlock()
-	for _, u := range ups {
-		if err := u.c.Sync(); err != nil {
-			s.logf("clam: sync relay to upstream failed: %v", err)
-		}
-	}
+	_, err := s.attachLink(c, linkChain, "")
+	return err
 }
 
 // ImportNamed pulls named objects from an upstream server and republishes
 // them under the same names here, so this server's clients find lower-tier
 // base abstractions exactly as they would local ones.
 func (s *Server) ImportNamed(c *Client, names ...string) error {
-	if u := s.upstreamFor(c); u == nil {
+	if pl := s.linkFor(c); pl == nil {
 		return errors.New("clam: client is not an attached upstream")
 	}
 	for _, name := range names {
@@ -209,70 +104,6 @@ func (s *Server) ImportNamed(c *Client, names ...string) error {
 		s.SetNamed(name, r)
 	}
 	return nil
-}
-
-// cachedProxyClass searches the upstream translation caches for a class id
-// (used to answer Describe for classes this server never loaded, e.g. in
-// 3+-hop chains).
-func (s *Server) cachedProxyClass(classID uint32) *proxyClass {
-	s.mu.Lock()
-	ups := make([]*upstream, len(s.upstreams))
-	copy(ups, s.upstreams)
-	s.mu.Unlock()
-	for _, u := range ups {
-		u.mu.Lock()
-		pc := u.classes[classID]
-		u.mu.Unlock()
-		if pc != nil {
-			return pc
-		}
-	}
-	return nil
-}
-
-// proxyClassFor resolves a lower server's class id to locally compiled
-// stubs, asking the lower server to describe the id on first sight. Class
-// ids are per-server; the name+version pair is the portable identity the
-// local library is searched by. The exact version is preferred; if the
-// library only has other versions, the newest is used (the stub layout of
-// coexisting versions must agree for forwarding to work, which holds for
-// the method signatures — a genuinely incompatible revision would fail
-// kind validation rather than corrupt the stream).
-func (s *Server) proxyClassFor(u *upstream, classID, version uint32) (*proxyClass, error) {
-	u.mu.Lock()
-	if pc, ok := u.classes[classID]; ok {
-		u.mu.Unlock()
-		return pc, nil
-	}
-	u.mu.Unlock()
-
-	name, ver, err := u.c.DescribeClass(classID)
-	if err != nil {
-		return nil, fmt.Errorf("clam: describing upstream class %d: %w", classID, err)
-	}
-	if version == 0 {
-		version = ver
-	}
-	cls, err := s.lib.LookupExact(name, version)
-	if err != nil {
-		cls, err = s.lib.Lookup(name, 0)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("clam: upstream class %q v%d unknown to local library: %w", name, version, err)
-	}
-	stubs, err := rpc.CompileClass(s.reg, cls.Type, cls.Specs)
-	if err != nil {
-		return nil, fmt.Errorf("clam: compiling proxy stubs for %q: %w", name, err)
-	}
-	pc := &proxyClass{name: name, version: version, stubs: stubs}
-	u.mu.Lock()
-	if prev, ok := u.classes[classID]; ok {
-		pc = prev
-	} else {
-		u.classes[classID] = pc
-	}
-	u.mu.Unlock()
-	return pc, nil
 }
 
 // exportProxy re-exports a lower server's object upward: the *Remote
@@ -334,26 +165,13 @@ func (sess *session) replyStatus(seq uint64, status rpc.Status, msg string) {
 // decode failure must poison it (SetErr) to drop the rest of the batch.
 func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remote, entry handle.Entry) {
 	srv := sess.srv
-	u := srv.upstreamFor(pr.c)
-	if u == nil {
-		dec.SetErr(fmt.Errorf("clam: proxy call %s on detached upstream", hdr.Method))
-		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: upstream connection is gone")
+	pl := srv.linkFor(pr.c)
+	if pl == nil {
+		dec.SetErr(fmt.Errorf("clam: proxy call %s on detached peer link", hdr.Method))
+		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: peer connection is gone")
 		return
 	}
-	if u.br != nil && u.br.open() {
-		// The upstream's circuit is open: fail fast rather than relay into
-		// a link the resurrect loop has given up on for now. Sync calls get
-		// a dispatch error; asyncs follow the async error path (fault
-		// report), matching a relay failure.
-		dec.SetErr(fmt.Errorf("clam: proxy call %s while upstream circuit open", hdr.Method))
-		if hdr.Seq == 0 {
-			sess.reportFault("proxy", hdr.Method, "clam: upstream circuit open")
-		} else {
-			sess.replyStatus(hdr.Seq, rpc.StatusDispatch, "clam: upstream circuit open")
-		}
-		return
-	}
-	pc, err := srv.proxyClassFor(u, entry.ClassID, entry.Version)
+	pc, err := srv.proxyClassFor(pl, entry.ClassID, entry.Version)
 	if err != nil {
 		dec.SetErr(err)
 		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, err.Error())
@@ -370,6 +188,29 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 	if err != nil {
 		dec.SetErr(err)
 		sess.replyStatus(hdr.Seq, rpc.StatusDispatch, err.Error())
+		return
+	}
+
+	if (pl.br != nil && pl.br.open()) || (pl.role == linkMesh && !srv.meshPeerUp(pl)) {
+		// The peer's circuit is open (or the mesh directory marks it down):
+		// fail fast rather than relay into a link the resurrect loop has
+		// given up on for now. The args are already decoded — stub lookup is
+		// local once the class is cached — so the batch stream stays aligned
+		// and EVERY refused call is answered, not just the batch's first.
+		// Sync calls get a dispatch error; asyncs follow the async error
+		// path (fault report), matching a relay failure. Mesh peers fail
+		// with ErrPeerDown so callers can tell a dead shard owner from an
+		// application error.
+		msg := "clam: upstream circuit open"
+		if pl.role == linkMesh {
+			msg = ErrPeerDown.Error() + ": " + pl.name
+			srv.metrics.meshPeerDown.Add(1)
+		}
+		if hdr.Seq == 0 {
+			sess.reportFault("proxy", hdr.Method, msg)
+		} else {
+			sess.replyStatus(hdr.Seq, rpc.StatusDispatch, msg)
+		}
 		return
 	}
 

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"sync"
+
+	"clam/internal/dynload"
+	"clam/internal/mesh"
+)
+
+// Federated server mesh: the horizontal arrangement of the peerLink hop
+// primitive. N CLAM servers join a mesh; a consistent-hash directory
+// (internal/mesh) partitions the shared object space — well-known names
+// and handle tags — among them, so any member routes a call to the
+// owner's address space and chains the owner's upcalls back out through
+// whichever member the client entered at. The paper's two-space layering
+// (§1) becomes an N-space federation with the same mechanism per hop:
+// proxy handles re-minted at the entry member (§3.5.1), procedure
+// pointers re-bound per hop (§3.5.2), §3.4's ordering preserved because
+// a routed call is just a forwarded call (forward.go).
+//
+// Membership is deliberately thin: it rides the machinery the links
+// already have. The wire's heartbeats detect a dead peer, the link's
+// resurrect loop + circuit breaker report every reconnect outcome into
+// the directory (attachLink's onResult hook → meshLinkResult), and a
+// restarted peer re-announces itself through the mesh class, which
+// replaces the unresumable old link (handleAnnounce). While a peer is
+// down its arcs stay its own — calls fail fast with ErrPeerDown rather
+// than silently re-homing objects whose handles only the owner can
+// validate.
+
+// ErrPeerDown reports that the mesh member owning the addressed object is
+// currently unreachable (its link's circuit is open or its membership
+// entry is marked down). The call failed fast; the object itself may be
+// intact and reachable again after the peer rejoins.
+var ErrPeerDown = errors.New("clam: mesh peer down")
+
+// IsPeerDown reports whether err is an ErrPeerDown failure, including the
+// remote form: a routed call that failed at another member's hop comes
+// back as an rpc.RemoteError carrying the message text.
+func IsPeerDown(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrPeerDown) || strings.Contains(err.Error(), ErrPeerDown.Error())
+}
+
+// MeshPeer identifies one mesh member for JoinMesh: its unique name, its
+// listening address (how members that must redial it reach it), and
+// optionally an already-dialed client connection to it. A nil Client with
+// a non-empty Addr is dialed by JoinMesh.
+type MeshPeer struct {
+	Name          string
+	Network, Addr string
+	Client        *Client
+}
+
+// meshLink pairs a peer's link with its dialing information and the
+// lazily created remote mesh-class instance announcements travel through.
+type meshLink struct {
+	pl            *peerLink
+	network, addr string
+	remote        *Remote
+}
+
+// meshState is a member's view of the mesh: the consistent-hash directory
+// and the live link per peer. It has its own lock; s.mu is never held
+// around directory or link operations.
+type meshState struct {
+	dir  *mesh.Directory
+	self MeshPeer // this member's own card, re-sent when links are replaced
+
+	mu    sync.Mutex
+	links map[string]*meshLink // peer name → live link
+}
+
+// meshState returns the mesh view, or nil when this server never joined
+// one. The field itself is published under s.mu.
+func (s *Server) meshState() *meshState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mesh
+}
+
+// JoinMesh makes this server a member of a federated mesh under
+// self.Name. Each peer is linked (dialing peers whose Client is nil),
+// entered into the consistent-hash directory, and sent a best-effort
+// announcement so members that joined earlier add us. From here on:
+//
+//   - new handle tags are minted inside self's directory arc, so a tag
+//     alone names its owning member;
+//   - named objects another member owns resolve transparently — a client
+//     asking this server for one gets a proxy routed over the mesh link
+//     (session.go's execLoadNamed → meshResolveNamed);
+//   - MeshCreateNamed places new named instances on the member the
+//     directory assigns;
+//   - declared multicast topics fan out across the mesh loop-free
+//     (fanout.go's relay-marked taps).
+//
+// JoinMesh may be called once; joining an already-joined server is an
+// error. The existing chain API (DialUpstream) is untouched — a chain is
+// the degenerate mesh of one self-owned arc.
+func (s *Server) JoinMesh(self MeshPeer, peers ...MeshPeer) error {
+	if self.Name == "" {
+		return errors.New("clam: mesh member needs a name")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("clam: server closed")
+	}
+	if s.mesh != nil {
+		s.mu.Unlock()
+		return errors.New("clam: server already joined a mesh")
+	}
+	ms := &meshState{
+		dir:   mesh.New(self.Name, self.Network, self.Addr, 0),
+		self:  self,
+		links: make(map[string]*meshLink),
+	}
+	s.mesh = ms
+	s.mu.Unlock()
+
+	for _, p := range peers {
+		if p.Name == "" || p.Name == self.Name {
+			return fmt.Errorf("clam: bad mesh peer name %q", p.Name)
+		}
+		c := p.Client
+		if c == nil {
+			if p.Addr == "" {
+				return fmt.Errorf("clam: mesh peer %q has neither a client nor an address", p.Name)
+			}
+			var err error
+			c, err = Dial(p.Network, p.Addr)
+			if err != nil {
+				return fmt.Errorf("clam: dialing mesh peer %q: %w", p.Name, err)
+			}
+		}
+		pl, err := s.attachLink(c, linkMesh, p.Name)
+		if err != nil {
+			return err
+		}
+		ms.dir.Add(p.Name, p.Network, p.Addr)
+		ms.mu.Lock()
+		ms.links[p.Name] = &meshLink{pl: pl, network: p.Network, addr: p.Addr}
+		ms.mu.Unlock()
+	}
+
+	// Constrain new handle tags to self's ring arc: rejection-sample the
+	// table's usual uniform tags until one lands in an arc we own. Tags
+	// remain arbitrary bit patterns to every consumer (§3.5.1); the arc
+	// constraint just encodes ownership into the pattern. ~N tries expected
+	// for an N-member mesh; the cap keeps a pathological ring from spinning,
+	// falling back to an unconstrained (still valid) tag.
+	s.handles.SetTagMinter(func() uint64 {
+		var tag uint64
+		for i := 0; i < 256; i++ {
+			tag = rand.Uint64()
+			if ms.dir.Owner(tag) == self.Name {
+				return tag
+			}
+		}
+		return tag
+	})
+
+	// Best-effort announce: members that joined before us learn our name
+	// and address. Members that have not joined yet reject the announce
+	// (no mesh state) and learn of us when they join and announce instead.
+	for _, p := range peers {
+		if err := s.announceTo(ms, p.Name, self); err != nil {
+			s.logf("clam: mesh announce to %q: %v", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// announceTo sends self's membership card to one peer through its mesh
+// class.
+func (s *Server) announceTo(ms *meshState, peer string, self MeshPeer) error {
+	r, err := ms.meshRemote(peer)
+	if err != nil {
+		return err
+	}
+	xit := s.exec.yieldCurrent()
+	defer s.exec.resume(xit)
+	return r.Call("Announce", self.Name, self.Network, self.Addr)
+}
+
+// meshRemote returns (lazily creating) the remote mesh-class instance on
+// the named peer.
+func (ms *meshState) meshRemote(peer string) (*Remote, error) {
+	ms.mu.Lock()
+	ml := ms.links[peer]
+	if ml == nil {
+		ms.mu.Unlock()
+		return nil, fmt.Errorf("clam: no mesh link to %q", peer)
+	}
+	if ml.remote != nil {
+		r := ml.remote
+		ms.mu.Unlock()
+		return r, nil
+	}
+	pl := ml.pl
+	ms.mu.Unlock()
+
+	r, err := pl.c.New("mesh", 1)
+	if err != nil {
+		return nil, fmt.Errorf("clam: loading mesh class on %q: %w", peer, err)
+	}
+	ms.mu.Lock()
+	if cur := ms.links[peer]; cur != nil && cur.pl == pl {
+		if cur.remote != nil {
+			r = cur.remote
+		} else {
+			cur.remote = r
+		}
+	}
+	ms.mu.Unlock()
+	return r, nil
+}
+
+// linkTo returns the live peer link for a member, or nil.
+func (ms *meshState) linkTo(peer string) *peerLink {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ml := ms.links[peer]; ml != nil {
+		return ml.pl
+	}
+	return nil
+}
+
+// MeshOwner reports which mesh member owns the named object's directory
+// arc. ok is false when this server is not a mesh member.
+func (s *Server) MeshOwner(name string) (string, bool) {
+	ms := s.meshState()
+	if ms == nil {
+		return "", false
+	}
+	return ms.dir.OwnerOfName(name), true
+}
+
+// MeshDirectory exposes the member's consistent-hash directory (nil when
+// not in a mesh) — observability and tests; routing goes through the
+// server's own methods.
+func (s *Server) MeshDirectory() *mesh.Directory {
+	ms := s.meshState()
+	if ms == nil {
+		return nil
+	}
+	return ms.dir
+}
+
+// MeshCreateNamed creates a named instance of class on whichever mesh
+// member the directory assigns name to — there, CreateInstance + SetNamed;
+// here, the same done locally. Not in a mesh, it degenerates to local
+// creation. The instance is then reachable from every member by name.
+func (s *Server) MeshCreateNamed(class, name string) error {
+	ms := s.meshState()
+	if ms == nil || ms.dir.Owns(mesh.HashName(name)) {
+		return s.createNamedLocal(class, name)
+	}
+	owner := ms.dir.OwnerOfName(name)
+	if !ms.dir.Up(owner) {
+		return fmt.Errorf("%w: %s (owner of %q)", ErrPeerDown, owner, name)
+	}
+	r, err := ms.meshRemote(owner)
+	if err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrPeerDown, owner, err)
+	}
+	xit := s.exec.yieldCurrent()
+	defer s.exec.resume(xit)
+	return r.Call("CreateNamed", class, name)
+}
+
+// createNamedLocal instantiates class in this address space and publishes
+// it under name.
+func (s *Server) createNamedLocal(class, name string) error {
+	obj, _, err := s.CreateInstance(class, 0, &Env{Server: s})
+	if err != nil {
+		return fmt.Errorf("clam: creating %q as %q: %w", class, name, err)
+	}
+	s.SetNamed(name, obj)
+	return nil
+}
+
+// meshResolveNamed is execLoadNamed's miss hook: when a client asks for a
+// named object this server does not hold, the directory may say another
+// member owns it. Returns (nil, false) to fall through to the ordinary
+// not-found reply; (err, true) to surface a routing failure (ErrPeerDown);
+// or (*Remote, true) with the owner's object imported and cached, which
+// execLoadNamed then re-exports to the client as a proxy handle — the
+// same re-minting a chain hop does (§3.5.1 across hops).
+func (s *Server) meshResolveNamed(sess *session, name string) (any, bool) {
+	ms := s.meshState()
+	if ms == nil {
+		return nil, false
+	}
+	owner := ms.dir.OwnerOfName(name)
+	if owner == ms.dir.Self() {
+		return nil, false
+	}
+	if !ms.dir.Up(owner) {
+		return fmt.Errorf("%w: %s (owner of %q)", ErrPeerDown, owner, name), true
+	}
+	pl := ms.linkTo(owner)
+	if pl == nil {
+		return fmt.Errorf("%w: %s (no link)", ErrPeerDown, owner), true
+	}
+	if pl.br != nil && pl.br.open() {
+		s.metrics.meshPeerDown.Add(1)
+		return fmt.Errorf("%w: %s (circuit open)", ErrPeerDown, owner), true
+	}
+	// The import is a round trip on the peer link; hand the executor slot
+	// off meanwhile, like any forwarded call.
+	xit := s.exec.yieldCurrent()
+	r, err := pl.c.NamedObject(name)
+	s.exec.resume(xit)
+	if err != nil {
+		// Owner is up but has no such instance (or the load failed):
+		// surface its answer rather than inventing a local not-found.
+		return fmt.Errorf("clam: resolving %q on mesh member %s: %w", name, owner, err), true
+	}
+	// Cache the import: later lookups (and re-exports to other clients)
+	// hit the named map directly, and detachLink unpublishes it if the
+	// owner's link dies.
+	s.SetNamed(name, r)
+	s.metrics.meshRouted.Add(1)
+	return r, true
+}
+
+// meshPeerUp reports the directory's liveness belief about a link's
+// member. Non-mesh links (and non-mesh servers) are always "up" — their
+// failure handling is the breaker's alone.
+func (s *Server) meshPeerUp(pl *peerLink) bool {
+	ms := s.meshState()
+	if ms == nil || pl.name == "" {
+		return true
+	}
+	return ms.dir.Up(pl.name)
+}
+
+// meshLinkResult is attachLink's membership hook: every reconnect outcome
+// on a mesh link updates the directory, so routing fails fast the moment
+// the resurrect loop starts losing and recovers the moment it wins.
+func (s *Server) meshLinkResult(pl *peerLink, ok bool) {
+	ms := s.meshState()
+	if ms == nil || pl.name == "" {
+		return
+	}
+	ms.dir.SetUp(pl.name, ok)
+}
+
+// meshSnapshot summarizes mesh membership for Server.Metrics.
+func (s *Server) meshSnapshot() *MeshStats {
+	ms := s.meshState()
+	if ms == nil {
+		return nil
+	}
+	return &MeshStats{
+		Enabled:          true,
+		Self:             ms.dir.Self(),
+		Peers:            uint64(ms.dir.Len()),
+		PeersUp:          uint64(ms.dir.UpCount()),
+		RoutedNamed:      s.metrics.meshRouted.Load(),
+		PeerDownFailures: s.metrics.meshPeerDown.Load(),
+	}
+}
+
+// handleAnnounce processes a peer's membership card (MeshClass.Announce).
+// A new member is added to the directory. A known member re-announcing is
+// the rejoin path: if our existing link to it still carries traffic it is
+// simply marked up; if the link is dead — a restarted peer can never
+// resume the old session (epoch fencing, session.go) — the old link is
+// detached (proxy handles revoked, fan-out taps forgotten) and, when the
+// card carries an address, a fresh one is dialed and linked.
+func (s *Server) handleAnnounce(name, network, addr string) error {
+	ms := s.meshState()
+	if ms == nil {
+		return errors.New("clam: this server has not joined a mesh")
+	}
+	if name == ms.dir.Self() {
+		return fmt.Errorf("clam: mesh member %q announcing to itself", name)
+	}
+	ms.dir.Add(name, network, addr)
+
+	ms.mu.Lock()
+	ml := ms.links[name]
+	ms.mu.Unlock()
+
+	// Probing and redialing are wire round trips inside a dispatched
+	// handler; hand the executor slot off for the duration.
+	xit := s.exec.yieldCurrent()
+	defer s.exec.resume(xit)
+
+	if ml != nil {
+		if err := ml.pl.c.Sync(); err == nil {
+			ms.dir.SetUp(name, true)
+			return nil
+		}
+		// The old link cannot carry calls (a restarted peer refuses its
+		// resume token). Replace it.
+		ms.mu.Lock()
+		delete(ms.links, name)
+		ms.mu.Unlock()
+		s.detachLink(ml.pl)
+	}
+	if addr == "" {
+		return fmt.Errorf("clam: mesh member %q has no link and announced no address", name)
+	}
+	c, err := Dial(network, addr)
+	if err != nil {
+		ms.dir.SetUp(name, false)
+		return fmt.Errorf("clam: redialing mesh member %q: %w", name, err)
+	}
+	pl, err := s.attachLink(c, linkMesh, name)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	ms.mu.Lock()
+	ms.links[name] = &meshLink{pl: pl, network: network, addr: addr}
+	ms.mu.Unlock()
+	ms.dir.SetUp(name, true)
+	// Announce back over the fresh link so the rejoined peer marks it as a
+	// peer session (Sync loop prevention) and refreshes our card.
+	if err := s.announceTo(ms, name, ms.self); err != nil {
+		s.logf("clam: re-announce to rejoined %q: %v", name, err)
+	}
+	return nil
+}
+
+// --- the built-in "mesh" class -----------------------------------------------------
+
+// MeshClass is the loadable class mesh members speak membership through —
+// announcements and placement as ordinary remote calls, so federation
+// needs no new wire message types (the same trick as FanoutClass). Every
+// server registers it; only mesh members answer usefully.
+type MeshClass struct {
+	srv    *Server
+	sessID uint64
+}
+
+// Announce records the caller's membership card: name plus the address
+// other members can (re)dial it at. Announcing is how a member joins the
+// rosters of members that joined before it, and how a restarted member
+// gets its dead links replaced. It also marks the announcing session as a
+// peer's link, which scopes its Sync relays (session.go's fromPeer) so
+// Syncs cross each mesh edge at most once instead of ping-ponging around
+// the cycle forever.
+func (m *MeshClass) Announce(name, network, addr string) error {
+	if m.sessID != 0 {
+		if sess := m.srv.sessionByID(m.sessID); sess != nil {
+			sess.fromPeer.Store(true)
+		}
+	}
+	return m.srv.handleAnnounce(name, network, addr)
+}
+
+// Roster renders this member's directory view, one member per line:
+// "name network addr up". A joining member may seed from any existing
+// member's roster.
+func (m *MeshClass) Roster() (string, error) {
+	ms := m.srv.meshState()
+	if ms == nil {
+		return "", errors.New("clam: this server has not joined a mesh")
+	}
+	var b strings.Builder
+	for _, p := range ms.dir.Peers() {
+		fmt.Fprintf(&b, "%s %s %s %t\n", p.Name, p.Network, p.Addr, p.Up)
+	}
+	return b.String(), nil
+}
+
+// CreateNamed instantiates class locally and publishes it under name —
+// the receiving half of MeshCreateNamed's placement.
+func (m *MeshClass) CreateNamed(class, name string) error {
+	return m.srv.createNamedLocal(class, name)
+}
+
+// RegisterMeshClass adds the "mesh" class to lib. NewServer calls it
+// automatically; exported for libraries shared across servers.
+func RegisterMeshClass(lib *dynload.Library) error {
+	return lib.Register(dynload.Class{
+		Name:    "mesh",
+		Version: 1,
+		Type:    reflect.TypeOf(&MeshClass{}),
+		New: func(env any) (any, error) {
+			e, ok := env.(*Env)
+			if !ok || e.Server == nil {
+				return nil, fmt.Errorf("clam: mesh class requires a server environment, got %T", env)
+			}
+			return &MeshClass{srv: e.Server, sessID: e.SessionID}, nil
+		},
+	})
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Federated mesh tests: N peer servers sharing one consistent-hash object
+// space (mesh.go), with clients entering at any member.
+
+// meshFixture is n servers joined into one full mesh, each on its own
+// unix socket.
+type meshFixture struct {
+	names []string
+	srvs  map[string]*Server
+	paths map[string]string
+}
+
+// startMesh brings up one server per name, full-meshes them with JoinMesh,
+// and tears everything down with the test. opts apply to every server.
+func startMesh(t testing.TB, names []string, opts ...ServerOption) *meshFixture {
+	t.Helper()
+	m := &meshFixture{
+		names: names,
+		srvs:  make(map[string]*Server),
+		paths: make(map[string]string),
+	}
+	for _, name := range names {
+		name := name
+		srv, path := startServer(t, append([]ServerOption{
+			WithServerLog(func(format string, args ...any) { t.Logf(name+": "+format, args...) }),
+		}, opts...)...)
+		m.srvs[name] = srv
+		m.paths[name] = path
+	}
+	for _, name := range names {
+		var peers []MeshPeer
+		for _, other := range names {
+			if other != name {
+				peers = append(peers, MeshPeer{Name: other, Network: "unix", Addr: m.paths[other]})
+			}
+		}
+		if err := m.srvs[name].JoinMesh(MeshPeer{Name: name, Network: "unix", Addr: m.paths[name]}, peers...); err != nil {
+			t.Fatalf("JoinMesh(%s): %v", name, err)
+		}
+	}
+	return m
+}
+
+// createOwnedBy places one named instance of class per member, probing
+// names until the directory assigns each member at least one; returns
+// member name → object name.
+func (m *meshFixture) createOwnedBy(t testing.TB, class, prefix string) map[string]string {
+	t.Helper()
+	any := m.srvs[m.names[0]]
+	owned := make(map[string]string)
+	for i := 0; len(owned) < len(m.names) && i < 512; i++ {
+		name := fmt.Sprintf("%s-%d", prefix, i)
+		owner, ok := any.MeshOwner(name)
+		if !ok {
+			t.Fatal("MeshOwner: server not in a mesh")
+		}
+		if _, dup := owned[owner]; dup {
+			continue
+		}
+		if err := any.MeshCreateNamed(class, name); err != nil {
+			t.Fatalf("MeshCreateNamed(%s, %s): %v", class, name, err)
+		}
+		owned[owner] = name
+	}
+	if len(owned) < len(m.names) {
+		t.Fatalf("probed 512 names, directory never covered all members: %v", owned)
+	}
+	return owned
+}
+
+// TestMeshThreePeerRouting: a client dialing ANY member can call — and
+// receive upcalls from — objects owned by EVERY member. Calls route over
+// one mesh hop to the owner; §3.4's program order (asynchronous calls
+// complete before a later synchronous call returns) holds across the hop.
+func TestMeshThreePeerRouting(t *testing.T) {
+	m := startMesh(t, []string{"a", "b", "c"})
+	owned := m.createOwnedBy(t, "counter", "ctr")
+
+	// Ownership agreement: every member's directory names the same owner.
+	for owner, objName := range owned {
+		for _, srv := range m.srvs {
+			if got, _ := srv.MeshOwner(objName); got != owner {
+				t.Fatalf("directories disagree on %q: %s vs %s", objName, got, owner)
+			}
+		}
+	}
+
+	// One client per member; every client batches adds into every counter,
+	// then Syncs. The sync must cover the routed (forwarded) adds too.
+	const perClient = 20
+	clients := make(map[string]*Client)
+	for _, name := range m.names {
+		clients[name] = dialClient(t, m.paths[name])
+	}
+	for entry, c := range clients {
+		for owner, objName := range owned {
+			r, err := c.NamedObject(objName)
+			if err != nil {
+				t.Fatalf("client@%s NamedObject(%q owned by %s): %v", entry, objName, owner, err)
+			}
+			for i := 0; i < perClient; i++ {
+				if err := r.Async("Add", int64(1)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatalf("client@%s Sync: %v", entry, err)
+		}
+	}
+
+	// Exact totals, read through yet another member (so the read itself is
+	// routed): every counter saw len(clients)×perClient adds.
+	want := int64(len(clients) * perClient)
+	for owner, objName := range owned {
+		r, err := clients["a"].NamedObject(objName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		if err := r.CallInto("Total", []any{&total}); err != nil {
+			t.Fatalf("Total(%q): %v", objName, err)
+		}
+		if total != want {
+			t.Fatalf("counter %q (owner %s) total = %d, want %d", objName, owner, total, want)
+		}
+	}
+
+	// Handle tags land in the minting member's directory arc: a client of
+	// the owner gets the real object's handle, minted inside the owner's
+	// arc by the JoinMesh tag minter.
+	for owner, objName := range owned {
+		r, err := clients[owner].NamedObject(objName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := m.srvs[owner].MeshDirectory()
+		if got := dir.Owner(uint64(r.Handle().Tag)); got != owner {
+			t.Fatalf("tag of %q maps to arc of %s, want %s", objName, got, owner)
+		}
+	}
+
+	// Upcalls chain back across the mesh: register a handler through a
+	// NON-owner member, trigger through another, and the upcall must cross
+	// owner → entry member → client.
+	notifiers := m.createOwnedBy(t, "notifier", "notif")
+	for owner, objName := range notifiers {
+		entry := ""
+		for _, name := range m.names {
+			if name != owner {
+				entry = name
+				break
+			}
+		}
+		r, err := clients[entry].NamedObject(objName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Call("Register", func(x int32, s string) int32 { return 2 * x }); err != nil {
+			t.Fatalf("Register on %q via %s: %v", objName, entry, err)
+		}
+		var sum int32
+		if err := r.CallInto("Trigger", []any{&sum}, int32(21), "mesh"); err != nil {
+			t.Fatalf("Trigger on %q via %s: %v", objName, entry, err)
+		}
+		if sum != 42 {
+			t.Fatalf("routed upcall sum = %d, want 42 (owner %s, entry %s)", sum, owner, entry)
+		}
+	}
+
+	// The mesh shows up in metrics.
+	ms := m.srvs["a"].Metrics().Mesh
+	if !ms.Enabled || ms.Self != "a" || ms.Peers != 3 {
+		t.Fatalf("mesh stats = %+v", ms)
+	}
+	if ms.RoutedNamed == 0 {
+		t.Fatal("no routed named resolutions counted")
+	}
+}
+
+// TestMeshPeerDownFailFast: when a member dies, calls routed to its
+// objects fail fast with ErrPeerDown (no hanging on the dead link); when
+// it rejoins and re-announces, routing resumes over a fresh link.
+func TestMeshPeerDownFailFast(t *testing.T) {
+	resume := WithResumeWindow(10 * time.Second)
+	m := startMesh(t, []string{"a", "b"}, resume)
+	owned := m.createOwnedBy(t, "counter", "down")
+	bName := owned["b"]
+
+	c := dialClient(t, m.paths["a"])
+	r, err := c.NamedObject(bName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Call("Add", int64(5)); err != nil {
+		t.Fatalf("routed call before failure: %v", err)
+	}
+
+	// Kill b. a's link client starts resurrecting; every failed attempt
+	// reports into the directory, which marks b down — from then on calls
+	// fail fast with ErrPeerDown instead of waiting out the dead link.
+	bPath := m.paths["b"]
+	if err := m.srvs["b"].Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "ErrPeerDown from routed call", func() bool {
+		err := r.Call("Total")
+		return err != nil && IsPeerDown(err)
+	})
+	if m.srvs["a"].Metrics().Mesh.PeerDownFailures == 0 {
+		t.Fatal("peer-down failures not counted")
+	}
+
+	// Fresh named resolutions for b-owned objects fail fast too.
+	c2 := dialClient(t, m.paths["a"])
+	if _, err := c2.NamedObject(bName + "-other"); err == nil || !IsPeerDown(err) {
+		t.Fatalf("resolving b-owned name while b is down: err = %v, want ErrPeerDown", err)
+	}
+
+	// Rejoin: a restarted b (same address, fresh state) joins the mesh and
+	// announces; a replaces the unresumable old link with a fresh one and
+	// routes again.
+	b2 := NewServer(testLibrary(t),
+		WithServerLog(func(format string, args ...any) { t.Logf("b2: "+format, args...) }),
+		resume)
+	if _, err := b2.Load("child", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Listen("unix", bPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b2.Close() })
+	if err := b2.JoinMesh(MeshPeer{Name: "b", Network: "unix", Addr: bPath},
+		MeshPeer{Name: "a", Network: "unix", Addr: m.paths["a"]}); err != nil {
+		t.Fatal(err)
+	}
+	// b's state died with it; recreate its named counter (same directory
+	// placement — the ring is unchanged).
+	if err := b2.MeshCreateNamed("counter", bName); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "routing to rejoined peer", func() bool {
+		cNew := dialClient(t, m.paths["a"])
+		rNew, err := cNew.NamedObject(bName)
+		if err != nil {
+			return false
+		}
+		return rNew.Call("Add", int64(1)) == nil
+	})
+}
+
+// TestChaosMeshPartition: a network partition severs the a→b mesh link
+// mid-burst; after it heals, session resurrection resumes the link and
+// replays the unacknowledged routed calls, and the receive window drops
+// duplicates. Adds that raced the partition's open window are replayed;
+// adds arriving once the directory has marked b down are refused fail-fast
+// with a proxy fault report — so the owner's counter lands EXACTLY on
+// (sent − faulted): at-most-once per call, every accepted call delivered.
+func TestChaosMeshPartition(t *testing.T) {
+	// b: heartbeats detect the dead link, resume window parks the session.
+	// a: a breaker that never trips, so redial attempts keep flowing and
+	// the first post-heal attempt resumes immediately.
+	aSrv, aPath := startServer(t,
+		WithServerLog(func(format string, args ...any) { t.Logf("a: "+format, args...) }),
+		WithUpstreamBreaker(1<<20, 10*time.Millisecond),
+		WithResumeWindow(10*time.Second))
+	bSrv, bPath := startServer(t,
+		WithServerLog(func(format string, args ...any) { t.Logf("b: "+format, args...) }),
+		WithHeartbeat(25*time.Millisecond, 100*time.Millisecond),
+		WithResumeWindow(10*time.Second))
+
+	// a's link to b rides SimLinks behind a dial func that fails outright
+	// while the partition holds, so resurrection cannot sneak around it.
+	var cut atomic.Bool
+	cl := &chaosLinks{}
+	dialB := func(network, addr string) (net.Conn, error) {
+		if cut.Load() {
+			return nil, errors.New("simulated partition")
+		}
+		return cl.dial(network, addr)
+	}
+	linkToB, err := Dial("unix", bPath,
+		WithClientLog(func(format string, args ...any) { t.Logf("a-link: "+format, args...) }),
+		WithDialFunc(dialB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aSrv.JoinMesh(MeshPeer{Name: "a", Network: "unix", Addr: aPath},
+		MeshPeer{Name: "b", Network: "unix", Addr: bPath, Client: linkToB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bSrv.JoinMesh(MeshPeer{Name: "b", Network: "unix", Addr: bPath},
+		MeshPeer{Name: "a", Network: "unix", Addr: aPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A counter owned by b, reached through a.
+	objName := ""
+	for i := 0; i < 512; i++ {
+		name := fmt.Sprintf("part-%d", i)
+		if owner, _ := aSrv.MeshOwner(name); owner == "b" {
+			objName = name
+			break
+		}
+	}
+	if objName == "" {
+		t.Fatal("no b-owned name found")
+	}
+	if err := aSrv.MeshCreateNamed("counter", objName); err != nil {
+		t.Fatal(err)
+	}
+	bObj, ok := bSrv.Named(objName)
+	if !ok {
+		t.Fatal("counter not placed on b")
+	}
+	bCounter := bObj.(*counter)
+
+	c := dialClient(t, aPath)
+	// Adds relayed while the directory believes b is down are refused
+	// fail-fast (ErrPeerDown) and surface as proxy fault reports, not
+	// queued for replay; count them so the exactness check can subtract.
+	var faulted atomic.Int64
+	c.OnFault(func(rep FaultReport) {
+		if rep.Class == "proxy" && rep.Method == "Add" {
+			faulted.Add(1)
+		}
+	})
+	r, err := c.NamedObject(objName)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burst in rounds of batched adds; partition mid-burst, heal, finish.
+	const rounds, perRound = 30, 10
+	for round := 0; round < rounds; round++ {
+		if round == 10 {
+			cut.Store(true)
+			cl.rpc().Partition()
+			cl.upcall().Partition()
+		}
+		if round == 20 {
+			cl.rpc().Heal()
+			cl.upcall().Heal()
+			cut.Store(false)
+		}
+		for i := 0; i < perRound; i++ {
+			if err := r.Async("Add", int64(1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Sync(); err != nil {
+			t.Fatalf("round %d Sync: %v", round, err)
+		}
+	}
+
+	// Every add either landed exactly once or was refused with a fault:
+	// resume replays what the partition swallowed, the receive window drops
+	// what it duplicated, and the counter accounts for the rest.
+	const sent = int64(rounds * perRound)
+	waitFor(t, 8*time.Second, "replayed adds to drain into b", func() bool {
+		return bCounter.Total() == sent-faulted.Load()
+	})
+	time.Sleep(150 * time.Millisecond) // let late duplicates or faults surface
+	got, lost := bCounter.Total(), faulted.Load()
+	if got != sent-lost {
+		t.Fatalf("counter total after partition+heal = %d, want exactly %d (%d sent − %d refused)",
+			got, sent-lost, sent, lost)
+	}
+	if lost >= sent {
+		t.Fatalf("all %d adds refused — the link never healed", sent)
+	}
+	if aSrv.Metrics().Resilience.Reconnects == 0 {
+		t.Fatal("a never reconnected its mesh link")
+	}
+}
+
+// TestMeshChainAblation: a 1-peer "mesh" degenerates to the chain — the
+// old vertical API and the mesh coexist, and a server that joined a mesh
+// with no peers serves everything locally.
+func TestMeshChainAblation(t *testing.T) {
+	srv, path := startServer(t)
+	if err := srv.JoinMesh(MeshPeer{Name: "solo", Network: "unix", Addr: path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.MeshCreateNamed("counter", "only"); err != nil {
+		t.Fatal(err)
+	}
+	if owner, _ := srv.MeshOwner("anything"); owner != "solo" {
+		t.Fatalf("solo member owns everything; got %s", owner)
+	}
+	c := dialClient(t, path)
+	r, err := c.NamedObject("only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Call("Add", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := r.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	if srv.Metrics().Mesh.RoutedNamed != 0 {
+		t.Fatal("solo mesh should never route")
+	}
+}

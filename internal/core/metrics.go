@@ -52,6 +52,12 @@ type metrics struct {
 	// (the server side of a client reconnect).
 	resumes atomic.Uint64
 
+	// Mesh routing counters (mesh.go): named lookups resolved to an owning
+	// peer and routed there, and calls failed fast because the owner's
+	// link was down or its breaker open.
+	meshRouted   atomic.Uint64
+	meshPeerDown atomic.Uint64
+
 	// Multicast fan-out counters (fanout.go). Published counts Publish
 	// calls (plus events republished by upstream relays); delivered and
 	// failed count per-subscriber delivery attempts; coalesced counts
@@ -159,6 +165,9 @@ type MetricsSnapshot struct {
 	Resilience ResilienceStats
 	// Fanout carries the multicast counters (RegisterMulticast/Publish).
 	Fanout FanoutStats
+	// Mesh describes this server's membership in a federated peer mesh
+	// (JoinMesh); zero-valued with Enabled false outside a mesh.
+	Mesh MeshStats
 	// Journal carries the write-ahead journal counters (WithJournal);
 	// zero-valued with Enabled false when the server runs without one.
 	Journal JournalStats
@@ -213,6 +222,21 @@ type FanoutStats struct {
 	QueueDropsOldest, QueueDropsNewest, QueueDropsClosed uint64
 }
 
+// MeshStats describes a server's place in a federated mesh (mesh.go).
+type MeshStats struct {
+	// Enabled reports whether the server has joined a mesh; Self is its
+	// member name there.
+	Enabled bool
+	Self    string
+	// Peers is the directory's member count (including this server);
+	// PeersUp the members currently believed reachable.
+	Peers, PeersUp uint64
+	// RoutedNamed counts named-object lookups resolved through the
+	// directory to an owning peer; PeerDownFailures counts operations
+	// failed fast with ErrPeerDown because the owner was unreachable.
+	RoutedNamed, PeerDownFailures uint64
+}
+
 // ResilienceStats counts session-resurrection events. The same struct
 // appears on both sides of a hop: a client (or a middle tier's upstream
 // link) counts reconnects and replays; the server it reconnects to counts
@@ -237,6 +261,21 @@ type ResilienceStats struct {
 	// BreakerOpens counts times an upstream circuit breaker tripped open
 	// (WithUpstreamBreaker).
 	BreakerOpens uint64
+}
+
+// foldLink accumulates one link's resurrection counters — and its circuit
+// breaker's trips, if one is armed — into r. The client's own link, a
+// server's session links and every peer link (chain or mesh) all aggregate
+// through this one helper, so the folding rules cannot drift apart per
+// link kind.
+func (r *ResilienceStats) foldLink(lc *linkCounters, br *breaker) {
+	r.Reconnects += lc.reconnects.Load()
+	r.ReplayedCalls += lc.replayed.Load()
+	r.DedupDrops += lc.dedups.Load()
+	r.RetransmitDrops += lc.rtDrops.Load()
+	if br != nil {
+		r.BreakerOpens += br.opens.Load()
+	}
 }
 
 // DispatchStats describes the server's dispatch engine. Under the serial
@@ -324,13 +363,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 			CallsRelayedDown: m.callsRelayed.Load(),
 			UpcallsRelayedUp: m.upcallsRelayed.Load(),
 		},
-		Dispatch: s.exec.stats(),
-		Resilience: ResilienceStats{
-			Reconnects:      m.resumes.Load(),
-			ReplayedCalls:   m.link.replayed.Load(),
-			DedupDrops:      m.link.dedups.Load(),
-			RetransmitDrops: m.link.rtDrops.Load(),
-		},
+		Dispatch:   s.exec.stats(),
+		Resilience: ResilienceStats{Reconnects: m.resumes.Load()},
 		Fanout: FanoutStats{
 			EventsPublished:  m.fanPublished.Load(),
 			EventsRelayed:    m.fanRelayed.Load(),
@@ -342,20 +376,21 @@ func (s *Server) Metrics() MetricsSnapshot {
 			QueueDropsClosed: m.fanDropsClosed.Load(),
 		},
 	}
-	// Fold in this server's upstream links: reconnects/replays its own
-	// resurrect loops performed toward lower tiers, and breaker trips.
+	// Fold in the session engine's shared counters (replays/dedups on the
+	// server's own links; its reconnects are the resumes counted above)
+	// and every peer link — chain upstreams and mesh peers alike:
+	// reconnects/replays their resurrect loops performed toward the peer,
+	// and breaker trips.
+	snap.Resilience.foldLink(&m.link, nil)
 	s.mu.Lock()
-	ups := make([]*upstream, len(s.upstreams))
-	copy(ups, s.upstreams)
+	links := make([]*peerLink, len(s.peers))
+	copy(links, s.peers)
 	s.mu.Unlock()
-	for _, u := range ups {
-		snap.Resilience.Reconnects += u.c.link.reconnects.Load()
-		snap.Resilience.ReplayedCalls += u.c.link.replayed.Load()
-		snap.Resilience.DedupDrops += u.c.link.dedups.Load()
-		snap.Resilience.RetransmitDrops += u.c.link.rtDrops.Load()
-		if u.br != nil {
-			snap.Resilience.BreakerOpens += u.br.opens.Load()
-		}
+	for _, pl := range links {
+		snap.Resilience.foldLink(pl.c.link, pl.br)
+	}
+	if ms := s.meshSnapshot(); ms != nil {
+		snap.Mesh = *ms
 	}
 	if s.journal != nil {
 		js := s.journal.Stats()

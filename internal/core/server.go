@@ -40,7 +40,7 @@ type Server struct {
 	listeners []net.Listener
 	named     map[string]any
 	stubs     map[uint32]*rpc.ClassStubs // class id → compiled stubs
-	upstreams []*upstream                // lower servers this server dialed (forward.go)
+	peers     []*peerLink                // peer servers this server dialed (peerlink.go)
 	closed    bool
 
 	wg sync.WaitGroup // accept loops, connection readers, heartbeat loops
@@ -79,6 +79,10 @@ type Server struct {
 	// subscription table behind Publish/RegisterMulticast.
 	fanoutShards int
 	fan          *fanoutState
+
+	// Federated mesh membership (mesh.go): nil until JoinMesh. Guarded by
+	// its own lock inside, not s.mu.
+	mesh *meshState
 
 	// Write-ahead journal (WithJournal, journal.go): the durable record of
 	// grants, mints, registrations and receive marks that lets parked
@@ -275,6 +279,11 @@ func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 	if err := RegisterFanoutClass(lib); err != nil && !errors.Is(err, dynload.ErrDuplicate) {
 		s.logf("clam: registering fanout class: %v", err)
 	}
+	// Likewise the mesh class: peers announce themselves, read the roster
+	// and route named-object creation through it (mesh.go).
+	if err := RegisterMeshClass(lib); err != nil && !errors.Is(err, dynload.ErrDuplicate) {
+		s.logf("clam: registering mesh class: %v", err)
+	}
 	if s.sched == nil {
 		s.sched = task.New()
 	}
@@ -289,14 +298,6 @@ func NewServer(lib *dynload.Library, opts ...ServerOption) *Server {
 	}
 	s.openJournal()
 	return s
-}
-
-// hasUpstreams reports whether this server forwards to lower servers —
-// the only case where answering a Sync involves a round trip.
-func (s *Server) hasUpstreams() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.upstreams) > 0
 }
 
 // Registry exposes the server's bundler registry so applications can
@@ -757,8 +758,8 @@ func (s *Server) Close() error {
 		sessions = append(sessions, sess)
 	}
 	s.sessions = make(map[uint64]*session)
-	ups := s.upstreams
-	s.upstreams = nil
+	links := s.peers
+	s.peers = nil
 	s.mu.Unlock()
 
 	for _, ln := range lns {
@@ -767,8 +768,8 @@ func (s *Server) Close() error {
 	for _, sess := range sessions {
 		sess.close()
 	}
-	for _, u := range ups {
-		u.c.Close()
+	for _, pl := range links {
+		pl.c.Close()
 	}
 	// Retire fan-out queues and release any Block-policy publishers
 	// before draining the pool, or a blocked Publish could hold a worker.

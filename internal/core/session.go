@@ -61,6 +61,13 @@ type session struct {
 	slowFails atomic.Int32
 	evicting  atomic.Bool
 
+	// fromPeer marks a session whose client is another mesh member's peer
+	// link (set by MeshClass.Announce). Its Syncs relay only down chain
+	// links: mesh edges form cycles, so a Sync crosses each at most once
+	// — the member that received the client's Sync relays it mesh-wide,
+	// and members receiving that relay stop (mesh.go).
+	fromPeer atomic.Bool
+
 	// Per-object executor bookkeeping (executor.go); all three references
 	// are guarded by the server executor's mutex, never qMu. execActive
 	// counts this session's in-flight items for reply coalescing: the last
@@ -416,7 +423,7 @@ func (sess *session) upcallReadLoop(c *wire.Conn) {
 
 // startHeartbeat launches the per-session liveness loop if the server was
 // configured with WithHeartbeat: the shared endpoint heartbeat, with
-// eviction as this role's response to a dead peer.
+// linkSilent as this role's response to a dead peer.
 func (sess *session) startHeartbeat() {
 	if sess.hbInterval <= 0 {
 		return
@@ -424,8 +431,29 @@ func (sess *session) startHeartbeat() {
 	sess.srv.wg.Add(1)
 	go func() {
 		defer sess.srv.wg.Done()
-		sess.heartbeatLoop(sess.evict)
+		sess.heartbeatLoop(sess.linkSilent)
 	}()
+}
+
+// linkSilent is the session's response to a missed liveness window. With
+// a resume grant, silence is indistinguishable from link loss — a network
+// partition, not a dead client — so the connections are severed (the read
+// loop then parks the session for the resume window) and the liveness
+// loop re-arms for the resumed link. Without a grant, the legacy response:
+// evict the client.
+func (sess *session) linkSilent(reason string) {
+	if sess.token != 0 && sess.srv.resumeWindow > 0 && !sess.evicting.Load() && !sess.byeSeen.Load() {
+		sess.srv.logf("clam: session %d: %s; severing link to park for resume", sess.id, reason)
+		sess.rpcConn().Close()
+		if up := sess.upcallConn(); up != nil {
+			up.Close()
+		}
+		// The old loop returns after onDead; watch the resumed link with a
+		// fresh one (it idles while the session is parked: linkDown is set).
+		sess.startHeartbeat()
+		return
+	}
+	sess.evict(reason)
 }
 
 // evict terminates the session for cause: a final FaultReport notice goes
@@ -563,12 +591,15 @@ func (sess *session) execMsg(msg *wire.Msg) {
 		// Sync is relayed before being answered, so the §3.4 guarantee —
 		// every earlier asynchronous call has executed — holds across
 		// forwarding hops too.
-		if sess.srv.hasUpstreams() {
-			// Relaying waits on a lower server's round trip: release the
+		if sess.srv.hasPeerLinks() {
+			// Relaying waits on a peer server's round trip: release the
 			// worker slot meanwhile. Under the serial dispatcher the block
 			// hook performs the same hand-off; yieldCurrent is a no-op there.
+			// A Sync that itself arrived over a mesh link relays only down
+			// chain links (acyclic), never back across the mesh — see the
+			// fromPeer field.
 			it := sess.srv.exec.yieldCurrent()
-			sess.srv.syncUpstreams()
+			sess.srv.syncPeerLinks(sess.fromPeer.Load())
 			sess.srv.exec.resume(it)
 		}
 		sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
@@ -827,8 +858,19 @@ func (sess *session) execLoad(msg *wire.Msg) {
 func (sess *session) execLoadNamed(req *loadBody, reply *loadReplyBody) {
 	obj, ok := sess.srv.Named(req.Name)
 	if !ok {
-		reply.ErrMsg = fmt.Sprintf("clam: no named instance %q", req.Name)
-		return
+		// In a mesh, a name this server does not hold may live on the
+		// peer the directory hashes it to: resolve it there and cache the
+		// *Remote, so the proxy-export path below serves it like any
+		// imported object (mesh.go).
+		obj, ok = sess.srv.meshResolveNamed(sess, req.Name)
+		if !ok {
+			reply.ErrMsg = fmt.Sprintf("clam: no named instance %q", req.Name)
+			return
+		}
+		if err, isErr := obj.(error); isErr {
+			reply.ErrMsg = err.Error()
+			return
+		}
 	}
 	if r, isProxy := obj.(*Remote); isProxy {
 		h, err := sess.srv.exportProxy(r)
@@ -838,8 +880,8 @@ func (sess *session) execLoadNamed(req *loadBody, reply *loadReplyBody) {
 		}
 		reply.OK = true
 		reply.ClassID, reply.Version = r.classInfo()
-		if u := sess.srv.upstreamFor(r.c); u != nil {
-			if pc, perr := sess.srv.proxyClassFor(u, reply.ClassID, reply.Version); perr == nil {
+		if pl := sess.srv.linkFor(r.c); pl != nil {
+			if pc, perr := sess.srv.proxyClassFor(pl, reply.ClassID, reply.Version); perr == nil {
 				reply.Name = pc.name
 			}
 		}
@@ -879,8 +921,8 @@ func (sess *session) execDescribe(req *loadBody, reply *loadReplyBody) {
 			// numeric id must not be confused with local loader ids.
 			reply.OK = true
 			reply.ClassID, reply.Version = r.classInfo()
-			if u := sess.srv.upstreamFor(r.c); u != nil {
-				if pc, perr := sess.srv.proxyClassFor(u, reply.ClassID, reply.Version); perr == nil {
+			if pl := sess.srv.linkFor(r.c); pl != nil {
+				if pc, perr := sess.srv.proxyClassFor(pl, reply.ClassID, reply.Version); perr == nil {
 					reply.Name = pc.name
 				}
 			}

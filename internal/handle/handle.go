@@ -96,6 +96,7 @@ type Table struct {
 	byObj   map[any]ID // object identity → existing handle, so re-exporting is stable
 	next    ID
 	rng     *rand.Rand
+	minter  func() uint64 // optional tag source replacing rng (SetTagMinter)
 }
 
 // NewTable returns an empty handle table with an unpredictably seeded tag
@@ -140,7 +141,12 @@ func (t *Table) PutNew(obj any, classID, version uint32) (Handle, bool, error) {
 	}
 	t.next++
 	id := t.next
-	tag := Tag(t.rng.Uint64())
+	var tag Tag
+	if t.minter != nil {
+		tag = Tag(t.minter())
+	} else {
+		tag = Tag(t.rng.Uint64())
+	}
 	if tag == 0 {
 		tag = 1 // tag 0 is reserved for the nil handle
 	}
@@ -258,6 +264,35 @@ func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return len(t.entries)
+}
+
+// SetTagMinter replaces the table's random tag source with fn. Tags stay
+// "an arbitrary bit pattern" (§3.5.1) to every consumer, but a minter can
+// shape the pattern — a mesh member constrains new tags to the arc of the
+// consistent-hash ring it owns, so a tag alone names its owning peer. A
+// minter returning 0 falls back to tag 1 (the nil-handle reservation),
+// like the random path. nil restores the default source.
+func (t *Table) SetTagMinter(fn func() uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.minter = fn
+}
+
+// RevokeFunc removes every live entry whose object satisfies pred,
+// reporting how many were revoked — bulk invalidation, e.g. every proxy
+// handle riding a peer link that died.
+func (t *Table) RevokeFunc(pred func(obj any) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, e := range t.entries {
+		if pred(e.Obj) {
+			delete(t.entries, id)
+			delete(t.byObj, e.Obj)
+			n++
+		}
+	}
+	return n
 }
 
 // CountFunc reports how many live entries hold objects satisfying pred —

@@ -1,0 +1,235 @@
+// Package mesh implements the consistent-hash directory behind CLAM's
+// federated server mesh (core's JoinMesh).
+//
+// The paper composes address spaces vertically — each call or upcall hops
+// one layer down or up (§1, §2). The mesh generalizes the same hop
+// horizontally: N peer servers share one object space, partitioned by
+// hashing object-handle tags (and well-known names) onto a ring of
+// virtual nodes. Every peer computes the same ring from the same
+// membership, so any peer can answer "who owns this?" locally, with no
+// directory service in the call path.
+//
+// The directory is membership + arithmetic only. It holds no connections
+// and does no I/O; core wires its answers to peer links, breakers and
+// heartbeats. Ownership is deliberately sticky: a peer marked down KEEPS
+// its arcs — its objects are unreachable (fail fast with ErrPeerDown),
+// not silently re-homed, because handles are capabilities into one
+// specific server's table and cannot float to a peer that never minted
+// them.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// DefaultVNodes is how many ring points each member projects when the
+// caller does not choose. 64 keeps the arc-size spread within a few
+// percent for small meshes while the full ring stays tiny (N×64 points).
+const DefaultVNodes = 64
+
+// Peer describes one mesh member as the directory knows it.
+type Peer struct {
+	// Name is the member's unique mesh name.
+	Name string
+	// Network and Addr are where the member listens, as given to Add —
+	// dialing information for peers that want a link. Either may be empty
+	// for in-process members.
+	Network, Addr string
+	// Up reports the membership layer's current belief about liveness.
+	Up bool
+}
+
+type member struct {
+	network, addr string
+	up            bool
+}
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// member.
+type point struct {
+	hash  uint64
+	owner string
+}
+
+// Directory is a consistent-hash ring over the mesh's members. All
+// methods are safe for concurrent use. The zero value is not usable;
+// call New.
+type Directory struct {
+	self   string
+	vnodes int
+
+	mu      sync.RWMutex
+	members map[string]*member
+	ring    []point // sorted by hash
+}
+
+// New returns a directory for a mesh this process joins as self (listening
+// on network/addr, recorded for peers who fetch the roster). vnodes <= 0
+// selects DefaultVNodes. Self starts as the only member, up.
+func New(self, network, addr string, vnodes int) *Directory {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	d := &Directory{
+		self:    self,
+		vnodes:  vnodes,
+		members: make(map[string]*member),
+	}
+	d.members[self] = &member{network: network, addr: addr, up: true}
+	d.rebuild()
+	return d
+}
+
+// Self returns this member's name.
+func (d *Directory) Self() string { return d.self }
+
+// Add introduces (or re-announces) a member. Ring points move minimally:
+// only keys whose nearest point now belongs to the new member change
+// owners. Re-adding an existing member updates its address and marks it
+// up. Adding is idempotent.
+func (d *Directory) Add(name, network, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	m := d.members[name]
+	if m == nil {
+		m = &member{}
+		d.members[name] = m
+	}
+	m.network, m.addr, m.up = network, addr, true
+	d.rebuild()
+}
+
+// Remove withdraws a member and its ring points entirely — permanent
+// departure, not failure. Keys it owned redistribute to ring successors.
+// Removing self is ignored.
+func (d *Directory) Remove(name string) {
+	if name == d.self {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.members[name]; !ok {
+		return
+	}
+	delete(d.members, name)
+	d.rebuild()
+}
+
+// SetUp records the membership layer's liveness belief about name. A down
+// member keeps its ring arcs (see the package comment); only routing
+// callers consult Up to fail fast.
+func (d *Directory) SetUp(name string, up bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m, ok := d.members[name]; ok {
+		m.up = up
+	}
+}
+
+// Up reports the current liveness belief about name; unknown members are
+// down.
+func (d *Directory) Up(name string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m, ok := d.members[name]
+	return ok && m.up
+}
+
+// Owner maps a key — an object-handle tag, or a hashed name — to the
+// member owning its ring arc.
+func (d *Directory) Owner(key uint64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if len(d.ring) == 0 {
+		return d.self
+	}
+	// The owner is the first ring point at or after the key, wrapping.
+	i := sort.Search(len(d.ring), func(i int) bool { return d.ring[i].hash >= key })
+	if i == len(d.ring) {
+		i = 0
+	}
+	return d.ring[i].owner
+}
+
+// OwnerOfName maps a well-known object name to its owning member.
+func (d *Directory) OwnerOfName(name string) string {
+	return d.Owner(HashName(name))
+}
+
+// Owns reports whether this member owns key's arc.
+func (d *Directory) Owns(key uint64) bool { return d.Owner(key) == d.self }
+
+// Peers returns the membership roster, sorted by name, self included.
+func (d *Directory) Peers() []Peer {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Peer, 0, len(d.members))
+	for name, m := range d.members {
+		out = append(out, Peer{Name: name, Network: m.network, Addr: m.addr, Up: m.up})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the member count, self included.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.members)
+}
+
+// UpCount reports how many members are currently believed up.
+func (d *Directory) UpCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, m := range d.members {
+		if m.up {
+			n++
+		}
+	}
+	return n
+}
+
+// rebuild recomputes the ring from the membership. Caller holds d.mu.
+// Each member projects vnodes points at fnv64a("name#i"); because a
+// member's points depend only on its own name, membership changes move
+// only the arcs adjacent to the changed member's points — the consistent
+// hashing property.
+func (d *Directory) rebuild() {
+	ring := make([]point, 0, len(d.members)*d.vnodes)
+	for name := range d.members {
+		for i := 0; i < d.vnodes; i++ {
+			ring = append(ring, point{hash: HashName(fmt.Sprintf("%s#%d", name, i)), owner: name})
+		}
+	}
+	sort.Slice(ring, func(i, j int) bool {
+		if ring[i].hash != ring[j].hash {
+			return ring[i].hash < ring[j].hash
+		}
+		return ring[i].owner < ring[j].owner // deterministic on (vanishingly rare) collisions
+	})
+	d.ring = ring
+}
+
+// HashName is the mesh's one hash function — 64-bit FNV-1a finished with
+// a splitmix64 avalanche — used for ring points, name keys and (through
+// the tag minter's arcs) handle tags, so every peer computes identical
+// placements. The finisher matters: raw FNV-1a barely diffuses the short,
+// similar strings vnodes produce ("a#0", "a#1", …), which clusters a
+// member's points and ruins arc balance.
+func HashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

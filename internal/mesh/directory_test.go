@@ -1,0 +1,151 @@
+package mesh
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDirectorySelfOnly(t *testing.T) {
+	d := New("a", "unix", "/tmp/a.sock", 0)
+	if d.Self() != "a" {
+		t.Fatalf("Self = %q", d.Self())
+	}
+	if d.Len() != 1 || d.UpCount() != 1 {
+		t.Fatalf("Len=%d UpCount=%d, want 1/1", d.Len(), d.UpCount())
+	}
+	for _, key := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		if got := d.Owner(key); got != "a" {
+			t.Fatalf("Owner(%d) = %q, want a", key, got)
+		}
+	}
+	if !d.Owns(HashName("anything")) {
+		t.Fatal("sole member must own every key")
+	}
+}
+
+func TestDirectoryAgreement(t *testing.T) {
+	// Every member computes the same ring from the same membership.
+	mk := func(self string) *Directory {
+		d := New(self, "unix", "/"+self, 0)
+		for _, n := range []string{"a", "b", "c"} {
+			if n != self {
+				d.Add(n, "unix", "/"+n)
+			}
+		}
+		return d
+	}
+	da, db, dc := mk("a"), mk("b"), mk("c")
+	for i := 0; i < 1000; i++ {
+		key := HashName(fmt.Sprintf("obj-%d", i))
+		oa, ob, oc := da.Owner(key), db.Owner(key), dc.Owner(key)
+		if oa != ob || ob != oc {
+			t.Fatalf("key %d: owners disagree: a=%q b=%q c=%q", key, oa, ob, oc)
+		}
+	}
+}
+
+func TestDirectoryBalance(t *testing.T) {
+	d := New("a", "", "", 0)
+	d.Add("b", "", "")
+	d.Add("c", "", "")
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[d.Owner(HashName(fmt.Sprintf("key-%d", i)))]++
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		n := counts[name]
+		// With 64 vnodes each, every member should land well within 2x of
+		// its fair share — the test guards against a broken ring, not
+		// variance.
+		if n < keys/6 || n > keys/2+keys/6 {
+			t.Fatalf("member %q owns %d of %d keys: badly unbalanced (%v)", name, n, keys, counts)
+		}
+	}
+}
+
+func TestDirectoryMinimalMovement(t *testing.T) {
+	d := New("a", "", "", 0)
+	d.Add("b", "", "")
+	const keys = 2000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = d.Owner(HashName(fmt.Sprintf("key-%d", i)))
+	}
+	d.Add("c", "", "")
+	moved, toNew := 0, 0
+	for i := range before {
+		after := d.Owner(HashName(fmt.Sprintf("key-%d", i)))
+		if after != before[i] {
+			moved++
+			if after == "c" {
+				toNew++
+			}
+		}
+	}
+	if moved != toNew {
+		t.Fatalf("%d keys moved but only %d moved to the new member — keys must never shuffle between survivors", moved, toNew)
+	}
+	// c should take roughly a third; anything past half signals churn.
+	if moved == 0 || moved > keys/2 {
+		t.Fatalf("adding one member moved %d of %d keys", moved, keys)
+	}
+}
+
+func TestDirectoryDownKeepsOwnership(t *testing.T) {
+	d := New("a", "", "", 0)
+	d.Add("b", "", "")
+	var key uint64
+	for i := 0; ; i++ {
+		key = HashName(fmt.Sprintf("probe-%d", i))
+		if d.Owner(key) == "b" {
+			break
+		}
+	}
+	d.SetUp("b", false)
+	if d.Up("b") {
+		t.Fatal("b should be down")
+	}
+	if got := d.Owner(key); got != "b" {
+		t.Fatalf("down member lost ownership: Owner = %q", got)
+	}
+	if d.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", d.UpCount())
+	}
+	d.Add("b", "", "") // re-announce marks it up again
+	if !d.Up("b") {
+		t.Fatal("re-added member should be up")
+	}
+}
+
+func TestDirectoryRemove(t *testing.T) {
+	d := New("a", "", "", 0)
+	d.Add("b", "", "")
+	d.Remove("b")
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d after remove, want 1", d.Len())
+	}
+	d.Remove("a") // removing self is a no-op
+	if d.Len() != 1 {
+		t.Fatal("self must not be removable")
+	}
+	if d.Up("b") {
+		t.Fatal("removed member must read as down")
+	}
+}
+
+func TestDirectoryPeersRoster(t *testing.T) {
+	d := New("b", "unix", "/b", 0)
+	d.Add("a", "tcp", "127.0.0.1:9")
+	d.SetUp("a", false)
+	ps := d.Peers()
+	if len(ps) != 2 || ps[0].Name != "a" || ps[1].Name != "b" {
+		t.Fatalf("Peers = %+v", ps)
+	}
+	if ps[0].Up || !ps[1].Up {
+		t.Fatalf("up flags wrong: %+v", ps)
+	}
+	if ps[0].Network != "tcp" || ps[0].Addr != "127.0.0.1:9" {
+		t.Fatalf("address not kept: %+v", ps[0])
+	}
+}

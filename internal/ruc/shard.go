@@ -38,6 +38,11 @@ type Sub struct {
 	FuncType reflect.Type
 	// Caller is the connection deliveries travel over.
 	Caller Caller
+	// Relay marks a subscription held by a peer server as its fan-out
+	// tree tap rather than by an end subscriber. The delivery layer uses
+	// it to keep multicast loop-free across a peer mesh: an event that
+	// arrived from one peer is not fanned back out through relay taps.
+	Relay bool
 	// State is opaque per-subscription delivery state owned by the
 	// layer above (queue, coalescing buffer, drain flag).
 	State any

@@ -34,14 +34,15 @@ type SimLink struct {
 	// Fault-injection state (chaos testing): counts of upcoming writes to
 	// drop, duplicate or delay, plus the blackhole and sever-mid-message
 	// switches. All guarded by mu.
-	dropN    int
-	dupN     int
-	delayN   int
-	delayBy  time.Duration
-	blackout bool
-	severMid bool
-	killIn   int    // cut the link after this many more writes (0 = unarmed)
-	faults   uint64 // writes affected by any injected fault
+	dropN       int
+	dupN        int
+	delayN      int
+	delayBy     time.Duration
+	blackout    bool
+	severMid    bool
+	partitioned bool
+	killIn      int    // cut the link after this many more writes (0 = unarmed)
+	faults      uint64 // chunks affected by any injected fault
 }
 
 type simChunk struct {
@@ -77,9 +78,13 @@ func (l *SimLink) Write(p []byte) (int, error) {
 	if l.werr != nil {
 		return 0, l.werr
 	}
-	// Injected faults, applied in order of destructiveness: a blackholed
-	// link swallows everything; a dropped write vanishes silently (the
-	// writer believes it was sent, as with a lossy network).
+	// Injected faults, applied in order of destructiveness: a partitioned
+	// or blackholed link swallows everything; a dropped write vanishes
+	// silently (the writer believes it was sent, as with a lossy network).
+	if l.partitioned {
+		l.faults++
+		return len(p), nil
+	}
 	if l.blackout {
 		l.faults++
 		return len(p), nil
@@ -180,6 +185,29 @@ func (l *SimLink) InjectDelay(n int, d time.Duration) {
 func (l *SimLink) InjectBlackhole(on bool) {
 	l.mu.Lock()
 	l.blackout = on
+	l.mu.Unlock()
+}
+
+// Partition cuts the link in BOTH directions while the connection stays
+// open: writes are silently swallowed and inbound bytes are read off the
+// underlying connection and discarded. Unlike InjectBlackhole — which
+// wedges only the write side, so the peer's traffic still arrives — a
+// partitioned link models a network split: neither side hears the other,
+// yet neither side sees a connection error. Data that crosses the link
+// while partitioned is lost, not delayed; if the partition lands mid-frame
+// the peer sees a torn frame at Heal time, exactly as a real partition
+// tears a byte stream.
+func (l *SimLink) Partition() {
+	l.mu.Lock()
+	l.partitioned = true
+	l.mu.Unlock()
+}
+
+// Heal ends a Partition: subsequent writes flow again and inbound bytes are
+// delivered to the reader once more.
+func (l *SimLink) Heal() {
+	l.mu.Lock()
+	l.partitioned = false
 	l.mu.Unlock()
 }
 
@@ -294,8 +322,23 @@ func (l *SimLink) pump() {
 }
 
 // Read passes through to the underlying connection; the peer's SimLink (if
-// any) is responsible for delaying traffic in the other direction.
-func (l *SimLink) Read(p []byte) (int, error) { return l.conn.Read(p) }
+// any) is responsible for delaying traffic in the other direction. While
+// the link is partitioned, inbound bytes are consumed and discarded so the
+// reader blocks as it would on a silent network split.
+func (l *SimLink) Read(p []byte) (int, error) {
+	for {
+		n, err := l.conn.Read(p)
+		l.mu.Lock()
+		cut := l.partitioned
+		if cut && n > 0 {
+			l.faults++
+		}
+		l.mu.Unlock()
+		if !cut || err != nil {
+			return n, err
+		}
+	}
+}
 
 // Close flushes queued chunks and closes the underlying connection.
 func (l *SimLink) Close() error {

@@ -224,6 +224,74 @@ func TestSimLinkKillAfterStopped(t *testing.T) {
 	}
 }
 
+func TestSimLinkPartition(t *testing.T) {
+	a, b := net.Pipe()
+	l := NewSimLink(a, 0, 0)
+	defer l.Close()
+	got := collectReads(b)
+
+	// Healthy round trip in both directions first.
+	if _, err := l.Write([]byte("pre")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "pre" {
+		t.Fatalf("pre-partition write read %q, want %q", s, "pre")
+	}
+
+	l.Partition()
+
+	// Write side: swallowed silently, writer sees success.
+	if _, err := l.Write([]byte("w-lost")); err != nil {
+		t.Fatal(err)
+	}
+	if s := recvAll(got, 200*time.Millisecond); len(s) != 0 {
+		t.Errorf("partitioned link delivered %q to the peer", s)
+	}
+
+	// Read side: the peer's bytes are consumed and discarded, so our reader
+	// keeps blocking. net.Pipe writes are synchronous — b.Write only returns
+	// once the discard loop has consumed it — so the FaultCount bump proves
+	// the bytes were eaten, not buffered.
+	inbound := collectReads(l)
+	faultsBefore := l.FaultCount()
+	if _, err := b.Write([]byte("r-lost")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for l.FaultCount() < faultsBefore+1 {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned read side never discarded inbound bytes")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case data := <-inbound:
+		t.Fatalf("partitioned link surfaced inbound %q to the reader", data)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	l.Heal()
+
+	// Both directions flow again; the partitioned traffic stays lost.
+	if _, err := l.Write([]byte("w-back")); err != nil {
+		t.Fatal(err)
+	}
+	if s := string(recvAll(got, 500*time.Millisecond)); s != "w-back" {
+		t.Errorf("after heal, peer read %q, want %q", s, "w-back")
+	}
+	if _, err := b.Write([]byte("r-back")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case data := <-inbound:
+		if string(data) != "r-back" {
+			t.Errorf("after heal, reader got %q, want %q", data, "r-back")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("after heal, inbound bytes never reached the reader")
+	}
+}
+
 func TestSimLinkBlackhole(t *testing.T) {
 	a, b := net.Pipe()
 	l := NewSimLink(a, 0, 0)
