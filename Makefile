@@ -49,18 +49,23 @@ benchsmoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/clambench -fanout -fanout-subs 64 -fanout-events 20
 	$(GO) run ./cmd/clambench -mesh -mesh-iters 50
+	$(GO) run ./cmd/clambench -transport -transport-iters 100
 
 # Reproducible bench pipeline: regenerates BENCH_3.json (Fig 5.1 suite,
 # pooling ablation and the dispatch-throughput matrix, with the embedded
 # pre-change baselines for comparison), BENCH_4.json (the fan-out matrix,
 # 10k-subscriber scale row and mid-tier multiplication proof) and
 # BENCH_5.json (the mesh routing matrix: local vs routed calls/upcalls,
-# with the 1-peer ablation parity row against the chain numbers).
+# with the 1-peer ablation parity row against the chain numbers) and
+# BENCH_6.json (the transport matrix: the same call/upcall/throughput
+# rows across tcp, unix, pipe and the shared-memory rings, with the
+# WithoutSharedMemory ablation and the pre-shm baseline embedded).
 # See EXPERIMENTS.md for the schemas.
 bench:
 	$(GO) run ./cmd/clambench -iters 300 -json BENCH_3.json
 	$(GO) run ./cmd/clambench -fanout -fanout-json BENCH_4.json
 	$(GO) run ./cmd/clambench -mesh -mesh-json BENCH_5.json
+	$(GO) run ./cmd/clambench -transport -transport-json BENCH_6.json
 
 # The full testing.B suite, for apples-to-apples -benchmem numbers.
 benchfull:

@@ -233,6 +233,12 @@ type FanoutStats = core.FanoutStats
 // recovered. Enabled is false when the server runs without a journal.
 type JournalStats = core.JournalStats
 
+// TransportStats describes the byte-transport fast paths: shared-memory
+// ring sessions vs. socket fallbacks, doorbell wakeups and ring occupancy
+// (WithSharedMemory), and vectored socket write batching. Appears in
+// MetricsSnapshot.
+type TransportStats = core.TransportStats
+
 // MulticastOption configures a topic declared with
 // Server.RegisterMulticast.
 type MulticastOption = core.MulticastOption
@@ -370,6 +376,13 @@ var (
 	// unsubscribe churn contends with publishing.
 	// Example: clam.NewServer(lib, clam.WithFanoutShards(128)).
 	WithFanoutShards = core.WithFanoutShards
+	// WithSharedMemory offers same-host clients the shared-memory ring
+	// transport: each unix Listen also starts an shm rendezvous broker at
+	// <addr>.shm, and clients fall back to the socket transparently (see
+	// internal/shm). ringBytes is the per-direction ring size; 0 selects
+	// the 1 MiB default. No-op on platforms without the transport.
+	// Example: clam.NewServer(lib, clam.WithSharedMemory(0)).
+	WithSharedMemory = core.WithSharedMemory
 )
 
 // Dial options.
@@ -406,6 +419,10 @@ var (
 	// default) disables it.
 	// Example: clam.Dial("unix", path, clam.WithClientHeartbeat(2*time.Second, 10*time.Second)).
 	WithClientHeartbeat = core.WithClientHeartbeat
+	// WithoutSharedMemory dials the socket directly even when the server
+	// offers a same-host shm rendezvous — the transport ablation switch.
+	// Example: clam.Dial("unix", path, clam.WithoutSharedMemory()).
+	WithoutSharedMemory = core.WithoutSharedMemory
 )
 
 // WithoutTaskReuse disables the scheduler's task pool (the reuse

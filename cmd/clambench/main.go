@@ -103,6 +103,10 @@ func main() {
 		runMesh(*meshIters, *meshJSON)
 		return
 	}
+	if *transportOnly {
+		runTransport(*transportN, *transportJSON)
+		return
+	}
 
 	fmt.Println("CLAM reproduction — Figure 5.1: Procedure Call Costs")
 	fmt.Println("(paper: MicroVAX-II, 4.3BSD, 1988; here: this machine, Go)")

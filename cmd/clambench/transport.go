@@ -1,0 +1,255 @@
+// Transport matrix (BENCH_6): the same call, upcall, and throughput
+// workloads priced across every byte transport the stack speaks — TCP and
+// UNIX-domain sockets (vectored writev batching), an in-process pipe
+// (protocol cost without kernel IPC), and the shared-memory ring pair
+// (WithSharedMemory): mmap'd SPSC rings with eventfd doorbells armed only
+// when a side is about to sleep, so the hot path crosses address spaces
+// without a syscall. The ablation row re-dials the shm server with
+// WithoutSharedMemory, isolating what the rings buy over the very socket
+// they replace.
+//
+// The acceptance bar this matrix pins (EXPERIMENTS.md §BENCH_6): the shm
+// call row under 5µs round-trip at ≤10 allocs/op, and the socket rows at
+// parity or better with the embedded pre-change capture.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"clam/internal/benchlib"
+	"clam/internal/core"
+	"clam/internal/shm"
+)
+
+var (
+	transportOnly = flag.Bool("transport", false, "run only the transport matrix (BENCH_6 rows)")
+	transportN    = flag.Int("transport-iters", 2000, "iterations per transport row")
+	transportJSON = flag.String("transport-json", "", "write transport results (BENCH_6.json) to this path")
+)
+
+// transportCase is one column of the matrix: how to boot the server and
+// how to dial it.
+type transportCase struct {
+	name    string
+	network string
+	srvOpts []core.ServerOption
+	dialOps []core.DialOption
+	selfD   bool // dial through core.SelfDial (in-memory pipe)
+	skip    string
+}
+
+func transportCases() []transportCase {
+	cases := []transportCase{
+		{name: "unix", network: "unix"},
+		{name: "tcp", network: "tcp"},
+		{name: "pipe", network: "unix", selfD: true},
+	}
+	shmCase := transportCase{
+		name:    "shm",
+		network: "unix",
+		srvOpts: []core.ServerOption{core.WithSharedMemory(0)},
+	}
+	ablation := transportCase{
+		name:    "shm_off_ablation",
+		network: "unix",
+		srvOpts: []core.ServerOption{core.WithSharedMemory(0)},
+		dialOps: []core.DialOption{core.WithoutSharedMemory()},
+	}
+	if !shm.Supported() {
+		shmCase.skip = "unsupported platform"
+		ablation.skip = "unsupported platform"
+	}
+	return append(cases, shmCase, ablation)
+}
+
+// transportFixture boots one server+client pair for a matrix cell.
+func transportFixture(tc transportCase) (*benchlib.Fixture, *core.Client, func()) {
+	dir, err := os.MkdirTemp("", "clambench-tr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fx, err := benchlib.Boot(tc.network, dir, tc.srvOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var c *core.Client
+	if tc.selfD {
+		c, err = core.SelfDial(fx.Server, quietClient())
+	} else {
+		c, err = core.Dial(fx.Network, fx.Addr, append([]core.DialOption{quietClient()}, tc.dialOps...)...)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fx, c, func() {
+		c.Close()
+		fx.Server.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+// transportCall prices the synchronous call row on one transport.
+func transportCall(n int, tc transportCase) cost {
+	fx, c, cleanup := transportFixture(tc)
+	defer cleanup()
+	_ = fx
+	rem, err := c.NamedObject("pinger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out int64
+	return measureCost(n, func() {
+		if err := rem.CallInto("Ping", []any{&out}); err != nil {
+			log.Fatal(err)
+		}
+	})
+}
+
+// transportUpcall prices the distributed-upcall row (server → client →
+// server) on one transport.
+func transportUpcall(n int, tc transportCase) cost {
+	fx, c, cleanup := transportFixture(tc)
+	defer cleanup()
+	echo, err := c.NamedObject("echo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := echo.Call("Register", func(x int64) int64 { return x + 1 }); err != nil {
+		log.Fatal(err)
+	}
+	fn := fx.Echo.Proc()
+	if fn == nil {
+		log.Fatal("clambench: registration did not reach the server")
+	}
+	return measureCost(n, func() { fn(1) })
+}
+
+// transportThroughput prices a pipelined async burst: 64 calls and one
+// Sync per op, the shape the vectored writev path batches.
+func transportThroughput(n int, tc transportCase) cost {
+	fx, c, cleanup := transportFixture(tc)
+	defer cleanup()
+	_ = fx
+	rem, err := c.NamedObject("pinger")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const burst = 64
+	per := measureCost(n/8+8, func() {
+		for i := 0; i < burst; i++ {
+			if err := rem.Async("Ping"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := c.Sync(); err != nil {
+			log.Fatal(err)
+		}
+	})
+	// Report per call, not per burst, so the column is comparable.
+	per.dur /= burst
+	per.bytesOp /= burst
+	per.allocsOp /= burst
+	return per
+}
+
+// preChangeTransport is the matrix captured on the tree of commit 91c5b7a
+// (bufio single-stream writes, no shm, Intel Xeon @ 2.70GHz) — the
+// pre-change baseline BENCH_6's acceptance compares against. remote_*
+// rows are clambench Fig 5.1 captures (BENCH_3.json) on that tree.
+var preChangeTransport = jsonBaseline{
+	Source: "clambench Fig5.1 rows, pre-shm tree (91c5b7a): bufio writes, socket-only",
+	Results: []jsonResult{
+		{Name: "call_unix", NsPerOp: 8831, BytesPerOp: 720.372, AllocsPerOp: 17.0045},
+		{Name: "upcall_unix", NsPerOp: 9400, BytesPerOp: 736.22, AllocsPerOp: 20.003},
+		{Name: "call_tcp", NsPerOp: 12082, BytesPerOp: 720.349, AllocsPerOp: 17.006},
+	},
+}
+
+type transportReport struct {
+	Schema   string       `json:"schema"`
+	Go       string       `json:"go"`
+	Iters    int          `json:"iters"`
+	Rows     []jsonResult `json:"rows"`
+	Skipped  []string     `json:"skipped,omitempty"`
+	Baseline jsonBaseline `json:"baseline_pre_change"`
+}
+
+// runTransport measures the matrix, prints the table, and optionally
+// writes BENCH_6.json.
+func runTransport(n int, jsonOut string) {
+	fmt.Println("CLAM transport matrix — BENCH_6: one protocol, four byte transports")
+	fmt.Println("(call: sync round-trip; upcall: server→client→server; tput: 64-call async burst, per call)")
+	fmt.Println()
+	fmt.Printf("%-18s %14s %10s %10s\n", "row", "measured (µs)", "B/op", "allocs/op")
+
+	rep := transportReport{
+		Schema:   "clam-bench-transport-v1",
+		Go:       runtime.Version(),
+		Iters:    n,
+		Baseline: preChangeTransport,
+	}
+	var mu sync.Mutex
+	emit := func(name string, c cost) {
+		fmt.Printf("%-18s %14.3f %10.0f %10.1f\n",
+			name, float64(c.dur.Nanoseconds())/1e3, c.bytesOp, c.allocsOp)
+		mu.Lock()
+		rep.Rows = append(rep.Rows, toResult(name, 0, c))
+		mu.Unlock()
+	}
+	var callUnix, callShm cost
+	for _, tc := range transportCases() {
+		if tc.skip != "" {
+			fmt.Printf("%-18s skipped: %s\n", tc.name, tc.skip)
+			rep.Skipped = append(rep.Skipped, tc.name+": "+tc.skip)
+			continue
+		}
+		call := transportCall(n, tc)
+		emit("call_"+tc.name, call)
+		emit("upcall_"+tc.name, transportUpcall(n, tc))
+		emit("tput_"+tc.name, transportThroughput(n, tc))
+		switch tc.name {
+		case "unix":
+			callUnix = call
+		case "shm":
+			callShm = call
+		}
+	}
+
+	if callShm.dur > 0 {
+		fmt.Println()
+		fmt.Println("Acceptance checks:")
+		status := func(ok bool) string {
+			if ok {
+				return "PASS"
+			}
+			return "FAIL"
+		}
+		fmt.Printf("  [%s] shm call < 5µs or >= 1.7x faster than unix (shm %.3fµs, unix %.3fµs)\n",
+			status(callShm.dur < 5*time.Microsecond ||
+				float64(callUnix.dur) >= 1.7*float64(callShm.dur)),
+			float64(callShm.dur.Nanoseconds())/1e3, float64(callUnix.dur.Nanoseconds())/1e3)
+		fmt.Printf("  [%s] shm call row <= 10 allocs/op (%.1f)\n",
+			status(callShm.allocsOp <= 10), callShm.allocsOp)
+		fmt.Printf("  [%s] unix call at parity or better vs pre-change capture (%.0fns vs %.0fns +5%% band)\n",
+			status(float64(callUnix.dur.Nanoseconds()) <= preChangeTransport.Results[0].NsPerOp*1.05),
+			float64(callUnix.dur.Nanoseconds()), preChangeTransport.Results[0].NsPerOp)
+	}
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}

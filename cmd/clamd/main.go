@@ -65,6 +65,8 @@ func main() {
 	meshName := flag.String("mesh-name", "", "this server's unique name in a federated mesh; enables JoinMesh")
 	meshPeers := flag.String("mesh-peer", "", "comma-separated mesh members as name=network:address; requires -mesh-name")
 	meshSeed := flag.String("mesh-seed", "", "one live mesh member as network:address; its roster supplies the membership (alternative to -mesh-peer)")
+	shmOn := flag.Bool("shm", false, "offer same-host clients the shared-memory ring transport (unix listeners only; clients fall back to the socket)")
+	shmRing := flag.Int("shm-ring", 0, "per-direction shm ring size in bytes, rounded up to a power of two (0 = 1 MiB default); requires -shm")
 	flag.Parse()
 
 	network, addr, ok := strings.Cut(*listen, ":")
@@ -76,6 +78,12 @@ func main() {
 	}
 	if (*meshPeers != "" || *meshSeed != "") && *meshName == "" {
 		log.Fatal("clamd: -mesh-peer/-mesh-seed require -mesh-name")
+	}
+	if *shmRing != 0 && !*shmOn {
+		log.Fatal("clamd: -shm-ring requires -shm")
+	}
+	if *shmOn && network != "unix" {
+		log.Fatal("clamd: -shm requires a unix -listen address (the rendezvous broker lives next to the socket)")
 	}
 
 	lib := clam.NewLibrary()
@@ -124,6 +132,9 @@ func main() {
 	}
 	if *breakerThreshold > 0 {
 		opts = append(opts, clam.WithUpstreamBreaker(*breakerThreshold, *breakerCooldown))
+	}
+	if *shmOn {
+		opts = append(opts, clam.WithSharedMemory(*shmRing))
 	}
 	srv := clam.NewServer(lib, opts...)
 
@@ -264,6 +275,11 @@ func main() {
 			fo.SubscribersLive, fo.Topics, fo.Shards, fo.EventsPublished, fo.EventsRelayed,
 			fo.EventsDelivered, fo.DeliveryFailures, fo.EventsCoalesced,
 			fo.QueueDropsOldest, fo.QueueDropsNewest, fo.QueueDropsClosed)
+	}
+	if tr := m.Transport; tr.ShmEnabled || tr.WritevFlushes > 0 {
+		fmt.Printf("clamd: transport — %d shm sessions, %d socket fallbacks, %d doorbell wakeups (%d parks), ring high-water %d B, %d writev flushes carrying %d frames\n",
+			tr.ShmSessions, tr.SocketFallbacks, tr.DoorbellWakeups, tr.DoorbellSleeps,
+			tr.RingHighWater, tr.WritevFlushes, tr.WritevFrames)
 	}
 	if d := m.Dispatch; d.PerObject {
 		fmt.Printf("clamd: dispatch — %d workers, peak parallelism %d, %d queued, %d worker stalls\n",

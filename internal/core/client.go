@@ -15,6 +15,7 @@ import (
 	"clam/internal/bundle"
 	"clam/internal/handle"
 	"clam/internal/rpc"
+	"clam/internal/shm"
 	"clam/internal/task"
 	"clam/internal/wire"
 	"clam/internal/xdr"
@@ -59,6 +60,11 @@ type Client struct {
 	procs    map[uint64]reflect.Value
 	nextProc uint64
 
+	// bctx is the client's bundling context, built once: the hooks are
+	// just typed views of c and Ctx carries no per-call state, so every
+	// encode/decode shares this instance instead of allocating one.
+	bctx bundle.Ctx
+
 	// fanRemote caches this client's fanout-class instance (fanout.go);
 	// one per client so its handle tag anchors the subscription shard.
 	fanMu     sync.Mutex
@@ -79,6 +85,8 @@ type DialOption func(*dialCfg)
 
 type dialCfg struct {
 	dial          func(network, addr string) (net.Conn, error)
+	customDial    bool
+	noShm         bool
 	batching      bool
 	maxBatch      int
 	callTimeout   time.Duration
@@ -137,7 +145,15 @@ func (p RetryPolicy) delay(a int) time.Duration {
 // WithDialFunc substitutes the connection dialer — how the benchmarks
 // insert wire.SimLink to emulate a wide-area hop.
 func WithDialFunc(f func(network, addr string) (net.Conn, error)) DialOption {
-	return func(c *dialCfg) { c.dial = f }
+	return func(c *dialCfg) { c.dial = f; c.customDial = true }
+}
+
+// WithoutSharedMemory disables the shared-memory fast path: the dial goes
+// straight to the socket even when the server offers an shm rendezvous on
+// the same host. Useful as an ablation and when the segment's /dev/shm
+// usage is unwanted.
+func WithoutSharedMemory() DialOption {
+	return func(c *dialCfg) { c.noShm = true }
 }
 
 // WithoutClientBatching disables asynchronous call batching: every Async
@@ -231,6 +247,24 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		o(&cfg)
 	}
 
+	// Same-host fast path: when dialing a unix address with the stock
+	// dialer, try the server's shm rendezvous first and fall back to the
+	// socket if there is no broker. The wrapper becomes the client's
+	// dialFn, so session resume re-rendezvouses the same way — a ring
+	// session that loses its link resumes onto a fresh ring (or onto a
+	// socket, if the restarted server no longer offers shm).
+	if network == "unix" && !cfg.noShm && !cfg.customDial && shm.Supported() {
+		socketDial := cfg.dial
+		cfg.dial = func(n, a string) (net.Conn, error) {
+			if n == "unix" {
+				if c, err := shm.Dial(shm.BrokerPath(a)); err == nil {
+					return c, nil
+				}
+			}
+			return socketDial(n, a)
+		}
+	}
+
 	rpcRaw, err := cfg.dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("clam: dialing rpc channel: %w", err)
@@ -264,6 +298,10 @@ func Dial(network, addr string, opts ...DialOption) (*Client, error) {
 		resumeToken:  hr.Token,
 		resumeWindow: time.Duration(hr.WindowNanos),
 		procs:        make(map[uint64]reflect.Value),
+	}
+	c.bctx = bundle.Ctx{
+		Objects: (*clientObjectHook)(c),
+		Procs:   (*clientProcHook)(c),
 	}
 	e := &c.endpoint
 	e.setRPCConn(rpcConn)
@@ -388,12 +426,9 @@ func (c *Client) OnFault(fn func(FaultReport)) {
 	c.faultMu.Unlock()
 }
 
-// ctx returns a per-call bundling context with the client-side hooks.
+// ctx returns the client's shared bundling context (see bctx).
 func (c *Client) ctx() *bundle.Ctx {
-	return &bundle.Ctx{
-		Objects: (*clientObjectHook)(c),
-		Procs:   (*clientProcHook)(c),
-	}
+	return &c.bctx
 }
 
 // Close tears both channels down.
@@ -776,7 +811,7 @@ func (c *Client) handleUpcall(msg *wire.Msg) {
 		replyErr(err)
 		return
 	}
-	if err := up.Send(&wire.Msg{Type: wire.MsgUpcallReply, Seq: msg.Seq, Body: sc.Bytes()}); err != nil {
+	if err := up.SendFrame(wire.MsgUpcallReply, msg.Seq, sc.Bytes()); err != nil {
 		c.logf("clam: client: upcall reply: %v", err)
 	}
 }
@@ -858,7 +893,7 @@ func (c *Client) Sync() error {
 	c.bmu.Lock()
 	err := c.writeBatchLocked()
 	if err == nil {
-		err = c.rpcConn().Send(&wire.Msg{Type: wire.MsgSync, Seq: seq})
+		err = c.rpcConn().SendFrame(wire.MsgSync, seq, nil)
 	}
 	mark := c.sendSeq
 	c.bmu.Unlock()

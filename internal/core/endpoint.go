@@ -191,6 +191,12 @@ type waiter struct {
 	ch   chan *wire.Msg
 	msg  *wire.Msg
 	done bool
+
+	// timer is the call-timeout timer, lazily created on the slot's first
+	// timed wait and then Reset on every reuse — pooling it with the slot
+	// keeps per-call timer allocation off the hot path. await always stops
+	// and drains it before the slot is disarmed.
+	timer *time.Timer
 }
 
 // waitTable maps in-flight sequence numbers to their reply slots. Slot
@@ -348,9 +354,23 @@ func (e *endpoint) await(ctx context.Context, seq uint64, w *waiter) (*wire.Msg,
 	}
 	var timeout <-chan time.Time
 	if e.callTimeout > 0 {
-		t := time.NewTimer(e.callTimeout)
-		defer t.Stop()
-		timeout = t.C
+		if w.timer == nil {
+			w.timer = time.NewTimer(e.callTimeout)
+		} else {
+			w.timer.Reset(e.callTimeout)
+		}
+		// Stop and drain before the slot returns to the pool: this
+		// goroutine is the channel's only reader, so a fired-but-unread
+		// timer is always drainable here.
+		defer func() {
+			if !w.timer.Stop() {
+				select {
+				case <-w.timer.C:
+				default:
+				}
+			}
+		}()
+		timeout = w.timer.C
 	}
 	var done <-chan struct{}
 	if ctx != nil {
@@ -516,7 +536,7 @@ func (e *endpoint) writeBatchLocked() error {
 			e.rt = e.rt[1:]
 		}
 	}
-	err := e.rpcConn().Write(&wire.Msg{Type: wire.MsgCall, Seq: frameSeq, Body: e.batch.B})
+	err := e.rpcConn().WriteFrame(wire.MsgCall, frameSeq, e.batch.B)
 	if cap(e.batch.B) > maxBatchBytes {
 		e.batch.B = nil
 	}
@@ -575,6 +595,17 @@ func (e *endpoint) Flush() error {
 // drains or the sender blocks (flushReplies).
 func (e *endpoint) queueReply(msg *wire.Msg) {
 	if err := e.rpcConn().Write(msg); err != nil {
+		e.logf("clam: endpoint: reply: %v", err)
+		return
+	}
+	e.replyPending.Store(true)
+}
+
+// queueReplyFrame is queueReply for callers assembling the reply from a
+// scratch buffer: the wire layer copies the body before returning, so no
+// Msg is constructed (and none escapes) on the dispatch hot path.
+func (e *endpoint) queueReplyFrame(t wire.MsgType, seq uint64, body []byte) {
+	if err := e.rpcConn().WriteFrame(t, seq, body); err != nil {
 		e.logf("clam: endpoint: reply: %v", err)
 		return
 	}

@@ -157,7 +157,7 @@ func (sess *session) replyStatus(seq uint64, status rpc.Status, msg string) {
 	if err := rh.Bundle(sc.Encoder()); err != nil {
 		return
 	}
-	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: seq, Body: sc.Bytes()})
+	sess.queueReplyFrame(wire.MsgReply, seq, sc.Bytes())
 }
 
 // execForward relays one call on a proxy handle down to the lower server
@@ -447,5 +447,5 @@ func (sess *session) replyForward(seq uint64, stub *rpc.MethodStub, args []any, 
 			return
 		}
 	}
-	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: seq, Body: sc.Bytes()})
+	sess.queueReplyFrame(wire.MsgReply, seq, sc.Bytes())
 }

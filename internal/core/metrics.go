@@ -4,6 +4,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"clam/internal/shm"
+	"clam/internal/wire"
 )
 
 // Server instrumentation. The paper's group built IPS, an "interactive
@@ -21,9 +24,16 @@ import (
 // the hash can be masked.
 const callShards = 16
 
+// callKey identifies one method without materializing the "class.Method"
+// string on the dispatch path — the concatenation is deferred to snapshot
+// time, keeping countCall allocation-free.
+type callKey struct {
+	class, method string
+}
+
 type callShard struct {
 	mu sync.Mutex
-	m  map[string]uint64
+	m  map[callKey]uint64
 }
 
 // metrics is the live counter set. Link-level counters (heartbeats,
@@ -72,6 +82,12 @@ type metrics struct {
 	fanDropsNewest   atomic.Uint64
 	fanDropsClosed   atomic.Uint64
 
+	// Transport accounting while shared memory is on offer: sessions that
+	// arrived over the ring broker vs. socket sessions accepted anyway
+	// (remote clients, WithoutSharedMemory, or a failed rendezvous).
+	shmConns     atomic.Uint64
+	shmFallbacks atomic.Uint64
+
 	link linkCounters
 
 	shards [callShards]callShard
@@ -80,7 +96,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	m := &metrics{}
 	for i := range m.shards {
-		m.shards[i].m = make(map[string]uint64)
+		m.shards[i].m = make(map[callKey]uint64)
 	}
 	return m
 }
@@ -96,10 +112,9 @@ func fnv1a(s string) uint32 {
 }
 
 func (m *metrics) countCall(class, method string, sync bool) {
-	key := class + "." + method
-	sh := &m.shards[fnv1a(key)&(callShards-1)]
+	sh := &m.shards[(fnv1a(class)^fnv1a(method))&(callShards-1)]
 	sh.mu.Lock()
-	sh.m[key]++
+	sh.m[callKey{class, method}]++
 	sh.mu.Unlock()
 	if sync {
 		m.syncCalls.Add(1)
@@ -171,6 +186,34 @@ type MetricsSnapshot struct {
 	// Journal carries the write-ahead journal counters (WithJournal);
 	// zero-valued with Enabled false when the server runs without one.
 	Journal JournalStats
+	// Transport describes the byte-transport fast paths: shared-memory
+	// ring activity (WithSharedMemory) and vectored socket writes.
+	Transport TransportStats
+}
+
+// TransportStats describes the transport fast paths. The shm counters are
+// process-wide (rings are a process resource, not a per-server one); the
+// session split (ShmSessions/SocketFallbacks) is this server's own.
+type TransportStats struct {
+	// ShmEnabled reports whether this server offers the shared-memory
+	// rendezvous (WithSharedMemory on a supported platform).
+	ShmEnabled bool
+	// ShmSessions counts connections accepted over rings;
+	// SocketFallbacks counts socket connections accepted while shm was on
+	// offer — nonzero is normal for remote clients, and for same-host
+	// clients it means the rendezvous failed (see OPERATIONS).
+	ShmSessions, SocketFallbacks uint64
+	// DoorbellWakeups counts eventfd wakeups (slow-path write(2)s);
+	// DoorbellSleeps counts parks behind an armed doorbell. Both zero
+	// under steady ping-pong load is the hot path working as designed.
+	DoorbellWakeups, DoorbellSleeps uint64
+	// RingHighWater is the most bytes observed queued in any ring — the
+	// occupancy signal for sizing WithSharedMemory's ring.
+	RingHighWater uint64
+	// WritevFlushes counts vectored gather-writes on kernel sockets;
+	// WritevFrames the frames they carried. Frames/Flushes is the syscall
+	// batching factor.
+	WritevFlushes, WritevFrames uint64
 }
 
 // JournalStats describes the write-ahead journal (journal.go) and what
@@ -341,7 +384,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 		sh := &m.shards[i]
 		sh.mu.Lock()
 		for k, v := range sh.m {
-			calls[k] = v
+			calls[k.class+"."+k.method] = v
 		}
 		sh.mu.Unlock()
 	}
@@ -406,6 +449,18 @@ func (s *Server) Metrics() MetricsSnapshot {
 			RecoveredSubs:     s.recov.subs.Load(),
 			TornTailTruncated: s.recov.torn.Load(),
 		}
+	}
+	shmStats := shm.Snapshot()
+	vecFlushes, vecFrames := wire.VecStats()
+	snap.Transport = TransportStats{
+		ShmEnabled:      s.shmEnabled,
+		ShmSessions:     m.shmConns.Load(),
+		SocketFallbacks: m.shmFallbacks.Load(),
+		DoorbellWakeups: shmStats.DoorbellWakeups,
+		DoorbellSleeps:  shmStats.DoorbellSleeps,
+		RingHighWater:   shmStats.RingHighWater,
+		WritevFlushes:   vecFlushes,
+		WritevFrames:    vecFrames,
 	}
 	if s.fan != nil {
 		snap.Fanout.SubscribersLive = uint64(s.fan.subs.Len())

@@ -17,6 +17,7 @@ import (
 	"clam/internal/journal"
 	"clam/internal/rpc"
 	"clam/internal/ruc"
+	"clam/internal/shm"
 	"clam/internal/task"
 	"clam/internal/wire"
 )
@@ -83,6 +84,14 @@ type Server struct {
 	// Federated mesh membership (mesh.go): nil until JoinMesh. Guarded by
 	// its own lock inside, not s.mu.
 	mesh *meshState
+
+	// Shared-memory transport (WithSharedMemory): when enabled, Listen on
+	// a unix address also starts an shm rendezvous broker at
+	// <addr>.shm, and same-host clients ride mmap'd rings instead of the
+	// socket. shmRing is the per-direction ring size in bytes (0 =
+	// shm.DefaultRing).
+	shmEnabled bool
+	shmRing    int
 
 	// Write-ahead journal (WithJournal, journal.go): the durable record of
 	// grants, mints, registrations and receive marks that lets parked
@@ -249,6 +258,20 @@ func WithDispatchWorkers(n int) ServerOption {
 // run token.
 func WithPerObjectDispatch(on bool) ServerOption {
 	return func(s *Server) { s.serialDispatch = !on }
+}
+
+// WithSharedMemory offers the same-host shared-memory transport: every
+// Listen on a unix address also starts an shm rendezvous broker at
+// <addr>.shm, and clients dialing that address ride a pair of mmap'd
+// rings (internal/shm) instead of the socket, with the socket kept as the
+// transparent fallback. ringBytes is the per-direction ring size; 0
+// selects shm.DefaultRing (1 MiB), other values are clamped and rounded
+// up to a power of two. No-op on platforms without the transport.
+func WithSharedMemory(ringBytes int) ServerOption {
+	return func(s *Server) {
+		s.shmEnabled = shm.Supported()
+		s.shmRing = ringBytes
+	}
 }
 
 // NewServer returns a server drawing loadable classes from lib.
@@ -489,6 +512,15 @@ func (s *Server) Serve(ln net.Listener) error {
 			}
 			return fmt.Errorf("clam: accept: %w", err)
 		}
+		if s.shmEnabled {
+			// Transport accounting: ring sessions vs. socket fallbacks
+			// while shm is on offer.
+			if conn.RemoteAddr().Network() == "shm" {
+				s.metrics.shmConns.Add(1)
+			} else {
+				s.metrics.shmFallbacks.Add(1)
+			}
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -514,6 +546,24 @@ func (s *Server) Listen(network, addr string) (net.Listener, error) {
 			s.logf("clam: serve: %v", err)
 		}
 	}()
+	// With shared memory enabled, a unix listener gets a rendezvous broker
+	// sibling: ring connections arrive through it and feed the ordinary
+	// serve loop (the framing and session protocol are transport-blind).
+	// Broker failure degrades to sockets-only rather than failing Listen.
+	if s.shmEnabled && network == "unix" {
+		bln, err := shm.Listen(shm.BrokerPath(addr), s.shmRing)
+		if err != nil {
+			s.logf("clam: shm broker unavailable, sockets only: %v", err)
+		} else {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				if err := s.Serve(bln); err != nil {
+					s.logf("clam: shm serve: %v", err)
+				}
+			}()
+		}
+	}
 	return ln, nil
 }
 

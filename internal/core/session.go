@@ -104,6 +104,12 @@ type session struct {
 	markMu    sync.Mutex
 	markHW    uint64
 	markAbove map[uint64]struct{}
+
+	// bctx is the session's bundling context, built once in newSession:
+	// the hooks are typed views of the session and Ctx carries no per-call
+	// state (the no-global-state bundler rule, §3.3, is about registries,
+	// not contexts), so every encode/decode shares this instance.
+	bctx bundle.Ctx
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
@@ -130,6 +136,10 @@ func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
 	e.closedCh = make(chan struct{})
 	e.logf = srv.logf
 	e.lastRPC.Store(time.Now().UnixNano())
+	sess.bctx = bundle.Ctx{
+		Objects: (*serverObjectHook)(sess),
+		Procs:   (*serverProcHook)(sess),
+	}
 	sess.relay = &relayCaller{sess: sess}
 	return sess
 }
@@ -334,13 +344,9 @@ func (sess *session) resumeUpcall(c *wire.Conn, epoch uint32) error {
 	return nil
 }
 
-// ctx returns a fresh per-call bundling context wired to this session's
-// hooks, per the no-global-state bundler rule (§3.3).
+// ctx returns the session's shared bundling context (see bctx).
 func (sess *session) ctx() *bundle.Ctx {
-	return &bundle.Ctx{
-		Objects: (*serverObjectHook)(sess),
-		Procs:   (*serverProcHook)(sess),
-	}
+	return &sess.bctx
 }
 
 // --- read loops -----------------------------------------------------------
@@ -602,7 +608,7 @@ func (sess *session) execMsg(msg *wire.Msg) {
 			sess.srv.syncPeerLinks(sess.fromPeer.Load())
 			sess.srv.exec.resume(it)
 		}
-		sess.queueReply(&wire.Msg{Type: wire.MsgSyncReply, Seq: msg.Seq})
+		sess.queueReplyFrame(wire.MsgSyncReply, msg.Seq, nil)
 	}
 	msg.Release()
 	// The mark is written strictly after execution: journaling a frame the
@@ -775,7 +781,7 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 			}
 		}
 	}
-	sess.queueReply(&wire.Msg{Type: wire.MsgReply, Seq: hdr.Seq, Body: rsc.Bytes()})
+	sess.queueReplyFrame(wire.MsgReply, hdr.Seq, rsc.Bytes())
 }
 
 // --- load protocol --------------------------------------------------------
@@ -963,7 +969,7 @@ func (sess *session) sendLoadReply(seq uint64, reply *loadReplyBody) {
 		sess.srv.logf("clam: session %d: encoding load reply: %v", sess.id, err)
 		return
 	}
-	sess.queueReply(&wire.Msg{Type: wire.MsgLoadReply, Seq: seq, Body: sc.Bytes()})
+	sess.queueReplyFrame(wire.MsgLoadReply, seq, sc.Bytes())
 }
 
 // --- distributed upcalls (ruc.Caller) --------------------------------------
@@ -1021,7 +1027,7 @@ func (sess *session) Upcall(procID uint64, ft reflect.Type, args []reflect.Value
 	// take over the flow of control may depend on them. Send copies the
 	// scratch bytes before returning, so the workspace recycles here.
 	sess.flushReplies()
-	err := c.Send(&wire.Msg{Type: wire.MsgUpcall, Seq: seq, Body: sc.Bytes()})
+	err := c.SendFrame(wire.MsgUpcall, seq, sc.Bytes())
 	sc.Release()
 	if err != nil {
 		return nil, fmt.Errorf("clam: sending upcall: %w", err)

@@ -1,0 +1,306 @@
+//go:build linux
+
+package core
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clam/internal/shm"
+)
+
+// Shared-memory transport integration: the session protocol must ride the
+// rings unchanged — calls, upcalls, resume, fan-out, journal, mesh — with
+// the socket kept as a transparent fallback. These tests pin the
+// engagement/fallback decision via TransportStats and the chaos contract
+// that ring death looks exactly like socket death to the resume machinery.
+
+func shmSessionsDelta(srv *Server) (shmConns, fallbacks uint64) {
+	tr := srv.Metrics().Transport
+	return tr.ShmSessions, tr.SocketFallbacks
+}
+
+func TestShmTransportEngages(t *testing.T) {
+	srv, path := startServer(t, WithSharedMemory(0))
+	c := dialClient(t, path)
+
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	if err := obj.CallInto("Total", []any{&total}); err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("Total over shm = %d, want 5", total)
+	}
+
+	// Upcalls ride the second ring pair.
+	n, err := c.New("notifier", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got atomic.Int32
+	if err := n.Call("Register", func(x int32, s string) int32 {
+		got.Store(x)
+		return 2 * x
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var sum int32
+	if err := n.CallInto("Trigger", []any{&sum}, int32(21), "ring"); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 21 || sum != 42 {
+		t.Fatalf("upcall over shm: got=%d sum=%d, want 21/42", got.Load(), sum)
+	}
+
+	rings, falls := shmSessionsDelta(srv)
+	if rings < 2 { // one per stream: rpc + upcall
+		t.Errorf("ShmSessions = %d, want >= 2 (both streams on rings)", rings)
+	}
+	if falls != 0 {
+		t.Errorf("SocketFallbacks = %d, want 0 (same host, broker up)", falls)
+	}
+	if tr := srv.Metrics().Transport; !tr.ShmEnabled {
+		t.Error("Transport.ShmEnabled = false on a WithSharedMemory server")
+	}
+}
+
+func TestShmFallbackWhenNoBroker(t *testing.T) {
+	// Server without WithSharedMemory: the client's rendezvous attempt
+	// must fail fast and fall back to the socket invisibly.
+	_, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatalf("call over fallback socket: %v", err)
+	}
+}
+
+func TestShmClientAblationFallsBack(t *testing.T) {
+	srv, path := startServer(t, WithSharedMemory(0))
+	c := dialClient(t, path, WithoutSharedMemory())
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(1)); err != nil {
+		t.Fatal(err)
+	}
+	rings, falls := shmSessionsDelta(srv)
+	if rings != 0 {
+		t.Errorf("ShmSessions = %d, want 0 under WithoutSharedMemory", rings)
+	}
+	if falls < 2 {
+		t.Errorf("SocketFallbacks = %d, want >= 2 (both streams on sockets)", falls)
+	}
+}
+
+// shmChaosDialer rendezvouses over shm itself (keeping handles to the
+// live ring conns so the test can kill one) and refuses sockets: a resume
+// that silently fell back would fail the test.
+type shmChaosDialer struct {
+	mu    sync.Mutex
+	conns []net.Conn
+	dials int
+}
+
+func (d *shmChaosDialer) dial(network, addr string) (net.Conn, error) {
+	c, err := shm.Dial(shm.BrokerPath(addr))
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.conns = append(d.conns, c)
+	d.dials++
+	d.mu.Unlock()
+	return c, nil
+}
+
+// rpcConn returns the RPC-stream ring of the latest (re)connection: Dial
+// and tryResume both dial RPC first, then upcall.
+func (d *shmChaosDialer) rpcConn() net.Conn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.conns[len(d.conns)-2]
+}
+
+func (d *shmChaosDialer) dialCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+// TestChaosShmKillMidWriteResumes kills the client's RPC ring in the
+// middle of an async burst and asserts the resume path engages exactly as
+// it does on socket death: reconnect, replay, same handles, same state —
+// and the resumed link is again a ring, not a socket.
+func TestChaosShmKillMidWriteResumes(t *testing.T) {
+	srv, path := startServer(t, WithSharedMemory(0), WithResumeWindow(10*time.Second))
+	d := &shmChaosDialer{}
+	c := dialClient(t, path, WithDialFunc(d.dial), WithCallTimeout(3*time.Second))
+
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Async burst with the ring yanked from under it mid-stream.
+	for i := 0; i < 64; i++ {
+		if i == 20 {
+			d.rpcConn().Close() // mid-ring-write kill
+		}
+		obj.Async("Add", int64(1))
+	}
+	waitFor(t, 8*time.Second, "client to resume after ring death", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+
+	// Post-resume: the same handle works and no async was double-applied
+	// (the receive window dedups replays). Every Add that was accepted
+	// exactly once contributes exactly once.
+	if err := c.Sync(); err != nil {
+		trySync(c) // one more try if the sync raced the resume
+	}
+	var total int64
+	waitFor(t, 5*time.Second, "post-resume call to succeed", func() bool {
+		return obj.CallInto("Total", []any{&total}) == nil
+	})
+	if total < 3 || total > 3+64 {
+		t.Errorf("Total after ring death = %d, want within [3,67]", total)
+	}
+	if d.dialCount() < 4 {
+		t.Errorf("dials = %d, want >= 4 (resume re-rendezvoused over shm)", d.dialCount())
+	}
+	if _, falls := shmSessionsDelta(srv); falls != 0 {
+		t.Errorf("SocketFallbacks = %d, want 0 (resume must ride rings)", falls)
+	}
+	if srv.Metrics().Resilience.Reconnects < 1 {
+		t.Error("server counted no reconnects after ring death")
+	}
+}
+
+// TestShmFanoutRidesRings runs the multicast path over ring transports.
+func TestShmFanoutRidesRings(t *testing.T) {
+	srv, path := startServer(t, WithSharedMemory(0))
+	if err := srv.RegisterMulticast("ev", (func(int64))(nil)); err != nil {
+		t.Fatal(err)
+	}
+	const clients, events = 3, 5
+	cols := make([]*collector, clients)
+	for i := range cols {
+		cols[i] = &collector{}
+		c := dialClient(t, path)
+		if _, err := c.Subscribe("ev", cols[i].add); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < events; i++ {
+		if _, err := srv.Publish("ev", int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "all subscribers to receive all events", func() bool {
+		for _, co := range cols {
+			if co.len() != events {
+				return false
+			}
+		}
+		return true
+	})
+	for _, co := range cols {
+		co.wantExactly(t, seq(events))
+	}
+	if rings, _ := shmSessionsDelta(srv); rings < uint64(2*clients) {
+		t.Errorf("ShmSessions = %d, want >= %d (every subscriber on rings)", rings, 2*clients)
+	}
+}
+
+// TestShmJournalRecordsOverRings proves the journal path is transport-
+// blind: a journaled server with shm on records session grants and marks
+// arriving over rings just as over sockets.
+func TestShmJournalRecordsOverRings(t *testing.T) {
+	dir := t.TempDir()
+	srv, path := startServer(t, WithSharedMemory(0), WithJournal(dir))
+	c := dialClient(t, path)
+	obj, err := c.New("counter", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Call("Add", int64(9)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	if !m.Journal.Enabled || m.Journal.Appends == 0 {
+		t.Errorf("journal over shm: enabled=%v appends=%d, want recording",
+			m.Journal.Enabled, m.Journal.Appends)
+	}
+	if rings, _ := shmSessionsDelta(srv); rings < 2 {
+		t.Errorf("ShmSessions = %d, want >= 2", rings)
+	}
+}
+
+// TestShmMeshPeersRideRings joins two same-host mesh members that both
+// offer shm: their peer links and a routed client call all ride rings.
+func TestShmMeshPeersRideRings(t *testing.T) {
+	srvA, pathA := startServer(t, WithSharedMemory(0))
+	srvB, pathB := startServer(t, WithSharedMemory(0))
+	if err := srvA.JoinMesh(MeshPeer{Name: "a", Network: "unix", Addr: pathA},
+		MeshPeer{Name: "b", Network: "unix", Addr: pathB}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srvB.JoinMesh(MeshPeer{Name: "b", Network: "unix", Addr: pathB},
+		MeshPeer{Name: "a", Network: "unix", Addr: pathA}); err != nil {
+		t.Fatal(err)
+	}
+	// Create named objects until one lands on the non-entered member, so
+	// at least one client call is actually routed across a mesh ring.
+	c := dialClient(t, pathA)
+	names := []string{"n0", "n1", "n2", "n3"}
+	for _, name := range names {
+		if err := srvA.MeshCreateNamed("counter", name); err != nil {
+			t.Fatal(err)
+		}
+		obj, err := c.NamedObject(name)
+		if err != nil {
+			t.Fatalf("NamedObject(%s): %v", name, err)
+		}
+		if err := obj.Call("Add", int64(2)); err != nil {
+			t.Fatalf("Add via %s: %v", name, err)
+		}
+		var total int64
+		if err := obj.CallInto("Total", []any{&total}); err != nil {
+			t.Fatal(err)
+		}
+		if total != 2 {
+			t.Fatalf("Total via %s = %d, want 2", name, total)
+		}
+	}
+	routed := srvA.Metrics().Mesh.RoutedNamed
+	if routed == 0 {
+		t.Skip("hash placed all names on the entering member; routing not exercised")
+	}
+	// The mesh peer links dialed unix addresses on this host with the
+	// stock dialer, so they must have rendezvoused over shm.
+	ringsB, _ := shmSessionsDelta(srvB)
+	if ringsB < 2 {
+		t.Errorf("member b ShmSessions = %d, want >= 2 (mesh link on rings)", ringsB)
+	}
+}

@@ -40,6 +40,15 @@ func (s *StatsClass) Resilience() (int64, int64, int64, int64) {
 	return int64(r.Reconnects), int64(r.ReplayedCalls), int64(r.DedupDrops), int64(r.RetransmitDrops)
 }
 
+// Transport returns (shmSessions, socketFallbacks, doorbellWakeups,
+// writevFlushes) — enough to tell remotely whether same-host clients are
+// actually riding the rings and how often the slow paths fire.
+func (s *StatsClass) Transport() (int64, int64, int64, int64) {
+	t := s.srv.Metrics().Transport
+	return int64(t.ShmSessions), int64(t.SocketFallbacks),
+		int64(t.DoorbellWakeups), int64(t.WritevFlushes)
+}
+
 // Sessions reports connected clients.
 func (s *StatsClass) Sessions() int64 {
 	return int64(s.srv.SessionCount())

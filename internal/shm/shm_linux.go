@@ -1,0 +1,648 @@
+//go:build linux
+
+// Package shm is the same-host shared-memory transport: a pair of mmap'd
+// single-producer/single-consumer byte rings (one per direction — the
+// paper's two-streams-per-client design mapped onto two ring directions)
+// with eventfd doorbells armed only when a side is about to sleep. The hot
+// path is a lock-free ring copy with zero syscalls; the slow path is one
+// write(2) to wake the parked peer. A Conn implements net.Conn, so
+// wire.NewConn frames over it exactly as over a socket and the whole
+// session protocol — hello/resume, heartbeats, journal, mesh, fan-out —
+// rides unchanged.
+//
+// Rendezvous is a tiny unix-socket exchange: the server listens on
+// <addr>.shm, and per accepted connection creates a segment plus four
+// eventfds and passes them to the client with SCM_RIGHTS. The rendezvous
+// socket then stays open as the connection's lifeline: neither side writes
+// to it again, so a read returning is the peer-death (or close) signal
+// that tears the rings down — which is how ring death feeds the same
+// resume machinery as socket death.
+package shm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Supported reports whether this platform has the shm transport.
+func Supported() bool { return true }
+
+// Segment layout. One header page, then the two rings back to back:
+//
+//	off 0      magic "CLAMSHM1"
+//	off 8      ring size S (bytes, power of two)
+//	off 64     ring 0 (client→server) cursors: head, tail, prodWait,
+//	           consWait — each on its own 64-byte line
+//	off 320    ring 1 (server→client) cursors, same shape
+//	off 4096   ring 0 data (S bytes)
+//	off 4096+S ring 1 data (S bytes)
+//
+// head and tail are monotonic uint64 byte counts (position = cursor & S-1),
+// so used = head - tail with no empty/full ambiguity. Each cursor has
+// exactly one writer: the producer owns head and prodWait, the consumer
+// owns tail and consWait (the opposite side clears the wait flags with a
+// Swap when it rings the doorbell).
+const (
+	segMagic   = 0x434c414d53484d31 // "CLAMSHM1"
+	hdrBytes   = 4096
+	cursorBase = 64
+	cursorLine = 64
+	ringStride = 4 * cursorLine
+
+	// MinRing / MaxRing bound the per-direction ring size.
+	MinRing = 64 << 10
+	MaxRing = 64 << 20
+	// DefaultRing is the per-direction ring size when the caller passes 0.
+	DefaultRing = 1 << 20
+)
+
+// handshake message: magic, ring size, reserved.
+const helloBytes = 24
+
+// spinReads bounds the busy-wait before a starved consumer (or a producer
+// facing a full ring) arms its doorbell and parks: long enough that a
+// same-host round trip completes inside the window (so steady ping-pong
+// never syscalls), short enough that an idle connection parks within a
+// few microseconds.
+const spinReads = 4096
+
+// spinYieldMask picks how often the spin loop yields the processor. On a
+// multi-core host the peer runs concurrently, so the loop mostly watches
+// the cursor and yields rarely; on a single core nothing can change
+// between yields — the peer needs our processor to make progress — so
+// spinning between them is pure waste and the loop yields every pass.
+var spinYieldMask = func() int {
+	if runtime.NumCPU() <= 1 {
+		return 0
+	}
+	return 63
+}()
+
+// Package-wide counters for TransportStats.
+var (
+	statDials     atomic.Uint64
+	statAccepts   atomic.Uint64
+	statWakeups   atomic.Uint64 // doorbell write(2)s issued
+	statSleeps    atomic.Uint64 // times a side armed its doorbell and parked
+	statHighWater atomic.Uint64 // max bytes observed queued in any ring
+)
+
+// Stats is a snapshot of process-wide shm transport activity.
+type Stats struct {
+	Dials           uint64 // successful client rendezvous
+	Accepts         uint64 // successful server rendezvous
+	DoorbellWakeups uint64 // eventfd writes (slow-path wakeups)
+	DoorbellSleeps  uint64 // parks behind an armed doorbell
+	RingHighWater   uint64 // max bytes queued in any ring
+}
+
+// Snapshot returns the current transport counters.
+func Snapshot() Stats {
+	return Stats{
+		Dials:           statDials.Load(),
+		Accepts:         statAccepts.Load(),
+		DoorbellWakeups: statWakeups.Load(),
+		DoorbellSleeps:  statSleeps.Load(),
+		RingHighWater:   statHighWater.Load(),
+	}
+}
+
+func maxHighWater(n uint64) {
+	for {
+		cur := statHighWater.Load()
+		if n <= cur || statHighWater.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// segment is one mmap'd region shared by the two ends. The mapping is
+// released by a finalizer, never explicitly: a Conn may die while the
+// peer's copies of the doorbells are still live, and unmapping under a
+// concurrent ring copy would fault.
+type segment struct {
+	mem []byte
+}
+
+func newSegmentMap(mem []byte) *segment {
+	s := &segment{mem: mem}
+	runtime.SetFinalizer(s, func(s *segment) { syscall.Munmap(s.mem) })
+	return s
+}
+
+func (s *segment) u64(off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&s.mem[off]))
+}
+
+// ring is one direction of the segment.
+type ring struct {
+	data     []byte
+	size     uint64
+	head     *atomic.Uint64 // producer cursor
+	tail     *atomic.Uint64 // consumer cursor
+	prodWait *atomic.Uint64 // producer armed its space doorbell
+	consWait *atomic.Uint64 // consumer armed its data doorbell
+}
+
+func (s *segment) ring(i int, size uint64) *ring {
+	base := cursorBase + i*ringStride
+	dataOff := hdrBytes + uint64(i)*size
+	return &ring{
+		data:     s.mem[dataOff : dataOff+size : dataOff+size],
+		size:     size,
+		head:     s.u64(base),
+		tail:     s.u64(base + cursorLine),
+		prodWait: s.u64(base + 2*cursorLine),
+		consWait: s.u64(base + 3*cursorLine),
+	}
+}
+
+// roundRing normalizes a requested per-direction ring size: 0 means
+// DefaultRing, otherwise clamp to [MinRing, MaxRing] and round up to a
+// power of two (the cursors mask with size-1).
+func roundRing(n int) uint64 {
+	if n <= 0 {
+		return DefaultRing
+	}
+	if n < MinRing {
+		n = MinRing
+	}
+	if n > MaxRing {
+		n = MaxRing
+	}
+	s := uint64(MinRing)
+	for s < uint64(n) {
+		s <<= 1
+	}
+	return s
+}
+
+// Addr is the address of an shm endpoint; Network is "shm", which is how
+// the server's accept path tells ring sessions from socket fallbacks.
+type Addr struct{ Path string }
+
+func (a Addr) Network() string { return "shm" }
+func (a Addr) String() string  { return a.Path }
+
+// Conn is one end of a ring pair. It implements net.Conn; deadlines are
+// accepted and ignored (nothing above this transport sets them).
+type Conn struct {
+	seg *segment
+	rd  *ring // ring this end consumes
+	wr  *ring // ring this end produces
+
+	rdData  *os.File // parked on when rd is empty (peer writes it)
+	rdSpace *os.File // written to wake the peer when rd drains
+	wrData  *os.File // written to wake the peer when wr fills
+	wrSpace *os.File // parked on when wr is full (peer writes it)
+
+	lifeline net.Conn
+	addr     Addr
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	hw        uint64 // producer-side high-water for this conn's write ring
+}
+
+func newConn(seg *segment, size uint64, server bool, efds [4]*os.File, life net.Conn, addr Addr) *Conn {
+	c := &Conn{seg: seg, lifeline: life, addr: addr}
+	if server {
+		c.rd, c.wr = seg.ring(0, size), seg.ring(1, size)
+		c.rdData, c.rdSpace = efds[0], efds[1]
+		c.wrData, c.wrSpace = efds[2], efds[3]
+	} else {
+		c.rd, c.wr = seg.ring(1, size), seg.ring(0, size)
+		c.rdData, c.rdSpace = efds[2], efds[3]
+		c.wrData, c.wrSpace = efds[0], efds[1]
+	}
+	// The lifeline carries no bytes after the handshake: a read returning
+	// at all means the peer closed or died, so tear our end down, which
+	// wakes anything parked on a doorbell into io.EOF.
+	go func() {
+		var b [1]byte
+		c.lifeline.Read(b[:])
+		c.Close()
+	}()
+	return c
+}
+
+// ringDoorbell wakes the peer parked on f. Errors are ignored: the only
+// failure modes are a concurrently-closed file (shutdown race) and an
+// eventfd counter at max, both of which mean no wakeup is needed.
+func ringDoorbell(f *os.File) {
+	var one [8]byte
+	one[7] = 1
+	f.Write(one[:])
+	statWakeups.Add(1)
+}
+
+// park blocks until the peer rings f (the runtime poller parks the
+// goroutine; a pending doorbell returns immediately and drains the
+// counter). Returns io.EOF if the conn closed while parked.
+func (c *Conn) park(f *os.File) error {
+	statSleeps.Add(1)
+	var buf [8]byte
+	_, err := f.Read(buf[:])
+	if err != nil {
+		if c.closed.Load() {
+			return io.EOF
+		}
+		return err
+	}
+	return nil
+}
+
+// Read copies out whatever the read ring holds, blocking (spin, then
+// doorbell park) while it is empty. Returns io.EOF once the conn is
+// closed, which wire maps to its ErrClosed family — the same shape as a
+// dead socket.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	r := c.rd
+	for {
+		if c.closed.Load() {
+			return 0, io.EOF
+		}
+		tail := r.tail.Load()
+		avail := r.head.Load() - tail
+		if avail == 0 {
+			if !c.waitData(r, tail) {
+				continue // woke or data raced in; re-evaluate
+			}
+			return 0, io.EOF
+		}
+		n := uint64(len(p))
+		if n > avail {
+			n = avail
+		}
+		pos := tail & (r.size - 1)
+		first := r.size - pos
+		if first >= n {
+			copy(p, r.data[pos:pos+n])
+		} else {
+			copy(p, r.data[pos:])
+			copy(p[first:], r.data[:n-first])
+		}
+		r.tail.Store(tail + n)
+		if r.prodWait.Swap(0) == 1 {
+			ringDoorbell(c.rdSpace)
+		}
+		return int(n), nil
+	}
+}
+
+// waitData blocks until the ring has bytes past tail (returns false) or
+// the conn dies (returns true). Spin first; then arm the doorbell and
+// recheck before parking — the recheck, ordered after the armed flag by
+// the sequentially consistent atomics, is what makes the lost-wakeup
+// window impossible (the producer publishes head before it swaps the
+// flag, so either it sees the flag and rings, or the recheck sees head).
+func (c *Conn) waitData(r *ring, tail uint64) (dead bool) {
+	for i := 0; i < spinReads; i++ {
+		if r.head.Load() != tail {
+			return false
+		}
+		if i&spinYieldMask == spinYieldMask {
+			if c.closed.Load() {
+				return true
+			}
+			runtime.Gosched()
+		}
+	}
+	r.consWait.Store(1)
+	if r.head.Load() != tail {
+		r.consWait.Store(0)
+		return false
+	}
+	if c.closed.Load() {
+		return true
+	}
+	if c.park(c.rdData) != nil {
+		return true
+	}
+	return false
+}
+
+// Write copies p into the write ring, blocking (spin, then doorbell park)
+// whenever the ring is full — the transport's backpressure. Short writes
+// never happen: either all of p is queued or the conn died.
+func (c *Conn) Write(p []byte) (int, error) {
+	w := c.wr
+	total := len(p)
+	for len(p) > 0 {
+		if c.closed.Load() {
+			return total - len(p), io.ErrClosedPipe
+		}
+		head := w.head.Load()
+		used := head - w.tail.Load()
+		free := w.size - used
+		if free == 0 {
+			if c.waitSpace(w, head) {
+				return total - len(p), io.ErrClosedPipe
+			}
+			continue
+		}
+		n := uint64(len(p))
+		if n > free {
+			n = free
+		}
+		pos := head & (w.size - 1)
+		first := w.size - pos
+		if first >= n {
+			copy(w.data[pos:], p[:n])
+		} else {
+			copy(w.data[pos:], p[:first])
+			copy(w.data, p[first:n])
+		}
+		w.head.Store(head + n)
+		if q := used + n; q > c.hw {
+			c.hw = q
+			maxHighWater(q)
+		}
+		if w.consWait.Swap(0) == 1 {
+			ringDoorbell(c.wrData)
+		}
+		p = p[n:]
+	}
+	return total, nil
+}
+
+// waitSpace is waitData's mirror for a full ring.
+func (c *Conn) waitSpace(w *ring, head uint64) (dead bool) {
+	for i := 0; i < spinReads; i++ {
+		if head-w.tail.Load() < w.size {
+			return false
+		}
+		if i&spinYieldMask == spinYieldMask {
+			if c.closed.Load() {
+				return true
+			}
+			runtime.Gosched()
+		}
+	}
+	w.prodWait.Store(1)
+	if head-w.tail.Load() < w.size {
+		w.prodWait.Store(0)
+		return false
+	}
+	if c.closed.Load() {
+		return true
+	}
+	if c.park(c.wrSpace) != nil {
+		return true
+	}
+	return false
+}
+
+// Close tears this end down: marks the conn dead, closes the doorbells
+// this end parks on (interrupting a parked Read/Write), and closes the
+// lifeline so the peer's watcher fires and does the same over there.
+// The mapping itself is released by the segment finalizer once neither
+// ring can be touched.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.rdData.Close()
+		c.wrSpace.Close()
+		c.lifeline.Close()
+		// Ring the peer's doorbells before dropping our write ends: if it
+		// is parked it wakes now instead of waiting for its lifeline watcher.
+		ringDoorbell(c.rdSpace)
+		ringDoorbell(c.wrData)
+		c.rdSpace.Close()
+		c.wrData.Close()
+	})
+	return nil
+}
+
+func (c *Conn) LocalAddr() net.Addr                { return c.addr }
+func (c *Conn) RemoteAddr() net.Addr               { return c.addr }
+func (c *Conn) SetDeadline(t time.Time) error      { return nil }
+func (c *Conn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *Conn) SetWriteDeadline(t time.Time) error { return nil }
+
+// --- segment construction and rendezvous ------------------------------------
+
+// createSegment makes the backing file (tmpfs when available, unlinked
+// immediately so it can never outlive its fds), sizes it, and maps it.
+// The returned fd is still open — the broker needs it for SCM_RIGHTS.
+func createSegment(size uint64) (*segment, int, error) {
+	total := int64(hdrBytes + 2*size)
+	f, err := os.CreateTemp("/dev/shm", "clam-ring-*")
+	if err != nil {
+		if f, err = os.CreateTemp("", "clam-ring-*"); err != nil {
+			return nil, -1, fmt.Errorf("shm: segment create: %w", err)
+		}
+	}
+	os.Remove(f.Name())
+	if err := f.Truncate(total); err != nil {
+		f.Close()
+		return nil, -1, fmt.Errorf("shm: segment size: %w", err)
+	}
+	mem, err := syscall.Mmap(int(f.Fd()), 0, int(total),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, -1, fmt.Errorf("shm: mmap: %w", err)
+	}
+	seg := newSegmentMap(mem)
+	seg.u64(0).Store(segMagic)
+	seg.u64(8).Store(size)
+	// Hand the raw fd to the caller; keep f from closing it via finalizer.
+	fd, err := syscall.Dup(int(f.Fd()))
+	f.Close()
+	if err != nil {
+		return nil, -1, fmt.Errorf("shm: dup: %w", err)
+	}
+	return seg, fd, nil
+}
+
+func mapSegment(fd int) (*segment, uint64, error) {
+	var st syscall.Stat_t
+	if err := syscall.Fstat(fd, &st); err != nil {
+		return nil, 0, fmt.Errorf("shm: fstat segment: %w", err)
+	}
+	mem, err := syscall.Mmap(fd, 0, int(st.Size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, 0, fmt.Errorf("shm: mmap segment: %w", err)
+	}
+	seg := newSegmentMap(mem)
+	if seg.u64(0).Load() != segMagic {
+		return nil, 0, errors.New("shm: bad segment magic")
+	}
+	size := seg.u64(8).Load()
+	if size < MinRing || size > MaxRing || size&(size-1) != 0 ||
+		uint64(len(mem)) != hdrBytes+2*size {
+		return nil, 0, fmt.Errorf("shm: bad segment geometry (ring %d, map %d)", size, len(mem))
+	}
+	return seg, size, nil
+}
+
+// newEventfd returns a nonblocking close-on-exec eventfd.
+func newEventfd() (int, error) {
+	fd, _, errno := syscall.Syscall(syscall.SYS_EVENTFD2, 0,
+		uintptr(syscall.O_CLOEXEC|syscall.O_NONBLOCK), 0)
+	if errno != 0 {
+		return -1, fmt.Errorf("shm: eventfd: %w", errno)
+	}
+	return int(fd), nil
+}
+
+// listener is the rendezvous broker: a unix listener whose Accept performs
+// the segment/fd handshake and returns the server end of a ring pair.
+type listener struct {
+	ln       *net.UnixListener
+	ringSize uint64
+	path     string
+}
+
+// Listen starts an shm rendezvous broker at path (conventionally the
+// serving socket's path + ".shm"). ringBytes is the per-direction ring
+// size; 0 means DefaultRing. The returned listener yields *Conn values
+// from Accept, so it can be fed straight into an ordinary serve loop.
+func Listen(path string, ringBytes int) (net.Listener, error) {
+	os.Remove(path)
+	ln, err := net.ListenUnix("unix", &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		return nil, fmt.Errorf("shm: broker listen: %w", err)
+	}
+	return &listener{ln: ln, ringSize: roundRing(ringBytes), path: path}, nil
+}
+
+func (l *listener) Addr() net.Addr { return Addr{Path: l.path} }
+func (l *listener) Close() error   { return l.ln.Close() }
+
+func (l *listener) Accept() (net.Conn, error) {
+	for {
+		uc, err := l.ln.AcceptUnix()
+		if err != nil {
+			return nil, err
+		}
+		c, err := l.handshake(uc)
+		if err != nil {
+			// A broken rendezvous (client vanished mid-handshake, fd limit)
+			// poisons one client, not the broker: drop it and keep accepting.
+			uc.Close()
+			continue
+		}
+		statAccepts.Add(1)
+		return c, nil
+	}
+}
+
+// handshake builds the segment and doorbells for one client and ships
+// them with SCM_RIGHTS. The unix conn stays open as the lifeline.
+func (l *listener) handshake(uc *net.UnixConn) (*Conn, error) {
+	seg, segFD, err := createSegment(l.ringSize)
+	if err != nil {
+		return nil, err
+	}
+	defer syscall.Close(segFD)
+	raw := make([]int, 0, 4)
+	closeRaw := func() {
+		for _, fd := range raw {
+			syscall.Close(fd)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		fd, err := newEventfd()
+		if err != nil {
+			closeRaw()
+			return nil, err
+		}
+		raw = append(raw, fd)
+	}
+	var hello [helloBytes]byte
+	binary.BigEndian.PutUint64(hello[0:8], segMagic)
+	binary.BigEndian.PutUint64(hello[8:16], l.ringSize)
+	rights := syscall.UnixRights(segFD, raw[0], raw[1], raw[2], raw[3])
+	uc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := uc.WriteMsgUnix(hello[:], rights, nil); err != nil {
+		closeRaw()
+		return nil, fmt.Errorf("shm: send rendezvous: %w", err)
+	}
+	uc.SetDeadline(time.Time{})
+	var efds [4]*os.File
+	for i, fd := range raw {
+		efds[i] = os.NewFile(uintptr(fd), fmt.Sprintf("shm-doorbell-%d", i))
+	}
+	return newConn(seg, l.ringSize, true, efds, uc, Addr{Path: l.path}), nil
+}
+
+// Dial connects to the rendezvous broker at path and returns the client
+// end of a fresh ring pair. Failure is cheap and clean (no broker, wrong
+// magic, timeout), which is what makes shm-first-with-socket-fallback a
+// safe default.
+func Dial(path string) (net.Conn, error) {
+	uc, err := net.DialUnix("unix", nil, &net.UnixAddr{Name: path, Net: "unix"})
+	if err != nil {
+		return nil, err
+	}
+	c, err := dialHandshake(uc, path)
+	if err != nil {
+		uc.Close()
+		return nil, err
+	}
+	statDials.Add(1)
+	return c, nil
+}
+
+func dialHandshake(uc *net.UnixConn, path string) (*Conn, error) {
+	uc.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, helloBytes)
+	oob := make([]byte, syscall.CmsgSpace(5*4))
+	n, oobn, _, _, err := uc.ReadMsgUnix(buf, oob)
+	if err != nil {
+		return nil, fmt.Errorf("shm: rendezvous read: %w", err)
+	}
+	uc.SetDeadline(time.Time{})
+	if n < helloBytes || binary.BigEndian.Uint64(buf[0:8]) != segMagic {
+		return nil, errors.New("shm: bad rendezvous hello")
+	}
+	msgs, err := syscall.ParseSocketControlMessage(oob[:oobn])
+	if err != nil || len(msgs) != 1 {
+		return nil, errors.New("shm: bad rendezvous control message")
+	}
+	fds, err := syscall.ParseUnixRights(&msgs[0])
+	if err != nil || len(fds) != 5 {
+		for _, fd := range fds {
+			syscall.Close(fd)
+		}
+		return nil, errors.New("shm: rendezvous did not carry 5 fds")
+	}
+	seg, size, err := mapSegment(fds[0])
+	syscall.Close(fds[0])
+	if err != nil {
+		for _, fd := range fds[1:] {
+			syscall.Close(fd)
+		}
+		return nil, err
+	}
+	if size != roundRing(int(binary.BigEndian.Uint64(buf[8:16]))) {
+		// Trust the mapped geometry; the hello is advisory.
+		_ = size
+	}
+	var efds [4]*os.File
+	for i, fd := range fds[1:] {
+		syscall.SetNonblock(fd, true)
+		efds[i] = os.NewFile(uintptr(fd), fmt.Sprintf("shm-doorbell-%d", i))
+	}
+	return newConn(seg, size, false, efds, uc, Addr{Path: path}), nil
+}
+
+// BrokerPath is the rendezvous socket path derived from a serving
+// address: the well-known suffix both ends agree on.
+func BrokerPath(addr string) string { return addr + ".shm" }

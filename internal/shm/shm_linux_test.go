@@ -1,0 +1,305 @@
+//go:build linux
+
+package shm
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"clam/internal/wire"
+)
+
+// pair dials through a real broker and returns both ends.
+func pair(t *testing.T, ringBytes int) (client, server net.Conn) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "b.shm")
+	ln, err := Listen(path, ringBytes)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	cl, err := Dial(path)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("Accept: %v", r.err)
+	}
+	t.Cleanup(func() { cl.Close(); r.c.Close() })
+	return cl, r.c
+}
+
+func TestRoundTrip(t *testing.T) {
+	cl, sv := pair(t, 0)
+	msg := []byte("hello over the ring")
+	if _, err := cl.Write(msg); err != nil {
+		t.Fatalf("client write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatalf("server read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+	if _, err := sv.Write(msg); err != nil {
+		t.Fatalf("server write: %v", err)
+	}
+	if _, err := io.ReadFull(cl, got); err != nil {
+		t.Fatalf("client read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("reply got %q want %q", got, msg)
+	}
+}
+
+// TestWraparound pushes enough traffic through a minimum-size ring that
+// every copy position is exercised, with message sizes chosen to land
+// frames across the wrap boundary, and checks byte-exact delivery.
+func TestWraparound(t *testing.T) {
+	cl, sv := pair(t, MinRing)
+	const total = 8 * MinRing
+	pattern := make([]byte, 7919) // prime length so the wrap point walks
+	for i := range pattern {
+		pattern[i] = byte(i * 31)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sent := 0
+		for sent < total {
+			n := len(pattern)
+			if total-sent < n {
+				n = total - sent
+			}
+			if _, err := cl.Write(pattern[:n]); err != nil {
+				t.Errorf("write: %v", err)
+				return
+			}
+			sent += n
+		}
+	}()
+	got := make([]byte, total)
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	wg.Wait()
+	for i := range got {
+		want := pattern[i%len(pattern)]
+		if got[i] != want {
+			t.Fatalf("byte %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+// TestBackpressure fills the ring with no consumer, proves the producer
+// blocks, then drains and proves it completes without losing a byte.
+func TestBackpressure(t *testing.T) {
+	cl, sv := pair(t, MinRing)
+	payload := make([]byte, 2*MinRing) // twice the ring: must block midway
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := cl.Write(payload)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("write of 2x ring completed with no consumer (err=%v)", err)
+	case <-time.After(100 * time.Millisecond):
+		// blocked, as it must be
+	}
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(sv, got); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("write after drain: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted across backpressure stall")
+	}
+	if s := Snapshot(); s.DoorbellSleeps == 0 {
+		t.Error("expected at least one doorbell park during backpressure")
+	}
+}
+
+// TestTornFrameAtBoundary frames real wire messages over the ring and
+// sizes them so frames repeatedly straddle the wrap point; every frame
+// must reassemble intact.
+func TestTornFrameAtBoundary(t *testing.T) {
+	cl, sv := pair(t, MinRing)
+	wc, ws := wire.NewConn(cl), wire.NewConn(sv)
+	body := make([]byte, MinRing/3+101) // ~1/3 ring so every third frame wraps
+	for i := range body {
+		body[i] = byte(i * 7)
+	}
+	const frames = 64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			if err := ws.Send(&wire.Msg{Type: wire.MsgUpcall, Seq: uint64(i), Body: body}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		m, err := wc.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if m.Seq != uint64(i) || !bytes.Equal(m.Body, body) {
+			t.Fatalf("frame %d torn: seq=%d len=%d", i, m.Seq, len(m.Body))
+		}
+		m.Release()
+	}
+	wg.Wait()
+}
+
+// TestCloseWakesReader parks a reader on an empty ring, closes the same
+// end, and expects a prompt EOF.
+func TestCloseWakesReader(t *testing.T) {
+	cl, sv := pair(t, 0)
+	_ = sv
+	errc := make(chan error, 1)
+	go func() {
+		var b [8]byte
+		_, err := cl.Read(b[:])
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it park
+	cl.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("reader got %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still parked after close")
+	}
+}
+
+// TestPeerDeathWakesReader kills the far end and expects this end's
+// parked reader to be torn down via the lifeline, just as a socket
+// reader sees a reset.
+func TestPeerDeathWakesReader(t *testing.T) {
+	cl, sv := pair(t, 0)
+	errc := make(chan error, 1)
+	go func() {
+		var b [8]byte
+		_, err := sv.Read(b[:])
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cl.Close() // "peer dies"
+	select {
+	case err := <-errc:
+		if !errors.Is(err, io.EOF) {
+			t.Fatalf("server reader got %v, want io.EOF", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("server reader not woken by peer death")
+	}
+}
+
+// TestPeerDeathUnblocksWriter blocks a writer against a full ring and
+// kills the consumer side; the writer must fail out instead of hanging.
+func TestPeerDeathUnblocksWriter(t *testing.T) {
+	cl, sv := pair(t, MinRing)
+	errc := make(chan error, 1)
+	go func() {
+		big := make([]byte, 4*MinRing)
+		_, err := cl.Write(big)
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // writer fills the ring and parks
+	sv.Close()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blocked writer completed after peer death")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer still parked after peer death")
+	}
+}
+
+// TestFallbackDialFails proves a dial against a missing broker fails fast
+// (that failure is the fallback trigger).
+func TestFallbackDialFails(t *testing.T) {
+	start := time.Now()
+	if _, err := Dial(filepath.Join(t.TempDir(), "nope.shm")); err == nil {
+		t.Fatal("dial of missing broker succeeded")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("missing-broker dial took %v, want fast failure", d)
+	}
+}
+
+// TestConcurrentBidirectional runs full-duplex traffic with the race
+// detector watching the cursor protocol.
+func TestConcurrentBidirectional(t *testing.T) {
+	cl, sv := pair(t, MinRing)
+	const total = 2 * MinRing
+	run := func(w net.Conn, r net.Conn, seed byte, errc chan<- error) {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			for i := range buf {
+				buf[i] = seed
+			}
+			for sent := 0; sent < total; sent += len(buf) {
+				if _, err := w.Write(buf); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+		got := make([]byte, total)
+		if _, err := io.ReadFull(r, got); err != nil {
+			errc <- err
+			return
+		}
+		for i := range got {
+			if got[i] != seed {
+				errc <- errors.New("cross-direction corruption")
+				return
+			}
+		}
+		wg.Wait()
+		errc <- nil
+	}
+	e1, e2 := make(chan error, 2), make(chan error, 2)
+	go run(cl, sv, 0xAA, e1) // client→server with seed AA
+	go run(sv, cl, 0x55, e2) // server→client with seed 55
+	if err := <-e1; err != nil {
+		t.Fatalf("c2s: %v", err)
+	}
+	if err := <-e2; err != nil {
+		t.Fatalf("s2c: %v", err)
+	}
+}

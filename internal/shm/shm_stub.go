@@ -1,0 +1,39 @@
+//go:build !linux
+
+// Package shm is the same-host shared-memory transport. On platforms
+// without eventfd it compiles to a stub: Supported reports false and the
+// dial/listen entry points fail cleanly, so callers fall back to sockets.
+package shm
+
+import (
+	"errors"
+	"net"
+)
+
+// ErrUnsupported is returned by Listen and Dial on platforms without the
+// shm transport.
+var ErrUnsupported = errors.New("shm: not supported on this platform")
+
+// Supported reports whether this platform has the shm transport.
+func Supported() bool { return false }
+
+// Stats is a snapshot of process-wide shm transport activity.
+type Stats struct {
+	Dials           uint64
+	Accepts         uint64
+	DoorbellWakeups uint64
+	DoorbellSleeps  uint64
+	RingHighWater   uint64
+}
+
+// Snapshot returns the current transport counters (all zero here).
+func Snapshot() Stats { return Stats{} }
+
+// Listen fails with ErrUnsupported.
+func Listen(path string, ringBytes int) (net.Listener, error) { return nil, ErrUnsupported }
+
+// Dial fails with ErrUnsupported.
+func Dial(path string) (net.Conn, error) { return nil, ErrUnsupported }
+
+// BrokerPath is the rendezvous socket path derived from a serving address.
+func BrokerPath(addr string) string { return addr + ".shm" }

@@ -16,7 +16,16 @@ import (
 // global, here it is a goroutine-id registry maintained while a task's
 // function runs.
 
-var currentTasks sync.Map // goroutine id (uint64) → *Task
+var currentTasks sync.Map // goroutine id (uint64) → *taskCell
+
+// taskCell is the mutable slot a goroutine's binding lives in. The map
+// stores one cell per goroutine, inserted once; per-dispatch bind/unbind
+// is an atomic store into the existing cell. (Storing the task directly
+// in the map would allocate an entry node per overwrite on the current
+// runtime's sync.Map — a per-dispatch allocation on the hot path.)
+type taskCell struct {
+	t atomic.Pointer[Task]
+}
 
 // boundTasks counts goroutines currently executing a task function. When
 // it is zero — always in a pure client process, and between dispatches on
@@ -49,19 +58,28 @@ func goid() uint64 {
 	return id
 }
 
+// cellFor returns goroutine gid's binding cell, inserting it on the
+// goroutine's first dispatch.
+func cellFor(gid uint64) *taskCell {
+	if v, ok := currentTasks.Load(gid); ok {
+		return v.(*taskCell)
+	}
+	v, _ := currentTasks.LoadOrStore(gid, &taskCell{})
+	return v.(*taskCell)
+}
+
 // bindAs associates goroutine gid with t for the duration of one dispatch.
 // The caller computes gid once per goroutine (the id never changes), so
 // binding is two cheap writes per dispatch, not a stack parse.
 func (t *Task) bindAs(gid uint64) {
-	currentTasks.Store(gid, t)
+	cellFor(gid).t.Store(t)
 	boundTasks.Add(1)
 }
 
-// unbind clears the association but keeps the map entry (storing a nil
-// task): a pooled goroutine re-binds the same key on its next dispatch,
-// and overwriting an existing sync.Map entry never allocates.
+// unbind clears the association but keeps the cell: a pooled goroutine
+// re-binds the same cell on its next dispatch with no allocation.
 func unbind(gid uint64) {
-	currentTasks.Store(gid, (*Task)(nil))
+	cellFor(gid).t.Store(nil)
 	boundTasks.Add(-1)
 }
 
@@ -80,7 +98,7 @@ func Current() *Task {
 		return nil
 	}
 	if v, ok := currentTasks.Load(goid()); ok {
-		if t, _ := v.(*Task); t != nil {
+		if t := v.(*taskCell).t.Load(); t != nil {
 			return t
 		}
 	}

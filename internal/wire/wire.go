@@ -100,6 +100,18 @@ const headerLen = 16
 // magic guards against a foreign protocol talking to a CLAM port.
 const magic = 0xC1A0
 
+// Stream is the byte transport a Conn frames messages over: a reliable,
+// in-order duplex byte stream. Every net.Conn satisfies it, and so does a
+// shared-memory ring endpoint (internal/shm) — the framing, batching and
+// pooling above this seam are identical on both, which is what lets the
+// whole session protocol (hello/resume, heartbeats, journal, mesh,
+// fan-out) ride a ring without a fork.
+type Stream interface {
+	io.ReadWriteCloser
+	LocalAddr() net.Addr
+	RemoteAddr() net.Addr
+}
+
 // Msg is one framed message. Seq correlates replies with requests: a reply
 // carries the Seq of the message it answers.
 //
@@ -191,36 +203,65 @@ var (
 // an allocation.
 func validType(t MsgType) bool { return t >= MsgHello && t <= MsgResumeReply }
 
-// Conn frames messages over a reliable, in-order byte stream. Writes are
-// buffered until Flush so several messages — or one message assembled
-// incrementally — cost a single kernel round trip, which is what makes the
-// paper's call batching pay off. Reads and writes may proceed concurrently;
-// writers are serialized with each other, as are readers.
+// Conn frames messages over a Stream. Writes are buffered until Flush so
+// several messages — or one message assembled incrementally — cost a single
+// kernel round trip, which is what makes the paper's call batching pay off.
+// Reads and writes may proceed concurrently; writers are serialized with
+// each other, as are readers.
+//
+// Over kernel sockets (TCP, UNIX domain) the write side runs in vectored
+// mode: queued frames are gathered into a single writev at Flush instead
+// of being copied through a bufio buffer, so a coalesced burst of replies
+// or a client batch plus its trailing Sync costs exactly one syscall
+// regardless of size. Other streams (pipes, SimLink, shm rings) keep the
+// bufio path, whose single Flush write is already optimal for them.
 type Conn struct {
-	wmu    sync.Mutex
-	bw     *bufio.Writer
-	rmu    sync.Mutex
-	br     *bufio.Reader
-	c      net.Conn
+	wmu sync.Mutex
+	// Exactly one of bw/vec is non-nil: bw is the buffered-copy write path,
+	// vec the vectored-gather path for real sockets.
+	bw  *bufio.Writer
+	vec *vecWriter
+	rmu sync.Mutex
+	br  *bufio.Reader
+	c   Stream
+
 	closed sync.Once
 	// Frame counters are atomic: Stats must not contend with a reader
 	// blocked in Recv, which holds rmu across the wait for data.
 	sent     atomic.Uint64
 	received atomic.Uint64
-	// Header scratch lives on the Conn (not the stack) because slices
-	// passed through the io interfaces escape; wh is guarded by wmu, rh
-	// by rmu.
+	// Write-header scratch lives on the Conn (not the stack) because slices
+	// passed through the io interfaces escape; guarded by wmu.
 	wh [headerLen]byte
-	rh [headerLen]byte
 }
 
+// connBuf is the size of the read buffer and (in bufio mode) the write
+// buffer: frames at or under this ride the single-fill receive path.
+const connBuf = 64 << 10
+
 // NewConn wraps c in a framed connection.
-func NewConn(c net.Conn) *Conn {
-	return &Conn{
-		bw: bufio.NewWriterSize(c, 64<<10),
-		br: bufio.NewReaderSize(c, 64<<10),
+func NewConn(c Stream) *Conn {
+	conn := &Conn{
+		br: bufio.NewReaderSize(c, connBuf),
 		c:  c,
 	}
+	if vectorable(c) {
+		conn.vec = newVecWriter(c)
+	} else {
+		conn.bw = bufio.NewWriterSize(c, connBuf)
+	}
+	return conn
+}
+
+// vectorable reports whether the stream supports true scatter-gather
+// writes. Only kernel sockets do — net.Buffers degenerates to one write
+// per slice everywhere else, which would be strictly worse than bufio.
+func vectorable(c Stream) bool {
+	switch c.(type) {
+	case *net.TCPConn, *net.UnixConn:
+		return true
+	}
+	return false
 }
 
 // RemoteAddr reports the address of the peer.
@@ -240,28 +281,51 @@ func putHeader(h []byte, t MsgType, seq uint64, n int) {
 // Write queues m on the connection without flushing. Use it to batch; pair
 // with Flush. Safe for concurrent use. Writing a pooled message (one
 // returned by Recv) consumes it: the body is recycled once it has been
-// copied toward the kernel.
+// copied toward the kernel (in vectored mode, possibly not until the
+// flush — either way the caller must not touch it after Write).
 func (c *Conn) Write(m *Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.writeLocked(m)
+	return c.writeLocked(m.Type, m.Seq, m.Body, m)
 }
 
-func (c *Conn) writeLocked(m *Msg) error {
-	if !validType(m.Type) {
-		return fmt.Errorf("%w: %d", ErrBadType, uint8(m.Type))
+// WriteFrame is Write for callers assembling a frame from parts: it queues
+// a frame of the given type, sequence and body without constructing a Msg
+// (whose pointer would escape to the heap at every call site on the hot
+// path). The body is copied before WriteFrame returns; the caller may
+// reuse it immediately.
+func (c *Conn) WriteFrame(t MsgType, seq uint64, body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.writeLocked(t, seq, body, nil)
+}
+
+// writeLocked queues one frame; wmu must be held. m, when non-nil, is the
+// pooled message owning body — vectored mode may retain it until the next
+// flush instead of copying; either way it is consumed.
+func (c *Conn) writeLocked(t MsgType, seq uint64, body []byte, m *Msg) error {
+	if !validType(t) {
+		return fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 	}
-	if len(m.Body) > BodyLimit() {
-		return fmt.Errorf("%w: %d bytes", ErrTooBig, len(m.Body))
+	if len(body) > BodyLimit() {
+		return fmt.Errorf("%w: %d bytes", ErrTooBig, len(body))
 	}
-	putHeader(c.wh[:], m.Type, m.Seq, len(m.Body))
+	putHeader(c.wh[:], t, seq, len(body))
+	if c.vec != nil {
+		c.vec.queue(c.wh[:], body, m)
+		c.sent.Add(1)
+		if c.vec.pending >= maxVecPending {
+			return c.flushLocked()
+		}
+		return nil
+	}
 	if _, err := c.bw.Write(c.wh[:]); err != nil {
 		return fmt.Errorf("wire: write header: %w", err)
 	}
 	// bufio either copies the body into its buffer or hands it to the
 	// kernel before returning, so the caller's (or the pool's) reuse of
 	// the array after this point is safe.
-	if _, err := c.bw.Write(m.Body); err != nil {
+	if _, err := c.bw.Write(body); err != nil {
 		return fmt.Errorf("wire: write body: %w", err)
 	}
 	c.sent.Add(1)
@@ -269,10 +333,21 @@ func (c *Conn) writeLocked(m *Msg) error {
 	return nil
 }
 
-// Flush pushes all queued frames to the kernel.
+// Flush pushes all queued frames to the kernel — one writev in vectored
+// mode, one write otherwise.
 func (c *Conn) Flush() error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *Conn) flushLocked() error {
+	if c.vec != nil {
+		if err := c.vec.flush(); err != nil {
+			return fmt.Errorf("wire: flush: %w", err)
+		}
+		return nil
+	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("wire: flush: %w", err)
 	}
@@ -283,13 +358,21 @@ func (c *Conn) Flush() error {
 func (c *Conn) Send(m *Msg) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	if err := c.writeLocked(m); err != nil {
+	if err := c.writeLocked(m.Type, m.Seq, m.Body, m); err != nil {
 		return err
 	}
-	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("wire: flush: %w", err)
+	return c.flushLocked()
+}
+
+// SendFrame is Send without a Msg allocation at the call site; the body is
+// not retained.
+func (c *Conn) SendFrame(t MsgType, seq uint64, body []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeLocked(t, seq, body, nil); err != nil {
+		return err
 	}
-	return nil
+	return c.flushLocked()
 }
 
 // recvChunk bounds how much body storage Recv commits before the bytes
@@ -298,6 +381,15 @@ func (c *Conn) Send(m *Msg) error {
 // grows only as data shows up.
 const recvChunk = 1 << 20
 
+// mapReadErr folds the stream-is-gone error family into ErrClosed.
+func mapReadErr(op string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
+		return ErrClosed
+	}
+	return fmt.Errorf("wire: %s: %w", op, err)
+}
+
 // Recv blocks until the next frame arrives and returns it. The returned
 // message is pooled: the caller owns it until Msg.Release (or a Write,
 // which consumes it), and must copy out any body bytes it keeps.
@@ -305,16 +397,17 @@ const recvChunk = 1 << 20
 // A frame is validated — magic, known type, reserved byte, body within
 // the shared BodyLimit — before any body storage is committed, so a
 // hostile or corrupt header cannot force a max-size allocation.
+//
+// The header is parsed in place with a buffered peek, and a frame that
+// fits the read buffer is filled and copied out in one step — one read
+// from the stream for header plus body, where the old path's two
+// ReadFulls could cost two.
 func (c *Conn) Recv() (*Msg, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
-	h := c.rh[:]
-	if _, err := io.ReadFull(c.br, h); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
-			errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrClosedPipe) {
-			return nil, ErrClosed
-		}
-		return nil, fmt.Errorf("wire: read header: %w", err)
+	h, err := c.br.Peek(headerLen)
+	if err != nil {
+		return nil, mapReadErr("read header", err)
 	}
 	if binary.BigEndian.Uint16(h[0:2]) != magic {
 		return nil, ErrBadMagic
@@ -329,9 +422,22 @@ func (c *Conn) Recv() (*Msg, error) {
 	m := newRecvMsg(min(n, recvChunk))
 	m.Type = MsgType(h[2])
 	m.Seq = binary.BigEndian.Uint64(h[4:12])
-	if err := c.readBody(m, n); err != nil {
-		m.Release()
-		return nil, err
+	if headerLen+n <= c.br.Size() {
+		// Single-fill fast path: peek the whole frame (one stream read when
+		// it is not yet buffered), copy the body out, consume it.
+		buf, err := c.br.Peek(headerLen + n)
+		if err != nil {
+			m.Release()
+			return nil, mapReadErr("read body", err)
+		}
+		copy(m.Body, buf[headerLen:])
+		c.br.Discard(headerLen + n)
+	} else {
+		c.br.Discard(headerLen)
+		if err := c.readBody(m, n); err != nil {
+			m.Release()
+			return nil, err
+		}
 	}
 	c.received.Add(1)
 	return m, nil
@@ -342,7 +448,7 @@ func (c *Conn) Recv() (*Msg, error) {
 func (c *Conn) readBody(m *Msg, n int) error {
 	if n <= recvChunk {
 		if _, err := io.ReadFull(c.br, m.Body); err != nil {
-			return fmt.Errorf("wire: read body: %w", err)
+			return mapBodyErr(err)
 		}
 		return nil
 	}
@@ -357,12 +463,19 @@ func (c *Conn) readBody(m *Msg, n int) error {
 		seg := body[len(body) : len(body)+step]
 		if _, err := io.ReadFull(c.br, seg); err != nil {
 			m.Body = body
-			return fmt.Errorf("wire: read body: %w", err)
+			return mapBodyErr(err)
 		}
 		body = body[:len(body)+step]
 	}
 	m.Body = body
 	return nil
+}
+
+// mapBodyErr preserves the old readBody error shape: a stream that died
+// mid-body is a plain read error, not ErrClosed — the frame is torn either
+// way, but the diagnostic names the failing read.
+func mapBodyErr(err error) error {
+	return fmt.Errorf("wire: read body: %w", err)
 }
 
 // Stats reports the number of frames sent and received so far. The two
@@ -375,7 +488,14 @@ func (c *Conn) Stats() (sent, received uint64) {
 // Close tears the connection down. It is safe to call more than once.
 func (c *Conn) Close() error {
 	var err error
-	c.closed.Do(func() { err = c.c.Close() })
+	c.closed.Do(func() {
+		c.wmu.Lock()
+		if c.vec != nil {
+			c.vec.drop()
+		}
+		c.wmu.Unlock()
+		err = c.c.Close()
+	})
 	return err
 }
 
@@ -384,4 +504,145 @@ func (c *Conn) Close() error {
 func Pipe() (*Conn, *Conn) {
 	a, b := net.Pipe()
 	return NewConn(a), NewConn(b)
+}
+
+// --- vectored write path ----------------------------------------------------
+
+// maxVecPending auto-flushes the gather list once this many bytes are
+// queued, bounding how much memory (and how many pooled bodies) an
+// unflushed burst can pin.
+const maxVecPending = 256 << 10
+
+// vecChunk is the arena chunk size: headers and small bodies are copied
+// into chunks so adjacent frames merge into one iovec.
+const vecChunk = 64 << 10
+
+// vecRetain is the body size above which a pooled message is retained by
+// reference until the flush instead of being copied into the arena: the
+// iovec entry is cheaper than the copy for large bodies, and the pool
+// contract (caller must not touch a written message) makes the retention
+// safe.
+const vecRetain = 4 << 10
+
+// vecFlushes / vecFrames count vectored flushes (writev calls issued on
+// behalf of queued frames) and the frames they carried, for TransportStats.
+var (
+	vecFlushes atomic.Uint64
+	vecFrames  atomic.Uint64
+)
+
+// VecStats reports process-wide vectored-write activity: gather flushes
+// (each one writev burst) and the frames those flushes carried. The ratio
+// frames/flushes is the syscall batching factor.
+func VecStats() (flushes, frames uint64) {
+	return vecFlushes.Load(), vecFrames.Load()
+}
+
+// vecWriter gathers queued frames into a net.Buffers for a single writev
+// at flush. Headers and small bodies are copied into arena chunks (and
+// merged into one iovec when adjacent); large pooled bodies are referenced
+// in place and released after the flush. Guarded by the Conn's wmu.
+type vecWriter struct {
+	w    io.Writer
+	bufs net.Buffers
+	// arena is the current copy chunk (len = used). tail tracks the iovec
+	// that is the growing end of arena so consecutive copies extend it
+	// instead of adding entries; tailIdx is -1 when the last iovec is a
+	// referenced body or a retired chunk.
+	arena     []byte
+	spare     [][]byte // full chunks, kept until flush (first is reused after)
+	tailIdx   int
+	tailStart int
+	retained  []*Msg
+	pending   int
+	frames    int
+}
+
+func newVecWriter(w io.Writer) *vecWriter {
+	return &vecWriter{
+		w:       w,
+		arena:   make([]byte, 0, vecChunk),
+		tailIdx: -1,
+	}
+}
+
+// queue adds one frame (header + body) to the gather list. m, when
+// non-nil, is the pooled message owning body.
+func (v *vecWriter) queue(hdr, body []byte, m *Msg) {
+	v.copyIn(hdr)
+	if m != nil && m.pooled && len(body) >= vecRetain {
+		v.bufs = append(v.bufs, body)
+		v.tailIdx = -1
+		v.pending += len(body)
+		v.retained = append(v.retained, m)
+	} else {
+		v.copyIn(body)
+		m.Release()
+	}
+	v.frames++
+}
+
+// copyIn appends p to the arena, extending the tail iovec when the bytes
+// land contiguously after it.
+func (v *vecWriter) copyIn(p []byte) {
+	for len(p) > 0 {
+		if cap(v.arena) == len(v.arena) {
+			v.spare = append(v.spare, v.arena)
+			v.arena = make([]byte, 0, max(vecChunk, len(p)))
+			v.tailIdx = -1
+		}
+		start := len(v.arena)
+		n := copy(v.arena[start:cap(v.arena)], p)
+		v.arena = v.arena[:start+n]
+		if v.tailIdx >= 0 {
+			v.bufs[v.tailIdx] = v.arena[v.tailStart:len(v.arena)]
+		} else {
+			v.bufs = append(v.bufs, v.arena[start:len(v.arena)])
+			v.tailIdx = len(v.bufs) - 1
+			v.tailStart = start
+		}
+		v.pending += n
+		p = p[n:]
+	}
+}
+
+// flush issues the gathered frames as one vectored write and resets the
+// writer. The iovec list is consumed by net.Buffers.WriteTo (writev under
+// the hood, looping only if the kernel accepts less than everything).
+func (v *vecWriter) flush() error {
+	if len(v.bufs) == 0 {
+		return nil
+	}
+	bufs := v.bufs
+	_, err := bufs.WriteTo(v.w)
+	vecFlushes.Add(1)
+	vecFrames.Add(uint64(v.frames))
+	v.reset()
+	return err
+}
+
+// drop discards queued frames without writing (close path).
+func (v *vecWriter) drop() { v.reset() }
+
+func (v *vecWriter) reset() {
+	for _, m := range v.retained {
+		m.Release()
+	}
+	v.retained = v.retained[:0]
+	for i := range v.bufs {
+		v.bufs[i] = nil
+	}
+	v.bufs = v.bufs[:0]
+	if len(v.spare) > 0 {
+		v.arena = v.spare[0][:0]
+		for i := range v.spare {
+			v.spare[i] = nil
+		}
+		v.spare = v.spare[:0]
+	} else {
+		v.arena = v.arena[:0]
+	}
+	v.tailIdx = -1
+	v.pending = 0
+	v.frames = 0
 }
