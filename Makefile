@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull chaos crash
+.PHONY: verify build fmtcheck vet test race benchsmoke bench benchfull chaos crash fuzzsmoke
 
 # Tier-1 verification: everything must be green before a merge.
-verify: build fmtcheck vet test race benchsmoke chaos crash
+verify: build fmtcheck vet test race benchsmoke chaos crash fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -30,7 +30,7 @@ race:
 # scripted link kills, flap schedules, session resumes and chain healing
 # are timing-sensitive, so -count=2 shakes out order-dependent passes.
 chaos:
-	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker|Partition|PeerDown' ./internal/core/... ./internal/wire
+	$(GO) test -race -count=2 -run 'Chaos|Resume|Reconnect|Flap|Resurrect|Disconnect|Kill|Breaker|Partition|PeerDown|Cancel|Deadline' ./internal/core/... ./internal/wire
 
 # The crash-restart suite: a re-exec'd server process is SIGKILLed
 # mid-burst and restarted on its write-ahead journal (DESIGN.md §6.5);
@@ -50,6 +50,7 @@ benchsmoke:
 	$(GO) run ./cmd/clambench -fanout -fanout-subs 64 -fanout-events 20
 	$(GO) run ./cmd/clambench -mesh -mesh-iters 50
 	$(GO) run ./cmd/clambench -transport -transport-iters 100
+	$(GO) run ./cmd/clambench -overload -overload-dur 300ms
 
 # Reproducible bench pipeline: regenerates BENCH_3.json (Fig 5.1 suite,
 # pooling ablation and the dispatch-throughput matrix, with the embedded
@@ -66,7 +67,16 @@ bench:
 	$(GO) run ./cmd/clambench -fanout -fanout-json BENCH_4.json
 	$(GO) run ./cmd/clambench -mesh -mesh-json BENCH_5.json
 	$(GO) run ./cmd/clambench -transport -transport-json BENCH_6.json
+	$(GO) run ./cmd/clambench -overload -overload-json BENCH_7.json
 
 # The full testing.B suite, for apples-to-apples -benchmem numbers.
 benchfull:
 	$(GO) test -bench=. -benchmem
+
+# Short coverage-guided fuzzing of the wire parsers a hostile peer can
+# reach pre-session: the frame header and the MsgCancel body. A few
+# seconds each is enough to catch parser regressions in CI; run
+# `go test -fuzz FuzzFrameHeader ./internal/wire` for a real campaign.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzFrameHeader' -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz 'FuzzCancelBody' -fuzztime 5s ./internal/wire

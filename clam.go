@@ -239,6 +239,12 @@ type JournalStats = core.JournalStats
 // MetricsSnapshot.
 type TransportStats = core.TransportStats
 
+// OverloadStats counts deadline-budget and cancellation activity: calls
+// carrying budgets, calls shed before execution (budget spent, cancelled,
+// or refused at admission), cancels received/propagated, and the
+// admission layer's queue-wait estimate. Appears in MetricsSnapshot.
+type OverloadStats = core.OverloadStats
+
 // MulticastOption configures a topic declared with
 // Server.RegisterMulticast.
 type MulticastOption = core.MulticastOption
@@ -312,6 +318,13 @@ var (
 	// be made whole, so the client fails definitively instead of silently
 	// losing calls.
 	ErrReplayGap = core.ErrReplayGap
+	// ErrDeadlineExceeded marks a call the server refused without
+	// executing because its deadline budget was spent (or a cancel
+	// reached it first) — a definitive "did not run", retryable under
+	// WithRetry for methods marked idempotent. Calls that were already
+	// executing when their deadline passed return it too, via the
+	// handler's context.
+	ErrDeadlineExceeded = core.ErrDeadlineExceeded
 )
 
 // Server options.
@@ -383,6 +396,19 @@ var (
 	// the 1 MiB default. No-op on platforms without the transport.
 	// Example: clam.NewServer(lib, clam.WithSharedMemory(0)).
 	WithSharedMemory = core.WithSharedMemory
+	// WithMaxQueueDelay arms the admission layer: synchronous calls whose
+	// estimated dispatch-queue wait exceeds d — or would alone exhaust
+	// the call's deadline budget — are refused at the read loop with
+	// ErrDeadlineExceeded instead of queueing. Zero (the default)
+	// disables admission control.
+	// Example: clam.NewServer(lib, clam.WithMaxQueueDelay(50*time.Millisecond)).
+	WithMaxQueueDelay = core.WithMaxQueueDelay
+	// WithoutDeadlineShedding disables expired-budget shedding — the
+	// ablation baseline for the overload goodput matrix (clambench
+	// -overload). Cancelled calls are still shed: a cancelled call must
+	// never run.
+	// Example: clam.NewServer(lib, clam.WithoutDeadlineShedding()).
+	WithoutDeadlineShedding = core.WithoutDeadlineShedding
 )
 
 // Dial options.

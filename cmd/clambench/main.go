@@ -107,6 +107,10 @@ func main() {
 		runTransport(*transportN, *transportJSON)
 		return
 	}
+	if *overloadOnly {
+		runOverload(*overloadDur, *overloadWorkers, *overloadHold, *overloadDeadline, *overloadJSON)
+		return
+	}
 
 	fmt.Println("CLAM reproduction — Figure 5.1: Procedure Call Costs")
 	fmt.Println("(paper: MicroVAX-II, 4.3BSD, 1988; here: this machine, Go)")

@@ -1,0 +1,253 @@
+// Overload goodput matrix (BENCH_7): what deadline-budget shedding buys
+// when offered load exceeds capacity. Each cell boots a server whose
+// capacity is fixed (W dispatch workers, each call holding the handler
+// for -overload-hold), then drives it closed-loop with mult×W clients,
+// each call carrying a -overload-deadline budget. Goodput counts only
+// calls that completed successfully within their deadline.
+//
+// The shed column runs the §6.8 machinery end to end: budgets on the
+// wire, expired-budget shedding at dispatch, and the admission layer
+// (WithMaxQueueDelay = deadline/2) refusing calls at the read loop once
+// the queue-wait estimate says they are doomed — so a refused client
+// learns in microseconds, not after burning its whole deadline, and the
+// workers spend their time on calls that can still make it. The noshed
+// column is the pre-change ablation: WithoutDeadlineShedding on the
+// server and no budgets from the clients, so every call executes in
+// arrival order no matter how dead it is — the classic congestion
+// collapse this PR exists to prevent.
+//
+// The acceptance bar (EXPERIMENTS.md §BENCH_7): at ≥2× offered overload,
+// goodput with shedding at least 2× the no-shed ablation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clam/internal/benchlib"
+	"clam/internal/core"
+)
+
+var (
+	overloadOnly     = flag.Bool("overload", false, "run only the overload goodput matrix (BENCH_7 rows)")
+	overloadDur      = flag.Duration("overload-dur", time.Second, "measured wall time per overload cell")
+	overloadWorkers  = flag.Int("overload-workers", 4, "dispatch workers (server capacity = workers/hold)")
+	overloadHold     = flag.Duration("overload-hold", time.Millisecond, "handler hold time per call")
+	overloadDeadline = flag.Duration("overload-deadline", 2500*time.Microsecond, "per-call deadline budget")
+	overloadJSON     = flag.String("overload-json", "", "write overload results (BENCH_7.json) to this path")
+)
+
+// overloadCell is one matrix cell: an offered-load multiplier (clients =
+// mult × workers) with shedding on or off.
+type overloadCell struct {
+	mult int
+	shed bool
+}
+
+// overloadRow is one measured cell, as it lands in BENCH_7.json.
+type overloadRow struct {
+	Name        string  `json:"name"`
+	Mult        int     `json:"offered_mult"`
+	Shed        bool    `json:"shed"`
+	Clients     int     `json:"clients"`
+	Attempts    uint64  `json:"attempts"`
+	Successes   uint64  `json:"successes"`
+	ShedByPeer  uint64  `json:"shed_by_server"`
+	GoodputPS   float64 `json:"goodput_per_sec"`
+	SuccessRate float64 `json:"success_rate"`
+}
+
+type overloadReport struct {
+	Schema     string        `json:"schema"`
+	Go         string        `json:"go"`
+	Workers    int           `json:"workers"`
+	HoldUS     int64         `json:"hold_us"`
+	DeadlineUS int64         `json:"deadline_us"`
+	CellDurMS  int64         `json:"cell_dur_ms"`
+	CapacityPS float64       `json:"capacity_per_sec"`
+	Rows       []overloadRow `json:"rows"`
+}
+
+// runOverloadCell boots one server+client pair and drives it closed-loop
+// for dur, returning attempts, in-deadline successes, and server-side
+// sheds. Every client goroutine targets its own pinger object, so the
+// per-object lanes spread the load across the worker pool instead of
+// serializing it behind one object.
+func runOverloadCell(cell overloadCell, workers int, hold, deadline, dur time.Duration) overloadRow {
+	dir, err := os.MkdirTemp("", "clambench-ov")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	srvOpts := []core.ServerOption{core.WithDispatchWorkers(workers)}
+	if cell.shed {
+		srvOpts = append(srvOpts, core.WithMaxQueueDelay(deadline/2))
+	} else {
+		srvOpts = append(srvOpts, core.WithoutDeadlineShedding())
+	}
+	fx, err := benchlib.Boot("unix", dir, srvOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fx.Server.Close()
+
+	clients := cell.mult * workers
+	if _, err := fx.PublishPingers(clients); err != nil {
+		log.Fatal(err)
+	}
+	// One dialed client per load generator: each is its own session, as
+	// real overload is many callers, not one caller multiplexing.
+	rems := make([]*core.Remote, clients)
+	for i := range rems {
+		c, err := core.Dial(fx.Network, fx.Addr, quietClient())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer c.Close()
+		if rems[i], err = c.NamedObject(fmt.Sprintf("pinger%d", i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	holdUS := hold.Microseconds()
+	var attempts, successes atomic.Uint64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	worker := func(rem *core.Remote) {
+		defer wg.Done()
+		var out int64
+		for !stop.Load() {
+			attempts.Add(1)
+			if cell.shed {
+				// The deadline rides the context onto the wire as a
+				// budget; an in-deadline reply is a success by
+				// construction — the call would have errored otherwise.
+				ctx, cancel := context.WithTimeout(context.Background(), deadline)
+				err := rem.CallIntoCtx(ctx, "Hold", []any{&out}, holdUS)
+				cancel()
+				if err == nil {
+					successes.Add(1)
+				} else {
+					// Refused or timed out: back off a breath so a
+					// rejected client does not spin the read loop.
+					time.Sleep(deadline / 8)
+				}
+				continue
+			}
+			// Ablation: no budget, no cancel — the client waits for the
+			// real reply however late, and scores it against the deadline
+			// after the fact. This is the pre-change system verbatim.
+			start := time.Now()
+			if err := rem.CallInto("Hold", []any{&out}, holdUS); err == nil &&
+				time.Since(start) <= deadline {
+				successes.Add(1)
+			}
+		}
+	}
+
+	// Warmup: let the queue and the admission EWMA reach steady state
+	// before counting.
+	wg.Add(clients)
+	for i := range rems {
+		go worker(rems[i])
+	}
+	time.Sleep(dur / 4)
+	attempts.Store(0)
+	successes.Store(0)
+	start := time.Now()
+	time.Sleep(dur)
+	att, succ := attempts.Load(), successes.Load()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	m := fx.Server.Metrics()
+	shedTotal := m.Overload.ShedExpired + m.Overload.ShedCancelled + m.Overload.ShedAdmission
+	name := fmt.Sprintf("goodput_%dx_noshed", cell.mult)
+	if cell.shed {
+		name = fmt.Sprintf("goodput_%dx_shed", cell.mult)
+	}
+	row := overloadRow{
+		Name:       name,
+		Mult:       cell.mult,
+		Shed:       cell.shed,
+		Clients:    clients,
+		Attempts:   att,
+		Successes:  succ,
+		ShedByPeer: shedTotal,
+		GoodputPS:  float64(succ) / elapsed.Seconds(),
+	}
+	if att > 0 {
+		row.SuccessRate = float64(succ) / float64(att)
+	}
+	return row
+}
+
+// runOverload measures the matrix, prints the table, and optionally
+// writes BENCH_7.json.
+func runOverload(dur time.Duration, workers int, hold, deadline time.Duration, jsonOut string) {
+	capacity := float64(workers) / hold.Seconds()
+	fmt.Println("CLAM overload matrix — BENCH_7: goodput under offered overload, shedding on/off")
+	fmt.Printf("(%d workers × %v hold ⇒ capacity %.0f calls/s; deadline %v; %v per cell)\n",
+		workers, hold, capacity, deadline, dur)
+	fmt.Println()
+	fmt.Printf("%-20s %8s %10s %10s %12s %9s %10s\n",
+		"cell", "clients", "attempts", "successes", "goodput/s", "success%", "srv sheds")
+
+	rep := overloadReport{
+		Schema:     "clam-bench-overload-v1",
+		Go:         runtime.Version(),
+		Workers:    workers,
+		HoldUS:     hold.Microseconds(),
+		DeadlineUS: deadline.Microseconds(),
+		CellDurMS:  dur.Milliseconds(),
+		CapacityPS: capacity,
+	}
+	byName := map[string]overloadRow{}
+	for _, cell := range []overloadCell{
+		{1, true}, {1, false},
+		{2, true}, {2, false},
+		{4, true}, {4, false},
+	} {
+		row := runOverloadCell(cell, workers, hold, deadline, dur)
+		rep.Rows = append(rep.Rows, row)
+		byName[row.Name] = row
+		fmt.Printf("%-20s %8d %10d %10d %12.0f %8.1f%% %10d\n",
+			row.Name, row.Clients, row.Attempts, row.Successes,
+			row.GoodputPS, row.SuccessRate*100, row.ShedByPeer)
+	}
+
+	shed4, noshed4 := byName["goodput_4x_shed"], byName["goodput_4x_noshed"]
+	fmt.Println()
+	fmt.Println("Acceptance checks:")
+	status := func(ok bool) string {
+		if ok {
+			return "PASS"
+		}
+		return "FAIL"
+	}
+	ok := shed4.GoodputPS >= 2*noshed4.GoodputPS && shed4.Successes > 0
+	fmt.Printf("  [%s] at 4x offered load, goodput with shedding >= 2x the no-shed ablation (%.0f/s vs %.0f/s)\n",
+		status(ok), shed4.GoodputPS, noshed4.GoodputPS)
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"clam"
 	"clam/internal/benchlib"
@@ -67,6 +68,8 @@ func main() {
 	meshSeed := flag.String("mesh-seed", "", "one live mesh member as network:address; its roster supplies the membership (alternative to -mesh-peer)")
 	shmOn := flag.Bool("shm", false, "offer same-host clients the shared-memory ring transport (unix listeners only; clients fall back to the socket)")
 	shmRing := flag.Int("shm-ring", 0, "per-direction shm ring size in bytes, rounded up to a power of two (0 = 1 MiB default); requires -shm")
+	maxQueueDelay := flag.Duration("max-queue-delay", 0, "refuse synchronous calls whose estimated dispatch-queue wait exceeds this, or would exhaust their deadline budget (0 = disabled)")
+	noShed := flag.Bool("no-shed", false, "disable expired-budget shedding (ablation: doomed calls execute anyway; cancels still shed)")
 	flag.Parse()
 
 	network, addr, ok := strings.Cut(*listen, ":")
@@ -135,6 +138,12 @@ func main() {
 	}
 	if *shmOn {
 		opts = append(opts, clam.WithSharedMemory(*shmRing))
+	}
+	if *maxQueueDelay > 0 {
+		opts = append(opts, clam.WithMaxQueueDelay(*maxQueueDelay))
+	}
+	if *noShed {
+		opts = append(opts, clam.WithoutDeadlineShedding())
 	}
 	srv := clam.NewServer(lib, opts...)
 
@@ -280,6 +289,12 @@ func main() {
 		fmt.Printf("clamd: transport — %d shm sessions, %d socket fallbacks, %d doorbell wakeups (%d parks), ring high-water %d B, %d writev flushes carrying %d frames\n",
 			tr.ShmSessions, tr.SocketFallbacks, tr.DoorbellWakeups, tr.DoorbellSleeps,
 			tr.RingHighWater, tr.WritevFlushes, tr.WritevFrames)
+	}
+	if o := m.Overload; o.BudgetedCalls > 0 || o.ShedExpired > 0 || o.ShedCancelled > 0 || o.ShedAdmission > 0 || o.CancelsReceived > 0 {
+		fmt.Printf("clamd: overload — %d budgeted calls, shed %d expired / %d cancelled / %d at admission, %d cancels received (%d mid-handler, %d propagated), queue-wait EWMA %s\n",
+			o.BudgetedCalls, o.ShedExpired, o.ShedCancelled, o.ShedAdmission,
+			o.CancelsReceived, o.HandlerCancels, o.CancelsPropagated,
+			time.Duration(o.QueueDelayEWMANanos))
 	}
 	if d := m.Dispatch; d.PerObject {
 		fmt.Printf("clamd: dispatch — %d workers, peak parallelism %d, %d queued, %d worker stalls\n",

@@ -387,6 +387,10 @@ type ClientMetricsSnapshot struct {
 	// ServerUnresponsive reports whether the heartbeat declared the
 	// server dead and tore the connection down.
 	ServerUnresponsive bool
+	// CancelsSent counts call seqs this client shipped in MsgCancel
+	// frames: abandoned calls announced live plus cancels re-announced
+	// during a resume — the sending side of CancelsPropagated.
+	CancelsSent uint64
 }
 
 // Metrics snapshots the client's robustness counters.
@@ -394,6 +398,7 @@ func (c *Client) Metrics() ClientMetricsSnapshot {
 	snap := ClientMetricsSnapshot{
 		LinkStats:          c.link.snapshot(),
 		ServerUnresponsive: c.hbLost.Load(),
+		CancelsSent:        c.link.cancels.Load(),
 	}
 	snap.Resilience.foldLink(c.link, nil)
 	return snap
@@ -728,6 +733,19 @@ func (c *Client) tryResume() (ok, fatal bool) {
 	}
 	replayed := 0
 	werr := error(nil)
+	if len(c.cancelled) > 0 {
+		// Cancels recorded against still-unacked frames ship BEFORE the
+		// replay: the server notes the seqs first and sheds the replayed
+		// calls instead of executing them — a cancelled numbered call never
+		// runs after a resurrection.
+		seqs := make([]uint64, 0, len(c.cancelled))
+		for cs := range c.cancelled {
+			seqs = append(seqs, cs)
+		}
+		if werr = rc.Write(&wire.Msg{Type: wire.MsgCancel, Body: wire.AppendCancelBody(nil, seqs...)}); werr == nil {
+			c.link.cancels.Add(uint64(len(seqs)))
+		}
+	}
 	for _, ent := range c.rt {
 		if werr = rc.Write(&wire.Msg{Type: wire.MsgCall, Seq: ent.seq, Body: ent.body}); werr != nil {
 			break
@@ -882,6 +900,13 @@ var ErrDisconnected = errors.New("clam: connection lost (session resuming)")
 // re-establish its state over a fresh session.
 var ErrReplayGap = errors.New("clam: resume abandoned: unacked calls were dropped from the bounded replay buffer")
 
+// ErrDeadlineExceeded is wrapped by errors from calls a server shed
+// without executing: the call's deadline budget was already spent when a
+// worker reached it, or admission control refused it under overload.
+// Unlike a timeout, a shed call definitively did not run; the failure is
+// retryable under WithRetry and composes with the upstream breaker.
+var ErrDeadlineExceeded = errors.New("clam: deadline exceeded (call shed without executing)")
+
 // Sync flushes the batch and performs an empty round trip, the "special
 // synchronization procedure" of §3.4: when it returns, every previously
 // issued asynchronous call has been executed by the server.
@@ -931,22 +956,33 @@ func (c *Client) callRetry(ctx context.Context, h handle.Handle, method string, 
 		attempts = c.retry.Attempts
 	}
 	var err error
+	// One timer serves every backoff in the loop, Reset between attempts
+	// (the pooled call-timer pattern): the early-return branches never
+	// leave it fired-but-undrained, because Reset only follows a receive.
+	var backoff *time.Timer
+	defer func() {
+		if backoff != nil {
+			backoff.Stop()
+		}
+	}()
 	for a := 0; a < attempts; a++ {
 		if a > 0 {
 			c.link.retries.Add(1)
-			t := time.NewTimer(c.retry.delay(a))
+			if backoff == nil {
+				backoff = time.NewTimer(c.retry.delay(a))
+			} else {
+				backoff.Reset(c.retry.delay(a))
+			}
 			select {
-			case <-t.C:
+			case <-backoff.C:
 			case <-ctx.Done():
-				t.Stop()
 				return ctx.Err()
 			case <-c.closedCh:
-				t.Stop()
 				return ErrClientClosed
 			}
 		}
 		err = c.callOnce(ctx, h, method, rets, args)
-		if err == nil || !(errors.Is(err, ErrCallTimeout) || errors.Is(err, ErrDisconnected)) {
+		if err == nil || !(errors.Is(err, ErrCallTimeout) || errors.Is(err, ErrDisconnected) || errors.Is(err, ErrDeadlineExceeded)) {
 			return err
 		}
 	}
@@ -967,11 +1003,26 @@ func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, r
 		// reach; WithRetry's backoff rides out the resume.
 		return ErrDisconnected
 	}
+	// The call carries the caller's remaining deadline as a microsecond
+	// budget (0 = none): each hop anchors it to frame arrival, so queue
+	// wait and relay time downstream count against this ctx's deadline.
+	var budget uint64
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			rem := time.Until(dl)
+			if rem <= 0 {
+				return context.DeadlineExceeded
+			}
+			if budget = uint64(rem / time.Microsecond); budget == 0 {
+				budget = 1
+			}
+		}
+	}
 	seq := c.seq.Add(1)
 	w := c.waits.arm(seq)
 	defer c.waits.disarm(seq)
 	c.bmu.Lock()
-	err := c.appendCallLocked(seq, h, method, args)
+	err := c.appendCallLocked(seq, budget, h, method, args)
 	if err != nil {
 		c.bmu.Unlock()
 		return err // encoding failure: the caller's arguments, not the link
@@ -984,6 +1035,11 @@ func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, r
 	}
 	msg, err := c.await(ctx, seq, w)
 	if err != nil {
+		if errors.Is(err, ErrCallTimeout) || (ctx != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())) {
+			// The caller abandoned the call: tell the server (and through
+			// it, every hop still holding the call) to shed it.
+			c.abandonCall(seq, mark)
+		}
 		return err
 	}
 	// Any reply on the in-order stream acknowledges every frame sent
@@ -994,12 +1050,24 @@ func (c *Client) callOnce(ctx context.Context, h handle.Handle, method string, r
 	return err
 }
 
+// abandonCall propagates a caller's abandonment of callSeq: the cancel is
+// recorded against the numbered frame that carried the call (so a resume
+// never replays it into execution) and announced to the server
+// best-effort. frameSeq is 0 on unnumbered links, where only the live
+// announcement applies.
+func (c *Client) abandonCall(callSeq, frameSeq uint64) {
+	c.bmu.Lock()
+	c.noteCancelledLocked(callSeq, frameSeq)
+	c.bmu.Unlock()
+	c.sendCancel(callSeq)
+}
+
 // async queues an asynchronous call (no reply). Depending on batching
 // configuration it is shipped immediately or when the batch flushes.
 func (c *Client) async(h handle.Handle, method string, args []any) error {
 	c.bmu.Lock()
 	defer c.bmu.Unlock()
-	if err := c.appendCallLocked(0, h, method, args); err != nil {
+	if err := c.appendCallLocked(0, 0, h, method, args); err != nil {
 		return err
 	}
 	if !c.batching || c.batchCount >= c.maxBatch || c.batch.Len() >= maxBatchBytes {
@@ -1027,6 +1095,11 @@ func (c *Client) decodeReply(msg *wire.Msg, method string, rets []any, args []an
 	var rh rpc.ReplyHeader
 	if err := rh.Bundle(dec); err != nil {
 		return err
+	}
+	if rh.Status == rpc.StatusDeadline {
+		// The server shed the call without executing it; surface the
+		// retryable sentinel rather than a generic remote error.
+		return fmt.Errorf("%w: %s: %s", ErrDeadlineExceeded, method, rh.ErrMsg)
 	}
 	if err := rh.Err(); err != nil {
 		return err

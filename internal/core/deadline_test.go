@@ -1,0 +1,537 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// End-to-end deadline tests (§6.8): budget propagation onto the wire and
+// into handler contexts, wire-level cancellation of queued and running
+// calls, shedding of doomed work before dispatch, the admission layer,
+// and the ablation switch that turns shedding back off.
+
+// budgetOnlyCtx carries a deadline — so the client stamps a wire budget —
+// but its Done channel never fires: the client waits for the real reply
+// however late. This isolates the server-side shedding machinery from
+// client-side abandonment (which would also send a MsgCancel).
+type budgetOnlyCtx struct{ d time.Time }
+
+func (b budgetOnlyCtx) Deadline() (time.Time, bool) { return b.d, true }
+func (b budgetOnlyCtx) Done() <-chan struct{}       { return nil }
+func (b budgetOnlyCtx) Err() error                  { return nil }
+func (b budgetOnlyCtx) Value(any) any               { return nil }
+
+func budgetOnly(d time.Duration) context.Context {
+	return budgetOnlyCtx{d: time.Now().Add(d)}
+}
+
+// TestDeadlineBudgetReachesHandler: a context deadline on the caller's
+// side surfaces inside the handler as a real context deadline, decremented
+// by transit; a call without a deadline injects an unbounded context.
+func TestDeadlineBudgetReachesHandler(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var remUS int64
+	if err := obj.CallIntoCtx(budgetOnly(500*time.Millisecond), "Remaining", []any{&remUS}); err != nil {
+		t.Fatal(err)
+	}
+	if remUS <= 0 || remUS > 500_000 {
+		t.Errorf("handler's remaining budget = %dµs, want in (0, 500000]", remUS)
+	}
+
+	// No deadline: the handler must see no deadline either.
+	if err := obj.CallInto("Remaining", []any{&remUS}); err != nil {
+		t.Fatal(err)
+	}
+	if remUS != -1 {
+		t.Errorf("remaining without a deadline = %d, want -1", remUS)
+	}
+
+	m := srv.Metrics().Overload
+	if !m.SheddingEnabled {
+		t.Error("SheddingEnabled = false, want true by default")
+	}
+	if m.BudgetedCalls != 1 {
+		t.Errorf("BudgetedCalls = %d, want 1", m.BudgetedCalls)
+	}
+}
+
+// TestDeadlineExpiryCancelsRunningHandler: when the budget runs out
+// mid-execution, the handler's context fires, the handler bails with
+// ctx.Err(), and the caller sees the typed deadline error — without any
+// client-side abandonment in play.
+func TestDeadlineExpiryCancelsRunningHandler(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := srv.Handles().Get(obj.Handle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slp := o.(*sleeper)
+
+	var out string
+	err = obj.CallIntoCtx(budgetOnly(60*time.Millisecond), "Nap", []any{&out}, int64(1_000_000))
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Nap past its budget = %v, want ErrDeadlineExceeded", err)
+	}
+	completed, cancelled := slp.counts()
+	if completed != 0 || cancelled != 1 {
+		t.Errorf("sleeper counts = %d completed / %d cancelled, want 0/1", completed, cancelled)
+	}
+}
+
+// TestDeadlineShedsQueuedCall: a budgeted call whose budget is spent while
+// it waits behind a busy worker is refused at dispatch — fast StatusDeadline
+// reply, the handler never runs, ShedExpired moves.
+func TestDeadlineShedsQueuedCall(t *testing.T) {
+	srv, path := startServer(t, WithDispatchWorkers(1))
+	c := dialClient(t, path)
+	s1, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only worker for 200ms.
+	blocked := make(chan error, 1)
+	go func() {
+		var out string
+		blocked <- s1.CallInto("Nap", []any{&out}, int64(200_000))
+	}()
+	waitFor(t, 3*time.Second, "blocking Nap to start", func() bool {
+		return srv.Metrics().Calls["sleeper.Nap"] >= 1
+	})
+
+	// This call's 50ms budget is spent long before the worker frees up at
+	// ~200ms; the dispatcher must shed it without invoking the handler.
+	var remUS int64 = 12345
+	err = s2.CallIntoCtx(budgetOnly(50*time.Millisecond), "Remaining", []any{&remUS})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("queued call past its budget = %v, want ErrDeadlineExceeded", err)
+	}
+	if remUS != 12345 {
+		t.Errorf("out-parameter written (%d) for a shed call", remUS)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocking Nap: %v", err)
+	}
+
+	m := srv.Metrics()
+	if m.Overload.ShedExpired != 1 {
+		t.Errorf("ShedExpired = %d, want 1", m.Overload.ShedExpired)
+	}
+	if got := m.Calls["sleeper.Remaining"]; got != 0 {
+		t.Errorf("sleeper.Remaining ran %d times, want 0 (shed before dispatch)", got)
+	}
+}
+
+// TestWithoutDeadlineSheddingExecutesDoomedCall: the ablation switch. The
+// same doomed call executes anyway — arrival order, however dead — which
+// is exactly the congestion-collapse behavior BENCH_7 measures. The
+// handler still sees the (expired) deadline: only shedding is disabled,
+// never the context plumbing.
+func TestWithoutDeadlineSheddingExecutesDoomedCall(t *testing.T) {
+	srv, path := startServer(t, WithDispatchWorkers(1), WithoutDeadlineShedding())
+	c := dialClient(t, path)
+	s1, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blocked := make(chan error, 1)
+	go func() {
+		var out string
+		blocked <- s1.CallInto("Nap", []any{&out}, int64(200_000))
+	}()
+	waitFor(t, 3*time.Second, "blocking Nap to start", func() bool {
+		return srv.Metrics().Calls["sleeper.Nap"] >= 1
+	})
+
+	var remUS int64
+	if err := s2.CallIntoCtx(budgetOnly(50*time.Millisecond), "Remaining", []any{&remUS}); err != nil {
+		t.Fatalf("doomed call with shedding disabled = %v, want execution", err)
+	}
+	if remUS >= 0 {
+		t.Errorf("remaining budget = %dµs, want negative (budget overdrawn at execution)", remUS)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocking Nap: %v", err)
+	}
+
+	m := srv.Metrics().Overload
+	if m.SheddingEnabled {
+		t.Error("SheddingEnabled = true under WithoutDeadlineShedding")
+	}
+	if m.ShedExpired != 0 {
+		t.Errorf("ShedExpired = %d, want 0 with shedding disabled", m.ShedExpired)
+	}
+}
+
+// TestCancelStopsRunningHandler: a caller cancelling its context mid-call
+// ships a MsgCancel that lands on the in-flight handler's context — the
+// handler observes it and bails long before its own work completes.
+func TestCancelStopsRunningHandler(t *testing.T) {
+	srv, path := startServer(t)
+	c := dialClient(t, path)
+	obj, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := srv.Handles().Get(obj.Handle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slp := o.(*sleeper)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out string
+		done <- obj.CallIntoCtx(ctx, "Nap", []any{&out}, int64(2_000_000))
+	}()
+	waitFor(t, 3*time.Second, "Nap to start", func() bool {
+		return srv.Metrics().Calls["sleeper.Nap"] >= 1
+	})
+	time.Sleep(50 * time.Millisecond) // let the handler register as live
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled call reported success")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+	waitFor(t, 3*time.Second, "handler to observe the cancel", func() bool {
+		_, cancelled := slp.counts()
+		return cancelled == 1
+	})
+	completed, _ := slp.counts()
+	if completed != 0 {
+		t.Errorf("sleeper completed %d naps, want 0", completed)
+	}
+
+	if got := c.Metrics().CancelsSent; got != 1 {
+		t.Errorf("client CancelsSent = %d, want 1", got)
+	}
+	m := srv.Metrics().Overload
+	if m.CancelsReceived != 1 {
+		t.Errorf("CancelsReceived = %d, want 1", m.CancelsReceived)
+	}
+	if m.HandlerCancels != 1 {
+		t.Errorf("HandlerCancels = %d, want 1", m.HandlerCancels)
+	}
+	if m.ShedCancelled != 0 {
+		t.Errorf("ShedCancelled = %d, want 0 (the call was already running)", m.ShedCancelled)
+	}
+}
+
+// TestAdmissionRefusesWhenQueueEstimateHigh: with WithMaxQueueDelay set,
+// the read loop refuses a synchronous call outright once the queue-wait
+// estimate (pending frames × service-time EWMA / workers) exceeds the
+// ceiling — and admits again when the backlog clears.
+func TestAdmissionRefusesWhenQueueEstimateHigh(t *testing.T) {
+	srv, path := startServer(t, WithMaxQueueDelay(time.Millisecond))
+	c := dialClient(t, path)
+	obj, err := c.New("sleeper", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Poison the estimator: a deep backlog of slow frames.
+	srv.metrics.pendingFrames.Store(1000)
+	srv.metrics.svcTime.Store(int64(time.Millisecond))
+
+	var remUS int64
+	err = obj.CallInto("Remaining", []any{&remUS})
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("call against a saturated queue = %v, want ErrDeadlineExceeded", err)
+	}
+	if got := srv.Metrics().Overload.ShedAdmission; got != 1 {
+		t.Errorf("ShedAdmission = %d, want 1", got)
+	}
+
+	// Backlog clears: the same call is admitted and executes.
+	srv.metrics.pendingFrames.Store(0)
+	if err := obj.CallInto("Remaining", []any{&remUS}); err != nil {
+		t.Fatalf("call after backlog cleared: %v", err)
+	}
+	if remUS != -1 {
+		t.Errorf("Remaining = %d, want -1", remUS)
+	}
+}
+
+// TestDeadlineChainBudgetAndCancel: §6.8 across the three-address-space
+// chain (top client → middle server → bottom server). The budget rides the
+// relay — each hop anchors it at frame arrival, so transit and queue time
+// decrement it — and a cancel fired at the top interrupts the handler
+// running two hops down, with every tier's counters moving.
+func TestDeadlineChainBudgetAndCancel(t *testing.T) {
+	ch := startChain(t, nil)
+	sobj, _, err := ch.bottom.CreateInstance("sleeper", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.bottom.SetNamed("naps", sobj)
+	slp := sobj.(*sleeper)
+	if err := ch.mid.ImportNamed(ch.up, "naps"); err != nil {
+		t.Fatal(err)
+	}
+	naps, err := ch.top.NamedObject("naps")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Budget propagation: the deadline set at the top is visible — already
+	// partially spent — inside the bottom's handler.
+	var remUS int64
+	if err := naps.CallIntoCtx(budgetOnly(500*time.Millisecond), "Remaining", []any{&remUS}); err != nil {
+		t.Fatal(err)
+	}
+	if remUS <= 0 || remUS > 500_000 {
+		t.Errorf("remaining budget two hops down = %dµs, want in (0, 500000]", remUS)
+	}
+	if got := ch.mid.Metrics().Overload.BudgetedCalls; got != 1 {
+		t.Errorf("middle BudgetedCalls = %d, want 1", got)
+	}
+	if got := ch.bottom.Metrics().Overload.BudgetedCalls; got != 1 {
+		t.Errorf("bottom BudgetedCalls = %d, want 1", got)
+	}
+
+	// Cancel propagation: top cancels mid-call; the MsgCancel descends the
+	// chain hop by hop and lands on the bottom's running handler.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out string
+		done <- naps.CallIntoCtx(ctx, "Nap", []any{&out}, int64(2_000_000))
+	}()
+	waitFor(t, 3*time.Second, "Nap to start at the bottom", func() bool {
+		return ch.bottom.Metrics().Calls["sleeper.Nap"] >= 1
+	})
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled chained call reported success")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled chained call did not return")
+	}
+	waitFor(t, 3*time.Second, "bottom handler to observe the cancel", func() bool {
+		_, cancelled := slp.counts()
+		return cancelled == 1
+	})
+	completed, _ := slp.counts()
+	if completed != 0 {
+		t.Errorf("bottom sleeper completed %d naps, want 0", completed)
+	}
+
+	if got := ch.top.Metrics().CancelsSent; got != 1 {
+		t.Errorf("top CancelsSent = %d, want 1", got)
+	}
+	midO := ch.mid.Metrics().Overload
+	if midO.CancelsReceived != 1 {
+		t.Errorf("middle CancelsReceived = %d, want 1", midO.CancelsReceived)
+	}
+	if midO.CancelsPropagated != 1 {
+		t.Errorf("middle CancelsPropagated = %d, want 1", midO.CancelsPropagated)
+	}
+	botO := ch.bottom.Metrics().Overload
+	if botO.CancelsReceived != 1 {
+		t.Errorf("bottom CancelsReceived = %d, want 1", botO.CancelsReceived)
+	}
+	if botO.HandlerCancels != 1 {
+		t.Errorf("bottom HandlerCancels = %d, want 1", botO.HandlerCancels)
+	}
+}
+
+// TestChaosCancelDuringPartition is the §6.8 acceptance chaos scenario on
+// the three-address-space chain: a budgeted call is fired into a
+// partitioned link, the caller cancels mid-partition (the live MsgCancel
+// is swallowed too), and the link then dies. On resurrection the client
+// re-announces the cancel BEFORE replaying the unacknowledged frame, so
+// the middle server sheds the replayed call instead of executing it — a
+// cancelled numbered call never runs after a resurrection, and it never
+// reaches the bottom tier at all. Every counter is asserted exactly.
+func TestChaosCancelDuringPartition(t *testing.T) {
+	bottom, bottomPath := startServer(t)
+	sobj, _, err := bottom.CreateInstance("sleeper", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bottom.SetNamed("naps", sobj)
+	slp := sobj.(*sleeper)
+
+	mid := NewServer(testLibrary(t),
+		WithServerLog(func(format string, args ...any) { t.Logf("mid: "+format, args...) }),
+		WithResumeWindow(5*time.Second))
+	midPath := filepath.Join(t.TempDir(), "mid.sock")
+	if _, err := mid.Listen("unix", midPath); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mid.Close() })
+	up, err := mid.DialUpstream("unix", bottomPath,
+		WithClientLog(func(format string, args ...any) { t.Logf("mid-up: "+format, args...) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mid.ImportNamed(up, "naps"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, cl := chaosClient(t, midPath, WithCallTimeout(2*time.Second))
+	naps, err := c.NamedObject("naps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity round trip — and it acknowledges everything sent so far, so
+	// exactly one frame (the doomed Nap) is replayable later.
+	var remUS int64
+	if err := naps.CallInto("Remaining", []any{&remUS}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition the RPC link: the call frame and the live cancel both
+	// vanish into the partition, while the client believes they were sent.
+	cl.rpc().Partition()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	var out string
+	err = naps.CallIntoCtx(ctx, "Nap", []any{&out}, int64(1_000_000))
+	cancel()
+	if err == nil {
+		t.Fatal("call into a partition reported success")
+	}
+	if got := c.Metrics().CancelsSent; got != 1 {
+		t.Fatalf("CancelsSent mid-partition = %d, want 1", got)
+	}
+
+	// Heal, then kill the link: the client resurrects the session, sends
+	// the cancel re-announcement, and replays the lost frame.
+	cl.rpc().Heal()
+	cl.rpc().Sever()
+	waitFor(t, 5*time.Second, "client to resume the session", func() bool {
+		return c.Metrics().Resilience.Reconnects >= 1
+	})
+	waitFor(t, 5*time.Second, "replayed call to be shed", func() bool {
+		return mid.Metrics().Overload.ShedCancelled >= 1
+	})
+	// A post-resume round trip orders us after the replayed frame's fate.
+	waitFor(t, 3*time.Second, "post-resume call", func() bool {
+		return naps.CallInto("Remaining", []any{&remUS}) == nil
+	})
+
+	cm := c.Metrics()
+	if cm.CancelsSent != 2 {
+		t.Errorf("CancelsSent = %d, want exactly 2 (live announcement + resume re-announcement)", cm.CancelsSent)
+	}
+	if cm.Resilience.ReplayedCalls != 1 {
+		t.Errorf("ReplayedCalls = %d, want exactly 1 (the cancelled Nap frame)", cm.Resilience.ReplayedCalls)
+	}
+	mm := mid.Metrics()
+	if mm.Overload.CancelsReceived != 1 {
+		t.Errorf("middle CancelsReceived = %d, want exactly 1 (the partition ate the live one)", mm.Overload.CancelsReceived)
+	}
+	if mm.Overload.ShedCancelled != 1 {
+		t.Errorf("middle ShedCancelled = %d, want exactly 1", mm.Overload.ShedCancelled)
+	}
+	if mm.Resilience.DedupDrops != 0 {
+		t.Errorf("middle DedupDrops = %d, want 0 (the replayed frame was new to the server)", mm.Resilience.DedupDrops)
+	}
+	// The cancelled call never executed anywhere: not relayed, not run.
+	if got := bottom.Metrics().Calls["sleeper.Nap"]; got != 0 {
+		t.Errorf("bottom executed sleeper.Nap %d times, want 0", got)
+	}
+	completed, cancelled := slp.counts()
+	if completed != 0 || cancelled != 0 {
+		t.Errorf("bottom sleeper counts = %d completed / %d cancelled, want 0/0", completed, cancelled)
+	}
+	if got := up.Metrics().CancelsSent; got != 0 {
+		t.Errorf("middle propagated %d cancels downstream, want 0 (the call never started relaying)", got)
+	}
+}
+
+// TestMeshDeadlineAndCancel: the same two properties across a mesh-routed
+// hop — a client enters at member a, the object lives on member b. The
+// budget crosses the peer link, and a cancel interrupts the handler on
+// the owner, counted as propagated on the entry member.
+func TestMeshDeadlineAndCancel(t *testing.T) {
+	m := startMesh(t, []string{"a", "b"})
+	owned := m.createOwnedBy(t, "sleeper", "zz")
+	c := dialClient(t, m.paths["a"])
+	rem, err := c.NamedObject(owned["b"])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var remUS int64
+	if err := rem.CallIntoCtx(budgetOnly(500*time.Millisecond), "Remaining", []any{&remUS}); err != nil {
+		t.Fatal(err)
+	}
+	if remUS <= 0 || remUS > 500_000 {
+		t.Errorf("remaining budget across the mesh hop = %dµs, want in (0, 500000]", remUS)
+	}
+	if got := m.srvs["b"].Metrics().Overload.BudgetedCalls; got < 1 {
+		t.Errorf("owner BudgetedCalls = %d, want >= 1", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var out string
+		done <- rem.CallIntoCtx(ctx, "Nap", []any{&out}, int64(2_000_000))
+	}()
+	waitFor(t, 3*time.Second, "Nap to start on the owner", func() bool {
+		return m.srvs["b"].Metrics().Calls["sleeper.Nap"] >= 1
+	})
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("cancelled mesh-routed call reported success")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled mesh-routed call did not return")
+	}
+	waitFor(t, 3*time.Second, "owner handler to observe the cancel", func() bool {
+		return m.srvs["b"].Metrics().Overload.HandlerCancels >= 1
+	})
+	aO := m.srvs["a"].Metrics().Overload
+	if aO.CancelsReceived != 1 {
+		t.Errorf("entry member CancelsReceived = %d, want 1", aO.CancelsReceived)
+	}
+	if aO.CancelsPropagated != 1 {
+		t.Errorf("entry member CancelsPropagated = %d, want 1", aO.CancelsPropagated)
+	}
+	bO := m.srvs["b"].Metrics().Overload
+	if bO.CancelsReceived != 1 {
+		t.Errorf("owner CancelsReceived = %d, want 1", bO.CancelsReceived)
+	}
+}

@@ -74,6 +74,16 @@ type endpoint struct {
 	rt       []rtEntry
 	rtBytes  int
 
+	// cancelled maps a numbered call's seq to the frame seq that carried
+	// it, recorded when the caller abandoned the call (ctx cancelled or
+	// deadline hit) while the frame was still unacknowledged; guarded by
+	// bmu. Resume re-announces these before replaying rt, so a cancelled
+	// numbered call never executes after a resurrection; pruneRTLocked
+	// drops entries once the covering frame is acknowledged. Only
+	// populated on client endpoints with resume granted — the map stays
+	// nil otherwise.
+	cancelled map[uint64]uint64
+
 	// rtDroppedTo is the highest frame sequence evicted unacknowledged
 	// from rt under the maxRetransmitBytes cap (0 = none); guarded by bmu.
 	// At resume time it turns the cap's silent possible-loss into a
@@ -151,6 +161,9 @@ type linkCounters struct {
 	replayed       atomic.Uint64
 	dedups         atomic.Uint64
 	rtDrops        atomic.Uint64
+	// cancels counts call seqs this endpoint shipped in MsgCancel frames
+	// toward its peer — the CancelsPropagated side of the cancel ledger.
+	cancels atomic.Uint64
 }
 
 func (lc *linkCounters) snapshot() LinkStats {
@@ -461,7 +474,7 @@ const maxBatchBytes = 1 << 20
 // directly into the batch buffer; bmu must be held. A mid-encode failure
 // rolls the buffer back to its pre-entry mark, so the batch is never
 // corrupted.
-func (e *endpoint) appendCallLocked(seq uint64, h handle.Handle, method string, args []any) error {
+func (e *endpoint) appendCallLocked(seq, budget uint64, h handle.Handle, method string, args []any) error {
 	if e.batchCount == 0 {
 		// Count placeholder, patched by writeBatchLocked. xdr encodes Len
 		// as one big-endian word, so four zero bytes reserve its slot.
@@ -471,7 +484,7 @@ func (e *endpoint) appendCallLocked(seq uint64, h handle.Handle, method string, 
 	mark := e.batch.Len()
 	e.batchEnc.ResetEncode(&e.batch)
 	enc := &e.batchEnc
-	hdr := rpc.CallHeader{Seq: seq, Obj: h, Method: method}
+	hdr := rpc.CallHeader{Seq: seq, Budget: budget, Obj: h, Method: method}
 	if err := hdr.Bundle(enc); err != nil {
 		e.batch.Truncate(mark)
 		return err
@@ -558,6 +571,52 @@ func (e *endpoint) pruneRTLocked(upTo uint64) {
 	if i > 0 {
 		e.rt = e.rt[:copy(e.rt, e.rt[i:])]
 	}
+	// A cancel recorded against an acknowledged frame can no longer race a
+	// replay; the server either executed or shed the call already.
+	for cs, fs := range e.cancelled {
+		if fs <= upTo {
+			delete(e.cancelled, cs)
+		}
+	}
+}
+
+// noteCancelled records that the numbered call callSeq, carried by frame
+// frameSeq, was abandoned by its caller; bmu must be held. Returns false
+// when the frame is already acknowledged (nothing can replay it).
+func (e *endpoint) noteCancelledLocked(callSeq, frameSeq uint64) bool {
+	if !e.numbered || frameSeq == 0 {
+		return false
+	}
+	if len(e.rt) == 0 || e.rt[0].seq > frameSeq {
+		return false // frame acked and pruned: no replay possible
+	}
+	if e.cancelled == nil {
+		e.cancelled = make(map[uint64]uint64)
+	}
+	e.cancelled[callSeq] = frameSeq
+	return true
+}
+
+// sendCancel best-effort ships a MsgCancel naming callSeqs on the RPC
+// channel. Cancels are advisory: a lost frame only means the peer does the
+// work the caller no longer wants, so failures are swallowed (the resume
+// path re-announces cancels that still matter).
+func (e *endpoint) sendCancel(callSeqs ...uint64) {
+	if len(callSeqs) == 0 || e.linkDown.Load() {
+		return
+	}
+	conn := e.rpcConn()
+	if conn == nil {
+		return
+	}
+	body := wire.AppendCancelBody(make([]byte, 0, 4+8*len(callSeqs)), callSeqs...)
+	if err := conn.WriteFrame(wire.MsgCancel, 0, body); err != nil {
+		return
+	}
+	if err := conn.Flush(); err != nil {
+		return
+	}
+	e.link.cancels.Add(uint64(len(callSeqs)))
 }
 
 // ackRT acknowledges every numbered frame up to mark.

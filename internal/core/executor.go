@@ -42,9 +42,9 @@ import (
 //
 // The lane key is peeked from the encoded batch without decoding it: a
 // MsgCall body is a 4-byte big-endian count followed by the first
-// CallHeader (seq uint64, object id uint64, tag uint64, method), so a
-// single-call batch's sequence number sits at bytes [4:12) and its target
-// object id at bytes [12:20).
+// CallHeader (seq uint64, budget uint64, object id uint64, tag uint64,
+// method), so a single-call batch's sequence number sits at bytes [4:12),
+// its deadline budget at [12:20) and its target object id at [20:28).
 //
 // Messages whose dependencies are settled execute on a bounded pool of
 // worker goroutines — real parallelism, unlike the run-token scheduler.
@@ -98,11 +98,22 @@ func classifyMsg(msg *wire.Msg) (kind itemKind, lane uint64, async bool) {
 		return itemSessionBarrier, 0, false // MsgLoad, MsgSync
 	}
 	b := msg.Body
-	if len(b) < 20 || binary.BigEndian.Uint32(b[0:4]) != 1 {
+	if len(b) < 28 || binary.BigEndian.Uint32(b[0:4]) != 1 {
 		return itemGlobalBarrier, 0, false
 	}
 	seq := binary.BigEndian.Uint64(b[4:12])
-	return itemCall, binary.BigEndian.Uint64(b[12:20]), seq == 0
+	return itemCall, binary.BigEndian.Uint64(b[20:28]), seq == 0
+}
+
+// peekCallMeta peeks a single-call batch's seq and deadline budget (µs)
+// from its encoded form, for shed decisions that must not decode the
+// arguments. ok is false for multi-call batches and anything too short.
+func peekCallMeta(msg *wire.Msg) (seq, budgetUS uint64, ok bool) {
+	b := msg.Body
+	if msg.Type != wire.MsgCall || len(b) < 28 || binary.BigEndian.Uint32(b[0:4]) != 1 {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(b[4:12]), binary.BigEndian.Uint64(b[12:20]), true
 }
 
 // itemQueue is the runnable FIFO: append-push, head-index pop with the

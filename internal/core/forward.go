@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"reflect"
 	"strings"
+	"time"
 
 	"clam/internal/bundle"
 	"clam/internal/handle"
@@ -163,7 +164,11 @@ func (sess *session) replyStatus(seq uint64, status rpc.Status, msg string) {
 // execForward relays one call on a proxy handle down to the lower server
 // that owns the real object. The batch decoder is mid-stream, so any
 // decode failure must poison it (SetErr) to drop the rest of the batch.
-func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remote, entry handle.Entry) {
+// arrived anchors the call's deadline budget (§6.8): the relay context
+// carries the remaining budget downstream, so each hop decrements it by
+// the real time spent here, and a MsgCancel from above cancels the relay
+// mid-flight — which in turn ships a MsgCancel down the chain.
+func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remote, entry handle.Entry, arrived int64) {
 	srv := sess.srv
 	pl := srv.linkFor(pr.c)
 	if pl == nil {
@@ -214,6 +219,20 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 		return
 	}
 
+	// Shed points (§6.8): a cancelled or budget-spent call is refused here,
+	// AFTER args are decoded — the batch stream stays aligned — and BEFORE
+	// the relay ties up a round trip on the lower server.
+	if hdr.Seq != 0 && sess.takeCancel(hdr.Seq) {
+		srv.metrics.shedCancelled.Add(1)
+		sess.shedCall(hdr, "cancelled by caller")
+		return
+	}
+	if hdr.Budget != 0 && srv.shedExpired() && budgetSpent(hdr.Budget, arrived) {
+		srv.metrics.shedExpired.Add(1)
+		sess.shedCall(hdr, "deadline budget spent before relay")
+		return
+	}
+
 	srv.metrics.countRelayedCall()
 	srv.metrics.countCall(pc.name, hdr.Method, hdr.Seq != 0)
 
@@ -248,12 +267,33 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 		}
 	}
 
+	// The relay context threads the budget and cancellation down the hop:
+	// a deadline anchored at this frame's arrival (so the next hop sees
+	// the budget minus time spent here), or a bare cancelable context when
+	// the caller sent no budget but could still ship a MsgCancel. Either
+	// way callOnce turns ctx expiry/cancel into a MsgCancel downstream.
+	relayCtx := context.Background()
+	if hdr.Budget != 0 || hdr.Seq != 0 {
+		var cancel context.CancelFunc
+		if hdr.Budget != 0 {
+			deadline := time.Unix(0, arrived).Add(time.Duration(hdr.Budget) * time.Microsecond)
+			relayCtx, cancel = context.WithDeadline(context.Background(), deadline)
+		} else {
+			relayCtx, cancel = context.WithCancel(context.Background())
+		}
+		if hdr.Seq != 0 {
+			sess.registerLive(hdr.Seq, cancel)
+			defer sess.unregisterLive(hdr.Seq)
+		}
+		defer cancel()
+	}
+
 	// The relay waits a full round trip on the lower server; an executor
 	// worker releases its slot meanwhile so this session's other lanes keep
 	// draining (no-op under the serial dispatcher, whose block hook hands
 	// off the same way when callRetry's wait blocks the task).
 	xit := srv.exec.yieldCurrent()
-	err = pr.c.callRetry(context.Background(), pr.h, hdr.Method, rets, args, false)
+	err = pr.c.callRetry(relayCtx, pr.h, hdr.Method, rets, args, false)
 	srv.exec.resume(xit)
 	if err != nil {
 		if isStaleHandleErr(err) {
@@ -262,9 +302,16 @@ func (sess *session) execForward(dec *xdr.Stream, hdr *rpc.CallHeader, pr *Remot
 			srv.revokeHandleObj(pr)
 		}
 		status, msg := rpc.StatusDispatch, err.Error()
-		var re *rpc.RemoteError
-		if errors.As(err, &re) {
-			status, msg = re.Status, re.Msg
+		if errors.Is(err, ErrDeadlineExceeded) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Deadline or cancel surfaced by the hop below (or by our own
+			// relay context): report it upward as what it is, so the whole
+			// chain answers StatusDeadline, not a generic dispatch failure.
+			status = rpc.StatusDeadline
+		} else {
+			var re *rpc.RemoteError
+			if errors.As(err, &re) {
+				status, msg = re.Status, re.Msg
+			}
 		}
 		sess.replyStatus(hdr.Seq, status, msg)
 		return

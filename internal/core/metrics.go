@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clam/internal/shm"
 	"clam/internal/wire"
@@ -88,6 +89,42 @@ type metrics struct {
 	shmConns     atomic.Uint64
 	shmFallbacks atomic.Uint64
 
+	// Deadline/cancel counters (§6.8). budgetedCalls counts frames that
+	// arrived carrying a nonzero budget; shedExpired/shedCancelled count
+	// calls refused without executing (budget spent / MsgCancel landed
+	// first); shedAdmission counts calls the admission layer refused at
+	// the read loop (WithMaxQueueDelay); cancelsRecv counts call seqs
+	// named by MsgCancel frames received; handlerCancels counts cancels
+	// that landed on an in-flight handler's context.
+	budgetedCalls  atomic.Uint64
+	shedExpired    atomic.Uint64
+	shedCancelled  atomic.Uint64
+	shedAdmission  atomic.Uint64
+	cancelsRecv    atomic.Uint64
+	handlerCancels atomic.Uint64
+
+	// queueDelay is an EWMA (α=1/8) of dispatch queue wait in nanoseconds,
+	// maintained only when admission control is on; queueDelayAt is the
+	// UnixNano of its last sample. Samples only arrive when frames are
+	// dispatched, so a raw EWMA would lock the admission layer out
+	// forever: refuse everything → no dispatches → no samples → the
+	// stale high estimate never falls. queueDelayEstimate ages the value
+	// by its sample age instead — while admission refuses, the queue is
+	// draining, so the expected wait falls at least that fast. Both race
+	// benignly: a lost update skews the estimate by one sample.
+	queueDelay   atomic.Int64
+	queueDelayAt atomic.Int64
+
+	// pendingFrames counts call frames admitted but not yet fully
+	// executed, and svcTime is an EWMA (α=1/8) of per-frame execution
+	// wall time — together they give the admission layer a queueing
+	// estimate (pending × service / workers) that reacts to its own
+	// admissions instantly, where a wait-EWMA alone herd-admits a burst
+	// before the first sample lands. Maintained only under
+	// WithMaxQueueDelay.
+	pendingFrames atomic.Int64
+	svcTime       atomic.Int64
+
 	link linkCounters
 
 	shards [callShards]callShard
@@ -142,6 +179,41 @@ func (m *metrics) countRelayedCall()   { m.callsRelayed.Add(1) }
 func (m *metrics) countRelayedUpcall() { m.upcallsRelayed.Add(1) }
 func (m *metrics) countResume()        { m.resumes.Add(1) }
 
+// noteQueueDelay folds one observed queue wait (execBatch start minus
+// frame arrival) into the EWMA: new = old·7/8 + sample/8.
+func (m *metrics) noteQueueDelay(waitNanos int64) {
+	if waitNanos < 0 {
+		waitNanos = 0
+	}
+	old := m.queueDelay.Load()
+	m.queueDelay.Store(old - old/8 + waitNanos/8)
+	m.queueDelayAt.Store(time.Now().UnixNano())
+}
+
+// noteServiceTime folds one frame's execution wall time into the
+// service-time EWMA.
+func (m *metrics) noteServiceTime(d time.Duration) {
+	old := m.svcTime.Load()
+	m.svcTime.Store(old - old/8 + int64(d)/8)
+}
+
+// queueDelayEstimate is the admission layer's expected queue wait for a
+// frame arriving now: frames ahead of it times the per-frame service
+// estimate, divided by the workers draining them. Because each admitted
+// frame raises pendingFrames before the next admission decision, a burst
+// sees the queue it is building — no herd admission, no estimator
+// lockout (an empty queue estimates zero regardless of history).
+func (m *metrics) queueDelayEstimate(workers int) int64 {
+	pending := m.pendingFrames.Load()
+	if pending <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return pending * m.svcTime.Load() / int64(workers)
+}
+
 // MetricsSnapshot is a point-in-time copy of the server's counters.
 type MetricsSnapshot struct {
 	// Calls maps "class.Method" to its dispatch count (all outcomes).
@@ -189,6 +261,35 @@ type MetricsSnapshot struct {
 	// Transport describes the byte-transport fast paths: shared-memory
 	// ring activity (WithSharedMemory) and vectored socket writes.
 	Transport TransportStats
+	// Overload carries the deadline-budget, cancellation and shedding
+	// counters (§6.8).
+	Overload OverloadStats
+}
+
+// OverloadStats counts deadline-budget and cancellation activity (§6.8).
+type OverloadStats struct {
+	// SheddingEnabled reports whether expired-budget shedding is active
+	// (the default; WithoutDeadlineShedding turns it off for ablation).
+	SheddingEnabled bool
+	// BudgetedCalls counts call frames that arrived carrying a nonzero
+	// deadline budget.
+	BudgetedCalls uint64
+	// ShedExpired counts calls refused with StatusDeadline before
+	// executing because their budget was already spent; ShedCancelled
+	// counts calls refused because a MsgCancel named them first;
+	// ShedAdmission counts calls the admission layer (WithMaxQueueDelay)
+	// refused at the read loop because the estimated queue wait alone
+	// would exhaust their budget or exceed the configured ceiling.
+	ShedExpired, ShedCancelled, ShedAdmission uint64
+	// CancelsReceived counts call seqs named by MsgCancel frames this
+	// server received; HandlerCancels the subset that landed on an
+	// in-flight handler and cancelled its context; CancelsPropagated
+	// counts seqs this server shipped onward in MsgCancel frames over
+	// its peer links (chain upstreams and mesh peers).
+	CancelsReceived, HandlerCancels, CancelsPropagated uint64
+	// QueueDelayEWMANanos is the admission layer's running estimate of
+	// dispatch queue wait (zero unless WithMaxQueueDelay is set).
+	QueueDelayEWMANanos uint64
 }
 
 // TransportStats describes the transport fast paths. The shm counters are
@@ -425,12 +526,23 @@ func (s *Server) Metrics() MetricsSnapshot {
 	// reconnects/replays their resurrect loops performed toward the peer,
 	// and breaker trips.
 	snap.Resilience.foldLink(&m.link, nil)
+	snap.Overload = OverloadStats{
+		SheddingEnabled:     s.shedExpired(),
+		BudgetedCalls:       m.budgetedCalls.Load(),
+		ShedExpired:         m.shedExpired.Load(),
+		ShedCancelled:       m.shedCancelled.Load(),
+		ShedAdmission:       m.shedAdmission.Load(),
+		CancelsReceived:     m.cancelsRecv.Load(),
+		HandlerCancels:      m.handlerCancels.Load(),
+		QueueDelayEWMANanos: uint64(m.queueDelay.Load()),
+	}
 	s.mu.Lock()
 	links := make([]*peerLink, len(s.peers))
 	copy(links, s.peers)
 	s.mu.Unlock()
 	for _, pl := range links {
 		snap.Resilience.foldLink(pl.c.link, pl.br)
+		snap.Overload.CancelsPropagated += pl.c.link.cancels.Load()
 	}
 	if ms := s.meshSnapshot(); ms != nil {
 		snap.Mesh = *ms

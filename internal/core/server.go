@@ -70,6 +70,16 @@ type Server struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 
+	// Overload shedding (§6.8). maxQueueDelay, when nonzero, arms the
+	// admission layer: sole-call frames whose estimated queue wait exceeds
+	// the ceiling — or would alone exhaust the call's budget — are refused
+	// at the read loop with StatusDeadline. noShed is the ablation switch
+	// (WithoutDeadlineShedding): it disables expired-budget shedding so
+	// doomed work executes anyway, for goodput comparison. Cancellation
+	// (MsgCancel) is never disabled — a cancelled call must not run.
+	maxQueueDelay time.Duration
+	noShed        bool
+
 	// Per-object dispatch (executor.go). exec is nil when the serial
 	// dispatcher ablation is selected; every consumer branches on that.
 	dispatchWorkers int
@@ -234,6 +244,36 @@ func WithUpstreamBreaker(threshold int, cooldown time.Duration) ServerOption {
 		s.breakerCooldown = cooldown
 	}
 }
+
+// WithMaxQueueDelay arms the admission layer (§6.8): when the dispatch
+// queue's estimated wait exceeds d — or, for a budgeted call, when the
+// wait alone would exhaust the call's remaining budget — synchronous
+// sole-call frames are refused at the read loop with a StatusDeadline
+// reply, before they ever occupy a dispatch lane. Under WithRetry the
+// client sees ErrDeadlineExceeded, which is retryable for idempotent
+// calls — admission control composes with retry and the breaker rather
+// than fighting them. Zero (the default) disables admission control.
+func WithMaxQueueDelay(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d < 0 {
+			d = 0
+		}
+		s.maxQueueDelay = d
+	}
+}
+
+// WithoutDeadlineShedding disables expired-budget shedding — doomed calls
+// execute anyway and their replies are discarded by a caller that already
+// gave up. This is the ablation baseline for the overload goodput matrix
+// (clambench -overload); production servers should not use it. Explicit
+// cancellation (MsgCancel) still sheds: a cancelled call must never run
+// regardless of ablation.
+func WithoutDeadlineShedding() ServerOption {
+	return func(s *Server) { s.noShed = true }
+}
+
+// shedExpired reports whether expired-budget shedding is active.
+func (s *Server) shedExpired() bool { return !s.noShed }
 
 // WithDispatchWorkers bounds the per-object executor's worker pool: at
 // most n handlers run simultaneously (blocked handlers — distributed

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -105,11 +106,98 @@ type session struct {
 	markHW    uint64
 	markAbove map[uint64]struct{}
 
+	// Cancellation state (DESIGN.md §6.8). cancelSet holds call seqs the
+	// client abandoned (MsgCancel) that have not yet reached a worker —
+	// the dispatcher consumes an entry and sheds the call instead of
+	// executing it. liveCalls maps a running budgeted call's seq to its
+	// context's cancel func, so a cancel arriving mid-execution interrupts
+	// the handler. cancelN gates the maps with one atomic load: a session
+	// that never sees a cancel pays nothing per call.
+	cancelMu  sync.Mutex
+	cancelSet map[uint64]struct{}
+	liveCalls map[uint64]context.CancelFunc
+	cancelN   atomic.Int64
+
 	// bctx is the session's bundling context, built once in newSession:
 	// the hooks are typed views of the session and Ctx carries no per-call
 	// state (the no-global-state bundler rule, §3.3, is about registries,
 	// not contexts), so every encode/decode shares this instance.
 	bctx bundle.Ctx
+}
+
+// maxCancelSet bounds the remembered-cancel set: past it the oldest
+// entries are dropped (the call then executes — cancels are advisory).
+const maxCancelSet = 4096
+
+// noteCancels records a MsgCancel's call seqs: running calls are
+// interrupted through their context; queued ones are remembered for the
+// dispatcher to shed.
+func (sess *session) noteCancels(seqs []uint64) {
+	m := sess.srv.metrics
+	sess.cancelMu.Lock()
+	for _, seq := range seqs {
+		m.cancelsRecv.Add(1)
+		if cancel, ok := sess.liveCalls[seq]; ok {
+			cancel()
+			delete(sess.liveCalls, seq)
+			sess.cancelN.Add(-1)
+			m.handlerCancels.Add(1)
+			continue
+		}
+		if sess.cancelSet == nil {
+			sess.cancelSet = make(map[uint64]struct{})
+		}
+		if len(sess.cancelSet) >= maxCancelSet {
+			for victim := range sess.cancelSet {
+				delete(sess.cancelSet, victim)
+				sess.cancelN.Add(-1)
+				break
+			}
+		}
+		if _, dup := sess.cancelSet[seq]; !dup {
+			sess.cancelSet[seq] = struct{}{}
+			sess.cancelN.Add(1)
+		}
+	}
+	sess.cancelMu.Unlock()
+}
+
+// takeCancel consumes a remembered cancel for seq, reporting whether the
+// call should be shed. The atomic gate keeps the common no-cancels case
+// to one load, off every dispatch's lock path.
+func (sess *session) takeCancel(seq uint64) bool {
+	if sess.cancelN.Load() == 0 {
+		return false
+	}
+	sess.cancelMu.Lock()
+	_, ok := sess.cancelSet[seq]
+	if ok {
+		delete(sess.cancelSet, seq)
+		sess.cancelN.Add(-1)
+	}
+	sess.cancelMu.Unlock()
+	return ok
+}
+
+// registerLive exposes a running budgeted call's cancel func to
+// noteCancels; unregisterLive retracts it after the handler returns.
+func (sess *session) registerLive(seq uint64, cancel context.CancelFunc) {
+	sess.cancelMu.Lock()
+	if sess.liveCalls == nil {
+		sess.liveCalls = make(map[uint64]context.CancelFunc)
+	}
+	sess.liveCalls[seq] = cancel
+	sess.cancelN.Add(1)
+	sess.cancelMu.Unlock()
+}
+
+func (sess *session) unregisterLive(seq uint64) {
+	sess.cancelMu.Lock()
+	if _, ok := sess.liveCalls[seq]; ok {
+		delete(sess.liveCalls, seq)
+		sess.cancelN.Add(-1)
+	}
+	sess.cancelMu.Unlock()
 }
 
 func newSession(srv *Server, id uint64, rpcConn *wire.Conn) *session {
@@ -359,8 +447,18 @@ func (sess *session) rpcReadLoop(conn *wire.Conn) {
 		if err != nil {
 			return
 		}
-		sess.lastRPC.Store(time.Now().UnixNano())
+		now := time.Now().UnixNano()
+		sess.lastRPC.Store(now)
 		switch msg.Type {
+		case wire.MsgCancel:
+			// The caller abandoned the named calls: cancel any that are
+			// running, remember the rest so the dispatcher sheds them.
+			if seqs, err := wire.ParseCancelBody(msg.Body); err == nil {
+				sess.noteCancels(seqs)
+			} else {
+				sess.srv.logf("clam: session %d: %v", sess.id, err)
+			}
+			msg.Release()
 		case wire.MsgCall, wire.MsgLoad, wire.MsgSync:
 			if msg.Type == wire.MsgCall && msg.Seq != 0 {
 				// Numbered batch from a resume-granted client. A frame at
@@ -375,6 +473,17 @@ func (sess *session) rpcReadLoop(conn *wire.Conn) {
 					continue
 				}
 				sess.recvSeq.Store(msg.Seq)
+			}
+			// Budget anchoring: the call's remaining deadline is measured
+			// from this read, so queue wait counts against the caller.
+			msg.Arrived = now
+			if sess.srv.maxQueueDelay > 0 {
+				if sess.admitCall(msg) {
+					continue // refused at admission; msg already released
+				}
+				if msg.Type == wire.MsgCall {
+					sess.srv.metrics.pendingFrames.Add(1)
+				}
 			}
 			// The dispatcher owns the message now; it releases it after
 			// executing it.
@@ -655,6 +764,21 @@ func (sess *session) releaseDispatch() {
 
 func (sess *session) execBatch(msg *wire.Msg) {
 	sess.srv.metrics.countBatch()
+	arrived := msg.Arrived
+	if arrived == 0 {
+		arrived = time.Now().UnixNano()
+	} else if sess.srv.maxQueueDelay > 0 {
+		// Feed the admission estimator: the observed queue wait (for the
+		// stats block), and — once this frame finishes — its execution
+		// time and the pending-frame count it no longer contributes to.
+		start := time.Now()
+		sess.srv.metrics.noteQueueDelay(start.UnixNano() - arrived)
+		defer func() {
+			m := sess.srv.metrics
+			m.noteServiceTime(time.Since(start))
+			m.pendingFrames.Add(-1)
+		}()
+	}
 	sc := rpc.GetScratch()
 	defer sc.Release()
 	dec := sc.Decoder(msg.Body)
@@ -673,12 +797,96 @@ func (sess *session) execBatch(msg *wire.Msg) {
 			sess.srv.logf("clam: session %d: bad call header: %v", sess.id, err)
 			return
 		}
-		sess.execCall(dec, &hdr)
+		sess.execCall(dec, &hdr, arrived, count == 1)
 	}
 }
 
-// execCall decodes, runs and answers a single call.
-func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
+// shedCall answers a call that is being refused without execution: a
+// StatusDeadline reply for synchronous calls, a fault report for
+// asynchronous ones (which have no reply to carry the refusal — the same
+// §4.3 channel the mesh's decode-then-refuse discipline uses).
+func (sess *session) shedCall(hdr *rpc.CallHeader, why string) {
+	if hdr.Seq == 0 {
+		sess.reportFault("", hdr.Method, why)
+		return
+	}
+	sess.replyStatus(hdr.Seq, rpc.StatusDeadline, why)
+}
+
+// shedEarly decides, before any argument decoding, whether a sole-call
+// frame should be shed: the caller cancelled it, or its deadline budget
+// was already spent while it sat queued. Only legal when nothing follows
+// the call in the frame — mid-batch, refusal happens after the arguments
+// are decoded so the stream stays aligned (§3.4 order is preserved either
+// way: the shed call's slot still produces its reply in sequence).
+func (sess *session) shedEarly(hdr *rpc.CallHeader, arrived int64) bool {
+	if hdr.Seq != 0 && sess.takeCancel(hdr.Seq) {
+		sess.srv.metrics.shedCancelled.Add(1)
+		sess.shedCall(hdr, "cancelled by caller")
+		return true
+	}
+	if hdr.Budget != 0 && sess.srv.shedExpired() && budgetSpent(hdr.Budget, arrived) {
+		sess.srv.metrics.shedExpired.Add(1)
+		sess.shedCall(hdr, "deadline budget spent before dispatch")
+		return true
+	}
+	return false
+}
+
+// budgetSpent reports whether a call's microsecond budget, anchored at
+// its frame's arrival, has already elapsed.
+func budgetSpent(budgetUS uint64, arrived int64) bool {
+	return time.Now().UnixNano()-arrived >= int64(budgetUS)*int64(time.Microsecond)
+}
+
+// admitCall is the admission layer (§6.8, WithMaxQueueDelay): the read
+// loop offers every call frame here before queuing it. When the EWMA
+// queue-wait estimate exceeds the configured ceiling — or, for a budgeted
+// call, would alone exhaust the call's entire budget — a synchronous
+// sole-call frame is refused right here with StatusDeadline, before it
+// ever occupies a dispatch lane. Batches and asynchronous calls always
+// pass: refusing mid-batch needs the dispatcher's decode discipline
+// anyway, and they fall through to the shed checks there. Reports true
+// when the call was refused (msg released, reply queued and flushed).
+func (sess *session) admitCall(msg *wire.Msg) bool {
+	seq, budgetUS, ok := peekCallMeta(msg)
+	if !ok || seq == 0 {
+		return false
+	}
+	workers := 1
+	if x := sess.srv.exec; x != nil {
+		workers = x.workers
+	}
+	est := sess.srv.metrics.queueDelayEstimate(workers)
+	over := est > int64(sess.srv.maxQueueDelay)
+	if !over && budgetUS != 0 && est >= int64(budgetUS)*int64(time.Microsecond) {
+		over = true
+	}
+	if !over {
+		return false
+	}
+	sess.srv.metrics.shedAdmission.Add(1)
+	sess.replyStatus(seq, rpc.StatusDeadline, "refused at admission: dispatch queue wait exceeds budget")
+	sess.flushReplies()
+	// A numbered frame refused here still counts as consumed for the
+	// journal's receive mark: a crash-replay of it must dedup, not run.
+	if sess.srv.journal != nil && msg.Seq != 0 {
+		sess.noteExecuted(msg.Seq)
+	}
+	msg.Release()
+	return true
+}
+
+// execCall decodes, runs and answers a single call. arrived is the
+// UnixNano arrival time of the carrying frame (the anchor for hdr.Budget);
+// sole marks a single-call frame, where shedding may skip decoding.
+func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader, arrived int64, sole bool) {
+	if hdr.Budget != 0 {
+		sess.srv.metrics.budgetedCalls.Add(1)
+	}
+	if sole && sess.shedEarly(hdr, arrived) {
+		return
+	}
 	ctx := sess.ctx()
 	status, errMsg, className := rpc.StatusOK, "", ""
 
@@ -692,7 +900,7 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 	} else if pr, ok := entry.Obj.(*Remote); ok {
 		// A proxy entry: the object lives on a lower server this server
 		// dialed. Relay the call down instead of invoking locally.
-		sess.execForward(dec, hdr, pr, entry)
+		sess.execForward(dec, hdr, pr, entry, arrived)
 		return
 	} else {
 		loaded, lerr := sess.srv.loader.Get(entry.ClassID)
@@ -731,19 +939,55 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 	}
 	var rets []reflect.Value
 	if stub != nil {
-		gerr := dynload.Guard(func() error {
-			var appErr error
-			rets, appErr = stub.Invoke(recv, args)
-			return appErr
-		})
-		var fault *dynload.Fault
+		// Arguments are decoded; now (and only now, mid-batch) the call can
+		// be refused without desynchronizing the stream: consume a cancel
+		// the caller sent while it queued, then re-check the budget.
+		var callCtx context.Context
+		var cancel context.CancelFunc
 		switch {
-		case gerr == nil:
-		case errors.As(gerr, &fault):
-			status, errMsg = rpc.StatusFault, fault.Error()
-			sess.srv.metrics.countFault()
-		default:
-			status, errMsg = rpc.StatusAppError, gerr.Error()
+		case hdr.Seq != 0 && sess.takeCancel(hdr.Seq):
+			sess.srv.metrics.shedCancelled.Add(1)
+			status, errMsg = rpc.StatusDeadline, "cancelled by caller"
+		case hdr.Budget != 0 && sess.srv.shedExpired() && budgetSpent(hdr.Budget, arrived):
+			sess.srv.metrics.shedExpired.Add(1)
+			status, errMsg = rpc.StatusDeadline, "deadline budget spent before dispatch"
+		case hdr.Budget != 0:
+			// The handler runs under a real deadline anchored at frame
+			// arrival; a MsgCancel arriving mid-run cancels it through
+			// registerLive. Deferred cleanup runs after the status mapping
+			// below, which reads the context's error first.
+			deadline := time.Unix(0, arrived).Add(time.Duration(hdr.Budget) * time.Microsecond)
+			callCtx, cancel = context.WithDeadline(context.Background(), deadline)
+			defer cancel()
+			if hdr.Seq != 0 {
+				sess.registerLive(hdr.Seq, cancel)
+				defer sess.unregisterLive(hdr.Seq)
+			}
+		}
+		if status == rpc.StatusOK {
+			gerr := dynload.Guard(func() error {
+				var appErr error
+				rets, appErr = stub.Invoke(callCtx, recv, args)
+				return appErr
+			})
+			var ctxErr error
+			if callCtx != nil {
+				ctxErr = callCtx.Err() // read before the deferred cancel()
+			}
+			var fault *dynload.Fault
+			switch {
+			case gerr == nil:
+			case errors.As(gerr, &fault):
+				status, errMsg = rpc.StatusFault, fault.Error()
+				sess.srv.metrics.countFault()
+			case ctxErr != nil && errors.Is(gerr, ctxErr):
+				// The handler observed its context's expiry/cancel and bailed:
+				// report it as the deadline status so the caller (and any hop
+				// above) sees one consistent verdict.
+				status, errMsg = rpc.StatusDeadline, gerr.Error()
+			default:
+				status, errMsg = rpc.StatusAppError, gerr.Error()
+			}
 		}
 	}
 
@@ -752,7 +996,7 @@ func (sess *session) execCall(dec *xdr.Stream, hdr *rpc.CallHeader) {
 		// failures are reported with an error upcall (§4.3) rather than
 		// silently swallowed. Synchronous callers learn of faults from
 		// the reply status instead.
-		if status == rpc.StatusFault || status == rpc.StatusDispatch {
+		if status == rpc.StatusFault || status == rpc.StatusDispatch || status == rpc.StatusDeadline {
 			sess.reportFault(className, hdr.Method, errMsg)
 		}
 		return

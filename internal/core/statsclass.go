@@ -49,6 +49,16 @@ func (s *StatsClass) Transport() (int64, int64, int64, int64) {
 		int64(t.DoorbellWakeups), int64(t.WritevFlushes)
 }
 
+// Overload returns (budgetedCalls, shed, cancelsReceived,
+// handlerCancels) — shed sums the expired/cancelled/admission refusals,
+// enough to audit the deadline machinery (DESIGN.md §6.8) remotely.
+func (s *StatsClass) Overload() (int64, int64, int64, int64) {
+	o := s.srv.Metrics().Overload
+	return int64(o.BudgetedCalls),
+		int64(o.ShedExpired + o.ShedCancelled + o.ShedAdmission),
+		int64(o.CancelsReceived), int64(o.HandlerCancels)
+}
+
 // Sessions reports connected clients.
 func (s *StatsClass) Sessions() int64 {
 	return int64(s.srv.SessionCount())

@@ -3,6 +3,7 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func statsServer(t *testing.T) (*Server, string) {
@@ -74,6 +75,22 @@ func TestStatsClassRemoteQueries(t *testing.T) {
 	var top []string
 	if err := stats.CallInto("Top", []any{&top}, int64(1)); err != nil || len(top) != 1 {
 		t.Errorf("top=%v err=%v", top, err)
+	}
+	var budgeted, shed, cr, hc int64
+	if err := stats.CallInto("Overload", []any{&budgeted, &shed, &cr, &hc}); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted != 0 || shed != 0 || cr != 0 || hc != 0 {
+		t.Errorf("Overload = (%d,%d,%d,%d) on a budget-free session", budgeted, shed, cr, hc)
+	}
+	if err := obj.CallIntoCtx(budgetOnly(time.Second), "Add", nil, int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.CallInto("Overload", []any{&budgeted, &shed, &cr, &hc}); err != nil {
+		t.Fatal(err)
+	}
+	if budgeted != 1 {
+		t.Errorf("BudgetedCalls = %d after one budgeted call", budgeted)
 	}
 }
 

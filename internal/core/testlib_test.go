@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,6 +9,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"clam/internal/dynload"
 )
@@ -124,6 +126,51 @@ type child struct {
 
 func (c *child) Name() string { return c.name }
 
+// sleeper exercises §6.8 deadline budgets: Nap's first parameter is a
+// context.Context (never on the wire — the stub injects the server's
+// per-call context), so a handler can observe budget expiry or a remote
+// MsgCancel mid-execution.
+type sleeper struct {
+	mu        sync.Mutex
+	completed int64
+	cancelled int64
+}
+
+// Nap parks for us microseconds or until the injected context is done,
+// whichever comes first, and reports which happened.
+func (s *sleeper) Nap(ctx context.Context, us int64) (string, error) {
+	t := time.NewTimer(time.Duration(us) * time.Microsecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		s.mu.Lock()
+		s.completed++
+		s.mu.Unlock()
+		return "slept", nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.cancelled++
+		s.mu.Unlock()
+		return "", ctx.Err()
+	}
+}
+
+// Remaining reports the injected context's remaining budget in
+// microseconds, or -1 when the call carried no deadline.
+func (s *sleeper) Remaining(ctx context.Context) int64 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return -1
+	}
+	return time.Until(d).Microseconds()
+}
+
+func (s *sleeper) counts() (completed, cancelled int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.completed, s.cancelled
+}
+
 // faulty exercises §4.3 fault isolation.
 type faulty struct{}
 
@@ -158,6 +205,10 @@ func testLibrary(t testing.TB) *dynload.Library {
 	lib.MustRegister(dynload.Class{
 		Name: "faulty", Version: 1, Type: reflect.TypeOf(&faulty{}),
 		New: func(any) (any, error) { return &faulty{}, nil },
+	})
+	lib.MustRegister(dynload.Class{
+		Name: "sleeper", Version: 1, Type: reflect.TypeOf(&sleeper{}),
+		New: func(any) (any, error) { return &sleeper{}, nil },
 	})
 	return lib
 }

@@ -34,6 +34,10 @@ const (
 	// StatusDispatch: the call never reached a procedure (bad handle,
 	// unknown method, argument mismatch).
 	StatusDispatch
+	// StatusDeadline: the call was shed without executing — its deadline
+	// budget was already spent when a worker reached it, the caller
+	// cancelled it, or admission control refused it under overload.
+	StatusDeadline
 )
 
 // String names the status.
@@ -47,6 +51,8 @@ func (st Status) String() string {
 		return "fault in loaded class"
 	case StatusDispatch:
 		return "dispatch error"
+	case StatusDeadline:
+		return "deadline exceeded"
 	default:
 		return fmt.Sprintf("rpc.Status(%d)", uint32(st))
 	}
@@ -73,6 +79,11 @@ const MaxBatch = 1 << 16
 type CallHeader struct {
 	// Seq correlates the reply; 0 marks an asynchronous call.
 	Seq uint64
+	// Budget is the caller's remaining deadline budget in microseconds;
+	// 0 means no deadline. Each hop anchors it to the frame's arrival
+	// time, so the budget shrinks by real elapsed time (queue wait
+	// included) as a call relays down a chain or across a mesh.
+	Budget uint64
 	// Obj names the target object. The nil handle addresses the server's
 	// built-in root facilities.
 	Obj handle.Handle
@@ -83,6 +94,7 @@ type CallHeader struct {
 // Bundle bidirectionally transfers the header.
 func (h *CallHeader) Bundle(s *xdr.Stream) error {
 	s.Uint64(&h.Seq)
+	s.Uint64(&h.Budget)
 	if err := h.Obj.Bundle(s); err != nil {
 		return err
 	}

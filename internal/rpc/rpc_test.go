@@ -124,7 +124,7 @@ func invokeViaWire(t *testing.T, reg *bundle.Registry, st *MethodStub, recv any,
 	if err != nil {
 		t.Fatalf("decode args: %v", err)
 	}
-	rets, appErr := st.Invoke(reflect.ValueOf(recv), decoded)
+	rets, appErr := st.Invoke(nil, reflect.ValueOf(recv), decoded)
 	if appErr != nil {
 		t.Fatalf("invoke: %v", appErr)
 	}
@@ -176,7 +176,7 @@ func TestStubApplicationError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, appErr := div.Invoke(reflect.ValueOf(&calcClass{}), args)
+	_, appErr := div.Invoke(nil, reflect.ValueOf(&calcClass{}), args)
 	if appErr == nil || appErr.Error() != "divide by zero" {
 		t.Errorf("appErr = %v", appErr)
 	}

@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -81,9 +82,17 @@ type MethodStub struct {
 	// can be batched without a reply (§3.4: "when no return values are
 	// needed, the remote call can be delayed, and put in a batch").
 	Asyncable bool
+	// TakesCtx marks a method whose first parameter is a context.Context.
+	// The context never travels on the wire: Invoke injects the server's
+	// per-call context, carrying the caller's deadline budget and cancelled
+	// by a MsgCancel, so loaded code can observe abandonment.
+	TakesCtx bool
 }
 
-var errType = reflect.TypeOf((*error)(nil)).Elem()
+var (
+	errType = reflect.TypeOf((*error)(nil)).Elem()
+	ctxType = reflect.TypeOf((*context.Context)(nil)).Elem()
+)
 
 // CompileClass compiles stubs for every remotely callable exported method
 // of t (a pointer-to-struct type). Methods whose parameter or result types
@@ -119,12 +128,17 @@ func compileMethod(reg *bundle.Registry, recvT reflect.Type, m reflect.Method, s
 	mt := m.Func.Type()
 	stub := &MethodStub{Name: m.Name, fn: m.Func, recvT: recvT}
 
-	for i := 1; i < mt.NumIn(); i++ { // 0 is the receiver
+	first := 1 // 0 is the receiver
+	if mt.NumIn() > 1 && mt.In(1) == ctxType {
+		stub.TakesCtx = true
+		first = 2
+	}
+	for i := first; i < mt.NumIn(); i++ {
 		pt := mt.In(i)
-		ps := spec.Param(i - 1)
+		ps := spec.Param(i - first)
 		arg, err := compileArg(reg, pt, ps)
 		if err != nil {
-			return nil, fmt.Errorf("parameter %d (%s): %w", i-1, pt, err)
+			return nil, fmt.Errorf("parameter %d (%s): %w", i-first, pt, err)
 		}
 		stub.Args = append(stub.Args, arg)
 	}
@@ -255,10 +269,22 @@ func (st *MethodStub) EncodeArgs(ctx *bundle.Ctx, s *xdr.Stream, args []reflect.
 }
 
 // Invoke calls the procedure on recv with args, separating a trailing
-// error result from the data results.
-func (st *MethodStub) Invoke(recv reflect.Value, args []reflect.Value) (rets []reflect.Value, appErr error) {
-	in := make([]reflect.Value, 0, len(args)+1)
+// error result from the data results. ctx is injected as the first
+// parameter of TakesCtx methods and ignored otherwise; a nil ctx means
+// no deadline (context.Background is injected).
+func (st *MethodStub) Invoke(ctx context.Context, recv reflect.Value, args []reflect.Value) (rets []reflect.Value, appErr error) {
+	n := len(args) + 1
+	if st.TakesCtx {
+		n++
+	}
+	in := make([]reflect.Value, 0, n)
 	in = append(in, recv)
+	if st.TakesCtx {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		in = append(in, reflect.ValueOf(ctx))
+	}
 	in = append(in, args...)
 	out := st.fn.Call(in)
 	if st.HasErr {

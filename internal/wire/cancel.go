@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// MsgCancel body layout. A cancel frame names the call sequence numbers
+// the sender no longer wants executed: a 4-byte big-endian count followed
+// by count 8-byte big-endian call seqs. The frame's own header Seq is 0 —
+// cancels are fire-and-forget and never answered. The fixed layout (no
+// xdr) keeps the frame parseable by a peer mid-resume, before any
+// bundling context exists, and makes the parser a natural fuzz target.
+
+// maxCancelSeqs bounds one cancel frame. A client cancels calls it has in
+// flight, which the call window already bounds; anything larger is a
+// corrupt or hostile frame and is rejected before allocating.
+const maxCancelSeqs = 4096
+
+// ErrBadCancel reports a malformed MsgCancel body.
+var ErrBadCancel = errors.New("wire: malformed cancel body")
+
+// AppendCancelBody appends a MsgCancel body naming seqs to dst and
+// returns the extended slice.
+func AppendCancelBody(dst []byte, seqs ...uint64) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(seqs)))
+	for _, s := range seqs {
+		dst = binary.BigEndian.AppendUint64(dst, s)
+	}
+	return dst
+}
+
+// ParseCancelBody decodes a MsgCancel body. The returned slice is freshly
+// allocated — it does not alias body, so the frame can be released.
+func ParseCancelBody(body []byte) ([]uint64, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: %d-byte body", ErrBadCancel, len(body))
+	}
+	n := binary.BigEndian.Uint32(body[:4])
+	if n > maxCancelSeqs {
+		return nil, fmt.Errorf("%w: %d seqs exceeds limit %d", ErrBadCancel, n, maxCancelSeqs)
+	}
+	if got := (len(body) - 4) / 8; uint32(got) != n || len(body) != 4+int(n)*8 {
+		return nil, fmt.Errorf("%w: count %d in %d-byte body", ErrBadCancel, n, len(body))
+	}
+	seqs := make([]uint64, n)
+	for i := range seqs {
+		seqs[i] = binary.BigEndian.Uint64(body[4+i*8:])
+	}
+	return seqs, nil
+}

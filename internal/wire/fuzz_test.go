@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Fuzz targets for the two fixed-layout parsers a hostile peer reaches
+// before any session state exists: the 16-byte frame header (Recv) and
+// the MsgCancel body (ParseCancelBody). `make fuzzsmoke` runs each for a
+// few seconds; `go test -fuzz` digs deeper.
+
+// FuzzFrameHeader feeds an arbitrary byte stream to Conn.Recv and checks
+// the parser's contract: every accepted frame has a valid type and a body
+// within the shared limit, rejection never panics, and the loop always
+// terminates (each accepted frame consumes at least a header's worth of
+// input).
+func FuzzFrameHeader(f *testing.F) {
+	var h [headerLen]byte
+	putHeader(h[:], MsgCall, 7, 4)
+	f.Add(append(append([]byte{}, h[:]...), 1, 2, 3, 4))
+	putHeader(h[:], MsgCancel, 0, 12)
+	f.Add(append(append([]byte{}, h[:]...), AppendCancelBody(nil, 42)...))
+	putHeader(h[:], MsgHello, 0, 0)
+	f.Add(append([]byte{}, h[:]...))
+	// Torn header, bad magic, hostile type/length bytes.
+	f.Add([]byte{0xC1, 0xA0})
+	f.Add(bytes.Repeat([]byte{0xFF}, headerLen+8))
+	putHeader(h[:], MsgCall, 1, 100)
+	f.Add(append(append([]byte{}, h[:]...), make([]byte, 40)...)) // truncated body
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		conn := &loopConn{}
+		conn.buf.Write(data)
+		c := NewConn(conn)
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				return // rejection or EOF ends the stream; no panic is the property
+			}
+			if !validType(m.Type) {
+				t.Fatalf("Recv accepted invalid type %d", m.Type)
+			}
+			if len(m.Body) > BodyLimit() {
+				t.Fatalf("Recv accepted %d-byte body past the %d limit", len(m.Body), BodyLimit())
+			}
+			if m.Type == MsgCancel {
+				// The demux hands cancel bodies straight to this parser;
+				// it must never panic on what Recv lets through.
+				_, _ = ParseCancelBody(m.Body)
+			}
+			m.Release()
+		}
+	})
+}
+
+// FuzzCancelBody checks ParseCancelBody against arbitrary bodies: no
+// panic, the seq-count bound holds, and every accepted body round-trips
+// bit-exactly through AppendCancelBody.
+func FuzzCancelBody(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendCancelBody(nil))
+	f.Add(AppendCancelBody(nil, 1, 2, 3))
+	f.Add(AppendCancelBody(nil, 0, ^uint64(0)))
+	f.Add(binary.BigEndian.AppendUint32(nil, 5)) // count lies about the body
+	f.Add(binary.BigEndian.AppendUint32(nil, maxCancelSeqs+1))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		seqs, err := ParseCancelBody(body)
+		if err != nil {
+			if seqs != nil {
+				t.Fatal("ParseCancelBody returned seqs alongside an error")
+			}
+			return
+		}
+		if len(seqs) > maxCancelSeqs {
+			t.Fatalf("accepted %d seqs past the %d limit", len(seqs), maxCancelSeqs)
+		}
+		re := AppendCancelBody(nil, seqs...)
+		if !bytes.Equal(re, body) {
+			t.Fatalf("round trip mismatch: %x reparsed from %x", re, body)
+		}
+	})
+}

@@ -56,6 +56,7 @@ const (
 	MsgPong
 	MsgResume
 	MsgResumeReply
+	MsgCancel
 )
 
 var msgTypeNames = map[MsgType]string{
@@ -75,6 +76,7 @@ var msgTypeNames = map[MsgType]string{
 	MsgPong:        "Pong",
 	MsgResume:      "Resume",
 	MsgResumeReply: "ResumeReply",
+	MsgCancel:      "Cancel",
 }
 
 // String returns a readable name for the message type.
@@ -124,6 +126,12 @@ type Msg struct {
 	Type MsgType
 	Seq  uint64
 	Body []byte
+	// Arrived is an optional receive timestamp (UnixNano) stamped by the
+	// session read loop. Deadline budgets in call frames are anchored to it:
+	// a call's remaining budget is measured from the moment its frame was
+	// read off the wire, not from when a dispatch worker finally picks it
+	// up — queue wait counts against the caller's deadline.
+	Arrived int64
 	// pooled marks a message whose storage came from msgPool and returns
 	// there on Release. Caller-constructed messages are never pooled.
 	pooled bool
@@ -182,6 +190,7 @@ func (m *Msg) Release() {
 	m.pooled = false
 	m.Type = 0
 	m.Seq = 0
+	m.Arrived = 0
 	if cap(m.Body) > maxPooledBody {
 		m.Body = nil
 	} else {
@@ -201,7 +210,7 @@ var (
 // validType reports whether t is a known frame type — checked on both
 // ends so a corrupt header is caught before its length prefix can force
 // an allocation.
-func validType(t MsgType) bool { return t >= MsgHello && t <= MsgResumeReply }
+func validType(t MsgType) bool { return t >= MsgHello && t <= MsgCancel }
 
 // Conn frames messages over a Stream. Writes are buffered until Flush so
 // several messages — or one message assembled incrementally — cost a single
